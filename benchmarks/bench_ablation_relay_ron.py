@@ -1,0 +1,65 @@
+"""Ablation — sensitivity to relay on-resistance (paper Sec. 2.3/5).
+
+The paper's crossbar relays measured ~100 kOhm contacts versus the
+2 kOhm of [Parsa 10], and lists "consistently small Ron (< 2 kOhm)" as
+future work because "high Ron values are not desirable for FPGA
+programmable routing".  This ablation quantifies that: the CMOS-NEM
+speed-up as relay Ron sweeps from the 2 kOhm design target to the
+100 kOhm measured contacts.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Comparison, VariantConfig, VariantKind, evaluate_design
+from repro.core.variants import FpgaVariant, baseline_variant
+from repro.nemrelay import SCALED_22NM_CIRCUIT
+from repro.netlist import ALTERA4_PARAMS
+
+from conftest import BENCH_SCALE
+
+RON_SWEEP = (2e3, 5e3, 10e3, 30e3, 100e3)
+
+
+def make_runner(flow_cache, bench_arch):
+    params = ALTERA4_PARAMS[3].scaled(BENCH_SCALE)  # ucsb_152_tap_fir
+
+    def run():
+        flow = flow_cache.flow(params)
+        base = evaluate_design(flow, baseline_variant(bench_arch))
+        rows = []
+        for r_on in RON_SWEEP:
+            relay = dataclasses.replace(SCALED_22NM_CIRCUIT, r_on=r_on)
+            variant = FpgaVariant(
+                bench_arch,
+                VariantConfig(VariantKind.CMOS_NEM_OPT, 8.0, relay=relay),
+            )
+            point = evaluate_design(flow, variant, frequency=base.frequency)
+            rows.append((r_on, Comparison.of(base, point)))
+        return rows
+
+    return run
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_relay_on_resistance(benchmark, flow_cache, bench_arch):
+    rows = benchmark.pedantic(make_runner(flow_cache, bench_arch), rounds=1, iterations=1)
+
+    print("\n=== Ablation: relay Ron sensitivity ===")
+    print(f"{'Ron (kOhm)':>11s} {'speedup':>8s} {'dyn.red':>8s} {'leak.red':>9s}")
+    for r_on, cmp in rows:
+        print(f"{r_on / 1e3:11.0f} {cmp.speedup:8.2f} {cmp.dynamic_reduction:8.2f} "
+              f"{cmp.leakage_reduction:9.2f}")
+
+    speedups = [cmp.speedup for _r, cmp in rows]
+    # Speed-up degrades monotonically as contacts worsen.
+    assert speedups == sorted(speedups, reverse=True)
+    # At the design-target 2 kOhm there is no speed penalty...
+    assert rows[0][1].speedup >= 1.0
+    # ...while the measured 100 kOhm contacts clearly are "not
+    # desirable for FPGA programmable routing" (paper Sec. 2.3).
+    assert rows[-1][1].speedup < rows[0][1].speedup * 0.8
+    # Leakage reduction is Ron-independent (relays never leak).
+    leaks = [cmp.leakage_reduction for _r, cmp in rows]
+    assert max(leaks) - min(leaks) < 0.05 * max(leaks)

@@ -1,0 +1,76 @@
+"""Ablation — which half of the technique buys what (Sec. 3.2/3.4).
+
+The paper's technique is two moves on top of relay routing: (1) remove
+the LB input/output buffers, (2) downsize the wire buffers.  This
+ablation evaluates the four combinations on one circuit at the
+baseline's clock:
+
+    A naive        relays only (all buffers kept, full size)
+    B +remove      LB buffers removed, wire buffers full size
+    C +downsize    LB buffers kept, wire buffers downsized 8x
+    D full         both (the paper's CMOS-NEM FPGA)
+
+Expected shape: B buys speed (shorter local paths) and a little power;
+C buys most of the leakage reduction; D dominates both.
+"""
+
+import pytest
+
+from repro.core import Comparison, VariantConfig, VariantKind, evaluate_design
+from repro.core.variants import FpgaVariant, baseline_variant, naive_nem_variant
+from repro.netlist import ALTERA4_PARAMS
+
+from conftest import BENCH_SCALE
+
+
+def make_runner(flow_cache, bench_arch):
+    params = ALTERA4_PARAMS[1].scaled(BENCH_SCALE)  # oc_des_des3perf
+
+    def run():
+        flow = flow_cache.flow(params)
+        base = evaluate_design(flow, baseline_variant(bench_arch))
+        f_ref = base.frequency
+        variants = {
+            "A naive (relays only)": naive_nem_variant(bench_arch),
+            "B + LB buffer removal": FpgaVariant(
+                bench_arch, VariantConfig(VariantKind.CMOS_NEM_OPT, 1.0)
+            ),
+            "C + wire downsizing 8x": FpgaVariant(
+                bench_arch,
+                VariantConfig(VariantKind.CMOS_NEM_OPT, 8.0, keep_lb_buffers=True),
+            ),
+            "D full technique": FpgaVariant(
+                bench_arch, VariantConfig(VariantKind.CMOS_NEM_OPT, 8.0)
+            ),
+        }
+        rows = {}
+        for label, variant in variants.items():
+            point = evaluate_design(flow, variant, frequency=f_ref)
+            rows[label] = Comparison.of(base, point)
+        return rows
+
+    return run
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_technique_components(benchmark, flow_cache, bench_arch):
+    rows = benchmark.pedantic(make_runner(flow_cache, bench_arch), rounds=1, iterations=1)
+
+    print("\n=== Ablation: components of the buffer technique ===")
+    print(f"{'design':26s} {'speedup':>8s} {'dyn.red':>8s} {'leak.red':>9s}")
+    for label, cmp in rows.items():
+        print(f"{label:26s} {cmp.speedup:8.2f} {cmp.dynamic_reduction:8.2f} "
+              f"{cmp.leakage_reduction:9.2f}")
+
+    naive = rows["A naive (relays only)"]
+    removal = rows["B + LB buffer removal"]
+    downsize = rows["C + wire downsizing 8x"]
+    full = rows["D full technique"]
+    # Downsizing is the leakage lever; removal alone helps less.
+    assert downsize.leakage_reduction > 2.0 * naive.leakage_reduction
+    assert removal.leakage_reduction > naive.leakage_reduction
+    # The full technique dominates every partial variant on leakage.
+    assert full.leakage_reduction >= downsize.leakage_reduction - 1e-9
+    assert full.leakage_reduction > removal.leakage_reduction
+    # And still shows no speed penalty against the baseline.
+    assert full.speedup >= 1.0

@@ -1,0 +1,48 @@
+"""Extension — architecture exploration (paper Sec. 5 future work).
+
+"Exploration of new FPGA architectures that utilize unique properties
+of NEM relays": with relays in the BEOL stack, connection-block
+flexibility is nearly free in CMOS area, and segment-length trade-offs
+re-balance.  This bench runs both sweeps (real P&R per point) and
+checks the expected directions.
+"""
+
+import pytest
+
+from repro.core import format_sweep, sweep_connection_flexibility, sweep_segment_length
+from repro.netlist import MCNC20_PARAMS, generate
+
+from conftest import BENCH_ARCH, BENCH_SCALE
+
+
+def run_exploration():
+    params = next(p for p in MCNC20_PARAMS if p.name == "seq").scaled(BENCH_SCALE * 2)
+    netlist = generate(params)
+    seg = sweep_segment_length(netlist, BENCH_ARCH, lengths=(1, 2, 4, 8), seed=1)
+    fc = sweep_connection_flexibility(
+        netlist, BENCH_ARCH, fc_in_values=(0.1, 0.2, 0.4), seed=1
+    )
+    return seg, fc
+
+
+@pytest.mark.benchmark(group="exploration")
+def test_exploration_architecture_sweeps(benchmark):
+    seg, fc = benchmark.pedantic(run_exploration, rounds=1, iterations=1)
+
+    print("\n=== Future work: segment-length sweep (CMOS-NEM) ===")
+    print(format_sweep(seg, "segment_length"))
+    print("\n=== Future work: connection-flexibility sweep ===")
+    print(format_sweep(fc, "fc_in"))
+
+    # Every point completed with a routed design and sound ratios.
+    for p in seg + fc:
+        assert p.wmin > 0
+        assert p.nem_leakage_reduction > 1.0
+        assert p.nem_critical_path > 0
+    # Richer Fc costs relays but does not increase channel demand.
+    assert fc[-1].relay_count_per_tile > fc[0].relay_count_per_tile
+    assert fc[-1].wmin <= fc[0].wmin + 2
+    # Extreme segment lengths differ in routed wirelength (L=1 uses
+    # many short segments; L=8 rounds every route up to 8 tiles).
+    wl = {p.params.segment_length: p.wirelength for p in seg}
+    assert wl[8] != wl[1]

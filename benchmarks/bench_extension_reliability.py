@@ -1,0 +1,66 @@
+"""Extension — reliability and temperature envelopes, quantified.
+
+Makes two of the paper's qualitative discussions numeric:
+
+* Sec. 1 endurance: billion-cycle relays vs ~500 lifetime
+  reconfigurations, pushed to full-fabric scale (where *stiction*,
+  not wear-out, becomes the binding constraint — the paper's
+  future-work call for consistent contacts, in numbers);
+* Related work [Wang 11] temperature: how far the room-temperature
+  programming point survives as silicon softens.
+"""
+
+import pytest
+
+from repro.crossbar import solve_voltages
+from repro.nemrelay import (
+    AIR,
+    POLYSILICON,
+    SCALED_22NM_DEVICE,
+    max_hold_temperature,
+    paper_scale_report,
+    pull_in_voltage,
+    pull_out_voltage,
+    required_stiction,
+    vpi_at,
+)
+
+
+def run_extension():
+    reliability = paper_scale_report()
+    vpi = pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+    vpo = pull_out_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+    point = solve_voltages([vpi], [vpo])
+    t_max = max_hold_temperature(
+        POLYSILICON, SCALED_22NM_DEVICE, AIR, point.v_hold, point.v_select
+    )
+    drift = {t: vpi_at(POLYSILICON, SCALED_22NM_DEVICE, AIR, t) for t in (300, 400, 500, 600, 700)}
+    return reliability, point, t_max, drift
+
+
+@pytest.mark.benchmark(group="extension")
+def test_extension_reliability_and_thermal(benchmark):
+    reliability, point, t_max, drift = benchmark(run_extension)
+
+    print("\n=== Extension: fabric reliability at paper scale ===")
+    print(f"cycles per relay (500 reconfigs x2): {reliability['cycles_per_relay']:.0f}")
+    print(f"per-device survival                : {reliability['device_survival']:.8f}")
+    print(f"bare 7.6M-relay fabric survival    : {reliability['bare_fabric_survival']:.2e}")
+    print(f"with 0.01% spare rows              : {reliability['spared_fabric_survival']:.4f}")
+    print(f"spared reconfig budget @99%        : {reliability['spared_max_reconfigs_99pct']}")
+    print(f"required bare stiction @99%        : {reliability['required_p_stick_bare_99pct']:.1e} per actuation")
+
+    print("\n=== Extension: thermal drift of the programming point ===")
+    print(f"room point: Vhold = {point.v_hold:.3f} V, Vselect = {point.v_select:.3f} V")
+    for t, vpi in drift.items():
+        print(f"  T = {t:3d} K: Vpi = {vpi:.3f} V")
+    print(f"programming point stays valid up to {t_max:.0f} K "
+          f"({t_max - 273.15:.0f} C)")
+
+    assert reliability["device_survival"] > 1 - 1e-5
+    assert reliability["bare_fabric_survival"] < 0.5
+    assert reliability["spared_fabric_survival"] > 0.99
+    assert reliability["required_p_stick_bare_99pct"] < 1e-11
+    assert t_max > 350.0  # survives well past commercial temp range
+    vpis = list(drift.values())
+    assert vpis == sorted(vpis, reverse=True)

@@ -1,0 +1,52 @@
+"""Fig. 11 — equivalent circuit and 22nm-scaled device parameters.
+
+Paper: the scaled relay has L = 275 nm, h = 11 nm, g0 = 11 nm,
+gmin = 3.6 nm; equivalent circuit Ron = 2 kOhm (experimental),
+Con = 20 aF, Coff = 6.7 aF (simulation); operation near 1 V; the
+device is in one of on/off states after configuration and never
+switches during normal FPGA operation (mechanical delay > 1 ns).
+"""
+
+import pytest
+
+from repro.nemrelay import (
+    SCALED_22NM_CIRCUIT,
+    SCALED_22NM_DEVICE,
+    scaled_relay,
+    switching_delay,
+)
+
+
+def run_fig11():
+    relay = scaled_relay()
+    delay = switching_delay(relay.model)
+    return relay, delay
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_scaled_device(benchmark):
+    relay, delay = benchmark(run_fig11)
+
+    print("\n=== Fig. 11: 22nm scaled NEM relay ===")
+    g = SCALED_22NM_DEVICE
+    print(f"{'parameter':>14s} {'paper':>10s} {'model':>10s}")
+    print(f"{'L (nm)':>14s} {275:10.0f} {g.length * 1e9:10.0f}")
+    print(f"{'h (nm)':>14s} {11:10.0f} {g.thickness * 1e9:10.0f}")
+    print(f"{'g0 (nm)':>14s} {11:10.0f} {g.gap * 1e9:10.0f}")
+    print(f"{'gmin (nm)':>14s} {3.6:10.1f} {g.contact_gap * 1e9:10.1f}")
+    print(f"{'Ron (kOhm)':>14s} {2.0:10.1f} {relay.circuit.r_on / 1e3:10.1f}")
+    print(f"{'Con (aF)':>14s} {20.0:10.1f} {relay.circuit.c_on * 1e18:10.1f}")
+    print(f"{'Coff (aF)':>14s} {6.7:10.1f} {relay.circuit.c_off * 1e18:10.1f}")
+    print(f"derived: Vpi = {relay.pull_in_voltage:.2f} V, "
+          f"Vpo = {relay.pull_out_voltage:.2f} V "
+          f"(paper: ~1 V CMOS-compatible operation)")
+    print(f"mechanical switching delay at 1.2x Vpi: {delay * 1e9:.2f} ns "
+          f"(paper: > 1 ns — why relays are for static routing only)")
+
+    assert relay.circuit is SCALED_22NM_CIRCUIT
+    assert relay.circuit.r_on == pytest.approx(2e3)
+    assert relay.circuit.c_on == pytest.approx(20e-18)
+    assert relay.circuit.c_off == pytest.approx(6.7e-18)
+    assert 0.8 < relay.pull_in_voltage < 1.3
+    assert 0 < relay.pull_out_voltage < relay.pull_in_voltage
+    assert delay > 1e-9

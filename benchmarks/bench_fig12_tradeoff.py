@@ -1,0 +1,80 @@
+"""Fig. 12 — power-speed trade-offs, CMOS-NEM vs CMOS-only.
+
+Paper Fig. 12 plots, for the four large Altera circuits and the
+geometric mean of the 20 largest MCNC circuits, (a) dynamic power
+reduction vs speed-up and (b) leakage power reduction vs speed-up as
+wire-buffer downsizing sweeps; the preferred corner sits at
+speed-up ~1 with ~2x dynamic and ~10x leakage reduction.
+
+This bench regenerates both curve families on the scaled suite (see
+conftest for the scale) and asserts the curve shapes: monotone
+trade-off, crossover bracketing, and who-wins ordering.
+"""
+
+import pytest
+
+from repro.core import fig12_series, geomean_curve, sweep_circuit
+from repro.netlist import ALTERA4_PARAMS
+
+from conftest import BENCH_SCALE, bench_suite_params
+
+
+def make_runner(flow_cache, bench_arch):
+    suite = bench_suite_params()
+    altera_names = {p.name for p in ALTERA4_PARAMS}
+
+    def run():
+        curves = []
+        for params in suite:
+            flow = flow_cache.flow(params)
+            curves.append(sweep_circuit(flow, bench_arch))
+        altera_curves = [c for c in curves if c.circuit in altera_names]
+        mcnc_curves = [c for c in curves if c.circuit not in altera_names]
+        series = list(altera_curves)
+        if mcnc_curves:
+            series.append(geomean_curve(mcnc_curves))
+        return series
+
+    return run
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_tradeoff_curves(benchmark, flow_cache, bench_arch):
+    curves = benchmark.pedantic(make_runner(flow_cache, bench_arch), rounds=1, iterations=1)
+
+    print(f"\n=== Fig. 12: power-speed trade-offs (suite scale {BENCH_SCALE}) ===")
+    print("(a) dynamic power reduction vs speed-up / "
+          "(b) leakage power reduction vs speed-up")
+    for curve in curves:
+        series = fig12_series(curve)
+        print(f"\n{curve.circuit}:")
+        print(f"{'downsize':>9s} {'speed-up':>9s} {'dyn.red':>8s} {'leak.red':>9s}")
+        for ds, sp, dyn, leak in zip(
+            series["downsize"], series["speedup"],
+            series["dynamic_reduction"], series["leakage_reduction"],
+        ):
+            print(f"{ds:9.1f} {sp:9.2f} {dyn:8.2f} {leak:9.2f}")
+        corner = curve.preferred_corner()
+        print(f"preferred corner: downsize {corner.downsize:.0f} -> "
+              f"speed-up {corner.speedup:.2f}, dyn {corner.dynamic_reduction:.2f}x, "
+              f"leak {corner.leakage_reduction:.2f}x")
+
+    for curve in curves:
+        speedups = [p.speedup for p in curve.points]
+        leaks = [p.leakage_reduction for p in curve.points]
+        dyns = [p.dynamic_reduction for p in curve.points]
+        # Monotone trade-off along the downsizing sweep.
+        assert speedups == sorted(speedups, reverse=True), curve.circuit
+        assert leaks == sorted(leaks), curve.circuit
+        assert dyns == sorted(dyns), curve.circuit
+        # Downsizing costs meaningful speed (the x-axis of Fig. 12
+        # spans a wide speed-up range); very small scaled circuits
+        # need not cross below 1.0, but the span must be real.
+        assert speedups[0] > 1.0, curve.circuit
+        assert speedups[-1] < 0.9 * speedups[0], curve.circuit
+        # At the corner: large leakage and dynamic reductions (paper
+        # 10x / 2x; shape check at scaled workloads).
+        corner = curve.preferred_corner()
+        assert corner.speedup >= 1.0
+        assert corner.leakage_reduction > 4.0, curve.circuit
+        assert corner.dynamic_reduction > 1.4, curve.circuit

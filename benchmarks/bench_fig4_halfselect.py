@@ -1,0 +1,48 @@
+"""Fig. 4 — half-select programming scheme validity.
+
+Paper: three levels {Vhold, -Vselect, Vhold+Vselect} satisfying
+Vpo < Vhold < Vpi, Vpo < Vhold+Vselect < Vpi, Vhold+2Vselect > Vpi
+program an array row by row; every non-selected relay stays inside the
+hysteresis window.  This bench solves the levels for the paper's
+device, verifies the Fig. 4 constraints, and programs a row-by-row
+pattern on an 8x8 array counting disturbances (must be zero).
+"""
+
+import pytest
+
+from repro.crossbar import HalfSelectProgrammer, solve_voltages, uniform_crossbar
+from repro.nemrelay import ActuationModel, FABRICATED_DEVICE, OIL, POLY_PLATINUM
+
+MODEL = ActuationModel(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+
+
+def run_fig4():
+    voltages = solve_voltages([MODEL.pull_in], [MODEL.pull_out])
+    crossbar = uniform_crossbar(8, 8, MODEL)
+    programmer = HalfSelectProgrammer(crossbar, voltages)
+    targets = {(r, c) for r in range(8) for c in range(8) if (r * 8 + c) % 3 == 0}
+    configured = programmer.program(targets)
+    return voltages, targets, configured
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_halfselect_scheme(benchmark):
+    voltages, targets, configured = benchmark(run_fig4)
+
+    print("\n=== Fig. 4: half-select programming voltages ===")
+    print(f"device: Vpi = {MODEL.pull_in:.2f} V, Vpo = {MODEL.pull_out:.2f} V")
+    print(f"solved: Vhold = {voltages.v_hold:.2f} V, Vselect = {voltages.v_select:.2f} V")
+    print(f"  half select (Vhold + Vselect)  = {voltages.half_select:.2f} V")
+    print(f"  full select (Vhold + 2Vselect) = {voltages.full_select:.2f} V")
+    print("constraints (paper Fig. 4):")
+    print(f"  Vpo < Vhold < Vpi            : {MODEL.pull_out:.2f} < {voltages.v_hold:.2f} < {MODEL.pull_in:.2f}")
+    print(f"  Vpo < Vhold + Vselect < Vpi  : {MODEL.pull_out:.2f} < {voltages.half_select:.2f} < {MODEL.pull_in:.2f}")
+    print(f"  Vhold + 2 Vselect > Vpi      : {voltages.full_select:.2f} > {MODEL.pull_in:.2f}")
+    print(f"8x8 array, {len(targets)} targets programmed row-by-row: "
+          f"{len(configured)} closed, disturbances = {len(configured ^ targets)}")
+
+    assert voltages.is_valid(MODEL.pull_in, MODEL.pull_out)
+    assert MODEL.pull_out < voltages.v_hold < MODEL.pull_in
+    assert MODEL.pull_out < voltages.half_select < MODEL.pull_in
+    assert voltages.full_select > MODEL.pull_in
+    assert configured == targets  # zero disturbance

@@ -1,0 +1,58 @@
+"""Fig. 6 — Vpi/Vpo distributions of 100 relays and noise margins.
+
+Paper: 100 nominally identical relays measured on the same wafer show
+Vpi ~ 5.7-6.9 V and Vpo ~ 2-3.4 V; a valid (Vhold, Vselect) exists
+but with very small noise margins; feasibility requires
+min{Vpi-Vpo} > Vpi_max - Vpi_min.
+"""
+
+import pytest
+
+from repro.crossbar import analyze_population
+from repro.nemrelay import (
+    FABRICATED_DEVICE,
+    FIG6_VARIATION_SPEC,
+    OIL,
+    POLY_PLATINUM,
+    sample_population,
+)
+
+
+def run_fig6():
+    population = sample_population(
+        POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=100, spec=FIG6_VARIATION_SPEC
+    )
+    return population, analyze_population(population)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_distributions_and_margins(benchmark):
+    population, analysis = benchmark(run_fig6)
+
+    print("\n=== Fig. 6: Vpi/Vpo distributions, 100 relays ===")
+    print(f"{'quantity':>22s} {'paper':>14s} {'measured':>16s}")
+    print(f"{'Vpi range (V)':>22s} {'~5.7 - 6.9':>14s} "
+          f"{population.vpi_min:7.2f} - {population.vpi_max:.2f}")
+    print(f"{'Vpo range (V)':>22s} {'~2.0 - 3.4':>14s} "
+          f"{population.vpo_min:7.2f} - {population.vpo_max:.2f}")
+    print(f"feasibility: min(Vpi-Vpo) = {population.min_hysteresis_window:.2f} V "
+          f"> Vpi spread = {population.vpi_spread:.2f} V "
+          f"-> {population.half_select_feasible()}")
+    v, m = analysis.voltages, analysis.margins
+    print(f"operating point: Vhold = {v.v_hold:.2f} V, Vselect = {v.v_select:.2f} V")
+    print(f"noise margins: hold {m.hold_above_vpo:.2f} V, "
+          f"half-select {m.half_select_below_vpi:.2f} V, "
+          f"full-select {m.full_select_above_vpi:.2f} V (paper: 'very small')")
+
+    edges, vpi_counts, vpo_counts = population.histogram(bins=28)
+    print("histogram (V : Vpo count / Vpi count):")
+    for i in range(len(vpi_counts)):
+        if vpi_counts[i] or vpo_counts[i]:
+            print(f"  {edges[i]:5.2f}  {'o' * int(vpo_counts[i])}{'#' * int(vpi_counts[i])}")
+
+    assert population.count == 100
+    assert 5.4 < population.vpi_min < population.vpi_max < 7.3
+    assert 1.0 < population.vpo_min < population.vpo_max < 4.0
+    assert population.half_select_feasible()
+    assert analysis.feasible
+    assert 0 < m.worst < 1.0  # positive but small margins

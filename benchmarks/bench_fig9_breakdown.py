@@ -1,0 +1,63 @@
+"""Fig. 9 — dynamic and leakage power breakdown, CMOS-only baseline.
+
+Paper: dynamic power splits as wire interconnects 40%, routing buffers
+30%, LUTs 20%, clocking 10%; leakage splits as routing buffers 70%,
+routing SRAMs 12%, routing pass transistors 10%, LUTs 8%.  This bench
+evaluates the baseline on a scaled paper circuit and compares the
+shares.
+"""
+
+import pytest
+
+from repro.core import baseline_variant, evaluate_design
+from repro.netlist import ALTERA4_PARAMS
+from repro.power import (
+    PAPER_DYNAMIC_BREAKDOWN,
+    PAPER_LEAKAGE_BREAKDOWN,
+    fold_dynamic,
+    fold_leakage,
+    percentages,
+)
+
+from conftest import BENCH_SCALE
+
+
+def make_runner(flow_cache, bench_arch):
+    params = ALTERA4_PARAMS[0].scaled(BENCH_SCALE)  # 'ava'
+
+    def run():
+        flow = flow_cache.flow(params)
+        point = evaluate_design(flow, baseline_variant(bench_arch))
+        return (
+            percentages(fold_dynamic(point.dynamic)),
+            percentages(fold_leakage(point.leakage)),
+        )
+
+    return run
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_power_breakdown(benchmark, flow_cache, bench_arch):
+    dyn_pct, leak_pct = benchmark.pedantic(
+        make_runner(flow_cache, bench_arch), rounds=1, iterations=1
+    )
+
+    print("\n=== Fig. 9: baseline CMOS-only power breakdown ===")
+    print("dynamic power:")
+    print(f"{'component':>26s} {'paper %':>8s} {'measured %':>11s}")
+    for key, ref in PAPER_DYNAMIC_BREAKDOWN.items():
+        print(f"{key:>26s} {ref:8.0f} {dyn_pct[key]:11.1f}")
+    print("leakage power:")
+    for key, ref in PAPER_LEAKAGE_BREAKDOWN.items():
+        print(f"{key:>26s} {ref:8.0f} {leak_pct[key]:11.1f}")
+
+    # Shape assertions: ordering and rough magnitudes must match.
+    assert dyn_pct["wire_interconnect"] > dyn_pct["routing_buffers"] > dyn_pct["clocking"]
+    assert 25 < dyn_pct["wire_interconnect"] < 55       # paper 40
+    assert 20 < dyn_pct["routing_buffers"] < 45         # paper 30
+    assert 5 < dyn_pct["luts"] < 35                     # paper 20
+    assert 4 < dyn_pct["clocking"] < 25                 # paper 10
+    assert leak_pct["routing_buffers"] > 50             # paper 70 (dominant)
+    assert 5 < leak_pct["routing_srams"] < 22           # paper 12
+    assert 4 < leak_pct["routing_pass_transistors"] < 20  # paper 10
+    assert 3 < leak_pct["luts"] < 16                    # paper 8

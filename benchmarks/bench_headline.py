@@ -1,0 +1,60 @@
+"""Headline claims — the abstract's simultaneous reductions.
+
+Paper: CMOS-NEM FPGAs with selective buffer removal/downsizing achieve
+10x leakage, 2x dynamic and 2x area reduction with no application
+speed penalty vs a 22nm CMOS-only FPGA; without the technique only
+2x leakage, 1.3x dynamic and 1.8x area.
+
+This bench aggregates the Fig. 12 sweep over the scaled suite into the
+paper's headline table (geometric means, preferred corner).
+"""
+
+import pytest
+
+from repro.core import (
+    PAPER_HEADLINE,
+    PAPER_NAIVE,
+    format_headline,
+    headline_summary,
+    sweep_circuit,
+)
+
+from conftest import bench_suite_params
+
+
+def make_runner(flow_cache, bench_arch):
+    suite = bench_suite_params()
+
+    def run():
+        curves = [sweep_circuit(flow_cache.flow(p), bench_arch) for p in suite]
+        return headline_summary(curves)
+
+    return run
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_claims(benchmark, flow_cache, bench_arch):
+    summary = benchmark.pedantic(make_runner(flow_cache, bench_arch), rounds=1, iterations=1)
+
+    print("\n=== Headline: paper abstract vs reproduction (geomean) ===\n")
+    print(format_headline(summary))
+    print("\nper-circuit preferred corners:")
+    print(f"{'circuit':>22s} {'speedup':>8s} {'dyn.red':>8s} {'leak.red':>9s} {'area.red':>9s}")
+    for name, corner in summary.per_circuit.items():
+        print(f"{name:>22s} {corner.speedup:8.2f} {corner.dynamic_reduction:8.2f} "
+              f"{corner.leakage_reduction:9.2f} {corner.area_reduction:9.2f}")
+
+    corner = summary.corner
+    naive = summary.naive
+    # Optimised: no speed penalty, large simultaneous reductions.
+    assert corner.speedup >= 1.0                      # paper: 1.0x
+    assert corner.leakage_reduction > 5.0             # paper: 10x
+    assert corner.dynamic_reduction > 1.5             # paper: 2x
+    assert 1.5 < corner.area_reduction < 3.0          # paper: 2x
+    # Naive lands near the paper's 1.3x / 2x / 1.8x bands.
+    assert 1.1 < naive.dynamic_reduction < 1.6        # paper: 1.3x
+    assert 1.4 < naive.leakage_reduction < 3.0        # paper: 2x
+    assert 1.5 < naive.area_reduction < 3.0           # paper: 1.8x
+    # The technique's value: optimised clearly beats naive.
+    assert corner.leakage_reduction > 2 * naive.leakage_reduction
+    assert corner.dynamic_reduction > naive.dynamic_reduction

@@ -1,0 +1,67 @@
+"""Robustness — headline ratios across placement seeds and activities.
+
+Two stability checks the paper's tables implicitly assume:
+
+* **seed robustness** — annealing and negotiated routing are
+  stochastic; the reductions must not be artifacts of one placement;
+* **activity robustness** — the dynamic-power reduction must not hinge
+  on the assumed primary-input switching activity.
+"""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.core import Comparison, baseline_variant, evaluate_design, optimized_nem_variant
+from repro.core.robustness import format_study, seed_sweep
+from repro.netlist import MCNC20_PARAMS, generate
+from repro.power.activity import ActivityModel, estimate_activities
+
+from conftest import BENCH_SCALE
+
+
+def run_robustness():
+    params = next(p for p in MCNC20_PARAMS if p.name == "frisc").scaled(BENCH_SCALE * 2)
+    netlist = generate(params)
+    arch = ArchParams(channel_width=64)
+    study = seed_sweep(netlist, arch, seeds=(1, 2, 3, 4), downsize=8.0)
+
+    # Activity sensitivity on one routed seed.
+    from repro.vpr.flow import run_flow
+
+    flow = run_flow(netlist, arch, seed=1)
+    assert flow.success
+    activity_rows = []
+    for alpha in (0.1, 0.2, 0.4):
+        model = ActivityModel(input_activity=alpha)
+        activities = estimate_activities(netlist, model)
+        base = evaluate_design(flow, baseline_variant(arch), activities=activities)
+        nem = evaluate_design(
+            flow, optimized_nem_variant(arch, 8.0),
+            activities=activities, frequency=base.frequency,
+        )
+        activity_rows.append((alpha, Comparison.of(base, nem)))
+    return study, activity_rows
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_headline_robustness(benchmark):
+    study, activity_rows = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+
+    print("\n=== Robustness: placement seeds ===")
+    print(format_study(study))
+    print("\n=== Robustness: input switching activity ===")
+    print(f"{'PI activity':>12s} {'dyn.red':>8s} {'leak.red':>9s}")
+    for alpha, cmp in activity_rows:
+        print(f"{alpha:12.1f} {cmp.dynamic_reduction:8.2f} {cmp.leakage_reduction:9.2f}")
+
+    stats = study.stats()
+    assert not study.failed_seeds
+    assert stats["leakage_reduction"].minimum > 4.0
+    assert stats["leakage_reduction"].relative_spread < 0.25
+    assert stats["dynamic_reduction"].relative_spread < 0.25
+    # Dynamic reduction moves only mildly with the activity assumption
+    # (leakage not at all — it has no activity dependence).
+    dyns = [cmp.dynamic_reduction for _a, cmp in activity_rows]
+    leaks = [cmp.leakage_reduction for _a, cmp in activity_rows]
+    assert (max(dyns) - min(dyns)) / min(dyns) < 0.30
+    assert max(leaks) - min(leaks) < 1e-9

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""From application to configured relay fabric, visually.
+
+Routes a circuit through the CAD flow, renders the floorplan and the
+channel-congestion heat map, overlays the highest-fanout net, then
+extracts the relay bitstream and programs every tile array through the
+half-select protocol — the complete bridge between the paper's device
+demonstration (Sec. 2) and its architecture study (Sec. 3).
+
+Run:  python examples/fabric_configuration.py
+"""
+
+from repro.arch import ArchParams, build_inventory
+from repro.config import extract_bitstream, program_fabric, verify_bitstream_connectivity
+from repro.netlist import GeneratorParams, generate
+from repro.vpr import (
+    build_route_nets,
+    render_congestion,
+    render_net,
+    render_placement,
+    run_flow,
+    utilization_summary,
+)
+
+ARCH = ArchParams(channel_width=48)
+
+
+def main() -> None:
+    netlist = generate(GeneratorParams("fabric", num_luts=150, ff_fraction=0.3, seed=8))
+    print(f"circuit: {netlist}\n")
+    flow = run_flow(netlist, ARCH)
+    assert flow.success
+
+    print("=== Floorplan ('#' logic block, digits = I/Os per pad tile) ===")
+    print(render_placement(flow.placement))
+
+    summary = utilization_summary(flow.routing, flow.graph)
+    print(f"\n=== Channel congestion (digit = 10 x utilisation; W = {ARCH.channel_width}) ===")
+    print(render_congestion(flow.routing, flow.graph))
+    print(f"mean {100 * summary['mean']:.0f}%, peak {100 * summary['max']:.0f}% "
+          f"over {summary['positions']} channel positions")
+
+    nets = build_route_nets(flow.placement)
+    big = max(nets, key=lambda n: len(n.sink_tiles))
+    print(f"\n=== Route of highest-fanout net {big.name!r} "
+          f"(S source, T sinks, + wires) ===")
+    print(render_net(flow.routing, flow.graph, big.name))
+
+    print("\n=== Relay bitstream and half-select programming ===")
+    bitstream = extract_bitstream(flow.routing, flow.graph)
+    inventory = build_inventory(ARCH)
+    print(f"conducting switches: {bitstream.total_switches} across "
+          f"{len(bitstream.tiles)} tiles "
+          f"({100 * bitstream.utilization(inventory.routing_switches):.1f}% of the "
+          f"used tiles' routing relays)")
+    report = program_fabric(bitstream)
+    print(f"programmed {report.arrays_programmed} tile arrays in "
+          f"{report.row_steps} half-select row steps; "
+          f"{report.relays_closed} relays closed; failures: {len(report.failures)}")
+    ok = verify_bitstream_connectivity(bitstream, flow.routing, flow.graph)
+    print(f"connectivity reconstructed from programmed relays: {ok}")
+    print("\nno SRAM cell anywhere in the routing fabric — every switch is a")
+    print("relay configured by three voltage levels (paper Secs. 2.2, 3.2)")
+
+
+if __name__ == "__main__":
+    main()

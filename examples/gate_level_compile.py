@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Full compile: gate netlist -> LUTs -> routed CMOS-NEM FPGA -> relays.
+
+The complete toolchain pass a downstream user would run:
+
+1. start from a gate-level circuit (a random control/datapath mix),
+2. technology-map it to 4-LUTs (cut-based, depth-optimal),
+3. verify functional equivalence by random simulation,
+4. pack / place / route on the paper's architecture,
+5. time and power both fabric variants,
+6. extract the relay bitstream and program the fabric via half-select.
+
+Run:  python examples/gate_level_compile.py
+"""
+
+from repro.arch import ArchParams
+from repro.config import extract_bitstream, program_fabric, verify_bitstream_connectivity
+from repro.core import Comparison, baseline_variant, evaluate_design, optimized_nem_variant
+from repro.netlist import (
+    check_equivalence,
+    map_to_luts,
+    mapping_stats,
+    random_gate_circuit,
+)
+from repro.vpr import run_flow
+
+ARCH = ArchParams(channel_width=56)
+
+
+def main() -> None:
+    print("=== 1. Gate-level circuit ===")
+    gates = random_gate_circuit(
+        "chip", num_gates=900, num_inputs=24, num_outputs=12, ff_fraction=0.15, seed=12
+    )
+    print(gates)
+
+    print("\n=== 2. Technology mapping to 4-LUTs ===")
+    mapped = map_to_luts(gates, k=4)
+    stats = mapping_stats(gates, mapped)
+    print(f"{stats['gates']:.0f} gates -> {stats['luts']:.0f} LUTs "
+          f"({stats['gates_per_lut']:.2f} gates/LUT), mapped depth {stats['lut_depth']:.0f}")
+
+    print("\n=== 3. Functional equivalence (random simulation) ===")
+    ok = check_equivalence(gates, mapped, vectors=256, seed=12)
+    print(f"256 random vectors, outputs + FF next-states compared: "
+          f"{'EQUIVALENT' if ok else 'MISMATCH'}")
+    assert ok
+
+    print("\n=== 4. Pack / place / route ===")
+    flow = run_flow(mapped, ARCH)
+    assert flow.success
+    print(f"{flow.clustered.num_clusters} logic blocks on a "
+          f"{flow.placement.grid_width}x{flow.placement.grid_height} grid; "
+          f"wirelength {flow.routing.wirelength} tile-spans at W = {ARCH.channel_width}")
+
+    print("\n=== 5. CMOS-only vs CMOS-NEM ===")
+    base = evaluate_design(flow, baseline_variant(ARCH))
+    nem = evaluate_design(
+        flow, optimized_nem_variant(ARCH, downsize=8.0), frequency=base.frequency
+    )
+    cmp = Comparison.of(base, nem)
+    print(f"baseline : {base.critical_path * 1e9:.2f} ns, "
+          f"{base.total_dynamic * 1e3:.3f} mW dynamic, "
+          f"{base.total_leakage * 1e3:.3f} mW leakage")
+    print(f"CMOS-NEM : {nem.critical_path * 1e9:.2f} ns, "
+          f"{nem.total_dynamic * 1e3:.3f} mW dynamic, "
+          f"{nem.total_leakage * 1e3:.3f} mW leakage")
+    print(f"reductions: {cmp.dynamic_reduction:.2f}x dynamic, "
+          f"{cmp.leakage_reduction:.2f}x leakage, {cmp.area_reduction:.2f}x area")
+
+    print("\n=== 6. Relay configuration ===")
+    bitstream = extract_bitstream(flow.routing, flow.graph)
+    report = program_fabric(bitstream)
+    verified = verify_bitstream_connectivity(bitstream, flow.routing, flow.graph)
+    print(f"{bitstream.total_switches} relays conduct; programmed "
+          f"{report.arrays_programmed} arrays with {len(report.failures)} failures; "
+          f"connectivity verified: {verified}")
+    print("\ngate netlist in, programmed zero-leakage routing fabric out.")
+
+
+if __name__ == "__main__":
+    main()

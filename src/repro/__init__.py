@@ -1,0 +1,42 @@
+"""repro — reproduction of "Nano-Electro-Mechanical Relays for FPGA
+Routing: Experimental Demonstration and a Design Technique" (DATE
+2012).
+
+Subpackages:
+
+* `repro.nemrelay` — NEM relay device physics (hysteresis, dynamics,
+  variation, scaling; paper Sec. 2.1, Figs. 2/6/11).
+* `repro.crossbar` — half-select programmable relay crossbars (paper
+  Sec. 2.2-2.3, Figs. 4/5/6).
+* `repro.arch`     — island-style FPGA architecture, RR graph, area
+  model (paper Sec. 3.1, Table 1, Fig. 7).
+* `repro.netlist`  — LUT netlists, BLIF I/O, synthetic benchmark
+  suites (MCNC20 / Altera4).
+* `repro.vpr`      — pack / place / route / timing flow (paper
+  Fig. 10).
+* `repro.circuits` — 22nm PTM-class circuit models (HSPICE stand-in).
+* `repro.power`    — activity, dynamic and leakage power models
+  (paper Fig. 9).
+* `repro.core`     — the paper's contribution: CMOS-NEM FPGA variants,
+  selective buffer removal/downsizing, Fig. 12 trade-offs, headline
+  comparisons, architecture exploration.
+* `repro.config`   — routed design -> relay bitstream -> half-select
+  programming of the fabric (bridges Secs. 2 and 3).
+"""
+
+__version__ = "1.0.0"
+
+from . import arch, circuits, config, core, crossbar, nemrelay, netlist, power, vpr
+
+__all__ = [
+    "arch",
+    "circuits",
+    "config",
+    "core",
+    "crossbar",
+    "nemrelay",
+    "netlist",
+    "power",
+    "vpr",
+    "__version__",
+]

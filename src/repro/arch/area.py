@@ -1,0 +1,182 @@
+"""FPGA tile area model (paper Sec. 3.3-3.4).
+
+Follows the VPR / Betz minimum-width-transistor-area (MWTA)
+methodology the paper's reference layouts are based on: every circuit
+component costs some number of minimum-width transistor areas; a
+tile's CMOS area is the inventory-weighted sum; physical area converts
+through a per-node MWTA size; and tile pitch is the square root.
+
+CMOS-NEM FPGAs stack the relay crossbars between metal 3 and metal 5
+*above* the CMOS (paper Fig. 1), so the tile footprint is
+
+    footprint = max(CMOS area underneath, relay array area above)
+
+— the mechanism behind the paper's 2x footprint reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional
+
+from ..circuits.ptm import Technology
+from .params import ArchParams
+from .tile import TileInventory
+
+#: Layout area of one minimum-width transistor at 90nm in m^2 (Betz's
+#: unit, ~0.55 um^2); other nodes scale classically with F^2.
+MWTA_90NM_M2 = 0.55e-12
+
+
+def mwta_area_m2(node_nm: int) -> float:
+    """Physical area (m^2) of one MWTA at a technology node."""
+    if node_nm <= 0:
+        raise ValueError(f"node must be positive, got {node_nm}")
+    return MWTA_90NM_M2 * (node_nm / 90.0) ** 2
+
+
+#: Area of one NEM relay cell in the BEOL stack, including its share of
+#: the programming row/column wiring (m^2).  Calibrated so the relay
+#: array over a paper-architecture tile makes the stacked footprint
+#: about half the CMOS-only tile, the paper's measured layout outcome.
+RELAY_CELL_AREA_M2 = 0.20e-12
+
+
+@dataclasses.dataclass(frozen=True)
+class ComponentAreas:
+    """Per-instance MWTA costs for every tile component class.
+
+    Buffer entries are per *instance* and provided by the caller
+    because they depend on sizing (chains are sized against wire loads
+    by `repro.circuits.buffers`).  Switch/SRAM entries default to the
+    standard VPR accounting.
+    """
+
+    lb_input_buffer: float
+    lb_output_buffer: float
+    wire_buffer: float
+    routing_switch: float = 2.5   # width-4 pass transistor w/ diffusion sharing
+    crossbar_switch: float = 1.0  # min-width crosspoint pass transistor
+    sram_bit: float = 6.0
+    lut_logic: float = 40.0       # mux tree + input drivers of one K-LUT
+    ff: float = 20.0
+    output_mux: float = 4.0
+    clock_buffer: float = 30.0
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) < 0:
+                raise ValueError(f"{field.name} must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaBreakdown:
+    """Tile area accounting.
+
+    Attributes:
+        cmos_by_component: MWTA per component class (CMOS layer only).
+        relay_count: NEM relays stacked above this tile (0 for
+            CMOS-only).
+        node_nm: Technology node for physical conversion.
+    """
+
+    cmos_by_component: Dict[str, float]
+    relay_count: int
+    node_nm: int
+
+    @property
+    def cmos_mwta(self) -> float:
+        return sum(self.cmos_by_component.values())
+
+    @property
+    def cmos_area_m2(self) -> float:
+        return self.cmos_mwta * mwta_area_m2(self.node_nm)
+
+    @property
+    def relay_area_m2(self) -> float:
+        return self.relay_count * RELAY_CELL_AREA_M2 * (self.node_nm / 22.0) ** 2
+
+    @property
+    def footprint_m2(self) -> float:
+        """Stacked footprint: CMOS under-layer vs relay array above."""
+        return max(self.cmos_area_m2, self.relay_area_m2)
+
+    @property
+    def tile_pitch_m(self) -> float:
+        return math.sqrt(self.footprint_m2)
+
+    @property
+    def limited_by_relays(self) -> bool:
+        return self.relay_area_m2 > self.cmos_area_m2
+
+
+def tile_area(
+    inventory: TileInventory,
+    areas: ComponentAreas,
+    tech: Technology,
+    *,
+    switches_are_relays: bool = False,
+    crossbar_is_relays: bool = False,
+    include_lb_input_buffers: bool = True,
+    include_lb_output_buffers: bool = True,
+) -> AreaBreakdown:
+    """Compute a tile's area breakdown for one FPGA variant.
+
+    Args:
+        inventory: Component counts (from `arch.tile.build_inventory`).
+        areas: Per-instance MWTA costs.
+        tech: Technology (node) for the physical conversion.
+        switches_are_relays: CB/SB switches and their SRAM move to the
+            relay stack (CMOS cost 0, relay count grows).
+        crossbar_is_relays: Same for the LB-internal crossbar.
+        include_lb_*_buffers: False removes them (the paper's
+            technique).
+    """
+    inv = inventory
+    cmos: Dict[str, float] = {}
+    relay_count = 0
+
+    if include_lb_input_buffers:
+        cmos["lb_input_buffers"] = inv.lb_input_buffers * areas.lb_input_buffer
+    if include_lb_output_buffers:
+        cmos["lb_output_buffers"] = inv.lb_output_buffers * areas.lb_output_buffer
+    cmos["wire_buffers"] = inv.wire_buffers * areas.wire_buffer
+
+    if switches_are_relays:
+        relay_count += inv.routing_switches
+    else:
+        cmos["routing_switches"] = inv.routing_switches * areas.routing_switch
+        cmos["routing_sram"] = inv.routing_sram_bits * areas.sram_bit
+
+    if crossbar_is_relays:
+        relay_count += inv.crossbar_switches
+    else:
+        cmos["crossbar_switches"] = inv.crossbar_switches * areas.crossbar_switch
+        cmos["crossbar_sram"] = inv.crossbar_sram_bits * areas.sram_bit
+
+    cmos["lut_logic"] = inv.lut_count * areas.lut_logic
+    cmos["lut_sram"] = inv.lut_sram_bits * areas.sram_bit
+    cmos["ffs"] = inv.ff_count * areas.ff
+    cmos["output_muxes"] = inv.output_mux_count * areas.output_mux
+    cmos["clock"] = inv.clock_buffers * areas.clock_buffer
+
+    return AreaBreakdown(cmos_by_component=cmos, relay_count=relay_count, node_nm=tech.node_nm)
+
+
+def segment_wire_length(params: ArchParams, tile_pitch_m: float) -> float:
+    """Physical length (m) of one L-tile routing segment."""
+    if tile_pitch_m <= 0:
+        raise ValueError(f"tile pitch must be positive, got {tile_pitch_m}")
+    return params.segment_length * tile_pitch_m
+
+
+def local_wire_length(params: ArchParams, tile_pitch_m: float) -> float:
+    """Representative LB-internal wire length (m): half the pitch.
+
+    Used for the loads LB input/output buffers drive (local
+    interconnect + crossbar wiring, paper Sec. 3.1).
+    """
+    if tile_pitch_m <= 0:
+        raise ValueError(f"tile pitch must be positive, got {tile_pitch_m}")
+    return 0.5 * tile_pitch_m

@@ -1,0 +1,106 @@
+"""Island-style FPGA architecture parameters (paper Table 1).
+
+The paper's architecture (Fig. 7): an array of Logic Blocks (LBs) in a
+sea of routing channels; Connection Blocks (CBs) tap channel wires onto
+LB input pins, Switch Boxes (SBs) join wire segments and LB outputs to
+wires.  `ArchParams` carries Table 1 plus the derived quantities
+(LB input pin count, wires per channel per direction, etc.) every
+downstream module shares.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchParams:
+    """Architecture parameters, defaults = paper Table 1.
+
+    Attributes:
+        n: LUTs per LB (cluster size N).
+        k: Inputs per LUT (K).
+        segment_length: Routing wire length L in tiles.
+        fc_in: LB input pin flexibility Fcin (fraction of channel
+            wires each input pin can connect to).
+        fc_out: LB output pin flexibility Fcout.
+        fs: Switch box flexibility Fs (wires each wire can reach at a
+            switch point).
+        channel_width: Routing channel width W (wires per channel).
+            The paper derives W = 118 (Wmin from VPR + 20% low-stress);
+            `repro.vpr.flow.find_min_channel_width` recomputes Wmin.
+        lb_inputs: LB input pin count I; 0 means the standard cluster
+            rule I = (K/2)(N+1) [Betz 99], which fully utilises N
+            K-LUTs.
+        directionality: "bidir" (the paper's pass-transistor/relay
+            fabric — wires conduct both ways) or "unidir" (modern
+            single-driver routing: each wire has a direction and is
+            entered only at its start).
+    """
+
+    n: int = 10
+    k: int = 4
+    segment_length: int = 4
+    fc_in: float = 0.2
+    fc_out: float = 0.1
+    fs: int = 3
+    channel_width: int = 118
+    lb_inputs: int = 0
+    directionality: str = "bidir"
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.k < 2:
+            raise ValueError(f"need N >= 1 and K >= 2, got N={self.n}, K={self.k}")
+        if self.segment_length < 1:
+            raise ValueError(f"segment length must be >= 1, got {self.segment_length}")
+        if not 0.0 < self.fc_in <= 1.0 or not 0.0 < self.fc_out <= 1.0:
+            raise ValueError("Fc values must be in (0, 1]")
+        if self.fs < 1:
+            raise ValueError(f"Fs must be >= 1, got {self.fs}")
+        if self.channel_width < 2:
+            raise ValueError(f"channel width must be >= 2, got {self.channel_width}")
+        if self.lb_inputs < 0:
+            raise ValueError(f"lb_inputs must be >= 0, got {self.lb_inputs}")
+        if self.directionality not in ("bidir", "unidir"):
+            raise ValueError(
+                f"directionality must be 'bidir' or 'unidir', got {self.directionality!r}"
+            )
+
+    @property
+    def inputs_per_lb(self) -> int:
+        """I: LB input pins (Table/cluster rule when not overridden)."""
+        if self.lb_inputs > 0:
+            return self.lb_inputs
+        return (self.k * (self.n + 1)) // 2
+
+    @property
+    def outputs_per_lb(self) -> int:
+        """The LB exposes one output pin per LUT (paper Sec. 3.1)."""
+        return self.n
+
+    @property
+    def fc_in_abs(self) -> int:
+        """Wires each input pin taps: ceil(Fcin * W), >= 1."""
+        return max(1, round(self.fc_in * self.channel_width))
+
+    @property
+    def fc_out_abs(self) -> int:
+        """Wires each output pin can drive: ceil(Fcout * W), >= 1."""
+        return max(1, round(self.fc_out * self.channel_width))
+
+    @property
+    def crossbar_inputs(self) -> int:
+        """Inputs of the LB-internal full crossbar: I + N feedbacks."""
+        return self.inputs_per_lb + self.n
+
+    @property
+    def crossbar_outputs(self) -> int:
+        """Crossbar outputs: every LUT input pin (N * K)."""
+        return self.n * self.k
+
+    def with_channel_width(self, width: int) -> "ArchParams":
+        return dataclasses.replace(self, channel_width=width)
+
+
+#: Paper Table 1 with the paper's derived channel width W = 118.
+PAPER_ARCH = ArchParams()

@@ -1,0 +1,113 @@
+"""FPGA tile composition: component inventory per tile.
+
+An FPGA decomposes into repeating tiles of one LB + one SB + two CBs
+(paper Fig. 7a).  `TileInventory` counts every circuit component in
+one tile as a function of the architecture parameters — the common
+input of the area model (`arch.area`) and the power model
+(`repro.power`), so both always agree on what is inside a tile.
+
+Component classes mirror the paper's Fig. 9 breakdown categories:
+routing buffers (LB input / LB output / wire buffers), routing pass
+transistors, routing SRAMs, LUTs, FFs, and the clock network.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .params import ArchParams
+
+
+@dataclasses.dataclass(frozen=True)
+class TileInventory:
+    """Per-tile component counts.
+
+    Attributes:
+        lut_count: K-LUTs per tile (N).
+        ff_count: Flip-flops per tile (N, one per LUT).
+        lb_input_buffers: LB input pin buffers (I).
+        lb_output_buffers: LB output buffers (N).
+        wire_buffers: Segment-wire drivers; one per wire segment
+            starting in this tile, both channel directions: 2 W / L.
+        cb_switches: Connection-block switches: I pins tapping
+            Fcin*W wires each, plus output-pin taps N * Fcout*W.
+        sb_switches: Switch-box wire-wire switches: per tile, 2 W / L
+            segments each with Fs switches at two endpoints, each
+            switch shared between two wires: 2 * (2 W / L) * Fs / 2.
+        crossbar_switches: LB-internal crossbar cross-points:
+            (I + N) x (N K) full crossbar (paper Fig. 7b).
+        routing_sram_bits: Configuration bits controlling CB + SB
+            switches (one per switch).
+        crossbar_sram_bits: Configuration bits of the internal
+            crossbar (one per cross-point).
+        lut_sram_bits: LUT truth-table bits: N * 2^K.
+        output_mux_count: 2:1 comb/registered output muxes (N).
+        clock_buffers: Clock tree buffers per tile.
+    """
+
+    lut_count: int
+    ff_count: int
+    lb_input_buffers: int
+    lb_output_buffers: int
+    wire_buffers: int
+    cb_switches: int
+    sb_switches: int
+    crossbar_switches: int
+    routing_sram_bits: int
+    crossbar_sram_bits: int
+    lut_sram_bits: int
+    output_mux_count: int
+    clock_buffers: int
+
+    @property
+    def routing_switches(self) -> int:
+        """All programmable routing switches outside the LB."""
+        return self.cb_switches + self.sb_switches
+
+    @property
+    def routing_buffer_count(self) -> int:
+        """All 'routing buffers' in the paper's collective sense."""
+        return self.lb_input_buffers + self.lb_output_buffers + self.wire_buffers
+
+
+def build_inventory(params: ArchParams) -> TileInventory:
+    """Count the components of one tile for the given architecture."""
+    w = params.channel_width
+    seg = params.segment_length
+    i_pins = params.inputs_per_lb
+    n = params.n
+
+    wire_segments_per_tile = max(1, math.ceil(2 * w / seg))
+    cb_switches = i_pins * params.fc_in_abs + n * params.fc_out_abs
+    sb_switches = wire_segments_per_tile * params.fs
+    crossbar_switches = params.crossbar_inputs * params.crossbar_outputs
+
+    return TileInventory(
+        lut_count=n,
+        ff_count=n,
+        lb_input_buffers=i_pins,
+        lb_output_buffers=n,
+        wire_buffers=wire_segments_per_tile,
+        cb_switches=cb_switches,
+        sb_switches=sb_switches,
+        crossbar_switches=crossbar_switches,
+        routing_sram_bits=cb_switches + sb_switches,
+        crossbar_sram_bits=crossbar_switches,
+        lut_sram_bits=n * 2**params.k,
+        output_mux_count=n,
+        clock_buffers=2,
+    )
+
+
+def grid_size_for(params: ArchParams, num_lbs: int, utilization: float = 1.0) -> int:
+    """Side of the square tile grid hosting ``num_lbs`` logic blocks.
+
+    ``utilization`` < 1 reserves spare LBs (VPR packs into the minimal
+    square by default; the paper's flow does the same).
+    """
+    if num_lbs < 1:
+        raise ValueError(f"num_lbs must be >= 1, got {num_lbs}")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+    return max(1, math.ceil(math.sqrt(num_lbs / utilization)))

@@ -1,0 +1,76 @@
+"""Circuit-level modelling substrate (HSPICE / PTM stand-in).
+
+First-order analytic models of everything the paper characterised with
+HSPICE on 22nm PTM: transistor and wire constants (`ptm`), RC trees
+with Elmore delay (`rc`), logical-effort inverter chains
+(`logical_effort`), NMOS pass gates with the Vt-drop problem
+(`passgate`), routing switches CMOS vs NEM (`switches`), and the
+routing buffer library with half-latch level restorers (`buffers`).
+"""
+
+from .ptm import InterconnectModel, PTM_22NM, PTM_90NM, Technology, TransistorModel
+from .rc import ELMORE_STEP_FACTOR, RCNode, RCTree, distributed_wire_delay, lumped_delay
+from .logical_effort import (
+    InverterChain,
+    OPTIMAL_STAGE_EFFORT,
+    P_INV,
+    downsized_chain,
+    geometric_chain,
+    optimal_chain,
+    optimal_num_stages,
+)
+from .passgate import PassTransistor
+from .switches import (
+    CmosRoutingSwitch,
+    NemRoutingSwitch,
+    RoutingSwitch,
+    SRAMCell,
+    SRAM_TRANSISTORS,
+    default_cmos_switch,
+    default_nem_switch,
+)
+from .buffers import (
+    HALF_LATCH_CAP_WIDTHS,
+    HALF_LATCH_LEAK_WIDTHS,
+    RoutingBuffer,
+    restorer_delay_factor,
+    sized_buffer,
+)
+from .spice import Circuit, TransientResult, simulate_rc_ladder, step
+
+__all__ = [
+    "Circuit",
+    "CmosRoutingSwitch",
+    "ELMORE_STEP_FACTOR",
+    "TransientResult",
+    "simulate_rc_ladder",
+    "step",
+    "HALF_LATCH_CAP_WIDTHS",
+    "HALF_LATCH_LEAK_WIDTHS",
+    "InterconnectModel",
+    "InverterChain",
+    "NemRoutingSwitch",
+    "OPTIMAL_STAGE_EFFORT",
+    "P_INV",
+    "PTM_22NM",
+    "PTM_90NM",
+    "PassTransistor",
+    "RCNode",
+    "RCTree",
+    "RoutingBuffer",
+    "RoutingSwitch",
+    "SRAMCell",
+    "SRAM_TRANSISTORS",
+    "Technology",
+    "TransistorModel",
+    "default_cmos_switch",
+    "default_nem_switch",
+    "distributed_wire_delay",
+    "downsized_chain",
+    "geometric_chain",
+    "lumped_delay",
+    "optimal_chain",
+    "optimal_num_stages",
+    "restorer_delay_factor",
+    "sized_buffer",
+]

@@ -1,0 +1,133 @@
+"""FPGA routing buffer library (paper Sec. 3.1-3.2).
+
+Three buffer classes drive the paper's analysis:
+
+* **LB input buffers** — drive the LB-internal crossbar + local wires;
+  fixed, known load.  Removed entirely in the optimised CMOS-NEM FPGA.
+* **LB output buffers** — drive the feedback network + output pins;
+  fixed, known load.  Removed entirely in the optimised CMOS-NEM FPGA.
+* **Wire buffers** — drive segmented routing wires; load is mapping-
+  dependent, so they are kept but *downsized* in CMOS-NEM FPGAs.
+
+In the CMOS-only baseline each buffer embeds a half-latch level
+restorer (Fig. 8a) to undo the pass-transistor Vt drop; that restorer
+costs leakage, input load, and a rising-edge delay penalty.  NEM-relay
+routing is full swing, so CMOS-NEM buffers (where kept) drop the
+restorer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .logical_effort import InverterChain, downsized_chain, optimal_chain
+from .ptm import TransistorModel
+
+#: Extra leakage of the half-latch (weak feedback PMOS fights the
+#: input; modeled as a small always-on width multiple).
+HALF_LATCH_LEAK_WIDTHS = 1.5
+
+#: Extra input capacitance of the half-latch feedback device (as a
+#: multiple of minimum inverter input cap).
+HALF_LATCH_CAP_WIDTHS = 0.6
+
+#: Rising-edge delay penalty of restoring a Vt-dropped input: the first
+#: stage switches late because the input only reaches Vdd - Vt, and the
+#: half latch initially opposes the transition.  First-order: delay of
+#: the first stage is amplified by Vdd / (Vdd - 2 Vt) (input overdrive
+#: margin above the inverter trip point), folded into a lumped factor.
+def restorer_delay_factor(tech: TransistorModel) -> float:
+    """Delay multiplier for a buffer whose input is Vt-degraded."""
+    margin = tech.vdd - 2.0 * tech.vt
+    if margin <= 0.05 * tech.vdd:
+        margin = 0.05 * tech.vdd
+    return 1.0 + tech.vt / margin
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutingBuffer:
+    """A routing buffer: an inverter chain, optionally level-restoring.
+
+    Attributes:
+        chain: The sized inverter stages.
+        level_restorer: True for CMOS-only FPGAs fed by pass
+            transistors (half latch present).
+        tech: Transistor constants.
+        design_load: The capacitive load (F) the chain was sized for
+            (bookkeeping: the real load at evaluation time may differ
+            for downsized chains).
+    """
+
+    chain: InverterChain
+    level_restorer: bool
+    tech: TransistorModel
+    design_load: float
+
+    @property
+    def input_capacitance(self) -> float:
+        c = self.chain.input_capacitance
+        if self.level_restorer:
+            c += HALF_LATCH_CAP_WIDTHS * self.tech.inverter_input_cap
+        return c
+
+    @property
+    def output_resistance(self) -> float:
+        return self.chain.output_resistance
+
+    def delay(self, c_load: float, input_degraded: Optional[bool] = None) -> float:
+        """Buffer delay (s) driving ``c_load``.
+
+        ``input_degraded`` defaults to the presence of the restorer:
+        in a CMOS-only FPGA every buffer input arrives through pass
+        transistors and pays the restoration penalty.  Only the first
+        stage sees the degraded level, so only its delay is amplified.
+        """
+        base = self.chain.delay(c_load)
+        degraded = self.level_restorer if input_degraded is None else input_degraded
+        if degraded:
+            penalty = (restorer_delay_factor(self.tech) - 1.0) * self.chain.first_stage_delay(c_load)
+            base += penalty
+        return base
+
+    def leakage_power(self) -> float:
+        leak = self.chain.leakage_power()
+        if self.level_restorer:
+            leak += HALF_LATCH_LEAK_WIDTHS * self.tech.inverter_leakage
+        return leak
+
+    def switching_energy(self, c_load: float) -> float:
+        """Energy per transition (J) including internal nodes."""
+        return self.chain.switching_energy(c_load)
+
+    @property
+    def area_min_widths(self) -> float:
+        """CMOS area in minimum-width transistor units.
+
+        Each inverter is one NMOS + one beta-scaled PMOS.
+        """
+        area = self.chain.total_width * (1.0 + self.tech.pmos_beta)
+        if self.level_restorer:
+            area += 2.0  # weak feedback PMOS + restoring inverter share
+        return area
+
+
+def sized_buffer(
+    tech: TransistorModel,
+    c_load: float,
+    level_restorer: bool,
+    downsize_factor: float = 1.0,
+) -> RoutingBuffer:
+    """Build a buffer sized for ``c_load``.
+
+    ``downsize_factor`` > 1 applies the paper's pretend-smaller-load
+    redesign (Sec. 3.4) — the returned buffer is optimal for
+    ``c_load / downsize_factor``.
+    """
+    if downsize_factor == 1.0:
+        chain = optimal_chain(tech, c_load)
+    else:
+        chain = downsized_chain(tech, c_load, downsize_factor)
+    return RoutingBuffer(
+        chain=chain, level_restorer=level_restorer, tech=tech, design_load=c_load
+    )

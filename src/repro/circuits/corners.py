@@ -1,0 +1,72 @@
+"""Process corners for the 22nm transistor models.
+
+The paper evaluates at the typical PTM corner.  Real sign-off checks
+claims across process corners; this module provides the classic
+five-corner set as scalings of the typical `TransistorModel`:
+
+* drive resistance: fast silicon is ~20% stronger, slow ~25% weaker;
+* leakage: exponential in Vt shift — fast corners leak several times
+  more, slow corners several times less;
+* capacitance: weak corner dependence (+-5%).
+
+`corner_technology` returns a full `Technology` for use anywhere the
+typical one is accepted (variants, fabrics, power models).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from .ptm import InterconnectModel, Technology, TransistorModel
+
+
+@dataclasses.dataclass(frozen=True)
+class CornerSpec:
+    """Multipliers applied to the typical transistor model."""
+
+    name: str
+    resistance_scale: float
+    leakage_scale: float
+    capacitance_scale: float
+    vt_shift: float  # volts, positive = higher Vt (slower, less leaky)
+
+
+#: The classic five corners (NMOS/PMOS skews folded into one axis:
+#: routing structures are NMOS-dominated).
+CORNERS: Dict[str, CornerSpec] = {
+    "tt": CornerSpec("tt", 1.00, 1.0, 1.00, 0.0),
+    "ff": CornerSpec("ff", 0.80, 4.0, 1.05, -0.03),
+    "ss": CornerSpec("ss", 1.30, 0.3, 0.95, +0.03),
+    "fs": CornerSpec("fs", 0.90, 2.0, 1.00, -0.015),
+    "sf": CornerSpec("sf", 1.15, 0.5, 1.00, +0.015),
+}
+
+
+def corner_transistor(base: TransistorModel, corner: str) -> TransistorModel:
+    """The typical model skewed to a named corner."""
+    if corner not in CORNERS:
+        raise KeyError(f"unknown corner {corner!r}; choose from {sorted(CORNERS)}")
+    spec = CORNERS[corner]
+    return dataclasses.replace(
+        base,
+        r_min_nmos=base.r_min_nmos * spec.resistance_scale,
+        i_leak_min=base.i_leak_min * spec.leakage_scale,
+        c_gate_min=base.c_gate_min * spec.capacitance_scale,
+        c_drain_min=base.c_drain_min * spec.capacitance_scale,
+        vt=base.vt + spec.vt_shift,
+    )
+
+
+def corner_technology(base: Technology, corner: str) -> Technology:
+    """Full technology bundle at a corner (interconnect unchanged —
+    metal varies independently of device corners)."""
+    return Technology(
+        transistor=corner_transistor(base.transistor, corner),
+        interconnect=base.interconnect,
+    )
+
+
+def all_corners(base: Technology) -> Dict[str, Technology]:
+    """{corner name: Technology} for the full five-corner set."""
+    return {name: corner_technology(base, name) for name in CORNERS}

@@ -1,0 +1,100 @@
+"""NMOS pass-transistor routing switch model (paper Sec. 3.2, Fig. 8).
+
+Traditional SRAM-based FPGAs route through NMOS pass transistors.  Two
+properties matter to the paper's argument:
+
+* **Vt drop** — an NMOS passes logic high only up to Vdd - Vt, so the
+  rising edge at the far side is slow and never full swing; half-latch
+  level restorers (part of every routing buffer) repair it at area,
+  delay and power cost.
+* **Resistance** — the effective on-resistance when passing a rising
+  signal degrades as the source rises toward Vdd - Vt (gate overdrive
+  collapses), making the pass transistor slower than its nominal
+  R would suggest.
+
+`PassTransistor` captures both with first-order expressions; the
+routing-switch comparison in `switches.py` builds on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .ptm import TransistorModel
+
+
+@dataclasses.dataclass(frozen=True)
+class PassTransistor:
+    """An NMOS pass switch of a given width multiple.
+
+    Attributes:
+        tech: Transistor constants.
+        width: Width as a multiple of minimum (routing switches are
+            typically several times minimum width).
+    """
+
+    tech: TransistorModel
+    width: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1.0:
+            raise ValueError(f"width must be >= 1 (minimum size), got {self.width}")
+
+    @property
+    def output_high(self) -> float:
+        """Maximum output voltage when passing logic high: Vdd - Vt.
+
+        (The paper notes gate boosting is no longer possible at 22nm
+        due to gate-oxide reliability, so the full drop applies.)
+        """
+        return self.tech.vdd - self.tech.vt
+
+    @property
+    def swing_loss_fraction(self) -> float:
+        """Fraction of the supply lost to the Vt drop."""
+        return self.tech.vt / self.tech.vdd
+
+    @property
+    def resistance_low(self) -> float:
+        """Effective R (ohm) passing logic low (full gate overdrive)."""
+        return self.tech.r_min_nmos / self.width
+
+    @property
+    def resistance_high(self) -> float:
+        """Effective R (ohm) passing logic high.
+
+        As the source rises, Vgs falls toward Vt; the average overdrive
+        across the transition is roughly halved, so the effective
+        resistance is amplified by Vdd/(Vdd - Vt) relative to the
+        low-passing case — the first-order expression used in FPGA
+        architecture texts [Betz 99].
+        """
+        degradation = self.tech.vdd / (self.tech.vdd - self.tech.vt)
+        return self.resistance_low * degradation
+
+    @property
+    def resistance(self) -> float:
+        """Worst-case (timing) resistance: the rising-edge value."""
+        return self.resistance_high
+
+    @property
+    def parasitic_capacitance(self) -> float:
+        """Source/drain junction cap added to the routed net (F).
+
+        Both diffusion terminals load the net; scaled by width.
+        """
+        return 2.0 * self.width * self.tech.c_drain_min
+
+    @property
+    def leakage_power(self) -> float:
+        """Subthreshold leakage through an *off* pass switch (W).
+
+        Off pass transistors in the unused routing fabric leak between
+        the nets they separate; scaled by width.
+        """
+        return self.width * self.tech.i_leak_min * self.tech.vdd
+
+    @property
+    def area_min_widths(self) -> float:
+        """Layout area in minimum-width-transistor units [Betz 99]."""
+        return 0.5 + 0.5 * self.width  # diffusion sharing discount

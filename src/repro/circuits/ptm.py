@@ -1,0 +1,165 @@
+"""22nm PTM-class technology constants (paper Sec. 3.3).
+
+The paper characterises FPGA circuit blocks with HSPICE on the 22nm
+Predictive Technology Model [Zhao 06] for transistors and wires.  We
+replace HSPICE with first-order analytic models; this module is the
+single source of the underlying constants, so every delay/power/area
+number in the flow traces back to one place.
+
+Values are representative of published 22nm PTM HP data (Vdd = 0.8 V,
+FO4 ~ 16 ps, intermediate-layer wires ~ 2.5 ohm/um and ~ 0.2 fF/um).
+Absolute accuracy is secondary — the paper's claims are ratios between
+FPGA variants built from the *same* constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class TransistorModel:
+    """Minimum-size device constants at a technology node.
+
+    Attributes:
+        node_nm: Technology node (nm).
+        vdd: Nominal supply voltage (V).
+        vt: Threshold voltage (V) — sets the NMOS pass-gate drop.
+        r_min_nmos: Effective drive resistance of a minimum-width NMOS
+            (ohm); PMOS is ``pmos_beta`` times weaker per width.
+        c_gate_min: Gate capacitance of a minimum-width transistor (F).
+        c_drain_min: Drain junction capacitance, minimum width (F).
+        i_leak_min: Subthreshold + gate leakage current of one
+            minimum-width off transistor (A).
+        pmos_beta: NMOS/PMOS mobility ratio (PMOS widths are scaled up
+            by this factor inside gates).
+        min_width_nm: Minimum drawn transistor width (nm), the unit all
+            sizing factors multiply.
+    """
+
+    node_nm: int = 22
+    vdd: float = 0.8
+    vt: float = 0.31
+    r_min_nmos: float = 14e3
+    c_gate_min: float = 55e-18
+    c_drain_min: float = 40e-18
+    i_leak_min: float = 25e-9
+    pmos_beta: float = 1.9
+    min_width_nm: float = 44.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0 or self.vt <= 0 or self.vt >= self.vdd:
+            raise ValueError(f"need 0 < Vt < Vdd, got Vt={self.vt}, Vdd={self.vdd}")
+        for name in ("r_min_nmos", "c_gate_min", "c_drain_min", "i_leak_min"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def inverter_input_cap(self) -> float:
+        """Input capacitance of a minimum inverter (NMOS + beta*PMOS)."""
+        return self.c_gate_min * (1.0 + self.pmos_beta)
+
+    @property
+    def inverter_output_cap(self) -> float:
+        """Self-load (drain) capacitance of a minimum inverter."""
+        return self.c_drain_min * (1.0 + self.pmos_beta)
+
+    @property
+    def inverter_drive_resistance(self) -> float:
+        """Effective switching resistance of a minimum inverter (ohm).
+
+        PMOS width is upsized by beta so pull-up and pull-down match;
+        the effective R is the NMOS value.
+        """
+        return self.r_min_nmos
+
+    @property
+    def inverter_leakage(self) -> float:
+        """Static power of one minimum inverter (W).
+
+        One of the two devices leaks at any input state; PMOS leakage
+        per width matches NMOS by construction of the beta sizing.
+        """
+        return self.i_leak_min * self.vdd
+
+    @property
+    def tau(self) -> float:
+        """Intrinsic time constant R_min * C_gate_min (s), the logical
+        effort delay unit."""
+        return self.inverter_drive_resistance * self.inverter_input_cap
+
+    def fo4_delay(self) -> float:
+        """Fanout-of-4 inverter delay (s), the canonical speed metric."""
+        # Elmore: R * (self load + 4x input load), with the 0.69 ln2
+        # step-response factor.
+        r = self.inverter_drive_resistance
+        c = self.inverter_output_cap + 4.0 * self.inverter_input_cap
+        return 0.69 * r * c
+
+
+@dataclasses.dataclass(frozen=True)
+class InterconnectModel:
+    """PTM-style wire parasitics for the routing layers.
+
+    Attributes:
+        r_per_m: Wire resistance (ohm/m) on the intermediate metal the
+            FPGA routing uses.
+        c_per_m: Wire capacitance (F/m) including coupling.
+        via_resistance: Resistance of one via stack (ohm); NEM relays
+            sit between M3 and M5, so relay routes include via hops.
+    """
+
+    r_per_m: float = 2.5e6
+    c_per_m: float = 0.20e-9
+    via_resistance: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.r_per_m <= 0 or self.c_per_m <= 0:
+            raise ValueError("wire parasitics must be positive")
+
+    def wire_resistance(self, length_m: float) -> float:
+        if length_m < 0:
+            raise ValueError(f"length must be non-negative, got {length_m}")
+        return self.r_per_m * length_m
+
+    def wire_capacitance(self, length_m: float) -> float:
+        if length_m < 0:
+            raise ValueError(f"length must be non-negative, got {length_m}")
+        return self.c_per_m * length_m
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Bundle of transistor + interconnect models for one node."""
+
+    transistor: TransistorModel = TransistorModel()
+    interconnect: InterconnectModel = InterconnectModel()
+
+    @property
+    def node_nm(self) -> int:
+        return self.transistor.node_nm
+
+    @property
+    def vdd(self) -> float:
+        return self.transistor.vdd
+
+
+#: The paper's evaluation node.
+PTM_22NM = Technology()
+
+#: The 90nm node used for the paper's reference layouts (before
+#: scaling results to 22nm).  Constants follow the same PTM family
+#: with classical scaling factors.
+PTM_90NM = Technology(
+    transistor=TransistorModel(
+        node_nm=90,
+        vdd=1.2,
+        vt=0.35,
+        r_min_nmos=9e3,
+        c_gate_min=180e-18,
+        c_drain_min=130e-18,
+        i_leak_min=8e-9,
+        min_width_nm=120.0,
+    ),
+    interconnect=InterconnectModel(r_per_m=0.6e6, c_per_m=0.23e-9, via_resistance=4.0),
+)

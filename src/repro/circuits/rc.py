@@ -1,0 +1,150 @@
+"""RC tree networks and Elmore delay.
+
+The stand-in for the paper's HSPICE timing extraction: routed FPGA
+nets become RC trees (driver resistance, switch resistances, wire
+RC, sink capacitances) and per-sink delays come from the Elmore
+approximation
+
+    t_d(sink) = 0.69 * sum over nodes i of C_i * R(path(root->i) ∩ path(root->sink))
+
+which is exact in first moment and the standard FPGA CAD choice
+(VPR itself uses Elmore for routing timing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+ELMORE_STEP_FACTOR = 0.69
+
+
+@dataclasses.dataclass
+class RCNode:
+    """One node of an RC tree.
+
+    Attributes:
+        name: Unique identifier within the tree.
+        capacitance: Grounded capacitance at this node (F).
+        resistance_to_parent: Series resistance from the parent (ohm);
+            ignored for the root.
+    """
+
+    name: str
+    capacitance: float
+    resistance_to_parent: float = 0.0
+    parent: Optional[str] = None
+
+
+class RCTree:
+    """A rooted RC tree built incrementally.
+
+    Typical use::
+
+        tree = RCTree("src", driver_resistance=5e3)
+        tree.add("n1", parent="src", resistance=100.0, capacitance=2e-15)
+        tree.add("sink", parent="n1", resistance=50.0, capacitance=1e-15)
+        delay = tree.elmore_delay("sink")
+    """
+
+    def __init__(self, root: str, driver_resistance: float = 0.0, root_capacitance: float = 0.0):
+        if driver_resistance < 0 or root_capacitance < 0:
+            raise ValueError("driver resistance / root capacitance must be non-negative")
+        self._nodes: Dict[str, RCNode] = {
+            root: RCNode(name=root, capacitance=root_capacitance, resistance_to_parent=driver_resistance)
+        }
+        self._children: Dict[str, List[str]] = {root: []}
+        self.root = root
+        #: The driver's output resistance is modelled as the root's
+        #: resistance_to_parent (from an ideal source).
+        self.driver_resistance = driver_resistance
+
+    def add(self, name: str, parent: str, resistance: float, capacitance: float) -> None:
+        """Attach a node below ``parent`` through ``resistance``."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        if parent not in self._nodes:
+            raise KeyError(f"unknown parent {parent!r}")
+        if resistance < 0 or capacitance < 0:
+            raise ValueError("resistance and capacitance must be non-negative")
+        self._nodes[name] = RCNode(
+            name=name, capacitance=capacitance, resistance_to_parent=resistance, parent=parent
+        )
+        self._children.setdefault(name, [])
+        self._children[parent].append(name)
+
+    def add_capacitance(self, name: str, extra: float) -> None:
+        """Add grounded capacitance to an existing node (e.g. a tap)."""
+        if extra < 0:
+            raise ValueError(f"extra capacitance must be non-negative, got {extra}")
+        self._nodes[name].capacitance += extra
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def total_capacitance(self) -> float:
+        """Sum of all grounded capacitance (the driver's CV^2 load)."""
+        return sum(node.capacitance for node in self._nodes.values())
+
+    def _path_to_root(self, name: str) -> List[str]:
+        path = [name]
+        node = self._nodes[name]
+        while node.parent is not None:
+            path.append(node.parent)
+            node = self._nodes[node.parent]
+        return path
+
+    def elmore_delay(self, sink: str) -> float:
+        """Elmore delay (s) from the ideal source to ``sink``.
+
+        Includes the 0.69 step-response factor so values compare
+        directly with 50%-crossing SPICE delays.
+        """
+        if sink not in self._nodes:
+            raise KeyError(f"unknown sink {sink!r}")
+        # Upstream resistance of each node on the sink path, then each
+        # tree node contributes C * (shared upstream resistance).
+        sink_path = self._path_to_root(sink)
+        sink_path_set = set(sink_path)
+        # Cumulative resistance from source to each node on sink path.
+        cumulative: Dict[str, float] = {}
+        running = 0.0
+        for name in reversed(sink_path):  # root -> sink order
+            running += self._nodes[name].resistance_to_parent
+            cumulative[name] = running
+
+        delay = 0.0
+        for node in self._nodes.values():
+            # Find the deepest ancestor of `node` on the sink path: the
+            # shared portion of the two root paths.
+            probe: Optional[str] = node.name
+            while probe is not None and probe not in sink_path_set:
+                probe = self._nodes[probe].parent
+            if probe is None:
+                continue
+            delay += node.capacitance * cumulative[probe]
+        return ELMORE_STEP_FACTOR * delay
+
+    def max_sink_delay(self) -> float:
+        """Largest Elmore delay over all leaf nodes."""
+        leaves = [n for n, kids in self._children.items() if not kids]
+        if not leaves:
+            return 0.0
+        return max(self.elmore_delay(leaf) for leaf in leaves)
+
+
+def lumped_delay(resistance: float, capacitance: float) -> float:
+    """Single-pole RC delay 0.69 * R * C (s)."""
+    if resistance < 0 or capacitance < 0:
+        raise ValueError("resistance and capacitance must be non-negative")
+    return ELMORE_STEP_FACTOR * resistance * capacitance
+
+
+def distributed_wire_delay(r_total: float, c_total: float) -> float:
+    """Delay of a distributed RC line, 0.69 * R * C / 2 equivalent.
+
+    A uniformly distributed line has half the Elmore product of the
+    lumped equivalent; this helper keeps that factor in one place.
+    """
+    return ELMORE_STEP_FACTOR * 0.5 * r_total * c_total

@@ -1,0 +1,155 @@
+"""Programmable routing switch circuit models: CMOS vs NEM.
+
+The unit the paper replaces (Fig. 3): an NMOS pass transistor plus its
+controlling 6T SRAM cell, versus a single NEM relay that *is* both the
+switch and the configuration bit.
+
+Each switch model exposes the quantities the FPGA evaluation needs:
+series resistance, capacitive loading on the routed net, static
+leakage, configuration-storage leakage, CMOS-footprint area, and
+whether the switch preserves full signal swing (drives buffer
+requirements downstream).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Protocol
+
+from ..nemrelay.device import EquivalentCircuit, SCALED_22NM_CIRCUIT
+from .passgate import PassTransistor
+from .ptm import TransistorModel
+
+#: Transistor count of the standard configuration SRAM cell.
+SRAM_TRANSISTORS = 6
+
+
+@dataclasses.dataclass(frozen=True)
+class SRAMCell:
+    """6T configuration SRAM cell attached to a CMOS routing switch."""
+
+    tech: TransistorModel
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power (W).  Roughly half the devices leak; SRAM cells
+        use long/high-Vt devices, so per-device leakage is reduced."""
+        return 0.5 * SRAM_TRANSISTORS * 0.1 * self.tech.i_leak_min * self.tech.vdd
+
+    @property
+    def area_min_widths(self) -> float:
+        """Area in minimum-width transistor units [Betz 99]."""
+        return 6.0
+
+
+class RoutingSwitch(Protocol):
+    """What the routing graph / timing / power models need to know."""
+
+    @property
+    def resistance(self) -> float: ...
+
+    @property
+    def parasitic_capacitance(self) -> float: ...
+
+    @property
+    def leakage_power(self) -> float: ...
+
+    @property
+    def config_leakage_power(self) -> float: ...
+
+    @property
+    def cmos_area_min_widths(self) -> float: ...
+
+    @property
+    def full_swing(self) -> bool: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class CmosRoutingSwitch:
+    """NMOS pass transistor + SRAM cell (paper Fig. 3a)."""
+
+    tech: TransistorModel
+    width: float = 4.0
+
+    @property
+    def pass_transistor(self) -> PassTransistor:
+        return PassTransistor(tech=self.tech, width=self.width)
+
+    @property
+    def resistance(self) -> float:
+        return self.pass_transistor.resistance
+
+    @property
+    def parasitic_capacitance(self) -> float:
+        return self.pass_transistor.parasitic_capacitance
+
+    @property
+    def leakage_power(self) -> float:
+        return self.pass_transistor.leakage_power
+
+    @property
+    def config_leakage_power(self) -> float:
+        return SRAMCell(self.tech).leakage_power
+
+    @property
+    def cmos_area_min_widths(self) -> float:
+        return self.pass_transistor.area_min_widths + SRAMCell(self.tech).area_min_widths
+
+    @property
+    def full_swing(self) -> bool:
+        """False: the Vt drop mandates level-restoring buffers."""
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class NemRoutingSwitch:
+    """A NEM relay as switch *and* configuration bit (paper Fig. 3b).
+
+    Stacked between M3 and M5 above the CMOS, so its CMOS footprint is
+    zero; zero off-state leakage and no SRAM cell.
+    """
+
+    circuit: EquivalentCircuit = SCALED_22NM_CIRCUIT
+
+    @property
+    def resistance(self) -> float:
+        return self.circuit.r_on
+
+    @property
+    def parasitic_capacitance(self) -> float:
+        """On-state coupling cap loads the net; tiny (20 aF)."""
+        return self.circuit.c_on
+
+    @property
+    def leakage_power(self) -> float:
+        """Zero: the air gap does not conduct (paper: below 10 pA)."""
+        return 0.0
+
+    @property
+    def config_leakage_power(self) -> float:
+        """Zero: state is held mechanically by Vhold on shared lines.
+
+        The hold-line network dissipates no DC power because the gate
+        is a capacitor.
+        """
+        return 0.0
+
+    @property
+    def cmos_area_min_widths(self) -> float:
+        """Zero CMOS footprint: relays live in the BEOL stack."""
+        return 0.0
+
+    @property
+    def full_swing(self) -> bool:
+        """True: a metal contact passes rail-to-rail (paper Fig. 8b)."""
+        return True
+
+
+def default_cmos_switch(tech: TransistorModel) -> CmosRoutingSwitch:
+    """Baseline routing switch sized per standard FPGA practice."""
+    return CmosRoutingSwitch(tech=tech, width=4.0)
+
+
+def default_nem_switch() -> NemRoutingSwitch:
+    """The paper's scaled relay switch (Fig. 11 equivalent circuit)."""
+    return NemRoutingSwitch()

@@ -1,0 +1,280 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Exposes the library's main entry points without writing Python:
+
+* ``repro device``    — relay design points (Fig. 2b / Fig. 11 anchors)
+* ``repro crossbar``  — program a crossbar via half-select
+* ``repro flow``      — pack/place/route a benchmark + variant table
+* ``repro sweep``     — the Fig. 12 downsizing trade-off for a circuit
+* ``repro headline``  — suite-level headline comparison vs the paper
+* ``repro explore``   — future-work architecture sweeps
+
+All circuits come from the built-in suite generator; ``--scale``
+shrinks them for quick runs (see DESIGN.md Sec. 6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_device(args: argparse.Namespace) -> int:
+    from .nemrelay import fabricated_relay, scaled_relay, switching_delay, sweep_iv
+
+    relay = fabricated_relay() if args.fabricated else scaled_relay()
+    label = "fabricated (23 um, oil)" if args.fabricated else "22nm scaled (Fig. 11)"
+    print(f"device: {label}")
+    print(f"  Vpi = {relay.pull_in_voltage:.3f} V")
+    print(f"  Vpo = {relay.pull_out_voltage:.3f} V")
+    print(f"  Ron = {relay.circuit.r_on:.3g} ohm, Con = {relay.circuit.c_on * 1e18:.1f} aF, "
+          f"Coff = {relay.circuit.c_off * 1e18:.1f} aF")
+    delay = switching_delay(relay.model)
+    print(f"  mechanical switching delay (1.2x Vpi): {delay * 1e9:.2f} ns")
+    curve = sweep_iv(relay)
+    print(f"  swept I-V: pull-in {curve.pull_in_observed:.3f} V, "
+          f"pull-out {curve.pull_out_observed:.3f} V, "
+          f"window {curve.hysteresis_window:.3f} V")
+    return 0
+
+
+def _parse_targets(spec: str) -> set:
+    targets = set()
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        r, c = part.split(",")
+        targets.add((int(r), int(c)))
+    return targets
+
+
+def _cmd_crossbar(args: argparse.Namespace) -> int:
+    from .crossbar import HalfSelectProgrammer, solve_voltages, uniform_crossbar
+    from .nemrelay import fabricated_relay
+
+    model = fabricated_relay().model
+    voltages = solve_voltages([model.pull_in], [model.pull_out])
+    xbar = uniform_crossbar(args.rows, args.cols, model)
+    programmer = HalfSelectProgrammer(xbar, voltages)
+    targets = _parse_targets(args.targets)
+    configured = programmer.program(targets)
+    print(f"{args.rows}x{args.cols} crossbar, Vhold = {voltages.v_hold:.2f} V, "
+          f"Vselect = {voltages.v_select:.2f} V")
+    for r in range(args.rows):
+        print("  " + " ".join("X" if (r, c) in configured else "." for c in range(args.cols)))
+    ok = configured == targets
+    print(f"programmed exactly the targets: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .arch import ArchParams
+    from .core import (
+        Comparison,
+        baseline_variant,
+        evaluate_design,
+        naive_nem_variant,
+        optimized_nem_variant,
+    )
+    from .netlist import load_circuit
+    from .vpr import render_congestion, render_placement, run_flow, utilization_summary
+
+    arch = ArchParams(channel_width=args.width)
+    netlist = load_circuit(args.circuit, scale=args.scale)
+    print(f"circuit: {netlist}")
+    flow = run_flow(netlist, arch, seed=args.seed)
+    if not flow.success:
+        print("routing FAILED at this channel width; try --width higher")
+        return 1
+    print(f"routed at W = {args.width}: wirelength {flow.routing.wirelength}, "
+          f"{flow.routing.iterations} iterations")
+    if args.show_maps:
+        print("\nfloorplan:")
+        print(render_placement(flow.placement))
+        print("\ncongestion:")
+        print(render_congestion(flow.routing, flow.graph))
+        summary = utilization_summary(flow.routing, flow.graph)
+        print(f"channel utilisation mean {100 * summary['mean']:.0f}% "
+              f"peak {100 * summary['max']:.0f}%")
+    base = evaluate_design(flow, baseline_variant(arch))
+    print(f"\nbaseline: crit {base.critical_path * 1e9:.2f} ns, "
+          f"dyn {base.total_dynamic * 1e3:.3f} mW, leak {base.total_leakage * 1e3:.3f} mW")
+    print(f"{'variant':30s} {'speedup':>8s} {'dyn.red':>8s} {'leak.red':>9s} {'area.red':>9s}")
+    for label, variant in (
+        ("naive CMOS-NEM", naive_nem_variant(arch)),
+        (f"optimised (downsize {args.downsize:g})", optimized_nem_variant(arch, args.downsize)),
+    ):
+        point = evaluate_design(flow, variant, frequency=base.frequency)
+        cmp = Comparison.of(base, point)
+        print(f"{label:30s} {cmp.speedup:8.2f} {cmp.dynamic_reduction:8.2f} "
+              f"{cmp.leakage_reduction:9.2f} {cmp.area_reduction:9.2f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .arch import ArchParams
+    from .core import fig12_series, format_headline, headline_summary, sweep_circuit
+    from .netlist import load_circuit
+    from .vpr import run_flow
+
+    arch = ArchParams(channel_width=args.width)
+    netlist = load_circuit(args.circuit, scale=args.scale)
+    flow = run_flow(netlist, arch, seed=args.seed)
+    if not flow.success:
+        print("routing FAILED; try --width higher")
+        return 1
+    curve = sweep_circuit(flow, arch)
+    series = fig12_series(curve)
+    print(f"{'downsize':>9s} {'speed-up':>9s} {'dyn.red':>8s} {'leak.red':>9s}")
+    for ds, sp, dyn, leak in zip(
+        series["downsize"], series["speedup"],
+        series["dynamic_reduction"], series["leakage_reduction"],
+    ):
+        print(f"{ds:9.1f} {sp:9.2f} {dyn:8.2f} {leak:9.2f}")
+    print()
+    print(format_headline(headline_summary([curve])))
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    from .arch import ArchParams
+    from .core import format_headline, headline_summary, sweep_circuit
+    from .netlist import generate, suite
+    from .vpr import run_flow
+
+    arch = ArchParams(channel_width=args.width)
+    curves = []
+    for params in suite(args.suite, scale=args.scale):
+        netlist = generate(params)
+        flow = run_flow(netlist, arch, seed=args.seed)
+        if not flow.success:
+            print(f"  {params.name}: unroutable at W = {args.width}, skipped",
+                  file=sys.stderr)
+            continue
+        curves.append(sweep_circuit(flow, arch))
+        print(f"  {params.name}: done ({netlist.num_luts} LUTs)", file=sys.stderr)
+    if not curves:
+        print("no circuit routed; try --width higher")
+        return 1
+    print(format_headline(headline_summary(curves)))
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .netlist import (
+        check_equivalence,
+        map_to_luts,
+        mapping_stats,
+        random_gate_circuit,
+        write_blif,
+    )
+
+    gates = random_gate_circuit(
+        "mapped",
+        num_gates=args.gates,
+        num_inputs=args.inputs,
+        num_outputs=args.pos,
+        ff_fraction=args.ff_fraction,
+        seed=args.seed,
+    )
+    mapped = map_to_luts(gates, k=args.k)
+    stats = mapping_stats(gates, mapped)
+    print(f"{stats['gates']:.0f} gates -> {stats['luts']:.0f} {args.k}-LUTs "
+          f"({stats['gates_per_lut']:.2f} gates/LUT, depth {stats['lut_depth']:.0f})")
+    equivalent = check_equivalence(gates, mapped, vectors=args.vectors, seed=args.seed)
+    print(f"functional equivalence over {args.vectors} random vectors: {equivalent}")
+    if args.blif:
+        with open(args.blif, "w") as handle:
+            write_blif(mapped, handle)
+        print(f"wrote mapped BLIF to {args.blif}")
+    return 0 if equivalent else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .arch import ArchParams
+    from .core import format_sweep, sweep_connection_flexibility, sweep_segment_length
+    from .netlist import load_circuit
+
+    arch = ArchParams(channel_width=args.width)
+    netlist = load_circuit(args.circuit, scale=args.scale)
+    if args.knob == "segment_length":
+        points = sweep_segment_length(netlist, arch, seed=args.seed)
+    else:
+        points = sweep_connection_flexibility(netlist, arch, seed=args.seed)
+    print(format_sweep(points, args.knob))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CMOS-NEM FPGA reproduction (DATE 2012) command-line tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_device = sub.add_parser("device", help="relay design-point summary")
+    p_device.add_argument("--fabricated", action="store_true",
+                          help="the 23um lab device instead of the 22nm point")
+    p_device.set_defaults(func=_cmd_device)
+
+    p_xbar = sub.add_parser("crossbar", help="program a crossbar via half-select")
+    p_xbar.add_argument("--rows", type=int, default=2)
+    p_xbar.add_argument("--cols", type=int, default=2)
+    p_xbar.add_argument("--targets", default="0,0;1,1",
+                        help="semicolon-separated r,c pairs")
+    p_xbar.set_defaults(func=_cmd_crossbar)
+
+    def add_flow_args(p, width_default=64):
+        p.add_argument("--circuit", default="ava", help="suite circuit name")
+        p.add_argument("--scale", type=float, default=0.02,
+                       help="circuit shrink factor (DESIGN.md Sec. 6)")
+        p.add_argument("--width", type=int, default=width_default, help="channel width W")
+        p.add_argument("--seed", type=int, default=1)
+
+    p_flow = sub.add_parser("flow", help="pack/place/route + variant table")
+    add_flow_args(p_flow)
+    p_flow.add_argument("--downsize", type=float, default=8.0)
+    p_flow.add_argument("--show-maps", action="store_true",
+                        help="print floorplan and congestion maps")
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_sweep = sub.add_parser("sweep", help="Fig. 12 downsizing trade-off")
+    add_flow_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_headline = sub.add_parser("headline", help="suite-level headline table")
+    p_headline.add_argument("--suite", default="altera4", choices=["altera4", "mcnc20"])
+    p_headline.add_argument("--scale", type=float, default=0.02)
+    p_headline.add_argument("--width", type=int, default=64)
+    p_headline.add_argument("--seed", type=int, default=1)
+    p_headline.set_defaults(func=_cmd_headline)
+
+    p_map = sub.add_parser("map", help="technology-map a random gate circuit")
+    p_map.add_argument("--gates", type=int, default=400)
+    p_map.add_argument("--inputs", type=int, default=16)
+    p_map.add_argument("--pos", type=int, default=8)
+    p_map.add_argument("--ff-fraction", type=float, default=0.2)
+    p_map.add_argument("--k", type=int, default=4)
+    p_map.add_argument("--seed", type=int, default=1)
+    p_map.add_argument("--vectors", type=int, default=128)
+    p_map.add_argument("--blif", help="write the mapped netlist to this BLIF file")
+    p_map.set_defaults(func=_cmd_map)
+
+    p_explore = sub.add_parser("explore", help="architecture exploration sweeps")
+    p_explore.add_argument("--knob", choices=["segment_length", "fc_in"],
+                           default="segment_length")
+    add_flow_args(p_explore, width_default=48)
+    p_explore.set_defaults(func=_cmd_explore)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

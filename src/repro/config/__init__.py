@@ -1,0 +1,28 @@
+"""Configuration layer: routed design -> relay bitstream -> programming.
+
+Bridges the paper's two halves: the Sec. 3 CAD flow produces routed
+designs; the Sec. 2 half-select machinery programs relay arrays.  This
+package extracts the conducting-switch set ("bitstream"), plans the
+per-tile crossbar arrays, drives the programming protocol on real
+relay models, and verifies the result reconstructs every routed net.
+"""
+
+from .bitstream import (
+    Bitstream,
+    ProgrammingReport,
+    TileArrayPlan,
+    extract_bitstream,
+    plan_tile_arrays,
+    program_fabric,
+    verify_bitstream_connectivity,
+)
+
+__all__ = [
+    "Bitstream",
+    "ProgrammingReport",
+    "TileArrayPlan",
+    "extract_bitstream",
+    "plan_tile_arrays",
+    "program_fabric",
+    "verify_bitstream_connectivity",
+]

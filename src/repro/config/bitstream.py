@@ -1,0 +1,253 @@
+"""From routed design to relay configuration ("bitstream").
+
+The missing link the paper's two halves imply: Sec. 3 routes
+applications over relay switches, Sec. 2 shows how relay arrays are
+programmed.  This module connects them:
+
+1. `extract_bitstream` walks a routed design and lists every
+   programmable switch (RR-graph edge) that must conduct — the
+   relay-FPGA equivalent of an SRAM bitstream;
+2. `plan_tile_arrays` arranges each tile's switches into half-select
+   crossbar arrays (gate rows x source columns);
+3. `program_fabric` actually drives `RelayCrossbar` instances through
+   the half-select protocol for every tile and verifies that exactly
+   the required relays closed.
+
+The result is an end-to-end demonstration that a placed-and-routed
+application can be configured on the relay fabric with three voltage
+levels and no SRAM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..arch.rrgraph import NodeKind, RRGraph
+from ..crossbar.array import RelayCrossbar
+from ..crossbar.halfselect import HalfSelectProgrammer, ProgrammingVoltages, solve_voltages
+from ..nemrelay.device import NEMRelay
+from ..nemrelay.electrostatics import ActuationModel
+from ..nemrelay.geometry import SCALED_22NM_DEVICE
+from ..nemrelay.materials import AIR, POLYSILICON
+from ..vpr.route import RoutingResult
+
+Edge = Tuple[int, int]
+Tile = Tuple[int, int]
+
+
+@dataclasses.dataclass
+class Bitstream:
+    """The set of relay switches a routed design turns on.
+
+    Attributes:
+        switches_by_tile: Tile -> sorted list of conducting RR edges
+            (u, v); each edge is one relay crosspoint.
+        net_of_edge: Edge -> net name (for diagnostics).
+    """
+
+    switches_by_tile: Dict[Tile, List[Edge]]
+    net_of_edge: Dict[Edge, str]
+
+    @property
+    def total_switches(self) -> int:
+        return sum(len(edges) for edges in self.switches_by_tile.values())
+
+    @property
+    def tiles(self) -> List[Tile]:
+        return sorted(self.switches_by_tile)
+
+    def utilization(self, switches_per_tile: int) -> float:
+        """Fraction of fabric relays conducting, given the per-tile
+        inventory count."""
+        if switches_per_tile <= 0:
+            raise ValueError("switches_per_tile must be positive")
+        if not self.switches_by_tile:
+            return 0.0
+        return self.total_switches / (len(self.switches_by_tile) * switches_per_tile)
+
+
+def _owning_tile(graph: RRGraph, u: int, v: int) -> Tile:
+    """Attribute a programmable edge to a tile (for array grouping).
+
+    Pin edges belong to the pin's tile; wire-wire switches to the tile
+    at the downstream wire's origin (clamped to the grid).
+    """
+    node_v = graph.nodes[v]
+    if node_v.kind in (NodeKind.IPIN, NodeKind.OPIN, NodeKind.SINK, NodeKind.SOURCE):
+        return (node_v.x, node_v.y)
+    node_u = graph.nodes[u]
+    if node_u.kind in (NodeKind.IPIN, NodeKind.OPIN, NodeKind.SINK, NodeKind.SOURCE):
+        return (node_u.x, node_u.y)
+    x = min(node_v.x, graph.nx - 1)
+    y = min(node_v.y, graph.ny - 1)
+    return (x, y)
+
+
+def extract_bitstream(routing: RoutingResult, graph: RRGraph) -> Bitstream:
+    """List every conducting switch of a routed design.
+
+    Programmable switches sit on edges between wires and pins/wires;
+    SOURCE->OPIN and IPIN->SINK hops are hard-wired (no switch).
+    """
+    switches: Dict[Tile, Set[Edge]] = {}
+    net_of_edge: Dict[Edge, str] = {}
+    programmable = {NodeKind.HWIRE, NodeKind.VWIRE, NodeKind.OPIN, NodeKind.IPIN}
+    for name, tree in routing.trees.items():
+        for node, parent in tree.parent.items():
+            if parent < 0:
+                continue
+            ku = graph.nodes[parent].kind
+            kv = graph.nodes[node].kind
+            if ku not in programmable or kv not in programmable:
+                continue
+            # OPIN->wire, wire->wire and wire->IPIN edges are switches.
+            if ku is NodeKind.OPIN or kv is NodeKind.IPIN or (
+                ku in (NodeKind.HWIRE, NodeKind.VWIRE)
+                and kv in (NodeKind.HWIRE, NodeKind.VWIRE)
+            ):
+                edge = (parent, node)
+                tile = _owning_tile(graph, parent, node)
+                switches.setdefault(tile, set()).add(edge)
+                net_of_edge[edge] = name
+    return Bitstream(
+        switches_by_tile={t: sorted(s) for t, s in switches.items()},
+        net_of_edge=net_of_edge,
+    )
+
+
+@dataclasses.dataclass
+class TileArrayPlan:
+    """Half-select array layout for one tile's conducting switches.
+
+    Attributes:
+        tile: Tile coordinate.
+        rows / cols: Array dimensions.
+        targets: Crosspoints to pull in.
+        edge_of_target: Crosspoint -> RR edge it implements.
+    """
+
+    tile: Tile
+    rows: int
+    cols: int
+    targets: Set[Tuple[int, int]]
+    edge_of_target: Dict[Tuple[int, int], Edge]
+
+
+def plan_tile_arrays(bitstream: Bitstream, max_rows: int = 32) -> List[TileArrayPlan]:
+    """Arrange each tile's conducting switches into near-square arrays.
+
+    Real layouts fix the crosspoint assignment at design time; for the
+    demonstration we enumerate each tile's conducting switches row-major
+    into an array big enough to hold them (bounded row count keeps the
+    programming-line swing realistic).
+    """
+    if max_rows < 1:
+        raise ValueError("max_rows must be positive")
+    plans: List[TileArrayPlan] = []
+    for tile, edges in bitstream.switches_by_tile.items():
+        count = len(edges)
+        rows = min(max_rows, max(1, math.isqrt(count)))
+        cols = math.ceil(count / rows)
+        targets: Set[Tuple[int, int]] = set()
+        edge_of_target: Dict[Tuple[int, int], Edge] = {}
+        for index, edge in enumerate(edges):
+            coord = (index // cols, index % cols)
+            targets.add(coord)
+            edge_of_target[coord] = edge
+        plans.append(
+            TileArrayPlan(
+                tile=tile, rows=rows, cols=cols, targets=targets,
+                edge_of_target=edge_of_target,
+            )
+        )
+    return plans
+
+
+@dataclasses.dataclass
+class ProgrammingReport:
+    """Outcome of configuring the whole fabric.
+
+    Attributes:
+        arrays_programmed: Tile arrays configured.
+        relays_closed: Total relays pulled in.
+        failures: Tiles whose verification failed (must be empty).
+        row_steps: Half-select row operations issued fabric-wide.
+    """
+
+    arrays_programmed: int
+    relays_closed: int
+    failures: List[Tile]
+    row_steps: int
+
+    @property
+    def success(self) -> bool:
+        return not self.failures
+
+
+def program_fabric(
+    bitstream: Bitstream,
+    model: Optional[ActuationModel] = None,
+    voltages: Optional[ProgrammingVoltages] = None,
+    max_rows: int = 32,
+) -> ProgrammingReport:
+    """Configure every tile's relay array through half-select.
+
+    Each tile's plan is programmed on a real `RelayCrossbar` of
+    22nm-scaled relays and read back; a mismatch counts the tile as a
+    failure (none are expected — this is the executable proof that the
+    Sec. 2 programming scheme can carry a Sec. 3 routed design).
+    """
+    if model is None:
+        model = ActuationModel(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+    if voltages is None:
+        voltages = solve_voltages([model.pull_in], [model.pull_out])
+        assert voltages is not None
+    plans = plan_tile_arrays(bitstream, max_rows=max_rows)
+    failures: List[Tile] = []
+    relays_closed = 0
+    row_steps = 0
+    for plan in plans:
+        crossbar = RelayCrossbar(plan.rows, plan.cols, lambda r, c: NEMRelay(model))
+        programmer = HalfSelectProgrammer(crossbar, voltages)
+        configured = programmer.program(plan.targets)
+        row_steps += len({r for (r, _c) in plan.targets}) + 2  # + erase, hold
+        if configured != plan.targets:
+            failures.append(plan.tile)
+        else:
+            relays_closed += len(configured)
+    return ProgrammingReport(
+        arrays_programmed=len(plans),
+        relays_closed=relays_closed,
+        failures=failures,
+        row_steps=row_steps,
+    )
+
+
+def verify_bitstream_connectivity(
+    bitstream: Bitstream, routing: RoutingResult, graph: RRGraph
+) -> bool:
+    """Cross-check: the conducting switches reconstruct every net.
+
+    Walking only bitstream edges (plus the hard-wired SOURCE/OPIN and
+    IPIN/SINK hops) from each net's source must reach all its sinks.
+    """
+    on_edges: Set[Edge] = set()
+    for edges in bitstream.switches_by_tile.values():
+        on_edges.update(edges)
+    for name, tree in routing.trees.items():
+        for sink in tree.sink_nodes:
+            node = sink
+            while tree.parent[node] >= 0:
+                parent = tree.parent[node]
+                ku = graph.nodes[parent].kind
+                kv = graph.nodes[node].kind
+                hardwired = (
+                    ku is NodeKind.SOURCE
+                    or kv is NodeKind.SINK
+                )
+                if not hardwired and (parent, node) not in on_edges:
+                    return False
+                node = parent
+    return True

@@ -1,0 +1,101 @@
+"""Paper-style result reporting (headline claims, Fig. 12 tables).
+
+The paper's abstract claims, at the 22nm node, that CMOS-NEM FPGAs
+with selective buffer removal/downsizing simultaneously achieve:
+
+* 10-fold leakage power reduction,
+* 2-fold dynamic power reduction,
+* 2-fold footprint area reduction,
+* no application speed penalty,
+
+while a CMOS-NEM FPGA *without* the technique reaches only 1.8x area,
+1.3x dynamic and 2x leakage.  `headline_summary` evaluates those
+quantities from sweep results and `format_headline` renders the
+comparison table EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from .evaluate import Comparison
+from .tradeoff import TradeoffCurve, TradeoffPoint, geomean_curve
+
+#: The paper's headline numbers (for the comparison tables).
+PAPER_HEADLINE = {
+    "leakage_reduction": 10.0,
+    "dynamic_reduction": 2.0,
+    "area_reduction": 2.0,
+    "speedup": 1.0,
+}
+PAPER_NAIVE = {
+    "leakage_reduction": 2.0,
+    "dynamic_reduction": 1.3,
+    "area_reduction": 1.8,
+}
+
+
+@dataclasses.dataclass
+class HeadlineSummary:
+    """The reproduced headline quantities.
+
+    Attributes:
+        corner: Preferred corner of the (geomean) trade-off curve.
+        naive: The no-technique comparison point.
+        per_circuit: Preferred corner per circuit.
+    """
+
+    corner: TradeoffPoint
+    naive: Optional[Comparison]
+    per_circuit: Dict[str, TradeoffPoint]
+
+
+def headline_summary(curves: Sequence[TradeoffCurve]) -> HeadlineSummary:
+    """Aggregate sweep curves into the paper's headline quantities."""
+    if not curves:
+        raise ValueError("need at least one curve")
+    agg = geomean_curve(curves) if len(curves) > 1 else curves[0]
+    return HeadlineSummary(
+        corner=agg.preferred_corner(),
+        naive=agg.naive,
+        per_circuit={c.circuit: c.preferred_corner() for c in curves},
+    )
+
+
+def format_headline(summary: HeadlineSummary) -> str:
+    """Markdown-ish table: paper vs measured, optimised and naive."""
+    corner = summary.corner
+    lines = [
+        "CMOS-NEM FPGA vs 22nm CMOS-only baseline (preferred corner)",
+        "quantity             paper    measured",
+        f"leakage reduction    {PAPER_HEADLINE['leakage_reduction']:>5.1f}x   {corner.leakage_reduction:>6.2f}x",
+        f"dynamic reduction    {PAPER_HEADLINE['dynamic_reduction']:>5.1f}x   {corner.dynamic_reduction:>6.2f}x",
+        f"area reduction       {PAPER_HEADLINE['area_reduction']:>5.1f}x   {corner.area_reduction:>6.2f}x",
+        f"speed-up             {PAPER_HEADLINE['speedup']:>5.1f}x   {corner.speedup:>6.2f}x",
+    ]
+    if summary.naive is not None:
+        naive = summary.naive
+        lines += [
+            "",
+            "Without selective buffer removal/downsizing (naive CMOS-NEM)",
+            "quantity             paper    measured",
+            f"leakage reduction    {PAPER_NAIVE['leakage_reduction']:>5.1f}x   {naive.leakage_reduction:>6.2f}x",
+            f"dynamic reduction    {PAPER_NAIVE['dynamic_reduction']:>5.1f}x   {naive.dynamic_reduction:>6.2f}x",
+            f"area reduction       {PAPER_NAIVE['area_reduction']:>5.1f}x   {naive.area_reduction:>6.2f}x",
+        ]
+    return "\n".join(lines)
+
+
+def format_fig12_table(curves: Sequence[TradeoffCurve]) -> str:
+    """Fig. 12 as text: one row per sweep point per circuit."""
+    lines = [
+        f"{'circuit':24s} {'downsize':>8s} {'speedup':>8s} {'dyn.red':>8s} {'leak.red':>9s}"
+    ]
+    for curve in curves:
+        for p in curve.points:
+            lines.append(
+                f"{curve.circuit:24s} {p.downsize:8.1f} {p.speedup:8.2f} "
+                f"{p.dynamic_reduction:8.2f} {p.leakage_reduction:9.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,368 @@
+"""FPGA design variants: CMOS-only baseline vs CMOS-NEM (paper Sec. 3).
+
+A `FpgaVariant` elaborates one design point from (architecture,
+technology, variant configuration) into everything the evaluation
+needs: the electrical fabric view for timing, the leakage/dynamic
+specs for power, and the tile area/pitch.
+
+Tile geometry is a fixed point: buffer sizes depend on wire loads,
+wire loads depend on tile pitch, and pitch depends on buffer (and
+switch/SRAM) areas.  `FpgaVariant.solve` iterates pitch -> loads ->
+buffer sizing -> areas -> pitch to convergence (a couple of passes).
+
+The three variants of the paper's Sec. 3.4:
+
+* ``CMOS_ONLY``     — NMOS pass switches + SRAM, level-restoring
+  buffers everywhere (the baseline).
+* ``CMOS_NEM_NAIVE``— relays replace switches + SRAM (stacked), but
+  the routing buffers stay (the comparison point showing the
+  technique's added value: 1.8x area / 1.3x dynamic / 2x leakage).
+* ``CMOS_NEM_OPT``  — the paper's technique: LB input/output buffers
+  removed, wire buffers downsized (up to 8x pretend-load reduction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Optional
+
+from ..arch.area import (
+    AreaBreakdown,
+    ComponentAreas,
+    local_wire_length,
+    segment_wire_length,
+    tile_area,
+)
+from ..arch.params import ArchParams
+from ..arch.tile import TileInventory, build_inventory
+from ..circuits.buffers import RoutingBuffer, sized_buffer
+from ..circuits.ptm import PTM_22NM, Technology
+from ..circuits.switches import CmosRoutingSwitch, NemRoutingSwitch
+from ..nemrelay.device import SCALED_22NM_CIRCUIT, EquivalentCircuit
+from ..power.dynamic import DynamicSpec
+from ..power.leakage import LeakageSpec, cmos_switch_leakage, sram_bit_leakage
+from ..vpr.timing import FabricElectrical
+
+
+class VariantKind(enum.Enum):
+    CMOS_ONLY = "cmos-only"
+    CMOS_NEM_NAIVE = "cmos-nem-naive"
+    CMOS_NEM_OPT = "cmos-nem-opt"
+
+    @property
+    def uses_relays(self) -> bool:
+        return self is not VariantKind.CMOS_ONLY
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantConfig:
+    """Configuration of one design point.
+
+    Attributes:
+        kind: Variant family.
+        wire_buffer_downsize: The paper's pretend-load factor for wire
+            buffer redesign (1 = delay-optimal, up to 8); only
+            meaningful for CMOS_NEM_OPT.
+        relay: NEM relay equivalent circuit (22nm scaled by default).
+        keep_lb_buffers: Ablation knob for CMOS_NEM_OPT — apply wire
+            buffer downsizing but keep the LB input/output buffers
+            (isolates the two halves of the paper's technique).
+    """
+
+    kind: VariantKind
+    wire_buffer_downsize: float = 1.0
+    relay: EquivalentCircuit = SCALED_22NM_CIRCUIT
+    keep_lb_buffers: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.wire_buffer_downsize <= 16.0:
+            raise ValueError(
+                f"wire_buffer_downsize must be in [1, 16], got {self.wire_buffer_downsize}"
+            )
+        if self.kind is not VariantKind.CMOS_NEM_OPT and self.wire_buffer_downsize != 1.0:
+            raise ValueError("only CMOS_NEM_OPT downsizes wire buffers")
+        if self.keep_lb_buffers and self.kind is not VariantKind.CMOS_NEM_OPT:
+            raise ValueError("keep_lb_buffers is an ablation of CMOS_NEM_OPT only")
+
+
+#: LUT logic delay in FO4 units (4-LUT read path at 22nm, HSPICE-class).
+LUT_DELAY_FO4 = 7.0
+#: FF clock-to-Q / setup in FO4 units.
+CLK_Q_FO4 = 2.0
+SETUP_FO4 = 1.5
+
+
+class FpgaVariant:
+    """One fully elaborated FPGA design point.
+
+    Args:
+        params: Architecture (with the evaluation channel width).
+        config: Variant configuration.
+        tech: Technology node models.
+
+    After construction (`solve` runs automatically) the variant
+    exposes `fabric`, `leakage_spec`, `dynamic_spec`, `area`,
+    `tile_pitch_m` and the per-component buffer objects.
+    """
+
+    def __init__(
+        self,
+        params: ArchParams,
+        config: VariantConfig,
+        tech: Technology = PTM_22NM,
+    ) -> None:
+        self.params = params
+        self.config = config
+        self.tech = tech
+        self.inventory: TileInventory = build_inventory(params)
+
+        kind = config.kind
+        legacy_off_cap = 4.0 * tech.transistor.c_drain_min
+        if kind is VariantKind.CMOS_ONLY:
+            self.switch = CmosRoutingSwitch(tech=tech.transistor, width=4.0)
+            self._switch_c_off = legacy_off_cap
+            self._crosspoint_c = tech.transistor.c_drain_min  # min-width crosspoint
+        else:
+            self.switch = NemRoutingSwitch(circuit=config.relay)
+            self._switch_c_off = config.relay.c_off
+            self._crosspoint_c = config.relay.c_off
+        # Buffer *sizing* load: the naive CMOS-NEM FPGA keeps the
+        # baseline's buffer designs (it "does not use our technique"),
+        # so its chains are sized as if pass-transistor parasitics
+        # still loaded the wires; only the optimised variant re-sizes
+        # for the relays' tiny off-capacitance.
+        if kind is VariantKind.CMOS_NEM_NAIVE:
+            self._sizing_off_cap = legacy_off_cap
+        else:
+            self._sizing_off_cap = self._switch_c_off
+
+        self.has_lb_buffers = kind is not VariantKind.CMOS_NEM_OPT or config.keep_lb_buffers
+        self.level_restorer = kind is VariantKind.CMOS_ONLY
+        self.downsize = config.wire_buffer_downsize
+
+        # Solved state (filled by solve()).
+        self.tile_pitch_m: float = 0.0
+        self.area: Optional[AreaBreakdown] = None
+        self.wire_buffer: Optional[RoutingBuffer] = None
+        self.lb_input_buffer: Optional[RoutingBuffer] = None
+        self.lb_output_buffer: Optional[RoutingBuffer] = None
+        self.solve()
+
+    # -- derived loads -----------------------------------------------------
+
+    @property
+    def off_taps_per_wire(self) -> float:
+        """Off switches hanging on one segment wire: CB taps across the
+        span plus SB taps at the joints."""
+        p = self.params
+        w = p.channel_width
+        cb_taps_per_tile = (
+            p.inputs_per_lb * p.fc_in_abs + p.outputs_per_lb * p.fc_out_abs
+        ) / (4.0 * w)
+        # A wire borders two tile rows/columns -> 2x the per-channel-side
+        # tap density, over L tiles; plus Fs switches at each end.
+        return 2.0 * cb_taps_per_tile * p.segment_length + 2.0 * p.fs
+
+    def crossbar_row_cap(self) -> float:
+        """Cap of one LB crossbar input row: crosspoint loads + wire."""
+        row_length = local_wire_length(self.params, max(self.tile_pitch_m, 1e-6))
+        wire_c = self.tech.interconnect.wire_capacitance(row_length)
+        return self.params.crossbar_outputs * self._crosspoint_c + wire_c
+
+    def _wire_load(self, pitch: float, for_sizing: bool = False) -> float:
+        seg_len = segment_wire_length(self.params, pitch)
+        c_wire = self.tech.interconnect.wire_capacitance(seg_len)
+        off_cap = self._sizing_off_cap if for_sizing else self._switch_c_off
+        return c_wire + self.off_taps_per_wire * off_cap
+
+    def _local_load(self, pitch: float) -> float:
+        length = local_wire_length(self.params, pitch)
+        wire_c = self.tech.interconnect.wire_capacitance(length)
+        return wire_c + self.params.crossbar_outputs * self._crosspoint_c
+
+    # -- geometry fixed point -----------------------------------------------
+
+    def _component_areas(self) -> ComponentAreas:
+        t = self.tech.transistor
+        def area_of(buffer: Optional[RoutingBuffer]) -> float:
+            return buffer.area_min_widths if buffer is not None else 0.0
+        return ComponentAreas(
+            lb_input_buffer=area_of(self.lb_input_buffer),
+            lb_output_buffer=area_of(self.lb_output_buffer),
+            wire_buffer=area_of(self.wire_buffer),
+        )
+
+    def solve(self, iterations: int = 6) -> None:
+        """Iterate the pitch <-> buffer-sizing fixed point."""
+        tech_t = self.tech.transistor
+        pitch = 30e-6 * (self.tech.node_nm / 22.0)  # sensible seed
+        for _ in range(iterations):
+            self.tile_pitch_m = pitch
+            wire_load = self._wire_load(pitch, for_sizing=True)
+            local_load = self._local_load(pitch)
+            self.wire_buffer = sized_buffer(
+                tech_t,
+                wire_load,
+                level_restorer=self.level_restorer,
+                downsize_factor=self.downsize,
+            )
+            if self.has_lb_buffers:
+                self.lb_input_buffer = sized_buffer(
+                    tech_t, local_load, level_restorer=self.level_restorer
+                )
+                self.lb_output_buffer = sized_buffer(
+                    tech_t, local_load, level_restorer=self.level_restorer
+                )
+            else:
+                self.lb_input_buffer = None
+                self.lb_output_buffer = None
+            self.area = tile_area(
+                self.inventory,
+                self._component_areas(),
+                self.tech,
+                switches_are_relays=self.config.kind.uses_relays,
+                crossbar_is_relays=self.config.kind.uses_relays,
+                include_lb_input_buffers=self.lb_input_buffer is not None,
+                include_lb_output_buffers=self.lb_output_buffer is not None,
+            )
+            new_pitch = self.area.tile_pitch_m
+            if abs(new_pitch - pitch) < 1e-9:
+                pitch = new_pitch
+                break
+            pitch = new_pitch
+        self.tile_pitch_m = pitch
+
+    # -- evaluation interfaces ---------------------------------------------
+
+    def fabric(self) -> FabricElectrical:
+        """Electrical fabric view for `repro.vpr.timing`."""
+        assert self.area is not None
+        t = self.tech.transistor
+        fo4 = t.fo4_delay()
+        pitch = self.tile_pitch_m
+        seg_len = segment_wire_length(self.params, pitch)
+        wire_r = self.tech.interconnect.wire_resistance(seg_len)
+        wire_c = self.tech.interconnect.wire_capacitance(seg_len)
+        if self.config.kind.uses_relays:
+            # Relay routes hop through M3-M5 via stacks.
+            wire_r += 4.0 * self.tech.interconnect.via_resistance
+
+        row_cap = self.crossbar_row_cap()
+        xbar_r = self.switch.resistance if self.config.kind.uses_relays else t.r_min_nmos
+        c_lut_in = 2.0 * t.c_gate_min
+
+        # t_local_in: IPIN -> LUT input.
+        if self.lb_input_buffer is not None:
+            t_in = self.lb_input_buffer.delay(row_cap) + 0.69 * xbar_r * c_lut_in
+        else:
+            # Route drives the row directly (its cap is charged by the
+            # last routing stage); only the crosspoint hop remains.
+            t_in = 0.69 * xbar_r * (c_lut_in + 0.2 * row_cap)
+
+        # t_local_out: LUT output -> OPIN (2:1 mux + optional buffer).
+        mux_delay = 0.69 * t.r_min_nmos * (2.0 * t.c_drain_min)
+        if self.lb_output_buffer is not None:
+            t_out = mux_delay + self.lb_output_buffer.delay(self._local_load(pitch))
+        else:
+            t_out = mux_delay
+
+        # Intra-cluster feedback: output mux -> crossbar row -> LUT in.
+        drv_r = (
+            self.lb_output_buffer.output_resistance
+            if self.lb_output_buffer is not None
+            else t.r_min_nmos / 2.0
+        )
+        t_fb = t_out + 0.69 * (drv_r * row_cap + xbar_r * c_lut_in)
+
+        return FabricElectrical(
+            tech=self.tech,
+            switch_r=self.switch.resistance,
+            switch_c=self.switch.parasitic_capacitance,
+            switch_c_off=self._switch_c_off,
+            off_taps_per_wire=self.off_taps_per_wire,
+            wire_r=wire_r,
+            wire_c=wire_c,
+            wire_buffer=self.wire_buffer,
+            lb_input_buffer=self.lb_input_buffer,
+            lb_output_buffer=self.lb_output_buffer,
+            t_lut=LUT_DELAY_FO4 * fo4,
+            t_local_in=t_in,
+            t_local_out=t_out,
+            t_local_feedback=t_fb,
+            t_clk_q=CLK_Q_FO4 * fo4,
+            t_su=SETUP_FO4 * fo4,
+            degraded_inputs=self.level_restorer,
+            crossbar_row_cap=row_cap,
+        )
+
+    def leakage_spec(self) -> LeakageSpec:
+        t = self.tech.transistor
+        if self.config.kind.uses_relays:
+            switch_leak = 0.0
+            sram_leak = 0.0
+            xbar_switch_leak = 0.0
+            xbar_sram_leak = 0.0
+        else:
+            switch_leak = cmos_switch_leakage(t, width=4.0)
+            sram_leak = sram_bit_leakage(t)
+            xbar_switch_leak = cmos_switch_leakage(t, width=1.0)
+            xbar_sram_leak = sram_bit_leakage(t)
+        return LeakageSpec(
+            tech=t,
+            switch_leak=switch_leak,
+            sram_leak=sram_leak,
+            wire_buffer=self.wire_buffer,
+            lb_input_buffer=self.lb_input_buffer,
+            lb_output_buffer=self.lb_output_buffer,
+            crossbar_switch_leak=xbar_switch_leak,
+            crossbar_sram_leak=xbar_sram_leak,
+        )
+
+    def dynamic_spec(self) -> DynamicSpec:
+        t = self.tech.transistor
+        # Local hop: crossbar row share + crosspoint + LUT input gate.
+        hop_cap = self.crossbar_row_cap() / max(self.params.crossbar_outputs, 1)
+        hop_cap += self.switch.parasitic_capacitance if self.config.kind.uses_relays else t.c_drain_min
+        hop_cap += 2.0 * t.c_gate_min
+        if self.lb_input_buffer is not None:
+            hop_cap += 0.3 * self.lb_input_buffer.chain.internal_switching_capacitance()
+        from ..power.dynamic import (
+            CLOCK_BUFFER_CAP_WIDTHS,
+            CLOCK_WIRE_PITCH_FRACTION,
+            LUT_INTERNAL_CAP_WIDTHS,
+        )
+
+        clock_cap = CLOCK_BUFFER_CAP_WIDTHS * t.inverter_input_cap
+        clock_cap += self.tech.interconnect.wire_capacitance(
+            CLOCK_WIRE_PITCH_FRACTION * self.tile_pitch_m
+        )
+        return DynamicSpec(
+            tech=t,
+            local_hop_cap=hop_cap,
+            lut_internal_cap=LUT_INTERNAL_CAP_WIDTHS * t.inverter_input_cap,
+            clock_cap_per_tile=clock_cap,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FpgaVariant({self.config.kind.value}, downsize={self.downsize:g}, "
+            f"pitch={self.tile_pitch_m * 1e6:.1f} um)"
+        )
+
+
+def baseline_variant(params: ArchParams, tech: Technology = PTM_22NM) -> FpgaVariant:
+    return FpgaVariant(params, VariantConfig(VariantKind.CMOS_ONLY), tech)
+
+
+def naive_nem_variant(params: ArchParams, tech: Technology = PTM_22NM) -> FpgaVariant:
+    return FpgaVariant(params, VariantConfig(VariantKind.CMOS_NEM_NAIVE), tech)
+
+
+def optimized_nem_variant(
+    params: ArchParams, downsize: float = 4.0, tech: Technology = PTM_22NM
+) -> FpgaVariant:
+    return FpgaVariant(
+        params, VariantConfig(VariantKind.CMOS_NEM_OPT, wire_buffer_downsize=downsize), tech
+    )

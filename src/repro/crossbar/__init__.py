@@ -1,0 +1,74 @@
+"""Half-select programmable NEM relay crossbar substrate.
+
+Reproduces the paper's Sec. 2: SRAM-free programmable routing crossbars
+(Fig. 3b), the half-select programming scheme (Fig. 4), the 2x2
+program/test/reset demonstration (Fig. 5), and the variation /
+noise-margin analysis (Fig. 6).
+"""
+
+from .array import Coordinate, RelayCrossbar, uniform_crossbar
+from .halfselect import (
+    HalfSelectProgrammer,
+    NoiseMargins,
+    PAPER_2X2_VOLTAGES,
+    ProgrammingVoltages,
+    solve_voltages,
+)
+from .waveforms import SessionWaveforms, exhaustive_verification, simulate_session, test_pulse
+from .margins import (
+    WindowAnalysis,
+    analyze_population,
+    array_yield,
+    margin_histogram_summary,
+    required_sigma_for_yield,
+    yield_vs_array_size,
+)
+from .bist import (
+    DefectMap,
+    FaultyRelay,
+    StuckMode,
+    faulty_crossbar,
+    run_bist,
+    yield_with_defect_map,
+)
+from .programming_cost import (
+    ConfigurationCost,
+    DEMONSTRATED_RELIABLE_CYCLES,
+    EnduranceReport,
+    TYPICAL_LIFETIME_RECONFIGURATIONS,
+    configuration_cost,
+    endurance_margin,
+)
+
+__all__ = [
+    "ConfigurationCost",
+    "Coordinate",
+    "DEMONSTRATED_RELIABLE_CYCLES",
+    "DefectMap",
+    "EnduranceReport",
+    "FaultyRelay",
+    "StuckMode",
+    "faulty_crossbar",
+    "run_bist",
+    "yield_with_defect_map",
+    "HalfSelectProgrammer",
+    "TYPICAL_LIFETIME_RECONFIGURATIONS",
+    "configuration_cost",
+    "endurance_margin",
+    "NoiseMargins",
+    "PAPER_2X2_VOLTAGES",
+    "ProgrammingVoltages",
+    "RelayCrossbar",
+    "SessionWaveforms",
+    "WindowAnalysis",
+    "analyze_population",
+    "array_yield",
+    "exhaustive_verification",
+    "margin_histogram_summary",
+    "required_sigma_for_yield",
+    "simulate_session",
+    "solve_voltages",
+    "test_pulse",
+    "uniform_crossbar",
+    "yield_vs_array_size",
+]

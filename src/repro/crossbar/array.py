@@ -1,0 +1,124 @@
+"""NEM relay programmable routing crossbar (paper Sec. 2.2-2.3).
+
+A crossbar is an R x C grid of relays.  Relay (r, c) has its **gate**
+on programming row line r and its **source** (the beam) on programming
+column line c; its drain taps the routed signal.  Programming applies
+per-line voltages, so every relay sees Vgs = V(row r) - V(col c) — the
+half-select trick biases those differences inside or outside the
+hysteresis window.
+
+After programming, a pulled-in relay (r, c) connects column signal c
+to drain (output) r, turning the crossbar into a routing network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from ..nemrelay.device import NEMRelay, RelayState
+from ..nemrelay.electrostatics import ActuationModel
+
+Coordinate = Tuple[int, int]
+
+
+class RelayCrossbar:
+    """Grid of NEM relays with shared row (gate) / column (source) lines.
+
+    Args:
+        rows: Number of programming row lines (drain outputs).
+        cols: Number of programming column lines (signal inputs).
+        relay_factory: Called as ``relay_factory(row, col)`` to build
+            each device; lets callers inject per-device variation.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        relay_factory: Callable[[int, int], NEMRelay],
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"crossbar must be at least 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.relays: Dict[Coordinate, NEMRelay] = {
+            (r, c): relay_factory(r, c) for r in range(rows) for c in range(cols)
+        }
+        self.row_voltages: List[float] = [0.0] * rows
+        self.col_voltages: List[float] = [0.0] * cols
+
+    # -- programming ----------------------------------------------------
+
+    def apply_line_voltages(
+        self, row_voltages: Sequence[float], col_voltages: Sequence[float]
+    ) -> None:
+        """Drive all row/column lines and settle every relay's state.
+
+        Each relay sees Vgs = V_row(gate) - V_col(source).
+        """
+        if len(row_voltages) != self.rows:
+            raise ValueError(f"expected {self.rows} row voltages, got {len(row_voltages)}")
+        if len(col_voltages) != self.cols:
+            raise ValueError(f"expected {self.cols} column voltages, got {len(col_voltages)}")
+        self.row_voltages = list(row_voltages)
+        self.col_voltages = list(col_voltages)
+        for (r, c), relay in self.relays.items():
+            relay.apply_gate_voltage(self.row_voltages[r] - self.col_voltages[c])
+
+    def reset_all(self) -> None:
+        """Ground every line: all Vgs -> 0, every relay pulls out."""
+        self.apply_line_voltages([0.0] * self.rows, [0.0] * self.cols)
+
+    # -- state inspection ------------------------------------------------
+
+    def state(self, row: int, col: int) -> RelayState:
+        return self.relays[(row, col)].state
+
+    def configuration(self) -> Set[Coordinate]:
+        """Coordinates of all pulled-in (closed) relays."""
+        return {coord for coord, relay in self.relays.items() if relay.is_on}
+
+    def configuration_matrix(self) -> List[List[bool]]:
+        """rows x cols boolean matrix; True means pulled in."""
+        return [[self.relays[(r, c)].is_on for c in range(self.cols)] for r in range(self.rows)]
+
+    # -- routing behaviour -------------------------------------------------
+
+    def route_signals(self, column_signals: Sequence[float]) -> List[float]:
+        """Propagate analog column (beam) signals to the drain rows.
+
+        Each pulled-in relay ties its column's signal to its row's
+        drain through Ron.  A drain driven by no closed relay floats
+        (returned as 0.0); a drain driven by several closed relays
+        returns their Ron-weighted parallel combination (for identical
+        Ron this is the average — physically the resistively mixed
+        value, and in correct FPGA configurations it never happens on
+        distinct nets).
+        """
+        if len(column_signals) != self.cols:
+            raise ValueError(f"expected {self.cols} column signals, got {len(column_signals)}")
+        outputs: List[float] = []
+        for r in range(self.rows):
+            conductance_sum = 0.0
+            weighted = 0.0
+            for c in range(self.cols):
+                relay = self.relays[(r, c)]
+                if relay.is_on:
+                    g_on = 1.0 / relay.circuit.r_on
+                    conductance_sum += g_on
+                    weighted += g_on * column_signals[c]
+            outputs.append(weighted / conductance_sum if conductance_sum > 0 else 0.0)
+        return outputs
+
+    def path_resistance(self, row: int, col: int) -> float:
+        """S-D resistance of the (row, col) cross-point (inf if open)."""
+        return self.relays[(row, col)].resistance()
+
+    def __repr__(self) -> str:
+        closed = sorted(self.configuration())
+        return f"RelayCrossbar({self.rows}x{self.cols}, closed={closed})"
+
+
+def uniform_crossbar(rows: int, cols: int, model: ActuationModel, **relay_kwargs) -> RelayCrossbar:
+    """Crossbar of identical relays sharing one actuation model."""
+    return RelayCrossbar(rows, cols, lambda r, c: NEMRelay(model, **relay_kwargs))

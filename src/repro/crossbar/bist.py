@@ -1,0 +1,138 @@
+"""Built-in self-test for relay crossbars (defect mapping).
+
+Relays fail by stiction (stuck closed) or contact wear/contamination
+(stuck open, the paper's ~100 kOhm-contact problem taken to its
+limit).  Because the array is electrically observable — drive a beam,
+watch the drains — a two-pattern BIST locates every stuck crosspoint:
+
+1. program ALL crosspoints closed; any that read open is stuck open;
+2. erase the array; any that still reads closed is stuck closed.
+
+Read-out drives one column at a time (the same stimulus that verified
+the paper's 2x2 exhaustively), so faults are located, not just
+detected.  The resulting defect map feeds defect-avoidance routing
+(`PathFinderRouter(blocked_nodes=...)`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Dict, Optional, Set
+
+from ..nemrelay.device import EquivalentCircuit, NEMRelay, RelayState, SCALED_22NM_CIRCUIT
+from ..nemrelay.electrostatics import ActuationModel
+from .array import Coordinate, RelayCrossbar
+from .halfselect import HalfSelectProgrammer, ProgrammingVoltages
+
+
+class StuckMode(enum.Enum):
+    """Permanent crosspoint fault classes."""
+
+    STUCK_OPEN = "stuck-open"      # contact never conducts
+    STUCK_CLOSED = "stuck-closed"  # beam adhered: never releases
+
+
+class FaultyRelay(NEMRelay):
+    """A relay with a permanent stuck fault injected."""
+
+    def __init__(self, model: ActuationModel, mode: StuckMode,
+                 circuit: EquivalentCircuit = SCALED_22NM_CIRCUIT) -> None:
+        initial = RelayState.ON if mode is StuckMode.STUCK_CLOSED else RelayState.OFF
+        super().__init__(model, circuit=circuit, state=initial)
+        self.mode = mode
+
+    def apply_gate_voltage(self, vgs: float) -> RelayState:
+        self._vgs = vgs
+        # The mechanical state never changes, whatever the bias.
+        return self._state
+
+
+def faulty_crossbar(
+    rows: int,
+    cols: int,
+    model: ActuationModel,
+    faults: Dict[Coordinate, StuckMode],
+    circuit: EquivalentCircuit = SCALED_22NM_CIRCUIT,
+) -> RelayCrossbar:
+    """Crossbar with the given stuck faults injected."""
+    for (r, c) in faults:
+        if not (0 <= r < rows and 0 <= c < cols):
+            raise ValueError(f"fault at {(r, c)} outside {rows}x{cols}")
+
+    def factory(r: int, c: int) -> NEMRelay:
+        mode = faults.get((r, c))
+        if mode is None:
+            return NEMRelay(model, circuit=circuit)
+        return FaultyRelay(model, mode, circuit=circuit)
+
+    return RelayCrossbar(rows, cols, factory)
+
+
+@dataclasses.dataclass
+class DefectMap:
+    """BIST outcome.
+
+    Attributes:
+        stuck_open: Crosspoints that cannot conduct.
+        stuck_closed: Crosspoints that cannot release.
+    """
+
+    stuck_open: Set[Coordinate]
+    stuck_closed: Set[Coordinate]
+
+    @property
+    def total(self) -> int:
+        return len(self.stuck_open) + len(self.stuck_closed)
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0
+
+    def usable(self, coord: Coordinate) -> bool:
+        return coord not in self.stuck_open and coord not in self.stuck_closed
+
+
+def _read_configuration(crossbar: RelayCrossbar, probe: float = 0.5) -> Set[Coordinate]:
+    """Electrically read which crosspoints conduct, one column at a
+    time (no access to internal state — pure terminal behaviour)."""
+    closed: Set[Coordinate] = set()
+    for c in range(crossbar.cols):
+        signals = [probe if cc == c else 0.0 for cc in range(crossbar.cols)]
+        outputs = crossbar.route_signals(signals)
+        for r in range(crossbar.rows):
+            if outputs[r] > 1e-9:
+                closed.add((r, c))
+    return closed
+
+
+def run_bist(crossbar: RelayCrossbar, voltages: ProgrammingVoltages) -> DefectMap:
+    """Two-pattern BIST: all-closed then all-open (see module doc).
+
+    Leaves the crossbar erased (all healthy relays open).
+    """
+    programmer = HalfSelectProgrammer(crossbar, voltages)
+    every = {(r, c) for r in range(crossbar.rows) for c in range(crossbar.cols)}
+
+    programmer.program(every)
+    after_program = _read_configuration(crossbar)
+    stuck_open = every - after_program
+
+    programmer.erase()
+    after_erase = _read_configuration(crossbar)
+    stuck_closed = set(after_erase)
+    return DefectMap(stuck_open=stuck_open, stuck_closed=stuck_closed)
+
+
+def yield_with_defect_map(
+    defects: DefectMap, required: Set[Coordinate]
+) -> bool:
+    """Can a configuration be realised on a defective array?
+
+    The required crosspoints must not be stuck open, and no
+    stuck-closed crosspoint may short an unrelated signal pair (i.e.
+    every stuck-closed crosspoint must be *wanted* by the config).
+    """
+    if any(coord in defects.stuck_open for coord in required):
+        return False
+    return all(coord in required for coord in defects.stuck_closed)

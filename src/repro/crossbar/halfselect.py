@@ -1,0 +1,212 @@
+"""Half-select programming of relay crossbars (paper Sec. 2.2).
+
+Three voltage levels program the whole array without SRAM:
+
+* ``Vhold``            on every unselected row,
+* ``Vhold + Vselect``  on the selected row,
+* ``-Vselect``         on the selected column(s), 0 V elsewhere.
+
+Validity constraints (paper Fig. 4):
+
+    Vpo < Vhold           < Vpi
+    Vpo < Vhold + Vselect < Vpi
+          Vhold + 2 Vselect > Vpi
+
+so a selected relay sees Vhold + 2 Vselect (> Vpi: pulls in), every
+half-selected relay sees Vhold + Vselect or Vhold (inside the window:
+holds), and programming proceeds row by row.  After programming, all
+rows idle at Vhold to retain state.
+
+With device variation, Vpi/Vpo become per-relay; `solve_voltages`
+finds (Vhold, Vselect) valid for a whole measured population and
+reports the noise margins of paper Fig. 6.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .array import Coordinate, RelayCrossbar
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgrammingVoltages:
+    """A (Vhold, Vselect) operating point for half-select programming."""
+
+    v_hold: float
+    v_select: float
+
+    def __post_init__(self) -> None:
+        if self.v_hold <= 0 or self.v_select <= 0:
+            raise ValueError("Vhold and Vselect must be positive")
+
+    @property
+    def full_select(self) -> float:
+        """Vgs seen by the selected relay: Vhold + 2 Vselect."""
+        return self.v_hold + 2.0 * self.v_select
+
+    @property
+    def half_select(self) -> float:
+        """Vgs seen by row-only or column-only selected relays."""
+        return self.v_hold + self.v_select
+
+    def is_valid(self, vpi: float, vpo: float) -> bool:
+        """Paper Fig. 4 constraints for a single relay's (Vpi, Vpo)."""
+        return (
+            vpo < self.v_hold < vpi
+            and vpo < self.half_select < vpi
+            and self.full_select > vpi
+        )
+
+    def margins(self, vpi_min: float, vpi_max: float, vpo_max: float) -> "NoiseMargins":
+        """Worst-case programming noise margins over a population."""
+        return NoiseMargins(
+            hold_above_vpo=self.v_hold - vpo_max,
+            half_select_below_vpi=vpi_min - self.half_select,
+            full_select_above_vpi=self.full_select - vpi_max,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseMargins:
+    """The three noise margins annotated on paper Fig. 6.
+
+    All must be positive for every relay in the array to program
+    correctly:
+
+    * ``hold_above_vpo``: Vhold - Vpo_max (held relays stay held),
+    * ``half_select_below_vpi``: Vpi_min - (Vhold + Vselect)
+      (half-selected relays must not pull in),
+    * ``full_select_above_vpi``: (Vhold + 2 Vselect) - Vpi_max
+      (selected relays must pull in).
+    """
+
+    hold_above_vpo: float
+    half_select_below_vpi: float
+    full_select_above_vpi: float
+
+    @property
+    def worst(self) -> float:
+        return min(self.hold_above_vpo, self.half_select_below_vpi, self.full_select_above_vpi)
+
+    @property
+    def all_positive(self) -> bool:
+        return self.worst > 0.0
+
+
+#: The operating point used to configure the paper's fabricated 2x2
+#: crossbar (Sec. 2.3): Vhold = 5.2 V, Vselect = 0.8 V.
+PAPER_2X2_VOLTAGES = ProgrammingVoltages(v_hold=5.2, v_select=0.8)
+
+
+def solve_voltages(
+    vpi_values: Sequence[float],
+    vpo_values: Sequence[float],
+    guard: float = 0.0,
+) -> Optional[ProgrammingVoltages]:
+    """Find (Vhold, Vselect) valid for every relay in a population.
+
+    Strategy (maximises the worst noise margin):  the three margins
+    trade off along Vhold and Vselect; centring Vhold and Vhold+Vselect
+    inside [Vpo_max, Vpi_min] and pushing Vhold+2Vselect past Vpi_max
+    gives the balanced solution
+
+        Vselect = (Vpi_max - Vpo_max) / 3
+        Vhold   = Vpo_max + Vselect - guard-correction
+
+    then we nudge to equalise margins.  Returns None when the paper's
+    feasibility condition min{Vpi-Vpo} <= Vpi_max - Vpi_min makes any
+    choice invalid.
+
+    Args:
+        vpi_values / vpo_values: Per-relay measured or simulated
+            voltages (same device order not required).
+        guard: Extra margin (V) required on each constraint.
+    """
+    if not vpi_values or not vpo_values:
+        raise ValueError("need at least one Vpi and one Vpo sample")
+    if guard < 0:
+        raise ValueError(f"guard must be non-negative, got {guard}")
+    vpi_min, vpi_max = min(vpi_values), max(vpi_values)
+    vpo_max = max(vpo_values)
+
+    # Balanced point: equalise the three margins m:
+    #   Vhold = Vpo_max + m
+    #   Vhold + Vselect = Vpi_min - m     => Vselect = Vpi_min - Vpo_max - 2m
+    #   Vhold + 2 Vselect = Vpi_max + m   => solve for m:
+    #   Vpo_max + m + 2(Vpi_min - Vpo_max - 2m) = Vpi_max + m
+    #   => m = (2 Vpi_min - Vpo_max - Vpi_max) / 4
+    margin = (2.0 * vpi_min - vpo_max - vpi_max) / 4.0
+    if margin <= guard:
+        return None
+    v_hold = vpo_max + margin
+    v_select = vpi_min - vpo_max - 2.0 * margin
+    if v_select <= 0:
+        return None
+    candidate = ProgrammingVoltages(v_hold=v_hold, v_select=v_select)
+    margins = candidate.margins(vpi_min, vpi_max, vpo_max)
+    if margins.worst <= guard:
+        return None
+    return candidate
+
+
+class HalfSelectProgrammer:
+    """Drives a `RelayCrossbar` through half-select programming.
+
+    The programmer issues the paper's row-by-row sequence and records
+    every (row_voltages, col_voltages) step so waveform reconstruction
+    (Fig. 5) can replay it.
+    """
+
+    def __init__(self, crossbar: RelayCrossbar, voltages: ProgrammingVoltages) -> None:
+        self.crossbar = crossbar
+        self.voltages = voltages
+        self.history: List[Tuple[List[float], List[float]]] = []
+
+    def _drive(self, row_v: List[float], col_v: List[float]) -> None:
+        self.crossbar.apply_line_voltages(row_v, col_v)
+        self.history.append((list(row_v), list(col_v)))
+
+    def erase(self) -> None:
+        """Ground all lines: every relay pulls out (paper reset phase)."""
+        self._drive([0.0] * self.crossbar.rows, [0.0] * self.crossbar.cols)
+
+    def hold(self) -> None:
+        """Idle state: all rows at Vhold, columns grounded."""
+        self._drive([self.voltages.v_hold] * self.crossbar.rows, [0.0] * self.crossbar.cols)
+
+    def program(self, targets: Iterable[Coordinate], erase_first: bool = True) -> Set[Coordinate]:
+        """Program the crossbar so exactly ``targets`` are pulled in.
+
+        Row-by-row: for each row with targets, raise that row to
+        Vhold + Vselect and drop the target columns to -Vselect;
+        every other row sits at Vhold and other columns at ground
+        (paper Sec. 2.2).  Finishes in the hold state.
+
+        Returns the resulting configuration (set of closed coords).
+        """
+        target_set = set(targets)
+        for r, c in target_set:
+            if not (0 <= r < self.crossbar.rows and 0 <= c < self.crossbar.cols):
+                raise ValueError(f"target {(r, c)} outside {self.crossbar.rows}x{self.crossbar.cols}")
+        if erase_first:
+            self.erase()
+        self.hold()
+        v = self.voltages
+        for row in range(self.crossbar.rows):
+            cols_in_row = sorted(c for (r, c) in target_set if r == row)
+            if not cols_in_row:
+                continue
+            row_v = [v.v_hold] * self.crossbar.rows
+            row_v[row] = v.v_hold + v.v_select
+            col_v = [0.0] * self.crossbar.cols
+            for c in cols_in_row:
+                col_v[c] = -v.v_select
+            self._drive(row_v, col_v)
+            self.hold()
+        return self.crossbar.configuration()
+
+    def verify(self, targets: Iterable[Coordinate]) -> bool:
+        """True if the crossbar configuration equals ``targets`` exactly."""
+        return self.crossbar.configuration() == set(targets)

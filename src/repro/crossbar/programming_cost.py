@@ -1,0 +1,141 @@
+"""Configuration cost and endurance for relay-based FPGAs.
+
+Extension of the paper's Sec. 1 argument: relay drawbacks (mechanical
+delay, limited switching endurance) do not matter for FPGA routing
+because switches only toggle at (re)configuration, and FPGAs see few
+reconfigurations (~500 over a lifetime [Kuon 07]) against billions of
+reliable relay cycles [Kam 09, Parsa 10].
+
+This module makes those claims quantitative for a whole fabric:
+
+* configuration time — half-select programs row by row; each row step
+  must wait out the mechanical pull-in (plus margin);
+* configuration energy — each step (dis)charges the programming lines
+  and relay gates (capacitive only: holding costs no DC power);
+* endurance margin — reliable cycles vs lifetime actuations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..nemrelay.device import EquivalentCircuit, SCALED_22NM_CIRCUIT
+from .halfselect import ProgrammingVoltages
+
+#: Reconfigurations an FPGA typically sees over its lifetime [Kuon 07].
+TYPICAL_LIFETIME_RECONFIGURATIONS = 500
+
+#: Reliable switching cycles demonstrated for NEM relays [Kam 09].
+DEMONSTRATED_RELIABLE_CYCLES = 1e9
+
+#: Settling margin applied on top of the mechanical switching time per
+#: programming row step (drive, settle, verify slack).
+ROW_STEP_MARGIN = 3.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfigurationCost:
+    """Cost of one full-fabric configuration pass.
+
+    Attributes:
+        row_steps: Half-select row operations performed.
+        total_time: Wall-clock configuration time (s).
+        total_energy: Capacitive programming energy (J).
+        hold_power: Static power while holding state (W) — zero for
+            relays (capacitive gates), the SRAM-free advantage.
+    """
+
+    row_steps: int
+    total_time: float
+    total_energy: float
+    hold_power: float = 0.0
+
+
+def configuration_cost(
+    num_relays: int,
+    rows_per_array: int,
+    switching_time: float,
+    voltages: ProgrammingVoltages,
+    relay: EquivalentCircuit = SCALED_22NM_CIRCUIT,
+    line_capacitance_per_relay: float = 50e-18,
+    arrays_in_parallel: int = 1,
+) -> ConfigurationCost:
+    """Cost of configuring ``num_relays`` organised as crossbar arrays.
+
+    Args:
+        num_relays: Total routing relays in the fabric.
+        rows_per_array: Programming rows per crossbar array (the
+            half-select scheme programs one row per step).
+        switching_time: Mechanical pull-in time of one relay (s).
+        voltages: The (Vhold, Vselect) operating point.
+        relay: Gate capacitance source (C_on bounds the gate cap).
+        line_capacitance_per_relay: Programming row/column wire
+            capacitance attributable to each relay crosspoint (F).
+        arrays_in_parallel: Independent arrays programmed concurrently
+            (per-tile programming peripheries allow parallelism).
+    """
+    if num_relays < 1 or rows_per_array < 1 or arrays_in_parallel < 1:
+        raise ValueError("counts must be positive")
+    if switching_time <= 0:
+        raise ValueError(f"switching time must be positive, got {switching_time}")
+    num_arrays = math.ceil(num_relays / (rows_per_array * max(1, rows_per_array)))
+    num_arrays = max(num_arrays, 1)
+    total_rows = math.ceil(num_relays / rows_per_array)
+    sequential_rows = math.ceil(total_rows / arrays_in_parallel)
+    step_time = ROW_STEP_MARGIN * switching_time
+    total_time = sequential_rows * step_time
+
+    # Per row step: the selected row swings by Vselect, the selected
+    # columns swing by Vselect, and every relay gate on the row sees a
+    # bias change; energy ~ C V^2 summed over affected capacitances.
+    v_swing = voltages.v_select
+    c_per_row = rows_per_array * (relay.c_on + line_capacitance_per_relay)
+    energy_per_step = c_per_row * v_swing**2
+    total_energy = total_rows * energy_per_step
+    return ConfigurationCost(
+        row_steps=total_rows, total_time=total_time, total_energy=total_energy
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class EnduranceReport:
+    """Relay endurance vs FPGA lifetime demand.
+
+    Attributes:
+        actuations_per_relay: Worst-case actuations one relay sees
+            (every reconfiguration toggles it twice: erase + program).
+        reliable_cycles: Demonstrated reliable switching cycles.
+        margin: reliable_cycles / actuations_per_relay.
+    """
+
+    actuations_per_relay: float
+    reliable_cycles: float
+    margin: float
+
+    @property
+    def sufficient(self) -> bool:
+        return self.margin >= 1.0
+
+
+def endurance_margin(
+    reconfigurations: int = TYPICAL_LIFETIME_RECONFIGURATIONS,
+    reliable_cycles: float = DEMONSTRATED_RELIABLE_CYCLES,
+    actuations_per_reconfig: int = 2,
+) -> EnduranceReport:
+    """The paper's Sec. 1 reliability argument, quantified.
+
+    With ~500 lifetime reconfigurations and two actuations each
+    (erase + program), a billion-cycle relay has a ~10^6 margin.
+    """
+    if reconfigurations < 0 or actuations_per_reconfig < 1:
+        raise ValueError("invalid reconfiguration counts")
+    if reliable_cycles <= 0:
+        raise ValueError("reliable cycles must be positive")
+    actuations = float(reconfigurations * actuations_per_reconfig)
+    margin = reliable_cycles / actuations if actuations else float("inf")
+    return EnduranceReport(
+        actuations_per_relay=actuations,
+        reliable_cycles=reliable_cycles,
+        margin=margin,
+    )

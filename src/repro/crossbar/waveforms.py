@@ -1,0 +1,201 @@
+"""Program / test / reset waveform simulation (paper Fig. 5).
+
+The paper demonstrates a 2x2 crossbar by:
+
+1. **Program** — half-select sequence configures the target relays.
+2. **Test** — two pulse trains with 180-degree phase shift drive the
+   beams (columns); the drain (row) electrodes are monitored.  A drain
+   reproduces the pulse of whichever column its closed relay connects
+   to, which verifies the configuration.
+3. **Reset** — all gates to 0 V; the drain signals disappear, which
+   verifies the relays released.
+
+`simulate_session` replays those three phases on a `RelayCrossbar`
+and returns sampled waveforms for every line, mimicking the
+oscilloscope traces of Figs. 5b/5c.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .array import Coordinate, RelayCrossbar
+from .halfselect import HalfSelectProgrammer, ProgrammingVoltages
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionWaveforms:
+    """Sampled waveforms of one program/test/reset session.
+
+    Attributes:
+        times: Sample instants (s).
+        gates: Per-row gate (programming row line) voltage traces.
+        beams: Per-column beam/source drive traces.
+        drains: Per-row drain read-out traces.
+        phase_bounds: (t_program_end, t_test_end) phase boundaries.
+        configuration: Closed relays after the program phase.
+        reset_ok: True if every relay read open after the reset phase.
+    """
+
+    times: List[float]
+    gates: Dict[int, List[float]]
+    beams: Dict[int, List[float]]
+    drains: Dict[int, List[float]]
+    phase_bounds: Tuple[float, float]
+    configuration: Set[Coordinate]
+    reset_ok: bool
+
+    def drain_amplitude(self, row: int) -> float:
+        """Peak |drain| voltage during the test phase for one row."""
+        t_prog, t_test = self.phase_bounds
+        return max(
+            (abs(v) for t, v in zip(self.times, self.drains[row]) if t_prog <= t < t_test),
+            default=0.0,
+        )
+
+
+def test_pulse(t: float, period: float, amplitude: float, phase_shifted: bool) -> float:
+    """Square test pulse: +A for the first half period, -A for the
+    second (the paper's two stimuli are identical but 180 degrees out
+    of phase)."""
+    cycle_pos = (t / period) % 1.0
+    level = amplitude if cycle_pos < 0.5 else -amplitude
+    return -level if phase_shifted else level
+
+
+def simulate_session(
+    crossbar: RelayCrossbar,
+    voltages: ProgrammingVoltages,
+    targets: Iterable[Coordinate],
+    program_step: float = 1.0,
+    test_duration: float = 8.0,
+    pulse_period: float = 4.0,
+    pulse_amplitude: float = 0.5,
+    reset_duration: float = 4.0,
+    samples_per_unit: int = 8,
+) -> SessionWaveforms:
+    """Run one full programming session and sample every line.
+
+    During programming, drains are monitored but undriven (traces show
+    0).  During test, column c is driven by a pulse train whose phase
+    alternates with column parity (paper Fig. 5: Pulse 1 / Pulse 2
+    with 180-degree shift); drains resolve via the crossbar's resistive
+    routing.  During reset, all programming lines are grounded and the
+    drains must go quiet.
+
+    Time units are arbitrary (the paper's scope shots span tens of
+    seconds because programming was manual); waveform *shape* is the
+    reproduced content.
+    """
+    programmer = HalfSelectProgrammer(crossbar, voltages)
+    programmer.program(targets)
+    configuration = crossbar.configuration()
+
+    # Reconstruct programming-phase line voltages from the recorded steps.
+    steps = programmer.history
+    t_program_end = len(steps) * program_step
+    t_test_end = t_program_end + test_duration
+    t_total = t_test_end + reset_duration
+    dt = 1.0 / samples_per_unit
+
+    times: List[float] = []
+    gates: Dict[int, List[float]] = {r: [] for r in range(crossbar.rows)}
+    beams: Dict[int, List[float]] = {c: [] for c in range(crossbar.cols)}
+    drains: Dict[int, List[float]] = {r: [] for r in range(crossbar.rows)}
+
+    n_samples = int(round(t_total / dt))
+    for i in range(n_samples):
+        t = i * dt
+        times.append(t)
+        if t < t_program_end:
+            row_v, col_v = steps[min(int(t / program_step), len(steps) - 1)]
+            for r in range(crossbar.rows):
+                gates[r].append(row_v[r])
+            for c in range(crossbar.cols):
+                beams[c].append(col_v[c])
+            for r in range(crossbar.rows):
+                drains[r].append(0.0)
+        elif t < t_test_end:
+            # Hold rows at Vhold to retain state; drive beams with the
+            # anti-phase pulse pair and observe the drains.
+            hold_rows = [voltages.v_hold] * crossbar.rows
+            signals = [
+                test_pulse(t - t_program_end, pulse_period, pulse_amplitude, phase_shifted=bool(c % 2))
+                for c in range(crossbar.cols)
+            ]
+            crossbar.apply_line_voltages(hold_rows, [0.0] * crossbar.cols)
+            outputs = crossbar.route_signals(signals)
+            for r in range(crossbar.rows):
+                gates[r].append(voltages.v_hold)
+                drains[r].append(outputs[r])
+            for c in range(crossbar.cols):
+                beams[c].append(signals[c])
+        else:
+            # Reset: everything grounded; relays pull out, drains quiet.
+            crossbar.reset_all()
+            outputs = crossbar.route_signals([0.0] * crossbar.cols)
+            for r in range(crossbar.rows):
+                gates[r].append(0.0)
+                drains[r].append(outputs[r])
+            for c in range(crossbar.cols):
+                beams[c].append(0.0)
+
+    reset_ok = not crossbar.configuration()
+    return SessionWaveforms(
+        times=times,
+        gates=gates,
+        beams=beams,
+        drains=drains,
+        phase_bounds=(t_program_end, t_test_end),
+        configuration=configuration,
+        reset_ok=reset_ok,
+    )
+
+
+def exhaustive_verification(
+    crossbar_factory,
+    voltages: ProgrammingVoltages,
+    rows: int = 2,
+    cols: int = 2,
+) -> Dict[frozenset, bool]:
+    """Program/verify every possible configuration of an R x C crossbar.
+
+    The paper states "all configurations exhaustively verified" for the
+    2x2 array.  For each of the 2^(R*C) target sets, a fresh crossbar
+    is programmed and electrically verified **one column at a time**
+    (driving a single beam and reading all drains uniquely identifies
+    the configuration matrix, whereas simultaneous anti-phase pulses —
+    the Fig. 5 stimulus — cancel at a drain shorted to both columns).
+    Finally the array is reset and re-read to confirm release.
+
+    Returns {frozenset(targets): passed}.
+    """
+    from .halfselect import HalfSelectProgrammer
+
+    all_coords = [(r, c) for r in range(rows) for c in range(cols)]
+    results: Dict[frozenset, bool] = {}
+    probe = 0.5
+    for mask in range(2 ** len(all_coords)):
+        targets = frozenset(coord for bit, coord in enumerate(all_coords) if mask >> bit & 1)
+        crossbar = crossbar_factory()
+        programmer = HalfSelectProgrammer(crossbar, voltages)
+        programmer.program(targets)
+        configured_ok = crossbar.configuration() == set(targets)
+        drains_ok = True
+        for c in range(cols):
+            signals = [probe if cc == c else 0.0 for cc in range(cols)]
+            outputs = crossbar.route_signals(signals)
+            for r in range(rows):
+                # When row r also closes another (grounded) column, that
+                # column loads the drain resistively: the read-out drops
+                # but stays nonzero; any positive response counts.
+                responds = outputs[r] > 1e-6
+                if ((r, c) in targets) != responds:
+                    drains_ok = False
+        crossbar.reset_all()
+        reset_ok = not crossbar.configuration() and all(
+            out == 0.0 for out in crossbar.route_signals([probe] * cols)
+        )
+        results[targets] = configured_ok and drains_ok and reset_ok
+    return results

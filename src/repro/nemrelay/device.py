@@ -1,0 +1,195 @@
+"""3-terminal NEM relay device model.
+
+A `NEMRelay` is a stateful switch:
+
+* **off (pulled-out)**: source and drain disconnected; drain-source
+  leakage is zero (the paper measures it below a 10 pA noise floor).
+* **on (pulled-in)**: source and drain connected through the beam/drain
+  contact resistance ``Ron``.
+
+State transitions follow the hysteretic gate-source voltage rule:
+|Vgs| >= Vpi pulls in, |Vgs| <= Vpo releases, and anything inside the
+hysteresis window (Vpo, Vpi) *holds* whatever state the relay is in —
+this is the property half-select programming exploits (paper Sec. 2.2).
+
+The equivalent circuit (paper Fig. 11) is:
+
+* on-state : series ``Ron`` between S and D, gate capacitance ``Con``,
+* off-state: gap capacitance ``Coff`` between S and D.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from .electrostatics import ActuationModel
+from .geometry import BeamGeometry, FABRICATED_DEVICE, SCALED_22NM_DEVICE
+from .materials import AIR, OIL, Ambient, Material, POLYSILICON, POLY_PLATINUM
+
+
+class RelayState(enum.Enum):
+    """Mechanical state of the relay beam."""
+
+    OFF = "pulled-out"
+    ON = "pulled-in"
+
+
+@dataclasses.dataclass(frozen=True)
+class EquivalentCircuit:
+    """Small-signal equivalent circuit (paper Fig. 11).
+
+    Attributes:
+        r_on: Beam + contact series resistance in the on state (ohm).
+        c_on: Gate-side capacitance in the on state (F).
+        c_off: Source-drain gap capacitance in the off state (F).
+    """
+
+    r_on: float
+    c_on: float
+    c_off: float
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0:
+            raise ValueError(f"r_on must be positive, got {self.r_on}")
+        if self.c_on < 0 or self.c_off < 0:
+            raise ValueError("capacitances must be non-negative")
+
+
+#: Equivalent-circuit values of the scaled 22nm relay (paper Fig. 11):
+#: Ron from [Parsa 10] experimental data, capacitances from simulation.
+SCALED_22NM_CIRCUIT = EquivalentCircuit(r_on=2e3, c_on=20e-18, c_off=6.7e-18)
+
+#: The crossbar relays of paper Sec. 2.3 measured ~100 kOhm contacts
+#: (surface contamination without encapsulation).
+CROSSBAR_MEASURED_CIRCUIT = EquivalentCircuit(r_on=100e3, c_on=20e-15, c_off=6.7e-15)
+
+
+class NEMRelay:
+    """A stateful 3-terminal NEM relay.
+
+    Args:
+        model: The electromechanical actuation model (material,
+            geometry, ambient, adhesion).
+        circuit: On/off equivalent circuit values.  Defaults to the
+            paper's scaled-device values.
+        state: Initial mechanical state (default pulled-out).
+
+    The relay exposes `apply_gate_voltage` for quasi-static programming
+    (used by the crossbar array and the hysteresis sweeper) and
+    `drain_current` for read-out given a drain-source bias.
+    """
+
+    def __init__(
+        self,
+        model: ActuationModel,
+        circuit: EquivalentCircuit = SCALED_22NM_CIRCUIT,
+        state: RelayState = RelayState.OFF,
+    ) -> None:
+        self.model = model
+        self.circuit = circuit
+        self._state = state
+        self._vgs = 0.0
+        self.switch_count = 0
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def state(self) -> RelayState:
+        return self._state
+
+    @property
+    def is_on(self) -> bool:
+        return self._state is RelayState.ON
+
+    @property
+    def gate_voltage(self) -> float:
+        """Most recently applied gate-source voltage."""
+        return self._vgs
+
+    @property
+    def pull_in_voltage(self) -> float:
+        return self.model.pull_in
+
+    @property
+    def pull_out_voltage(self) -> float:
+        return self.model.pull_out
+
+    # -- behaviour -----------------------------------------------------
+
+    def apply_gate_voltage(self, vgs: float) -> RelayState:
+        """Quasi-statically apply Vgs and settle the mechanical state.
+
+        Electrostatic force is attractive regardless of polarity, so
+        only |Vgs| matters (the half-select scheme exploits this with
+        its negative column bias).
+        """
+        self._vgs = vgs
+        magnitude = abs(vgs)
+        if self._state is RelayState.OFF and magnitude >= self.model.pull_in:
+            self._state = RelayState.ON
+            self.switch_count += 1
+        elif self._state is RelayState.ON and magnitude <= self.model.pull_out:
+            self._state = RelayState.OFF
+            self.switch_count += 1
+        return self._state
+
+    def drain_current(self, vds: float, compliance: Optional[float] = None) -> float:
+        """Drain-source current (A) at bias ``vds``.
+
+        Off-state current is exactly zero (the defining relay
+        property).  On-state current is ohmic through Ron, optionally
+        clipped at a measurement ``compliance`` limit as in the paper's
+        Fig. 2b testing (100 nA compliance).
+        """
+        if self._state is RelayState.OFF:
+            return 0.0
+        current = vds / self.circuit.r_on
+        if compliance is not None:
+            current = max(-compliance, min(compliance, current))
+        return current
+
+    def resistance(self) -> float:
+        """Source-drain resistance: Ron when on, infinity when off."""
+        return self.circuit.r_on if self.is_on else float("inf")
+
+    def capacitance(self) -> float:
+        """State-dependent S-D coupling capacitance of Fig. 11."""
+        return self.circuit.c_on if self.is_on else self.circuit.c_off
+
+    def reset(self) -> None:
+        """Force the relay to the pulled-out state (gate grounded)."""
+        self.apply_gate_voltage(0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"NEMRelay(state={self._state.value}, Vpi={self.pull_in_voltage:.3g} V, "
+            f"Vpo={self.pull_out_voltage:.3g} V, Ron={self.circuit.r_on:.3g} ohm)"
+        )
+
+
+def fabricated_relay(
+    adhesion_force: float = 0.0,
+    material: Material = POLY_PLATINUM,
+    ambient: Ambient = OIL,
+    geometry: BeamGeometry = FABRICATED_DEVICE,
+) -> NEMRelay:
+    """The paper's fabricated large-geometry relay, tested in oil.
+
+    With the calibrated composite-beam modulus the model's Vpi lands on
+    the measured 6.2 V (paper Fig. 2b).
+    """
+    model = ActuationModel(material, geometry, ambient, adhesion_force)
+    return NEMRelay(model, circuit=CROSSBAR_MEASURED_CIRCUIT)
+
+
+def scaled_relay(
+    adhesion_force: float = 0.0,
+    material: Material = POLYSILICON,
+    ambient: Ambient = AIR,
+    geometry: BeamGeometry = SCALED_22NM_DEVICE,
+) -> NEMRelay:
+    """The paper's 22nm-scaled relay (Fig. 11), ~1 V operation."""
+    model = ActuationModel(material, geometry, ambient, adhesion_force)
+    return NEMRelay(model, circuit=SCALED_22NM_CIRCUIT)

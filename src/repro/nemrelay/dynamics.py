@@ -1,0 +1,159 @@
+"""Switching dynamics of the relay beam (mechanical delay).
+
+The paper stresses that NEM relays have *large mechanical switching
+delays* (> 1 ns) which is why they are a poor fit for logic but a fine
+fit for FPGA routing configuration, where switches only toggle during
+(re)programming.  This module quantifies that delay with the standard
+1-DOF transient model:
+
+    m_eff x'' + b x' + k_eff x = eps A V^2 / (2 (g0 - x)^2)
+
+integrated with a fixed-step RK4 until the beam crosses the drain
+contact plane (x = g0 - gmin).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Tuple
+
+from .electrostatics import ActuationModel
+
+#: Effective modal mass fraction of a cantilever's first bending mode.
+CANTILEVER_MODAL_MASS_FRACTION = 0.25
+
+
+def effective_mass(model: ActuationModel) -> float:
+    """Effective lumped mass (kg) of the first bending mode."""
+    g = model.geometry
+    volume = g.length * g.width * g.thickness
+    return CANTILEVER_MODAL_MASS_FRACTION * model.material.density * volume
+
+
+def natural_frequency(model: ActuationModel) -> float:
+    """Angular natural frequency omega_0 (rad/s) of the beam."""
+    return math.sqrt(model.spring_constant / effective_mass(model))
+
+
+def damping_coefficient(model: ActuationModel) -> float:
+    """Viscous damping b (N s/m) from the ambient's quality factor."""
+    q = model.ambient.damping_quality_factor
+    return effective_mass(model) * natural_frequency(model) / q
+
+
+@dataclasses.dataclass(frozen=True)
+class Transient:
+    """Result of a pull-in (or release) transient simulation.
+
+    Attributes:
+        times: Sample instants (s).
+        displacements: Beam tip displacement (m) at each instant.
+        switching_time: Time to contact (pull-in) or full release, or
+            None if the event did not occur within the simulated span.
+    """
+
+    times: List[float]
+    displacements: List[float]
+    switching_time: Optional[float]
+
+    @property
+    def switched(self) -> bool:
+        return self.switching_time is not None
+
+
+def _accel(model: ActuationModel, m: float, b: float, x: float, v: float, volt: float) -> float:
+    g0 = model.geometry.gap
+    gap = max(g0 - x, 1e-12)
+    f_elec = 0.5 * model.ambient.permittivity * model.area * (volt / gap) ** 2
+    return (f_elec - model.spring_constant * x - b * v) / m
+
+
+def pull_in_transient(
+    model: ActuationModel,
+    voltage: float,
+    t_max: Optional[float] = None,
+    steps: int = 20000,
+) -> Transient:
+    """Simulate the beam from rest with a gate-voltage step applied.
+
+    Args:
+        model: Relay electromechanics.
+        voltage: Step magnitude |Vgs|; must exceed Vpi for contact to
+            occur (sub-Vpi steps settle at the stable equilibrium and
+            the transient reports ``switching_time = None``).
+        t_max: Simulation span; defaults to 50 natural periods, ample
+            for both inertial and heavily-damped (oil) regimes.
+        steps: RK4 steps across the span.
+
+    Returns:
+        `Transient` sampled at every integration step.
+    """
+    if steps < 10:
+        raise ValueError(f"steps must be >= 10, got {steps}")
+    m = effective_mass(model)
+    b = damping_coefficient(model)
+    omega0 = natural_frequency(model)
+    if t_max is None:
+        t_max = 50.0 * 2.0 * math.pi / omega0
+    dt = t_max / steps
+    travel = model.geometry.travel
+    volt = abs(voltage)
+
+    x, v = 0.0, 0.0
+    times, xs = [0.0], [0.0]
+    switching_time: Optional[float] = None
+    for i in range(steps):
+        t = i * dt
+        # RK4 on the (x, v) system.
+        a1 = _accel(model, m, b, x, v, volt)
+        k1x, k1v = v, a1
+        a2 = _accel(model, m, b, x + 0.5 * dt * k1x, v + 0.5 * dt * k1v, volt)
+        k2x, k2v = v + 0.5 * dt * k1v, a2
+        a3 = _accel(model, m, b, x + 0.5 * dt * k2x, v + 0.5 * dt * k2v, volt)
+        k3x, k3v = v + 0.5 * dt * k2v, a3
+        a4 = _accel(model, m, b, x + dt * k3x, v + dt * k3v, volt)
+        k4x, k4v = v + dt * k3v, a4
+        x = x + dt / 6.0 * (k1x + 2 * k2x + 2 * k3x + k4x)
+        v = v + dt / 6.0 * (k1v + 2 * k2v + 2 * k3v + k4v)
+        x = max(x, 0.0)
+        times.append(t + dt)
+        if x >= travel:
+            xs.append(travel)
+            switching_time = t + dt
+            break
+        xs.append(x)
+    return Transient(times=times, displacements=xs, switching_time=switching_time)
+
+
+def switching_delay(model: ActuationModel, overdrive: float = 1.2) -> Optional[float]:
+    """Mechanical switching delay (s) at ``overdrive x Vpi`` gate step.
+
+    This is the figure of merit the paper quotes as "> 1 ns" for
+    scaled relays [Chen 08, 10a].
+    """
+    if overdrive <= 1.0:
+        raise ValueError(f"overdrive must exceed 1.0 for pull-in, got {overdrive}")
+    transient = pull_in_transient(model, overdrive * model.pull_in)
+    return transient.switching_time
+
+
+def release_time_constant(model: ActuationModel) -> float:
+    """Characteristic release (pull-out) time scale (s).
+
+    After the hold voltage is removed, the beam relaxes as a damped
+    oscillator; the release time is of order one natural period for
+    underdamped beams and Q-stretched for overdamped ambients.
+    """
+    omega0 = natural_frequency(model)
+    q = model.ambient.damping_quality_factor
+    period = 2.0 * math.pi / omega0
+    if q >= 0.5:
+        return period
+    return period / (2.0 * q)
+
+
+def resonant_frequencies(model: ActuationModel) -> Tuple[float, float]:
+    """(f0 in Hz, omega0 in rad/s) of the beam's first mode."""
+    omega0 = natural_frequency(model)
+    return omega0 / (2.0 * math.pi), omega0

@@ -1,0 +1,97 @@
+"""Beam geometry for 3-terminal NEM relays.
+
+The relay (paper Fig. 2a) is a cantilever beam anchored at the source
+electrode.  A gate electrode runs alongside the beam across an
+actuation gap ``g0``; the drain contact sits so that when the beam
+pulls in, a residual gap ``gmin`` remains between beam and gate while
+beam and drain touch.
+
+Geometry conventions (paper Fig. 2b / Fig. 11):
+
+* ``length``   — beam length L along the cantilever axis,
+* ``thickness``— beam thickness h in the direction of motion,
+* ``width``    — beam depth w orthogonal to motion (out-of-plane for
+  the paper's lateral relays; defaults to the film thickness),
+* ``gap``      — as-fabricated gate-to-beam gap g0,
+* ``contact_gap`` — gmin, the gate-to-beam gap in the pulled-in state
+  (so the beam tip travels g0 - gmin before hitting the drain).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class BeamGeometry:
+    """Dimensions of a NEM relay cantilever, all in meters."""
+
+    length: float
+    thickness: float
+    gap: float
+    contact_gap: float
+    width: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("length", "thickness", "gap", "contact_gap"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.contact_gap >= self.gap:
+            raise ValueError(
+                f"contact_gap (gmin={self.contact_gap}) must be smaller than "
+                f"the as-fabricated gap (g0={self.gap})"
+            )
+        if self.width < 0:
+            raise ValueError(f"width must be non-negative, got {self.width}")
+        if self.width == 0.0:
+            # Lateral relays: the out-of-plane depth equals the structural
+            # film thickness; default to a square cross-section which keeps
+            # the closed-form Vpi/Vpo independent of width (it cancels).
+            object.__setattr__(self, "width", self.thickness)
+
+    @property
+    def travel(self) -> float:
+        """Tip travel distance from released to pulled-in (m)."""
+        return self.gap - self.contact_gap
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Slenderness L/h; Euler-Bernoulli theory wants >~ 10."""
+        return self.length / self.thickness
+
+    def scaled(self, factor: float) -> "BeamGeometry":
+        """Return geometry with every dimension multiplied by ``factor``.
+
+        Isomorphic scaling keeps Vpi invariant only if L^4 scales like
+        h^3 g0^3 (i.e. it does not); use `repro.nemrelay.scaling` for
+        constant-field style scaling recipes.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return BeamGeometry(
+            length=self.length * factor,
+            thickness=self.thickness * factor,
+            gap=self.gap * factor,
+            contact_gap=self.contact_gap * factor,
+            width=self.width * factor,
+        )
+
+
+#: The fabricated device of paper Fig. 2b (L ~ 23 um, h ~ 500 nm,
+#: g0 ~ 600 nm).  gmin is not reported for this device; we use the same
+#: gmin/g0 ratio as the scaled device of Fig. 11 (3.6/11).
+FABRICATED_DEVICE = BeamGeometry(
+    length=23e-6,
+    thickness=500e-9,
+    gap=600e-9,
+    contact_gap=196e-9,
+)
+
+#: The scaled 22nm-node device of paper Fig. 11.
+SCALED_22NM_DEVICE = BeamGeometry(
+    length=275e-9,
+    thickness=11e-9,
+    gap=11e-9,
+    contact_gap=3.6e-9,
+)

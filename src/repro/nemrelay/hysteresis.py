@@ -1,0 +1,132 @@
+"""Quasi-static I-V hysteresis sweeps (paper Fig. 2b).
+
+The paper characterises relays by sweeping Vgs up and down while
+biasing the drain and recording Ids on a log scale with a 100 nA
+current compliance.  `sweep_iv` reproduces that measurement on a
+`NEMRelay`: the up-sweep shows zero current (below an emulated
+instrument noise floor) until Vpi, then compliance-limited on-current;
+the down-sweep holds the on state until Vpo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from .device import NEMRelay, RelayState
+
+#: The paper's measurement noise floor: off-state currents read as
+#: "zero leakage (below noise floor)" at 10 pA.
+NOISE_FLOOR_A = 10e-12
+
+#: Current compliance applied during the paper's Fig. 2b testing.
+COMPLIANCE_A = 100e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class IVPoint:
+    """One point of a swept I-V characteristic."""
+
+    vgs: float
+    ids: float
+    state: RelayState
+
+
+@dataclasses.dataclass(frozen=True)
+class IVCurve:
+    """A full up+down Vgs sweep.
+
+    Attributes:
+        points: Samples in sweep order (up then down).
+        pull_in_observed: Vgs at which the relay turned on, or None.
+        pull_out_observed: Vgs at which the relay turned off, or None.
+    """
+
+    points: List[IVPoint]
+    pull_in_observed: Optional[float]
+    pull_out_observed: Optional[float]
+
+    @property
+    def hysteresis_window(self) -> Optional[float]:
+        """Observed Vpi - Vpo, or None if either edge was not seen."""
+        if self.pull_in_observed is None or self.pull_out_observed is None:
+            return None
+        return self.pull_in_observed - self.pull_out_observed
+
+    def up_branch(self) -> List[IVPoint]:
+        """Points of the increasing-Vgs half of the sweep."""
+        half = len(self.points) // 2
+        return self.points[:half]
+
+    def down_branch(self) -> List[IVPoint]:
+        """Points of the decreasing-Vgs half of the sweep."""
+        half = len(self.points) // 2
+        return self.points[half:]
+
+
+def triangle_sweep(v_max: float, steps: int) -> List[float]:
+    """Vgs values for a 0 -> v_max -> 0 triangular sweep."""
+    if v_max <= 0:
+        raise ValueError(f"v_max must be positive, got {v_max}")
+    if steps < 2:
+        raise ValueError(f"steps must be >= 2, got {steps}")
+    up = [v_max * i / (steps - 1) for i in range(steps)]
+    down = list(reversed(up))
+    return up + down
+
+
+def sweep_iv(
+    relay: NEMRelay,
+    vgs_values: Optional[Sequence[float]] = None,
+    vds: float = 0.1,
+    compliance: float = COMPLIANCE_A,
+    noise_floor: float = NOISE_FLOOR_A,
+) -> IVCurve:
+    """Measure an I-V curve by quasi-statically stepping Vgs.
+
+    Args:
+        relay: Device under test (left in its final swept state).
+        vgs_values: Sweep points; defaults to a triangular sweep to
+            1.3x the relay's Vpi, mirroring the paper's sweeps past
+            pull-in.
+        vds: Read-out drain bias.
+        compliance: Instrument current limit (paper: 100 nA).
+        noise_floor: Currents below this read as the floor value, so
+            off-state points plot at the 10 pA floor exactly as in
+            Fig. 2b ("zero leakage, below noise floor").
+
+    Returns:
+        The recorded `IVCurve` with observed pull-in/pull-out voltages.
+    """
+    if vgs_values is None:
+        vgs_values = triangle_sweep(1.3 * relay.pull_in_voltage, steps=200)
+    points: List[IVPoint] = []
+    pull_in_observed: Optional[float] = None
+    pull_out_observed: Optional[float] = None
+    previous = relay.state
+    for vgs in vgs_values:
+        state = relay.apply_gate_voltage(vgs)
+        if previous is RelayState.OFF and state is RelayState.ON:
+            pull_in_observed = vgs
+        elif previous is RelayState.ON and state is RelayState.OFF:
+            pull_out_observed = vgs
+        previous = state
+        ids = relay.drain_current(vds, compliance=compliance)
+        if abs(ids) < noise_floor:
+            ids = noise_floor
+        points.append(IVPoint(vgs=vgs, ids=ids, state=state))
+    return IVCurve(points, pull_in_observed, pull_out_observed)
+
+
+def repeated_sweeps(relay: NEMRelay, cycles: int, **kwargs) -> List[IVCurve]:
+    """Multiple pull-in/pull-out cycles (Fig. 2b overlays several).
+
+    Resets the relay before each sweep and returns one curve per cycle.
+    """
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    curves = []
+    for _ in range(cycles):
+        relay.reset()
+        curves.append(sweep_iv(relay, **kwargs))
+    return curves

@@ -1,0 +1,100 @@
+"""Material and ambient constants for NEM relay modelling.
+
+The paper's relays are composite polysilicon--platinum lateral
+cantilevers [Parsa 10] measured in oil; the scaled 22nm device is
+modelled in air/vacuum.  This module collects the physical constants
+the closed-form pull-in/pull-out expressions need.
+
+All quantities are SI unless a suffix says otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Vacuum permittivity (F/m).
+EPSILON_0 = 8.8541878128e-12
+
+
+@dataclasses.dataclass(frozen=True)
+class Material:
+    """Mechanical properties of a beam material.
+
+    Attributes:
+        name: Human-readable identifier.
+        youngs_modulus: Young's modulus ``E`` in Pa.
+        density: Mass density in kg/m^3 (used by the dynamic model).
+    """
+
+    name: str
+    youngs_modulus: float
+    density: float
+
+    def __post_init__(self) -> None:
+        if self.youngs_modulus <= 0:
+            raise ValueError(f"Young's modulus must be positive, got {self.youngs_modulus}")
+        if self.density <= 0:
+            raise ValueError(f"density must be positive, got {self.density}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Ambient:
+    """Dielectric ambient surrounding the relay.
+
+    Attributes:
+        name: Human-readable identifier.
+        relative_permittivity: epsilon_r of the medium in the
+            actuation gap.
+        damping_quality_factor: Effective mechanical quality factor Q
+            of the beam in this medium.  Oil is strongly damping
+            (Q < 1); vacuum/sealed ambients have high Q.
+    """
+
+    name: str
+    relative_permittivity: float
+    damping_quality_factor: float
+
+    def __post_init__(self) -> None:
+        if self.relative_permittivity < 1.0:
+            raise ValueError(
+                f"relative permittivity must be >= 1, got {self.relative_permittivity}"
+            )
+        if self.damping_quality_factor <= 0:
+            raise ValueError(f"quality factor must be positive, got {self.damping_quality_factor}")
+
+    @property
+    def permittivity(self) -> float:
+        """Absolute permittivity (F/m)."""
+        return self.relative_permittivity * EPSILON_0
+
+
+#: Polycrystalline silicon, the canonical NEM relay structural material.
+POLYSILICON = Material(name="polysilicon", youngs_modulus=160e9, density=2330.0)
+
+#: Composite polysilicon-platinum beam of [Parsa 10].  The *effective*
+#: modulus is a calibration constant: with the paper's fabricated
+#: dimensions (L=23um, h=500nm, g0=600nm) and oil ambient, the
+#: closed-form pull-in voltage reproduces the measured Vpi = 6.2 V
+#: (paper Fig. 2b).  The resulting analytic Vpo (~4.3 V) then sits
+#: above the measured 2-3.4 V, consistent with the paper's note that
+#: neglected surface forces lower the real pull-out voltage.
+POLY_PLATINUM = Material(name="poly-platinum", youngs_modulus=39.3e9, density=5200.0)
+
+#: Platinum (contact material in [Parsa 10]).
+PLATINUM = Material(name="platinum", youngs_modulus=168e9, density=21450.0)
+
+#: Vacuum / hermetic micro-shell ambient [Gaddi 10, Xie 10].
+VACUUM = Ambient(name="vacuum", relative_permittivity=1.0, damping_quality_factor=50.0)
+
+#: Air at atmospheric pressure.
+AIR = Ambient(name="air", relative_permittivity=1.0006, damping_quality_factor=2.0)
+
+#: Insulating test oil [Lee 09]: larger permittivity lowers Vpi/Vpo and
+#: the viscosity strongly damps the beam.
+OIL = Ambient(name="oil", relative_permittivity=2.2, damping_quality_factor=0.4)
+
+#: Dry nitrogen, the other controlled test ambient the paper mentions.
+NITROGEN = Ambient(name="nitrogen", relative_permittivity=1.0005, damping_quality_factor=3.0)
+
+AMBIENTS = {a.name: a for a in (VACUUM, AIR, OIL, NITROGEN)}
+MATERIALS = {m.name: m for m in (POLYSILICON, POLY_PLATINUM, PLATINUM)}

@@ -1,0 +1,138 @@
+"""Temperature dependence of relay switching voltages.
+
+Related work the paper cites ([Wang 11]) runs NEM FPGAs above 500 C;
+and any real CMOS-NEM part must hold its *room-temperature-chosen*
+programming point across the operating range.  First-order physics:
+
+* Young's modulus softens roughly linearly,
+  ``E(T) = E0 (1 - k_E (T - T0))`` with k_E ~ 60 ppm/K for silicon;
+* thermal expansion reshapes the beam isotropically by
+  ``1 + alpha (T - T0)`` (alpha ~ 2.6 ppm/K for Si) — a second-order
+  effect on Vpi since the closed form is scale-linear.
+
+Both Vpi and Vpo scale as sqrt(E), so the hysteresis window narrows
+with temperature while a fixed (Vhold, Vselect) stays put:
+`max_hold_temperature` finds where the hold/select constraints break.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .electrostatics import pull_in_voltage, pull_out_voltage
+from .geometry import BeamGeometry
+from .materials import Ambient, Material
+
+#: Young's modulus softening of silicon-class materials (1/K).
+SILICON_SOFTENING_PER_K = 60e-6
+
+#: Linear thermal expansion of silicon (1/K).
+SILICON_EXPANSION_PER_K = 2.6e-6
+
+ROOM_TEMPERATURE_K = 300.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalModel:
+    """First-order thermal coefficients of the beam material."""
+
+    softening_per_k: float = SILICON_SOFTENING_PER_K
+    expansion_per_k: float = SILICON_EXPANSION_PER_K
+    reference_k: float = ROOM_TEMPERATURE_K
+
+    def __post_init__(self) -> None:
+        if self.softening_per_k < 0 or self.expansion_per_k < 0:
+            raise ValueError("thermal coefficients must be non-negative")
+
+    def modulus_scale(self, temperature_k: float) -> float:
+        scale = 1.0 - self.softening_per_k * (temperature_k - self.reference_k)
+        if scale <= 0.0:
+            raise ValueError(
+                f"temperature {temperature_k} K beyond the linear softening model"
+            )
+        return scale
+
+    def dimension_scale(self, temperature_k: float) -> float:
+        return 1.0 + self.expansion_per_k * (temperature_k - self.reference_k)
+
+
+def material_at(material: Material, model: ThermalModel, temperature_k: float) -> Material:
+    """Material with its modulus softened to ``temperature_k``."""
+    return dataclasses.replace(
+        material,
+        name=f"{material.name}@{temperature_k:.0f}K",
+        youngs_modulus=material.youngs_modulus * model.modulus_scale(temperature_k),
+    )
+
+
+def geometry_at(geometry: BeamGeometry, model: ThermalModel, temperature_k: float) -> BeamGeometry:
+    """Geometry isotropically expanded to ``temperature_k``."""
+    return geometry.scaled(model.dimension_scale(temperature_k))
+
+
+def vpi_at(
+    material: Material,
+    geometry: BeamGeometry,
+    ambient: Ambient,
+    temperature_k: float,
+    model: ThermalModel = ThermalModel(),
+) -> float:
+    """Pull-in voltage at temperature (softened E, expanded dims)."""
+    return pull_in_voltage(
+        material_at(material, model, temperature_k),
+        geometry_at(geometry, model, temperature_k),
+        ambient,
+    )
+
+
+def vpo_at(
+    material: Material,
+    geometry: BeamGeometry,
+    ambient: Ambient,
+    temperature_k: float,
+    model: ThermalModel = ThermalModel(),
+) -> float:
+    """Pull-out voltage at temperature."""
+    return pull_out_voltage(
+        material_at(material, model, temperature_k),
+        geometry_at(geometry, model, temperature_k),
+        ambient,
+    )
+
+
+def max_hold_temperature(
+    material: Material,
+    geometry: BeamGeometry,
+    ambient: Ambient,
+    v_hold: float,
+    v_select: float,
+    model: ThermalModel = ThermalModel(),
+    t_max_k: float = 1000.0,
+) -> float:
+    """Highest temperature at which a fixed programming point stays
+    valid (Fig. 4 constraints re-checked with thermally drifted
+    Vpi/Vpo).  Vpi falls as silicon softens, so the binding failure is
+    usually the half-select level crossing pull-in.
+    """
+    from ..crossbar.halfselect import ProgrammingVoltages
+
+    point = ProgrammingVoltages(v_hold=v_hold, v_select=v_select)
+
+    def valid(t: float) -> bool:
+        vpi = vpi_at(material, geometry, ambient, t, model)
+        vpo = vpo_at(material, geometry, ambient, t, model)
+        return point.is_valid(vpi, vpo)
+
+    t0 = model.reference_k
+    if not valid(t0):
+        raise ValueError("programming point invalid even at the reference temperature")
+    if valid(t_max_k):
+        return t_max_k
+    lo, hi = t0, t_max_k
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        if valid(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

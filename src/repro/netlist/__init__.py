@@ -1,0 +1,50 @@
+"""Benchmark circuit substrate: LUT netlists, BLIF I/O, generators.
+
+Provides the mapped K-LUT circuits the evaluation flow consumes: the
+`Netlist` data structure, a BLIF subset reader/writer, a seeded
+synthetic circuit generator, and named suite configurations matching
+the paper's MCNC and Altera benchmark sets.
+"""
+
+from .core import Block, BlockType, Netlist
+from .blif import read_blif, roundtrip_equal, write_blif
+from .generate import GeneratorParams, generate
+from .gates import Gate, GateNetlist, GateOp, random_gate_circuit
+from .techmap import enumerate_cuts, map_to_luts, mapping_stats
+from .simulate import check_equivalence, evaluate_netlist
+from .suites import (
+    ALTERA4_PARAMS,
+    DEFAULT_SCALE,
+    MCNC20_PARAMS,
+    SUITES,
+    load_circuit,
+    load_suite,
+    suite,
+)
+
+__all__ = [
+    "ALTERA4_PARAMS",
+    "Block",
+    "BlockType",
+    "DEFAULT_SCALE",
+    "Gate",
+    "GateNetlist",
+    "GateOp",
+    "GeneratorParams",
+    "MCNC20_PARAMS",
+    "Netlist",
+    "SUITES",
+    "check_equivalence",
+    "enumerate_cuts",
+    "evaluate_netlist",
+    "generate",
+    "map_to_luts",
+    "mapping_stats",
+    "random_gate_circuit",
+    "load_circuit",
+    "load_suite",
+    "read_blif",
+    "roundtrip_equal",
+    "suite",
+    "write_blif",
+]

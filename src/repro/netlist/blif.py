@@ -1,0 +1,193 @@
+"""BLIF subset reader/writer.
+
+VPR consumes technology-mapped BLIF [Yang 91]; we support the subset
+that mapped K-LUT circuits use: ``.model``, ``.inputs``, ``.outputs``,
+``.names`` (LUTs) and ``.latch`` (FFs).  Truth-table cover lines are
+preserved on write (a default cover is emitted when absent) and
+ignored on read beyond pin ordering, since architecture evaluation
+needs topology only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, TextIO
+
+from .core import Block, BlockType, Netlist
+
+
+def _tokens(lines: Iterable[str]) -> List[List[str]]:
+    """Split BLIF into logical statements, honouring ``\\`` continuations
+    and ``#`` comments."""
+    statements: List[List[str]] = []
+    pending = ""
+    for raw in lines:
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        pending += line
+        statements.append(pending.split())
+        pending = ""
+    if pending.strip():
+        statements.append(pending.split())
+    return statements
+
+
+def read_blif(stream: TextIO, k: int = 4) -> Netlist:
+    """Parse a mapped BLIF file into a `Netlist`.
+
+    Signals that appear as fanins but are driven by no ``.names`` /
+    ``.latch`` / ``.inputs`` declaration raise ValueError.  Output pads
+    are modelled as OUTPUT blocks named ``<net>__po`` when the output
+    net name collides with its driver (the common case).
+    """
+    statements = _tokens(stream)
+    name = "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    luts: List[tuple] = []  # (output, [inputs], [cover lines])
+    latches: List[tuple] = []  # (input, output)
+
+    i = 0
+    while i < len(statements):
+        stmt = statements[i]
+        key = stmt[0]
+        if key == ".model":
+            if len(stmt) > 1:
+                name = stmt[1]
+        elif key == ".inputs":
+            inputs.extend(stmt[1:])
+        elif key == ".outputs":
+            outputs.extend(stmt[1:])
+        elif key == ".names":
+            signals = stmt[1:]
+            if not signals:
+                raise ValueError(".names with no signals")
+            lut_inputs, lut_output = signals[:-1], signals[-1]
+            cover: List[str] = []
+            j = i + 1
+            while j < len(statements) and not statements[j][0].startswith("."):
+                cover.append(" ".join(statements[j]))
+                j += 1
+            luts.append((lut_output, lut_inputs, cover))
+            i = j - 1
+        elif key == ".latch":
+            if len(stmt) < 3:
+                raise ValueError(f"malformed .latch: {stmt}")
+            latches.append((stmt[1], stmt[2]))
+        elif key == ".end":
+            break
+        elif key in (".clock",):
+            pass  # single implicit clock domain
+        else:
+            raise ValueError(f"unsupported BLIF construct {key!r}")
+        i += 1
+
+    netlist = Netlist(name, k=k)
+    driven = set(inputs)
+    for out, _ins, _cover in luts:
+        if out in driven:
+            raise ValueError(f"net {out!r} driven twice")
+        driven.add(out)
+    for _inp, out in latches:
+        if out in driven:
+            raise ValueError(f"net {out!r} driven twice")
+        driven.add(out)
+    for pi in inputs:
+        netlist.add_input(pi)
+    for out, ins, _cover in luts:
+        # Constant generators (.names with no inputs) become 0-input
+        # LUTs; model them as inputs for architecture purposes.
+        if not ins:
+            netlist.add_input(out)
+    # Second pass: create LUTs and latches now that all drivers are known.
+    for out, ins, cover in luts:
+        if ins:
+            netlist.add_lut(out, ins, truth=_cover_to_truth(ins, cover))
+    for inp, out in latches:
+        netlist.add_ff(out, inp)
+    for po in outputs:
+        pad = po if po not in netlist.blocks else f"{po}__po"
+        netlist.add_output(pad, source=po)
+    netlist.validate()
+    return netlist
+
+
+def _cover_to_truth(inputs: List[str], cover: List[str]):
+    """Parse an ON-set cover into a truth table, or None when the
+    cover uses OFF-set semantics (output column '0')."""
+    n = len(inputs)
+    truth = [0] * (2**n)
+    for line in cover:
+        parts = line.split()
+        if len(parts) != 2 or len(parts[0]) != n:
+            return None
+        pattern, value = parts
+        if value != "1":
+            return None  # OFF-set cover: keep topology-only
+        # Expand don't-cares; BLIF column j corresponds to pin j.
+        free = [j for j, ch in enumerate(pattern) if ch == "-"]
+        if any(ch not in "01-" for ch in pattern):
+            return None
+        base = 0
+        for j, ch in enumerate(pattern):
+            if ch == "1":
+                base |= 1 << j
+        for mask in range(2 ** len(free)):
+            index = base
+            for bit, j in enumerate(free):
+                if mask >> bit & 1:
+                    index |= 1 << j
+            truth[index] = 1
+    return tuple(truth)
+
+
+def _truth_to_cover(truth) -> List[str]:
+    """ON-set cover lines for a truth table (one line per minterm)."""
+    n = len(truth).bit_length() - 1
+    lines = []
+    for minterm, bit in enumerate(truth):
+        if bit:
+            pattern = "".join(str(minterm >> j & 1) for j in range(n))
+            lines.append(f"{pattern} 1")
+    return lines
+
+
+def write_blif(netlist: Netlist, stream: TextIO) -> None:
+    """Emit the netlist as mapped BLIF.
+
+    LUTs with truth tables write their real ON-set cover; topology-only
+    LUTs write a placeholder AND cover.
+    """
+    stream.write(f".model {netlist.name}\n")
+    pis = " ".join(b.name for b in netlist.inputs)
+    stream.write(f".inputs {pis}\n")
+    pos = " ".join(b.inputs[0] for b in netlist.outputs)
+    stream.write(f".outputs {pos}\n")
+    for ff in netlist.ffs:
+        stream.write(f".latch {ff.inputs[0]} {ff.name} re clk 0\n")
+    for lut in netlist.luts:
+        stream.write(f".names {' '.join(lut.inputs)} {lut.name}\n")
+        if lut.truth is not None:
+            for line in _truth_to_cover(lut.truth):
+                stream.write(line + "\n")
+        else:
+            # Placeholder cover: AND of all inputs (topology carrier).
+            stream.write("1" * len(lut.inputs) + " 1\n")
+    stream.write(".end\n")
+
+
+def roundtrip_equal(a: Netlist, b: Netlist) -> bool:
+    """Structural equality: same blocks, types and connections."""
+    if set(a.blocks) != set(b.blocks):
+        return False
+    for name, block in a.blocks.items():
+        other = b.blocks[name]
+        if block.type is not other.type or block.inputs != other.inputs:
+            if block.type is BlockType.OUTPUT and other.type is BlockType.OUTPUT:
+                if block.inputs == other.inputs:
+                    continue
+            return False
+    return True

@@ -1,0 +1,240 @@
+"""LUT-level netlist data structures.
+
+The unit of the paper's evaluation flow: benchmark circuits mapped to
+K-input LUTs plus flip-flops, with primary inputs/outputs.  This is
+the representation VPR consumes (technology-mapped BLIF), and the one
+our packing / placement / routing substrate operates on.
+
+Conventions:
+
+* every net is named by its driver: PIs and LUT/FF outputs drive nets
+  of their own name;
+* combinational structure must be acyclic once FF boundaries are cut
+  (`Netlist.validate` checks this);
+* a LUT has at most K inputs; truth tables are optional (architecture
+  evaluation needs only topology and activity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class BlockType(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    LUT = "lut"
+    FF = "ff"
+
+
+@dataclasses.dataclass
+class Block:
+    """One netlist primitive.
+
+    Attributes:
+        name: Unique block name; also the name of the net it drives
+            (OUTPUT blocks drive nothing).
+        type: Primitive kind.
+        inputs: Driver names of the nets feeding this block, in pin
+            order.  INPUTs have none; OUTPUTs and FFs have exactly one.
+        truth: Optional truth table for LUTs: entry ``truth[i]`` is the
+            output for the input minterm whose bit k is
+            ``(i >> k) & 1`` for pin k.  None = topology-only LUT
+            (sufficient for architecture evaluation).
+    """
+
+    name: str
+    type: BlockType
+    inputs: List[str] = dataclasses.field(default_factory=list)
+    truth: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.type is BlockType.INPUT and self.inputs:
+            raise ValueError(f"input block {self.name!r} cannot have inputs")
+        if self.type in (BlockType.OUTPUT, BlockType.FF) and len(self.inputs) != 1:
+            raise ValueError(f"{self.type.value} block {self.name!r} needs exactly one input")
+        if self.truth is not None:
+            if self.type is not BlockType.LUT:
+                raise ValueError(f"only LUTs carry truth tables ({self.name!r})")
+            if len(self.truth) != 2 ** len(self.inputs):
+                raise ValueError(
+                    f"LUT {self.name!r}: truth table length {len(self.truth)} "
+                    f"does not match {len(self.inputs)} inputs"
+                )
+            if any(bit not in (0, 1) for bit in self.truth):
+                raise ValueError(f"LUT {self.name!r}: truth entries must be 0/1")
+
+
+class Netlist:
+    """A mapped K-LUT netlist.
+
+    Args:
+        name: Circuit name.
+        k: LUT input count bound (paper: K = 4).
+    """
+
+    def __init__(self, name: str, k: int = 4) -> None:
+        if k < 2:
+            raise ValueError(f"K must be >= 2, got {k}")
+        self.name = name
+        self.k = k
+        self.blocks: Dict[str, Block] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def _add(self, block: Block) -> Block:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block name {block.name!r}")
+        self.blocks[block.name] = block
+        return block
+
+    def add_input(self, name: str) -> Block:
+        return self._add(Block(name=name, type=BlockType.INPUT))
+
+    def add_output(self, name: str, source: str) -> Block:
+        return self._add(Block(name=name, type=BlockType.OUTPUT, inputs=[source]))
+
+    def add_lut(
+        self, name: str, inputs: Sequence[str], truth: Optional[Sequence[int]] = None
+    ) -> Block:
+        if not inputs:
+            raise ValueError(f"LUT {name!r} needs at least one input")
+        if len(inputs) > self.k:
+            raise ValueError(f"LUT {name!r} has {len(inputs)} inputs, K = {self.k}")
+        if len(set(inputs)) != len(inputs):
+            raise ValueError(f"LUT {name!r} has duplicate inputs: {inputs}")
+        table = tuple(truth) if truth is not None else None
+        return self._add(
+            Block(name=name, type=BlockType.LUT, inputs=list(inputs), truth=table)
+        )
+
+    def add_ff(self, name: str, source: str) -> Block:
+        return self._add(Block(name=name, type=BlockType.FF, inputs=[source]))
+
+    # -- queries ----------------------------------------------------------
+
+    def blocks_of_type(self, block_type: BlockType) -> List[Block]:
+        return [b for b in self.blocks.values() if b.type is block_type]
+
+    @property
+    def inputs(self) -> List[Block]:
+        return self.blocks_of_type(BlockType.INPUT)
+
+    @property
+    def outputs(self) -> List[Block]:
+        return self.blocks_of_type(BlockType.OUTPUT)
+
+    @property
+    def luts(self) -> List[Block]:
+        return self.blocks_of_type(BlockType.LUT)
+
+    @property
+    def ffs(self) -> List[Block]:
+        return self.blocks_of_type(BlockType.FF)
+
+    @property
+    def num_luts(self) -> int:
+        return sum(1 for b in self.blocks.values() if b.type is BlockType.LUT)
+
+    def drivers(self) -> Set[str]:
+        """Names of all blocks that drive a net."""
+        return {
+            b.name for b in self.blocks.values() if b.type is not BlockType.OUTPUT
+        }
+
+    def fanout(self) -> Dict[str, List[Tuple[str, int]]]:
+        """driver name -> [(sink block name, sink pin index), ...]."""
+        result: Dict[str, List[Tuple[str, int]]] = defaultdict(list)
+        for block in self.blocks.values():
+            for pin, src in enumerate(block.inputs):
+                result[src].append((block.name, pin))
+        return dict(result)
+
+    def nets(self) -> Dict[str, List[str]]:
+        """driver name -> sink block names (nets with sinks only)."""
+        return {src: [s for s, _pin in sinks] for src, sinks in self.fanout().items()}
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ValueError on dangling references or combinational loops."""
+        for block in self.blocks.values():
+            for src in block.inputs:
+                if src not in self.blocks:
+                    raise ValueError(f"block {block.name!r} references unknown net {src!r}")
+                if self.blocks[src].type is BlockType.OUTPUT:
+                    raise ValueError(f"block {block.name!r} uses OUTPUT {src!r} as a source")
+        # Combinational loop check: FFs and PIs are sources; traverse
+        # LUT-to-LUT edges only.
+        order = self.topological_luts()
+        if order is None:
+            raise ValueError(f"netlist {self.name!r} has a combinational loop")
+
+    def topological_luts(self) -> Optional[List[str]]:
+        """LUT names in topological order over combinational edges,
+        or None if a combinational cycle exists."""
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = defaultdict(list)
+        for block in self.blocks.values():
+            if block.type is not BlockType.LUT:
+                continue
+            count = 0
+            for src in block.inputs:
+                src_block = self.blocks.get(src)
+                if src_block is not None and src_block.type is BlockType.LUT:
+                    count += 1
+                    dependents[src].append(block.name)
+            indegree[block.name] = count
+        queue = deque(name for name, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            for dep in dependents.get(name, ()):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    queue.append(dep)
+        if len(order) != len(indegree):
+            return None
+        return order
+
+    # -- statistics ---------------------------------------------------------
+
+    def logic_depth(self) -> int:
+        """Longest LUT-to-LUT combinational chain (LUT count)."""
+        order = self.topological_luts()
+        if order is None:
+            raise ValueError("cannot compute depth of a cyclic netlist")
+        depth: Dict[str, int] = {}
+        for name in order:
+            block = self.blocks[name]
+            best = 0
+            for src in block.inputs:
+                src_block = self.blocks.get(src)
+                if src_block is not None and src_block.type is BlockType.LUT:
+                    best = max(best, depth[src])
+            depth[name] = best + 1
+        return max(depth.values(), default=0)
+
+    def stats(self) -> Dict[str, float]:
+        nets = self.nets()
+        fanouts = [len(sinks) for sinks in nets.values()]
+        return {
+            "luts": self.num_luts,
+            "ffs": len(self.ffs),
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "nets": len(nets),
+            "depth": self.logic_depth(),
+            "avg_fanout": sum(fanouts) / len(fanouts) if fanouts else 0.0,
+            "max_fanout": max(fanouts, default=0),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, k={self.k}, luts={self.num_luts}, "
+            f"ffs={len(self.ffs)}, pis={len(self.inputs)}, pos={len(self.outputs)})"
+        )

@@ -1,0 +1,227 @@
+"""Gate-level netlists (the technology mapper's input).
+
+A `GateNetlist` is a DAG of primitive logic gates — the form a
+synthesis front-end hands to technology mapping.  Gates take one or
+two inputs (wider fanin is built by trees); FFs and primary I/Os
+mirror the LUT-netlist conventions so mapped circuits drop straight
+into the existing flow.
+
+Includes functional evaluation (for equivalence checking against the
+mapped LUT netlist) and a seeded random gate-circuit generator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class GateOp(enum.Enum):
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+
+    @property
+    def arity(self) -> int:
+        return 1 if self in (GateOp.NOT, GateOp.BUF) else 2
+
+    def evaluate(self, a: int, b: int = 0) -> int:
+        if self is GateOp.AND:
+            return a & b
+        if self is GateOp.OR:
+            return a | b
+        if self is GateOp.XOR:
+            return a ^ b
+        if self is GateOp.NAND:
+            return 1 - (a & b)
+        if self is GateOp.NOR:
+            return 1 - (a | b)
+        if self is GateOp.XNOR:
+            return 1 - (a ^ b)
+        if self is GateOp.NOT:
+            return 1 - a
+        return a  # BUF
+
+
+@dataclasses.dataclass
+class Gate:
+    """One logic gate: ``name = op(inputs)``."""
+
+    name: str
+    op: GateOp
+    inputs: List[str]
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.op.arity:
+            raise ValueError(
+                f"gate {self.name!r}: {self.op.value} takes {self.op.arity} "
+                f"inputs, got {len(self.inputs)}"
+            )
+
+
+class GateNetlist:
+    """A combinational/sequential gate-level circuit."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: Dict[str, str] = {}  # output pad name -> source signal
+        self.gates: Dict[str, Gate] = {}
+        self.ffs: Dict[str, str] = {}  # ff name -> D source signal
+
+    # -- construction ---------------------------------------------------
+
+    def _check_new(self, name: str) -> None:
+        if name in self.gates or name in self.ffs or name in self.inputs:
+            raise ValueError(f"duplicate signal {name!r}")
+
+    def add_input(self, name: str) -> None:
+        self._check_new(name)
+        self.inputs.append(name)
+
+    def add_gate(self, name: str, op: GateOp, inputs: Sequence[str]) -> None:
+        self._check_new(name)
+        self.gates[name] = Gate(name=name, op=op, inputs=list(inputs))
+
+    def add_ff(self, name: str, source: str) -> None:
+        self._check_new(name)
+        self.ffs[name] = source
+
+    def add_output(self, name: str, source: str) -> None:
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name!r}")
+        self.outputs[name] = source
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def signals(self) -> List[str]:
+        return self.inputs + list(self.ffs) + list(self.gates)
+
+    def topological_gates(self) -> List[str]:
+        """Gate names in topological order (FF boundaries cut)."""
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {}
+        for gate in self.gates.values():
+            count = 0
+            for src in gate.inputs:
+                if src in self.gates:
+                    count += 1
+                    dependents.setdefault(src, []).append(gate.name)
+            indegree[gate.name] = count
+        queue = deque(n for n, d in indegree.items() if d == 0)
+        order: List[str] = []
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for dep in dependents.get(node, ()):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    queue.append(dep)
+        if len(order) != len(self.gates):
+            raise ValueError(f"gate netlist {self.name!r} has a combinational loop")
+        return order
+
+    def validate(self) -> None:
+        known = set(self.signals())
+        for gate in self.gates.values():
+            for src in gate.inputs:
+                if src not in known:
+                    raise ValueError(f"gate {gate.name!r} references unknown {src!r}")
+        for ff, src in self.ffs.items():
+            if src not in known:
+                raise ValueError(f"FF {ff!r} references unknown {src!r}")
+        for out, src in self.outputs.items():
+            if src not in known:
+                raise ValueError(f"output {out!r} references unknown {src!r}")
+        self.topological_gates()
+
+    # -- functional evaluation -----------------------------------------------
+
+    def evaluate(
+        self,
+        input_values: Dict[str, int],
+        state: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, int]:
+        """One combinational evaluation.
+
+        Args:
+            input_values: PI name -> 0/1.
+            state: FF name -> current Q value (default all 0).
+
+        Returns:
+            Signal name -> value for every signal (gates, outputs).
+        """
+        values: Dict[str, int] = {}
+        for pi in self.inputs:
+            if pi not in input_values:
+                raise ValueError(f"missing value for input {pi!r}")
+            values[pi] = int(input_values[pi]) & 1
+        for ff in self.ffs:
+            values[ff] = int((state or {}).get(ff, 0)) & 1
+        for name in self.topological_gates():
+            gate = self.gates[name]
+            operands = [values[src] for src in gate.inputs]
+            values[name] = gate.op.evaluate(*operands)
+        for out, src in self.outputs.items():
+            values[out] = values[src]
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"GateNetlist({self.name!r}, gates={self.num_gates}, "
+            f"ffs={len(self.ffs)}, pis={len(self.inputs)}, pos={len(self.outputs)})"
+        )
+
+
+def random_gate_circuit(
+    name: str,
+    num_gates: int,
+    num_inputs: int = 8,
+    num_outputs: int = 4,
+    ff_fraction: float = 0.0,
+    seed: int = 1,
+) -> GateNetlist:
+    """Seeded random gate DAG for mapper tests and demos."""
+    if num_gates < 1 or num_inputs < 1 or num_outputs < 1:
+        raise ValueError("counts must be positive")
+    if not 0.0 <= ff_fraction <= 1.0:
+        raise ValueError("ff_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    netlist = GateNetlist(name)
+    for i in range(num_inputs):
+        netlist.add_input(f"pi{i}")
+    ops = [GateOp.AND, GateOp.OR, GateOp.XOR, GateOp.NAND, GateOp.NOR, GateOp.NOT]
+    pool = [f"pi{i}" for i in range(num_inputs)]
+    n_ff = int(round(ff_fraction * num_gates))
+    ff_names = [f"r{i}" for i in range(n_ff)]
+    pool += ff_names  # FF outputs usable before their D is defined
+    for i in range(num_gates):
+        op = ops[int(rng.integers(len(ops)))]
+        fanin = op.arity
+        sources = []
+        while len(sources) < fanin:
+            candidate = pool[int(rng.integers(len(pool)))]
+            if candidate not in sources:
+                sources.append(candidate)
+        netlist.add_gate(f"g{i}", op, sources)
+        pool.append(f"g{i}")
+    gate_names = [f"g{i}" for i in range(num_gates)]
+    for i, ff in enumerate(ff_names):
+        netlist.add_ff(ff, gate_names[int(rng.integers(len(gate_names)))])
+    for i in range(num_outputs):
+        netlist.add_output(f"po{i}", gate_names[-(1 + i % len(gate_names))])
+    netlist.validate()
+    return netlist

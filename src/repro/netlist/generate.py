@@ -1,0 +1,228 @@
+"""Seeded synthetic K-LUT benchmark generator.
+
+Stands in for the MCNC [Yang 91] and Altera [Pistorius 07] circuits the
+paper maps (we do not have the proprietary netlists offline).  The
+generator builds levelized random LUT networks with the structural
+statistics that drive FPGA architecture results:
+
+* bounded fanin (K), fanin distribution biased toward K (mapped
+  circuits mostly fill their LUTs),
+* heavy-tailed fanout (mix of uniform and preferential attachment),
+* geometric locality: a LUT draws most inputs from nearby earlier
+  levels (Rent-like wiring locality),
+* a configurable registered fraction (FF per LUT output) with FF
+  outputs feeding anywhere (sequential loops through FFs are legal),
+* deterministic for a given `GeneratorParams` (seeded numpy RNG).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from .core import Netlist
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorParams:
+    """Parameters of one synthetic circuit.
+
+    Attributes:
+        name: Circuit name.
+        num_luts: Number of K-LUTs.
+        k: LUT input bound.
+        num_inputs: Primary inputs; defaults (0) to ~ 2.2 sqrt(luts),
+            the Rent-style pad count.
+        num_outputs: Primary outputs; same default rule.
+        depth: Combinational depth target (levels); defaults (0) to
+            ~ 3 log2(luts)/2, typical of mapped control+datapath mixes.
+        ff_fraction: Fraction of LUT outputs that are registered.
+        locality: Geometric parameter in (0, 1]; larger = inputs come
+            from closer levels (more local wiring).
+        preferential: Probability a source is drawn
+            fanout-preferentially (heavy fanout tail) vs uniformly.
+        seed: RNG seed; two circuits with equal params are identical.
+    """
+
+    name: str
+    num_luts: int
+    k: int = 4
+    num_inputs: int = 0
+    num_outputs: int = 0
+    depth: int = 0
+    ff_fraction: float = 0.25
+    locality: float = 0.45
+    preferential: float = 0.35
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_luts < 1:
+            raise ValueError(f"num_luts must be >= 1, got {self.num_luts}")
+        if not 0.0 <= self.ff_fraction <= 1.0:
+            raise ValueError(f"ff_fraction must be in [0, 1], got {self.ff_fraction}")
+        if not 0.0 < self.locality <= 1.0:
+            raise ValueError(f"locality must be in (0, 1], got {self.locality}")
+        if not 0.0 <= self.preferential <= 1.0:
+            raise ValueError(f"preferential must be in [0, 1], got {self.preferential}")
+
+    @property
+    def resolved_inputs(self) -> int:
+        if self.num_inputs > 0:
+            return self.num_inputs
+        return max(4, int(round(2.2 * math.sqrt(self.num_luts))))
+
+    @property
+    def resolved_outputs(self) -> int:
+        if self.num_outputs > 0:
+            return self.num_outputs
+        return max(2, int(round(1.8 * math.sqrt(self.num_luts))))
+
+    @property
+    def resolved_depth(self) -> int:
+        if self.depth > 0:
+            return self.depth
+        return max(3, int(round(1.5 * math.log2(max(self.num_luts, 2)))))
+
+    def scaled(self, factor: float, seed: "int | None" = None) -> "GeneratorParams":
+        """Shrink (or grow) the circuit by ``factor`` keeping its shape.
+
+        LUT/pad counts scale linearly (pads by sqrt to respect Rent);
+        depth is preserved.  Used to run the paper's 10k-17k LUT
+        circuits at pure-Python-friendly sizes (see DESIGN.md Sec. 6).
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return dataclasses.replace(
+            self,
+            num_luts=max(1, int(round(self.num_luts * factor))),
+            num_inputs=max(4, int(round(self.resolved_inputs * math.sqrt(factor)))),
+            num_outputs=max(2, int(round(self.resolved_outputs * math.sqrt(factor)))),
+            depth=self.resolved_depth,
+            seed=self.seed if seed is None else seed,
+        )
+
+
+def generate(params: GeneratorParams) -> Netlist:
+    """Build the synthetic netlist for ``params`` (deterministic)."""
+    rng = np.random.default_rng(params.seed)
+    netlist = Netlist(params.name, k=params.k)
+
+    n_pi = params.resolved_inputs
+    n_po = params.resolved_outputs
+    depth = min(params.resolved_depth, params.num_luts)
+
+    pi_names = [f"pi{i}" for i in range(n_pi)]
+    for name in pi_names:
+        netlist.add_input(name)
+
+    # Assign LUTs to levels: every level gets at least one, remainder
+    # spread with a mild bulge in the middle (datapath-like).
+    level_counts = [1] * depth
+    remaining = params.num_luts - depth
+    if remaining > 0:
+        weights = np.array([1.0 + math.sin(math.pi * (i + 0.5) / depth) for i in range(depth)])
+        extra = rng.multinomial(remaining, weights / weights.sum())
+        level_counts = [c + int(e) for c, e in zip(level_counts, extra)]
+
+    lut_level: Dict[str, int] = {}
+    levels: List[List[str]] = [[] for _ in range(depth)]
+    lut_names: List[str] = []
+    counter = 0
+    for level, count in enumerate(level_counts):
+        for _ in range(count):
+            name = f"n{counter}"
+            counter += 1
+            levels[level].append(name)
+            lut_level[name] = level
+            lut_names.append(name)
+
+    # Register a fraction of LUT outputs.  FF outputs become global
+    # sources usable at any level (they cross the clock boundary).
+    n_ff = int(round(params.ff_fraction * params.num_luts))
+    ff_of = rng.choice(params.num_luts, size=n_ff, replace=False) if n_ff else np.array([], int)
+    ff_names = [f"{lut_names[i]}_reg" for i in ff_of]
+
+    # Sources available to a LUT at level l: PIs, FF outputs, and LUTs
+    # at levels < l.  Fanout counts track preferential attachment.
+    fanout_count: Dict[str, int] = {name: 0 for name in pi_names}
+    for ff in ff_names:
+        fanout_count[ff] = 0
+
+    sources_by_level: List[List[str]] = [[] for _ in range(depth + 1)]
+    sources_by_level[0] = pi_names + ff_names
+
+    def pick_sources(level: int, fanin: int) -> List[str]:
+        chosen: List[str] = []
+        attempts = 0
+        while len(chosen) < fanin and attempts < 50 * fanin:
+            attempts += 1
+            # Geometric choice of source distance: distance 0 = the
+            # immediately preceding level, larger = further back; the
+            # PI/FF pool sits behind the last level.
+            distance = min(int(rng.geometric(params.locality)) - 1, level)
+            source_level = level - 1 - distance
+            pool = sources_by_level[source_level + 1] if source_level >= 0 else sources_by_level[0]
+            if not pool:
+                pool = sources_by_level[0]
+            if rng.random() < params.preferential and len(pool) > 1:
+                weights = np.array([1.0 + fanout_count[s] for s in pool])
+                src = pool[int(rng.choice(len(pool), p=weights / weights.sum()))]
+            else:
+                src = pool[int(rng.integers(len(pool)))]
+            if src not in chosen:
+                chosen.append(src)
+        if not chosen:
+            chosen.append(pi_names[int(rng.integers(len(pi_names)))])
+        return chosen
+
+    # Fanin distribution biased toward K (mapped LUTs are mostly full).
+    fanin_choices = list(range(2, params.k + 1))
+    fanin_weights = np.array([1.0] * (len(fanin_choices) - 1) + [2.5])
+    fanin_weights = fanin_weights / fanin_weights.sum()
+
+    for level in range(depth):
+        for name in levels[level]:
+            fanin = int(rng.choice(fanin_choices, p=fanin_weights)) if params.k > 2 else 2
+            fanin = min(fanin, params.k)
+            sources = pick_sources(level, fanin)
+            netlist.add_lut(name, sources)
+            for src in sources:
+                fanout_count[src] += 1
+            fanout_count[name] = 0
+            sources_by_level[level + 1].append(name)
+
+    for idx in ff_of:
+        lut = lut_names[int(idx)]
+        netlist.add_ff(f"{lut}_reg", source=lut)
+
+    # Primary outputs: prefer deep LUTs and FFs; then guarantee every
+    # driver has at least one sink by appending dangling drivers as POs.
+    fanouts = netlist.fanout()
+    candidates = [name for name in reversed(lut_names)] + ff_names
+    po_sources: List[str] = []
+    for name in candidates:
+        if len(po_sources) >= n_po:
+            break
+        if name not in fanouts:
+            po_sources.append(name)
+    for name in candidates:
+        if len(po_sources) >= n_po:
+            break
+        if name not in po_sources:
+            po_sources.append(name)
+    for i, src in enumerate(po_sources):
+        netlist.add_output(f"po{i}", source=src)
+    # Any remaining driverless-sink LUT/FF outputs become extra POs so
+    # no logic is dangling (VPR prunes dangling logic; we keep it live).
+    fanouts = netlist.fanout()
+    extra = 0
+    for name in lut_names + ff_names:
+        if name not in fanouts:
+            netlist.add_output(f"po_extra{extra}", source=name)
+            extra += 1
+
+    netlist.validate()
+    return netlist

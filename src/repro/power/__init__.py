@@ -1,0 +1,71 @@
+"""Power modelling substrate ([Jamieson 09]-style, paper Sec. 3.3).
+
+Switching-activity estimation, per-node dynamic power, per-block
+leakage power, and the Fig. 9 breakdown reporting.
+"""
+
+from .activity import (
+    ActivityModel,
+    DEFAULT_INPUT_ACTIVITY,
+    LOGIC_ATTENUATION,
+    REGISTER_ATTENUATION,
+    average_activity,
+    estimate_activities,
+)
+from .dynamic import (
+    CLOCK_BUFFER_CAP_WIDTHS,
+    CLOCK_WIRE_PITCH_FRACTION,
+    DynamicSpec,
+    FF_CLOCK_CAP_WIDTHS,
+    LOCAL_HOP_CAP_WIDTHS,
+    LUT_INTERNAL_CAP_WIDTHS,
+    dynamic_power,
+    total_dynamic,
+)
+from .leakage import (
+    LeakageSpec,
+    cmos_switch_leakage,
+    fpga_leakage,
+    sram_bit_leakage,
+    tile_leakage,
+    total_leakage,
+)
+from .breakdown import (
+    PAPER_DYNAMIC_BREAKDOWN,
+    PAPER_LEAKAGE_BREAKDOWN,
+    compare_to_paper,
+    fold_dynamic,
+    fold_leakage,
+    format_table,
+    percentages,
+)
+
+__all__ = [
+    "ActivityModel",
+    "CLOCK_BUFFER_CAP_WIDTHS",
+    "CLOCK_WIRE_PITCH_FRACTION",
+    "DEFAULT_INPUT_ACTIVITY",
+    "DynamicSpec",
+    "FF_CLOCK_CAP_WIDTHS",
+    "LOCAL_HOP_CAP_WIDTHS",
+    "LOGIC_ATTENUATION",
+    "LUT_INTERNAL_CAP_WIDTHS",
+    "LeakageSpec",
+    "PAPER_DYNAMIC_BREAKDOWN",
+    "PAPER_LEAKAGE_BREAKDOWN",
+    "REGISTER_ATTENUATION",
+    "average_activity",
+    "cmos_switch_leakage",
+    "compare_to_paper",
+    "dynamic_power",
+    "estimate_activities",
+    "fold_dynamic",
+    "fold_leakage",
+    "format_table",
+    "fpga_leakage",
+    "percentages",
+    "sram_bit_leakage",
+    "tile_leakage",
+    "total_dynamic",
+    "total_leakage",
+]

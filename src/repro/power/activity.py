@@ -1,0 +1,80 @@
+"""Switching-activity estimation ([Jamieson 09] power-model input).
+
+The paper's power model "incorporates appropriate switching activities
+of various circuit nodes".  We estimate activity (transitions per
+clock cycle) with the standard transition-density propagation:
+
+* primary inputs toggle with a configurable density,
+* a LUT output's density is the mean of its input densities scaled by
+  a logic attenuation factor (random logic filters transitions),
+* a FF output toggles at most once per cycle, at its input's density
+  clipped and scaled by a register attenuation factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from ..netlist.core import BlockType, Netlist
+
+#: Default transition density of primary inputs (transitions/cycle).
+DEFAULT_INPUT_ACTIVITY = 0.2
+
+#: Per-LUT-level attenuation of transition density.
+LOGIC_ATTENUATION = 0.85
+
+#: Registers filter glitches; output density relative to D input.
+REGISTER_ATTENUATION = 0.7
+
+
+@dataclasses.dataclass(frozen=True)
+class ActivityModel:
+    """Parameters of the density propagation."""
+
+    input_activity: float = DEFAULT_INPUT_ACTIVITY
+    logic_attenuation: float = LOGIC_ATTENUATION
+    register_attenuation: float = REGISTER_ATTENUATION
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.input_activity <= 2.0:
+            raise ValueError(f"input activity must be in (0, 2], got {self.input_activity}")
+        for name in ("logic_attenuation", "register_attenuation"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+
+
+def estimate_activities(
+    netlist: Netlist, model: ActivityModel = ActivityModel()
+) -> Dict[str, float]:
+    """Transition density per driving signal (block name -> density).
+
+    FF outputs seed at the input density so sequential loops converge
+    in one topological pass (FFs cut the combinational order).
+    """
+    order = netlist.topological_luts()
+    if order is None:
+        raise ValueError("cannot estimate activity on a cyclic netlist")
+    density: Dict[str, float] = {}
+    for pi in netlist.inputs:
+        density[pi.name] = model.input_activity
+    # FFs first pass: assume nominal density (refined below).
+    for ff in netlist.ffs:
+        density[ff.name] = model.input_activity * model.register_attenuation
+
+    for _refine in range(2):
+        for lut_name in order:
+            block = netlist.blocks[lut_name]
+            inputs = [density.get(src, model.input_activity) for src in block.inputs]
+            density[lut_name] = model.logic_attenuation * sum(inputs) / len(inputs)
+        for ff in netlist.ffs:
+            d_in = density.get(ff.inputs[0], model.input_activity)
+            density[ff.name] = model.register_attenuation * min(d_in, 1.0)
+    return density
+
+
+def average_activity(netlist: Netlist, model: ActivityModel = ActivityModel()) -> float:
+    """Mean transition density over all driven signals."""
+    densities = estimate_activities(netlist, model)
+    return sum(densities.values()) / len(densities) if densities else 0.0

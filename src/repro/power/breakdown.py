@@ -1,0 +1,93 @@
+"""Power breakdown reporting in the paper's Fig. 9 categories.
+
+Fig. 9 buckets a baseline CMOS-only FPGA's power as:
+
+* dynamic: wire interconnects 40%, routing buffers 30%, LUTs 20%,
+  clocking 10%;
+* leakage: routing buffers 70%, routing SRAMs 12%, routing pass
+  transistors 10%, LUTs 8%.
+
+This module folds the detailed model outputs into those buckets and
+formats comparison tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: Paper Fig. 9 reference percentages (for EXPERIMENTS.md comparison).
+PAPER_DYNAMIC_BREAKDOWN = {
+    "wire_interconnect": 40.0,
+    "routing_buffers": 30.0,
+    "luts": 20.0,
+    "clocking": 10.0,
+}
+PAPER_LEAKAGE_BREAKDOWN = {
+    "routing_buffers": 70.0,
+    "routing_srams": 12.0,
+    "routing_pass_transistors": 10.0,
+    "luts": 8.0,
+}
+
+
+def fold_dynamic(detailed: Mapping[str, float]) -> Dict[str, float]:
+    """Fold the dynamic model's categories into Fig. 9's four slices.
+
+    Switch parasitics ride the wires they load -> wire interconnect;
+    local (intra-cluster crossbar) switching serves LUT inputs -> LUTs.
+    """
+    return {
+        "wire_interconnect": detailed.get("wire_interconnect", 0.0)
+        + detailed.get("routing_switches", 0.0),
+        "routing_buffers": detailed.get("routing_buffers", 0.0),
+        "luts": detailed.get("luts", 0.0) + detailed.get("local_interconnect", 0.0),
+        "clocking": detailed.get("clocking", 0.0),
+    }
+
+
+def fold_leakage(detailed: Mapping[str, float]) -> Dict[str, float]:
+    """Fold the leakage model's categories into Fig. 9's four slices.
+
+    The small `other` bucket (FFs, output muxes, clock buffers) joins
+    LUTs, as in the paper's 8% logic slice.
+    """
+    return {
+        "routing_buffers": detailed.get("routing_buffers", 0.0),
+        "routing_srams": detailed.get("routing_srams", 0.0),
+        "routing_pass_transistors": detailed.get("routing_pass_transistors", 0.0),
+        "luts": detailed.get("luts", 0.0) + detailed.get("other", 0.0),
+    }
+
+
+def percentages(breakdown: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise a breakdown to percent of total."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        return {k: 0.0 for k in breakdown}
+    return {k: 100.0 * v / total for k, v in breakdown.items()}
+
+
+def format_table(breakdown: Mapping[str, float], title: str, unit: str = "W") -> str:
+    """Plain-text table of a breakdown with percentages."""
+    pct = percentages(breakdown)
+    total = sum(breakdown.values())
+    lines = [title, "-" * len(title)]
+    for key in sorted(breakdown, key=lambda k: -breakdown[k]):
+        lines.append(f"{key:28s} {breakdown[key]:12.4e} {unit}  {pct[key]:5.1f}%")
+    lines.append(f"{'total':28s} {total:12.4e} {unit}")
+    return "\n".join(lines)
+
+
+def compare_to_paper(
+    measured_pct: Mapping[str, float], reference_pct: Mapping[str, float]
+) -> Dict[str, Dict[str, float]]:
+    """{category: {paper, measured, abs_error}} for EXPERIMENTS.md."""
+    result: Dict[str, Dict[str, float]] = {}
+    for key, ref in reference_pct.items():
+        measured = measured_pct.get(key, 0.0)
+        result[key] = {
+            "paper_pct": ref,
+            "measured_pct": measured,
+            "abs_error_pct": abs(measured - ref),
+        }
+    return result

@@ -1,0 +1,161 @@
+"""Dynamic power model ([Jamieson 09]-style, paper Sec. 3.3).
+
+Dynamic power sums alpha/2 * C * Vdd^2 * f over every switching node:
+
+* **routing nets** — per routed net, the switched capacitance comes
+  from the timing extractor's per-net breakdown (wires incl. off-switch
+  loading, routing buffers, switch parasitics), weighted by the
+  driver's transition density;
+* **local interconnect** — intra-cluster crossbar hops per BLE input;
+* **LUTs** — internal read-tree switching per LUT output transition;
+* **clocking** — clock tree and FF clock pins toggle every cycle.
+
+Comparisons between FPGA variants evaluate at a common reference clock
+(the baseline's achievable frequency) so the reductions reported are
+capacitance reductions, as in the paper's iso-performance framing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional
+
+from ..circuits.ptm import TransistorModel
+from ..netlist.core import BlockType, Netlist
+from ..vpr.timing import NetDelays
+
+#: Internal switched capacitance of one K-LUT output transition, as a
+#: multiple of the minimum inverter input capacitance (read tree,
+#: output driver nodes, and internal glitching).
+LUT_INTERNAL_CAP_WIDTHS = 170.0
+
+#: Switched capacitance per intra-cluster crossbar hop (crossbar wire
+#: + crosspoint + LUT input gate), in minimum inverter input caps.
+LOCAL_HOP_CAP_WIDTHS = 10.0
+
+#: Clock buffer capacitance per tile, in minimum inverter input caps;
+#: the distribution-wire part scales with tile pitch (see
+#: `DynamicSpec.clock_cap_per_tile`).
+CLOCK_BUFFER_CAP_WIDTHS = 8.0
+
+#: Effective clock distribution wire per tile, as a fraction of the
+#: tile pitch (H-tree branch share weighted by its activity).
+CLOCK_WIRE_PITCH_FRACTION = 0.35
+
+#: Clock pin capacitance per FF, in minimum inverter input caps.
+FF_CLOCK_CAP_WIDTHS = 1.5
+
+
+@dataclasses.dataclass(frozen=True)
+class DynamicSpec:
+    """Variant-dependent knobs of the dynamic model.
+
+    ``local_hop_cap`` is the energy-relevant capacitance of one
+    intra-cluster connection (F) — lower for relay crossbars (tiny
+    C_on) than for pass-transistor crossbars; ``lut_internal_cap`` the
+    LUT-internal switched capacitance per output transition (F).
+    """
+
+    tech: TransistorModel
+    local_hop_cap: float
+    lut_internal_cap: float
+    #: Clock tree capacitance per tile (F); 0 selects the pitch-free
+    #: buffer-only default.
+    clock_cap_per_tile: float = 0.0
+
+    def resolved_clock_cap(self) -> float:
+        if self.clock_cap_per_tile > 0.0:
+            return self.clock_cap_per_tile
+        return CLOCK_BUFFER_CAP_WIDTHS * self.tech.inverter_input_cap
+
+    @classmethod
+    def from_widths(
+        cls,
+        tech: TransistorModel,
+        local_hop_widths: float = LOCAL_HOP_CAP_WIDTHS,
+        lut_internal_widths: float = LUT_INTERNAL_CAP_WIDTHS,
+    ) -> "DynamicSpec":
+        c_unit = tech.inverter_input_cap
+        return cls(
+            tech=tech,
+            local_hop_cap=local_hop_widths * c_unit,
+            lut_internal_cap=lut_internal_widths * c_unit,
+        )
+
+
+def dynamic_power(
+    netlist: Netlist,
+    net_delays: Mapping[str, NetDelays],
+    activities: Mapping[str, float],
+    spec: DynamicSpec,
+    frequency: float,
+    num_tiles: int,
+    num_local_hops: Optional[int] = None,
+) -> Dict[str, float]:
+    """Dynamic power (W) by Fig. 9 category.
+
+    Args:
+        netlist: The application.
+        net_delays: Routed-net capacitance extraction (from
+            `repro.vpr.timing.analyze_timing`).
+        activities: Transition density per driving signal.
+        spec: Variant electrical knobs.
+        frequency: Operating clock (Hz).
+        num_tiles: Fabric tiles (for the clock tree).
+        num_local_hops: Intra-cluster connections; default estimates
+            one hop per LUT input pin.
+
+    Returns:
+        {"wire_interconnect", "routing_buffers", "routing_switches",
+         "luts", "local_interconnect", "clocking"} in watts.
+    """
+    if frequency <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency}")
+    vdd2 = spec.tech.vdd**2
+    half_f = 0.5 * frequency
+
+    wire = 0.0
+    buffers = 0.0
+    switches = 0.0
+    for name, nd in net_delays.items():
+        alpha = activities.get(name, 0.1)
+        wire += alpha * nd.cap_wire
+        buffers += alpha * nd.cap_buffer
+        switches += alpha * nd.cap_switch
+    wire *= half_f * vdd2
+    buffers *= half_f * vdd2
+    switches *= half_f * vdd2
+
+    luts = 0.0
+    local = 0.0
+    for lut in netlist.luts:
+        alpha_out = activities.get(lut.name, 0.1)
+        luts += alpha_out * spec.lut_internal_cap
+        for src in lut.inputs:
+            local += activities.get(src, 0.1) * spec.local_hop_cap
+    luts *= half_f * vdd2
+    local *= half_f * vdd2
+    if num_local_hops is not None:
+        # Caller supplied an exact hop count; rescale the estimate.
+        estimated_hops = sum(len(lut.inputs) for lut in netlist.luts)
+        if estimated_hops > 0:
+            local *= num_local_hops / estimated_hops
+
+    c_unit = spec.tech.inverter_input_cap
+    clock_cap = num_tiles * spec.resolved_clock_cap()
+    clock_cap += len(netlist.ffs) * FF_CLOCK_CAP_WIDTHS * c_unit
+    # The clock toggles twice per cycle: alpha = 2, so alpha/2 = 1.
+    clocking = clock_cap * vdd2 * frequency
+
+    return {
+        "wire_interconnect": wire,
+        "routing_buffers": buffers,
+        "routing_switches": switches,
+        "luts": luts,
+        "local_interconnect": local,
+        "clocking": clocking,
+    }
+
+
+def total_dynamic(breakdown: Mapping[str, float]) -> float:
+    return sum(breakdown.values())

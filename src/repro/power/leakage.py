@@ -1,0 +1,124 @@
+"""Static (leakage) power model, per tile and per FPGA.
+
+Leakage is paid by every fabricated device whether or not the
+application uses it, so the model works from the tile inventory times
+the grid size (paper Fig. 9 reports a fabric-level breakdown where
+routing buffers dominate at ~70%).
+
+Per-component leakage values come from the circuit models:
+
+* routing buffers leak in proportion to their total transistor width
+  (+ the half-latch restorer in CMOS-only fabrics),
+* off pass transistors leak subthreshold current (NEM relays: zero),
+* configuration SRAM leaks per bit (NEM relays need none),
+* LUTs leak through their read mux/drivers, FFs and clock buffers leak
+  like small fixed-width gates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..arch.tile import TileInventory
+from ..circuits.buffers import RoutingBuffer
+from ..circuits.ptm import TransistorModel
+from ..circuits.switches import SRAMCell
+
+#: Effective leaking widths of non-routing blocks (minimum widths).
+LUT_LEAK_WIDTHS = 20.0     # read tree + output driver of one K-LUT
+FF_LEAK_WIDTHS = 3.0
+CLOCK_BUFFER_LEAK_WIDTHS = 8.0
+OUTPUT_MUX_LEAK_WIDTHS = 0.5
+
+#: Fraction of a routing pass transistor's nominal subthreshold leak
+#: that the fabric pays on average: off switches see reduced drain
+#: bias (both nets often at the same level) and routing switches use
+#: high-Vt devices; calibrated against Fig. 9's 10% share.
+PASS_TRANSISTOR_DUTY = 0.15
+
+
+@dataclasses.dataclass(frozen=True)
+class LeakageSpec:
+    """Electrical ingredients of the per-tile leakage computation.
+
+    ``switch_leak`` is the average static power of one routing switch
+    (0 for NEM relays); ``sram_leak`` per configuration bit (0 when
+    relays replace the SRAM); buffer entries are None when the variant
+    removes them.
+    """
+
+    tech: TransistorModel
+    switch_leak: float
+    sram_leak: float
+    wire_buffer: Optional[RoutingBuffer]
+    lb_input_buffer: Optional[RoutingBuffer]
+    lb_output_buffer: Optional[RoutingBuffer]
+    crossbar_switch_leak: float
+    crossbar_sram_leak: float
+
+
+def cmos_switch_leakage(tech: TransistorModel, width: float = 4.0) -> float:
+    """Average leakage (W) of one NMOS routing pass switch."""
+    return PASS_TRANSISTOR_DUTY * width * tech.i_leak_min * tech.vdd
+
+
+def sram_bit_leakage(tech: TransistorModel) -> float:
+    """Leakage (W) of one configuration SRAM bit."""
+    return SRAMCell(tech).leakage_power
+
+
+def tile_leakage(inventory: TileInventory, spec: LeakageSpec) -> Dict[str, float]:
+    """Per-tile leakage (W) by Fig. 9 category.
+
+    Categories: routing_buffers, routing_pass_transistors,
+    routing_srams, luts (the paper's four leakage slices), plus
+    `other` (FFs, muxes, clock) which the paper folds into LUTs' 8%.
+    """
+    tech = spec.tech
+    unit = tech.i_leak_min * tech.vdd
+
+    buffers = 0.0
+    if spec.wire_buffer is not None:
+        buffers += inventory.wire_buffers * spec.wire_buffer.leakage_power()
+    if spec.lb_input_buffer is not None:
+        buffers += inventory.lb_input_buffers * spec.lb_input_buffer.leakage_power()
+    if spec.lb_output_buffer is not None:
+        buffers += inventory.lb_output_buffers * spec.lb_output_buffer.leakage_power()
+
+    pass_transistors = inventory.routing_switches * spec.switch_leak
+    pass_transistors += inventory.crossbar_switches * spec.crossbar_switch_leak
+
+    srams = inventory.routing_sram_bits * spec.sram_leak
+    srams += inventory.crossbar_sram_bits * spec.crossbar_sram_leak
+
+    luts = inventory.lut_count * LUT_LEAK_WIDTHS * unit
+    luts += inventory.lut_sram_bits * sram_bit_leakage(tech)
+
+    other = (
+        inventory.ff_count * FF_LEAK_WIDTHS * unit
+        + inventory.output_mux_count * OUTPUT_MUX_LEAK_WIDTHS * unit
+        + inventory.clock_buffers * CLOCK_BUFFER_LEAK_WIDTHS * unit
+    )
+    return {
+        "routing_buffers": buffers,
+        "routing_pass_transistors": pass_transistors,
+        "routing_srams": srams,
+        "luts": luts,
+        "other": other,
+    }
+
+
+def fpga_leakage(
+    inventory: TileInventory, spec: LeakageSpec, num_tiles: int
+) -> Dict[str, float]:
+    """Whole-array leakage (W) by category; every fabricated tile
+    leaks regardless of utilisation."""
+    if num_tiles < 1:
+        raise ValueError(f"num_tiles must be >= 1, got {num_tiles}")
+    per_tile = tile_leakage(inventory, spec)
+    return {k: v * num_tiles for k, v in per_tile.items()}
+
+
+def total_leakage(breakdown: Dict[str, float]) -> float:
+    return sum(breakdown.values())

@@ -1,0 +1,207 @@
+"""End-to-end VPR-like flow driver (paper Fig. 10, left column).
+
+pack -> place -> (binary-search Wmin) -> route at the working channel
+width.  The paper derives its architecture's channel width as Wmin
+over all benchmark circuits plus 20% "low-stress routing" margin
+[Betz 99b]; `find_min_channel_width` and `low_stress_width` reproduce
+that derivation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.params import ArchParams
+from ..arch.rrgraph import RRGraph
+from ..netlist.core import Netlist
+from .pack import ClusteredNetlist, pack
+from .place import Placement, place
+from .route import RoutingResult, route_design
+
+#: The paper's low-stress margin over Wmin.
+LOW_STRESS_MARGIN = 0.2
+
+
+@dataclasses.dataclass
+class FlowResult:
+    """Everything the evaluation stages need from one P&R run."""
+
+    netlist: Netlist
+    clustered: ClusteredNetlist
+    placement: Placement
+    routing: RoutingResult
+    graph: RRGraph
+    channel_width: int
+
+    @property
+    def success(self) -> bool:
+        return self.routing.success
+
+
+def low_stress_width(wmin: int) -> int:
+    """W = Wmin * 1.2 rounded up (paper Sec. 3.3)."""
+    if wmin < 1:
+        raise ValueError(f"wmin must be >= 1, got {wmin}")
+    return int(math.ceil(wmin * (1.0 + LOW_STRESS_MARGIN)))
+
+
+def find_min_channel_width(
+    placement: Placement,
+    params: Optional[ArchParams] = None,
+    start: int = 12,
+    max_width: int = 256,
+    **router_kwargs,
+) -> Tuple[int, RoutingResult, RRGraph]:
+    """Binary-search the minimum routable channel width.
+
+    Doubles from ``start`` until routable, then bisects.  Returns
+    (wmin, routing at wmin, graph at wmin).
+    """
+    if params is None:
+        params = placement.clustered.params
+    # Phase 1: find a routable upper bound.
+    width = max(2, start)
+    success: Optional[Tuple[int, RoutingResult, RRGraph]] = None
+    fail_width = 0
+    while width <= max_width:
+        result, graph = route_design(placement, params, channel_width=width, **router_kwargs)
+        if result.success:
+            success = (width, result, graph)
+            break
+        fail_width = width
+        width *= 2
+    if success is None:
+        raise RuntimeError(f"unroutable even at channel width {max_width}")
+    # Phase 2: bisect (fail_width, success_width].
+    lo, (hi, best_result, best_graph) = fail_width, success
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        result, graph = route_design(placement, params, channel_width=mid, **router_kwargs)
+        if result.success:
+            hi, best_result, best_graph = mid, result, graph
+        else:
+            lo = mid
+    return hi, best_result, best_graph
+
+
+def run_flow(
+    netlist: Netlist,
+    params: ArchParams,
+    seed: int = 1,
+    channel_width: Optional[int] = None,
+    inner_num: float = 1.0,
+    **router_kwargs,
+) -> FlowResult:
+    """pack -> place -> route at a fixed channel width.
+
+    ``channel_width`` defaults to the architecture's W; pass the
+    low-stress width from `find_min_channel_width` to mirror the
+    paper's methodology exactly.
+    """
+    clustered = pack(netlist, params)
+    placement = place(clustered, seed=seed, inner_num=inner_num)
+    width = channel_width if channel_width is not None else params.channel_width
+    routing, graph = route_design(placement, params, channel_width=width, **router_kwargs)
+    return FlowResult(
+        netlist=netlist,
+        clustered=clustered,
+        placement=placement,
+        routing=routing,
+        graph=graph,
+        channel_width=width,
+    )
+
+
+def run_timing_driven_flow(
+    netlist: Netlist,
+    params: ArchParams,
+    fabric,
+    seed: int = 1,
+    channel_width: Optional[int] = None,
+    inner_num: float = 1.0,
+    sta_passes: int = 2,
+    **router_kwargs,
+):
+    """Timing-driven pack/place/route (VPR-style criticality loop).
+
+    After a routability-driven first route, STA produces per-net
+    criticalities; critical nets are re-routed with delay-weighted
+    costs.  Keeps the best legal result by critical path.
+
+    Args:
+        fabric: `FabricElectrical` supplying the delay model (the
+            variant the design will be timed against).
+        sta_passes: Criticality refinement iterations.
+
+    Returns:
+        (FlowResult, TimingReport) for the best routing found.
+    """
+    from ..arch.rrgraph import RRGraph
+    from .pack import pack as _pack
+    from .place import place as _place
+    from .route import PathFinderRouter, build_route_nets
+    from .timing import analyze_timing, node_delay_costs
+
+    if sta_passes < 0:
+        raise ValueError(f"sta_passes must be >= 0, got {sta_passes}")
+    clustered = _pack(netlist, params)
+    placement = _place(clustered, seed=seed, inner_num=inner_num)
+    width = channel_width if channel_width is not None else params.channel_width
+    arch = params.with_channel_width(width)
+    graph = RRGraph(arch, placement.grid_width, placement.grid_height)
+    delay_costs = node_delay_costs(graph, fabric)
+    nets = build_route_nets(placement)
+
+    router = PathFinderRouter(graph, delay_costs=delay_costs, **router_kwargs)
+    best_routing = router.route(nets)
+    if not best_routing.success:
+        flow = FlowResult(
+            netlist=netlist, clustered=clustered, placement=placement,
+            routing=best_routing, graph=graph, channel_width=width,
+        )
+        return flow, None
+    best_report = analyze_timing(placement, best_routing, graph, fabric)
+
+    for _ in range(sta_passes):
+        crit = best_report.net_criticality()
+        router = PathFinderRouter(graph, delay_costs=delay_costs, **router_kwargs)
+        candidate = router.route(nets, criticality=crit)
+        if not candidate.success:
+            continue
+        report = analyze_timing(placement, candidate, graph, fabric)
+        if report.critical_path < best_report.critical_path:
+            best_routing, best_report = candidate, report
+    flow = FlowResult(
+        netlist=netlist, clustered=clustered, placement=placement,
+        routing=best_routing, graph=graph, channel_width=width,
+    )
+    return flow, best_report
+
+
+def derive_architecture_width(
+    netlists: Sequence[Netlist],
+    params: ArchParams,
+    seed: int = 1,
+    inner_num: float = 1.0,
+    **router_kwargs,
+) -> Dict[str, object]:
+    """The paper's W derivation over a benchmark suite.
+
+    Runs pack/place per circuit, binary-searches each circuit's Wmin,
+    and returns max Wmin plus the +20% low-stress W (the paper lands
+    on W = 118 for its suite at full scale).
+    """
+    per_circuit: Dict[str, int] = {}
+    for netlist in netlists:
+        clustered = pack(netlist, params)
+        placement = place(clustered, seed=seed, inner_num=inner_num)
+        wmin, _result, _graph = find_min_channel_width(placement, params, **router_kwargs)
+        per_circuit[netlist.name] = wmin
+    overall = max(per_circuit.values())
+    return {
+        "wmin_per_circuit": per_circuit,
+        "wmin": overall,
+        "low_stress_width": low_stress_width(overall),
+    }

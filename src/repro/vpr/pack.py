@@ -1,0 +1,268 @@
+"""VPack-style clustering of LUTs/FFs into logic blocks (paper Fig. 7b).
+
+Stage 1 of the VPR flow: group the netlist's LUTs and FFs into Basic
+Logic Elements (one LUT + optional FF behind the 2:1 output mux), then
+greedily pack BLEs into clusters of N with at most I distinct external
+input nets, maximising shared nets (the classic VPack attraction
+function [Betz 99]).
+
+The result (`ClusteredNetlist`) carries the inter-cluster nets that
+placement and routing operate on; LUT-to-LUT connections inside one
+cluster ride the LB's internal crossbar and never touch the routing
+fabric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..arch.params import ArchParams
+from ..netlist.core import Block, BlockType, Netlist
+
+
+@dataclasses.dataclass
+class BLE:
+    """Basic Logic Element: a LUT and/or the FF registered on it.
+
+    Attributes:
+        name: The BLE's output net name (the signal it exposes).
+        lut: LUT block name, or None for a lone-FF BLE.
+        ff: FF block name, or None for a combinational BLE.
+        input_nets: External nets this BLE consumes (LUT inputs, or
+            the FF's D input for a lone FF).
+    """
+
+    name: str
+    lut: Optional[str]
+    ff: Optional[str]
+    input_nets: List[str]
+
+    @property
+    def output_net(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass
+class Cluster:
+    """One packed logic block.
+
+    Attributes:
+        index: Cluster id (placement block id).
+        bles: Members, at most N.
+        input_nets: Distinct external nets entering the cluster
+            (at most I).
+        output_nets: BLE outputs consumed outside the cluster (or by
+            primary outputs).
+    """
+
+    index: int
+    bles: List[BLE]
+    input_nets: Set[str]
+    output_nets: Set[str]
+
+
+@dataclasses.dataclass
+class ClusteredNetlist:
+    """Packing result.
+
+    Attributes:
+        netlist: The source netlist.
+        params: Architecture parameters used (N, I, K).
+        clusters: The packed logic blocks.
+        cluster_of: Signal name -> cluster index for every BLE output.
+        nets: Inter-cluster nets: driver signal -> endpoint list, where
+            endpoints are ("cluster", index) or ("po", po name); the
+            driver is a BLE output or ("pi", name) handled via
+            `driver_of`.
+    """
+
+    netlist: Netlist
+    params: ArchParams
+    clusters: List[Cluster]
+    cluster_of: Dict[str, int]
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def external_nets(self) -> Dict[str, List[str]]:
+        """Nets that must be routed: driver signal -> sink block names.
+
+        Includes PI-driven nets and BLE outputs used outside their
+        cluster or by POs.  Sinks are netlist block names; map them to
+        clusters with `cluster_of` / PI-PO identity.
+        """
+        routed: Dict[str, List[str]] = {}
+        fanout = self.netlist.fanout()
+        for driver, sinks in fanout.items():
+            driver_block = self.netlist.blocks[driver]
+            driver_cluster = self.cluster_of.get(self._ble_signal(driver))
+            external_sinks: List[str] = []
+            for sink_name, _pin in sinks:
+                sink_block = self.netlist.blocks[sink_name]
+                if sink_block.type is BlockType.OUTPUT:
+                    external_sinks.append(sink_name)
+                    continue
+                sink_cluster = self.cluster_of.get(self._sink_signal(sink_name))
+                if driver_block.type is BlockType.INPUT:
+                    external_sinks.append(sink_name)
+                elif sink_cluster != driver_cluster:
+                    external_sinks.append(sink_name)
+            if external_sinks:
+                routed[driver] = external_sinks
+        return routed
+
+    def _ble_signal(self, block_name: str) -> str:
+        """The BLE output signal a block's output belongs to."""
+        return block_name
+
+    def _sink_signal(self, block_name: str) -> str:
+        """The BLE signal that owns a sink block (FF merged into its
+        LUT's BLE answers with the BLE output name)."""
+        return block_name
+
+
+def form_bles(netlist: Netlist) -> List[BLE]:
+    """Pair each FF with its driving LUT when the FF is the LUT's only
+    sink (the 2:1 output mux exposes one signal per BLE); otherwise
+    the FF occupies its own BLE."""
+    fanout = netlist.fanout()
+    bles: List[BLE] = []
+    merged_luts: Set[str] = set()
+    merged_ffs: Set[str] = set()
+    for ff in netlist.ffs:
+        source = ff.inputs[0]
+        source_block = netlist.blocks.get(source)
+        if (
+            source_block is not None
+            and source_block.type is BlockType.LUT
+            and len(fanout.get(source, [])) == 1
+            and source not in merged_luts
+        ):
+            bles.append(BLE(name=ff.name, lut=source, ff=ff.name, input_nets=list(source_block.inputs)))
+            merged_luts.add(source)
+            merged_ffs.add(ff.name)
+    for lut in netlist.luts:
+        if lut.name not in merged_luts:
+            bles.append(BLE(name=lut.name, lut=lut.name, ff=None, input_nets=list(lut.inputs)))
+    for ff in netlist.ffs:
+        if ff.name not in merged_ffs:
+            bles.append(BLE(name=ff.name, lut=None, ff=ff.name, input_nets=list(ff.inputs)))
+    return bles
+
+
+def _cluster_inputs(members: Sequence[BLE], member_outputs: Set[str]) -> Set[str]:
+    """Distinct external input nets of a candidate member set."""
+    inputs: Set[str] = set()
+    for ble in members:
+        for net in ble.input_nets:
+            if net not in member_outputs:
+                inputs.add(net)
+    return inputs
+
+
+def pack(netlist: Netlist, params: ArchParams) -> ClusteredNetlist:
+    """Greedy VPack clustering.
+
+    Seed each cluster with the unpacked BLE with the most inputs, then
+    repeatedly absorb the unpacked BLE with the highest attraction
+    (shared nets with the cluster, with a bonus for absorbing a net
+    entirely) that keeps the cluster within N BLEs and I inputs.
+    """
+    netlist.validate()
+    bles = form_bles(netlist)
+    by_name: Dict[str, BLE] = {b.name: b for b in bles}
+
+    # Attraction bookkeeping: net -> BLEs touching it (as input or output).
+    net_users: Dict[str, Set[str]] = defaultdict(set)
+    for ble in bles:
+        net_users[ble.output_net].add(ble.name)
+        for net in ble.input_nets:
+            net_users[net].add(ble.name)
+
+    unpacked: Set[str] = {b.name for b in bles}
+    clusters: List[Cluster] = []
+    cluster_of: Dict[str, int] = {}
+
+    while unpacked:
+        seed_name = max(unpacked, key=lambda n: (len(by_name[n].input_nets), n))
+        members: List[BLE] = [by_name[seed_name]]
+        member_outputs: Set[str] = {seed_name}
+        unpacked.discard(seed_name)
+        cluster_nets: Set[str] = set(by_name[seed_name].input_nets) | {seed_name}
+
+        while len(members) < params.n:
+            # Candidates: unpacked BLEs sharing any net with the cluster.
+            candidates: Dict[str, int] = defaultdict(int)
+            for net in cluster_nets:
+                for user in net_users[net]:
+                    if user in unpacked:
+                        candidates[user] += 1
+            # Deterministic greedy: best attraction first (name-ordered
+            # tie-break), take the first candidate that fits.  Plain
+            # dict iteration would make packing hash-seed dependent.
+            best_name = None
+            ranked = sorted(candidates.items(), key=lambda kv: (-kv[1], kv[0]))
+            for cand, _shared in ranked:
+                trial_inputs = _cluster_inputs(
+                    members + [by_name[cand]], member_outputs | {cand}
+                )
+                if len(trial_inputs) <= params.inputs_per_lb:
+                    best_name = cand
+                    break
+            if best_name is None:
+                # No connected candidate fits; top up with any fitting
+                # BLE (keeps cluster count minimal, like VPack's
+                # unrelated-logic fill).
+                for cand in sorted(unpacked):
+                    trial_inputs = _cluster_inputs(
+                        members + [by_name[cand]], member_outputs | {cand}
+                    )
+                    if len(trial_inputs) <= params.inputs_per_lb:
+                        best_name = cand
+                        break
+                if best_name is None:
+                    break
+            ble = by_name[best_name]
+            members.append(ble)
+            member_outputs.add(best_name)
+            unpacked.discard(best_name)
+            cluster_nets.add(best_name)
+            cluster_nets.update(ble.input_nets)
+
+        index = len(clusters)
+        input_nets = _cluster_inputs(members, member_outputs)
+        clusters.append(
+            Cluster(index=index, bles=members, input_nets=input_nets, output_nets=set())
+        )
+        for ble in members:
+            cluster_of[ble.name] = index
+            if ble.lut is not None:
+                cluster_of[ble.lut] = index
+            if ble.ff is not None:
+                cluster_of[ble.ff] = index
+
+    clustered = ClusteredNetlist(
+        netlist=netlist, params=params, clusters=clusters, cluster_of=cluster_of
+    )
+    # Fill in output_nets: BLE outputs with sinks outside the cluster.
+    for driver, sinks in clustered.external_nets().items():
+        block = netlist.blocks[driver]
+        if block.type is BlockType.INPUT:
+            continue
+        clusters[cluster_of[driver]].output_nets.add(driver)
+    return clustered
+
+
+def packing_stats(clustered: ClusteredNetlist) -> Dict[str, float]:
+    sizes = [len(c.bles) for c in clustered.clusters]
+    inputs = [len(c.input_nets) for c in clustered.clusters]
+    return {
+        "clusters": len(sizes),
+        "avg_fill": sum(sizes) / (len(sizes) * clustered.params.n),
+        "max_inputs": max(inputs, default=0),
+        "avg_inputs": sum(inputs) / len(inputs) if inputs else 0.0,
+        "external_nets": len(clustered.external_nets()),
+    }

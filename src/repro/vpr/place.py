@@ -1,0 +1,373 @@
+"""Simulated-annealing placement (VPR-style).
+
+Places packed logic clusters on the interior tile grid and primary
+I/Os on the perimeter ring, minimising the classic bounding-box
+wirelength cost
+
+    cost = sum over nets of q(fanout) * (bb_width + bb_height)
+
+with the VPR adaptive annealing schedule (automatic initial
+temperature, per-temperature move budget ~ 10 * Nblocks^(4/3), range
+limiting, exponential cooling).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..arch.params import ArchParams
+from ..netlist.core import BlockType
+from .pack import ClusteredNetlist
+
+#: VPR's q(num_terminals) compensation factors for net bounding boxes
+#: (piecewise from [Betz 99]; >50 terminals extrapolates linearly).
+_Q_TABLE = [
+    1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+    1.4493, 1.4974, 1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114, 1.8519,
+    1.8924,
+]
+
+
+def crossing_factor(terminals: int) -> float:
+    """q(terminals) bounding-box wirelength compensation."""
+    if terminals < 1:
+        raise ValueError(f"terminals must be >= 1, got {terminals}")
+    if terminals <= 20:
+        return _Q_TABLE[terminals]
+    return 1.8924 + 0.02616 * (terminals - 20)
+
+
+#: Primary I/Os a perimeter tile can host.
+IO_CAPACITY = 8
+
+
+@dataclasses.dataclass
+class PlacementBlock:
+    """A placeable object: a logic cluster or one primary I/O.
+
+    Attributes:
+        name: Cluster index string or the PI/PO block name.
+        kind: "logic", "pi", or "po".
+    """
+
+    name: str
+    kind: str
+
+
+@dataclasses.dataclass
+class Placement:
+    """Placement result.
+
+    Attributes:
+        grid_width / grid_height: Full grid dimensions in tiles
+            (interior logic region plus the IO perimeter ring).
+        location_of: Block name -> (x, y) tile.
+        blocks_at: (x, y) -> block names (IO tiles hold several).
+        clustered: The packed netlist this placement is for.
+        cost: Final bounding-box cost.
+    """
+
+    grid_width: int
+    grid_height: int
+    location_of: Dict[str, Tuple[int, int]]
+    blocks_at: Dict[Tuple[int, int], List[str]]
+    clustered: ClusteredNetlist
+    cost: float
+
+    def is_perimeter(self, x: int, y: int) -> bool:
+        return x in (0, self.grid_width - 1) or y in (0, self.grid_height - 1)
+
+
+def _flat_nets(clustered: ClusteredNetlist) -> List[Tuple[str, List[str]]]:
+    """Placement nets: (driver placement-block, sink placement-blocks).
+
+    Placement blocks are "c<index>" for clusters, PI names, PO names.
+    Sinks collapse to one entry per cluster.
+    """
+    netlist = clustered.netlist
+    nets: List[Tuple[str, List[str]]] = []
+    for driver, sinks in clustered.external_nets().items():
+        driver_block = netlist.blocks[driver]
+        if driver_block.type is BlockType.INPUT:
+            driver_pb = driver
+        else:
+            driver_pb = f"c{clustered.cluster_of[driver]}"
+        sink_pbs: List[str] = []
+        seen: Set[str] = set()
+        for sink in sinks:
+            sink_block = netlist.blocks[sink]
+            if sink_block.type is BlockType.OUTPUT:
+                pb = sink
+            else:
+                pb = f"c{clustered.cluster_of[sink]}"
+            if pb not in seen and pb != driver_pb:
+                seen.add(pb)
+                sink_pbs.append(pb)
+        if sink_pbs:
+            nets.append((driver_pb, sink_pbs))
+    return nets
+
+
+class _Annealer:
+    """Incremental-cost simulated annealing over block locations."""
+
+    def __init__(
+        self,
+        blocks: Dict[str, PlacementBlock],
+        nets: List[Tuple[str, List[str]]],
+        grid_w: int,
+        grid_h: int,
+        rng: random.Random,
+        net_weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.blocks = blocks
+        self.nets = nets
+        self.grid_w = grid_w
+        self.grid_h = grid_h
+        self.rng = rng
+        self.net_weights = net_weights or {}
+        self.location: Dict[str, Tuple[int, int]] = {}
+        self.at: Dict[Tuple[int, int], List[str]] = defaultdict(list)
+        self.nets_of: Dict[str, List[int]] = defaultdict(list)
+        for i, (driver, sinks) in enumerate(nets):
+            self.nets_of[driver].append(i)
+            for s in sinks:
+                self.nets_of[s].append(i)
+        self.net_cost: List[float] = [0.0] * len(nets)
+
+    # -- geometry helpers ------------------------------------------------
+
+    def interior_tiles(self) -> List[Tuple[int, int]]:
+        return [
+            (x, y)
+            for x in range(1, self.grid_w - 1)
+            for y in range(1, self.grid_h - 1)
+        ]
+
+    def perimeter_tiles(self) -> List[Tuple[int, int]]:
+        tiles = []
+        for x in range(self.grid_w):
+            tiles.append((x, 0))
+            tiles.append((x, self.grid_h - 1))
+        for y in range(1, self.grid_h - 1):
+            tiles.append((0, y))
+            tiles.append((self.grid_w - 1, y))
+        return tiles
+
+    def _capacity(self, tile: Tuple[int, int], kind: str) -> int:
+        perimeter = tile[0] in (0, self.grid_w - 1) or tile[1] in (0, self.grid_h - 1)
+        if kind == "logic":
+            return 0 if perimeter else 1
+        return IO_CAPACITY if perimeter else 0
+
+    # -- cost -------------------------------------------------------------
+
+    def _bb_cost(self, net_index: int) -> float:
+        driver, sinks = self.nets[net_index]
+        xs = [self.location[driver][0]] + [self.location[s][0] for s in sinks]
+        ys = [self.location[driver][1]] + [self.location[s][1] for s in sinks]
+        q = crossing_factor(len(sinks) + 1)
+        weight = self.net_weights.get(driver, 1.0)
+        return weight * q * ((max(xs) - min(xs)) + (max(ys) - min(ys)))
+
+    def total_cost(self) -> float:
+        return sum(self.net_cost)
+
+    def recompute_all(self) -> float:
+        for i in range(len(self.nets)):
+            self.net_cost[i] = self._bb_cost(i)
+        return self.total_cost()
+
+    # -- moves --------------------------------------------------------------
+
+    def random_initial(self) -> None:
+        interior = self.interior_tiles()
+        perimeter = self.perimeter_tiles()
+        self.rng.shuffle(interior)
+        self.rng.shuffle(perimeter)
+        logic = [b for b in self.blocks.values() if b.kind == "logic"]
+        ios = [b for b in self.blocks.values() if b.kind in ("pi", "po")]
+        if len(logic) > len(interior):
+            raise ValueError(
+                f"{len(logic)} clusters exceed {len(interior)} interior tiles"
+            )
+        if len(ios) > len(perimeter) * IO_CAPACITY:
+            raise ValueError(
+                f"{len(ios)} I/Os exceed perimeter capacity {len(perimeter) * IO_CAPACITY}"
+            )
+        for block, tile in zip(logic, interior):
+            self.location[block.name] = tile
+            self.at[tile].append(block.name)
+        slot = 0
+        for block in ios:
+            tile = perimeter[slot // IO_CAPACITY]
+            self.location[block.name] = tile
+            self.at[tile].append(block.name)
+            slot += 1
+
+    def _affected_nets(self, names: Sequence[str]) -> Set[int]:
+        result: Set[int] = set()
+        for name in names:
+            result.update(self.nets_of.get(name, ()))
+        return result
+
+    def propose_and_apply(self, temperature: float, range_limit: int) -> bool:
+        """One SA move: pick a block, try a move/swap, accept by
+        Metropolis.  Returns True if accepted."""
+        name = self.rng.choice(self._movable)
+        block = self.blocks[name]
+        old_tile = self.location[name]
+        if block.kind == "logic":
+            # Target: random interior tile within range limit.
+            x = self._clip(old_tile[0] + self.rng.randint(-range_limit, range_limit), 1, self.grid_w - 2)
+            y = self._clip(old_tile[1] + self.rng.randint(-range_limit, range_limit), 1, self.grid_h - 2)
+            new_tile = (x, y)
+            if new_tile == old_tile:
+                return False
+            occupants = [n for n in self.at[new_tile] if self.blocks[n].kind == "logic"]
+            swap_with = occupants[0] if occupants else None
+        else:
+            perimeter = self._perimeter_cache
+            new_tile = perimeter[self.rng.randrange(len(perimeter))]
+            if new_tile == old_tile:
+                return False
+            if len(self.at[new_tile]) >= IO_CAPACITY:
+                ios = [n for n in self.at[new_tile] if self.blocks[n].kind in ("pi", "po")]
+                swap_with = self.rng.choice(ios)
+            else:
+                swap_with = None
+
+        moved = [name] + ([swap_with] if swap_with else [])
+        affected = self._affected_nets(moved)
+        old_costs = {i: self.net_cost[i] for i in affected}
+
+        # Apply tentatively.
+        self._relocate(name, old_tile, new_tile)
+        if swap_with:
+            self._relocate(swap_with, new_tile, old_tile)
+        delta = 0.0
+        for i in affected:
+            new_cost = self._bb_cost(i)
+            delta += new_cost - old_costs[i]
+            self.net_cost[i] = new_cost
+
+        if delta <= 0 or self.rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            return True
+        # Revert.
+        self._relocate(name, new_tile, old_tile)
+        if swap_with:
+            self._relocate(swap_with, old_tile, new_tile)
+        for i, c in old_costs.items():
+            self.net_cost[i] = c
+        return False
+
+    def _relocate(self, name: str, src: Tuple[int, int], dst: Tuple[int, int]) -> None:
+        self.at[src].remove(name)
+        self.at[dst].append(name)
+        self.location[name] = dst
+
+    @staticmethod
+    def _clip(v: int, lo: int, hi: int) -> int:
+        return max(lo, min(hi, v))
+
+    def anneal(self, seed_moves: int = 60, inner_num: float = 1.0) -> float:
+        """Run the annealing schedule.
+
+        ``inner_num`` scales the per-temperature move budget
+        (inner_num * Nblocks^(4/3)); 1.0 matches VPR's -fast mode,
+        10.0 the default-quality mode.
+        """
+        self._movable = sorted(self.blocks)
+        self._perimeter_cache = self.perimeter_tiles()
+        cost = self.recompute_all()
+        if not self.nets or len(self._movable) < 2:
+            return cost
+
+        # Initial temperature: 20 x the std-dev of random move deltas.
+        deltas: List[float] = []
+        for _ in range(min(seed_moves, 10 * len(self._movable))):
+            before = self.total_cost()
+            self.propose_and_apply(temperature=1e18, range_limit=max(self.grid_w, self.grid_h))
+            deltas.append(self.total_cost() - before)
+        mean = sum(deltas) / len(deltas)
+        var = sum((d - mean) ** 2 for d in deltas) / len(deltas)
+        temperature = 20.0 * math.sqrt(var) + 1e-9
+
+        n_blocks = len(self._movable)
+        moves_per_t = max(10, int(inner_num * n_blocks ** (4.0 / 3.0)))
+        range_limit = float(max(self.grid_w, self.grid_h))
+        while temperature > 0.005 * self.total_cost() / max(len(self.nets), 1):
+            accepted = 0
+            for _ in range(moves_per_t):
+                if self.propose_and_apply(temperature, max(1, int(range_limit))):
+                    accepted += 1
+            alpha = accepted / moves_per_t
+            # VPR adaptive cooling: cool slowly near alpha ~ 0.44.
+            if alpha > 0.96:
+                gamma = 0.5
+            elif alpha > 0.8:
+                gamma = 0.9
+            elif alpha > 0.15:
+                gamma = 0.95
+            else:
+                gamma = 0.8
+            temperature *= gamma
+            range_limit = max(1.0, min(range_limit * (1.0 - 0.44 + alpha), float(max(self.grid_w, self.grid_h))))
+        return self.total_cost()
+
+
+def place(
+    clustered: ClusteredNetlist,
+    seed: int = 1,
+    grid_side: Optional[int] = None,
+    inner_num: float = 1.0,
+    net_weights: Optional[Dict[str, float]] = None,
+) -> Placement:
+    """Anneal a placement for a packed netlist.
+
+    Args:
+        clustered: Packing result.
+        seed: RNG seed (placement is deterministic given the seed).
+        grid_side: Interior (logic) grid side; default = minimal square
+            that fits the clusters and whose perimeter fits the I/Os.
+        inner_num: Move budget scale (1.0 = VPR -fast, 10.0 = VPR
+            default quality).
+        net_weights: Optional per-net cost multipliers keyed by driver
+            signal (timing-driven placement passes criticalities here:
+            critical nets shrink at the expense of relaxed ones).
+    """
+    netlist = clustered.netlist
+    blocks: Dict[str, PlacementBlock] = {}
+    for cluster in clustered.clusters:
+        blocks[f"c{cluster.index}"] = PlacementBlock(name=f"c{cluster.index}", kind="logic")
+    for pi in netlist.inputs:
+        blocks[pi.name] = PlacementBlock(name=pi.name, kind="pi")
+    for po in netlist.outputs:
+        blocks[po.name] = PlacementBlock(name=po.name, kind="po")
+
+    n_logic = clustered.num_clusters
+    n_io = len(netlist.inputs) + len(netlist.outputs)
+    side = grid_side
+    if side is None:
+        side = 1
+        while side * side < n_logic or (4 * (side + 2) - 4) * IO_CAPACITY < n_io:
+            side += 1
+    grid_w = grid_h = side + 2
+
+    rng = random.Random(seed)
+    nets = _flat_nets(clustered)
+    annealer = _Annealer(blocks, nets, grid_w, grid_h, rng, net_weights=net_weights)
+    annealer.random_initial()
+    cost = annealer.anneal(inner_num=inner_num)
+    return Placement(
+        grid_width=grid_w,
+        grid_height=grid_h,
+        location_of=dict(annealer.location),
+        blocks_at={k: list(v) for k, v in annealer.at.items() if v},
+        clustered=clustered,
+        cost=cost,
+    )

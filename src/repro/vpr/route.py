@@ -1,0 +1,498 @@
+"""PathFinder negotiated-congestion routing (VPR-style).
+
+Routes every inter-cluster net over the routing-resource graph.  The
+classic algorithm [McMurchie-Ebeling / Betz 99]:
+
+* every RR node has a congestion cost
+  ``(base + history) * presence`` where presence grows with current
+  overuse and history accumulates overuse across iterations;
+* each iteration rips up and re-routes (only) the nets that touch
+  overused nodes, as a Steiner tree grown sink-by-sink with A*
+  (Manhattan-distance/L lookahead);
+* iteration ends when no node is shared by two nets (legal routing)
+  or the iteration limit is hit (unroutable at this channel width).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..arch.params import ArchParams
+from ..arch.rrgraph import NodeKind, RRGraph
+from ..netlist.core import BlockType
+from .place import Placement
+
+
+@dataclasses.dataclass
+class RouteNet:
+    """A net to route: one source tile, one or more sink tiles."""
+
+    name: str
+    source_tile: Tuple[int, int]
+    sink_tiles: List[Tuple[int, int]]
+
+
+@dataclasses.dataclass
+class RouteTree:
+    """Routed result for one net.
+
+    Attributes:
+        nodes: All RR node ids used (tree order not guaranteed).
+        parent: node id -> upstream node id (source's parent is -1).
+        sink_nodes: SINK node ids reached.
+    """
+
+    nodes: List[int]
+    parent: Dict[int, int]
+    sink_nodes: List[int]
+
+
+@dataclasses.dataclass
+class RoutingResult:
+    """Outcome of a routing attempt.
+
+    Attributes:
+        success: True when fully legal (no overuse).
+        iterations: PathFinder iterations used.
+        trees: Net name -> route tree (present even on failure).
+        overused_nodes: Count of still-overused nodes (0 on success).
+        wirelength: Total wire-segment tiles used by all routes.
+    """
+
+    success: bool
+    iterations: int
+    trees: Dict[str, RouteTree]
+    overused_nodes: int
+    wirelength: int
+
+
+def build_route_nets(placement: Placement) -> List[RouteNet]:
+    """Derive the routable nets from a placement.
+
+    Sinks collapse per tile (one SINK per LB / IO tile); sinks landing
+    on the source tile are intra-tile (crossbar feedback) and drop out.
+    """
+    clustered = placement.clustered
+    netlist = clustered.netlist
+    nets: List[RouteNet] = []
+    for driver, sinks in clustered.external_nets().items():
+        driver_block = netlist.blocks[driver]
+        if driver_block.type is BlockType.INPUT:
+            source_tile = placement.location_of[driver]
+        else:
+            source_tile = placement.location_of[f"c{clustered.cluster_of[driver]}"]
+        sink_tiles: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        for sink in sinks:
+            sink_block = netlist.blocks[sink]
+            if sink_block.type is BlockType.OUTPUT:
+                tile = placement.location_of[sink]
+            else:
+                tile = placement.location_of[f"c{clustered.cluster_of[sink]}"]
+            if tile != source_tile and tile not in seen:
+                seen.add(tile)
+                sink_tiles.append(tile)
+        if sink_tiles:
+            nets.append(RouteNet(name=driver, source_tile=source_tile, sink_tiles=sink_tiles))
+    return nets
+
+
+class PathFinderRouter:
+    """Negotiated-congestion router over one RR graph.
+
+    Args:
+        graph: The routing-resource graph.
+        pres_fac_init / pres_fac_mult: Presence penalty schedule.
+        hist_fac: History cost accumulation factor.
+        max_iterations: Give up after this many rip-up passes.
+        astar_fac: A* lookahead aggressiveness (1.0 = admissible).
+    """
+
+    def __init__(
+        self,
+        graph: RRGraph,
+        pres_fac_init: float = 0.5,
+        pres_fac_mult: float = 1.3,
+        hist_fac: float = 0.4,
+        max_iterations: int = 120,
+        astar_fac: float = 1.2,
+        delay_costs: Optional[Sequence[float]] = None,
+        blocked_nodes: Optional[Set[int]] = None,
+    ) -> None:
+        """``delay_costs`` (one weight per RR node, normalised so a
+        typical wire hop ~ its base cost) enables timing-driven mode:
+        a net with criticality k pays k * delay + (1 - k) * congestion
+        per node, VPR-style.  None = pure routability mode.
+
+        ``blocked_nodes`` marks defective resources (e.g. relays that
+        failed programming verification): the router never uses them —
+        defect-avoidance reconfiguration for relay fabrics.
+        """
+        self.graph = graph
+        self.pres_fac_init = pres_fac_init
+        self.pres_fac_mult = pres_fac_mult
+        self.hist_fac = hist_fac
+        self.max_iterations = max_iterations
+        self.astar_fac = astar_fac
+        if delay_costs is not None and len(delay_costs) != graph.num_nodes:
+            raise ValueError("delay_costs must have one entry per RR node")
+        self._delay_costs = list(delay_costs) if delay_costs is not None else None
+        self._blocked = frozenset(blocked_nodes or ())
+        n = graph.num_nodes
+        self._base = [graph.base_cost(node) for node in graph.nodes]
+        self._cap = [graph.node_capacity(node) for node in graph.nodes]
+        self._occ = [0] * n
+        self._hist = [0.0] * n
+        self._static = list(self._base)
+        self._is_sink = [node.kind is NodeKind.SINK for node in graph.nodes]
+        self._is_source = [node.kind is NodeKind.SOURCE for node in graph.nodes]
+        # Search scratch arrays reused across nets (epoch-stamped).
+        self._dist = [0.0] * n
+        self._came = [0] * n
+        self._stamp = [0] * n
+        self._epoch = 0
+        # Deterministic tie-break jitter: symmetric conflicts otherwise
+        # oscillate forever because both nets see identical costs.
+        rng = __import__("random").Random(0xF9A4)
+        self._jitter = [1.0 + 0.03 * rng.random() for _ in range(max(n, 1))]
+        self._route_calls = 0
+        # Wire node positions for the A* lookahead.
+        self._pos: List[Tuple[float, float]] = []
+        for node in graph.nodes:
+            if node.kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+                half = (node.span - 1) / 2.0
+                if node.kind is NodeKind.HWIRE:
+                    self._pos.append((node.x + half, float(node.y)))
+                else:
+                    self._pos.append((float(node.x), node.y + half))
+            else:
+                self._pos.append((float(node.x), float(node.y)))
+
+    # -- congestion cost ----------------------------------------------------
+
+    def _node_cost(self, node_id: int, pres_fac: float) -> float:
+        """Congestion cost of adding one more net to a node (kept as a
+        reference implementation; the router inlines this)."""
+        over = self._occ[node_id] + 1 - self._cap[node_id]
+        pres = 1.0 + pres_fac * over if over > 0 else 1.0
+        return (self._base[node_id] + self._hist[node_id]) * pres
+
+    def _refresh_static_costs(self) -> None:
+        """base + history, recomputed once per PathFinder iteration."""
+        self._static = [b + h for b, h in zip(self._base, self._hist)]
+
+    # -- single net ---------------------------------------------------------
+
+    def _route_net(
+        self,
+        net: RouteNet,
+        pres_fac: float,
+        bb_margin: float = 3.0,
+        sink_shuffle: int = 0,
+        criticality: float = 0.0,
+    ) -> Optional[RouteTree]:
+        graph = self.graph
+        source = graph.source_of[net.source_tile]
+        targets = {graph.sink_of[tile]: tile for tile in net.sink_tiles}
+        tree_nodes: List[int] = [source]
+        tree_set: Set[int] = {source}
+        parent: Dict[int, int] = {source: -1}
+        sink_nodes: List[int] = []
+        remaining = dict(targets)
+
+        # Net bounding box (+margin) restricts the search, VPR-style.
+        xs = [net.source_tile[0]] + [t[0] for t in net.sink_tiles]
+        ys = [net.source_tile[1]] + [t[1] for t in net.sink_tiles]
+        bb = (min(xs) - bb_margin, max(xs) + bb_margin, min(ys) - bb_margin, max(ys) + bb_margin)
+
+        # Local bindings for the hot loop.
+        adjacency = graph.adjacency
+        blocked = self._blocked
+        pos = self._pos
+        static = self._static
+        occ = self._occ
+        cap = self._cap
+        is_sink = self._is_sink
+        is_source = self._is_source
+        astar_per_tile = self.astar_fac
+        dist = self._dist
+        came = self._came
+        stamp = self._stamp
+        heappush, heappop = heapq.heappush, heapq.heappop
+        jitter = self._jitter
+        self._route_calls += 1
+        n_nodes = len(jitter)
+        # Stable string hash: Python's hash() is salted per process,
+        # which would make routing (and thus Wmin) non-reproducible.
+        name_hash = __import__("zlib").crc32(net.name.encode())
+        salt = (name_hash * 31 + self._route_calls * 7919) % n_nodes
+        # Timing-driven blend (VPR): crit * delay + (1 - crit) * cong.
+        delay_costs = self._delay_costs
+        crit = min(max(criticality, 0.0), 0.99) if delay_costs is not None else 0.0
+        cong_weight = 1.0 - crit
+
+        # Optional sink-order shuffle: the default nearest-first order
+        # can commit the tree trunk so the last sink is boxed into one
+        # conflicted IPIN; a reshuffled order escapes such wedges.
+        shuffled_order: List[int] = []
+        if sink_shuffle:
+            rng = __import__("random").Random(sink_shuffle)
+            shuffled_order = sorted(targets)
+            rng.shuffle(shuffled_order)
+
+        while remaining:
+            self._epoch += 1
+            epoch = self._epoch
+            if shuffled_order:
+                target_sink = next(s for s in shuffled_order if s in remaining)
+            else:
+                target_sink = min(
+                    remaining,
+                    key=lambda s: abs(pos[s][0] - pos[source][0])
+                    + abs(pos[s][1] - pos[source][1]),
+                )
+            tx, ty = pos[target_sink]
+            heap: List[Tuple[float, float, int]] = []
+            for node in tree_nodes:
+                # Once the first sink is routed, the SOURCE stops being
+                # a seed: otherwise later sinks branch at the source and
+                # the net consumes several OPINs, oversubscribing the
+                # LB's N output pins.
+                if node == source and len(tree_nodes) > 1:
+                    continue
+                dist[node] = 0.0
+                stamp[node] = epoch
+                nx, ny = pos[node]
+                heappush(heap, (astar_per_tile * (abs(nx - tx) + abs(ny - ty)), 0.0, node))
+            found = False
+            bb_x0, bb_x1, bb_y0, bb_y1 = bb
+            while heap:
+                _f, g, u = heappop(heap)
+                if stamp[u] == epoch and g > dist[u]:
+                    continue
+                if u == target_sink:
+                    found = True
+                    break
+                for v in adjacency[u]:
+                    if v in tree_set:
+                        continue
+                    if blocked and v in blocked:
+                        continue
+                    if is_sink[v]:
+                        if v != target_sink:
+                            continue
+                    elif is_source[v]:
+                        continue
+                    vx, vy = pos[v]
+                    if not (bb_x0 <= vx <= bb_x1 and bb_y0 <= vy <= bb_y1):
+                        continue
+                    c = static[v] * jitter[v - salt]
+                    over = occ[v] + 1 - cap[v]
+                    if over > 0:
+                        c *= 1.0 + pres_fac * over
+                    if crit > 0.0:
+                        c = cong_weight * c + crit * delay_costs[v]
+                    ng = g + c
+                    if stamp[v] != epoch or ng < dist[v]:
+                        dist[v] = ng
+                        stamp[v] = epoch
+                        came[v] = u
+                        heappush(heap, (ng + astar_per_tile * (abs(vx - tx) + abs(vy - ty)), ng, v))
+            if not found:
+                return None
+            # Trace back, splice into tree.
+            path: List[int] = []
+            node = target_sink
+            while node not in tree_set:
+                path.append(node)
+                node = came[node]
+            for n in reversed(path):
+                parent[n] = node
+                tree_set.add(n)
+                tree_nodes.append(n)
+                node = n
+            sink_nodes.append(target_sink)
+            del remaining[target_sink]
+        return RouteTree(nodes=tree_nodes, parent=parent, sink_nodes=sink_nodes)
+
+    # -- occupancy bookkeeping -----------------------------------------------
+
+    def _sibling_pins(self, pin) -> List[int]:
+        """All pins of the same kind on the same tile (lazy cache)."""
+        if not hasattr(self, "_pin_groups"):
+            groups: Dict[Tuple[int, int, NodeKind], List[int]] = {}
+            for node in self.graph.nodes:
+                if node.kind in (NodeKind.OPIN, NodeKind.IPIN):
+                    groups.setdefault((node.x, node.y, node.kind), []).append(node.id)
+            self._pin_groups = groups
+        return self._pin_groups.get((pin.x, pin.y, pin.kind), [])
+
+    def _occupy(self, tree: RouteTree, delta: int) -> None:
+        for node in tree.nodes:
+            self._occ[node] += delta
+
+    def _overused(self) -> List[int]:
+        return [i for i, occ in enumerate(self._occ) if occ > self._cap[i]]
+
+    # -- main loop --------------------------------------------------------------
+
+    def route(
+        self,
+        nets: Sequence[RouteNet],
+        criticality: Optional[Dict[str, float]] = None,
+    ) -> RoutingResult:
+        """Route all nets; returns success iff fully legal.
+
+        ``criticality`` (net name -> [0, 1], used with delay_costs)
+        turns on timing-driven costing per net.  Aborts early (failure)
+        when congestion stops improving — the VPR "routing predictor"
+        heuristic that makes Wmin binary searches affordable.
+        """
+        crit_of = criticality or {}
+        order = sorted(nets, key=lambda n: (-len(n.sink_tiles), n.name))
+        if criticality:
+            # Critical nets route first so they get the short paths.
+            order = sorted(order, key=lambda n: -crit_of.get(n.name, 0.0))
+        trees: Dict[str, RouteTree] = {}
+        pres_fac = self.pres_fac_init
+        iteration = 0
+        overuse_history: List[int] = []
+        stall = 0
+        for iteration in range(1, self.max_iterations + 1):
+            escalate = False
+            if iteration == 1:
+                to_route = list(order)
+            else:
+                overused = set(self._overused())
+                if not overused:
+                    break
+                # Stall detection: the same small conflict persisting
+                # means the default nearest-sink order and reroute set
+                # are wedged; escalate by also ripping up neighbouring
+                # "blocker" nets and shuffling sink order.
+                if overuse_history and len(overused) == overuse_history[-1] and len(overused) < 40:
+                    stall += 1
+                else:
+                    stall = 0
+                escalate = stall >= 4 and stall % 2 == 0
+                hot = set(overused)
+                if escalate:
+                    for node in overused:
+                        hot.update(self.graph.adjacency[node])
+                        # Pin conflicts are matching problems: a tile's
+                        # nets must pair off with its pins.  Rip the
+                        # sibling pins' users too, or the one free pin
+                        # stays walled off by their taps forever.
+                        rr = self.graph.nodes[node]
+                        if rr.kind in (NodeKind.OPIN, NodeKind.IPIN):
+                            hot.update(self._sibling_pins(rr))
+                    for net in order:
+                        tree = trees.get(net.name)
+                        if tree is None:
+                            continue
+                        for n in tree.nodes:
+                            if any(v in overused for v in self.graph.adjacency[n]):
+                                hot.add(n)
+                                break
+                to_route = [
+                    net
+                    for net in order
+                    if net.name not in trees
+                    or any(n in hot for n in trees[net.name].nodes)
+                ]
+            if not to_route and iteration > 1:
+                break
+            self._refresh_static_costs()
+            shuffle_seed = iteration if escalate else 0
+            for net in to_route:
+                old = trees.pop(net.name, None)
+                if old is not None:
+                    self._occupy(old, -1)
+                net_crit = crit_of.get(net.name, 0.0)
+                tree = self._route_net(
+                    net, pres_fac, sink_shuffle=shuffle_seed, criticality=net_crit
+                )
+                if tree is None:
+                    # Bounding-box restriction may have cut off the only
+                    # path; retry unbounded before declaring failure.
+                    tree = self._route_net(
+                        net, pres_fac, bb_margin=1e9, criticality=net_crit
+                    )
+                if tree is None:
+                    # Even congestion-tolerant search failed (graph
+                    # disconnection at this width): hard failure.
+                    return RoutingResult(
+                        success=False,
+                        iterations=iteration,
+                        trees=trees,
+                        overused_nodes=len(self._overused()),
+                        wirelength=self._wirelength(trees),
+                    )
+                trees[net.name] = tree
+                self._occupy(tree, +1)
+            overused = self._overused()
+            if not overused:
+                return RoutingResult(
+                    success=True,
+                    iterations=iteration,
+                    trees=trees,
+                    overused_nodes=0,
+                    wirelength=self._wirelength(trees),
+                )
+            for node in overused:
+                self._hist[node] += self.hist_fac * (self._occ[node] - self._cap[node])
+            pres_fac *= self.pres_fac_mult
+            overuse_history.append(len(overused))
+            # Routing predictor: hopeless widths abort early, marginal
+            # ones get time to grind the congestion tail down.
+            if len(overuse_history) >= 14 and overuse_history[-1] > len(nets) // 2:
+                break
+            if len(overuse_history) >= 24:
+                recent = overuse_history[-14:]
+                if recent[-1] > 0.85 * recent[0] and recent[-1] > max(10, len(nets) // 10):
+                    break
+        return RoutingResult(
+            success=not self._overused(),
+            iterations=iteration,
+            trees=trees,
+            overused_nodes=len(self._overused()),
+            wirelength=self._wirelength(trees),
+        )
+
+    def _wirelength(self, trees: Dict[str, RouteTree]) -> int:
+        total = 0
+        for tree in trees.values():
+            for node_id in tree.nodes:
+                node = self.graph.nodes[node_id]
+                if node.kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+                    total += node.span
+        return total
+
+
+def route_design(
+    placement: Placement,
+    params: Optional[ArchParams] = None,
+    channel_width: Optional[int] = None,
+    **router_kwargs,
+) -> Tuple[RoutingResult, RRGraph]:
+    """Build the RR graph for a placement and route it.
+
+    Args:
+        placement: Placed design.
+        params: Architecture; defaults to the packing's parameters.
+        channel_width: Override W (used by the Wmin binary search).
+
+    Returns:
+        (result, graph) — the graph is needed for timing/power.
+    """
+    if params is None:
+        params = placement.clustered.params
+    if channel_width is not None:
+        params = params.with_channel_width(channel_width)
+    graph = RRGraph(params, placement.grid_width, placement.grid_height)
+    router = PathFinderRouter(graph, **router_kwargs)
+    nets = build_route_nets(placement)
+    return router.route(nets), graph

@@ -1,0 +1,120 @@
+"""ASCII visualisation of placements and routing congestion.
+
+Terminal-friendly renderers for inspecting flow results: a floorplan
+map (logic / IO / empty tiles), a channel-occupancy heat map from a
+routing result, and a per-net route overlay.  Pure-text output keeps
+the library dependency-free; examples print these directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.rrgraph import NodeKind, RRGraph
+from .place import Placement
+from .route import RoutingResult
+
+
+def render_placement(placement: Placement) -> str:
+    """Floorplan map: '#' logic cluster, digits = IO count, '.' empty.
+
+    Row y is printed top-down (largest y first), matching the usual
+    die-plot orientation.
+    """
+    lines: List[str] = []
+    for y in range(placement.grid_height - 1, -1, -1):
+        row = []
+        for x in range(placement.grid_width):
+            blocks = placement.blocks_at.get((x, y), [])
+            if not blocks:
+                row.append(".")
+            elif placement.is_perimeter(x, y):
+                row.append(str(min(len(blocks), 9)))
+            else:
+                row.append("#")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def channel_occupancy(routing: RoutingResult, graph: RRGraph) -> Dict[Tuple[str, int, int], int]:
+    """(direction, channel index, position) -> wires in use.
+
+    Direction is 'h' or 'v'; position is the tile offset along the
+    channel.  Each used wire segment contributes to every position it
+    spans.
+    """
+    occupancy: Dict[Tuple[str, int, int], int] = {}
+    for tree in routing.trees.values():
+        for node_id in tree.nodes:
+            node = graph.nodes[node_id]
+            if node.kind is NodeKind.HWIRE:
+                for pos in range(node.x, node.x + node.span):
+                    key = ("h", node.y, pos)
+                    occupancy[key] = occupancy.get(key, 0) + 1
+            elif node.kind is NodeKind.VWIRE:
+                for pos in range(node.y, node.y + node.span):
+                    key = ("v", node.x, pos)
+                    occupancy[key] = occupancy.get(key, 0) + 1
+    return occupancy
+
+
+def render_congestion(routing: RoutingResult, graph: RRGraph) -> str:
+    """Heat map of horizontal-channel utilisation per tile position.
+
+    Each cell shows utilisation of the channel *below* the tile row as
+    a digit 0-9 (fraction of W in use, scaled), or '*' at >= 95%.
+    """
+    occupancy = channel_occupancy(routing, graph)
+    w = graph.params.channel_width
+    lines: List[str] = []
+    for chan in range(graph.ny, -1, -1):
+        row = []
+        for pos in range(graph.nx):
+            used = occupancy.get(("h", chan, pos), 0)
+            frac = used / w
+            row.append("*" if frac >= 0.95 else str(min(9, int(frac * 10))))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_net(
+    routing: RoutingResult, graph: RRGraph, net_name: str
+) -> str:
+    """Overlay of one routed net: S source tile, T sink tiles, '+'
+    tiles its wires pass."""
+    if net_name not in routing.trees:
+        raise KeyError(f"net {net_name!r} not in routing result")
+    tree = routing.trees[net_name]
+    marks: Dict[Tuple[int, int], str] = {}
+    for node_id in tree.nodes:
+        node = graph.nodes[node_id]
+        if node.kind is NodeKind.HWIRE:
+            for pos in range(node.x, node.x + node.span):
+                marks.setdefault((pos, min(node.y, graph.ny - 1)), "+")
+        elif node.kind is NodeKind.VWIRE:
+            for pos in range(node.y, node.y + node.span):
+                marks.setdefault((min(node.x, graph.nx - 1), pos), "+")
+        elif node.kind is NodeKind.SOURCE:
+            marks[(node.x, node.y)] = "S"
+        elif node.kind is NodeKind.SINK:
+            marks[(node.x, node.y)] = "T"
+    lines: List[str] = []
+    for y in range(graph.ny - 1, -1, -1):
+        lines.append(
+            "".join(marks.get((x, y), ".") for x in range(graph.nx))
+        )
+    return "\n".join(lines)
+
+
+def utilization_summary(routing: RoutingResult, graph: RRGraph) -> Dict[str, float]:
+    """Channel-utilisation statistics of a routed design."""
+    occupancy = channel_occupancy(routing, graph)
+    w = graph.params.channel_width
+    if not occupancy:
+        return {"mean": 0.0, "max": 0.0, "positions": 0}
+    fractions = [used / w for used in occupancy.values()]
+    return {
+        "mean": sum(fractions) / len(fractions),
+        "max": max(fractions),
+        "positions": len(fractions),
+    }

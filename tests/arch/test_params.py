@@ -1,0 +1,82 @@
+"""Tests for repro.arch.params (Table 1)."""
+
+import pytest
+
+from repro.arch.params import ArchParams, PAPER_ARCH
+
+
+class TestTable1:
+    """The exact parameter values of paper Table 1."""
+
+    def test_n_is_10(self):
+        assert PAPER_ARCH.n == 10
+
+    def test_k_is_4(self):
+        assert PAPER_ARCH.k == 4
+
+    def test_segment_length_is_4(self):
+        assert PAPER_ARCH.segment_length == 4
+
+    def test_fcin_is_0p2(self):
+        assert PAPER_ARCH.fc_in == pytest.approx(0.2)
+
+    def test_fcout_is_0p1(self):
+        assert PAPER_ARCH.fc_out == pytest.approx(0.1)
+
+    def test_fs_is_3(self):
+        assert PAPER_ARCH.fs == 3
+
+    def test_paper_channel_width_118(self):
+        # Sec. 3.3: W = 118 after the +20% low-stress margin.
+        assert PAPER_ARCH.channel_width == 118
+
+
+class TestDerived:
+    def test_cluster_input_rule(self):
+        # I = K/2 (N+1) = 22 for K=4, N=10 [Betz 99].
+        assert PAPER_ARCH.inputs_per_lb == 22
+
+    def test_outputs_equal_n(self):
+        assert PAPER_ARCH.outputs_per_lb == 10
+
+    def test_fc_abs_values(self):
+        assert PAPER_ARCH.fc_in_abs == round(0.2 * 118)
+        assert PAPER_ARCH.fc_out_abs == round(0.1 * 118)
+
+    def test_fc_abs_at_least_one(self):
+        tiny = ArchParams(fc_out=0.01, channel_width=10)
+        assert tiny.fc_out_abs == 1
+
+    def test_crossbar_shape(self):
+        # Full crossbar: (I + N) inputs x (N K) outputs (Fig. 7b).
+        assert PAPER_ARCH.crossbar_inputs == 32
+        assert PAPER_ARCH.crossbar_outputs == 40
+
+    def test_lb_inputs_override(self):
+        p = ArchParams(lb_inputs=18)
+        assert p.inputs_per_lb == 18
+
+    def test_with_channel_width(self):
+        p = PAPER_ARCH.with_channel_width(60)
+        assert p.channel_width == 60
+        assert p.n == PAPER_ARCH.n
+
+
+class TestValidation:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            ArchParams(n=0)
+
+    def test_rejects_bad_fc(self):
+        with pytest.raises(ValueError):
+            ArchParams(fc_in=0.0)
+        with pytest.raises(ValueError):
+            ArchParams(fc_out=1.5)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ArchParams(channel_width=1)
+
+    def test_rejects_bad_fs(self):
+        with pytest.raises(ValueError):
+            ArchParams(fs=0)

@@ -1,0 +1,126 @@
+"""Tests for repro.arch.rrgraph."""
+
+from collections import Counter
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.arch.rrgraph import NodeKind, RRGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return RRGraph(ArchParams(channel_width=16), nx=4, ny=4)
+
+
+class TestStructure:
+    def test_every_tile_has_source_sink(self, graph):
+        assert len(graph.source_of) == 16
+        assert len(graph.sink_of) == 16
+
+    def test_pin_counts(self, graph):
+        counts = Counter(node.kind for node in graph.nodes)
+        p = graph.params
+        assert counts[NodeKind.OPIN] == 16 * p.outputs_per_lb
+        assert counts[NodeKind.IPIN] == 16 * p.inputs_per_lb
+
+    def test_wire_counts_cover_channels(self, graph):
+        counts = graph.describe()
+        # 5 horizontal channels x 16 tracks (segmented) and same vertical.
+        assert counts["hwire"] >= 5 * 16
+        assert counts["vwire"] >= 5 * 16
+
+    def test_segment_spans_bounded_by_l(self, graph):
+        for node in graph.wire_nodes():
+            assert 1 <= node.span <= graph.params.segment_length
+
+    def test_segments_tile_channel_exactly(self, graph):
+        """Per (channel, track) the segments partition the extent."""
+        spans = Counter()
+        for node in graph.nodes:
+            if node.kind is NodeKind.HWIRE:
+                spans[(node.y, node.track)] += node.span
+        for total in spans.values():
+            assert total == graph.nx
+
+    def test_stagger_varies_with_track(self, graph):
+        starts = {}
+        for node in graph.nodes:
+            if node.kind is NodeKind.HWIRE and node.y == 2:
+                starts.setdefault(node.track, []).append(node.x)
+        # Tracks with different (track % L) start their joints at
+        # different offsets.
+        assert starts[0] != starts[1]
+
+
+class TestConnectivity:
+    def test_source_reaches_opins_only(self, graph):
+        for tile, source in graph.source_of.items():
+            for dst in graph.adjacency[source]:
+                assert graph.nodes[dst].kind is NodeKind.OPIN
+                assert (graph.nodes[dst].x, graph.nodes[dst].y) == tile
+
+    def test_ipins_reach_sink(self, graph):
+        for node in graph.nodes:
+            if node.kind is NodeKind.IPIN:
+                sink = graph.sink_of[(node.x, node.y)]
+                assert sink in graph.adjacency[node.id]
+
+    def test_opins_drive_wires(self, graph):
+        for node in graph.nodes:
+            if node.kind is NodeKind.OPIN:
+                assert graph.adjacency[node.id], "OPIN with no wire taps"
+                for dst in graph.adjacency[node.id]:
+                    assert graph.nodes[dst].kind in (NodeKind.HWIRE, NodeKind.VWIRE)
+
+    def test_wire_wire_edges_bidirectional(self, graph):
+        for node in graph.wire_nodes():
+            for dst in graph.adjacency[node.id]:
+                if graph.nodes[dst].kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+                    assert node.id in graph.adjacency[dst]
+
+    def test_all_sinks_reachable_from_any_source(self, graph):
+        """BFS over the whole graph: routability precondition."""
+        from collections import deque
+
+        source = graph.source_of[(0, 0)]
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in graph.adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        for tile, sink in graph.sink_of.items():
+            if tile != (0, 0):
+                assert sink in seen, f"sink of {tile} unreachable"
+
+    def test_every_track_reachable_from_some_pin(self, graph):
+        """Regression for the stride-aligned Fc pattern bug: every
+        track of an interior channel must be tappable by some IPIN."""
+        tapped = set()
+        for node in graph.nodes:
+            if node.kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+                for dst in graph.adjacency[node.id]:
+                    if graph.nodes[dst].kind is NodeKind.IPIN:
+                        tapped.add((node.kind, node.track))
+        for track in range(graph.params.channel_width):
+            assert (NodeKind.HWIRE, track) in tapped
+
+
+class TestCostsAndCaps:
+    def test_wire_base_cost_scales_with_span(self, graph):
+        for node in graph.wire_nodes():
+            assert graph.base_cost(node) == pytest.approx(float(node.span))
+
+    def test_source_sink_unbounded(self, graph):
+        for node in graph.nodes:
+            if node.kind in (NodeKind.SOURCE, NodeKind.SINK):
+                assert graph.node_capacity(node) > 1e6
+            else:
+                assert graph.node_capacity(node) == 1
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            RRGraph(ArchParams(channel_width=8), 0, 3)

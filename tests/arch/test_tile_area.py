@@ -1,0 +1,148 @@
+"""Tests for repro.arch.tile and repro.arch.area."""
+
+import math
+
+import pytest
+
+from repro.arch.area import (
+    AreaBreakdown,
+    ComponentAreas,
+    local_wire_length,
+    mwta_area_m2,
+    segment_wire_length,
+    tile_area,
+)
+from repro.arch.params import ArchParams, PAPER_ARCH
+from repro.arch.tile import build_inventory, grid_size_for
+from repro.circuits.ptm import PTM_22NM
+
+
+@pytest.fixture(scope="module")
+def inventory():
+    return build_inventory(PAPER_ARCH)
+
+
+@pytest.fixture(scope="module")
+def areas():
+    return ComponentAreas(lb_input_buffer=20.0, lb_output_buffer=25.0, wire_buffer=160.0)
+
+
+class TestInventory:
+    def test_luts_and_ffs(self, inventory):
+        assert inventory.lut_count == 10
+        assert inventory.ff_count == 10
+
+    def test_buffer_counts(self, inventory):
+        assert inventory.lb_input_buffers == 22
+        assert inventory.lb_output_buffers == 10
+        # 2 W / L = 59 wire segments start per tile at W=118, L=4.
+        assert inventory.wire_buffers == 59
+
+    def test_cb_switches(self, inventory):
+        expected = 22 * PAPER_ARCH.fc_in_abs + 10 * PAPER_ARCH.fc_out_abs
+        assert inventory.cb_switches == expected
+
+    def test_sram_bits_track_switches(self, inventory):
+        assert inventory.routing_sram_bits == inventory.cb_switches + inventory.sb_switches
+        assert inventory.crossbar_sram_bits == inventory.crossbar_switches
+
+    def test_crossbar_full(self, inventory):
+        assert inventory.crossbar_switches == 32 * 40
+
+    def test_lut_sram_bits(self, inventory):
+        assert inventory.lut_sram_bits == 10 * 16
+
+    def test_routing_buffer_count_collective(self, inventory):
+        # The paper's collective term "routing buffers".
+        assert inventory.routing_buffer_count == 22 + 10 + 59
+
+    def test_wider_channel_more_routing(self):
+        wide = build_inventory(ArchParams(channel_width=236))
+        narrow = build_inventory(ArchParams(channel_width=118))
+        assert wide.wire_buffers > narrow.wire_buffers
+        assert wide.cb_switches > narrow.cb_switches
+
+
+class TestGridSize:
+    def test_exact_square(self):
+        assert grid_size_for(PAPER_ARCH, 49) == 7
+
+    def test_rounds_up(self):
+        assert grid_size_for(PAPER_ARCH, 50) == 8
+
+    def test_utilization_reserve(self):
+        assert grid_size_for(PAPER_ARCH, 49, utilization=0.5) == 10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            grid_size_for(PAPER_ARCH, 0)
+        with pytest.raises(ValueError):
+            grid_size_for(PAPER_ARCH, 10, utilization=0.0)
+
+
+class TestAreaModel:
+    def test_mwta_scales_with_f_squared(self):
+        assert mwta_area_m2(45) == pytest.approx(mwta_area_m2(90) / 4.0)
+
+    def test_baseline_no_relays(self, inventory, areas):
+        bd = tile_area(inventory, areas, PTM_22NM)
+        assert bd.relay_count == 0
+        assert bd.footprint_m2 == pytest.approx(bd.cmos_area_m2)
+        assert not bd.limited_by_relays
+
+    def test_baseline_pitch_tens_of_microns(self, inventory, areas):
+        bd = tile_area(inventory, areas, PTM_22NM)
+        assert 10e-6 < bd.tile_pitch_m < 60e-6
+
+    def test_relay_variant_moves_switches_off_cmos(self, inventory, areas):
+        base = tile_area(inventory, areas, PTM_22NM)
+        nem = tile_area(
+            inventory, areas, PTM_22NM, switches_are_relays=True, crossbar_is_relays=True
+        )
+        assert nem.relay_count == inventory.routing_switches + inventory.crossbar_switches
+        assert nem.cmos_mwta < base.cmos_mwta
+        assert "routing_srams" not in nem.cmos_by_component
+
+    def test_buffer_removal_shrinks_cmos(self, inventory, areas):
+        kept = tile_area(inventory, areas, PTM_22NM, switches_are_relays=True, crossbar_is_relays=True)
+        removed = tile_area(
+            inventory, areas, PTM_22NM,
+            switches_are_relays=True, crossbar_is_relays=True,
+            include_lb_input_buffers=False, include_lb_output_buffers=False,
+        )
+        assert removed.cmos_mwta < kept.cmos_mwta
+
+    def test_stacked_footprint_is_max(self, inventory, areas):
+        nem = tile_area(
+            inventory, areas, PTM_22NM, switches_are_relays=True, crossbar_is_relays=True,
+            include_lb_input_buffers=False, include_lb_output_buffers=False,
+        )
+        assert nem.footprint_m2 == pytest.approx(max(nem.cmos_area_m2, nem.relay_area_m2))
+
+    def test_paper_area_reduction_about_2x(self, inventory, areas):
+        """The stacking claim: CMOS-NEM footprint ~ half the baseline."""
+        base = tile_area(inventory, areas, PTM_22NM)
+        nem = tile_area(
+            inventory, areas, PTM_22NM, switches_are_relays=True, crossbar_is_relays=True,
+            include_lb_input_buffers=False, include_lb_output_buffers=False,
+        )
+        ratio = base.footprint_m2 / nem.footprint_m2
+        assert 1.6 < ratio < 3.0
+
+    def test_pitch_is_sqrt_area(self, inventory, areas):
+        bd = tile_area(inventory, areas, PTM_22NM)
+        assert bd.tile_pitch_m == pytest.approx(math.sqrt(bd.footprint_m2))
+
+
+class TestWireLengths:
+    def test_segment_spans_l_tiles(self):
+        assert segment_wire_length(PAPER_ARCH, 30e-6) == pytest.approx(120e-6)
+
+    def test_local_wire_half_pitch(self):
+        assert local_wire_length(PAPER_ARCH, 30e-6) == pytest.approx(15e-6)
+
+    def test_rejects_nonpositive_pitch(self):
+        with pytest.raises(ValueError):
+            segment_wire_length(PAPER_ARCH, 0.0)
+        with pytest.raises(ValueError):
+            local_wire_length(PAPER_ARCH, -1.0)

@@ -1,0 +1,121 @@
+"""Tests for the unidirectional (single-driver) routing option."""
+
+from collections import deque
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.arch.rrgraph import NodeKind, RRGraph
+
+UNIDIR = ArchParams(channel_width=24, directionality="unidir")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return RRGraph(UNIDIR, 5, 5)
+
+
+class TestParams:
+    def test_directionality_validated(self):
+        with pytest.raises(ValueError):
+            ArchParams(directionality="diagonal")
+
+    def test_default_is_bidir(self):
+        assert ArchParams().directionality == "bidir"
+
+
+class TestStructure:
+    def test_every_wire_directed(self, graph):
+        for node in graph.wire_nodes():
+            assert node.direction in (1, -1)
+
+    def test_directions_alternate_by_track(self, graph):
+        for node in graph.wire_nodes():
+            expected = 1 if node.track % 2 == 0 else -1
+            assert node.direction == expected
+
+    def test_bidir_wires_undirected(self):
+        bidir = RRGraph(ArchParams(channel_width=16), 3, 3)
+        assert all(n.direction == 0 for n in bidir.wire_nodes())
+
+    def test_wire_edges_enter_targets_at_their_start(self, graph):
+        """Every wire-wire edge lands on the target's driven end."""
+        for node in graph.wire_nodes():
+            for dst in graph.adjacency[node.id]:
+                target = graph.nodes[dst]
+                if target.kind not in (NodeKind.HWIRE, NodeKind.VWIRE):
+                    continue
+                vertical = target.kind is NodeKind.VWIRE
+                start = target.y if vertical else target.x
+                entry = start if target.direction > 0 else start + target.span
+                src_chan = node.x if node.kind is NodeKind.VWIRE else node.y
+                src_start = node.y if node.kind is NodeKind.VWIRE else node.x
+                exit_corner = src_start + node.span if node.direction > 0 else src_start
+                if target.kind == node.kind:
+                    assert entry == exit_corner  # collinear continuation
+                # (crossing edges verified by the corner bookkeeping)
+
+    def test_no_reverse_wire_edges(self, graph):
+        """Unidirectional edges are not symmetric (unlike bidir)."""
+        asymmetric = 0
+        for node in graph.wire_nodes():
+            for dst in graph.adjacency[node.id]:
+                if graph.nodes[dst].kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+                    if node.id not in graph.adjacency[dst]:
+                        asymmetric += 1
+        assert asymmetric > 0
+
+
+class TestConnectivity:
+    def test_all_pairs_reachable(self, graph):
+        """The regression for the diagonal-flow decomposition bugs:
+        every source must reach every sink (all four turn combinations
+        exist)."""
+        for tile, src in graph.source_of.items():
+            seen = {src}
+            queue = deque([src])
+            while queue:
+                u = queue.popleft()
+                for v in graph.adjacency[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        queue.append(v)
+            for sink_tile, sink in graph.sink_of.items():
+                if sink_tile != tile:
+                    assert sink in seen, f"{tile} cannot reach {sink_tile}"
+
+    def test_opins_have_taps(self, graph):
+        for node in graph.nodes:
+            if node.kind is NodeKind.OPIN:
+                assert graph.adjacency[node.id], f"OPIN {node.id} tapless"
+
+
+class TestRouting:
+    def test_circuit_routes_on_unidir_fabric(self):
+        from repro.netlist.generate import GeneratorParams, generate
+        from repro.vpr.flow import run_flow
+
+        netlist = generate(GeneratorParams("uni", num_luts=80, seed=3))
+        params = ArchParams(channel_width=80, directionality="unidir")
+        flow = run_flow(netlist, params)
+        assert flow.success
+
+    def test_unidir_needs_more_tracks_than_bidir(self):
+        """Directional wires halve each track's usefulness: Wmin is
+        roughly doubled relative to the bidirectional fabric (the
+        classic single-driver trade-off)."""
+        from repro.netlist.generate import GeneratorParams, generate
+        from repro.vpr.flow import find_min_channel_width
+        from repro.vpr.pack import pack
+        from repro.vpr.place import place
+
+        netlist = generate(GeneratorParams("cmp", num_luts=60, seed=5))
+        wmins = {}
+        for mode in ("bidir", "unidir"):
+            params = ArchParams(channel_width=48, directionality=mode)
+            clustered = pack(netlist, params)
+            placement = place(clustered, seed=1)
+            wmin, _res, _g = find_min_channel_width(placement, params, start=8)
+            wmins[mode] = wmin
+        assert wmins["unidir"] > wmins["bidir"]
+        assert wmins["unidir"] < 4 * wmins["bidir"]

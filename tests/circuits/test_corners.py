@@ -1,0 +1,50 @@
+"""Tests for repro.circuits.corners."""
+
+import pytest
+
+from repro.circuits.corners import CORNERS, all_corners, corner_technology, corner_transistor
+from repro.circuits.ptm import PTM_22NM
+
+
+class TestCornerTransistor:
+    def test_tt_is_identity(self):
+        tt = corner_transistor(PTM_22NM.transistor, "tt")
+        assert tt.r_min_nmos == PTM_22NM.transistor.r_min_nmos
+        assert tt.i_leak_min == PTM_22NM.transistor.i_leak_min
+
+    def test_ff_faster_and_leakier(self):
+        ff = corner_transistor(PTM_22NM.transistor, "ff")
+        assert ff.r_min_nmos < PTM_22NM.transistor.r_min_nmos
+        assert ff.i_leak_min > PTM_22NM.transistor.i_leak_min
+        assert ff.fo4_delay() < PTM_22NM.transistor.fo4_delay()
+
+    def test_ss_slower_and_less_leaky(self):
+        ss = corner_transistor(PTM_22NM.transistor, "ss")
+        assert ss.r_min_nmos > PTM_22NM.transistor.r_min_nmos
+        assert ss.i_leak_min < PTM_22NM.transistor.i_leak_min
+        assert ss.fo4_delay() > PTM_22NM.transistor.fo4_delay()
+
+    def test_vt_stays_physical(self):
+        for name in CORNERS:
+            t = corner_transistor(PTM_22NM.transistor, name)
+            assert 0 < t.vt < t.vdd
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(KeyError):
+            corner_transistor(PTM_22NM.transistor, "xx")
+
+
+class TestCornerTechnology:
+    def test_interconnect_unchanged(self):
+        ff = corner_technology(PTM_22NM, "ff")
+        assert ff.interconnect is PTM_22NM.interconnect
+
+    def test_all_corners_complete(self):
+        corners = all_corners(PTM_22NM)
+        assert set(corners) == set(CORNERS)
+        # Ordering sanity across the speed axis.
+        assert (
+            corners["ff"].transistor.fo4_delay()
+            < corners["tt"].transistor.fo4_delay()
+            < corners["ss"].transistor.fo4_delay()
+        )

@@ -1,0 +1,141 @@
+"""Tests for repro.circuits.logical_effort (Sec. 3.4 buffer design)."""
+
+import pytest
+
+from repro.circuits.logical_effort import (
+    InverterChain,
+    downsized_chain,
+    geometric_chain,
+    optimal_chain,
+    optimal_num_stages,
+)
+from repro.circuits.ptm import PTM_22NM
+
+TECH = PTM_22NM.transistor
+
+
+class TestOptimalNumStages:
+    def test_unity_effort_single_stage(self):
+        assert optimal_num_stages(1.0) == 1
+        assert optimal_num_stages(0.5) == 1
+
+    def test_effort_4_one_stage(self):
+        assert optimal_num_stages(4.0) == 1
+
+    def test_effort_256_four_stages(self):
+        assert optimal_num_stages(256.0) == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            optimal_num_stages(0.0)
+
+
+class TestGeometricChain:
+    def test_first_stage_minimum_sized(self):
+        # Paper Sec. 3.4: "with minimum-sized inverter as its first stage".
+        chain = geometric_chain(TECH, 100e-15, 4)
+        assert chain.stage_sizes[0] == pytest.approx(1.0)
+
+    def test_sizes_geometric(self):
+        chain = geometric_chain(TECH, 100e-15, 4)
+        ratios = [b / a for a, b in zip(chain.stage_sizes, chain.stage_sizes[1:])]
+        assert all(r == pytest.approx(ratios[0], rel=1e-6) for r in ratios)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            geometric_chain(TECH, 100e-15, 0)
+        with pytest.raises(ValueError):
+            geometric_chain(TECH, 0.0, 3)
+
+
+class TestOptimalChain:
+    def test_sweep_finds_local_optimum(self):
+        """The chosen stage count beats its neighbours — the paper's
+        'swept the fanout of each stage' optimisation."""
+        c_load = 30e-15
+        best = optimal_chain(TECH, c_load)
+        d_best = best.delay(c_load)
+        for n in (best.num_stages - 1, best.num_stages + 1):
+            if n >= 1:
+                other = geometric_chain(TECH, c_load, n)
+                assert other.delay(c_load) >= d_best - 1e-18
+
+    def test_bigger_load_needs_more_stages(self):
+        small = optimal_chain(TECH, 1e-15)
+        large = optimal_chain(TECH, 300e-15)
+        assert large.num_stages > small.num_stages
+
+    def test_delay_monotone_in_load(self):
+        chain = optimal_chain(TECH, 30e-15)
+        assert chain.delay(60e-15) > chain.delay(30e-15)
+
+
+class TestDownsizedChain:
+    def test_factor_one_is_optimal(self):
+        c = 30e-15
+        assert downsized_chain(TECH, c, 1.0).stage_sizes == optimal_chain(TECH, c).stage_sizes
+
+    def test_downsizing_trades_delay_for_power(self):
+        """The core Sec. 3.4 trade-off: smaller chain = slower but less
+        energy and much less leakage."""
+        c = 30e-15
+        full = optimal_chain(TECH, c)
+        small = downsized_chain(TECH, c, 8.0)
+        assert small.delay(c) > full.delay(c)
+        assert small.switching_energy(c) < full.switching_energy(c)
+        assert small.leakage_power() < full.leakage_power()
+
+    def test_leakage_scales_with_width(self):
+        c = 30e-15
+        full = optimal_chain(TECH, c)
+        small = downsized_chain(TECH, c, 8.0)
+        assert small.leakage_power() / full.leakage_power() == pytest.approx(
+            small.total_width / full.total_width
+        )
+
+    def test_monotone_over_factor(self):
+        c = 30e-15
+        delays, leaks = [], []
+        for f in (1.0, 2.0, 4.0, 8.0):
+            chain = downsized_chain(TECH, c, f)
+            delays.append(chain.delay(c))
+            leaks.append(chain.leakage_power())
+        assert delays == sorted(delays)
+        assert leaks == sorted(leaks, reverse=True)
+
+    def test_rejects_subunity_factor(self):
+        with pytest.raises(ValueError):
+            downsized_chain(TECH, 30e-15, 0.5)
+
+
+class TestChainQuantities:
+    def test_input_cap_scales_with_first_stage(self):
+        chain = InverterChain(stage_sizes=[2.0, 8.0], tech=TECH)
+        assert chain.input_capacitance == pytest.approx(2.0 * TECH.inverter_input_cap)
+
+    def test_output_resistance_scales_inverse_last_stage(self):
+        chain = InverterChain(stage_sizes=[1.0, 10.0], tech=TECH)
+        assert chain.output_resistance == pytest.approx(TECH.inverter_drive_resistance / 10.0)
+
+    def test_first_stage_delay_below_total(self):
+        chain = optimal_chain(TECH, 50e-15)
+        assert 0 < chain.first_stage_delay(50e-15) < chain.delay(50e-15)
+
+    def test_internal_cap_excludes_external_load(self):
+        chain = InverterChain(stage_sizes=[1.0], tech=TECH)
+        assert chain.internal_switching_capacitance() == pytest.approx(
+            TECH.inverter_output_cap
+        )
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError):
+            InverterChain(stage_sizes=[], tech=TECH)
+
+    def test_rejects_subminimum_stage(self):
+        with pytest.raises(ValueError):
+            InverterChain(stage_sizes=[0.5], tech=TECH)
+
+    def test_rejects_negative_load(self):
+        chain = InverterChain(stage_sizes=[1.0], tech=TECH)
+        with pytest.raises(ValueError):
+            chain.delay(-1e-15)

@@ -1,0 +1,72 @@
+"""Tests for repro.circuits.ptm."""
+
+import pytest
+
+from repro.circuits.ptm import (
+    InterconnectModel,
+    PTM_22NM,
+    PTM_90NM,
+    Technology,
+    TransistorModel,
+)
+
+
+class TestTransistorModel:
+    def test_default_is_22nm(self):
+        t = PTM_22NM.transistor
+        assert t.node_nm == 22
+        assert t.vdd == pytest.approx(0.8)
+
+    def test_vt_below_vdd(self):
+        assert 0 < PTM_22NM.transistor.vt < PTM_22NM.transistor.vdd
+
+    def test_fo4_delay_in_expected_band(self):
+        # 22nm FO4 should land in single-digit to low-tens of ps.
+        fo4 = PTM_22NM.transistor.fo4_delay()
+        assert 3e-12 < fo4 < 30e-12
+
+    def test_90nm_slower_than_22nm(self):
+        assert PTM_90NM.transistor.fo4_delay() > PTM_22NM.transistor.fo4_delay()
+
+    def test_inverter_cap_includes_pmos(self):
+        t = PTM_22NM.transistor
+        assert t.inverter_input_cap == pytest.approx(t.c_gate_min * (1 + t.pmos_beta))
+
+    def test_rejects_vt_above_vdd(self):
+        with pytest.raises(ValueError):
+            TransistorModel(vdd=0.8, vt=0.9)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            TransistorModel(r_min_nmos=0.0)
+
+    def test_tau_positive(self):
+        assert PTM_22NM.transistor.tau > 0
+
+
+class TestInterconnect:
+    def test_wire_scaling_linear(self):
+        ic = PTM_22NM.interconnect
+        assert ic.wire_resistance(2e-6) == pytest.approx(2 * ic.wire_resistance(1e-6))
+        assert ic.wire_capacitance(2e-6) == pytest.approx(2 * ic.wire_capacitance(1e-6))
+
+    def test_typical_values_100um(self):
+        ic = PTM_22NM.interconnect
+        # ~0.2 fF/um and a few ohm/um: standard intermediate-layer PTM.
+        assert ic.wire_capacitance(100e-6) == pytest.approx(20e-15, rel=0.3)
+        assert 50 < ic.wire_resistance(100e-6) < 2000
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            PTM_22NM.interconnect.wire_resistance(-1.0)
+
+    def test_rejects_nonpositive_parasitics(self):
+        with pytest.raises(ValueError):
+            InterconnectModel(r_per_m=0.0)
+
+
+class TestTechnology:
+    def test_bundle_properties(self):
+        t = Technology()
+        assert t.node_nm == 22
+        assert t.vdd == pytest.approx(0.8)

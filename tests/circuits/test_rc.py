@@ -1,0 +1,97 @@
+"""Tests for repro.circuits.rc (Elmore delay)."""
+
+import pytest
+
+from repro.circuits.rc import (
+    ELMORE_STEP_FACTOR,
+    RCTree,
+    distributed_wire_delay,
+    lumped_delay,
+)
+
+
+class TestLumpedHelpers:
+    def test_lumped_delay_value(self):
+        assert lumped_delay(1e3, 1e-15) == pytest.approx(0.69e-12)
+
+    def test_distributed_is_half_of_lumped(self):
+        assert distributed_wire_delay(1e3, 1e-15) == pytest.approx(lumped_delay(1e3, 1e-15) / 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lumped_delay(-1.0, 1e-15)
+
+
+class TestRCTree:
+    def test_single_rc_matches_lumped(self):
+        tree = RCTree("s", driver_resistance=1e3)
+        tree.add("a", parent="s", resistance=0.0, capacitance=1e-15)
+        assert tree.elmore_delay("a") == pytest.approx(ELMORE_STEP_FACTOR * 1e3 * 1e-15)
+
+    def test_chain_elmore_hand_computed(self):
+        # R1=1k into C1=1f, then R2=2k into C2=3f:
+        # t = R1*(C1+C2) + R2*C2 = 1k*4f + 2k*3f = 10 ps (x0.69).
+        tree = RCTree("s", driver_resistance=1e3)
+        tree.add("a", parent="s", resistance=0.0, capacitance=1e-15)
+        tree.add("b", parent="a", resistance=2e3, capacitance=3e-15)
+        assert tree.elmore_delay("b") == pytest.approx(ELMORE_STEP_FACTOR * 10e-12)
+
+    def test_side_branch_loads_shared_path(self):
+        # A branch hanging off the shared node adds C * shared R.
+        tree = RCTree("s", driver_resistance=1e3)
+        tree.add("mid", parent="s", resistance=0.0, capacitance=0.0)
+        tree.add("sink", parent="mid", resistance=1e3, capacitance=1e-15)
+        base = tree.elmore_delay("sink")
+        tree.add("branch", parent="mid", resistance=5e3, capacitance=2e-15)
+        loaded = tree.elmore_delay("sink")
+        assert loaded == pytest.approx(base + ELMORE_STEP_FACTOR * 1e3 * 2e-15)
+
+    def test_branch_resistance_does_not_affect_other_sink(self):
+        tree = RCTree("s", driver_resistance=1e3)
+        tree.add("mid", parent="s", resistance=0.0, capacitance=0.0)
+        tree.add("sink", parent="mid", resistance=1e3, capacitance=1e-15)
+        tree.add("b1", parent="mid", resistance=1e3, capacitance=1e-15)
+        d1 = tree.elmore_delay("sink")
+        # Increasing the branch's series R (beyond the shared node)
+        # must not change the other sink's delay.
+        tree2 = RCTree("s", driver_resistance=1e3)
+        tree2.add("mid", parent="s", resistance=0.0, capacitance=0.0)
+        tree2.add("sink", parent="mid", resistance=1e3, capacitance=1e-15)
+        tree2.add("b1", parent="mid", resistance=9e3, capacitance=1e-15)
+        assert tree2.elmore_delay("sink") == pytest.approx(d1)
+
+    def test_total_capacitance(self):
+        tree = RCTree("s", driver_resistance=1e3, root_capacitance=1e-15)
+        tree.add("a", parent="s", resistance=10.0, capacitance=2e-15)
+        tree.add_capacitance("a", 3e-15)
+        assert tree.total_capacitance() == pytest.approx(6e-15)
+
+    def test_max_sink_delay_over_leaves(self):
+        tree = RCTree("s", driver_resistance=1e3)
+        tree.add("near", parent="s", resistance=0.0, capacitance=1e-15)
+        tree.add("far", parent="near", resistance=10e3, capacitance=1e-15)
+        assert tree.max_sink_delay() == pytest.approx(tree.elmore_delay("far"))
+
+    def test_duplicate_node_rejected(self):
+        tree = RCTree("s")
+        tree.add("a", parent="s", resistance=1.0, capacitance=0.0)
+        with pytest.raises(ValueError):
+            tree.add("a", parent="s", resistance=1.0, capacitance=0.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = RCTree("s")
+        with pytest.raises(KeyError):
+            tree.add("a", parent="nope", resistance=1.0, capacitance=0.0)
+
+    def test_unknown_sink_rejected(self):
+        tree = RCTree("s")
+        with pytest.raises(KeyError):
+            tree.elmore_delay("nope")
+
+    def test_monotone_in_driver_resistance(self):
+        delays = []
+        for r in (1e2, 1e3, 1e4):
+            tree = RCTree("s", driver_resistance=r)
+            tree.add("a", parent="s", resistance=100.0, capacitance=1e-15)
+            delays.append(tree.elmore_delay("a"))
+        assert delays == sorted(delays)

@@ -1,0 +1,118 @@
+"""Tests for repro.circuits.passgate / switches / buffers (Fig. 8)."""
+
+import pytest
+
+from repro.circuits.buffers import RoutingBuffer, restorer_delay_factor, sized_buffer
+from repro.circuits.logical_effort import optimal_chain
+from repro.circuits.passgate import PassTransistor
+from repro.circuits.ptm import PTM_22NM
+from repro.circuits.switches import (
+    CmosRoutingSwitch,
+    NemRoutingSwitch,
+    SRAMCell,
+    default_cmos_switch,
+    default_nem_switch,
+)
+
+TECH = PTM_22NM.transistor
+
+
+class TestPassTransistor:
+    def test_vt_drop_output_high(self):
+        # Fig. 8a: the NMOS passes only Vdd - Vt.
+        pt = PassTransistor(TECH)
+        assert pt.output_high == pytest.approx(TECH.vdd - TECH.vt)
+
+    def test_rising_resistance_worse_than_falling(self):
+        pt = PassTransistor(TECH)
+        assert pt.resistance_high > pt.resistance_low
+        assert pt.resistance == pt.resistance_high
+
+    def test_width_lowers_resistance_raises_cap(self):
+        narrow, wide = PassTransistor(TECH, width=2.0), PassTransistor(TECH, width=8.0)
+        assert wide.resistance < narrow.resistance
+        assert wide.parasitic_capacitance > narrow.parasitic_capacitance
+
+    def test_rejects_subminimum_width(self):
+        with pytest.raises(ValueError):
+            PassTransistor(TECH, width=0.5)
+
+
+class TestSwitchComparison:
+    """The CMOS vs NEM table the paper's argument rests on."""
+
+    def test_nem_resistance_lower(self):
+        assert default_nem_switch().resistance < default_cmos_switch(TECH).resistance
+
+    def test_nem_zero_leakage(self):
+        nem = default_nem_switch()
+        assert nem.leakage_power == 0.0
+        assert nem.config_leakage_power == 0.0
+
+    def test_cmos_leaks(self):
+        cmos = default_cmos_switch(TECH)
+        assert cmos.leakage_power > 0
+        assert cmos.config_leakage_power > 0
+
+    def test_nem_zero_cmos_footprint(self):
+        assert default_nem_switch().cmos_area_min_widths == 0.0
+        assert default_cmos_switch(TECH).cmos_area_min_widths > 6.0  # at least the SRAM
+
+    def test_full_swing(self):
+        assert default_nem_switch().full_swing
+        assert not default_cmos_switch(TECH).full_swing
+
+    def test_nem_parasitic_cap_much_smaller(self):
+        # 20 aF relay vs hundreds of aF of NMOS diffusion.
+        ratio = default_cmos_switch(TECH).parasitic_capacitance / default_nem_switch().parasitic_capacitance
+        assert ratio > 5
+
+    def test_sram_cell_area_is_6t(self):
+        assert SRAMCell(TECH).area_min_widths == pytest.approx(6.0)
+
+
+class TestRoutingBuffer:
+    @pytest.fixture
+    def load(self):
+        return 25e-15
+
+    def test_restorer_adds_leakage(self, load):
+        with_r = sized_buffer(TECH, load, level_restorer=True)
+        without = sized_buffer(TECH, load, level_restorer=False)
+        assert with_r.leakage_power() > without.leakage_power()
+
+    def test_restorer_adds_input_cap(self, load):
+        with_r = sized_buffer(TECH, load, level_restorer=True)
+        without = sized_buffer(TECH, load, level_restorer=False)
+        assert with_r.input_capacitance > without.input_capacitance
+
+    def test_restorer_adds_delay(self, load):
+        with_r = sized_buffer(TECH, load, level_restorer=True)
+        without = sized_buffer(TECH, load, level_restorer=False)
+        assert with_r.delay(load) > without.delay(load)
+
+    def test_restorer_factor_above_one(self):
+        assert restorer_delay_factor(TECH) > 1.0
+
+    def test_input_degraded_override(self, load):
+        buf = sized_buffer(TECH, load, level_restorer=True)
+        assert buf.delay(load, input_degraded=False) < buf.delay(load, input_degraded=True)
+
+    def test_downsized_buffer_smaller_and_slower(self, load):
+        full = sized_buffer(TECH, load, level_restorer=False)
+        down = sized_buffer(TECH, load, level_restorer=False, downsize_factor=8.0)
+        assert down.area_min_widths < full.area_min_widths
+        assert down.delay(load) > full.delay(load)
+        assert down.design_load == pytest.approx(load)
+
+    def test_area_accounts_for_pmos(self, load):
+        buf = RoutingBuffer(
+            chain=optimal_chain(TECH, load), level_restorer=False, tech=TECH, design_load=load
+        )
+        assert buf.area_min_widths == pytest.approx(
+            buf.chain.total_width * (1 + TECH.pmos_beta)
+        )
+
+    def test_switching_energy_includes_load(self, load):
+        buf = sized_buffer(TECH, load, level_restorer=False)
+        assert buf.switching_energy(load) > buf.switching_energy(0.0)

@@ -1,0 +1,77 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["device"],
+            ["device", "--fabricated"],
+            ["crossbar", "--rows", "3", "--cols", "2"],
+            ["flow", "--circuit", "tseng", "--scale", "0.03"],
+            ["sweep", "--circuit", "alu4"],
+            ["headline", "--suite", "mcnc20"],
+            ["explore", "--knob", "fc_in"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_bad_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["headline", "--suite", "nope"])
+
+
+class TestExecution:
+    def test_device_runs(self, capsys):
+        assert main(["device"]) == 0
+        out = capsys.readouterr().out
+        assert "Vpi" in out and "switching delay" in out
+
+    def test_device_fabricated(self, capsys):
+        assert main(["device", "--fabricated"]) == 0
+        assert "fabricated" in capsys.readouterr().out
+
+    def test_crossbar_runs(self, capsys):
+        assert main(["crossbar", "--targets", "0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "programmed exactly the targets: True" in out
+
+    def test_flow_runs_small(self, capsys):
+        code = main([
+            "flow", "--circuit", "tseng", "--scale", "0.03",
+            "--width", "56", "--show-maps",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "floorplan" in out
+        assert "leak.red" in out
+
+    def test_sweep_runs_small(self, capsys):
+        code = main(["sweep", "--circuit", "tseng", "--scale", "0.03", "--width", "56"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "downsize" in out
+        assert "preferred corner" in out
+
+    def test_map_runs(self, capsys, tmp_path):
+        blif = tmp_path / "m.blif"
+        code = main(["map", "--gates", "120", "--blif", str(blif)])
+        assert code == 0
+        assert "equivalence" in capsys.readouterr().out
+        assert blif.exists()
+
+    def test_explore_runs_small(self, capsys):
+        code = main([
+            "explore", "--knob", "segment_length", "--circuit", "tseng",
+            "--scale", "0.02", "--width", "40",
+        ])
+        assert code == 0
+        assert "Wmin" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Tests for repro.core.evaluate / tradeoff / report (Fig. 12)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.core.evaluate import Comparison, evaluate_design
+from repro.core.report import (
+    PAPER_HEADLINE,
+    PAPER_NAIVE,
+    format_fig12_table,
+    format_headline,
+    headline_summary,
+)
+from repro.core.tradeoff import fig12_series, geomean_curve, sweep_circuit
+from repro.core.variants import baseline_variant, optimized_nem_variant
+from repro.netlist.generate import GeneratorParams, generate
+from repro.vpr.flow import run_flow
+
+ARCH = ArchParams(channel_width=48)
+SWEEP = (1.0, 4.0, 8.0, 16.0)
+
+
+@pytest.fixture(scope="module")
+def flow():
+    netlist = generate(GeneratorParams("core", num_luts=90, ff_fraction=0.25, seed=13))
+    result = run_flow(netlist, ARCH)
+    assert result.success
+    return result
+
+
+@pytest.fixture(scope="module")
+def curve(flow):
+    return sweep_circuit(flow, ARCH, downsizes=SWEEP)
+
+
+class TestEvaluateDesign:
+    def test_baseline_point(self, flow):
+        point = evaluate_design(flow, baseline_variant(ARCH))
+        assert point.critical_path > 0
+        assert point.total_dynamic > 0
+        assert point.total_leakage > 0
+        assert point.frequency == pytest.approx(1.0 / point.critical_path)
+
+    def test_frequency_override(self, flow):
+        point = evaluate_design(flow, baseline_variant(ARCH), frequency=5e8)
+        assert point.frequency == 5e8
+
+    def test_comparison_ratios(self, flow):
+        base = evaluate_design(flow, baseline_variant(ARCH))
+        nem = evaluate_design(
+            flow, optimized_nem_variant(ARCH, 8.0), frequency=base.frequency
+        )
+        cmp = Comparison.of(base, nem)
+        assert cmp.leakage_reduction > 1.0
+        assert cmp.dynamic_reduction > 1.0
+        assert cmp.area_reduction > 1.0
+
+
+class TestSweep:
+    def test_point_per_downsize(self, curve):
+        assert [p.downsize for p in curve.points] == list(SWEEP)
+
+    def test_speedup_decreases_with_downsize(self, curve):
+        speedups = [p.speedup for p in curve.points]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_leakage_reduction_increases_with_downsize(self, curve):
+        leaks = [p.leakage_reduction for p in curve.points]
+        assert leaks == sorted(leaks)
+
+    def test_naive_point_present(self, curve):
+        assert curve.naive is not None
+        assert curve.naive.leakage_reduction > 1.0
+
+    def test_preferred_corner_no_speed_penalty(self, curve):
+        corner = curve.preferred_corner()
+        assert corner.speedup >= 1.0
+
+    def test_fig12_series_shapes(self, curve):
+        series = fig12_series(curve)
+        assert len(series["speedup"]) == len(SWEEP)
+        assert set(series) == {"speedup", "dynamic_reduction", "leakage_reduction", "downsize"}
+
+
+class TestHeadline:
+    def test_paper_shape_reproduced(self, curve):
+        """The headline claim: large leakage and dynamic reductions at
+        ~2x area with no speed penalty."""
+        corner = curve.preferred_corner()
+        assert corner.leakage_reduction > 5.0      # paper: 10x
+        assert corner.dynamic_reduction > 1.5      # paper: 2x
+        assert 1.5 < corner.area_reduction < 3.0   # paper: 2x
+        assert corner.speedup >= 1.0               # no speed penalty
+
+    def test_naive_much_weaker_than_technique(self, curve):
+        """The technique's whole point (paper Sec. 3.4 comparison)."""
+        corner = curve.preferred_corner()
+        naive = curve.naive
+        assert corner.leakage_reduction > 2.0 * naive.leakage_reduction
+        assert corner.dynamic_reduction > naive.dynamic_reduction
+
+    def test_naive_matches_paper_band(self, curve):
+        naive = curve.naive
+        assert 1.4 < naive.leakage_reduction < 3.0   # paper: 2x
+        assert 1.1 < naive.dynamic_reduction < 1.6   # paper: 1.3x
+
+    def test_summary_and_formatting(self, curve):
+        summary = headline_summary([curve])
+        text = format_headline(summary)
+        assert "leakage reduction" in text
+        assert "naive" in text.lower() or "Without" in text
+        table = format_fig12_table([curve])
+        assert curve.circuit in table
+
+    def test_geomean_of_single_curve_identity(self, curve):
+        agg = geomean_curve([curve])
+        for a, b in zip(agg.points, curve.points):
+            assert a.speedup == pytest.approx(b.speedup)
+
+    def test_paper_reference_constants(self):
+        assert PAPER_HEADLINE["leakage_reduction"] == 10.0
+        assert PAPER_NAIVE["area_reduction"] == 1.8

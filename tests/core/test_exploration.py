@@ -1,0 +1,70 @@
+"""Tests for repro.core.exploration (future-work architecture sweeps)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.core.exploration import (
+    format_sweep,
+    sweep_connection_flexibility,
+    sweep_segment_length,
+)
+from repro.netlist.generate import GeneratorParams, generate
+
+BASE = ArchParams(channel_width=48)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate(GeneratorParams("explore", num_luts=60, ff_fraction=0.2, seed=33))
+
+
+@pytest.fixture(scope="module")
+def seg_points(circuit):
+    return sweep_segment_length(circuit, BASE, lengths=(1, 4), seed=2)
+
+
+class TestSegmentLengthSweep:
+    def test_one_point_per_length(self, seg_points):
+        assert [p.params.segment_length for p in seg_points] == [1, 4]
+
+    def test_points_complete(self, seg_points):
+        for p in seg_points:
+            assert p.wmin > 0
+            assert p.wirelength > 0
+            assert p.baseline_critical_path > 0
+            assert p.nem_critical_path > 0
+            assert p.nem_leakage_reduction > 1.0
+            assert p.relay_count_per_tile > 0
+
+    def test_width_is_low_stress_of_wmin(self, seg_points):
+        from repro.vpr.flow import low_stress_width
+
+        for p in seg_points:
+            assert p.params.channel_width >= low_stress_width(p.wmin)
+
+    def test_rejects_empty_sweep(self, circuit):
+        with pytest.raises(ValueError):
+            sweep_segment_length(circuit, BASE, lengths=())
+
+
+class TestConnectionFlexibilitySweep:
+    def test_richer_fc_never_needs_wider_channel(self, circuit):
+        points = sweep_connection_flexibility(circuit, BASE, fc_in_values=(0.1, 0.4), seed=2)
+        # More CB taps per pin -> the router has at least as much
+        # freedom; Wmin must not grow.
+        assert points[1].wmin <= points[0].wmin + 2  # small noise tolerance
+
+    def test_richer_fc_costs_more_relays(self, circuit):
+        points = sweep_connection_flexibility(circuit, BASE, fc_in_values=(0.1, 0.4), seed=2)
+        assert points[1].relay_count_per_tile > points[0].relay_count_per_tile
+
+
+class TestFormatting:
+    def test_format_sweep_table(self, seg_points):
+        text = format_sweep(seg_points, "segment_length")
+        assert "Wmin" in text
+        assert len(text.splitlines()) == len(seg_points) + 1
+
+    def test_unknown_knob(self, seg_points):
+        with pytest.raises(KeyError):
+            format_sweep(seg_points, "bogus")

@@ -1,0 +1,102 @@
+"""Tests for repro.core.report and tradeoff aggregation helpers."""
+
+import pytest
+
+from repro.core.evaluate import Comparison
+from repro.core.report import (
+    PAPER_HEADLINE,
+    PAPER_NAIVE,
+    format_fig12_table,
+    format_headline,
+    headline_summary,
+)
+from repro.core.tradeoff import TradeoffCurve, TradeoffPoint, geomean_curve
+
+
+def make_curve(name, scale=1.0, naive=True):
+    points = [
+        TradeoffPoint(downsize=d, speedup=s * scale, dynamic_reduction=dy,
+                      leakage_reduction=lk, area_reduction=2.0)
+        for d, s, dy, lk in [(1.0, 1.6, 1.3, 2.2), (8.0, 1.1, 1.8, 8.0), (16.0, 0.9, 1.9, 9.0)]
+    ]
+    naive_cmp = None
+    if naive:
+        naive_cmp = Comparison(
+            circuit=name, speedup=1.5, dynamic_reduction=1.3,
+            leakage_reduction=1.9, area_reduction=2.0,
+        )
+    return TradeoffCurve(circuit=name, points=points, naive=naive_cmp)
+
+
+class TestPreferredCorner:
+    def test_picks_best_leakage_with_no_penalty(self):
+        corner = make_curve("c").preferred_corner()
+        assert corner.downsize == 8.0  # last point dips below 1.0x
+
+    def test_falls_back_to_fastest_when_all_slow(self):
+        curve = make_curve("c", scale=0.5)
+        corner = curve.preferred_corner()
+        assert corner.speedup == max(p.speedup for p in curve.points)
+
+
+class TestGeomean:
+    def test_combines_two_curves(self):
+        agg = geomean_curve([make_curve("a"), make_curve("b", scale=1.2)])
+        assert agg.circuit == "geomean"
+        expected = (1.6 * 1.6 * 1.2) ** 0.5
+        assert agg.points[0].speedup == pytest.approx(expected)
+
+    def test_mismatched_sweeps_rejected(self):
+        a = make_curve("a")
+        b = make_curve("b")
+        b.points = b.points[:2]
+        with pytest.raises(ValueError):
+            geomean_curve([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean_curve([])
+
+    def test_naive_aggregated(self):
+        agg = geomean_curve([make_curve("a"), make_curve("b")])
+        assert agg.naive is not None
+        assert agg.naive.leakage_reduction == pytest.approx(1.9)
+
+    def test_handles_missing_naive(self):
+        agg = geomean_curve([make_curve("a", naive=False), make_curve("b", naive=False)])
+        assert agg.naive is None
+
+
+class TestHeadlineSummary:
+    def test_single_curve(self):
+        summary = headline_summary([make_curve("only")])
+        assert summary.corner.downsize == 8.0
+        assert "only" in summary.per_circuit
+
+    def test_multi_curve_uses_geomean(self):
+        summary = headline_summary([make_curve("a"), make_curve("b")])
+        assert set(summary.per_circuit) == {"a", "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            headline_summary([])
+
+
+class TestFormatting:
+    def test_format_headline_mentions_both_tables(self):
+        text = format_headline(headline_summary([make_curve("x")]))
+        assert "preferred corner" in text
+        assert "Without selective buffer removal" in text
+        assert f"{PAPER_HEADLINE['leakage_reduction']:.1f}" in text
+
+    def test_format_headline_without_naive(self):
+        text = format_headline(headline_summary([make_curve("x", naive=False)]))
+        assert "Without" not in text
+
+    def test_fig12_table_has_row_per_point(self):
+        curves = [make_curve("a"), make_curve("b")]
+        table = format_fig12_table(curves)
+        assert len(table.splitlines()) == 1 + sum(len(c.points) for c in curves)
+
+    def test_paper_constants(self):
+        assert PAPER_NAIVE["dynamic_reduction"] == pytest.approx(1.3)

@@ -1,0 +1,55 @@
+"""Tests for repro.core.robustness (seed-stability of the claims)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.core.robustness import RatioStats, format_study, seed_sweep
+from repro.netlist.generate import GeneratorParams, generate
+
+ARCH = ArchParams(channel_width=48)
+
+
+@pytest.fixture(scope="module")
+def study():
+    netlist = generate(GeneratorParams("seeds", num_luts=80, ff_fraction=0.25, seed=55))
+    return seed_sweep(netlist, ARCH, seeds=(1, 2, 3), downsize=8.0)
+
+
+class TestSeedSweep:
+    def test_all_seeds_route(self, study):
+        assert not study.failed_seeds
+        assert len(study.comparisons) == 3
+
+    def test_ratios_stable_across_seeds(self, study):
+        """The headline ratios are architecture properties: seed noise
+        must be small relative to the effect size."""
+        stats = study.stats()
+        assert stats["leakage_reduction"].relative_spread < 0.25
+        assert stats["dynamic_reduction"].relative_spread < 0.25
+        # Area is placement-independent entirely.
+        assert stats["area_reduction"].relative_spread == pytest.approx(0.0, abs=1e-12)
+
+    def test_effect_present_for_every_seed(self, study):
+        for cmp in study.comparisons:
+            assert cmp.leakage_reduction > 4.0
+            assert cmp.dynamic_reduction > 1.3
+
+    def test_format(self, study):
+        text = format_study(study)
+        assert "geomean" in text
+        assert "leakage_reduction" in text
+
+    def test_rejects_empty_seeds(self):
+        netlist = generate(GeneratorParams("s", num_luts=20, seed=1))
+        with pytest.raises(ValueError):
+            seed_sweep(netlist, ARCH, seeds=())
+
+
+class TestRatioStats:
+    def test_geomean(self):
+        stats = RatioStats([2.0, 8.0])
+        assert stats.geomean == pytest.approx(4.0)
+
+    def test_spread(self):
+        stats = RatioStats([2.0, 8.0])
+        assert stats.relative_spread == pytest.approx(6.0 / 4.0)

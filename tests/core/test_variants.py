@@ -1,0 +1,126 @@
+"""Tests for repro.core.variants (design-point elaboration)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.core.variants import (
+    FpgaVariant,
+    VariantConfig,
+    VariantKind,
+    baseline_variant,
+    naive_nem_variant,
+    optimized_nem_variant,
+)
+
+ARCH = ArchParams(channel_width=48)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return baseline_variant(ARCH)
+
+
+@pytest.fixture(scope="module")
+def naive():
+    return naive_nem_variant(ARCH)
+
+
+@pytest.fixture(scope="module")
+def opt():
+    return optimized_nem_variant(ARCH, downsize=8.0)
+
+
+class TestConfig:
+    def test_only_opt_downsizes(self):
+        with pytest.raises(ValueError):
+            VariantConfig(VariantKind.CMOS_ONLY, wire_buffer_downsize=4.0)
+        with pytest.raises(ValueError):
+            VariantConfig(VariantKind.CMOS_NEM_NAIVE, wire_buffer_downsize=4.0)
+
+    def test_downsize_range(self):
+        with pytest.raises(ValueError):
+            VariantConfig(VariantKind.CMOS_NEM_OPT, wire_buffer_downsize=0.5)
+
+    def test_kinds_relay_flag(self):
+        assert not VariantKind.CMOS_ONLY.uses_relays
+        assert VariantKind.CMOS_NEM_NAIVE.uses_relays
+        assert VariantKind.CMOS_NEM_OPT.uses_relays
+
+
+class TestElaboration:
+    def test_geometry_fixed_point_converges(self, base):
+        pitch_before = base.tile_pitch_m
+        base.solve()
+        assert base.tile_pitch_m == pytest.approx(pitch_before, rel=1e-6)
+
+    def test_baseline_has_all_buffers_with_restorers(self, base):
+        assert base.wire_buffer is not None and base.wire_buffer.level_restorer
+        assert base.lb_input_buffer is not None
+        assert base.lb_output_buffer is not None
+
+    def test_naive_keeps_buffers_without_restorers(self, naive):
+        assert naive.wire_buffer is not None and not naive.wire_buffer.level_restorer
+        assert naive.lb_input_buffer is not None
+
+    def test_opt_removes_lb_buffers(self, opt):
+        assert opt.lb_input_buffer is None
+        assert opt.lb_output_buffer is None
+        assert opt.wire_buffer is not None  # wire buffers only downsized
+
+    def test_opt_wire_buffer_smaller_than_naive(self, naive, opt):
+        assert opt.wire_buffer.area_min_widths < naive.wire_buffer.area_min_widths
+
+    def test_pitch_ordering(self, base, naive, opt):
+        # Stacking shrinks the tile; the paper's 2x footprint claim.
+        assert opt.tile_pitch_m < base.tile_pitch_m
+        assert naive.tile_pitch_m < base.tile_pitch_m
+
+    def test_area_reduction_about_2x(self, base, opt):
+        ratio = base.area.footprint_m2 / opt.area.footprint_m2
+        assert 1.6 < ratio < 3.0
+
+    def test_naive_reduction_not_more_than_opt(self, base, naive, opt):
+        naive_ratio = base.area.footprint_m2 / naive.area.footprint_m2
+        opt_ratio = base.area.footprint_m2 / opt.area.footprint_m2
+        assert naive_ratio <= opt_ratio + 1e-9
+
+
+class TestFabricViews:
+    def test_baseline_fabric_degraded(self, base):
+        fabric = base.fabric()
+        assert fabric.degraded_inputs
+        assert fabric.switch_r > 2e3  # pass transistor slower than relay
+
+    def test_nem_fabric_full_swing_and_2k(self, opt):
+        fabric = opt.fabric()
+        assert not fabric.degraded_inputs
+        assert fabric.switch_r == pytest.approx(2e3, rel=0.2)  # + via hops
+
+    def test_nem_off_loading_tiny(self, base, opt):
+        # Relay Coff = 6.7 aF vs NMOS diffusion: the wire off-load
+        # collapses, a key CMOS-NEM speed/power advantage.
+        assert opt.fabric().wire_off_load < base.fabric().wire_off_load / 10.0
+
+    def test_local_delays_positive(self, base, opt):
+        for variant in (base, opt):
+            fabric = variant.fabric()
+            assert fabric.t_local_in > 0
+            assert fabric.t_local_out > 0
+            assert fabric.t_local_feedback > 0
+            assert fabric.t_lut > 0
+
+    def test_opt_local_in_much_faster(self, base, opt):
+        # No input buffer + low-Ron relay crossbar entry.
+        assert opt.fabric().t_local_in < base.fabric().t_local_in / 5.0
+
+    def test_leakage_specs(self, base, opt):
+        assert base.leakage_spec().switch_leak > 0
+        assert opt.leakage_spec().switch_leak == 0.0
+        assert opt.leakage_spec().sram_leak == 0.0
+
+    def test_dynamic_specs(self, base, opt):
+        assert opt.dynamic_spec().local_hop_cap < base.dynamic_spec().local_hop_cap
+        assert base.dynamic_spec().clock_cap_per_tile > 0
+
+    def test_repr(self, opt):
+        assert "cmos-nem-opt" in repr(opt)

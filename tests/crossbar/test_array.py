@@ -1,0 +1,87 @@
+"""Tests for repro.crossbar.array."""
+
+import pytest
+
+from repro.crossbar.array import RelayCrossbar, uniform_crossbar
+from repro.nemrelay.device import CROSSBAR_MEASURED_CIRCUIT, NEMRelay
+from repro.nemrelay.electrostatics import ActuationModel
+from repro.nemrelay.geometry import FABRICATED_DEVICE
+from repro.nemrelay.materials import OIL, POLY_PLATINUM
+
+
+@pytest.fixture
+def model():
+    return ActuationModel(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+
+
+@pytest.fixture
+def xbar(model):
+    return uniform_crossbar(2, 2, model, circuit=CROSSBAR_MEASURED_CIRCUIT)
+
+
+class TestConstruction:
+    def test_builds_all_relays(self, xbar):
+        assert len(xbar.relays) == 4
+        assert (1, 1) in xbar.relays
+
+    def test_rejects_empty(self, model):
+        with pytest.raises(ValueError):
+            RelayCrossbar(0, 2, lambda r, c: NEMRelay(model))
+
+    def test_per_device_factory_variation(self, model):
+        calls = []
+        def factory(r, c):
+            calls.append((r, c))
+            return NEMRelay(model)
+        RelayCrossbar(2, 3, factory)
+        assert sorted(calls) == [(r, c) for r in range(2) for c in range(3)]
+
+
+class TestLineVoltages:
+    def test_vgs_is_row_minus_column(self, xbar, model):
+        vpi = model.pull_in
+        # Only relay (0, 0) sees Vgs above Vpi.
+        xbar.apply_line_voltages([0.7 * vpi, 0.0], [-0.5 * vpi, 0.0])
+        assert xbar.state(0, 0).value == "pulled-in"
+        assert xbar.configuration() == {(0, 0)}
+
+    def test_wrong_vector_lengths_rejected(self, xbar):
+        with pytest.raises(ValueError):
+            xbar.apply_line_voltages([0.0], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            xbar.apply_line_voltages([0.0, 0.0], [0.0])
+
+    def test_reset_all(self, xbar, model):
+        xbar.apply_line_voltages([1.2 * model.pull_in] * 2, [0.0, 0.0])
+        assert len(xbar.configuration()) == 4
+        xbar.reset_all()
+        assert xbar.configuration() == set()
+
+    def test_configuration_matrix(self, xbar, model):
+        xbar.apply_line_voltages([1.2 * model.pull_in, 0.0], [0.0, 0.0])
+        matrix = xbar.configuration_matrix()
+        assert matrix == [[True, True], [False, False]]
+
+
+class TestRouting:
+    def test_closed_relay_routes_signal(self, xbar, model):
+        xbar.apply_line_voltages([1.2 * model.pull_in, 0.0], [0.0, 0.0])
+        xbar.relays[(0, 1)].apply_gate_voltage(0.0)  # open one back up
+        out = xbar.route_signals([0.5, -0.5])
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(0.0)  # no closed relay on row 1
+
+    def test_two_closed_relays_mix_resistively(self, xbar, model):
+        for coord in ((0, 0), (0, 1)):
+            xbar.relays[coord].apply_gate_voltage(1.2 * model.pull_in)
+        out = xbar.route_signals([0.6, 0.0])
+        assert out[0] == pytest.approx(0.3)  # equal Ron average
+
+    def test_signal_count_checked(self, xbar):
+        with pytest.raises(ValueError):
+            xbar.route_signals([0.5])
+
+    def test_path_resistance(self, xbar, model):
+        assert xbar.path_resistance(0, 0) == float("inf")
+        xbar.relays[(0, 0)].apply_gate_voltage(1.2 * model.pull_in)
+        assert xbar.path_resistance(0, 0) == pytest.approx(100e3)

@@ -1,0 +1,103 @@
+"""Tests for repro.crossbar.bist (defect mapping)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar.bist import (
+    DefectMap,
+    StuckMode,
+    faulty_crossbar,
+    run_bist,
+    yield_with_defect_map,
+)
+from repro.crossbar.halfselect import solve_voltages
+from repro.nemrelay.device import scaled_relay
+from repro.nemrelay.electrostatics import ActuationModel
+from repro.nemrelay.geometry import SCALED_22NM_DEVICE
+from repro.nemrelay.materials import AIR, POLYSILICON
+
+MODEL = ActuationModel(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+VOLTAGES = solve_voltages([MODEL.pull_in], [MODEL.pull_out])
+
+
+class TestFaultInjection:
+    def test_stuck_open_never_conducts(self):
+        xbar = faulty_crossbar(2, 2, MODEL, {(0, 0): StuckMode.STUCK_OPEN})
+        xbar.relays[(0, 0)].apply_gate_voltage(2.0 * MODEL.pull_in)
+        assert not xbar.relays[(0, 0)].is_on
+
+    def test_stuck_closed_never_releases(self):
+        xbar = faulty_crossbar(2, 2, MODEL, {(1, 1): StuckMode.STUCK_CLOSED})
+        xbar.relays[(1, 1)].apply_gate_voltage(0.0)
+        assert xbar.relays[(1, 1)].is_on
+
+    def test_fault_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            faulty_crossbar(2, 2, MODEL, {(5, 5): StuckMode.STUCK_OPEN})
+
+
+class TestBist:
+    def test_clean_array_reports_clean(self):
+        xbar = faulty_crossbar(4, 4, MODEL, {})
+        defects = run_bist(xbar, VOLTAGES)
+        assert defects.clean
+        assert xbar.configuration() == set()  # left erased
+
+    def test_locates_stuck_open(self):
+        xbar = faulty_crossbar(4, 4, MODEL, {(2, 1): StuckMode.STUCK_OPEN})
+        defects = run_bist(xbar, VOLTAGES)
+        assert defects.stuck_open == {(2, 1)}
+        assert not defects.stuck_closed
+
+    def test_locates_stuck_closed(self):
+        xbar = faulty_crossbar(4, 4, MODEL, {(0, 3): StuckMode.STUCK_CLOSED})
+        defects = run_bist(xbar, VOLTAGES)
+        assert defects.stuck_closed == {(0, 3)}
+        assert not defects.stuck_open
+
+    def test_mixed_faults(self):
+        faults = {
+            (0, 0): StuckMode.STUCK_OPEN,
+            (1, 2): StuckMode.STUCK_CLOSED,
+            (3, 3): StuckMode.STUCK_OPEN,
+        }
+        defects = run_bist(faulty_crossbar(4, 4, MODEL, faults), VOLTAGES)
+        assert defects.stuck_open == {(0, 0), (3, 3)}
+        assert defects.stuck_closed == {(1, 2)}
+        assert defects.total == 3
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_bist_exactly_recovers_any_fault_set(self, data):
+        """Property: the two-pattern BIST recovers every injected
+        fault, for any fault set on a small array."""
+        coords = [(r, c) for r in range(3) for c in range(3)]
+        chosen = data.draw(st.lists(st.sampled_from(coords), max_size=5, unique=True))
+        modes = data.draw(
+            st.lists(st.sampled_from(list(StuckMode)), min_size=len(chosen),
+                     max_size=len(chosen))
+        )
+        faults = dict(zip(chosen, modes))
+        defects = run_bist(faulty_crossbar(3, 3, MODEL, faults), VOLTAGES)
+        expected_open = {c for c, m in faults.items() if m is StuckMode.STUCK_OPEN}
+        expected_closed = {c for c, m in faults.items() if m is StuckMode.STUCK_CLOSED}
+        assert defects.stuck_open == expected_open
+        assert defects.stuck_closed == expected_closed
+
+
+class TestYieldWithDefects:
+    def test_clean_map_accepts_everything(self):
+        defects = DefectMap(stuck_open=set(), stuck_closed=set())
+        assert yield_with_defect_map(defects, {(0, 0), (1, 1)})
+
+    def test_required_stuck_open_rejects(self):
+        defects = DefectMap(stuck_open={(0, 0)}, stuck_closed=set())
+        assert not yield_with_defect_map(defects, {(0, 0)})
+
+    def test_unwanted_stuck_closed_rejects(self):
+        defects = DefectMap(stuck_open=set(), stuck_closed={(1, 1)})
+        assert not yield_with_defect_map(defects, {(0, 0)})
+
+    def test_wanted_stuck_closed_is_free_configuration(self):
+        defects = DefectMap(stuck_open=set(), stuck_closed={(1, 1)})
+        assert yield_with_defect_map(defects, {(0, 0), (1, 1)})

@@ -1,0 +1,140 @@
+"""Tests for repro.crossbar.halfselect (paper Sec. 2.2, Fig. 4)."""
+
+import pytest
+
+from repro.crossbar.array import uniform_crossbar
+from repro.crossbar.halfselect import (
+    HalfSelectProgrammer,
+    PAPER_2X2_VOLTAGES,
+    ProgrammingVoltages,
+    solve_voltages,
+)
+from repro.nemrelay.device import CROSSBAR_MEASURED_CIRCUIT
+from repro.nemrelay.electrostatics import ActuationModel
+from repro.nemrelay.geometry import FABRICATED_DEVICE
+from repro.nemrelay.materials import OIL, POLY_PLATINUM
+from repro.nemrelay.variation import FIG6_VARIATION_SPEC, sample_population
+
+
+@pytest.fixture
+def model():
+    return ActuationModel(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+
+
+@pytest.fixture
+def programmer(model):
+    xbar = uniform_crossbar(2, 2, model, circuit=CROSSBAR_MEASURED_CIRCUIT)
+    return HalfSelectProgrammer(xbar, PAPER_2X2_VOLTAGES)
+
+
+class TestProgrammingVoltages:
+    def test_paper_point_values(self):
+        # Paper Sec. 2.3: Vhold = 5.2 V, Vselect = 0.8 V.
+        assert PAPER_2X2_VOLTAGES.v_hold == pytest.approx(5.2)
+        assert PAPER_2X2_VOLTAGES.v_select == pytest.approx(0.8)
+
+    def test_derived_levels(self):
+        assert PAPER_2X2_VOLTAGES.half_select == pytest.approx(6.0)
+        assert PAPER_2X2_VOLTAGES.full_select == pytest.approx(6.8)
+
+    def test_valid_for_paper_device(self, model):
+        assert PAPER_2X2_VOLTAGES.is_valid(model.pull_in, model.pull_out)
+
+    def test_fig4_constraints_encoded(self):
+        v = ProgrammingVoltages(v_hold=5.0, v_select=1.0)
+        # Vpo < Vhold < Vpi; Vpo < Vhold+Vs < Vpi; Vhold+2Vs > Vpi.
+        assert v.is_valid(vpi=6.5, vpo=3.0)
+        assert not v.is_valid(vpi=5.5, vpo=3.0)  # half-select pulls in
+        assert not v.is_valid(vpi=6.5, vpo=5.5)  # hold releases
+        assert not v.is_valid(vpi=7.5, vpo=3.0)  # full select too weak
+
+    def test_rejects_nonpositive_levels(self):
+        with pytest.raises(ValueError):
+            ProgrammingVoltages(v_hold=0.0, v_select=1.0)
+
+    def test_margins(self):
+        v = ProgrammingVoltages(v_hold=5.0, v_select=1.0)
+        m = v.margins(vpi_min=6.5, vpi_max=6.8, vpo_max=3.0)
+        assert m.hold_above_vpo == pytest.approx(2.0)
+        assert m.half_select_below_vpi == pytest.approx(0.5)
+        assert m.full_select_above_vpi == pytest.approx(0.2)
+        assert m.worst == pytest.approx(0.2)
+        assert m.all_positive
+
+
+class TestSolveVoltages:
+    def test_single_device(self, model):
+        solved = solve_voltages([model.pull_in], [model.pull_out])
+        assert solved is not None
+        assert solved.is_valid(model.pull_in, model.pull_out)
+
+    def test_balanced_margins(self):
+        solved = solve_voltages([6.0, 6.4], [3.0])
+        m = solved.margins(6.0, 6.4, 3.0)
+        # The solver equalises the three margins.
+        assert m.hold_above_vpo == pytest.approx(m.half_select_below_vpi, rel=1e-9)
+        assert m.half_select_below_vpi == pytest.approx(m.full_select_above_vpi, rel=1e-9)
+
+    def test_fig6_population_solvable(self):
+        pop = sample_population(
+            POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=100, spec=FIG6_VARIATION_SPEC
+        )
+        solved = solve_voltages(list(pop.vpi), list(pop.vpo))
+        assert solved is not None
+        assert all(solved.is_valid(vpi, vpo) for vpi, vpo in zip(pop.vpi, pop.vpo))
+
+    def test_infeasible_population_returns_none(self):
+        # Vpi spread exceeds the smallest window: no valid point.
+        assert solve_voltages([5.0, 7.0], [4.8]) is None
+
+    def test_guard_tightens(self):
+        loose = solve_voltages([6.0, 6.4], [3.0])
+        assert loose is not None
+        assert solve_voltages([6.0, 6.4], [3.0], guard=10.0) is None
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            solve_voltages([], [3.0])
+
+
+class TestHalfSelectProgrammer:
+    def test_programs_single_target(self, programmer):
+        assert programmer.program({(0, 1)}) == {(0, 1)}
+        assert programmer.verify({(0, 1)})
+
+    def test_programs_diagonal(self, programmer):
+        # Fig. 5b/5c exercise both diagonal configurations.
+        assert programmer.program({(0, 0), (1, 1)}) == {(0, 0), (1, 1)}
+
+    def test_programs_full_array(self, programmer):
+        targets = {(r, c) for r in range(2) for c in range(2)}
+        assert programmer.program(targets) == targets
+
+    def test_reprogramming_after_erase(self, programmer):
+        programmer.program({(0, 0)})
+        assert programmer.program({(1, 0)}) == {(1, 0)}
+
+    def test_half_selected_relays_hold_state(self, programmer):
+        """Programming row 1 must not disturb row 0 (the half-select
+        guarantee)."""
+        programmer.program({(0, 0)})
+        programmer.program({(1, 1)}, erase_first=False)
+        assert programmer.crossbar.configuration() == {(0, 0), (1, 1)}
+
+    def test_erase_opens_everything(self, programmer):
+        programmer.program({(0, 0), (1, 1)})
+        programmer.erase()
+        assert programmer.crossbar.configuration() == set()
+
+    def test_out_of_range_target_rejected(self, programmer):
+        with pytest.raises(ValueError):
+            programmer.program({(5, 0)})
+
+    def test_history_records_steps(self, programmer):
+        programmer.program({(0, 0)})
+        assert len(programmer.history) >= 3  # erase, hold, select, hold
+
+    def test_ends_in_hold_state(self, programmer):
+        programmer.program({(0, 0)})
+        assert programmer.crossbar.row_voltages == [5.2, 5.2]
+        assert programmer.crossbar.col_voltages == [0.0, 0.0]

@@ -1,0 +1,104 @@
+"""Tests for repro.crossbar.margins (Fig. 6 yield analysis)."""
+
+import pytest
+
+from repro.crossbar.margins import (
+    analyze_population,
+    array_yield,
+    margin_histogram_summary,
+    required_sigma_for_yield,
+    yield_vs_array_size,
+)
+from repro.nemrelay.geometry import FABRICATED_DEVICE
+from repro.nemrelay.materials import OIL, POLY_PLATINUM
+from repro.nemrelay.variation import FIG6_VARIATION_SPEC, VariationSpec, sample_population
+
+
+@pytest.fixture(scope="module")
+def fig6_pop():
+    return sample_population(
+        POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=100, spec=FIG6_VARIATION_SPEC
+    )
+
+
+class TestAnalyzePopulation:
+    def test_fig6_population_feasible(self, fig6_pop):
+        analysis = analyze_population(fig6_pop)
+        assert analysis.feasible
+        assert analysis.margins.all_positive
+
+    def test_margins_are_small(self, fig6_pop):
+        # Paper: "the noise margins ... are very small".
+        analysis = analyze_population(fig6_pop)
+        assert analysis.margins.worst < 1.0  # volts
+
+    def test_guard_can_make_infeasible(self, fig6_pop):
+        analysis = analyze_population(fig6_pop, guard=5.0)
+        assert not analysis.feasible
+
+
+class TestArrayYield:
+    def test_small_arrays_yield_high(self):
+        y = array_yield(
+            POLY_PLATINUM, FABRICATED_DEVICE, OIL, array_size=4,
+            spec=FIG6_VARIATION_SPEC, trials=40,
+        )
+        assert y > 0.9
+
+    def test_yield_decreases_with_array_size(self):
+        curve = yield_vs_array_size(
+            POLY_PLATINUM, FABRICATED_DEVICE, OIL,
+            sizes=[4, 64, 1024],
+            spec=FIG6_VARIATION_SPEC,
+            trials=25,
+        )
+        assert curve[0] >= curve[-1]
+
+    def test_fixed_voltages_yield(self, fig6_pop):
+        analysis = analyze_population(fig6_pop)
+        y = array_yield(
+            POLY_PLATINUM, FABRICATED_DEVICE, OIL, array_size=16,
+            spec=FIG6_VARIATION_SPEC, trials=25, voltages=analysis.voltages,
+        )
+        assert 0.0 <= y <= 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            array_yield(POLY_PLATINUM, FABRICATED_DEVICE, OIL, 0, FIG6_VARIATION_SPEC)
+        with pytest.raises(ValueError):
+            array_yield(
+                POLY_PLATINUM, FABRICATED_DEVICE, OIL, 4, FIG6_VARIATION_SPEC, trials=0
+            )
+
+
+class TestRequiredSigma:
+    def test_returns_scale_in_unit_interval(self):
+        scale = required_sigma_for_yield(
+            POLY_PLATINUM, FABRICATED_DEVICE, OIL,
+            array_size=256, target_yield=0.9,
+            spec=FIG6_VARIATION_SPEC, trials=15,
+        )
+        assert 0.0 <= scale <= 1.0
+
+    def test_tiny_array_supports_full_spec(self):
+        scale = required_sigma_for_yield(
+            POLY_PLATINUM, FABRICATED_DEVICE, OIL,
+            array_size=2, target_yield=0.8,
+            spec=FIG6_VARIATION_SPEC, trials=15,
+        )
+        assert scale == pytest.approx(1.0)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            required_sigma_for_yield(
+                POLY_PLATINUM, FABRICATED_DEVICE, OIL, 4, target_yield=1.5
+            )
+
+
+class TestSummary:
+    def test_summary_fields(self, fig6_pop):
+        s = margin_histogram_summary(fig6_pop)
+        assert s["count"] == 100
+        assert s["feasible"]
+        assert s["vpo_max"] < s["v_hold"] < s["vpi_min"]
+        assert s["v_hold"] + 2 * s["v_select"] > s["vpi_max"]

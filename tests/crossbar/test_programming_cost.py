@@ -1,0 +1,75 @@
+"""Tests for repro.crossbar.programming_cost."""
+
+import pytest
+
+from repro.crossbar.halfselect import ProgrammingVoltages
+from repro.crossbar.programming_cost import (
+    DEMONSTRATED_RELIABLE_CYCLES,
+    TYPICAL_LIFETIME_RECONFIGURATIONS,
+    configuration_cost,
+    endurance_margin,
+)
+
+VOLTAGES = ProgrammingVoltages(v_hold=0.85, v_select=0.15)
+
+
+class TestConfigurationCost:
+    def test_row_steps_cover_all_relays(self):
+        cost = configuration_cost(
+            num_relays=1000, rows_per_array=10, switching_time=2e-9, voltages=VOLTAGES
+        )
+        assert cost.row_steps == 100
+
+    def test_time_scales_with_rows(self):
+        slow = configuration_cost(2000, 10, 2e-9, VOLTAGES)
+        fast = configuration_cost(1000, 10, 2e-9, VOLTAGES)
+        assert slow.total_time == pytest.approx(2 * fast.total_time)
+
+    def test_parallel_arrays_cut_time_not_energy(self):
+        serial = configuration_cost(1000, 10, 2e-9, VOLTAGES, arrays_in_parallel=1)
+        parallel = configuration_cost(1000, 10, 2e-9, VOLTAGES, arrays_in_parallel=10)
+        assert parallel.total_time == pytest.approx(serial.total_time / 10)
+        assert parallel.total_energy == pytest.approx(serial.total_energy)
+
+    def test_holding_costs_no_dc_power(self):
+        cost = configuration_cost(1000, 10, 2e-9, VOLTAGES)
+        assert cost.hold_power == 0.0
+
+    def test_million_switch_fpga_configures_in_microseconds(self):
+        """Sanity at the paper's fabric scale: millions of switches
+        with per-tile parallel programming configure quickly."""
+        cost = configuration_cost(
+            num_relays=2_000_000, rows_per_array=32, switching_time=2e-9,
+            voltages=VOLTAGES, arrays_in_parallel=1000,
+        )
+        assert cost.total_time < 1e-3  # under a millisecond
+        assert cost.total_energy < 1e-6  # under a microjoule
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            configuration_cost(0, 10, 1e-9, VOLTAGES)
+        with pytest.raises(ValueError):
+            configuration_cost(10, 10, 0.0, VOLTAGES)
+
+
+class TestEndurance:
+    def test_paper_margin_is_about_a_million(self):
+        report = endurance_margin()
+        assert report.actuations_per_relay == 2 * TYPICAL_LIFETIME_RECONFIGURATIONS
+        assert report.margin == pytest.approx(
+            DEMONSTRATED_RELIABLE_CYCLES / 1000.0
+        )
+        assert report.sufficient
+        assert report.margin > 1e5
+
+    def test_insufficient_when_overused(self):
+        # Using relays as logic (toggling every cycle) burns endurance
+        # in seconds — the paper's reason NOT to build relay LUTs.
+        report = endurance_margin(reconfigurations=10**10, actuations_per_reconfig=1)
+        assert not report.sufficient
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            endurance_margin(reconfigurations=-1)
+        with pytest.raises(ValueError):
+            endurance_margin(reliable_cycles=0.0)

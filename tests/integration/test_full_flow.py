@@ -1,0 +1,113 @@
+"""End-to-end integration tests: netlist -> P&R -> variants -> claims.
+
+These tie every substrate together on one small circuit and assert the
+paper's qualitative results hold through the full pipeline.
+"""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.core.evaluate import Comparison, evaluate_design
+from repro.core.tradeoff import geomean_curve, sweep_circuit
+from repro.core.variants import baseline_variant, naive_nem_variant, optimized_nem_variant
+from repro.netlist.generate import GeneratorParams, generate
+from repro.power.breakdown import fold_dynamic, fold_leakage, percentages
+from repro.vpr.flow import find_min_channel_width, low_stress_width, run_flow
+from repro.vpr.pack import pack
+from repro.vpr.place import place
+
+ARCH = ArchParams(channel_width=56)
+
+
+@pytest.fixture(scope="module")
+def flows():
+    """Two routed circuits, reused by every test in this module."""
+    results = []
+    for i, luts in enumerate((100, 140)):
+        netlist = generate(
+            GeneratorParams(f"int{i}", num_luts=luts, ff_fraction=0.3, seed=60 + i)
+        )
+        flow = run_flow(netlist, ARCH)
+        assert flow.success
+        results.append(flow)
+    return results
+
+
+@pytest.fixture(scope="module")
+def curves(flows):
+    return [sweep_circuit(f, ARCH, downsizes=(1.0, 4.0, 8.0, 16.0)) for f in flows]
+
+
+class TestPaperMethodology:
+    def test_wmin_plus_margin_routes(self):
+        """The paper's W derivation: Wmin + 20% must route easily."""
+        netlist = generate(GeneratorParams("wm", num_luts=80, seed=77))
+        clustered = pack(netlist, ARCH)
+        placement = place(clustered, seed=3)
+        wmin, _res, _g = find_min_channel_width(placement, ARCH, start=8)
+        from repro.vpr.route import route_design
+
+        result, _ = route_design(placement, ARCH, channel_width=low_stress_width(wmin))
+        assert result.success
+
+    def test_routing_shared_across_variants(self, flows):
+        """Variants only re-evaluate electricals: same P&R result
+        object is consumed by all three variants without error."""
+        flow = flows[0]
+        for variant in (
+            baseline_variant(ARCH),
+            naive_nem_variant(ARCH),
+            optimized_nem_variant(ARCH, 8.0),
+        ):
+            point = evaluate_design(flow, variant)
+            assert point.critical_path > 0
+
+
+class TestFig9Baseline:
+    def test_dynamic_breakdown_matches_paper_shape(self, flows):
+        base = evaluate_design(flows[0], baseline_variant(ARCH))
+        pct = percentages(fold_dynamic(base.dynamic))
+        # Paper: wires 40, buffers 30, LUTs 20, clock 10 (%).
+        assert 25 < pct["wire_interconnect"] < 55
+        assert 20 < pct["routing_buffers"] < 45
+        assert 5 < pct["luts"] < 35
+        assert 4 < pct["clocking"] < 22
+
+    def test_leakage_breakdown_matches_paper_shape(self, flows):
+        base = evaluate_design(flows[0], baseline_variant(ARCH))
+        pct = percentages(fold_leakage(base.leakage))
+        # Paper: buffers 70, SRAM 12, pass 10, LUTs 8 (%).
+        assert 55 < pct["routing_buffers"] < 85
+        assert 5 < pct["routing_srams"] < 22
+        assert 4 < pct["routing_pass_transistors"] < 20
+        assert 3 < pct["luts"] < 16
+
+
+class TestHeadlineClaims:
+    def test_geomean_preferred_corner(self, curves):
+        agg = geomean_curve(curves)
+        corner = agg.preferred_corner()
+        # Paper: 10x leakage / 2x dynamic / 2x area at speedup >= 1.
+        assert corner.speedup >= 1.0
+        assert corner.leakage_reduction > 5.0
+        assert corner.dynamic_reduction > 1.5
+        assert 1.5 < corner.area_reduction < 3.0
+
+    def test_naive_band(self, curves):
+        agg = geomean_curve(curves)
+        assert 1.4 < agg.naive.leakage_reduction < 3.0
+        assert 1.1 < agg.naive.dynamic_reduction < 1.6
+
+    def test_nem_not_slower_at_full_buffers(self, flows):
+        """Paper: relays impose no speed penalty before downsizing."""
+        base = evaluate_design(flows[0], baseline_variant(ARCH))
+        opt1 = evaluate_design(flows[0], optimized_nem_variant(ARCH, 1.0))
+        assert opt1.critical_path <= base.critical_path
+
+    def test_reductions_consistent_across_circuits(self, curves):
+        """Every circuit individually shows the effect (not an artifact
+        of one workload)."""
+        for curve in curves:
+            corner = curve.preferred_corner()
+            assert corner.leakage_reduction > 4.0
+            assert corner.dynamic_reduction > 1.4

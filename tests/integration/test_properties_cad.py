@@ -1,0 +1,116 @@
+"""Hypothesis property tests: CAD substrate invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.params import ArchParams
+from repro.circuits.logical_effort import geometric_chain, optimal_chain
+from repro.circuits.ptm import PTM_22NM
+from repro.circuits.rc import RCTree
+from repro.netlist.generate import GeneratorParams, generate
+from repro.vpr.pack import form_bles, pack
+
+TECH = PTM_22NM.transistor
+
+
+class TestChainProperties:
+    @given(c_load=st.floats(min_value=1e-16, max_value=1e-12))
+    @settings(max_examples=80)
+    def test_optimal_chain_beats_all_stage_counts(self, c_load):
+        best = optimal_chain(TECH, c_load)
+        d_best = best.delay(c_load)
+        for n in range(1, 10):
+            assert geometric_chain(TECH, c_load, n).delay(c_load) >= d_best - 1e-20
+
+    @given(
+        c_load=st.floats(min_value=1e-16, max_value=1e-12),
+        f1=st.floats(min_value=1.0, max_value=8.0),
+        f2=st.floats(min_value=1.0, max_value=8.0),
+    )
+    @settings(max_examples=60)
+    def test_downsizing_monotone_tradeoff(self, c_load, f1, f2):
+        """More downsizing never increases leakage, never decreases
+        delay (weak monotonicity over the pretend-load factor)."""
+        from repro.circuits.logical_effort import downsized_chain
+
+        lo, hi = sorted((f1, f2))
+        small = downsized_chain(TECH, c_load, hi)
+        large = downsized_chain(TECH, c_load, lo)
+        assert small.leakage_power() <= large.leakage_power() + 1e-15
+        assert small.delay(c_load) >= large.delay(c_load) - 1e-18
+
+
+class TestRCTreeProperties:
+    @given(
+        resistances=st.lists(st.floats(1.0, 1e4), min_size=1, max_size=8),
+        capacitances=st.lists(st.floats(1e-17, 1e-13), min_size=1, max_size=8),
+    )
+    @settings(max_examples=80)
+    def test_chain_delay_equals_hand_elmore(self, resistances, capacitances):
+        n = min(len(resistances), len(capacitances))
+        resistances, capacitances = resistances[:n], capacitances[:n]
+        tree = RCTree("root", driver_resistance=100.0)
+        parent = "root"
+        for i, (r, c) in enumerate(zip(resistances, capacitances)):
+            tree.add(f"n{i}", parent=parent, resistance=r, capacitance=c)
+            parent = f"n{i}"
+        # Hand Elmore: sum over nodes of C_i * R(source..i).
+        expected = 0.0
+        upstream = 100.0
+        for r, c in zip(resistances, capacitances):
+            upstream += r
+            expected += c * upstream
+        assert abs(tree.elmore_delay(f"n{n-1}") - 0.69 * expected) < 1e-9 * max(expected, 1e-30)
+
+    @given(extra=st.floats(1e-17, 1e-13))
+    @settings(max_examples=40)
+    def test_added_cap_never_speeds_up(self, extra):
+        tree = RCTree("root", driver_resistance=1e3)
+        tree.add("a", parent="root", resistance=100.0, capacitance=1e-15)
+        tree.add("b", parent="a", resistance=100.0, capacitance=1e-15)
+        before = tree.elmore_delay("b")
+        tree.add_capacitance("a", extra)
+        assert tree.elmore_delay("b") >= before
+
+
+class TestGeneratorProperties:
+    @given(
+        num_luts=st.integers(5, 120),
+        k=st.integers(3, 6),
+        ff_fraction=st.floats(0.0, 0.6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_generated_netlists_always_valid(self, num_luts, k, ff_fraction, seed):
+        params = GeneratorParams(
+            "prop", num_luts=num_luts, k=k, ff_fraction=ff_fraction, seed=seed
+        )
+        netlist = generate(params)
+        netlist.validate()  # acyclic, no dangling refs
+        assert netlist.num_luts == num_luts
+        assert all(len(lut.inputs) <= k for lut in netlist.luts)
+        assert len(netlist.ffs) == int(round(ff_fraction * num_luts))
+        # Every driver has at least one sink.
+        fanouts = netlist.fanout()
+        for lut in netlist.luts:
+            assert lut.name in fanouts
+
+
+class TestPackingProperties:
+    @given(
+        num_luts=st.integers(10, 80),
+        ff_fraction=st.floats(0.0, 0.5),
+        seed=st.integers(0, 1000),
+        n=st.integers(4, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_packing_constraints_hold(self, num_luts, ff_fraction, seed, n):
+        netlist = generate(
+            GeneratorParams("pk", num_luts=num_luts, ff_fraction=ff_fraction, seed=seed)
+        )
+        params = ArchParams(n=n, channel_width=32)
+        clustered = pack(netlist, params)
+        packed = [b.name for c in clustered.clusters for b in c.bles]
+        assert sorted(packed) == sorted(b.name for b in form_bles(netlist))
+        for cluster in clustered.clusters:
+            assert len(cluster.bles) <= n
+            assert len(cluster.input_nets) <= params.inputs_per_lb

@@ -1,0 +1,140 @@
+"""Hypothesis property tests: device physics and crossbar invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar.array import uniform_crossbar
+from repro.crossbar.halfselect import HalfSelectProgrammer, solve_voltages
+from repro.nemrelay.device import NEMRelay
+from repro.nemrelay.electrostatics import (
+    ActuationModel,
+    pull_in_voltage,
+    pull_out_voltage,
+)
+from repro.nemrelay.geometry import BeamGeometry
+from repro.nemrelay.materials import AIR, OIL, POLYSILICON, POLY_PLATINUM
+
+# Strategy: physically sensible beam geometries (slender cantilevers
+# with the contact gap strictly inside the actuation gap).
+lengths = st.floats(min_value=200e-9, max_value=50e-6)
+thickness_ratio = st.floats(min_value=0.01, max_value=0.05)   # h = ratio * L
+gap_ratio = st.floats(min_value=0.01, max_value=0.08)         # g0 = ratio * L
+# gmin/g0: the closed forms give Vpo -> Vpi as gmin -> (2/3) g0 (the
+# hysteresis window closes exactly there), so useful relays keep the
+# contact gap well below it; the paper's device uses 3.6/11 ~ 0.33.
+contact_ratio = st.floats(min_value=0.1, max_value=0.55)
+
+
+@st.composite
+def geometries(draw):
+    length = draw(lengths)
+    thickness = length * draw(thickness_ratio)
+    gap = length * draw(gap_ratio)
+    contact = gap * draw(contact_ratio)
+    return BeamGeometry(length=length, thickness=thickness, gap=gap, contact_gap=contact)
+
+
+materials = st.sampled_from([POLYSILICON, POLY_PLATINUM])
+ambients = st.sampled_from([AIR, OIL])
+
+
+class TestPullInPullOutProperties:
+    @given(geom=geometries(), mat=materials, amb=ambients)
+    @settings(max_examples=150)
+    def test_hysteresis_always_exists(self, geom, mat, amb):
+        """Vpo < Vpi for every physical geometry — hysteresis is
+        structural (pull-in at g0/3, hold at gmin < g0)."""
+        vpi = pull_in_voltage(mat, geom, amb)
+        vpo = pull_out_voltage(mat, geom, amb)
+        assert 0 < vpo < vpi
+
+    @given(geom=geometries(), mat=materials, amb=ambients, factor=st.floats(1.1, 5.0))
+    @settings(max_examples=60)
+    def test_vpi_linear_in_isomorphic_scale(self, geom, mat, amb, factor):
+        base = pull_in_voltage(mat, geom, amb)
+        scaled = pull_in_voltage(mat, geom.scaled(factor), amb)
+        assert abs(scaled - base * factor) < 1e-6 * max(scaled, 1.0)
+
+    @given(geom=geometries(), mat=materials, amb=ambients,
+           adhesion_frac=st.floats(0.0, 0.9))
+    @settings(max_examples=60)
+    def test_adhesion_monotonically_lowers_vpo(self, geom, mat, amb, adhesion_frac):
+        from repro.nemrelay.electrostatics import effective_spring_constant
+
+        spring = effective_spring_constant(mat, geom) * geom.travel
+        clean = pull_out_voltage(mat, geom, amb)
+        sticky = pull_out_voltage(mat, geom, amb, adhesion_force=adhesion_frac * spring)
+        assert sticky <= clean + 1e-12
+
+
+class TestRelayStateMachineProperties:
+    @given(
+        geom=geometries(), mat=materials, amb=ambients,
+        voltages=st.lists(st.floats(-2.0, 2.0), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60)
+    def test_state_consistent_with_thresholds(self, geom, mat, amb, voltages):
+        """After any voltage sequence (expressed as fractions of Vpi):
+        above Vpi always on, at-or-below Vpo always off."""
+        model = ActuationModel(mat, geom, amb)
+        relay = NEMRelay(model)
+        for fraction in voltages:
+            v = fraction * model.pull_in
+            state = relay.apply_gate_voltage(v)
+            if abs(v) >= model.pull_in:
+                assert relay.is_on
+            elif abs(v) <= model.pull_out:
+                assert not relay.is_on
+
+    @given(geom=geometries(), mat=materials, amb=ambients,
+           mid_fraction=st.floats(0.05, 0.95))
+    @settings(max_examples=60)
+    def test_window_voltages_never_flip_state(self, geom, mat, amb, mid_fraction):
+        model = ActuationModel(mat, geom, amb)
+        v_window = model.pull_out + mid_fraction * (model.pull_in - model.pull_out)
+        v_window = min(max(v_window, model.pull_out * 1.001), model.pull_in * 0.999)
+        for initial_on in (False, True):
+            relay = NEMRelay(model)
+            if initial_on:
+                relay.apply_gate_voltage(1.5 * model.pull_in)
+            before = relay.is_on
+            relay.apply_gate_voltage(v_window)
+            assert relay.is_on == before
+
+
+class TestHalfSelectProperties:
+    @given(
+        vpis=st.lists(st.floats(5.5, 6.5), min_size=2, max_size=40),
+        vpos=st.lists(st.floats(2.0, 3.5), min_size=2, max_size=40),
+    )
+    @settings(max_examples=80)
+    def test_solved_voltages_valid_for_whole_population(self, vpis, vpos):
+        solved = solve_voltages(vpis, vpos)
+        if solved is not None:
+            # Valid for every (Vpi, Vpo) combination in the population,
+            # which the corner pairs bound.
+            assert all(
+                solved.is_valid(vpi, vpo)
+                for vpi in (min(vpis), max(vpis))
+                for vpo in (min(vpos), max(vpos))
+            )
+
+    @given(
+        rows=st.integers(1, 4),
+        cols=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_programming_reaches_exactly_the_targets(self, rows, cols, data):
+        """For any target set on any small crossbar, half-select
+        programming closes exactly the targets."""
+        from repro.crossbar.halfselect import PAPER_2X2_VOLTAGES
+        from repro.nemrelay.geometry import FABRICATED_DEVICE
+
+        coords = [(r, c) for r in range(rows) for c in range(cols)]
+        targets = set(data.draw(st.lists(st.sampled_from(coords), max_size=len(coords))))
+        model = ActuationModel(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+        xbar = uniform_crossbar(rows, cols, model)
+        programmer = HalfSelectProgrammer(xbar, PAPER_2X2_VOLTAGES)
+        assert programmer.program(targets) == targets
+        programmer.erase()
+        assert xbar.configuration() == set()

@@ -1,0 +1,109 @@
+"""Hypothesis property tests: routing-fabric invariants.
+
+The RR-graph construction has subtle degeneracies (stride-aligned Fc
+patterns, direction-parity decompositions) that only show up at
+particular (W, L, grid) combinations; these properties sweep that
+space.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.params import ArchParams
+from repro.arch.rrgraph import NodeKind, RRGraph
+
+
+def _all_pairs_reachable(graph: RRGraph) -> bool:
+    for tile, src in graph.source_of.items():
+        seen = {src}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for v in graph.adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        for sink_tile, sink in graph.sink_of.items():
+            if sink_tile != tile and sink not in seen:
+                return False
+    return True
+
+
+class TestFabricReachability:
+    @given(
+        width=st.integers(8, 40),
+        seg_len=st.integers(1, 6),
+        side=st.integers(2, 5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bidir_full_reachability(self, width, seg_len, side):
+        params = ArchParams(channel_width=width, segment_length=seg_len)
+        graph = RRGraph(params, side, side)
+        assert _all_pairs_reachable(graph)
+
+    @given(
+        width=st.integers(8, 40),
+        seg_len=st.integers(1, 6),
+        side=st.integers(2, 5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_unidir_full_reachability(self, width, seg_len, side):
+        """Regression space for the diagonal-flow decompositions: the
+        single-driver fabric must stay strongly connected at every
+        (W, L, grid) combination."""
+        params = ArchParams(
+            channel_width=width, segment_length=seg_len, directionality="unidir"
+        )
+        graph = RRGraph(params, side, side)
+        assert _all_pairs_reachable(graph)
+
+    @given(width=st.integers(8, 32), seg_len=st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_unidir_wires_single_entry(self, width, seg_len):
+        """No unidirectional wire is ever entered mid-span: every edge
+        into a wire lands on its driven end."""
+        params = ArchParams(
+            channel_width=width, segment_length=seg_len, directionality="unidir"
+        )
+        graph = RRGraph(params, 3, 3)
+        entry_of = {}
+        for node in graph.wire_nodes():
+            vertical = node.kind is NodeKind.VWIRE
+            start = node.y if vertical else node.x
+            entry_of[node.id] = start if node.direction > 0 else start + node.span
+        for node in graph.nodes:
+            if node.kind is NodeKind.SINK:
+                continue
+            for dst in graph.adjacency[node.id]:
+                target = graph.nodes[dst]
+                if target.kind not in (NodeKind.HWIRE, NodeKind.VWIRE):
+                    continue
+                if node.kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+                    src_vertical = node.kind is NodeKind.VWIRE
+                    src_start = node.y if src_vertical else node.x
+                    src_exit = (
+                        src_start + node.span if node.direction > 0 else src_start
+                    )
+                    if node.kind == target.kind:
+                        # Collinear continuation: exit feeds entry.
+                        assert entry_of[dst] == src_exit
+
+    @given(width=st.integers(8, 32), side=st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_every_pin_connected(self, width, side):
+        for mode in ("bidir", "unidir"):
+            params = ArchParams(channel_width=width, directionality=mode)
+            graph = RRGraph(params, side, side)
+            for node in graph.nodes:
+                if node.kind is NodeKind.OPIN:
+                    assert graph.adjacency[node.id], (mode, "OPIN", node.id)
+            # Every IPIN must be fed by at least one wire.
+            fed = set()
+            for node in graph.wire_nodes():
+                for dst in graph.adjacency[node.id]:
+                    if graph.nodes[dst].kind is NodeKind.IPIN:
+                        fed.add(dst)
+            for node in graph.nodes:
+                if node.kind is NodeKind.IPIN:
+                    assert node.id in fed, (mode, "IPIN", node.id)

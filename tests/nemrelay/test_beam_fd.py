@@ -1,0 +1,86 @@
+"""Tests for repro.nemrelay.beam_fd (distributed-model validation)."""
+
+import pytest
+
+from repro.nemrelay.beam_fd import (
+    pull_in_voltage_fd,
+    solve_deflection,
+    tip_compliance_fd,
+)
+from repro.nemrelay.electrostatics import pull_in_voltage
+from repro.nemrelay.geometry import FABRICATED_DEVICE, SCALED_22NM_DEVICE
+from repro.nemrelay.materials import AIR, OIL, POLYSILICON, POLY_PLATINUM
+
+
+class TestOperator:
+    def test_uniform_load_compliance_matches_analytic(self):
+        """Tip = q L^4 / (8 E I) for a uniformly loaded cantilever."""
+        g = SCALED_22NM_DEVICE
+        rigidity = POLYSILICON.youngs_modulus * g.width * g.thickness**3 / 12.0
+        analytic = g.length**4 / (8.0 * rigidity)
+        fd = tip_compliance_fd(POLYSILICON, g)
+        assert fd == pytest.approx(analytic, rel=0.05)
+
+    def test_finer_grid_converges_to_analytic(self):
+        g = SCALED_22NM_DEVICE
+        rigidity = POLYSILICON.youngs_modulus * g.width * g.thickness**3 / 12.0
+        analytic = g.length**4 / (8.0 * rigidity)
+        coarse = abs(tip_compliance_fd(POLYSILICON, g, nodes=20) - analytic)
+        fine = abs(tip_compliance_fd(POLYSILICON, g, nodes=120) - analytic)
+        assert fine < coarse
+
+    def test_node_minimum(self):
+        with pytest.raises(ValueError):
+            solve_deflection(POLYSILICON, SCALED_22NM_DEVICE, AIR, 0.1, nodes=4)
+
+
+class TestDeflectionProfiles:
+    def test_below_pull_in_converges(self):
+        v = 0.7 * pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        sol = solve_deflection(POLYSILICON, SCALED_22NM_DEVICE, AIR, v)
+        assert sol.converged
+        assert sol.tip_deflection > 0
+
+    def test_profile_monotone_toward_tip(self):
+        v = 0.6 * pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        sol = solve_deflection(POLYSILICON, SCALED_22NM_DEVICE, AIR, v)
+        pairs = zip(sol.deflections, sol.deflections[1:])
+        assert all(b >= a - 1e-18 for a, b in pairs)
+
+    def test_deflection_grows_with_voltage(self):
+        vpi = pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        tips = [
+            solve_deflection(POLYSILICON, SCALED_22NM_DEVICE, AIR, f * vpi).tip_deflection
+            for f in (0.3, 0.5, 0.7)
+        ]
+        assert tips == sorted(tips)
+
+    def test_far_above_pull_in_diverges(self):
+        v = 2.5 * pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        sol = solve_deflection(POLYSILICON, SCALED_22NM_DEVICE, AIR, v)
+        assert not sol.converged
+
+
+class TestPullInValidation:
+    """The distributed solution bounds the lumped closed form."""
+
+    def test_scaled_device_ratio(self):
+        fd = pull_in_voltage_fd(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        lumped = pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        assert 1.0 < fd / lumped < 1.35
+
+    def test_fabricated_device_ratio(self):
+        fd = pull_in_voltage_fd(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+        lumped = pull_in_voltage(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+        assert 1.0 < fd / lumped < 1.35
+
+    def test_ratio_geometry_independent(self):
+        """The lumped/distributed discrepancy is a model constant, so
+        calibrations transfer across geometries."""
+        r1 = pull_in_voltage_fd(POLYSILICON, SCALED_22NM_DEVICE, AIR) / pull_in_voltage(
+            POLYSILICON, SCALED_22NM_DEVICE, AIR
+        )
+        r2 = pull_in_voltage_fd(POLY_PLATINUM, FABRICATED_DEVICE, OIL) / pull_in_voltage(
+            POLY_PLATINUM, FABRICATED_DEVICE, OIL
+        )
+        assert r1 == pytest.approx(r2, rel=0.05)

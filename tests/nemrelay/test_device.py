@@ -1,0 +1,130 @@
+"""Tests for repro.nemrelay.device (relay state machine, Fig. 11)."""
+
+import pytest
+
+from repro.nemrelay.device import (
+    CROSSBAR_MEASURED_CIRCUIT,
+    EquivalentCircuit,
+    NEMRelay,
+    RelayState,
+    SCALED_22NM_CIRCUIT,
+    fabricated_relay,
+    scaled_relay,
+)
+
+
+class TestEquivalentCircuit:
+    def test_paper_fig11_values(self):
+        assert SCALED_22NM_CIRCUIT.r_on == pytest.approx(2e3)
+        assert SCALED_22NM_CIRCUIT.c_on == pytest.approx(20e-18)
+        assert SCALED_22NM_CIRCUIT.c_off == pytest.approx(6.7e-18)
+
+    def test_crossbar_relays_measured_100k(self):
+        # Paper Sec. 2.3: crossbar relays showed ~100 kOhm contacts.
+        assert CROSSBAR_MEASURED_CIRCUIT.r_on == pytest.approx(100e3)
+
+    def test_rejects_nonpositive_ron(self):
+        with pytest.raises(ValueError):
+            EquivalentCircuit(r_on=0.0, c_on=1e-18, c_off=1e-18)
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(ValueError):
+            EquivalentCircuit(r_on=1e3, c_on=-1e-18, c_off=1e-18)
+
+
+class TestRelayStateMachine:
+    @pytest.fixture
+    def relay(self):
+        return scaled_relay()
+
+    def test_initially_off(self, relay):
+        assert relay.state is RelayState.OFF
+        assert not relay.is_on
+
+    def test_pull_in_at_vpi(self, relay):
+        relay.apply_gate_voltage(relay.pull_in_voltage * 1.01)
+        assert relay.is_on
+
+    def test_stays_off_below_vpi(self, relay):
+        relay.apply_gate_voltage(relay.pull_in_voltage * 0.99)
+        assert not relay.is_on
+
+    def test_hysteresis_holds_state(self, relay):
+        """Inside (Vpo, Vpi) both states are stable — the property the
+        half-select scheme relies on (paper Sec. 2.2)."""
+        mid = 0.5 * (relay.pull_in_voltage + relay.pull_out_voltage)
+        relay.apply_gate_voltage(mid)
+        assert not relay.is_on  # was off, stays off
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        assert relay.is_on
+        relay.apply_gate_voltage(mid)
+        assert relay.is_on  # was on, stays on
+
+    def test_pull_out_at_vpo(self, relay):
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        relay.apply_gate_voltage(relay.pull_out_voltage * 0.99)
+        assert not relay.is_on
+
+    def test_negative_gate_voltage_actuates(self, relay):
+        # Electrostatics is polarity-blind; -Vselect biasing depends on it.
+        relay.apply_gate_voltage(-1.1 * relay.pull_in_voltage)
+        assert relay.is_on
+
+    def test_switch_count_increments_per_transition(self, relay):
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        relay.apply_gate_voltage(0.0)
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        assert relay.switch_count == 3
+
+    def test_reset(self, relay):
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        relay.reset()
+        assert not relay.is_on
+        assert relay.gate_voltage == 0.0
+
+
+class TestRelayElectrical:
+    def test_off_state_current_exactly_zero(self):
+        relay = scaled_relay()
+        assert relay.drain_current(0.5) == 0.0
+
+    def test_on_state_ohmic(self):
+        relay = scaled_relay()
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        assert relay.drain_current(0.1) == pytest.approx(0.1 / 2e3)
+
+    def test_compliance_clips_current(self):
+        relay = scaled_relay()
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        assert relay.drain_current(10.0, compliance=100e-9) == pytest.approx(100e-9)
+
+    def test_compliance_clips_negative_current(self):
+        relay = scaled_relay()
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        assert relay.drain_current(-10.0, compliance=100e-9) == pytest.approx(-100e-9)
+
+    def test_resistance_by_state(self):
+        relay = scaled_relay()
+        assert relay.resistance() == float("inf")
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        assert relay.resistance() == pytest.approx(2e3)
+
+    def test_capacitance_by_state(self):
+        relay = scaled_relay()
+        assert relay.capacitance() == pytest.approx(6.7e-18)
+        relay.apply_gate_voltage(1.1 * relay.pull_in_voltage)
+        assert relay.capacitance() == pytest.approx(20e-18)
+
+
+class TestFactories:
+    def test_fabricated_relay_operates_at_measured_voltages(self):
+        relay = fabricated_relay()
+        assert relay.pull_in_voltage == pytest.approx(6.2, abs=0.05)
+        assert relay.circuit.r_on == pytest.approx(100e3)
+
+    def test_scaled_relay_near_one_volt(self):
+        relay = scaled_relay()
+        assert 0.8 < relay.pull_in_voltage < 1.3
+
+    def test_repr_mentions_state(self):
+        assert "pulled-out" in repr(scaled_relay())

@@ -1,0 +1,98 @@
+"""Tests for repro.nemrelay.dynamics (switching delay > 1 ns claim)."""
+
+import pytest
+
+from repro.nemrelay.dynamics import (
+    damping_coefficient,
+    effective_mass,
+    natural_frequency,
+    pull_in_transient,
+    release_time_constant,
+    resonant_frequencies,
+    switching_delay,
+)
+from repro.nemrelay.electrostatics import ActuationModel
+from repro.nemrelay.geometry import FABRICATED_DEVICE, SCALED_22NM_DEVICE
+from repro.nemrelay.materials import AIR, OIL, POLYSILICON, POLY_PLATINUM
+
+
+@pytest.fixture
+def scaled_model():
+    return ActuationModel(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+
+
+@pytest.fixture
+def fabricated_model():
+    return ActuationModel(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+
+
+class TestModalQuantities:
+    def test_effective_mass_positive_and_tiny(self, scaled_model):
+        m = effective_mass(scaled_model)
+        assert 0 < m < 1e-15  # scaled beam: well below a femtogram
+
+    def test_natural_frequency_consistency(self, scaled_model):
+        f0, omega0 = resonant_frequencies(scaled_model)
+        assert omega0 == pytest.approx(natural_frequency(scaled_model))
+        assert f0 == pytest.approx(omega0 / (2 * 3.141592653589793))
+
+    def test_damping_scales_inverse_q(self, scaled_model):
+        b_air = damping_coefficient(scaled_model)
+        oily = ActuationModel(POLYSILICON, SCALED_22NM_DEVICE, OIL)
+        assert damping_coefficient(oily) > b_air
+
+
+class TestPullInTransient:
+    def test_above_vpi_makes_contact(self, scaled_model):
+        t = pull_in_transient(scaled_model, 1.2 * scaled_model.pull_in)
+        assert t.switched
+        assert t.displacements[-1] == pytest.approx(SCALED_22NM_DEVICE.travel)
+
+    def test_below_vpi_never_contacts(self, scaled_model):
+        t = pull_in_transient(scaled_model, 0.8 * scaled_model.pull_in)
+        assert not t.switched
+        # Settles near the static equilibrium, never past g0/3.
+        assert max(t.displacements) < SCALED_22NM_DEVICE.gap / 2.0
+
+    def test_displacement_stays_nonnegative(self, scaled_model):
+        t = pull_in_transient(scaled_model, 1.5 * scaled_model.pull_in)
+        assert min(t.displacements) >= 0.0
+
+    def test_higher_overdrive_switches_faster(self, scaled_model):
+        slow = pull_in_transient(scaled_model, 1.1 * scaled_model.pull_in)
+        fast = pull_in_transient(scaled_model, 2.0 * scaled_model.pull_in)
+        assert fast.switching_time < slow.switching_time
+
+    def test_rejects_too_few_steps(self, scaled_model):
+        with pytest.raises(ValueError):
+            pull_in_transient(scaled_model, 1.0, steps=5)
+
+
+class TestSwitchingDelay:
+    def test_scaled_delay_exceeds_one_nanosecond(self, scaled_model):
+        """The paper's motivating fact: mechanical delays > 1 ns, which
+        is why relays suit static routing, not logic."""
+        delay = switching_delay(scaled_model)
+        assert delay is not None
+        assert delay > 1e-9
+
+    def test_scaled_delay_below_a_microsecond(self, scaled_model):
+        assert switching_delay(scaled_model) < 1e-6
+
+    def test_fabricated_relay_much_slower(self, fabricated_model, scaled_model):
+        # The large oil-damped device switches orders of magnitude slower.
+        assert switching_delay(fabricated_model) > 10 * switching_delay(scaled_model)
+
+    def test_rejects_subunity_overdrive(self, scaled_model):
+        with pytest.raises(ValueError):
+            switching_delay(scaled_model, overdrive=0.9)
+
+
+class TestReleaseTime:
+    def test_underdamped_release_is_one_period(self, scaled_model):
+        period = 2 * 3.141592653589793 / natural_frequency(scaled_model)
+        assert release_time_constant(scaled_model) == pytest.approx(period)
+
+    def test_overdamped_release_is_stretched(self, fabricated_model):
+        period = 2 * 3.141592653589793 / natural_frequency(fabricated_model)
+        assert release_time_constant(fabricated_model) > period

@@ -1,0 +1,65 @@
+"""Tests for repro.nemrelay.geometry."""
+
+import pytest
+
+from repro.nemrelay.geometry import BeamGeometry, FABRICATED_DEVICE, SCALED_22NM_DEVICE
+
+
+class TestBeamGeometry:
+    def test_paper_fabricated_dimensions(self):
+        # Paper Fig. 2b: L ~ 23 um, h ~ 500 nm, g0 ~ 600 nm.
+        assert FABRICATED_DEVICE.length == pytest.approx(23e-6)
+        assert FABRICATED_DEVICE.thickness == pytest.approx(500e-9)
+        assert FABRICATED_DEVICE.gap == pytest.approx(600e-9)
+
+    def test_paper_scaled_dimensions(self):
+        # Paper Fig. 11: L=275nm, h=11nm, g0=11nm, gmin=3.6nm.
+        assert SCALED_22NM_DEVICE.length == pytest.approx(275e-9)
+        assert SCALED_22NM_DEVICE.thickness == pytest.approx(11e-9)
+        assert SCALED_22NM_DEVICE.gap == pytest.approx(11e-9)
+        assert SCALED_22NM_DEVICE.contact_gap == pytest.approx(3.6e-9)
+
+    def test_travel_is_gap_minus_contact_gap(self):
+        g = SCALED_22NM_DEVICE
+        assert g.travel == pytest.approx(g.gap - g.contact_gap)
+
+    def test_width_defaults_to_thickness(self):
+        g = BeamGeometry(length=1e-6, thickness=100e-9, gap=100e-9, contact_gap=30e-9)
+        assert g.width == pytest.approx(g.thickness)
+
+    def test_explicit_width_preserved(self):
+        g = BeamGeometry(
+            length=1e-6, thickness=100e-9, gap=100e-9, contact_gap=30e-9, width=250e-9
+        )
+        assert g.width == pytest.approx(250e-9)
+
+    def test_aspect_ratio(self):
+        assert FABRICATED_DEVICE.aspect_ratio == pytest.approx(46.0)
+
+    @pytest.mark.parametrize("field", ["length", "thickness", "gap", "contact_gap"])
+    def test_rejects_nonpositive_dimensions(self, field):
+        kwargs = dict(length=1e-6, thickness=1e-7, gap=1e-7, contact_gap=3e-8)
+        kwargs[field] = 0.0
+        with pytest.raises(ValueError):
+            BeamGeometry(**kwargs)
+
+    def test_rejects_contact_gap_exceeding_gap(self):
+        with pytest.raises(ValueError):
+            BeamGeometry(length=1e-6, thickness=1e-7, gap=1e-7, contact_gap=2e-7)
+
+    def test_scaled_multiplies_all_dimensions(self):
+        g = SCALED_22NM_DEVICE.scaled(2.0)
+        assert g.length == pytest.approx(2 * SCALED_22NM_DEVICE.length)
+        assert g.thickness == pytest.approx(2 * SCALED_22NM_DEVICE.thickness)
+        assert g.gap == pytest.approx(2 * SCALED_22NM_DEVICE.gap)
+        assert g.contact_gap == pytest.approx(2 * SCALED_22NM_DEVICE.contact_gap)
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            SCALED_22NM_DEVICE.scaled(0.0)
+
+    def test_gmin_ratio_matches_scaled_device(self):
+        # The fabricated device reuses the Fig. 11 gmin/g0 ratio.
+        ratio_scaled = SCALED_22NM_DEVICE.contact_gap / SCALED_22NM_DEVICE.gap
+        ratio_fab = FABRICATED_DEVICE.contact_gap / FABRICATED_DEVICE.gap
+        assert ratio_fab == pytest.approx(ratio_scaled, rel=0.01)

@@ -1,0 +1,84 @@
+"""Tests for repro.nemrelay.hysteresis (Fig. 2b I-V sweeps)."""
+
+import pytest
+
+from repro.nemrelay.hysteresis import (
+    COMPLIANCE_A,
+    NOISE_FLOOR_A,
+    repeated_sweeps,
+    sweep_iv,
+    triangle_sweep,
+)
+from repro.nemrelay.device import fabricated_relay, scaled_relay
+
+
+class TestTriangleSweep:
+    def test_shape(self):
+        values = triangle_sweep(4.0, steps=5)
+        assert values == [0.0, 1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0, 0.0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            triangle_sweep(0.0, 10)
+        with pytest.raises(ValueError):
+            triangle_sweep(1.0, 1)
+
+
+class TestSweepIV:
+    @pytest.fixture
+    def curve(self):
+        return sweep_iv(fabricated_relay())
+
+    def test_observes_pull_in_near_6p2(self, curve):
+        assert curve.pull_in_observed == pytest.approx(6.2, abs=0.1)
+
+    def test_observes_pull_out_below_pull_in(self, curve):
+        assert curve.pull_out_observed is not None
+        assert curve.pull_out_observed < curve.pull_in_observed
+
+    def test_hysteresis_window_positive(self, curve):
+        assert curve.hysteresis_window > 0
+
+    def test_off_current_pinned_at_noise_floor(self, curve):
+        # Fig. 2b: zero leakage = below the 10 pA noise floor.
+        off_points = [p for p in curve.points if not p.state.value == "pulled-in"]
+        assert off_points
+        assert all(p.ids == pytest.approx(NOISE_FLOOR_A) for p in off_points)
+
+    def test_on_current_hits_compliance(self, curve):
+        # Ron = 100k, Vds = 0.1 V -> 1 uA, clipped at 100 nA compliance.
+        on_points = [p for p in curve.points if p.state.value == "pulled-in"]
+        assert on_points
+        assert max(p.ids for p in on_points) == pytest.approx(COMPLIANCE_A)
+
+    def test_up_down_branches_partition_points(self, curve):
+        assert len(curve.up_branch()) + len(curve.down_branch()) == len(curve.points)
+
+    def test_branch_asymmetry_is_the_hysteresis(self, curve):
+        """At a voltage inside the window, the up branch reads off and
+        the down branch reads on — the defining loop of Fig. 2b."""
+        mid = 0.5 * (curve.pull_in_observed + curve.pull_out_observed)
+        up_state = [p for p in curve.up_branch() if abs(p.vgs - mid) < 0.2]
+        down_state = [p for p in curve.down_branch() if abs(p.vgs - mid) < 0.2]
+        assert any(p.ids == pytest.approx(NOISE_FLOOR_A) for p in up_state)
+        assert any(p.ids > 10 * NOISE_FLOOR_A for p in down_state)
+
+    def test_custom_sweep_without_pull_in(self):
+        relay = scaled_relay()
+        curve = sweep_iv(relay, vgs_values=[0.0, 0.2, 0.4, 0.2, 0.0])
+        assert curve.pull_in_observed is None
+        assert curve.hysteresis_window is None
+
+
+class TestRepeatedSweeps:
+    def test_multiple_cycles_consistent(self):
+        # Fig. 2b overlays multiple pull-in/pull-out cycles.
+        relay = fabricated_relay()
+        curves = repeated_sweeps(relay, cycles=3)
+        assert len(curves) == 3
+        vpis = [c.pull_in_observed for c in curves]
+        assert all(v == pytest.approx(vpis[0]) for v in vpis)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            repeated_sweeps(fabricated_relay(), cycles=0)

@@ -1,0 +1,61 @@
+"""Tests for repro.nemrelay.materials."""
+
+import pytest
+
+from repro.nemrelay.materials import (
+    AIR,
+    AMBIENTS,
+    Ambient,
+    EPSILON_0,
+    MATERIALS,
+    Material,
+    OIL,
+    POLYSILICON,
+    POLY_PLATINUM,
+    VACUUM,
+)
+
+
+class TestMaterial:
+    def test_polysilicon_modulus(self):
+        assert POLYSILICON.youngs_modulus == pytest.approx(160e9)
+
+    def test_composite_is_softer_than_polysilicon(self):
+        # The calibrated composite beam must be softer, or the measured
+        # 6.2 V pull-in could not be reproduced at the paper geometry.
+        assert POLY_PLATINUM.youngs_modulus < POLYSILICON.youngs_modulus
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", youngs_modulus=0.0, density=1000.0)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", youngs_modulus=1e9, density=-1.0)
+
+    def test_registry_contains_all_materials(self):
+        assert "polysilicon" in MATERIALS
+        assert MATERIALS["poly-platinum"] is POLY_PLATINUM
+
+
+class TestAmbient:
+    def test_vacuum_permittivity_is_epsilon0(self):
+        assert VACUUM.permittivity == pytest.approx(EPSILON_0)
+
+    def test_oil_raises_permittivity(self):
+        # [Lee 09]: oil's higher permittivity lowers switching voltages.
+        assert OIL.permittivity > AIR.permittivity
+
+    def test_oil_is_heavily_damped(self):
+        assert OIL.damping_quality_factor < 1.0
+
+    def test_rejects_subunity_permittivity(self):
+        with pytest.raises(ValueError):
+            Ambient(name="bad", relative_permittivity=0.5, damping_quality_factor=1.0)
+
+    def test_rejects_nonpositive_q(self):
+        with pytest.raises(ValueError):
+            Ambient(name="bad", relative_permittivity=1.0, damping_quality_factor=0.0)
+
+    def test_registry(self):
+        assert set(AMBIENTS) == {"vacuum", "air", "oil", "nitrogen"}

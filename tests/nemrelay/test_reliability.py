@@ -1,0 +1,121 @@
+"""Tests for repro.nemrelay.reliability."""
+
+import math
+
+import pytest
+
+from repro.nemrelay.reliability import (
+    ArrayReliability,
+    StictionModel,
+    WeibullEndurance,
+    paper_scale_report,
+)
+
+
+class TestWeibull:
+    def test_survival_at_eta_is_e_inverse(self):
+        model = WeibullEndurance(eta=1e9, beta=2.0)
+        assert model.survival(1e9) == pytest.approx(math.exp(-1))
+
+    def test_survival_monotone_decreasing(self):
+        model = WeibullEndurance()
+        values = [model.survival(n) for n in (0, 1e6, 1e8, 1e9, 1e10)]
+        assert values[0] == 1.0
+        assert values == sorted(values, reverse=True)
+
+    def test_cycles_at_survival_inverts(self):
+        model = WeibullEndurance(eta=1e9, beta=1.6)
+        n = model.cycles_at_survival(0.999)
+        assert model.survival(n) == pytest.approx(0.999, rel=1e-9)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            WeibullEndurance(eta=0.0)
+        with pytest.raises(ValueError):
+            WeibullEndurance().survival(-1.0)
+        with pytest.raises(ValueError):
+            WeibullEndurance().cycles_at_survival(1.5)
+
+
+class TestStiction:
+    def test_zero_probability_never_fails(self):
+        assert StictionModel(p_stick=0.0).survival(1e12) == 1.0
+
+    def test_survival_compounds(self):
+        model = StictionModel(p_stick=1e-6)
+        assert model.survival(1e6) == pytest.approx(math.exp(-1), rel=0.01)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            StictionModel(p_stick=1.0)
+
+
+class TestArray:
+    def test_fabric_survival_below_device(self):
+        array = ArrayReliability(num_relays=1000)
+        cycles = 1e7
+        assert array.fabric_survival(cycles) < array.device_survival(cycles)
+
+    def test_spares_improve_survival(self):
+        # At 2e7 cycles the mean failure count (~2.2k of 100k) sits
+        # inside a 5% spare budget: bare fabric dead, spared fine.
+        bare = ArrayReliability(num_relays=100_000)
+        spared = ArrayReliability(num_relays=100_000, spare_fraction=0.05)
+        cycles = 2e7
+        assert bare.fabric_survival(cycles) < 0.01
+        assert spared.fabric_survival(cycles) > 0.95
+
+    def test_more_relays_worse_survival(self):
+        small = ArrayReliability(num_relays=1000)
+        large = ArrayReliability(num_relays=1_000_000)
+        cycles = 1e7
+        assert large.fabric_survival(cycles) < small.fabric_survival(cycles)
+
+    def test_reconfig_budget_at_paper_scale_needs_spares(self):
+        # Bare 7.6M-relay fabric at 1e-9 stiction: stiction-limited,
+        # essentially no reconfiguration budget at 99% yield...
+        bare = ArrayReliability(num_relays=7_600_000)
+        assert bare.reconfigurations_at_survival(0.99) < 500
+        # ...but a 0.01% spare budget restores far more than the ~500
+        # lifetime reconfigurations FPGAs see [Kuon 07].
+        spared = ArrayReliability(num_relays=7_600_000, spare_fraction=1e-4)
+        assert spared.reconfigurations_at_survival(0.99) > 500
+
+    def test_budget_inverts_survival(self):
+        array = ArrayReliability(num_relays=10_000)
+        budget = array.reconfigurations_at_survival(0.99)
+        assert array.fabric_survival(2 * budget) >= 0.99
+        assert array.fabric_survival(2 * (budget + 1)) < 0.99
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ArrayReliability(num_relays=0)
+        with pytest.raises(ValueError):
+            ArrayReliability(num_relays=10, spare_fraction=1.0)
+
+
+class TestPaperScaleReport:
+    def test_quantified_sec1_argument(self):
+        report = paper_scale_report()
+        assert report["cycles_per_relay"] == 1000.0
+        # Per-device endurance is overwhelming at FPGA actuation counts.
+        assert report["device_survival"] > 1.0 - 2e-6
+        # But a bare million-relay fabric is stiction-limited...
+        assert report["bare_fabric_survival"] < 0.5
+        # ...and a 0.01% spare budget (or ~1e-12 stiction) fixes it —
+        # the paper's future-work call for consistent contacts, in
+        # numbers.
+        assert report["spared_fabric_survival"] > 0.99
+        assert report["spared_max_reconfigs_99pct"] > 500
+        assert report["required_p_stick_bare_99pct"] < 1e-11
+
+    def test_required_stiction_inverts(self):
+        from repro.nemrelay.reliability import StictionModel, required_stiction
+
+        p = required_stiction(10_000, 1000, target=0.99)
+        fabric = ArrayReliability(
+            num_relays=10_000,
+            stiction=StictionModel(p_stick=p * 0.999),
+            endurance=WeibullEndurance(eta=1e18),  # isolate stiction
+        )
+        assert fabric.fabric_survival(1000) >= 0.99

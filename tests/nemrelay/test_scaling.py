@@ -1,0 +1,67 @@
+"""Tests for repro.nemrelay.scaling (Fig. 11 / ~1 V scaling claim)."""
+
+import pytest
+
+from repro.nemrelay.geometry import FABRICATED_DEVICE, SCALED_22NM_DEVICE
+from repro.nemrelay.materials import AIR, OIL, POLYSILICON, POLY_PLATINUM
+from repro.nemrelay.electrostatics import pull_in_voltage
+from repro.nemrelay.scaling import (
+    isomorphic_vpi_scaling_exponent,
+    node_device,
+    scale_to_pull_in,
+    scaling_table,
+)
+
+
+class TestScaleToPullIn:
+    def test_hits_target_exactly(self):
+        geom = scale_to_pull_in(FABRICATED_DEVICE, POLY_PLATINUM, OIL, target_vpi=1.0)
+        assert pull_in_voltage(POLY_PLATINUM, geom, OIL) == pytest.approx(1.0, rel=1e-9)
+
+    def test_scaling_down_shrinks_dimensions(self):
+        geom = scale_to_pull_in(FABRICATED_DEVICE, POLY_PLATINUM, OIL, target_vpi=1.0)
+        assert geom.length < FABRICATED_DEVICE.length
+
+    def test_exponent_is_linear(self):
+        assert isomorphic_vpi_scaling_exponent() == pytest.approx(1.0)
+        base = pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        doubled = pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE.scaled(2.0), AIR)
+        assert doubled == pytest.approx(2.0 * base, rel=1e-9)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            scale_to_pull_in(FABRICATED_DEVICE, POLY_PLATINUM, OIL, target_vpi=0.0)
+
+
+class TestNodeDevices:
+    def test_22nm_is_paper_fig11_device(self):
+        dev = node_device(22)
+        assert dev.geometry == SCALED_22NM_DEVICE
+        assert 0.8 < dev.vpi < 1.3
+
+    def test_coarser_nodes_need_higher_voltage(self):
+        vpis = [node_device(n).vpi for n in (45, 32, 22, 16)]
+        assert vpis == sorted(vpis, reverse=True)
+
+    def test_all_nodes_hysteretic(self):
+        for n in (45, 32, 22, 16, 14):
+            dev = node_device(n)
+            assert 0 < dev.vpo < dev.vpi
+
+    def test_unsupported_node_rejected(self):
+        with pytest.raises(ValueError):
+            node_device(7)
+
+    def test_scaling_table_complete(self):
+        table = scaling_table()
+        assert set(table) == {45, 32, 22, 16, 14}
+        for row in table.values():
+            assert row["vpo_v"] < row["vpi_v"]
+            assert row["length_nm"] > row["thickness_nm"]
+
+    def test_table_22nm_dimensions(self):
+        row = scaling_table()[22]
+        assert row["length_nm"] == pytest.approx(275.0)
+        assert row["thickness_nm"] == pytest.approx(11.0)
+        assert row["gap_nm"] == pytest.approx(11.0)
+        assert row["contact_gap_nm"] == pytest.approx(3.6)

@@ -1,0 +1,91 @@
+"""Tests for repro.nemrelay.thermal."""
+
+import pytest
+
+from repro.crossbar.halfselect import solve_voltages
+from repro.nemrelay.electrostatics import pull_in_voltage, pull_out_voltage
+from repro.nemrelay.geometry import SCALED_22NM_DEVICE
+from repro.nemrelay.materials import AIR, POLYSILICON
+from repro.nemrelay.thermal import (
+    ROOM_TEMPERATURE_K,
+    ThermalModel,
+    max_hold_temperature,
+    vpi_at,
+    vpo_at,
+)
+
+
+class TestThermalScaling:
+    def test_reference_temperature_is_identity(self):
+        vpi = vpi_at(POLYSILICON, SCALED_22NM_DEVICE, AIR, ROOM_TEMPERATURE_K)
+        assert vpi == pytest.approx(
+            pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR), rel=1e-12
+        )
+
+    def test_vpi_falls_with_temperature(self):
+        temps = (300.0, 400.0, 600.0, 800.0)
+        vpis = [vpi_at(POLYSILICON, SCALED_22NM_DEVICE, AIR, t) for t in temps]
+        assert vpis == sorted(vpis, reverse=True)
+
+    def test_window_narrows_with_temperature(self):
+        def window(t):
+            return vpi_at(POLYSILICON, SCALED_22NM_DEVICE, AIR, t) - vpo_at(
+                POLYSILICON, SCALED_22NM_DEVICE, AIR, t
+            )
+
+        assert window(600.0) < window(300.0)
+
+    def test_hysteresis_survives_500c(self):
+        # [Wang 11]: NEMS reconfigurable computing above 500 C; the
+        # device keeps a positive window there.
+        t = 273.15 + 500.0
+        assert 0 < vpo_at(POLYSILICON, SCALED_22NM_DEVICE, AIR, t) < vpi_at(
+            POLYSILICON, SCALED_22NM_DEVICE, AIR, t
+        )
+
+    def test_beyond_linear_model_rejected(self):
+        model = ThermalModel()
+        with pytest.raises(ValueError):
+            model.modulus_scale(300.0 + 1.0 / model.softening_per_k + 10.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalModel(softening_per_k=-1e-6)
+
+
+class TestHoldTemperature:
+    @pytest.fixture(scope="class")
+    def room_point(self):
+        vpi = pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        vpo = pull_out_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        return solve_voltages([vpi], [vpo])
+
+    def test_room_point_valid_at_reference(self, room_point):
+        t_max = max_hold_temperature(
+            POLYSILICON, SCALED_22NM_DEVICE, AIR,
+            room_point.v_hold, room_point.v_select,
+        )
+        assert t_max > ROOM_TEMPERATURE_K
+
+    def test_tight_point_fails_sooner(self, room_point):
+        """A programming point with slimmer margins loses validity at a
+        lower temperature."""
+        vpi = pull_in_voltage(POLYSILICON, SCALED_22NM_DEVICE, AIR)
+        comfortable = max_hold_temperature(
+            POLYSILICON, SCALED_22NM_DEVICE, AIR,
+            room_point.v_hold, room_point.v_select,
+        )
+        # Half-select pushed right under Vpi at room temperature: any
+        # softening flips it to a disturb.
+        tight_select = vpi - room_point.v_hold - 0.001
+        tight = max_hold_temperature(
+            POLYSILICON, SCALED_22NM_DEVICE, AIR,
+            room_point.v_hold, tight_select,
+        )
+        assert tight < comfortable
+
+    def test_invalid_room_point_rejected(self):
+        with pytest.raises(ValueError):
+            max_hold_temperature(
+                POLYSILICON, SCALED_22NM_DEVICE, AIR, v_hold=0.1, v_select=0.01
+            )

@@ -1,0 +1,95 @@
+"""Tests for repro.nemrelay.variation (Fig. 6 Monte-Carlo)."""
+
+import numpy as np
+import pytest
+
+from repro.nemrelay.geometry import FABRICATED_DEVICE
+from repro.nemrelay.materials import OIL, POLY_PLATINUM
+from repro.nemrelay.variation import (
+    FIG6_VARIATION_SPEC,
+    VariationSpec,
+    sample_population,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6_population():
+    return sample_population(
+        POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=100, spec=FIG6_VARIATION_SPEC
+    )
+
+
+class TestSampling:
+    def test_population_size_matches_paper(self, fig6_population):
+        assert fig6_population.count == 100
+
+    def test_deterministic_given_seed(self):
+        a = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=20, seed=9)
+        b = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=20, seed=9)
+        assert np.allclose(a.vpi, b.vpi)
+        assert np.allclose(a.vpo, b.vpo)
+
+    def test_different_seeds_differ(self):
+        a = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=20, seed=9)
+        b = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=20, seed=10)
+        assert not np.allclose(a.vpi, b.vpi)
+
+    def test_zero_variation_collapses_distribution(self):
+        spec = VariationSpec(
+            sigma_length=0.0, sigma_thickness=0.0, sigma_gap=0.0, sigma_contact_gap=0.0
+        )
+        pop = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=10, spec=spec)
+        assert pop.vpi_spread == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            VariationSpec(sigma_length=-0.01)
+
+
+class TestFig6Calibration:
+    def test_vpi_band_matches_figure(self, fig6_population):
+        # Fig. 6: Vpi roughly between 5.7 and 7.0 V.
+        assert 5.4 < fig6_population.vpi_min < 6.0
+        assert 6.6 < fig6_population.vpi_max < 7.3
+
+    def test_vpo_band_matches_figure(self, fig6_population):
+        # Fig. 6: Vpo roughly between 2 and 3.4 V (we allow a wider
+        # spread from the adhesion Monte-Carlo).
+        assert 1.0 < fig6_population.vpo_min < 2.6
+        assert 2.8 < fig6_population.vpo_max < 4.0
+
+    def test_every_relay_hysteretic(self, fig6_population):
+        assert fig6_population.min_hysteresis_window > 0
+
+    def test_half_select_feasibility_condition(self, fig6_population):
+        # Paper Sec. 2.3: min{Vpi-Vpo} > Vpi_max - Vpi_min held for the
+        # measured population.
+        assert fig6_population.half_select_feasible()
+
+    def test_larger_variation_breaks_feasibility(self):
+        wild = VariationSpec(
+            sigma_length=0.06,
+            sigma_thickness=0.06,
+            sigma_gap=0.06,
+            sigma_contact_gap=0.08,
+            mean_adhesion=FIG6_VARIATION_SPEC.mean_adhesion,
+            sigma_adhesion=FIG6_VARIATION_SPEC.sigma_adhesion,
+        )
+        pop = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=100, spec=wild)
+        assert not pop.half_select_feasible()
+
+
+class TestHistogram:
+    def test_histogram_counts_sum_to_population(self, fig6_population):
+        edges, vpi_counts, vpo_counts = fig6_population.histogram(bins=28)
+        assert len(edges) == 29
+        assert vpi_counts.sum() == 100
+        assert vpo_counts.sum() == 100
+
+    def test_distributions_are_separated(self, fig6_population):
+        # Vpi and Vpo clusters do not overlap in Fig. 6.
+        assert fig6_population.vpo_max < fig6_population.vpi_min

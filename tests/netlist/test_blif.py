@@ -1,0 +1,124 @@
+"""Tests for repro.netlist.blif."""
+
+import io
+
+import pytest
+
+from repro.netlist.blif import read_blif, write_blif
+from repro.netlist.core import Netlist
+from repro.netlist.generate import GeneratorParams, generate
+
+SAMPLE = """\
+# a tiny mapped circuit
+.model sample
+.inputs a b c
+.outputs y
+.names a b n1
+11 1
+.names n1 c n2
+11 1
+.latch n2 q re clk 0
+.names q n1 y
+11 1
+.end
+"""
+
+
+class TestReadBlif:
+    def test_reads_sample(self):
+        n = read_blif(io.StringIO(SAMPLE))
+        assert n.name == "sample"
+        assert n.num_luts == 3
+        assert len(n.ffs) == 1
+        assert len(n.inputs) == 3
+        assert len(n.outputs) == 1
+
+    def test_connectivity(self):
+        n = read_blif(io.StringIO(SAMPLE))
+        assert n.blocks["n2"].inputs == ["n1", "c"]
+        assert n.blocks["q"].inputs == ["n2"]
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        n = read_blif(io.StringIO(text))
+        assert len(n.inputs) == 2
+
+    def test_comments_ignored(self):
+        text = ".model m # name\n.inputs a\n.outputs y\n.names a y # lut\n1 1\n.end\n"
+        n = read_blif(io.StringIO(text))
+        assert n.num_luts == 1
+
+    def test_double_driver_rejected(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n1 1\n.end\n"
+        with pytest.raises(ValueError, match="driven twice"):
+            read_blif(io.StringIO(text))
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            read_blif(io.StringIO(".model m\n.gate nand2 a=1 b=2\n.end\n"))
+
+    def test_dangling_output_rejected(self):
+        text = ".model m\n.inputs a\n.outputs ghost\n.names a y\n1 1\n.end\n"
+        with pytest.raises(ValueError):
+            read_blif(io.StringIO(text))
+
+
+class TestRoundTrip:
+    def test_synthetic_circuit_roundtrips(self):
+        original = generate(GeneratorParams("rt", num_luts=60, seed=11))
+        buf = io.StringIO()
+        write_blif(original, buf)
+        buf.seek(0)
+        parsed = read_blif(buf)
+        assert parsed.num_luts == original.num_luts
+        assert len(parsed.ffs) == len(original.ffs)
+        assert len(parsed.inputs) == len(original.inputs)
+        assert len(parsed.outputs) == len(original.outputs)
+        # Structural: every LUT keeps its pin list.
+        for lut in original.luts:
+            assert parsed.blocks[lut.name].inputs == lut.inputs
+
+    def test_truth_tables_roundtrip(self):
+        """Mapped circuits keep their function through BLIF I/O."""
+        from repro.netlist.gates import random_gate_circuit
+        from repro.netlist.simulate import check_equivalence
+        from repro.netlist.techmap import map_to_luts
+
+        gates = random_gate_circuit("rt2", 120, num_inputs=8, num_outputs=4, seed=21)
+        mapped = map_to_luts(gates, k=4)
+        buf = io.StringIO()
+        write_blif(mapped, buf)
+        buf.seek(0)
+        parsed = read_blif(buf)
+        for lut in mapped.luts:
+            assert parsed.blocks[lut.name].truth == lut.truth
+        assert check_equivalence(gates, parsed, vectors=64, seed=21)
+
+    def test_dont_care_cover_expands(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n.end\n"
+        n = read_blif(io.StringIO(text))
+        # y = a regardless of b: minterms where bit0 (a) is 1.
+        assert n.blocks["y"].truth == (0, 1, 0, 1)
+
+    def test_off_set_cover_falls_back_to_topology(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n"
+        n = read_blif(io.StringIO(text))
+        assert n.blocks["y"].truth is None
+
+    def test_constant_zero_cover(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n.end\n"
+        n = read_blif(io.StringIO(text))
+        assert n.blocks["y"].truth == (0, 0)
+
+    def test_write_emits_model_sections(self):
+        n = Netlist("w")
+        n.add_input("a")
+        n.add_lut("y", ["a"])
+        n.add_output("o", "y")
+        buf = io.StringIO()
+        write_blif(n, buf)
+        text = buf.getvalue()
+        assert ".model w" in text
+        assert ".inputs a" in text
+        assert ".outputs y" in text
+        assert ".names a y" in text

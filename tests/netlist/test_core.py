@@ -1,0 +1,118 @@
+"""Tests for repro.netlist.core."""
+
+import pytest
+
+from repro.netlist.core import Block, BlockType, Netlist
+
+
+def tiny_netlist():
+    """a, b -> and1 -> ff1 -> out; and1 also feeds lut2 -> out2."""
+    n = Netlist("tiny", k=4)
+    n.add_input("a")
+    n.add_input("b")
+    n.add_lut("and1", ["a", "b"])
+    n.add_ff("ff1", "and1")
+    n.add_lut("lut2", ["and1", "ff1"])
+    n.add_output("out", "ff1")
+    n.add_output("out2", "lut2")
+    n.validate()
+    return n
+
+
+class TestConstruction:
+    def test_counts(self):
+        n = tiny_netlist()
+        assert n.num_luts == 2
+        assert len(n.ffs) == 1
+        assert len(n.inputs) == 2
+        assert len(n.outputs) == 2
+
+    def test_duplicate_name_rejected(self):
+        n = Netlist("x")
+        n.add_input("a")
+        with pytest.raises(ValueError):
+            n.add_input("a")
+
+    def test_lut_fanin_bound(self):
+        n = Netlist("x", k=2)
+        n.add_input("a")
+        n.add_input("b")
+        n.add_input("c")
+        with pytest.raises(ValueError):
+            n.add_lut("l", ["a", "b", "c"])
+
+    def test_lut_duplicate_inputs_rejected(self):
+        n = Netlist("x")
+        n.add_input("a")
+        with pytest.raises(ValueError):
+            n.add_lut("l", ["a", "a"])
+
+    def test_ff_single_input(self):
+        with pytest.raises(ValueError):
+            Block(name="f", type=BlockType.FF, inputs=[])
+
+    def test_k_minimum(self):
+        with pytest.raises(ValueError):
+            Netlist("x", k=1)
+
+
+class TestValidation:
+    def test_dangling_reference_caught(self):
+        n = Netlist("x")
+        n.add_input("a")
+        n.add_lut("l", ["a", "ghost"])
+        with pytest.raises(ValueError, match="ghost"):
+            n.validate()
+
+    def test_combinational_loop_caught(self):
+        n = Netlist("x")
+        n.add_input("a")
+        n.add_lut("l1", ["a", "l2"])
+        n.add_lut("l2", ["l1"])
+        with pytest.raises(ValueError, match="loop"):
+            n.validate()
+
+    def test_sequential_loop_allowed(self):
+        # Loops through FFs are legal (state machines).
+        n = Netlist("x")
+        n.add_input("a")
+        n.add_lut("l1", ["a", "f1"])
+        n.add_ff("f1", "l1")
+        n.add_output("o", "f1")
+        n.validate()
+
+    def test_output_as_source_rejected(self):
+        n = Netlist("x")
+        n.add_input("a")
+        n.add_output("o", "a")
+        n.add_lut("l", ["o"])
+        with pytest.raises(ValueError):
+            n.validate()
+
+
+class TestQueries:
+    def test_fanout(self):
+        n = tiny_netlist()
+        fo = n.fanout()
+        assert ("ff1", 0) in fo["and1"]
+        assert ("lut2", 0) in fo["and1"]
+        assert len(fo["and1"]) == 2
+
+    def test_nets(self):
+        n = tiny_netlist()
+        nets = n.nets()
+        assert set(nets["ff1"]) == {"lut2", "out"}
+
+    def test_depth(self):
+        n = tiny_netlist()
+        assert n.logic_depth() == 2  # and1 -> lut2
+
+    def test_stats_keys(self):
+        stats = tiny_netlist().stats()
+        for key in ("luts", "ffs", "inputs", "outputs", "nets", "depth", "avg_fanout"):
+            assert key in stats
+
+    def test_topological_order_respects_edges(self):
+        n = tiny_netlist()
+        order = n.topological_luts()
+        assert order.index("and1") < order.index("lut2")

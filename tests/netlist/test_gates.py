@@ -1,0 +1,121 @@
+"""Tests for repro.netlist.gates."""
+
+import pytest
+
+from repro.netlist.gates import Gate, GateNetlist, GateOp, random_gate_circuit
+
+
+def adder_bit():
+    """1-bit full adder: sum and carry from a, b, cin."""
+    n = GateNetlist("fa")
+    for pi in ("a", "b", "cin"):
+        n.add_input(pi)
+    n.add_gate("axb", GateOp.XOR, ["a", "b"])
+    n.add_gate("sum", GateOp.XOR, ["axb", "cin"])
+    n.add_gate("ab", GateOp.AND, ["a", "b"])
+    n.add_gate("cx", GateOp.AND, ["axb", "cin"])
+    n.add_gate("cout", GateOp.OR, ["ab", "cx"])
+    n.add_output("s", "sum")
+    n.add_output("c", "cout")
+    n.validate()
+    return n
+
+
+class TestGateOps:
+    @pytest.mark.parametrize("op,table", [
+        (GateOp.AND, [0, 0, 0, 1]),
+        (GateOp.OR, [0, 1, 1, 1]),
+        (GateOp.XOR, [0, 1, 1, 0]),
+        (GateOp.NAND, [1, 1, 1, 0]),
+        (GateOp.NOR, [1, 0, 0, 0]),
+        (GateOp.XNOR, [1, 0, 0, 1]),
+    ])
+    def test_two_input_truth(self, op, table):
+        got = [op.evaluate(m & 1, m >> 1) for m in range(4)]
+        assert got == table
+
+    def test_unary_ops(self):
+        assert [GateOp.NOT.evaluate(v) for v in (0, 1)] == [1, 0]
+        assert [GateOp.BUF.evaluate(v) for v in (0, 1)] == [0, 1]
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateOp.AND, ["a"])
+        with pytest.raises(ValueError):
+            Gate("g", GateOp.NOT, ["a", "b"])
+
+
+class TestGateNetlist:
+    def test_full_adder_evaluates(self):
+        n = adder_bit()
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    values = n.evaluate({"a": a, "b": b, "cin": cin})
+                    total = a + b + cin
+                    assert values["s"] == total & 1
+                    assert values["c"] == total >> 1
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(ValueError, match="missing value"):
+            adder_bit().evaluate({"a": 0, "b": 1})
+
+    def test_duplicate_signal_rejected(self):
+        n = GateNetlist("d")
+        n.add_input("a")
+        with pytest.raises(ValueError):
+            n.add_gate("a", GateOp.NOT, ["a"])
+
+    def test_loop_detected(self):
+        n = GateNetlist("loop")
+        n.add_input("a")
+        n.add_gate("g1", GateOp.AND, ["a", "g2"])
+        n.add_gate("g2", GateOp.NOT, ["g1"])
+        with pytest.raises(ValueError, match="loop"):
+            n.validate()
+
+    def test_sequential_state(self):
+        n = GateNetlist("seq")
+        n.add_input("a")
+        n.add_gate("g", GateOp.XOR, ["a", "q"])
+        n.add_ff("q", "g")
+        n.add_output("o", "q")
+        n.validate()
+        v0 = n.evaluate({"a": 1}, state={"q": 0})
+        assert v0["g"] == 1  # next state
+        v1 = n.evaluate({"a": 1}, state={"q": 1})
+        assert v1["g"] == 0
+
+    def test_dangling_reference_rejected(self):
+        n = GateNetlist("d")
+        n.add_input("a")
+        n.add_gate("g", GateOp.NOT, ["ghost"])
+        with pytest.raises(ValueError, match="ghost"):
+            n.validate()
+
+
+class TestRandomCircuit:
+    def test_deterministic(self):
+        a = random_gate_circuit("r", 50, seed=7)
+        b = random_gate_circuit("r", 50, seed=7)
+        assert {g.name: (g.op, tuple(g.inputs)) for g in a.gates.values()} == {
+            g.name: (g.op, tuple(g.inputs)) for g in b.gates.values()
+        }
+
+    def test_counts(self):
+        n = random_gate_circuit("r", 120, num_inputs=10, num_outputs=5, ff_fraction=0.25, seed=3)
+        assert n.num_gates == 120
+        assert len(n.inputs) == 10
+        assert len(n.outputs) == 5
+        assert len(n.ffs) == 30
+
+    def test_validates_and_evaluates(self):
+        n = random_gate_circuit("r", 80, seed=5)
+        values = n.evaluate({pi: 1 for pi in n.inputs})
+        assert all(v in (0, 1) for v in values.values())
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            random_gate_circuit("r", 0)
+        with pytest.raises(ValueError):
+            random_gate_circuit("r", 10, ff_fraction=2.0)

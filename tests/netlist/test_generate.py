@@ -1,0 +1,125 @@
+"""Tests for repro.netlist.generate and suites."""
+
+import pytest
+
+from repro.netlist.generate import GeneratorParams, generate
+from repro.netlist.suites import (
+    ALTERA4_PARAMS,
+    MCNC20_PARAMS,
+    load_circuit,
+    load_suite,
+    suite,
+)
+
+
+class TestGenerator:
+    def test_exact_lut_count(self):
+        n = generate(GeneratorParams("g", num_luts=150, seed=2))
+        assert n.num_luts == 150
+
+    def test_deterministic(self):
+        a = generate(GeneratorParams("g", num_luts=80, seed=5))
+        b = generate(GeneratorParams("g", num_luts=80, seed=5))
+        assert {k: v.inputs for k, v in a.blocks.items()} == {
+            k: v.inputs for k, v in b.blocks.items()
+        }
+
+    def test_seed_changes_structure(self):
+        a = generate(GeneratorParams("g", num_luts=80, seed=5))
+        b = generate(GeneratorParams("g", num_luts=80, seed=6))
+        assert {k: tuple(v.inputs) for k, v in a.blocks.items()} != {
+            k: tuple(v.inputs) for k, v in b.blocks.items()
+        }
+
+    def test_validates(self):
+        generate(GeneratorParams("g", num_luts=200, seed=1)).validate()
+
+    def test_ff_fraction(self):
+        n = generate(GeneratorParams("g", num_luts=200, ff_fraction=0.5, seed=1))
+        assert len(n.ffs) == 100
+
+    def test_zero_ff_fraction(self):
+        n = generate(GeneratorParams("g", num_luts=100, ff_fraction=0.0, seed=1))
+        assert not n.ffs
+
+    def test_fanin_bounded_by_k(self):
+        n = generate(GeneratorParams("g", num_luts=120, k=4, seed=3))
+        assert all(1 <= len(lut.inputs) <= 4 for lut in n.luts)
+
+    def test_no_dangling_drivers(self):
+        n = generate(GeneratorParams("g", num_luts=120, seed=3))
+        fanouts = n.fanout()
+        for lut in n.luts:
+            assert lut.name in fanouts, f"{lut.name} drives nothing"
+
+    def test_depth_tracks_parameter(self):
+        shallow = generate(GeneratorParams("g", num_luts=200, depth=5, seed=4))
+        deep = generate(GeneratorParams("g", num_luts=200, depth=20, seed=4))
+        assert shallow.logic_depth() <= 5
+        assert deep.logic_depth() > shallow.logic_depth()
+
+    def test_explicit_pads(self):
+        n = generate(GeneratorParams("g", num_luts=100, num_inputs=17, num_outputs=9, seed=1))
+        assert len(n.inputs) == 17
+        assert len(n.outputs) >= 9  # extras keep dangling logic alive
+
+    def test_scaled_params(self):
+        p = GeneratorParams("g", num_luts=1000, seed=1)
+        s = p.scaled(0.1)
+        assert s.num_luts == 100
+        assert s.depth == p.resolved_depth  # depth preserved
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GeneratorParams("g", num_luts=0)
+        with pytest.raises(ValueError):
+            GeneratorParams("g", num_luts=10, ff_fraction=1.5)
+        with pytest.raises(ValueError):
+            GeneratorParams("g", num_luts=10, locality=0.0)
+
+
+class TestSuites:
+    def test_mcnc20_has_20_circuits(self):
+        assert len(MCNC20_PARAMS) == 20
+
+    def test_altera4_lut_counts_match_fig12_legend(self):
+        counts = {p.name: p.num_luts for p in ALTERA4_PARAMS}
+        assert counts == {
+            "ava": 12254,
+            "oc_des_des3perf": 11742,
+            "sudoku_check": 17188,
+            "ucsb_152_tap_fir": 10199,
+        }
+
+    def test_all_altera_circuits_above_10k(self):
+        # Paper: "four large benchmark circuits (with > 10K ... LUTs)".
+        assert all(p.num_luts > 10_000 for p in ALTERA4_PARAMS)
+
+    def test_clma_is_largest_mcnc(self):
+        largest = max(MCNC20_PARAMS, key=lambda p: p.num_luts)
+        assert largest.name == "clma"
+
+    def test_suite_scaling(self):
+        scaled = suite("mcnc20", scale=0.05)
+        full = suite("mcnc20")
+        for s, f in zip(scaled, full):
+            assert s.num_luts == pytest.approx(f.num_luts * 0.05, abs=1)
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            suite("nope")
+
+    def test_load_circuit_scaled(self):
+        n = load_circuit("tseng", scale=0.1)
+        assert n.name == "tseng"
+        assert n.num_luts == pytest.approx(105, abs=2)
+
+    def test_load_circuit_unknown(self):
+        with pytest.raises(KeyError):
+            load_circuit("missing")
+
+    def test_load_suite_generates_all(self):
+        circuits = load_suite("altera4", scale=0.01)
+        assert len(circuits) == 4
+        for netlist in circuits:
+            netlist.validate()

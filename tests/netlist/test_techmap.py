@@ -1,0 +1,140 @@
+"""Tests for repro.netlist.techmap and simulate (mapper correctness)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.gates import GateNetlist, GateOp, random_gate_circuit
+from repro.netlist.simulate import check_equivalence, evaluate_netlist
+from repro.netlist.techmap import enumerate_cuts, map_to_luts, mapping_stats
+
+
+def adder_bit():
+    n = GateNetlist("fa")
+    for pi in ("a", "b", "cin"):
+        n.add_input(pi)
+    n.add_gate("axb", GateOp.XOR, ["a", "b"])
+    n.add_gate("sum", GateOp.XOR, ["axb", "cin"])
+    n.add_gate("ab", GateOp.AND, ["a", "b"])
+    n.add_gate("cx", GateOp.AND, ["axb", "cin"])
+    n.add_gate("cout", GateOp.OR, ["ab", "cx"])
+    n.add_output("s", "sum")
+    n.add_output("c", "cout")
+    return n
+
+
+class TestCutEnumeration:
+    def test_leaves_have_depth_zero(self):
+        n = adder_bit()
+        _cuts, arrival = enumerate_cuts(n, k=4)
+        for pi in n.inputs:
+            assert arrival[pi] == 0
+
+    def test_adder_maps_in_one_level_at_k4(self):
+        # Both adder outputs are 3-input functions: depth 1 at K=4.
+        n = adder_bit()
+        _cuts, arrival = enumerate_cuts(n, k=4)
+        assert arrival["sum"] == 1
+        assert arrival["cout"] == 1
+
+    def test_cut_sizes_bounded(self):
+        n = random_gate_circuit("c", 80, seed=2)
+        cuts, _ = enumerate_cuts(n, k=4)
+        for cutset in cuts.values():
+            assert all(len(c) <= 4 for c in cutset)
+
+    def test_no_dominated_cuts(self):
+        n = random_gate_circuit("c", 60, seed=3)
+        cuts, _ = enumerate_cuts(n, k=4)
+        for cutset in cuts.values():
+            for a in cutset:
+                for b in cutset:
+                    if a is not b:
+                        assert not (a < b)
+
+
+class TestMapping:
+    def test_full_adder_maps_to_two_luts(self):
+        mapped = map_to_luts(adder_bit(), k=4)
+        assert mapped.num_luts == 2
+        assert mapped.logic_depth() == 1
+
+    def test_full_adder_truth_tables_exact(self):
+        mapped = map_to_luts(adder_bit(), k=4)
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    values = evaluate_netlist(mapped, {"a": a, "b": b, "cin": cin})
+                    total = a + b + cin
+                    assert values["s"] == total & 1
+                    assert values["c"] == total >> 1
+
+    def test_fanin_bound_respected(self):
+        mapped = map_to_luts(random_gate_circuit("m", 150, seed=4), k=4)
+        assert all(len(lut.inputs) <= 4 for lut in mapped.luts)
+
+    def test_larger_k_fewer_luts(self):
+        gates = random_gate_circuit("m", 200, seed=5)
+        luts4 = map_to_luts(gates, k=4).num_luts
+        luts6 = map_to_luts(gates, k=6).num_luts
+        assert luts6 <= luts4
+
+    def test_mapped_netlist_feeds_the_flow(self):
+        from repro.arch.params import ArchParams
+        from repro.vpr.flow import run_flow
+
+        gates = random_gate_circuit("m", 250, num_inputs=16, num_outputs=8, seed=6)
+        mapped = map_to_luts(gates, k=4)
+        flow = run_flow(mapped, ArchParams(channel_width=48))
+        assert flow.success
+
+    def test_stats(self):
+        gates = random_gate_circuit("m", 100, seed=7)
+        mapped = map_to_luts(gates, k=4)
+        stats = mapping_stats(gates, mapped)
+        assert stats["gates_per_lut"] > 1.5  # real absorption happened
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            map_to_luts(adder_bit(), k=1)
+
+
+class TestEquivalence:
+    def test_combinational_equivalence(self):
+        gates = random_gate_circuit("eq", 200, num_inputs=10, seed=8)
+        mapped = map_to_luts(gates, k=4)
+        assert check_equivalence(gates, mapped, vectors=200, seed=8)
+
+    def test_sequential_equivalence(self):
+        gates = random_gate_circuit("eq", 150, ff_fraction=0.3, seed=9)
+        mapped = map_to_luts(gates, k=4)
+        assert check_equivalence(gates, mapped, vectors=150, seed=9)
+
+    def test_detects_broken_truth_table(self):
+        gates = random_gate_circuit("eq", 60, num_inputs=6, num_outputs=3, seed=10)
+        mapped = map_to_luts(gates, k=4)
+        # Corrupt the LUT driving the first output.
+        import dataclasses
+
+        out_src = gates.outputs["po0"]
+        block = mapped.blocks[out_src]
+        flipped = tuple(1 - bit for bit in block.truth)
+        mapped.blocks[out_src] = dataclasses.replace(block, truth=flipped)
+        assert not check_equivalence(gates, mapped, vectors=64, seed=10)
+
+    @given(
+        num_gates=st.integers(10, 120),
+        seed=st.integers(0, 500),
+        k=st.integers(3, 5),
+        ff_fraction=st.floats(0.0, 0.4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mapping_always_equivalent(self, num_gates, seed, k, ff_fraction):
+        """Property: every mapped circuit is functionally identical to
+        its source (the mapper's defining invariant)."""
+        gates = random_gate_circuit(
+            "prop", num_gates, num_inputs=6, num_outputs=4,
+            ff_fraction=ff_fraction, seed=seed,
+        )
+        mapped = map_to_luts(gates, k=k)
+        assert check_equivalence(gates, mapped, vectors=48, seed=seed)
+        assert all(len(lut.inputs) <= k for lut in mapped.luts)

@@ -1,0 +1,73 @@
+"""Tests for repro.power.activity."""
+
+import pytest
+
+from repro.netlist.core import Netlist
+from repro.netlist.generate import GeneratorParams, generate
+from repro.power.activity import ActivityModel, average_activity, estimate_activities
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate(GeneratorParams("act", num_luts=100, ff_fraction=0.3, seed=5))
+
+
+class TestEstimateActivities:
+    def test_every_driver_has_density(self, circuit):
+        densities = estimate_activities(circuit)
+        for lut in circuit.luts:
+            assert lut.name in densities
+        for pi in circuit.inputs:
+            assert pi.name in densities
+        for ff in circuit.ffs:
+            assert ff.name in densities
+
+    def test_pi_density_is_model_value(self, circuit):
+        model = ActivityModel(input_activity=0.3)
+        densities = estimate_activities(circuit, model)
+        for pi in circuit.inputs:
+            assert densities[pi.name] == pytest.approx(0.3)
+
+    def test_densities_positive_and_bounded(self, circuit):
+        densities = estimate_activities(circuit)
+        assert all(0 < d <= 2.0 for d in densities.values())
+
+    def test_logic_attenuates(self, circuit):
+        """Deep LUTs have lower density than the primary inputs."""
+        densities = estimate_activities(circuit)
+        model = ActivityModel()
+        deep = [densities[lut.name] for lut in circuit.luts]
+        assert min(deep) < model.input_activity
+
+    def test_register_attenuation(self):
+        n = Netlist("r")
+        n.add_input("a")
+        n.add_lut("l", ["a"])
+        n.add_ff("f", "l")
+        n.add_output("o", "f")
+        densities = estimate_activities(n)
+        assert densities["f"] < densities["l"]
+
+    def test_sequential_loop_converges(self):
+        n = Netlist("loop")
+        n.add_input("a")
+        n.add_lut("l", ["a", "f"])
+        n.add_ff("f", "l")
+        n.add_output("o", "f")
+        densities = estimate_activities(n)
+        assert 0 < densities["f"] < 1.0
+
+    def test_higher_input_activity_raises_everything(self, circuit):
+        low = estimate_activities(circuit, ActivityModel(input_activity=0.1))
+        high = estimate_activities(circuit, ActivityModel(input_activity=0.4))
+        assert all(high[k] >= low[k] for k in low)
+
+    def test_average_activity(self, circuit):
+        avg = average_activity(circuit)
+        assert 0 < avg < 1.0
+
+    def test_rejects_bad_model(self):
+        with pytest.raises(ValueError):
+            ActivityModel(input_activity=0.0)
+        with pytest.raises(ValueError):
+            ActivityModel(logic_attenuation=1.5)

@@ -1,0 +1,173 @@
+"""Tests for repro.power.dynamic / leakage / breakdown (Fig. 9)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.arch.tile import build_inventory
+from repro.circuits.ptm import PTM_22NM
+from repro.core.variants import baseline_variant, optimized_nem_variant
+from repro.power.breakdown import (
+    PAPER_DYNAMIC_BREAKDOWN,
+    PAPER_LEAKAGE_BREAKDOWN,
+    compare_to_paper,
+    fold_dynamic,
+    fold_leakage,
+    format_table,
+    percentages,
+)
+from repro.power.dynamic import DynamicSpec, dynamic_power, total_dynamic
+from repro.power.leakage import (
+    cmos_switch_leakage,
+    fpga_leakage,
+    sram_bit_leakage,
+    tile_leakage,
+    total_leakage,
+)
+
+ARCH = ArchParams(channel_width=48)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return baseline_variant(ARCH)
+
+
+@pytest.fixture(scope="module")
+def nem_opt():
+    return optimized_nem_variant(ARCH, downsize=8.0)
+
+
+class TestLeakage:
+    def test_tile_leakage_categories(self, baseline):
+        breakdown = tile_leakage(baseline.inventory, baseline.leakage_spec())
+        assert set(breakdown) == {
+            "routing_buffers",
+            "routing_pass_transistors",
+            "routing_srams",
+            "luts",
+            "other",
+        }
+        assert all(v >= 0 for v in breakdown.values())
+
+    def test_buffers_dominate_baseline(self, baseline):
+        # Fig. 9: routing buffers ~ 70% of leakage.
+        breakdown = tile_leakage(baseline.inventory, baseline.leakage_spec())
+        pct = percentages(fold_leakage(breakdown))
+        assert pct["routing_buffers"] > 50.0
+
+    def test_nem_kills_switch_and_sram_leakage(self, nem_opt):
+        breakdown = tile_leakage(nem_opt.inventory, nem_opt.leakage_spec())
+        assert breakdown["routing_pass_transistors"] == 0.0
+        assert breakdown["routing_srams"] == 0.0
+
+    def test_nem_total_much_lower(self, baseline, nem_opt):
+        base = total_leakage(tile_leakage(baseline.inventory, baseline.leakage_spec()))
+        nem = total_leakage(tile_leakage(nem_opt.inventory, nem_opt.leakage_spec()))
+        assert base / nem > 5.0
+
+    def test_fpga_leakage_scales_with_tiles(self, baseline):
+        one = fpga_leakage(baseline.inventory, baseline.leakage_spec(), 1)
+        many = fpga_leakage(baseline.inventory, baseline.leakage_spec(), 64)
+        assert total_leakage(many) == pytest.approx(64 * total_leakage(one))
+
+    def test_rejects_zero_tiles(self, baseline):
+        with pytest.raises(ValueError):
+            fpga_leakage(baseline.inventory, baseline.leakage_spec(), 0)
+
+    def test_unit_leakages_positive(self):
+        t = PTM_22NM.transistor
+        assert cmos_switch_leakage(t) > 0
+        assert sram_bit_leakage(t) > 0
+
+
+class TestDynamicModel:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        from repro.netlist.generate import GeneratorParams, generate
+        from repro.vpr.flow import run_flow
+        from repro.vpr.timing import analyze_timing
+        from repro.power.activity import estimate_activities
+
+        netlist = generate(GeneratorParams("dyn", num_luts=80, seed=4))
+        flow = run_flow(netlist, ARCH)
+        assert flow.success
+        variant = baseline_variant(ARCH)
+        report = analyze_timing(flow.placement, flow.routing, flow.graph, variant.fabric())
+        activities = estimate_activities(netlist)
+        return flow, variant, report, activities
+
+    def test_categories_present(self, parts):
+        flow, variant, report, activities = parts
+        power = dynamic_power(
+            flow.netlist, report.net_delays, activities, variant.dynamic_spec(),
+            frequency=1e9, num_tiles=100,
+        )
+        assert set(power) == {
+            "wire_interconnect", "routing_buffers", "routing_switches",
+            "luts", "local_interconnect", "clocking",
+        }
+        assert all(v > 0 for v in power.values())
+
+    def test_linear_in_frequency(self, parts):
+        flow, variant, report, activities = parts
+        p1 = dynamic_power(flow.netlist, report.net_delays, activities,
+                           variant.dynamic_spec(), frequency=1e9, num_tiles=100)
+        p2 = dynamic_power(flow.netlist, report.net_delays, activities,
+                           variant.dynamic_spec(), frequency=2e9, num_tiles=100)
+        assert total_dynamic(p2) == pytest.approx(2 * total_dynamic(p1))
+
+    def test_rejects_nonpositive_frequency(self, parts):
+        flow, variant, report, activities = parts
+        with pytest.raises(ValueError):
+            dynamic_power(flow.netlist, report.net_delays, activities,
+                          variant.dynamic_spec(), frequency=0.0, num_tiles=100)
+
+    def test_higher_activity_more_power(self, parts):
+        flow, variant, report, activities = parts
+        doubled = {k: min(2 * v, 2.0) for k, v in activities.items()}
+        p1 = dynamic_power(flow.netlist, report.net_delays, activities,
+                           variant.dynamic_spec(), frequency=1e9, num_tiles=100)
+        p2 = dynamic_power(flow.netlist, report.net_delays, doubled,
+                           variant.dynamic_spec(), frequency=1e9, num_tiles=100)
+        assert p2["wire_interconnect"] > p1["wire_interconnect"]
+        # Clock power does not depend on data activity.
+        assert p2["clocking"] == pytest.approx(p1["clocking"])
+
+
+class TestBreakdownReporting:
+    def test_fold_dynamic_partitions_total(self):
+        detailed = {
+            "wire_interconnect": 4.0, "routing_buffers": 3.0,
+            "routing_switches": 0.5, "luts": 1.0,
+            "local_interconnect": 1.0, "clocking": 0.5,
+        }
+        folded = fold_dynamic(detailed)
+        assert sum(folded.values()) == pytest.approx(sum(detailed.values()))
+
+    def test_fold_leakage_partitions_total(self):
+        detailed = {
+            "routing_buffers": 7.0, "routing_srams": 1.2,
+            "routing_pass_transistors": 1.0, "luts": 0.5, "other": 0.3,
+        }
+        folded = fold_leakage(detailed)
+        assert sum(folded.values()) == pytest.approx(sum(detailed.values()))
+
+    def test_percentages_sum_to_100(self):
+        pct = percentages({"a": 1.0, "b": 3.0})
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_percentages_of_empty(self):
+        assert percentages({"a": 0.0}) == {"a": 0.0}
+
+    def test_paper_references_sum_to_100(self):
+        assert sum(PAPER_DYNAMIC_BREAKDOWN.values()) == pytest.approx(100.0)
+        assert sum(PAPER_LEAKAGE_BREAKDOWN.values()) == pytest.approx(100.0)
+
+    def test_compare_to_paper(self):
+        measured = {"routing_buffers": 65.0}
+        cmp = compare_to_paper(measured, PAPER_LEAKAGE_BREAKDOWN)
+        assert cmp["routing_buffers"]["abs_error_pct"] == pytest.approx(5.0)
+
+    def test_format_table_contains_rows(self):
+        text = format_table({"x": 1.0, "y": 3.0}, "T")
+        assert "x" in text and "y" in text and "total" in text

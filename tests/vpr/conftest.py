@@ -1,0 +1,42 @@
+"""Shared P&R fixtures: one small circuit packed/placed/routed once."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.netlist.generate import GeneratorParams, generate
+from repro.vpr.pack import pack
+from repro.vpr.place import place
+from repro.vpr.route import build_route_nets, route_design
+
+#: Small but nontrivial circuit: fast to route, still multi-cluster.
+CIRCUIT_PARAMS = GeneratorParams("unit", num_luts=120, ff_fraction=0.25, seed=42)
+
+#: Generous channel width so the shared fixture always routes.
+ARCH = ArchParams(channel_width=48)
+
+
+@pytest.fixture(scope="package")
+def netlist():
+    return generate(CIRCUIT_PARAMS)
+
+
+@pytest.fixture(scope="package")
+def clustered(netlist):
+    return pack(netlist, ARCH)
+
+
+@pytest.fixture(scope="package")
+def placement(clustered):
+    return place(clustered, seed=7)
+
+
+@pytest.fixture(scope="package")
+def routed(placement):
+    result, graph = route_design(placement, ARCH)
+    assert result.success, "shared fixture must route"
+    return result, graph
+
+
+@pytest.fixture(scope="package")
+def route_nets(placement):
+    return build_route_nets(placement)

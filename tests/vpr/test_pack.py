@@ -1,0 +1,106 @@
+"""Tests for repro.vpr.pack (VPack clustering)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.netlist.core import Netlist
+from repro.vpr.pack import form_bles, pack, packing_stats
+
+from .conftest import ARCH
+
+
+class TestFormBles:
+    def test_ff_merges_with_sole_driver(self):
+        n = Netlist("m")
+        n.add_input("a")
+        n.add_lut("l", ["a"])
+        n.add_ff("f", "l")
+        n.add_output("o", "f")
+        bles = form_bles(n)
+        assert len(bles) == 1
+        assert bles[0].lut == "l" and bles[0].ff == "f"
+        assert bles[0].output_net == "f"
+
+    def test_ff_with_shared_lut_gets_own_ble(self):
+        # LUT output used combinationally AND registered: the 2:1 mux
+        # exposes one signal, so the FF needs its own BLE.
+        n = Netlist("m")
+        n.add_input("a")
+        n.add_lut("l", ["a"])
+        n.add_ff("f", "l")
+        n.add_lut("l2", ["l"])
+        n.add_output("o", "f")
+        n.add_output("o2", "l2")
+        bles = form_bles(n)
+        names = {b.name for b in bles}
+        assert names == {"l", "f", "l2"}
+
+    def test_lone_ff_input_net(self):
+        n = Netlist("m")
+        n.add_input("a")
+        n.add_ff("f", "a")
+        n.add_output("o", "f")
+        bles = form_bles(n)
+        assert bles[0].input_nets == ["a"]
+
+
+class TestPack:
+    def test_all_bles_packed_once(self, netlist, clustered):
+        packed = [b.name for c in clustered.clusters for b in c.bles]
+        assert len(packed) == len(set(packed))
+        assert len(packed) == len(form_bles(netlist))
+
+    def test_cluster_capacity_respected(self, clustered):
+        assert all(len(c.bles) <= ARCH.n for c in clustered.clusters)
+
+    def test_cluster_inputs_respected(self, clustered):
+        assert all(len(c.input_nets) <= ARCH.inputs_per_lb for c in clustered.clusters)
+
+    def test_feedback_nets_not_counted_as_inputs(self, clustered):
+        for cluster in clustered.clusters:
+            outputs = {b.name for b in cluster.bles}
+            assert not (cluster.input_nets & outputs)
+
+    def test_high_fill_rate(self, clustered):
+        stats = packing_stats(clustered)
+        assert stats["avg_fill"] > 0.85
+
+    def test_cluster_of_covers_every_signal(self, netlist, clustered):
+        for lut in netlist.luts:
+            assert lut.name in clustered.cluster_of
+        for ff in netlist.ffs:
+            assert ff.name in clustered.cluster_of
+
+    def test_external_nets_exclude_intra_cluster(self, netlist, clustered):
+        for driver, sinks in clustered.external_nets().items():
+            driver_block = netlist.blocks[driver]
+            if driver_block.type.value == "input":
+                continue
+            dc = clustered.cluster_of[driver]
+            for sink in sinks:
+                sink_block = netlist.blocks[sink]
+                if sink_block.type.value == "output":
+                    continue
+                assert clustered.cluster_of[sink] != dc
+
+    def test_pi_nets_always_external(self, netlist, clustered):
+        nets = clustered.external_nets()
+        for pi in netlist.inputs:
+            if netlist.fanout().get(pi.name):
+                assert pi.name in nets
+
+    def test_single_lut_circuit(self):
+        n = Netlist("one")
+        n.add_input("a")
+        n.add_lut("l", ["a"])
+        n.add_output("o", "l")
+        clustered = pack(n, ArchParams(channel_width=8))
+        assert clustered.num_clusters == 1
+
+    def test_output_nets_marked(self, clustered):
+        marked = set()
+        for c in clustered.clusters:
+            marked |= c.output_nets
+        assert marked  # some BLE outputs leave their cluster
+        for name in marked:
+            assert clustered.cluster_of[name] is not None

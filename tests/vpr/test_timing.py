@@ -1,0 +1,115 @@
+"""Tests for repro.vpr.timing (stage-walk Elmore STA)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.variants import baseline_variant, optimized_nem_variant
+from repro.vpr.timing import analyze_net, analyze_timing
+
+from .conftest import ARCH
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return baseline_variant(ARCH).fabric()
+
+
+@pytest.fixture(scope="module")
+def nem_fabric():
+    return optimized_nem_variant(ARCH, downsize=4.0).fabric()
+
+
+@pytest.fixture(scope="module")
+def baseline_report(placement, routed, fabric):
+    result, graph = routed
+    return analyze_timing(placement, result, graph, fabric)
+
+
+class TestNetAnalysis:
+    def test_every_sink_gets_a_delay(self, routed, route_nets, fabric):
+        result, graph = routed
+        by_name = {n.name: n for n in route_nets}
+        for name, tree in result.trees.items():
+            nd = analyze_net(tree, graph, fabric)
+            assert set(nd.delay_to_tile) == set(by_name[name].sink_tiles)
+
+    def test_delays_positive(self, routed, fabric):
+        result, graph = routed
+        for tree in result.trees.values():
+            nd = analyze_net(tree, graph, fabric)
+            assert all(d > 0 for d in nd.delay_to_tile.values())
+
+    def test_caps_positive_and_split(self, routed, fabric):
+        result, graph = routed
+        for tree in result.trees.values():
+            nd = analyze_net(tree, graph, fabric)
+            assert nd.cap_wire > 0
+            assert nd.cap_buffer > 0  # baseline has buffers everywhere
+            assert nd.cap_switch > 0
+            assert nd.total_capacitance == pytest.approx(
+                nd.cap_wire + nd.cap_buffer + nd.cap_switch
+            )
+
+    def test_more_stages_more_delay(self, routed, fabric):
+        """Across nets, max sink delay correlates with stage count."""
+        result, graph = routed
+        short, long_ = None, None
+        for tree in result.trees.values():
+            nd = analyze_net(tree, graph, fabric)
+            if nd.num_stages <= 2 and short is None:
+                short = max(nd.delay_to_tile.values())
+            if nd.num_stages >= 6 and long_ is None:
+                long_ = max(nd.delay_to_tile.values())
+        if short is not None and long_ is not None:
+            assert long_ > short
+
+    def test_nem_fabric_faster_per_net(self, routed, fabric, nem_fabric):
+        result, graph = routed
+        slower = faster = 0
+        for tree in list(result.trees.values())[:40]:
+            base = max(analyze_net(tree, graph, fabric).delay_to_tile.values())
+            nem = max(analyze_net(tree, graph, nem_fabric).delay_to_tile.values())
+            if nem < base:
+                faster += 1
+            else:
+                slower += 1
+        assert faster > slower
+
+
+class TestSTA:
+    def test_critical_path_positive(self, baseline_report):
+        assert baseline_report.critical_path > 0
+        assert baseline_report.critical_block is not None
+
+    def test_arrival_monotone_along_path(self, clustered, baseline_report):
+        netlist = clustered.netlist
+        arr = baseline_report.arrival
+        for lut in netlist.luts:
+            for src in lut.inputs:
+                if src in arr:
+                    assert arr[lut.name] >= arr[src]
+
+    def test_critical_path_at_least_max_lut_chain(self, clustered, baseline_report, fabric):
+        depth = clustered.netlist.logic_depth()
+        assert baseline_report.critical_path >= depth * fabric.t_lut
+
+    def test_net_delays_recorded(self, baseline_report, routed):
+        result, _graph = routed
+        assert set(baseline_report.net_delays) == set(result.trees)
+
+    def test_nem_critical_path_not_slower(self, placement, routed, fabric, nem_fabric):
+        result, graph = routed
+        base = analyze_timing(placement, result, graph, fabric).critical_path
+        nem = analyze_timing(placement, result, graph, nem_fabric).critical_path
+        # Paper: CMOS-NEM has no speed penalty (relays are faster
+        # switches and the Vt-drop penalty disappears).
+        assert nem <= base
+
+    def test_zero_wire_buffer_fabric_still_analyzes(self, placement, routed, fabric):
+        """Ablation: unbuffered wires (accumulated RC) still produce
+        finite, positive delays."""
+        result, graph = routed
+        unbuffered = dataclasses.replace(fabric, wire_buffer=None)
+        report = analyze_timing(placement, result, graph, unbuffered)
+        assert report.critical_path > 0

@@ -1,0 +1,77 @@
+"""Tests for the STA reporting extensions (paths, slack, criticality)."""
+
+import pytest
+
+from repro.core.variants import baseline_variant
+from repro.netlist.core import BlockType
+from repro.vpr.timing import analyze_timing
+
+from .conftest import ARCH
+
+
+@pytest.fixture(scope="module")
+def report(placement, routed):
+    result, graph = routed
+    return analyze_timing(placement, result, graph, baseline_variant(ARCH).fabric())
+
+
+class TestCriticalPathTrace:
+    def test_path_nonempty_and_ends_at_endpoint(self, report):
+        path = report.critical_path_blocks()
+        assert path
+        assert path[-1] == report.critical_block
+
+    def test_path_starts_at_a_startpoint(self, clustered, report):
+        path = report.critical_path_blocks()
+        first = clustered.netlist.blocks[path[0]]
+        assert first.type in (BlockType.INPUT, BlockType.FF)
+
+    def test_path_follows_real_edges(self, clustered, report):
+        netlist = clustered.netlist
+        path = report.critical_path_blocks()
+        for src, dst in zip(path, path[1:]):
+            assert src in netlist.blocks[dst].inputs
+
+    def test_path_arrival_monotone(self, report):
+        path = report.critical_path_blocks()
+        arrivals = [report.arrival.get(b, 0.0) for b in path[:-1]]
+        assert arrivals == sorted(arrivals)
+
+    def test_no_infinite_loop_on_sequential_circuits(self, report):
+        # The guard: tracing terminates even with registered feedback.
+        assert len(report.critical_path_blocks()) < 10_000
+
+
+class TestSlack:
+    def test_default_period_gives_nonnegative_slack(self, report):
+        slacks = report.slacks()
+        assert min(slacks.values()) >= -1e-12
+
+    def test_critical_endpoint_has_zero_slack(self, report):
+        slacks = report.slacks()
+        endpoint_keys = [k for k in slacks if abs(slacks[k]) < 1e-15]
+        assert endpoint_keys  # something bottoms out at zero
+
+    def test_longer_period_adds_uniform_slack(self, report):
+        base = report.slacks()
+        relaxed = report.slacks(period=report.critical_path * 2)
+        for key in base:
+            assert relaxed[key] == pytest.approx(base[key] + report.critical_path)
+
+    def test_rejects_nonpositive_period(self, report):
+        with pytest.raises(ValueError):
+            report.slacks(period=0.0)
+
+
+class TestCriticality:
+    def test_values_in_unit_interval(self, report):
+        crit = report.net_criticality()
+        assert crit
+        assert all(0.0 <= v <= 1.0 for v in crit.values())
+
+    def test_covers_all_routed_nets(self, report):
+        assert set(report.net_criticality()) == set(report.net_delays)
+
+    def test_some_net_is_noncritical(self, report):
+        crit = report.net_criticality()
+        assert min(crit.values()) < 0.5

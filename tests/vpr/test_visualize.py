@@ -1,0 +1,65 @@
+"""Tests for repro.vpr.visualize."""
+
+import pytest
+
+from repro.vpr.visualize import (
+    channel_occupancy,
+    render_congestion,
+    render_net,
+    render_placement,
+    utilization_summary,
+)
+
+from .conftest import ARCH
+
+
+class TestRenderPlacement:
+    def test_dimensions(self, placement):
+        lines = render_placement(placement).splitlines()
+        assert len(lines) == placement.grid_height
+        assert all(len(line) == placement.grid_width for line in lines)
+
+    def test_cluster_count_matches(self, clustered, placement):
+        text = render_placement(placement)
+        assert text.count("#") == clustered.num_clusters
+
+    def test_interior_has_no_io_digits(self, placement):
+        lines = render_placement(placement).splitlines()
+        for y, line in enumerate(reversed(lines)):
+            for x, ch in enumerate(line):
+                if not placement.is_perimeter(x, y):
+                    assert ch in "#."
+
+
+class TestCongestion:
+    def test_occupancy_bounded_by_width(self, routed):
+        result, graph = routed
+        occupancy = channel_occupancy(result, graph)
+        assert occupancy
+        assert max(occupancy.values()) <= graph.params.channel_width
+
+    def test_render_dimensions(self, routed):
+        result, graph = routed
+        lines = render_congestion(result, graph).splitlines()
+        assert len(lines) == graph.ny + 1
+        assert all(len(line) == graph.nx for line in lines)
+
+    def test_summary(self, routed):
+        result, graph = routed
+        summary = utilization_summary(result, graph)
+        assert 0 < summary["mean"] <= summary["max"] <= 1.0
+        assert summary["positions"] > 0
+
+
+class TestRenderNet:
+    def test_marks_source_and_sinks(self, routed, route_nets):
+        result, graph = routed
+        net = max(route_nets, key=lambda n: len(n.sink_tiles))
+        text = render_net(result, graph, net.name)
+        assert text.count("S") == 1
+        assert text.count("T") == len(net.sink_tiles)
+
+    def test_unknown_net_rejected(self, routed):
+        result, graph = routed
+        with pytest.raises(KeyError):
+            render_net(result, graph, "not-a-net")

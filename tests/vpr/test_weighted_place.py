@@ -1,0 +1,59 @@
+"""Tests for criticality-weighted placement."""
+
+import pytest
+
+from repro.netlist.generate import GeneratorParams, generate
+from repro.vpr.pack import pack
+from repro.vpr.place import place
+
+from .conftest import ARCH
+
+
+def _bbox_of_net(placement, clustered, driver):
+    netlist = clustered.netlist
+    blocks = [driver] if driver in placement.location_of else [
+        f"c{clustered.cluster_of[driver]}"
+    ]
+    tiles = [placement.location_of[blocks[0]]]
+    for sink in clustered.external_nets().get(driver, []):
+        block = netlist.blocks[sink]
+        if block.type.value == "output":
+            tiles.append(placement.location_of[sink])
+        else:
+            tiles.append(placement.location_of[f"c{clustered.cluster_of[sink]}"])
+    xs = [t[0] for t in tiles]
+    ys = [t[1] for t in tiles]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+@pytest.fixture(scope="module")
+def clustered_small():
+    netlist = generate(GeneratorParams("wp", num_luts=150, ff_fraction=0.2, seed=31))
+    return pack(netlist, ARCH)
+
+
+class TestWeightedPlacement:
+    def test_default_weights_identity(self, clustered_small):
+        a = place(clustered_small, seed=4)
+        b = place(clustered_small, seed=4, net_weights={})
+        assert a.location_of == b.location_of
+
+    def test_heavily_weighted_nets_shrink(self, clustered_small):
+        """Weighting a subset of nets 20x must pull their bounding
+        boxes in relative to the unweighted placement (on average)."""
+        nets = list(clustered_small.external_nets())
+        favored = sorted(nets)[: max(3, len(nets) // 10)]
+        weights = {name: 20.0 for name in favored}
+        baseline = place(clustered_small, seed=4)
+        weighted = place(clustered_small, seed=4, net_weights=weights)
+        base_bb = sum(_bbox_of_net(baseline, clustered_small, n) for n in favored)
+        heavy_bb = sum(_bbox_of_net(weighted, clustered_small, n) for n in favored)
+        assert heavy_bb <= base_bb
+
+    def test_weighted_placement_still_legal(self, clustered_small):
+        nets = list(clustered_small.external_nets())
+        weights = {name: 5.0 for name in nets[: len(nets) // 2]}
+        placement = place(clustered_small, seed=4, net_weights=weights)
+        for i in range(clustered_small.num_clusters):
+            x, y = placement.location_of[f"c{i}"]
+            assert not placement.is_perimeter(x, y)
