@@ -9,12 +9,20 @@ and *print* the rows/series the paper reports, so running
 regenerates the evaluation.  P&R results are cached per circuit at
 session scope because several figures share them.
 
+A session-wide `repro.obs.Tracer` is auto-attached, so every flow the
+benches run is traced; at session end each traced circuit gets a
+``BENCH_<circuit>.json`` with a ``telemetry`` section (per-stage
+timings, router convergence) plus one ``BENCH_telemetry.json`` run
+summary.
+
 Environment knobs:
 
     REPRO_BENCH_SCALE   circuit shrink factor (default 0.02; the
                         paper's circuits at full size need hours in
                         pure Python — see DESIGN.md Sec. 6)
     REPRO_BENCH_MCNC    number of MCNC circuits to include (default 6)
+    REPRO_BENCH_TELEMETRY      "0" disables the BENCH_*.json outputs
+    REPRO_BENCH_TELEMETRY_DIR  output directory (default: cwd)
 """
 
 import os
@@ -23,6 +31,14 @@ import pytest
 
 from repro.arch import ArchParams
 from repro.netlist import ALTERA4_PARAMS, MCNC20_PARAMS, generate
+from repro.obs import (
+    Tracer,
+    reset_tracer,
+    run_manifest,
+    set_tracer,
+    span_to_dict,
+    write_json,
+)
 from repro.vpr import run_flow
 
 #: Default shrink factor for the P&R figures.
@@ -74,3 +90,60 @@ def flow_cache():
 @pytest.fixture(scope="session")
 def bench_arch():
     return BENCH_ARCH
+
+
+#: "0" disables BENCH_*.json telemetry outputs.
+BENCH_TELEMETRY = os.environ.get("REPRO_BENCH_TELEMETRY", "1") != "0"
+#: Where the BENCH_*.json files land.
+BENCH_TELEMETRY_DIR = os.environ.get("REPRO_BENCH_TELEMETRY_DIR", ".")
+
+
+def _write_bench_telemetry(tracer: Tracer) -> None:
+    """One BENCH_<circuit>.json per traced flow + a session summary."""
+    manifest = run_manifest(
+        arch=BENCH_ARCH,
+        extra={"bench_scale": BENCH_SCALE, "bench_mcnc": BENCH_MCNC_COUNT},
+    )
+    per_circuit = {}
+    for root in tracer.roots:
+        circuit = root.attrs.get("circuit")
+        if root.name in ("flow.run", "flow.timing_driven") and circuit:
+            per_circuit.setdefault(circuit, []).append(span_to_dict(root))
+    for circuit, spans in per_circuit.items():
+        path = os.path.join(BENCH_TELEMETRY_DIR, f"BENCH_{circuit}.json")
+        write_json(path, {
+            "circuit": circuit,
+            "manifest": manifest,
+            "telemetry": {
+                "flows": spans,
+                "stages": {
+                    stage: sum(
+                        child["duration_s"] or 0.0
+                        for span in spans
+                        for child in span["children"]
+                        if child["name"] == stage
+                    )
+                    for stage in ("flow.pack", "flow.place", "flow.route")
+                },
+            },
+        })
+    write_json(os.path.join(BENCH_TELEMETRY_DIR, "BENCH_telemetry.json"), {
+        "manifest": manifest,
+        "circuits": sorted(per_circuit),
+        "telemetry": {
+            "spans": [span_to_dict(root) for root in tracer.roots],
+        },
+    })
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_tracer():
+    """Trace every flow the benches run; dump BENCH_*.json at exit."""
+    tracer = Tracer()
+    token = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        reset_tracer(token)
+        if BENCH_TELEMETRY and tracer.roots:
+            _write_bench_telemetry(tracer)

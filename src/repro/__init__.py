@@ -22,11 +22,24 @@ Subpackages:
   comparisons, architecture exploration.
 * `repro.config`   — routed design -> relay bitstream -> half-select
   programming of the fabric (bridges Secs. 2 and 3).
+* `repro.obs`      — observability: span tracing, metrics registry,
+  structured logs, JSONL telemetry export (inert by default).
 """
 
 __version__ = "1.0.0"
 
-from . import arch, circuits, config, core, crossbar, nemrelay, netlist, power, vpr
+from . import (
+    arch,
+    circuits,
+    config,
+    core,
+    crossbar,
+    nemrelay,
+    netlist,
+    obs,
+    power,
+    vpr,
+)
 
 __all__ = [
     "arch",
@@ -36,6 +49,7 @@ __all__ = [
     "crossbar",
     "nemrelay",
     "netlist",
+    "obs",
     "power",
     "vpr",
     "__version__",

@@ -228,6 +228,17 @@ class RRGraph:
                             corner = pos + (j % 2)
                             entries = self._entries_by_corner.get((vertical, chan, corner), [])
                             if not entries:
+                                # Degenerate staggering: with W < 2L
+                                # the track pairs cannot cover every
+                                # offset, leaving corners with no entry
+                                # points (e.g. corner 4 at W=8, L=5).
+                                # Fall back to the tile's other corner
+                                # so no tile is left driverless.
+                                corner = pos + 1 - (j % 2)
+                                entries = self._entries_by_corner.get(
+                                    (vertical, chan, corner), []
+                                )
+                            if not entries:
                                 continue
                             entry_stride = max(1, len(entries) // max(1, p.fc_out_abs // 2))
                             _t, wire = entries[(pin + j * entry_stride) % len(entries)]

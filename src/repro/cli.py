@@ -16,8 +16,54 @@ shrinks them for quick runs (see DESIGN.md Sec. 6).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import dataclasses
+import json
 import sys
 from typing import List, Optional
+
+
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace, arch=None, extra=None):
+    """Scope a tracer for one command when observability flags ask.
+
+    ``-v`` turns on structured logs to stderr; ``--metrics-out PATH``
+    records spans and writes manifest + spans + metrics as JSONL on
+    exit.  With neither flag this yields None and the flow runs over
+    the inert null tracer.
+    """
+    from .obs import (
+        Tracer,
+        export_run,
+        get_registry,
+        run_manifest,
+        setup_logging,
+        use_tracer,
+    )
+
+    verbosity = getattr(args, "verbose", 0)
+    if verbosity:
+        setup_logging(verbosity)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not metrics_out:
+        # Structured logs (if any) need no tracer; spans stay inert.
+        yield None
+        return
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        if metrics_out:
+            manifest = run_manifest(
+                seed=getattr(args, "seed", None),
+                arch=arch,
+                argv=sys.argv[1:],
+                extra=extra,
+            )
+            records = export_run(metrics_out, manifest, tracer, get_registry())
+            print(f"wrote {records} telemetry records to {metrics_out}",
+                  file=sys.stderr)
 
 
 def _cmd_device(args: argparse.Namespace) -> int:
@@ -83,34 +129,73 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
     arch = ArchParams(channel_width=args.width)
     netlist = load_circuit(args.circuit, scale=args.scale)
-    print(f"circuit: {netlist}")
-    flow = run_flow(netlist, arch, seed=args.seed)
-    if not flow.success:
-        print("routing FAILED at this channel width; try --width higher")
-        return 1
-    print(f"routed at W = {args.width}: wirelength {flow.routing.wirelength}, "
-          f"{flow.routing.iterations} iterations")
-    if args.show_maps:
-        print("\nfloorplan:")
-        print(render_placement(flow.placement))
-        print("\ncongestion:")
-        print(render_congestion(flow.routing, flow.graph))
-        summary = utilization_summary(flow.routing, flow.graph)
-        print(f"channel utilisation mean {100 * summary['mean']:.0f}% "
-              f"peak {100 * summary['max']:.0f}%")
-    base = evaluate_design(flow, baseline_variant(arch))
-    print(f"\nbaseline: crit {base.critical_path * 1e9:.2f} ns, "
-          f"dyn {base.total_dynamic * 1e3:.3f} mW, leak {base.total_leakage * 1e3:.3f} mW")
-    print(f"{'variant':30s} {'speedup':>8s} {'dyn.red':>8s} {'leak.red':>9s} {'area.red':>9s}")
-    for label, variant in (
-        ("naive CMOS-NEM", naive_nem_variant(arch)),
-        (f"optimised (downsize {args.downsize:g})", optimized_nem_variant(arch, args.downsize)),
-    ):
-        point = evaluate_design(flow, variant, frequency=base.frequency)
-        cmp = Comparison.of(base, point)
-        print(f"{label:30s} {cmp.speedup:8.2f} {cmp.dynamic_reduction:8.2f} "
-              f"{cmp.leakage_reduction:9.2f} {cmp.area_reduction:9.2f}")
-    return 0
+    # Progress and failure diagnostics go to stderr: stdout carries
+    # only results (table or --json), so pipelines stay parseable.
+    print(f"circuit: {netlist}", file=sys.stderr)
+    with _telemetry(args, arch=arch, extra={"circuit": args.circuit,
+                                            "scale": args.scale}):
+        flow = run_flow(netlist, arch, seed=args.seed)
+        if not flow.success:
+            print("routing FAILED at this channel width; try --width higher",
+                  file=sys.stderr)
+            if args.json:
+                print(json.dumps({
+                    "circuit": netlist.name,
+                    "width": args.width,
+                    "seed": args.seed,
+                    "success": False,
+                    "overused_nodes": flow.routing.overused_nodes,
+                    "iterations": flow.routing.iterations,
+                }, sort_keys=True))
+            return 1
+        variants = [
+            ("naive CMOS-NEM", naive_nem_variant(arch)),
+            (f"optimised (downsize {args.downsize:g})",
+             optimized_nem_variant(arch, args.downsize)),
+        ]
+        base = evaluate_design(flow, baseline_variant(arch))
+        comparisons = []
+        for label, variant in variants:
+            point = evaluate_design(flow, variant, frequency=base.frequency)
+            comparisons.append((label, Comparison.of(base, point)))
+        if args.json:
+            print(json.dumps({
+                "circuit": netlist.name,
+                "width": args.width,
+                "seed": args.seed,
+                "success": True,
+                "wirelength": flow.routing.wirelength,
+                "iterations": flow.routing.iterations,
+                "convergence": [dataclasses.asdict(it)
+                                for it in flow.routing.convergence],
+                "baseline": {
+                    "critical_path_s": base.critical_path,
+                    "dynamic_w": base.total_dynamic,
+                    "leakage_w": base.total_leakage,
+                },
+                "variants": [
+                    {"label": label, **dataclasses.asdict(cmp)}
+                    for label, cmp in comparisons
+                ],
+            }, sort_keys=True))
+            return 0
+        print(f"routed at W = {args.width}: wirelength {flow.routing.wirelength}, "
+              f"{flow.routing.iterations} iterations")
+        if args.show_maps:
+            print("\nfloorplan:")
+            print(render_placement(flow.placement))
+            print("\ncongestion:")
+            print(render_congestion(flow.routing, flow.graph))
+            summary = utilization_summary(flow.routing, flow.graph)
+            print(f"channel utilisation mean {100 * summary['mean']:.0f}% "
+                  f"peak {100 * summary['max']:.0f}%")
+        print(f"\nbaseline: crit {base.critical_path * 1e9:.2f} ns, "
+              f"dyn {base.total_dynamic * 1e3:.3f} mW, leak {base.total_leakage * 1e3:.3f} mW")
+        print(f"{'variant':30s} {'speedup':>8s} {'dyn.red':>8s} {'leak.red':>9s} {'area.red':>9s}")
+        for label, cmp in comparisons:
+            print(f"{label:30s} {cmp.speedup:8.2f} {cmp.dynamic_reduction:8.2f} "
+                  f"{cmp.leakage_reduction:9.2f} {cmp.area_reduction:9.2f}")
+        return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -121,11 +206,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     arch = ArchParams(channel_width=args.width)
     netlist = load_circuit(args.circuit, scale=args.scale)
-    flow = run_flow(netlist, arch, seed=args.seed)
-    if not flow.success:
-        print("routing FAILED; try --width higher")
-        return 1
-    curve = sweep_circuit(flow, arch)
+    with _telemetry(args, arch=arch, extra={"circuit": args.circuit,
+                                            "scale": args.scale}):
+        flow = run_flow(netlist, arch, seed=args.seed)
+        if not flow.success:
+            print("routing FAILED; try --width higher", file=sys.stderr)
+            return 1
+        curve = sweep_circuit(flow, arch)
     series = fig12_series(curve)
     print(f"{'downsize':>9s} {'speed-up':>9s} {'dyn.red':>8s} {'leak.red':>9s}")
     for ds, sp, dyn, leak in zip(
@@ -146,19 +233,35 @@ def _cmd_headline(args: argparse.Namespace) -> int:
 
     arch = ArchParams(channel_width=args.width)
     curves = []
-    for params in suite(args.suite, scale=args.scale):
-        netlist = generate(params)
-        flow = run_flow(netlist, arch, seed=args.seed)
-        if not flow.success:
-            print(f"  {params.name}: unroutable at W = {args.width}, skipped",
-                  file=sys.stderr)
-            continue
-        curves.append(sweep_circuit(flow, arch))
-        print(f"  {params.name}: done ({netlist.num_luts} LUTs)", file=sys.stderr)
+    with _telemetry(args, arch=arch, extra={"suite": args.suite,
+                                            "scale": args.scale}):
+        for params in suite(args.suite, scale=args.scale):
+            netlist = generate(params)
+            flow = run_flow(netlist, arch, seed=args.seed)
+            if not flow.success:
+                print(f"  {params.name}: unroutable at W = {args.width}, skipped",
+                      file=sys.stderr)
+                continue
+            curves.append(sweep_circuit(flow, arch))
+            print(f"  {params.name}: done ({netlist.num_luts} LUTs)", file=sys.stderr)
     if not curves:
-        print("no circuit routed; try --width higher")
+        print("no circuit routed; try --width higher", file=sys.stderr)
         return 1
-    print(format_headline(headline_summary(curves)))
+    summary = headline_summary(curves)
+    if args.json:
+        print(json.dumps({
+            "suite": args.suite,
+            "width": args.width,
+            "seed": args.seed,
+            "circuits": [c.circuit for c in curves],
+            "corner": dataclasses.asdict(summary.corner),
+            "naive": (dataclasses.asdict(summary.naive)
+                      if summary.naive is not None else None),
+            "per_circuit": {name: dataclasses.asdict(point)
+                            for name, point in summary.per_circuit.items()},
+        }, sort_keys=True))
+        return 0
+    print(format_headline(summary))
     return 0
 
 
@@ -199,10 +302,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     arch = ArchParams(channel_width=args.width)
     netlist = load_circuit(args.circuit, scale=args.scale)
-    if args.knob == "segment_length":
-        points = sweep_segment_length(netlist, arch, seed=args.seed)
-    else:
-        points = sweep_connection_flexibility(netlist, arch, seed=args.seed)
+    with _telemetry(args, arch=arch, extra={"circuit": args.circuit,
+                                            "knob": args.knob}):
+        if args.knob == "segment_length":
+            points = sweep_segment_length(netlist, arch, seed=args.seed)
+        else:
+            points = sweep_connection_flexibility(netlist, arch, seed=args.seed)
     print(format_sweep(points, args.knob))
     return 0
 
@@ -226,18 +331,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="semicolon-separated r,c pairs")
     p_xbar.set_defaults(func=_cmd_crossbar)
 
+    def add_obs_args(p):
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write run manifest + spans + metrics as JSONL")
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="structured logs to stderr (-vv for debug)")
+
     def add_flow_args(p, width_default=64):
         p.add_argument("--circuit", default="ava", help="suite circuit name")
         p.add_argument("--scale", type=float, default=0.02,
                        help="circuit shrink factor (DESIGN.md Sec. 6)")
         p.add_argument("--width", type=int, default=width_default, help="channel width W")
         p.add_argument("--seed", type=int, default=1)
+        add_obs_args(p)
 
     p_flow = sub.add_parser("flow", help="pack/place/route + variant table")
     add_flow_args(p_flow)
     p_flow.add_argument("--downsize", type=float, default=8.0)
     p_flow.add_argument("--show-maps", action="store_true",
                         help="print floorplan and congestion maps")
+    p_flow.add_argument("--json", action="store_true",
+                        help="machine-readable result on stdout")
     p_flow.set_defaults(func=_cmd_flow)
 
     p_sweep = sub.add_parser("sweep", help="Fig. 12 downsizing trade-off")
@@ -249,6 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_headline.add_argument("--scale", type=float, default=0.02)
     p_headline.add_argument("--width", type=int, default=64)
     p_headline.add_argument("--seed", type=int, default=1)
+    p_headline.add_argument("--json", action="store_true",
+                            help="machine-readable result on stdout")
+    add_obs_args(p_headline)
     p_headline.set_defaults(func=_cmd_headline)
 
     p_map = sub.add_parser("map", help="technology-map a random gate circuit")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Mapping, Optional
 
+from ..obs import get_tracer
 from ..power.activity import ActivityModel, estimate_activities
 from ..power.dynamic import dynamic_power, total_dynamic
 from ..power.leakage import fpga_leakage, total_leakage
@@ -33,6 +34,9 @@ class DesignPoint:
         leakage: Leakage power breakdown (W).
         tile_footprint_m2: Stacked tile footprint (m^2).
         timing: Full STA report (kept for inspection).
+        produced_by: Telemetry span id of the evaluation that produced
+            this point (None when no tracer was active) — joins result
+            rows back to the flow trace in exported telemetry.
     """
 
     circuit: str
@@ -43,6 +47,7 @@ class DesignPoint:
     leakage: Dict[str, float]
     tile_footprint_m2: float
     timing: TimingReport
+    produced_by: Optional[str] = None
 
     @property
     def total_dynamic(self) -> float:
@@ -75,34 +80,48 @@ def evaluate_design(
             own maximum (1/critical path).  Pass the baseline's f_max
             for the paper's iso-performance comparisons.
     """
-    fabric = variant.fabric()
-    timing = analyze_timing(flow.placement, flow.routing, flow.graph, fabric)
-    if activities is None:
-        activities = estimate_activities(flow.netlist, activity_model)
-    crit = timing.critical_path
-    f_ref = frequency if frequency is not None else (1.0 / crit if crit > 0 else 1e9)
-
-    num_tiles = flow.placement.grid_width * flow.placement.grid_height
-    dyn = dynamic_power(
-        netlist=flow.netlist,
-        net_delays=timing.net_delays,
-        activities=activities,
-        spec=variant.dynamic_spec(),
-        frequency=f_ref,
-        num_tiles=num_tiles,
-    )
-    leak = fpga_leakage(variant.inventory, variant.leakage_spec(), num_tiles)
-    assert variant.area is not None
-    return DesignPoint(
+    tracer = get_tracer()
+    with tracer.span(
+        "evaluate",
         circuit=flow.netlist.name,
-        variant=variant,
-        critical_path=crit,
-        frequency=f_ref,
-        dynamic=dyn,
-        leakage=leak,
-        tile_footprint_m2=variant.area.footprint_m2,
-        timing=timing,
-    )
+        variant=variant.config.kind.name,
+    ) as span:
+        fabric = variant.fabric()
+        timing = analyze_timing(flow.placement, flow.routing, flow.graph, fabric)
+        if activities is None:
+            activities = estimate_activities(flow.netlist, activity_model)
+        crit = timing.critical_path
+        f_ref = frequency if frequency is not None else (1.0 / crit if crit > 0 else 1e9)
+
+        num_tiles = flow.placement.grid_width * flow.placement.grid_height
+        dyn = dynamic_power(
+            netlist=flow.netlist,
+            net_delays=timing.net_delays,
+            activities=activities,
+            spec=variant.dynamic_spec(),
+            frequency=f_ref,
+            num_tiles=num_tiles,
+        )
+        leak = fpga_leakage(variant.inventory, variant.leakage_spec(), num_tiles)
+        assert variant.area is not None
+        span.set_many(
+            critical_path_s=crit,
+            frequency_hz=f_ref,
+            dynamic_w=total_dynamic(dyn),
+            leakage_w=total_leakage(leak),
+            footprint_m2=variant.area.footprint_m2,
+        )
+        return DesignPoint(
+            circuit=flow.netlist.name,
+            variant=variant,
+            critical_path=crit,
+            frequency=f_ref,
+            dynamic=dyn,
+            leakage=leak,
+            tile_footprint_m2=variant.area.footprint_m2,
+            timing=timing,
+            produced_by=span.span_id,
+        )
 
 
 @dataclasses.dataclass

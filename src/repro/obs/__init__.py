@@ -1,0 +1,82 @@
+"""Observability layer: span tracing, metrics, structured logs, export.
+
+The CAD flow (`repro.vpr`, `repro.core`) is instrumented against this
+package's *current tracer*, which defaults to an inert `NullTracer` —
+library users pay essentially nothing unless they opt in:
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        flow = run_flow(netlist, arch)          # spans recorded
+    export_run("run.jsonl", run_manifest(seed=1, arch=arch), tracer)
+
+The CLI exposes the same machinery as ``--metrics-out`` / ``-v``; the
+benchmark harness auto-attaches a tracer (see benchmarks/conftest.py).
+
+Modules:
+
+* `trace`    — `Span` / `Tracer` / `NullTracer`, current-tracer scoping
+* `metrics`  — `Counter`, `Gauge`, `Histogram`
+* `registry` — named get-or-create `MetricsRegistry`
+* `export`   — run manifest + JSON/JSONL writers (`export_run`)
+* `logging`  — structured stderr logging (`setup_logging`, `kv`)
+"""
+
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    peak_rss_kb,
+    reset_tracer,
+    set_tracer,
+    use_tracer,
+)
+from .metrics import Counter, Gauge, Histogram
+from .registry import MetricsRegistry, get_registry
+from .export import (
+    SCHEMA_VERSION,
+    export_run,
+    git_sha,
+    read_jsonl,
+    run_manifest,
+    span_to_dict,
+    telemetry_records,
+    write_json,
+    write_jsonl,
+)
+from .logging import StructuredFormatter, get_logger, kv, setup_logging
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "SCHEMA_VERSION",
+    "Span",
+    "StructuredFormatter",
+    "Tracer",
+    "export_run",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "git_sha",
+    "kv",
+    "peak_rss_kb",
+    "read_jsonl",
+    "reset_tracer",
+    "run_manifest",
+    "set_tracer",
+    "setup_logging",
+    "span_to_dict",
+    "telemetry_records",
+    "use_tracer",
+    "write_json",
+    "write_jsonl",
+]

@@ -1,0 +1,89 @@
+"""Structured logging setup for the CAD flow.
+
+All repro loggers hang off the ``"repro"`` root so one `setup_logging`
+call controls the whole library.  Records render as
+
+    12:04:31.512 INFO repro.vpr.route route iter=3 overused=17 pres_fac=0.845
+
+— a fixed prefix plus the caller's ``key=value`` payload (see `kv`),
+grep- and awk-friendly without a JSON parser.  By default the library
+emits nothing: no handler is installed until `setup_logging` runs, and
+a ``NullHandler`` keeps the stdlib's "no handler" warning away.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: The library's logger namespace root.
+ROOT_LOGGER = "repro"
+
+#: Marker attribute so repeated setup calls replace only our handler.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+class StructuredFormatter(logging.Formatter):
+    """``HH:MM:SS.mmm LEVEL logger message`` single-line records."""
+
+    default_time_format = "%H:%M:%S"
+    default_msec_format = "%s.%03d"
+
+    def __init__(self) -> None:
+        super().__init__(fmt="%(asctime)s %(levelname)s %(name)s %(message)s")
+
+
+def kv(**fields: object) -> str:
+    """Render keyword fields as a stable ``k=v`` payload string.
+
+    Floats shorten to 6 significant digits; strings containing spaces
+    are quoted so lines stay machine-splittable.
+    """
+    parts = []
+    for key, value in fields.items():
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        elif isinstance(value, str) and (" " in value or not value):
+            text = repr(value)
+        else:
+            text = str(value)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the repro namespace (``name`` may already be)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def setup_logging(verbosity: int = 1, stream: Optional[TextIO] = None) -> logging.Logger:
+    """Install a structured stderr handler on the repro root logger.
+
+    Args:
+        verbosity: 0 disables output, 1 = INFO, >= 2 = DEBUG (the
+            CLI maps ``-v``/``-vv`` here).
+        stream: Destination; defaults to ``sys.stderr`` so stdout
+            stays reserved for results.
+
+    Idempotent: a second call replaces the previously installed
+    handler rather than stacking duplicates.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    if verbosity <= 0:
+        logger.setLevel(logging.WARNING)
+        return logger
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(StructuredFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbosity >= 2 else logging.INFO)
+    logger.propagate = False
+    return logger

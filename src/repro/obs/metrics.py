@@ -1,0 +1,128 @@
+"""Metric primitives: counters, gauges, histograms.
+
+The types are deliberately tiny — a production exporter (Prometheus,
+statsd) would wrap these, but the CAD flow only needs in-process
+aggregation plus a JSON-friendly `snapshot()` per metric.  Instances
+are usually created through a `repro.obs.registry.MetricsRegistry`
+so exporters can enumerate them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count (events, nets routed, retries)."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (current pres_fac, live overuse count)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value = (self.value or 0.0) + amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Distribution of observations (per-net route times, deltas).
+
+    Keeps raw observations — flow-scale cardinalities (nets,
+    iterations) are small enough that exact percentiles beat bucketed
+    approximations.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @contextlib.contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall time of a ``with`` block, in seconds."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / len(self._values) if self._values else None
+
+    @property
+    def min(self) -> Optional[float]:
+        return min(self._values) if self._values else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return max(self._values) if self._values else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }

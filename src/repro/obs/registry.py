@@ -1,0 +1,74 @@
+"""Named-metric registry: get-or-create access + one-call snapshots.
+
+A registry maps metric names to `Counter`/`Gauge`/`Histogram`
+instances so instrumentation sites can say
+
+    get_registry().counter("route.nets_ripped").inc()
+
+without threading objects through every call, and exporters can dump
+everything with `snapshot()`.  A process-wide default registry mirrors
+the tracer's current/default split in `repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .metrics import Counter, Gauge, Histogram
+
+
+class MetricsRegistry:
+    """Name -> metric store with typed get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def get(self, name: str):
+        """The metric registered under ``name`` (KeyError if absent)."""
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as JSON-serialisable dicts, keyed by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def reset(self) -> None:
+        """Drop all registered metrics (test isolation)."""
+        self._metrics.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry

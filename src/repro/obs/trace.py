@@ -1,0 +1,241 @@
+"""Span tracing: nested wall-time / peak-RSS instrumentation.
+
+A `Tracer` records a tree of `Span`s — one per flow stage (pack,
+place, Wmin search, route, evaluate...).  Library code always talks to
+the *current* tracer (`get_tracer()`), which defaults to a `NullTracer`
+whose spans are inert singletons, so uninstrumented callers pay only a
+context-variable read and a no-op ``with`` per stage (<< 1 us — far
+below the acceptance budget of 2% of a P&R run).
+
+Usage::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with get_tracer().span("flow.route", channel_width=64) as sp:
+            ...
+            sp.set("wirelength", 1234)
+    for span in tracer.iter_spans():
+        print(span.name, span.duration_s)
+
+Spans capture wall time (`time.perf_counter`), a wall-clock timestamp
+for export, and the process peak RSS at span end (`resource.getrusage`;
+best-effort on platforms without it).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import sys
+import time
+from typing import Dict, Iterator, List, Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Process peak resident-set size in KiB (None when unavailable).
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalise.
+    """
+    if _resource is None:  # pragma: no cover
+        return None
+    rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed, attributed region of the flow.
+
+    Attributes:
+        name: Dotted stage name, e.g. ``"flow.route"``.
+        span_id: Tracer-unique id ("s1", "s2", ...).
+        parent_id: Enclosing span's id (None for roots).
+        attrs: Key -> JSON-serialisable value annotations.
+        start_time: Wall-clock start (epoch seconds, for export).
+        start_s / end_s: Monotonic clock endpoints.
+        peak_rss_kb: Process peak RSS at span end (KiB).
+        status: "ok", or "error" when the body raised.
+        children: Nested spans, in start order.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    attrs: Dict[str, object]
+    start_time: float
+    start_s: float
+    end_s: Optional[float] = None
+    peak_rss_kb: Optional[int] = None
+    status: str = "ok"
+    children: List["Span"] = dataclasses.field(default_factory=list)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Wall time in seconds (None while the span is still open)."""
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def set(self, key: str, value: object) -> None:
+        """Attach/overwrite one attribute."""
+        self.attrs[key] = value
+
+    def set_many(self, **attrs: object) -> None:
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Collects a forest of spans for one run.
+
+    Not thread-safe by design: the CAD flow is single-threaded and the
+    null default makes cross-thread use a non-issue for library users.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._next = 0
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a child span of the current span (or a new root)."""
+        self._next += 1
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=f"s{self._next}",
+            parent_id=parent.span_id if parent else None,
+            attrs=dict(attrs),
+            start_time=time.time(),
+            start_s=time.perf_counter(),
+        )
+        (parent.children if parent else self.roots).append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.end_s = time.perf_counter()
+            span.peak_rss_kb = peak_rss_kb()
+            self._stack.pop()
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All finished-or-open spans, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name, depth-first order."""
+        return [s for s in self.iter_spans() if s.name == name]
+
+
+class _NullSpan:
+    """Inert singleton span: every operation is a no-op.
+
+    Doubles as its own (reentrant, stateless) context manager so
+    ``with tracer.span(...)`` costs two trivial method calls on the
+    null path.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    span_id = None
+    parent_id = None
+    status = "ok"
+    duration_s = None
+    peak_rss_kb = None
+
+    @property
+    def attrs(self) -> Dict[str, object]:
+        return {}
+
+    @property
+    def children(self) -> List[Span]:
+        return []
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def set_many(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Default tracer: collects nothing, costs (almost) nothing."""
+
+    enabled = False
+    roots: List[Span] = []
+
+    def current(self) -> None:
+        return None
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+_current_tracer: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_tracer", default=NULL_TRACER
+)
+
+
+def get_tracer():
+    """The tracer instrumentation call sites should emit to."""
+    return _current_tracer.get()
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` as current; returns a token for `reset_tracer`."""
+    return _current_tracer.set(tracer)
+
+
+def reset_tracer(token: object) -> None:
+    """Undo a `set_tracer` (restores the previous tracer)."""
+    _current_tracer.reset(token)
+
+
+@contextlib.contextmanager
+def use_tracer(tracer) -> Iterator[object]:
+    """Scope ``tracer`` as the current tracer for a ``with`` block."""
+    token = _current_tracer.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _current_tracer.reset(token)

@@ -7,10 +7,18 @@ and the Wmin / low-stress channel-width derivation.
 """
 
 from .pack import BLE, Cluster, ClusteredNetlist, form_bles, pack, packing_stats
-from .place import IO_CAPACITY, Placement, PlacementBlock, crossing_factor, place
+from .place import (
+    IO_CAPACITY,
+    AnnealStage,
+    Placement,
+    PlacementBlock,
+    crossing_factor,
+    place,
+)
 from .route import (
     PathFinderRouter,
     RouteNet,
+    RouterIteration,
     RouteTree,
     RoutingResult,
     build_route_nets,
@@ -43,6 +51,7 @@ from .visualize import (
 )
 
 __all__ = [
+    "AnnealStage",
     "BLE",
     "Cluster",
     "ClusteredNetlist",
@@ -56,6 +65,7 @@ __all__ = [
     "PlacementBlock",
     "RouteNet",
     "RouteTree",
+    "RouterIteration",
     "RoutingResult",
     "TimingReport",
     "analyze_net",

@@ -16,9 +16,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..arch.params import ArchParams
 from ..arch.rrgraph import RRGraph
 from ..netlist.core import Netlist
+from ..obs import get_logger, get_tracer, kv
 from .pack import ClusteredNetlist, pack
 from .place import Placement, place
 from .route import RoutingResult, route_design
+
+_log = get_logger("vpr.flow")
 
 #: The paper's low-stress margin over Wmin.
 LOW_STRESS_MARGIN = 0.2
@@ -61,29 +64,47 @@ def find_min_channel_width(
     """
     if params is None:
         params = placement.clustered.params
-    # Phase 1: find a routable upper bound.
-    width = max(2, start)
-    success: Optional[Tuple[int, RoutingResult, RRGraph]] = None
-    fail_width = 0
-    while width <= max_width:
-        result, graph = route_design(placement, params, channel_width=width, **router_kwargs)
-        if result.success:
-            success = (width, result, graph)
-            break
-        fail_width = width
-        width *= 2
-    if success is None:
-        raise RuntimeError(f"unroutable even at channel width {max_width}")
-    # Phase 2: bisect (fail_width, success_width].
-    lo, (hi, best_result, best_graph) = fail_width, success
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        result, graph = route_design(placement, params, channel_width=mid, **router_kwargs)
-        if result.success:
-            hi, best_result, best_graph = mid, result, graph
-        else:
-            lo = mid
-    return hi, best_result, best_graph
+    tracer = get_tracer()
+    with tracer.span("flow.wmin_search", start=start, max_width=max_width) as span:
+        probes = 0
+        # Phase 1: find a routable upper bound.
+        width = max(2, start)
+        success: Optional[Tuple[int, RoutingResult, RRGraph]] = None
+        fail_width = 0
+        while width <= max_width:
+            probes += 1
+            with tracer.span("flow.route_probe", width=width, phase="double") as probe:
+                result, graph = route_design(
+                    placement, params, channel_width=width, **router_kwargs
+                )
+                probe.set("success", result.success)
+            _log.debug("wmin probe %s", kv(width=width, success=result.success))
+            if result.success:
+                success = (width, result, graph)
+                break
+            fail_width = width
+            width *= 2
+        if success is None:
+            span.set_many(probes=probes, wmin=None)
+            raise RuntimeError(f"unroutable even at channel width {max_width}")
+        # Phase 2: bisect (fail_width, success_width].
+        lo, (hi, best_result, best_graph) = fail_width, success
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            probes += 1
+            with tracer.span("flow.route_probe", width=mid, phase="bisect") as probe:
+                result, graph = route_design(
+                    placement, params, channel_width=mid, **router_kwargs
+                )
+                probe.set("success", result.success)
+            _log.debug("wmin probe %s", kv(width=mid, success=result.success))
+            if result.success:
+                hi, best_result, best_graph = mid, result, graph
+            else:
+                lo = mid
+        span.set_many(probes=probes, wmin=hi)
+        _log.info("wmin found %s", kv(wmin=hi, probes=probes))
+        return hi, best_result, best_graph
 
 
 def run_flow(
@@ -100,18 +121,42 @@ def run_flow(
     low-stress width from `find_min_channel_width` to mirror the
     paper's methodology exactly.
     """
-    clustered = pack(netlist, params)
-    placement = place(clustered, seed=seed, inner_num=inner_num)
-    width = channel_width if channel_width is not None else params.channel_width
-    routing, graph = route_design(placement, params, channel_width=width, **router_kwargs)
-    return FlowResult(
-        netlist=netlist,
-        clustered=clustered,
-        placement=placement,
-        routing=routing,
-        graph=graph,
-        channel_width=width,
-    )
+    tracer = get_tracer()
+    with tracer.span("flow.run", circuit=netlist.name, seed=seed) as root:
+        with tracer.span("flow.pack") as span:
+            clustered = pack(netlist, params)
+            span.set_many(
+                luts=netlist.num_luts, clusters=clustered.num_clusters,
+            )
+        with tracer.span("flow.place") as span:
+            placement = place(clustered, seed=seed, inner_num=inner_num)
+            span.set_many(
+                cost=placement.cost,
+                grid=f"{placement.grid_width}x{placement.grid_height}",
+            )
+        width = channel_width if channel_width is not None else params.channel_width
+        with tracer.span("flow.route", channel_width=width) as span:
+            routing, graph = route_design(
+                placement, params, channel_width=width, **router_kwargs
+            )
+            span.set_many(
+                success=routing.success,
+                iterations=routing.iterations,
+                wirelength=routing.wirelength,
+                overused_nodes=routing.overused_nodes,
+            )
+        root.set_many(channel_width=width, success=routing.success)
+        _log.info("flow done %s", kv(
+            circuit=netlist.name, width=width, success=routing.success,
+            wirelength=routing.wirelength, iterations=routing.iterations))
+        return FlowResult(
+            netlist=netlist,
+            clustered=clustered,
+            placement=placement,
+            routing=routing,
+            graph=graph,
+            channel_width=width,
+        )
 
 
 def run_timing_driven_flow(
@@ -146,38 +191,53 @@ def run_timing_driven_flow(
 
     if sta_passes < 0:
         raise ValueError(f"sta_passes must be >= 0, got {sta_passes}")
-    clustered = _pack(netlist, params)
-    placement = _place(clustered, seed=seed, inner_num=inner_num)
-    width = channel_width if channel_width is not None else params.channel_width
-    arch = params.with_channel_width(width)
-    graph = RRGraph(arch, placement.grid_width, placement.grid_height)
-    delay_costs = node_delay_costs(graph, fabric)
-    nets = build_route_nets(placement)
+    tracer = get_tracer()
+    with tracer.span(
+        "flow.timing_driven", circuit=netlist.name, seed=seed, sta_passes=sta_passes
+    ) as root:
+        with tracer.span("flow.pack") as span:
+            clustered = _pack(netlist, params)
+            span.set_many(luts=netlist.num_luts, clusters=clustered.num_clusters)
+        with tracer.span("flow.place") as span:
+            placement = _place(clustered, seed=seed, inner_num=inner_num)
+            span.set("cost", placement.cost)
+        width = channel_width if channel_width is not None else params.channel_width
+        arch = params.with_channel_width(width)
+        graph = RRGraph(arch, placement.grid_width, placement.grid_height)
+        delay_costs = node_delay_costs(graph, fabric)
+        nets = build_route_nets(placement)
 
-    router = PathFinderRouter(graph, delay_costs=delay_costs, **router_kwargs)
-    best_routing = router.route(nets)
-    if not best_routing.success:
+        with tracer.span("flow.route", channel_width=width, sta_pass=0) as span:
+            router = PathFinderRouter(graph, delay_costs=delay_costs, **router_kwargs)
+            best_routing = router.route(nets)
+            span.set("success", best_routing.success)
+        if not best_routing.success:
+            root.set("success", False)
+            flow = FlowResult(
+                netlist=netlist, clustered=clustered, placement=placement,
+                routing=best_routing, graph=graph, channel_width=width,
+            )
+            return flow, None
+        best_report = analyze_timing(placement, best_routing, graph, fabric)
+
+        for sta_pass in range(1, sta_passes + 1):
+            crit = best_report.net_criticality()
+            with tracer.span("flow.route", channel_width=width, sta_pass=sta_pass) as span:
+                router = PathFinderRouter(graph, delay_costs=delay_costs, **router_kwargs)
+                candidate = router.route(nets, criticality=crit)
+                span.set("success", candidate.success)
+            if not candidate.success:
+                continue
+            report = analyze_timing(placement, candidate, graph, fabric)
+            span.set("critical_path_s", report.critical_path)
+            if report.critical_path < best_report.critical_path:
+                best_routing, best_report = candidate, report
+        root.set_many(success=True, critical_path_s=best_report.critical_path)
         flow = FlowResult(
             netlist=netlist, clustered=clustered, placement=placement,
             routing=best_routing, graph=graph, channel_width=width,
         )
-        return flow, None
-    best_report = analyze_timing(placement, best_routing, graph, fabric)
-
-    for _ in range(sta_passes):
-        crit = best_report.net_criticality()
-        router = PathFinderRouter(graph, delay_costs=delay_costs, **router_kwargs)
-        candidate = router.route(nets, criticality=crit)
-        if not candidate.success:
-            continue
-        report = analyze_timing(placement, candidate, graph, fabric)
-        if report.critical_path < best_report.critical_path:
-            best_routing, best_report = candidate, report
-    flow = FlowResult(
-        netlist=netlist, clustered=clustered, placement=placement,
-        routing=best_routing, graph=graph, channel_width=width,
-    )
-    return flow, best_report
+        return flow, best_report
 
 
 def derive_architecture_width(
@@ -193,15 +253,22 @@ def derive_architecture_width(
     and returns max Wmin plus the +20% low-stress W (the paper lands
     on W = 118 for its suite at full scale).
     """
+    tracer = get_tracer()
     per_circuit: Dict[str, int] = {}
-    for netlist in netlists:
-        clustered = pack(netlist, params)
-        placement = place(clustered, seed=seed, inner_num=inner_num)
-        wmin, _result, _graph = find_min_channel_width(placement, params, **router_kwargs)
-        per_circuit[netlist.name] = wmin
-    overall = max(per_circuit.values())
-    return {
-        "wmin_per_circuit": per_circuit,
-        "wmin": overall,
-        "low_stress_width": low_stress_width(overall),
-    }
+    with tracer.span("flow.derive_width", circuits=len(netlists)) as span:
+        for netlist in netlists:
+            with tracer.span("flow.circuit_wmin", circuit=netlist.name) as circuit_span:
+                clustered = pack(netlist, params)
+                placement = place(clustered, seed=seed, inner_num=inner_num)
+                wmin, _result, _graph = find_min_channel_width(
+                    placement, params, **router_kwargs
+                )
+                circuit_span.set("wmin", wmin)
+            per_circuit[netlist.name] = wmin
+        overall = max(per_circuit.values())
+        span.set_many(wmin=overall, low_stress_width=low_stress_width(overall))
+        return {
+            "wmin_per_circuit": per_circuit,
+            "wmin": overall,
+            "low_stress_width": low_stress_width(overall),
+        }

@@ -21,7 +21,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..arch.params import ArchParams
 from ..netlist.core import BlockType
+from ..obs import get_logger, get_tracer, kv
 from .pack import ClusteredNetlist
+
+_log = get_logger("vpr.place")
 
 #: VPR's q(num_terminals) compensation factors for net bounding boxes
 #: (piecewise from [Betz 99]; >50 terminals extrapolates linearly).
@@ -59,6 +62,23 @@ class PlacementBlock:
 
 
 @dataclasses.dataclass
+class AnnealStage:
+    """Telemetry for one temperature step of the annealing schedule.
+
+    Attributes:
+        temperature: Temperature the step's moves ran at.
+        acceptance_rate: Accepted / proposed moves (VPR's alpha).
+        cost: Bounding-box cost at the end of the step.
+        range_limit: Move range limit during the step (tiles).
+    """
+
+    temperature: float
+    acceptance_rate: float
+    cost: float
+    range_limit: float
+
+
+@dataclasses.dataclass
 class Placement:
     """Placement result.
 
@@ -69,6 +89,9 @@ class Placement:
         blocks_at: (x, y) -> block names (IO tiles hold several).
         clustered: The packed netlist this placement is for.
         cost: Final bounding-box cost.
+        trajectory: Per-temperature anneal telemetry (acceptance rate
+            and cost trajectory; empty for degenerate placements that
+            skip annealing).
     """
 
     grid_width: int
@@ -77,6 +100,7 @@ class Placement:
     blocks_at: Dict[Tuple[int, int], List[str]]
     clustered: ClusteredNetlist
     cost: float
+    trajectory: List[AnnealStage] = dataclasses.field(default_factory=list)
 
     def is_perimeter(self, x: int, y: int) -> bool:
         return x in (0, self.grid_width - 1) or y in (0, self.grid_height - 1)
@@ -138,6 +162,7 @@ class _Annealer:
             for s in sinks:
                 self.nets_of[s].append(i)
         self.net_cost: List[float] = [0.0] * len(nets)
+        self.trajectory: List[AnnealStage] = []
 
     # -- geometry helpers ------------------------------------------------
 
@@ -306,6 +331,14 @@ class _Annealer:
                 if self.propose_and_apply(temperature, max(1, int(range_limit))):
                     accepted += 1
             alpha = accepted / moves_per_t
+            self.trajectory.append(AnnealStage(
+                temperature=temperature,
+                acceptance_rate=alpha,
+                cost=self.total_cost(),
+                range_limit=range_limit,
+            ))
+            _log.debug("anneal step %s", kv(
+                temperature=temperature, alpha=alpha, cost=self.total_cost()))
             # VPR adaptive cooling: cool slowly near alpha ~ 0.44.
             if alpha > 0.96:
                 gamma = 0.5
@@ -360,14 +393,30 @@ def place(
 
     rng = random.Random(seed)
     nets = _flat_nets(clustered)
-    annealer = _Annealer(blocks, nets, grid_w, grid_h, rng, net_weights=net_weights)
-    annealer.random_initial()
-    cost = annealer.anneal(inner_num=inner_num)
-    return Placement(
-        grid_width=grid_w,
-        grid_height=grid_h,
-        location_of=dict(annealer.location),
-        blocks_at={k: list(v) for k, v in annealer.at.items() if v},
-        clustered=clustered,
-        cost=cost,
-    )
+    tracer = get_tracer()
+    with tracer.span(
+        "place.anneal",
+        blocks=len(blocks),
+        nets=len(nets),
+        grid=f"{grid_w}x{grid_h}",
+        seed=seed,
+        inner_num=inner_num,
+    ) as span:
+        annealer = _Annealer(blocks, nets, grid_w, grid_h, rng, net_weights=net_weights)
+        annealer.random_initial()
+        cost = annealer.anneal(inner_num=inner_num)
+        span.set_many(cost=cost, temperature_steps=len(annealer.trajectory))
+        if tracer.enabled:
+            span.set(
+                "trajectory",
+                [dataclasses.asdict(stage) for stage in annealer.trajectory],
+            )
+        return Placement(
+            grid_width=grid_w,
+            grid_height=grid_h,
+            location_of=dict(annealer.location),
+            blocks_at={k: list(v) for k, v in annealer.at.items() if v},
+            clustered=clustered,
+            cost=cost,
+            trajectory=list(annealer.trajectory),
+        )

@@ -23,7 +23,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..arch.params import ArchParams
 from ..arch.rrgraph import NodeKind, RRGraph
 from ..netlist.core import BlockType
+from ..obs import get_logger, get_tracer, kv
 from .place import Placement
+
+_log = get_logger("vpr.route")
 
 
 @dataclasses.dataclass
@@ -51,6 +54,25 @@ class RouteTree:
 
 
 @dataclasses.dataclass
+class RouterIteration:
+    """Convergence telemetry for one PathFinder rip-up/re-route pass.
+
+    Attributes:
+        iteration: 1-based pass number.
+        overused_nodes: Nodes still shared at the end of the pass.
+        pres_fac: Presence factor the pass routed with.
+        wirelength: Total wirelength of the current route trees.
+        rerouted_nets: Nets ripped up and re-routed this pass.
+    """
+
+    iteration: int
+    overused_nodes: int
+    pres_fac: float
+    wirelength: int
+    rerouted_nets: int
+
+
+@dataclasses.dataclass
 class RoutingResult:
     """Outcome of a routing attempt.
 
@@ -60,6 +82,9 @@ class RoutingResult:
         trees: Net name -> route tree (present even on failure).
         overused_nodes: Count of still-overused nodes (0 on success).
         wirelength: Total wire-segment tiles used by all routes.
+        convergence: Per-iteration telemetry series (always recorded;
+            `overused_nodes` per entry is the router's convergence
+            signal, ending at 0 on success).
     """
 
     success: bool
@@ -67,6 +92,7 @@ class RoutingResult:
     trees: Dict[str, RouteTree]
     overused_nodes: int
     wirelength: int
+    convergence: List[RouterIteration] = dataclasses.field(default_factory=list)
 
 
 def build_route_nets(placement: Placement) -> List[RouteNet]:
@@ -350,7 +376,38 @@ class PathFinderRouter:
         turns on timing-driven costing per net.  Aborts early (failure)
         when congestion stops improving — the VPR "routing predictor"
         heuristic that makes Wmin binary searches affordable.
+
+        The per-iteration convergence series (overuse, pres_fac,
+        wirelength, rip-up counts) is always recorded on the result;
+        when a tracer is active it is also attached to the
+        ``route.pathfinder`` span.
         """
+        tracer = get_tracer()
+        with tracer.span(
+            "route.pathfinder",
+            nets=len(nets),
+            channel_width=self.graph.params.channel_width,
+            timing_driven=self._delay_costs is not None,
+        ) as span:
+            result = self._route_impl(nets, criticality)
+            span.set_many(
+                success=result.success,
+                iterations=result.iterations,
+                overused_nodes=result.overused_nodes,
+                wirelength=result.wirelength,
+            )
+            if tracer.enabled:
+                span.set(
+                    "convergence",
+                    [dataclasses.asdict(it) for it in result.convergence],
+                )
+            return result
+
+    def _route_impl(
+        self,
+        nets: Sequence[RouteNet],
+        criticality: Optional[Dict[str, float]] = None,
+    ) -> RoutingResult:
         crit_of = criticality or {}
         order = sorted(nets, key=lambda n: (-len(n.sink_tiles), n.name))
         if criticality:
@@ -360,6 +417,7 @@ class PathFinderRouter:
         pres_fac = self.pres_fac_init
         iteration = 0
         overuse_history: List[int] = []
+        convergence: List[RouterIteration] = []
         stall = 0
         for iteration in range(1, self.max_iterations + 1):
             escalate = False
@@ -424,23 +482,47 @@ class PathFinderRouter:
                 if tree is None:
                     # Even congestion-tolerant search failed (graph
                     # disconnection at this width): hard failure.
+                    overused_now = len(self._overused())
+                    wirelength = self._wirelength(trees)
+                    convergence.append(RouterIteration(
+                        iteration=iteration,
+                        overused_nodes=overused_now,
+                        pres_fac=pres_fac,
+                        wirelength=wirelength,
+                        rerouted_nets=len(to_route),
+                    ))
+                    _log.info("route hard-fail %s", kv(
+                        net=net.name, iteration=iteration, overused=overused_now))
                     return RoutingResult(
                         success=False,
                         iterations=iteration,
                         trees=trees,
-                        overused_nodes=len(self._overused()),
-                        wirelength=self._wirelength(trees),
+                        overused_nodes=overused_now,
+                        wirelength=wirelength,
+                        convergence=convergence,
                     )
                 trees[net.name] = tree
                 self._occupy(tree, +1)
             overused = self._overused()
+            wirelength = self._wirelength(trees)
+            convergence.append(RouterIteration(
+                iteration=iteration,
+                overused_nodes=len(overused),
+                pres_fac=pres_fac,
+                wirelength=wirelength,
+                rerouted_nets=len(to_route),
+            ))
+            _log.debug("route iter %s", kv(
+                iteration=iteration, overused=len(overused), pres_fac=pres_fac,
+                wirelength=wirelength, rerouted=len(to_route)))
             if not overused:
                 return RoutingResult(
                     success=True,
                     iterations=iteration,
                     trees=trees,
                     overused_nodes=0,
-                    wirelength=self._wirelength(trees),
+                    wirelength=wirelength,
+                    convergence=convergence,
                 )
             for node in overused:
                 self._hist[node] += self.hist_fac * (self._occ[node] - self._cap[node])
@@ -460,6 +542,7 @@ class PathFinderRouter:
             trees=trees,
             overused_nodes=len(self._overused()),
             wirelength=self._wirelength(trees),
+            convergence=convergence,
         )
 
     def _wirelength(self, trees: Dict[str, RouteTree]) -> int:

@@ -1,0 +1,116 @@
+"""CLI observability: --json, --metrics-out, -v, stdout/stderr split."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FLOW_ARGS = ["flow", "--circuit", "tseng", "--scale", "0.03", "--width", "56"]
+
+
+class TestParser:
+    def test_obs_flags_parse_on_flow_commands(self):
+        parser = build_parser()
+        for argv in (
+            FLOW_ARGS + ["--metrics-out", "m.jsonl", "-v", "--json"],
+            ["sweep", "--circuit", "alu4", "--metrics-out", "m.jsonl"],
+            ["headline", "--json", "-vv"],
+            ["explore", "--metrics-out", "m.jsonl"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_verbose_counts(self):
+        args = build_parser().parse_args(FLOW_ARGS + ["-vv"])
+        assert args.verbose == 2
+
+
+class TestFlowJson:
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(FLOW_ARGS + ["--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["success"] is True
+        assert payload["circuit"] == "tseng"
+        assert payload["wirelength"] > 0
+        assert payload["baseline"]["leakage_w"] > 0
+        assert len(payload["variants"]) == 2
+        assert all("speedup" in v for v in payload["variants"])
+
+    def test_json_includes_convergence_series(self, capsys):
+        assert main(FLOW_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        series = payload["convergence"]
+        assert series[-1]["overused_nodes"] == 0
+        assert series[0]["iteration"] == 1
+
+    def test_diagnostics_on_stderr_not_stdout(self, capsys):
+        assert main(FLOW_ARGS + ["--json"]) == 0
+        captured = capsys.readouterr()
+        assert "circuit:" in captured.err
+        assert "circuit:" not in captured.out
+
+    def test_routing_failure_diagnostic_to_stderr(self, capsys):
+        # Width 2 is hopeless for this circuit: the failure path must
+        # keep stdout machine-readable under --json.
+        code = main(["flow", "--circuit", "tseng", "--scale", "0.03",
+                     "--width", "2", "--json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["success"] is False
+
+
+class TestMetricsOut:
+    def test_flow_writes_manifest_and_spans(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(FLOW_ARGS + ["--metrics-out", str(path)]) == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        manifest = records[0]
+        assert manifest["type"] == "manifest"
+        assert manifest["seed"] == 1
+        assert manifest["arch"]["channel_width"] == 56
+        assert manifest["circuit"] == "tseng"
+        span_records = [r for r in records if r["type"] == "span"]
+        flow_span = next(s for s in span_records if s["name"] == "flow.run")
+        stages = {c["name"] for c in flow_span["children"]}
+        assert stages == {"flow.pack", "flow.place", "flow.route"}
+        route = next(c for c in flow_span["children"] if c["name"] == "flow.route")
+        pathfinder = route["children"][0]
+        assert pathfinder["attrs"]["convergence"][-1]["overused_nodes"] == 0
+
+    def test_spans_have_wall_time_and_rss(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(FLOW_ARGS + ["--metrics-out", str(path)]) == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        for record in records:
+            if record["type"] != "span":
+                continue
+            assert record["duration_s"] >= 0
+            assert record["peak_rss_kb"] > 0
+
+    def test_evaluate_spans_present(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(FLOW_ARGS + ["--metrics-out", str(path)]) == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        evaluates = [r for r in records if r.get("name") == "evaluate"]
+        assert len(evaluates) == 3  # baseline + naive + optimised
+        kinds = {e["attrs"]["variant"] for e in evaluates}
+        assert "CMOS_ONLY" in kinds
+
+
+class TestVerbose:
+    def test_verbose_logs_to_stderr(self, capsys):
+        from repro.obs import setup_logging
+
+        try:
+            assert main(FLOW_ARGS + ["-v"]) == 0
+            captured = capsys.readouterr()
+            assert "flow done" in captured.err
+            assert "flow done" not in captured.out
+        finally:
+            # Remove the handler so later tests aren't polluted with a
+            # captured (soon-to-be-invalid) stderr stream.
+            setup_logging(0)

@@ -1,0 +1,141 @@
+"""Integration: flow instrumentation end-to-end.
+
+Routes a small circuit and checks the PathFinder convergence series,
+the placement anneal trajectory, and the span tree `run_flow` emits.
+"""
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.netlist.generate import GeneratorParams, generate
+from repro.obs import Tracer, use_tracer
+from repro.vpr import run_flow
+from repro.vpr.pack import pack
+from repro.vpr.place import place
+from repro.vpr.route import route_design
+
+#: Small circuit whose router converges cleanly at this width.
+CIRCUIT = GeneratorParams("obs_unit", num_luts=60, ff_fraction=0.25, seed=42)
+ARCH = ArchParams(channel_width=32)
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return place(pack(generate(CIRCUIT), ARCH), seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def routed(placement):
+    result, graph = route_design(placement, ARCH)
+    assert result.success
+    return result
+
+
+class TestRouterConvergence:
+    def test_series_present_without_tracer(self, routed):
+        assert routed.convergence, "convergence must be recorded by default"
+
+    def test_iterations_sequential(self, routed):
+        assert [it.iteration for it in routed.convergence] == list(
+            range(1, routed.iterations + 1)
+        )
+
+    def test_overuse_monotone_nonincreasing_to_zero(self, routed):
+        series = [it.overused_nodes for it in routed.convergence]
+        assert all(a >= b for a, b in zip(series, series[1:])), series
+        assert series[-1] == 0
+
+    def test_pres_fac_schedule_grows(self, routed):
+        pres = [it.pres_fac for it in routed.convergence]
+        assert all(a <= b for a, b in zip(pres, pres[1:]))
+        assert pres[0] == pytest.approx(0.5)
+
+    def test_first_iteration_routes_every_net(self, placement, routed):
+        from repro.vpr.route import build_route_nets
+
+        assert routed.convergence[0].rerouted_nets == len(build_route_nets(placement))
+
+    def test_later_iterations_reroute_subsets(self, routed):
+        total = routed.convergence[0].rerouted_nets
+        assert all(it.rerouted_nets <= total for it in routed.convergence[1:])
+
+    def test_wirelength_positive_and_final_matches(self, routed):
+        assert all(it.wirelength > 0 for it in routed.convergence)
+        assert routed.convergence[-1].wirelength == routed.wirelength
+
+
+class TestAnnealTrajectory:
+    def test_trajectory_recorded(self, placement):
+        assert placement.trajectory
+
+    def test_acceptance_rates_valid(self, placement):
+        assert all(0.0 <= s.acceptance_rate <= 1.0 for s in placement.trajectory)
+
+    def test_temperature_cools(self, placement):
+        temps = [s.temperature for s in placement.trajectory]
+        assert all(a > b for a, b in zip(temps, temps[1:]))
+
+    def test_final_cost_matches_placement(self, placement):
+        assert placement.trajectory[-1].cost == pytest.approx(placement.cost)
+
+
+class TestFlowSpans:
+    def test_run_flow_emits_stage_spans(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            flow = run_flow(generate(CIRCUIT), ARCH, seed=SEED)
+        assert flow.success
+        (root,) = [s for s in tracer.roots if s.name == "flow.run"]
+        stages = [c.name for c in root.children]
+        assert stages == ["flow.pack", "flow.place", "flow.route"]
+        assert root.attrs["circuit"] == CIRCUIT.name
+        assert root.attrs["success"] is True
+
+    def test_stage_spans_carry_timing_and_rss(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            run_flow(generate(CIRCUIT), ARCH, seed=SEED)
+        for span in tracer.iter_spans():
+            assert span.duration_s is not None and span.duration_s >= 0
+            assert span.peak_rss_kb is not None
+
+    def test_route_span_carries_convergence(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            flow = run_flow(generate(CIRCUIT), ARCH, seed=SEED)
+        (router_span,) = tracer.find("route.pathfinder")
+        series = router_span.attrs["convergence"]
+        assert len(series) == len(flow.routing.convergence)
+        assert series[-1]["overused_nodes"] == 0
+
+    def test_place_span_carries_trajectory(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            flow = run_flow(generate(CIRCUIT), ARCH, seed=SEED)
+        (anneal_span,) = tracer.find("place.anneal")
+        assert len(anneal_span.attrs["trajectory"]) == len(flow.placement.trajectory)
+
+    def test_untraced_flow_identical_result(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = run_flow(generate(CIRCUIT), ARCH, seed=SEED)
+        plain = run_flow(generate(CIRCUIT), ARCH, seed=SEED)
+        assert traced.routing.wirelength == plain.routing.wirelength
+        assert traced.routing.iterations == plain.routing.iterations
+        assert traced.placement.cost == pytest.approx(plain.placement.cost)
+
+
+class TestWminSearchSpans:
+    def test_probe_spans_recorded(self, placement):
+        from repro.vpr import find_min_channel_width
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            wmin, result, _graph = find_min_channel_width(placement, ARCH, start=4)
+        assert result.success
+        (search,) = tracer.find("flow.wmin_search")
+        assert search.attrs["wmin"] == wmin
+        probes = tracer.find("flow.route_probe")
+        assert len(probes) == search.attrs["probes"] >= 2
+        assert any(p.attrs["success"] for p in probes)

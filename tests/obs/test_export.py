@@ -1,0 +1,113 @@
+"""Unit tests for the telemetry export layer (manifest, JSONL)."""
+
+import dataclasses
+import json
+
+from repro.arch import ArchParams
+from repro.obs import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    Tracer,
+    export_run,
+    git_sha,
+    read_jsonl,
+    run_manifest,
+    span_to_dict,
+    telemetry_records,
+    write_json,
+    write_jsonl,
+)
+
+
+class TestManifest:
+    def test_required_fields(self):
+        m = run_manifest(seed=3, arch=ArchParams(channel_width=32))
+        assert m["type"] == "manifest"
+        assert m["schema"] == SCHEMA_VERSION
+        assert m["seed"] == 3
+        assert m["arch"]["channel_width"] == 32
+        assert m["python"]
+        assert m["platform"]
+
+    def test_git_sha_present_in_repo(self):
+        # The test suite runs from a git checkout.
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+    def test_argv_and_extra(self):
+        m = run_manifest(argv=["flow", "--json"], extra={"circuit": "ava"})
+        assert m["argv"] == ["flow", "--json"]
+        assert m["circuit"] == "ava"
+
+    def test_manifest_is_json_serialisable(self):
+        m = run_manifest(seed=1, arch=ArchParams(), extra={"tuple": (1, 2)})
+        json.dumps(m)
+
+
+class TestSpanSerialisation:
+    def test_nested_children(self):
+        tracer = Tracer()
+        with tracer.span("outer", a=1):
+            with tracer.span("inner"):
+                pass
+        d = span_to_dict(tracer.roots[0])
+        assert d["name"] == "outer"
+        assert d["attrs"] == {"a": 1}
+        assert d["children"][0]["name"] == "inner"
+        assert d["children"][0]["parent_id"] == d["span_id"]
+        json.dumps(d)
+
+    def test_dataclass_attrs_become_dicts(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+
+        tracer = Tracer()
+        with tracer.span("s", point=Point(3), items=[Point(1)]):
+            pass
+        d = span_to_dict(tracer.roots[0])
+        assert d["attrs"]["point"] == {"x": 3}
+        assert d["attrs"]["items"] == [{"x": 1}]
+
+    def test_unserialisable_attr_degrades_to_repr(self):
+        tracer = Tracer()
+        with tracer.span("s", obj=object()):
+            pass
+        d = span_to_dict(tracer.roots[0])
+        assert isinstance(d["attrs"]["obj"], str)
+        json.dumps(d)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [{"type": "a", "n": 1}, {"type": "b", "n": 2}]
+        assert write_jsonl(str(path), records) == 2
+        assert read_jsonl(str(path)) == records
+
+    def test_export_run_layout(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("flow.run"):
+            with tracer.span("flow.route"):
+                pass
+        registry = MetricsRegistry()
+        registry.counter("events").inc(5)
+        path = tmp_path / "run.jsonl"
+        n = export_run(
+            str(path), run_manifest(seed=1), tracer, registry
+        )
+        records = read_jsonl(str(path))
+        assert n == len(records) == 3
+        assert [r["type"] for r in records] == ["manifest", "span", "metrics"]
+        assert records[1]["name"] == "flow.run"
+        assert records[1]["children"][0]["name"] == "flow.route"
+        assert records[2]["metrics"]["events"]["value"] == 5
+
+    def test_empty_registry_omitted(self):
+        records = telemetry_records(run_manifest(), Tracer(), MetricsRegistry())
+        assert [r["type"] for r in records] == ["manifest"]
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "o.json"
+        write_json(str(path), {"telemetry": {"a": 1}})
+        assert json.loads(path.read_text()) == {"telemetry": {"a": 1}}

@@ -1,0 +1,88 @@
+"""Unit tests for structured logging setup."""
+
+import io
+import logging
+
+from repro.obs import get_logger, kv, setup_logging
+from repro.obs.logging import ROOT_LOGGER
+
+
+def _reset():
+    """Remove any handler setup_logging installed (test isolation)."""
+    setup_logging(0)
+
+
+class TestKv:
+    def test_basic_fields(self):
+        assert kv(a=1, b="x") == "a=1 b=x"
+
+    def test_float_shortening(self):
+        assert kv(v=0.123456789) == "v=0.123457"
+
+    def test_strings_with_spaces_quoted(self):
+        assert kv(msg="two words") == "msg='two words'"
+        assert kv(msg="") == "msg=''"
+
+    def test_bool_and_none(self):
+        assert kv(ok=True, missing=None) == "ok=True missing=None"
+
+
+class TestGetLogger:
+    def test_prefixes_repro_namespace(self):
+        assert get_logger("vpr.route").name == f"{ROOT_LOGGER}.vpr.route"
+
+    def test_keeps_existing_prefix(self):
+        assert get_logger(f"{ROOT_LOGGER}.x").name == f"{ROOT_LOGGER}.x"
+
+
+class TestSetupLogging:
+    def test_writes_structured_lines(self):
+        stream = io.StringIO()
+        try:
+            setup_logging(1, stream=stream)
+            get_logger("vpr.test").info("route iter %s", kv(iteration=3))
+            line = stream.getvalue()
+            assert "INFO" in line
+            assert f"{ROOT_LOGGER}.vpr.test" in line
+            assert "iteration=3" in line
+        finally:
+            _reset()
+
+    def test_verbosity_levels(self):
+        stream = io.StringIO()
+        try:
+            setup_logging(1, stream=stream)
+            get_logger("x").debug("hidden")
+            assert stream.getvalue() == ""
+            setup_logging(2, stream=stream)
+            get_logger("x").debug("shown")
+            assert "shown" in stream.getvalue()
+        finally:
+            _reset()
+
+    def test_idempotent_no_duplicate_handlers(self):
+        stream = io.StringIO()
+        try:
+            setup_logging(1, stream=stream)
+            setup_logging(1, stream=stream)
+            get_logger("x").info("once")
+            assert stream.getvalue().count("once") == 1
+        finally:
+            _reset()
+
+    def test_zero_verbosity_silences(self):
+        stream = io.StringIO()
+        try:
+            setup_logging(1, stream=stream)
+            setup_logging(0)
+            get_logger("x").info("quiet")
+            assert stream.getvalue() == ""
+        finally:
+            _reset()
+
+    def test_library_silent_by_default(self):
+        # Without setup_logging the library logger has only a
+        # NullHandler: emitting must not raise or print warnings.
+        logger = logging.getLogger(ROOT_LOGGER)
+        assert any(isinstance(h, logging.NullHandler) for h in logger.handlers)
+        get_logger("x").info("no handler configured")

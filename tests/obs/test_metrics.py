@@ -1,0 +1,129 @@
+"""Unit tests for metric primitives and the registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("nets")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(4)
+        assert c.snapshot() == {"kind": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_and_move(self):
+        g = Gauge("pres_fac")
+        assert g.value is None
+        g.set(1.5)
+        g.inc(0.5)
+        g.dec(1.0)
+        assert g.value == pytest.approx(1.0)
+
+    def test_snapshot(self):
+        g = Gauge("x")
+        g.set(7)
+        assert g.snapshot() == {"kind": "gauge", "value": 7}
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        h = Histogram("delays")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.0)
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(100) == 100
+        assert h.percentile(0) == 1
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("x")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_histogram_snapshots_none(self):
+        snap = Histogram("x").snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None and snap["p50"] is None
+
+    def test_time_context_manager(self):
+        h = Histogram("t")
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.max >= 0.0
+
+    def test_snapshot_keys(self):
+        h = Histogram("x")
+        h.observe(3.0)
+        snap = h.snapshot()
+        assert snap["kind"] == "histogram"
+        assert set(snap) == {
+            "kind", "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_covers_all_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3)
+        snap = reg.snapshot()
+        assert set(snap) == {"c", "g", "h"}
+        assert snap["c"]["value"] == 2
+        assert snap["g"]["value"] == 1.5
+        assert snap["h"]["count"] == 1
+
+    def test_contains_len_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert "a" in reg and "z" not in reg
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().get("nope")
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_default_registry_is_shared(self):
+        assert get_registry() is get_registry()

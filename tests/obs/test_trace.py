@@ -1,0 +1,186 @@
+"""Unit tests for span tracing: nesting, timing, scoping, null path."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    peak_rss_kb,
+    set_tracer,
+    reset_tracer,
+    use_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_single_root(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            assert tracer.current() is span
+        assert [s.name for s in tracer.roots] == ["root"]
+        assert tracer.current() is None
+
+    def test_children_nest_under_parent(self):
+        tracer = Tracer()
+        with tracer.span("flow"):
+            with tracer.span("pack"):
+                pass
+            with tracer.span("route"):
+                with tracer.span("inner"):
+                    pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["pack", "route"]
+        assert [c.name for c in root.children[1].children] == ["inner"]
+
+    def test_parent_ids_link(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                assert b.parent_id == a.span_id
+        assert a.parent_id is None
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        ids = [s.span_id for s in tracer.iter_spans()]
+        assert len(ids) == len(set(ids)) == 5
+
+    def test_iter_spans_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.name for s in tracer.iter_spans()] == ["a", "b", "c"]
+
+    def test_find_by_name(self):
+        tracer = Tracer()
+        with tracer.span("flow"):
+            with tracer.span("probe", width=8):
+                pass
+            with tracer.span("probe", width=16):
+                pass
+        widths = [s.attrs["width"] for s in tracer.find("probe")]
+        assert widths == [8, 16]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+
+class TestSpanTiming:
+    def test_duration_measures_wall_time(self):
+        tracer = Tracer()
+        with tracer.span("sleep"):
+            time.sleep(0.02)
+        (span,) = tracer.roots
+        assert span.duration_s >= 0.015
+
+    def test_duration_none_while_open(self):
+        tracer = Tracer()
+        with tracer.span("open") as span:
+            assert span.duration_s is None
+        assert span.duration_s is not None
+
+    def test_nested_durations_bounded_by_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        (outer,) = tracer.roots
+        (inner,) = outer.children
+        assert outer.duration_s >= inner.duration_s
+
+    def test_peak_rss_recorded(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        (span,) = tracer.roots
+        # resource is available on the platforms CI runs on.
+        assert span.peak_rss_kb is not None and span.peak_rss_kb > 0
+        assert peak_rss_kb() >= span.peak_rss_kb
+
+
+class TestSpanAttrs:
+    def test_init_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set("b", 2)
+            span.set_many(c=3, a=9)
+        assert span.attrs == {"a": 9, "b": 2, "c": 3}
+
+    def test_error_status_and_reraise(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (span,) = tracer.roots
+        assert span.status == "error"
+        assert span.duration_s is not None
+        assert tracer.current() is None
+
+
+class TestCurrentTracer:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_use_tracer_scopes_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(tracer):
+                raise RuntimeError("x")
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_reset_token(self):
+        tracer = Tracer()
+        token = set_tracer(tracer)
+        assert get_tracer() is tracer
+        reset_tracer(token)
+        assert get_tracer() is NULL_TRACER
+
+    def test_nested_use_tracer(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+
+class TestNullPath:
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("anything", a=1) as span:
+            span.set("k", "v")
+            span.set_many(x=2)
+        assert span is NULL_SPAN
+        assert span.attrs == {}
+        assert span.span_id is None
+
+    def test_null_tracer_collects_nothing(self):
+        with NULL_TRACER.span("a"):
+            with NULL_TRACER.span("b"):
+                pass
+        assert list(NULL_TRACER.iter_spans()) == []
+        assert NULL_TRACER.find("a") == []
+        assert NULL_TRACER.current() is None
+
+    def test_null_tracer_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
