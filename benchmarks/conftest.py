@@ -23,6 +23,10 @@ Environment knobs:
     REPRO_BENCH_MCNC    number of MCNC circuits to include (default 6)
     REPRO_BENCH_TELEMETRY      "0" disables the BENCH_*.json outputs
     REPRO_BENCH_TELEMETRY_DIR  output directory (default: cwd)
+    REPRO_BENCH_HISTORY        path of a bench-history JSONL; when set,
+                               each BENCH_<circuit>.json is also
+                               appended as a history row (same format
+                               as `repro bench-history append`)
 """
 
 import os
@@ -39,6 +43,7 @@ from repro.obs import (
     span_to_dict,
     write_json,
 )
+from repro.obs.analyze import append_history, summarize_bench
 from repro.vpr import run_flow
 
 #: Default shrink factor for the P&R figures.
@@ -96,6 +101,8 @@ def bench_arch():
 BENCH_TELEMETRY = os.environ.get("REPRO_BENCH_TELEMETRY", "1") != "0"
 #: Where the BENCH_*.json files land.
 BENCH_TELEMETRY_DIR = os.environ.get("REPRO_BENCH_TELEMETRY_DIR", ".")
+#: When set, bench summaries are also appended to this history file.
+BENCH_HISTORY = os.environ.get("REPRO_BENCH_HISTORY", "")
 
 
 def _write_bench_telemetry(tracer: Tracer) -> None:
@@ -109,9 +116,10 @@ def _write_bench_telemetry(tracer: Tracer) -> None:
         circuit = root.attrs.get("circuit")
         if root.name in ("flow.run", "flow.timing_driven") and circuit:
             per_circuit.setdefault(circuit, []).append(span_to_dict(root))
+    history_rows = []
     for circuit, spans in per_circuit.items():
         path = os.path.join(BENCH_TELEMETRY_DIR, f"BENCH_{circuit}.json")
-        write_json(path, {
+        doc = {
             "circuit": circuit,
             "manifest": manifest,
             "telemetry": {
@@ -126,7 +134,12 @@ def _write_bench_telemetry(tracer: Tracer) -> None:
                     for stage in ("flow.pack", "flow.place", "flow.route")
                 },
             },
-        })
+        }
+        write_json(path, doc)
+        if BENCH_HISTORY:
+            history_rows.append(summarize_bench(doc, source=path))
+    if BENCH_HISTORY and history_rows:
+        append_history(BENCH_HISTORY, history_rows)
     write_json(os.path.join(BENCH_TELEMETRY_DIR, "BENCH_telemetry.json"), {
         "manifest": manifest,
         "circuits": sorted(per_circuit),

@@ -4,10 +4,16 @@ Exposes the library's main entry points without writing Python:
 
 * ``repro device``    — relay design points (Fig. 2b / Fig. 11 anchors)
 * ``repro crossbar``  — program a crossbar via half-select
-* ``repro flow``      — pack/place/route a benchmark + variant table
+* ``repro flow``      — pack/place/route/configure a benchmark + variants
 * ``repro sweep``     — the Fig. 12 downsizing trade-off for a circuit
 * ``repro headline``  — suite-level headline comparison vs the paper
 * ``repro explore``   — future-work architecture sweeps
+
+Telemetry consumers (see `repro.obs.analyze`):
+
+* ``repro report``        — render one ``--metrics-out`` JSONL run
+* ``repro diff``          — compare two runs, gate with ``--fail-on``
+* ``repro bench-history`` — benchmark trajectory append / regression check
 
 All circuits come from the built-in suite generator; ``--scale``
 shrinks them for quick runs (see DESIGN.md Sec. 6).
@@ -105,18 +111,36 @@ def _cmd_crossbar(args: argparse.Namespace) -> int:
     xbar = uniform_crossbar(args.rows, args.cols, model)
     programmer = HalfSelectProgrammer(xbar, voltages)
     targets = _parse_targets(args.targets)
-    configured = programmer.program(targets)
-    print(f"{args.rows}x{args.cols} crossbar, Vhold = {voltages.v_hold:.2f} V, "
-          f"Vselect = {voltages.v_select:.2f} V")
-    for r in range(args.rows):
-        print("  " + " ".join("X" if (r, c) in configured else "." for c in range(args.cols)))
+    with _telemetry(args, extra={"rows": args.rows, "cols": args.cols}):
+        configured = programmer.program(targets)
     ok = configured == targets
-    print(f"programmed exactly the targets: {ok}")
+    # Under --json the human-readable summary becomes a diagnostic:
+    # stdout carries only the machine-readable result.
+    out = sys.stderr if args.json else sys.stdout
+    print(f"{args.rows}x{args.cols} crossbar, Vhold = {voltages.v_hold:.2f} V, "
+          f"Vselect = {voltages.v_select:.2f} V", file=out)
+    for r in range(args.rows):
+        print("  " + " ".join("X" if (r, c) in configured else "." for c in range(args.cols)),
+              file=out)
+    print(f"programmed exactly the targets: {ok}", file=out)
+    if args.json:
+        margins = programmer.population_margins()
+        print(json.dumps({
+            "rows": args.rows,
+            "cols": args.cols,
+            "v_hold": voltages.v_hold,
+            "v_select": voltages.v_select,
+            "targets": sorted(targets),
+            "configured": sorted(configured),
+            "margin_worst_v": margins.worst,
+            "success": ok,
+        }, sort_keys=True))
     return 0 if ok else 1
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
     from .arch import ArchParams
+    from .config.bitstream import extract_bitstream, program_fabric
     from .core import (
         Comparison,
         baseline_variant,
@@ -125,6 +149,7 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         optimized_nem_variant,
     )
     from .netlist import load_circuit
+    from .obs import get_tracer
     from .vpr import render_congestion, render_placement, run_flow, utilization_summary
 
     arch = ArchParams(channel_width=args.width)
@@ -148,6 +173,15 @@ def _cmd_flow(args: argparse.Namespace) -> int:
                     "iterations": flow.routing.iterations,
                 }, sort_keys=True))
             return 1
+        # Configure the relay fabric for the routed design (Sec. 2 meets
+        # Sec. 3): extract the "bitstream" and drive every tile's
+        # crossbar through half-select programming.
+        with get_tracer().span("flow.configure", circuit=netlist.name):
+            bitstream = extract_bitstream(flow.routing, flow.graph)
+            config = program_fabric(bitstream)
+        if not config.success:
+            print(f"fabric programming FAILED on {len(config.failures)} tile(s)",
+                  file=sys.stderr)
         variants = [
             ("naive CMOS-NEM", naive_nem_variant(arch)),
             (f"optimised (downsize {args.downsize:g})",
@@ -166,6 +200,13 @@ def _cmd_flow(args: argparse.Namespace) -> int:
                 "success": True,
                 "wirelength": flow.routing.wirelength,
                 "iterations": flow.routing.iterations,
+                "config": {
+                    "switches": bitstream.total_switches,
+                    "arrays_programmed": config.arrays_programmed,
+                    "relays_closed": config.relays_closed,
+                    "row_steps": config.row_steps,
+                    "success": config.success,
+                },
                 "convergence": [dataclasses.asdict(it)
                                 for it in flow.routing.convergence],
                 "baseline": {
@@ -181,6 +222,9 @@ def _cmd_flow(args: argparse.Namespace) -> int:
             return 0
         print(f"routed at W = {args.width}: wirelength {flow.routing.wirelength}, "
               f"{flow.routing.iterations} iterations")
+        print(f"configured fabric: {config.relays_closed} relays closed across "
+              f"{config.arrays_programmed} tile arrays in {config.row_steps} "
+              f"row steps ({'ok' if config.success else 'FAILED'})")
         if args.show_maps:
             print("\nfloorplan:")
             print(render_placement(flow.placement))
@@ -211,9 +255,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         flow = run_flow(netlist, arch, seed=args.seed)
         if not flow.success:
             print("routing FAILED; try --width higher", file=sys.stderr)
+            if args.json:
+                print(json.dumps({
+                    "circuit": netlist.name,
+                    "width": args.width,
+                    "seed": args.seed,
+                    "success": False,
+                }, sort_keys=True))
             return 1
         curve = sweep_circuit(flow, arch)
     series = fig12_series(curve)
+    summary = headline_summary([curve])
+    if args.json:
+        print(json.dumps({
+            "circuit": netlist.name,
+            "width": args.width,
+            "seed": args.seed,
+            "success": True,
+            "series": series,
+            "corner": dataclasses.asdict(summary.corner),
+            "naive": (dataclasses.asdict(summary.naive)
+                      if summary.naive is not None else None),
+        }, sort_keys=True))
+        return 0
     print(f"{'downsize':>9s} {'speed-up':>9s} {'dyn.red':>8s} {'leak.red':>9s}")
     for ds, sp, dyn, leak in zip(
         series["downsize"], series["speedup"],
@@ -221,7 +285,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ):
         print(f"{ds:9.1f} {sp:9.2f} {dyn:8.2f} {leak:9.2f}")
     print()
-    print(format_headline(headline_summary([curve])))
+    print(format_headline(summary))
     return 0
 
 
@@ -312,6 +376,107 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs.analyze import load_run, render_html, render_report
+
+    try:
+        run = load_run(args.run)
+    except OSError as exc:
+        print(f"error: cannot read {args.run}: {exc}", file=sys.stderr)
+        return 2
+    for warning in run.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(run))
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+    print(render_report(run, flame=not args.no_flame, max_depth=args.max_depth),
+          end="")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .obs.analyze import (
+        diff_runs,
+        diff_to_dict,
+        evaluate_thresholds,
+        format_diff,
+        load_run,
+        parse_threshold,
+    )
+
+    try:
+        thresholds = [parse_threshold(spec) for spec in (args.fail_on or [])]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        run_a, run_b = load_run(args.run_a), load_run(args.run_b)
+    except OSError as exc:
+        print(f"error: cannot read run: {exc}", file=sys.stderr)
+        return 2
+    for run in (run_a, run_b):
+        for warning in run.warnings:
+            print(f"warning: {run.source}: {warning}", file=sys.stderr)
+    diff = diff_runs(run_a, run_b)
+    verdict = evaluate_thresholds(diff, thresholds)
+    if args.json:
+        print(json.dumps(diff_to_dict(diff, verdict), sort_keys=True))
+    else:
+        keys = list(diff.entries) if args.all else None
+        print(format_diff(diff, keys=keys, only_changed=args.changed), end="")
+    for violation in verdict.violations:
+        print(f"FAIL {violation}", file=sys.stderr)
+    if thresholds and verdict.ok:
+        print(f"OK: {len(thresholds)} regression gate(s) passed", file=sys.stderr)
+    return 0 if verdict.ok else 1
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    from .obs.analyze import (
+        append_history,
+        check_history,
+        load_bench_file,
+        load_history,
+    )
+
+    try:
+        rows = [load_bench_file(path) for path in args.bench]
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "append":
+        written = append_history(args.history, rows)
+        print(f"appended {written} row(s) to {args.history}", file=sys.stderr)
+        return 0
+    history, warnings = load_history(args.history)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    check = check_history(
+        history, rows,
+        window=args.window,
+        band_pct=args.band,
+        wall_times=not args.qor_only,
+    )
+    if args.json:
+        print(json.dumps(check.to_dict(), sort_keys=True))
+    else:
+        for entry in check.compared:
+            pct = entry["pct"]
+            print(f"{entry['circuit']:>12s} {entry['measure']:<18s} "
+                  f"{entry['current']:>12g} vs median {entry['baseline_median']:>12g} "
+                  f"({'+inf' if pct is None else format(pct, '+.1f')}%) "
+                  f"{'ok' if entry['ok'] else 'REGRESSION'}")
+    for warning in check.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    for violation in check.violations:
+        print(f"FAIL {violation}", file=sys.stderr)
+    if check.ok:
+        print(f"OK: {len(check.compared)} measure(s) within {args.band:g}% "
+              f"of median-of-{args.window}", file=sys.stderr)
+    return 0 if check.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,18 +489,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="the 23um lab device instead of the 22nm point")
     p_device.set_defaults(func=_cmd_device)
 
-    p_xbar = sub.add_parser("crossbar", help="program a crossbar via half-select")
-    p_xbar.add_argument("--rows", type=int, default=2)
-    p_xbar.add_argument("--cols", type=int, default=2)
-    p_xbar.add_argument("--targets", default="0,0;1,1",
-                        help="semicolon-separated r,c pairs")
-    p_xbar.set_defaults(func=_cmd_crossbar)
-
     def add_obs_args(p):
         p.add_argument("--metrics-out", metavar="PATH",
                        help="write run manifest + spans + metrics as JSONL")
         p.add_argument("-v", "--verbose", action="count", default=0,
                        help="structured logs to stderr (-vv for debug)")
+
+    p_xbar = sub.add_parser("crossbar", help="program a crossbar via half-select")
+    p_xbar.add_argument("--rows", type=int, default=2)
+    p_xbar.add_argument("--cols", type=int, default=2)
+    p_xbar.add_argument("--targets", default="0,0;1,1",
+                        help="semicolon-separated r,c pairs")
+    p_xbar.add_argument("--json", action="store_true",
+                        help="machine-readable result on stdout")
+    add_obs_args(p_xbar)
+    p_xbar.set_defaults(func=_cmd_crossbar)
 
     def add_flow_args(p, width_default=64):
         p.add_argument("--circuit", default="ava", help="suite circuit name")
@@ -356,6 +524,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="Fig. 12 downsizing trade-off")
     add_flow_args(p_sweep)
+    p_sweep.add_argument("--json", action="store_true",
+                         help="machine-readable result on stdout")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_headline = sub.add_parser("headline", help="suite-level headline table")
@@ -384,6 +554,58 @@ def build_parser() -> argparse.ArgumentParser:
                            default="segment_length")
     add_flow_args(p_explore, width_default=48)
     p_explore.set_defaults(func=_cmd_explore)
+
+    p_report = sub.add_parser(
+        "report", help="render a --metrics-out JSONL run as a readable report")
+    p_report.add_argument("run", help="telemetry JSONL file")
+    p_report.add_argument("--html", metavar="PATH",
+                          help="additionally write a standalone HTML report")
+    p_report.add_argument("--max-depth", type=int, default=None,
+                          help="limit span timeline depth")
+    p_report.add_argument("--no-flame", action="store_true",
+                          help="skip the text flamegraph section")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two telemetry runs; gate with --fail-on")
+    p_diff.add_argument("run_a", help="baseline run JSONL (A)")
+    p_diff.add_argument("run_b", help="candidate run JSONL (B)")
+    p_diff.add_argument("--fail-on", action="append", metavar="EXPR",
+                        help="regression gate, e.g. 'route.wall_s>+10%%' or "
+                             "'route.wirelength>+0' (repeatable); exit 1 when "
+                             "violated")
+    p_diff.add_argument("--changed", action="store_true",
+                        help="only show metrics that changed")
+    p_diff.add_argument("--all", action="store_true",
+                        help="include per-span and per-circuit metrics in the table")
+    p_diff.add_argument("--json", action="store_true",
+                        help="machine-readable verdict on stdout")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_hist = sub.add_parser(
+        "bench-history",
+        help="benchmark-history trajectory: append BENCH_*.json, check regressions")
+    hist_sub = p_hist.add_subparsers(dest="action", required=True)
+    p_append = hist_sub.add_parser(
+        "append", help="summarise BENCH_*.json files into the history JSONL")
+    p_append.add_argument("--history", required=True, metavar="PATH",
+                          help="history JSONL file (created if absent)")
+    p_append.add_argument("bench", nargs="+", help="BENCH_<circuit>.json files")
+    p_append.set_defaults(func=_cmd_bench_history)
+    p_check = hist_sub.add_parser(
+        "check", help="gate BENCH_*.json files against the history median")
+    p_check.add_argument("--history", required=True, metavar="PATH")
+    p_check.add_argument("--window", type=int, default=5,
+                         help="median over the last N history rows (default 5)")
+    p_check.add_argument("--band", type=float, default=25.0,
+                         help="allowed regression in percent (default 25)")
+    p_check.add_argument("--qor-only", action="store_true",
+                         help="gate only QoR measures, not wall times "
+                              "(for cross-machine comparisons)")
+    p_check.add_argument("--json", action="store_true",
+                         help="machine-readable verdict on stdout")
+    p_check.add_argument("bench", nargs="+", help="BENCH_<circuit>.json files")
+    p_check.set_defaults(func=_cmd_bench_history)
     return parser
 
 

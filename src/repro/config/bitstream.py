@@ -31,6 +31,7 @@ from ..nemrelay.device import NEMRelay
 from ..nemrelay.electrostatics import ActuationModel
 from ..nemrelay.geometry import SCALED_22NM_DEVICE
 from ..nemrelay.materials import AIR, POLYSILICON
+from ..obs import get_registry, get_tracer
 from ..vpr.route import RoutingResult
 
 Edge = Tuple[int, int]
@@ -205,24 +206,47 @@ def program_fabric(
         voltages = solve_voltages([model.pull_in], [model.pull_out])
         assert voltages is not None
     plans = plan_tile_arrays(bitstream, max_rows=max_rows)
-    failures: List[Tile] = []
-    relays_closed = 0
-    row_steps = 0
-    for plan in plans:
-        crossbar = RelayCrossbar(plan.rows, plan.cols, lambda r, c: NEMRelay(model))
-        programmer = HalfSelectProgrammer(crossbar, voltages)
-        configured = programmer.program(plan.targets)
-        row_steps += len({r for (r, _c) in plan.targets}) + 2  # + erase, hold
-        if configured != plan.targets:
-            failures.append(plan.tile)
-        else:
-            relays_closed += len(configured)
-    return ProgrammingReport(
-        arrays_programmed=len(plans),
-        relays_closed=relays_closed,
-        failures=failures,
-        row_steps=row_steps,
-    )
+    with get_tracer().span(
+        "crossbar.program_fabric",
+        tiles=len(plans),
+        switches=bitstream.total_switches,
+        v_hold=voltages.v_hold,
+        v_select=voltages.v_select,
+    ) as tspan:
+        failures: List[Tile] = []
+        relays_closed = 0
+        row_steps = 0
+        margin_worst: Optional[float] = None
+        for plan in plans:
+            crossbar = RelayCrossbar(plan.rows, plan.cols, lambda r, c: NEMRelay(model))
+            programmer = HalfSelectProgrammer(crossbar, voltages)
+            configured = programmer.program(plan.targets)
+            row_steps += len({r for (r, _c) in plan.targets}) + 2  # + erase, hold
+            margins = programmer.population_margins()
+            if margin_worst is None or margins.worst < margin_worst:
+                margin_worst = margins.worst
+            if configured != plan.targets:
+                failures.append(plan.tile)
+            else:
+                relays_closed += len(configured)
+        tspan.set_many(
+            arrays_programmed=len(plans),
+            relays_closed=relays_closed,
+            row_steps=row_steps,
+            failures=len(failures),
+            success=not failures,
+            margin_worst_v=margin_worst,
+        )
+        registry = get_registry()
+        registry.counter("crossbar.fabric_programs").inc()
+        registry.counter("crossbar.fabric_failures").inc(len(failures))
+        registry.gauge("crossbar.fabric_row_steps").set(row_steps)
+        return ProgrammingReport(
+            arrays_programmed=len(plans),
+            relays_closed=relays_closed,
+            failures=failures,
+            row_steps=row_steps,
+        )
 
 
 def verify_bitstream_connectivity(

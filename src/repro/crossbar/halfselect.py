@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import get_registry, get_tracer
 from .array import Coordinate, RelayCrossbar
 
 
@@ -190,22 +191,55 @@ class HalfSelectProgrammer:
         for r, c in target_set:
             if not (0 <= r < self.crossbar.rows and 0 <= c < self.crossbar.cols):
                 raise ValueError(f"target {(r, c)} outside {self.crossbar.rows}x{self.crossbar.cols}")
-        if erase_first:
-            self.erase()
-        self.hold()
-        v = self.voltages
-        for row in range(self.crossbar.rows):
-            cols_in_row = sorted(c for (r, c) in target_set if r == row)
-            if not cols_in_row:
-                continue
-            row_v = [v.v_hold] * self.crossbar.rows
-            row_v[row] = v.v_hold + v.v_select
-            col_v = [0.0] * self.crossbar.cols
-            for c in cols_in_row:
-                col_v[c] = -v.v_select
-            self._drive(row_v, col_v)
+        with get_tracer().span(
+            "crossbar.program",
+            rows=self.crossbar.rows,
+            cols=self.crossbar.cols,
+            targets=len(target_set),
+        ) as tspan:
+            pulses_before = len(self.history)
+            if erase_first:
+                self.erase()
             self.hold()
-        return self.crossbar.configuration()
+            v = self.voltages
+            row_pulses = 0
+            for row in range(self.crossbar.rows):
+                cols_in_row = sorted(c for (r, c) in target_set if r == row)
+                if not cols_in_row:
+                    continue
+                row_v = [v.v_hold] * self.crossbar.rows
+                row_v[row] = v.v_hold + v.v_select
+                col_v = [0.0] * self.crossbar.cols
+                for c in cols_in_row:
+                    col_v[c] = -v.v_select
+                self._drive(row_v, col_v)
+                self.hold()
+                row_pulses += 1
+            configured = self.crossbar.configuration()
+            margins = self.population_margins()
+            tspan.set_many(
+                row_pulses=row_pulses,
+                line_steps=len(self.history) - pulses_before,
+                relays_closed=len(configured),
+                verified=configured == target_set,
+                margin_worst_v=margins.worst,
+                margins_ok=margins.all_positive,
+            )
+            registry = get_registry()
+            registry.counter("crossbar.programs").inc()
+            registry.counter("crossbar.row_pulses").inc(row_pulses)
+            registry.counter("crossbar.relays_closed").inc(len(configured))
+            registry.gauge("crossbar.margin_worst_v").set(margins.worst)
+            if configured != target_set:
+                registry.counter("crossbar.verify_failures").inc()
+            return configured
+
+    def population_margins(self) -> NoiseMargins:
+        """Programming noise margins of the operating point over this
+        crossbar's actual relay population (per-device Vpi/Vpo)."""
+        vpis = [r.pull_in_voltage for r in self.crossbar.relays.values()]
+        vpos = [r.pull_out_voltage for r in self.crossbar.relays.values()]
+        return self.voltages.margins(min(vpis), max(vpis), max(vpos))
 
     def verify(self, targets: Iterable[Coordinate]) -> bool:
         """True if the crossbar configuration equals ``targets`` exactly."""

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import get_registry, get_tracer
 from .electrostatics import pull_in_voltage, pull_out_voltage
 from .geometry import BeamGeometry
 from .materials import Ambient, Material
@@ -156,6 +157,38 @@ def sample_population(
     """
     if count < 1:
         raise ValueError(f"count must be >= 1, got {count}")
+    with get_tracer().span("nemrelay.variation_mc", count=count, seed=seed) as tspan:
+        result = _sample_population_impl(material, nominal, ambient, count, spec, seed)
+        tspan.set_many(
+            vpi_min=result.vpi_min,
+            vpi_max=result.vpi_max,
+            vpo_min=result.vpo_min,
+            vpo_max=result.vpo_max,
+            vpi_spread=result.vpi_spread,
+            min_hysteresis_window=result.min_hysteresis_window,
+            half_select_feasible=result.half_select_feasible(),
+        )
+        registry = get_registry()
+        registry.counter("nemrelay.mc_runs").inc()
+        registry.counter("nemrelay.mc_samples").inc(count)
+        registry.gauge("nemrelay.vpi_spread_v").set(result.vpi_spread)
+        registry.gauge("nemrelay.min_window_v").set(result.min_hysteresis_window)
+        vpi_hist = registry.histogram("nemrelay.vpi_v")
+        vpo_hist = registry.histogram("nemrelay.vpo_v")
+        for vpi_sample, vpo_sample in zip(result.vpi, result.vpo):
+            vpi_hist.observe(float(vpi_sample))
+            vpo_hist.observe(float(vpo_sample))
+        return result
+
+
+def _sample_population_impl(
+    material: Material,
+    nominal: BeamGeometry,
+    ambient: Ambient,
+    count: int,
+    spec: VariationSpec,
+    seed: int,
+) -> VariationResult:
     rng = np.random.default_rng(seed)
     ts = spec.truncate_sigma
     lengths = _truncated_normal(rng, nominal.length, spec.sigma_length * nominal.length, ts, count)

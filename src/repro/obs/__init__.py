@@ -21,6 +21,9 @@ Modules:
 * `registry` — named get-or-create `MetricsRegistry`
 * `export`   — run manifest + JSON/JSONL writers (`export_run`)
 * `logging`  — structured stderr logging (`setup_logging`, `kv`)
+* `analyze`  — the consumer side: run reports (`repro report`),
+  run-to-run diffing with regression gates (`repro diff`), and the
+  benchmark-history store (`repro bench-history`)
 """
 
 from .trace import (
@@ -49,8 +52,10 @@ from .export import (
     write_jsonl,
 )
 from .logging import StructuredFormatter, get_logger, kv, setup_logging
+from . import analyze
 
 __all__ = [
+    "analyze",
     "Counter",
     "Gauge",
     "Histogram",

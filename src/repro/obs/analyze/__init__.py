@@ -1,0 +1,62 @@
+"""Telemetry analysis: the consumer side of `repro.obs`.
+
+PR 1 made the flow *emit* telemetry; this package *consumes* it:
+
+* `records` — typed, forward-compatible parsing of exported JSONL
+  (`load_run` -> `ParsedRun` of `SpanNode` trees + metrics);
+* `report`  — human-readable run reports (`repro report`);
+* `diff`    — run-to-run alignment, delta tables and regression gates
+  (`repro diff --fail-on 'route.wall_s>+10%'`);
+* `history` — benchmark-history trajectory + median-of-N gating
+  (`repro bench-history append/check`).
+"""
+
+from .records import ParsedRun, SpanNode, load_run, parse_run
+from .report import render_html, render_report
+from .diff import (
+    DiffEntry,
+    RunDiff,
+    Threshold,
+    Verdict,
+    diff_runs,
+    diff_to_dict,
+    evaluate_thresholds,
+    format_diff,
+    parse_threshold,
+    run_measurements,
+)
+from .history import (
+    HISTORY_SCHEMA,
+    HistoryCheck,
+    append_history,
+    check_history,
+    load_bench_file,
+    load_history,
+    summarize_bench,
+)
+
+__all__ = [
+    "DiffEntry",
+    "HISTORY_SCHEMA",
+    "HistoryCheck",
+    "ParsedRun",
+    "RunDiff",
+    "SpanNode",
+    "Threshold",
+    "Verdict",
+    "append_history",
+    "check_history",
+    "diff_runs",
+    "diff_to_dict",
+    "evaluate_thresholds",
+    "format_diff",
+    "load_bench_file",
+    "load_history",
+    "load_run",
+    "parse_run",
+    "parse_threshold",
+    "render_html",
+    "render_report",
+    "run_measurements",
+    "summarize_bench",
+]

@@ -1,0 +1,243 @@
+"""Benchmark history: a compact JSONL trajectory of bench telemetry
+(`repro bench-history append/check`).
+
+The benchmark harness (benchmarks/conftest.py) writes one
+``BENCH_<circuit>.json`` per traced circuit.  `summarize_bench`
+reduces one of those documents to a single history *row* — git SHA,
+timestamp, per-stage wall times, and QoR (wirelength, iterations,
+channel width) — and `append_history` maintains a deduplicated
+append-only JSONL file of rows keyed by (git SHA, circuit).
+
+`check_history` is the noise-tolerant regression gate: each current
+row is compared against the **median of the last N** prior rows for
+its circuit (median-of-N absorbs machine noise on wall times), and a
+measure fails when it exceeds the median by more than the relative
+band.  QoR measures are gated with the same band; they are
+deterministic per seed, so any drift within the band is a real —
+if tolerable — change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..export import _ensure_parent
+
+#: Bump when a history row's shape changes incompatibly.
+HISTORY_SCHEMA = 1
+
+#: Wall-time stages recorded per row (from BENCH telemetry.stages,
+#: normalised to bare stage names).
+_STAGE_KEYS = ("pack", "place", "route")
+
+
+def _route_qor(flows: Sequence[dict]) -> Dict[str, float]:
+    """Final-route QoR attrs from a BENCH document's flow span dumps."""
+    qor: Dict[str, float] = {}
+    for flow in flows:
+        if not isinstance(flow, dict):
+            continue
+        for child in flow.get("children") or ():
+            if not isinstance(child, dict) or child.get("name") != "flow.route":
+                continue
+            attrs = child.get("attrs") or {}
+            for key in ("wirelength", "iterations", "channel_width", "overused_nodes"):
+                value = attrs.get(key)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    qor[key] = float(value)
+    return qor
+
+
+def summarize_bench(doc: dict, source: str = "<bench>") -> dict:
+    """One history row from a loaded ``BENCH_<circuit>.json`` document."""
+    if not isinstance(doc, dict) or "circuit" not in doc:
+        raise ValueError(f"{source}: not a BENCH_<circuit>.json document "
+                         "(missing 'circuit')")
+    manifest = doc.get("manifest") or {}
+    telemetry = doc.get("telemetry") or {}
+    stages_in = telemetry.get("stages") or {}
+    stages = {}
+    for key, value in stages_in.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            # "flow.pack" and bare "pack" both normalise to "pack".
+            stages[str(key).split(".")[-1]] = float(value)
+    row = {
+        "type": "bench",
+        "schema": HISTORY_SCHEMA,
+        "circuit": doc["circuit"],
+        "git_sha": manifest.get("git_sha"),
+        "created_unix": manifest.get("created_unix"),
+        "scale": manifest.get("bench_scale"),
+        "stages": stages,
+        "qor": _route_qor(telemetry.get("flows") or ()),
+    }
+    return row
+
+
+def load_bench_file(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return summarize_bench(doc, source=path)
+
+
+def load_history(path: str) -> Tuple[List[dict], List[str]]:
+    """(rows, warnings); unknown row types/schemas skip with a warning."""
+    rows: List[dict] = []
+    warnings: List[str] = []
+    if not os.path.exists(path):
+        return rows, warnings
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                warnings.append(f"{path}:{lineno}: not valid JSON, skipped")
+                continue
+            if not isinstance(row, dict) or row.get("type") != "bench":
+                warnings.append(f"{path}:{lineno}: not a bench row, skipped")
+                continue
+            schema = row.get("schema")
+            if isinstance(schema, (int, float)) and schema > HISTORY_SCHEMA:
+                warnings.append(
+                    f"{path}:{lineno}: history schema {schema} newer than "
+                    f"supported {HISTORY_SCHEMA}, skipped")
+                continue
+            rows.append(row)
+    return rows, warnings
+
+
+def _row_key(row: dict) -> Optional[Tuple[str, str]]:
+    sha, circuit = row.get("git_sha"), row.get("circuit")
+    if isinstance(sha, str) and isinstance(circuit, str):
+        return (sha, circuit)
+    return None
+
+
+def append_history(path: str, rows: Sequence[dict]) -> int:
+    """Append rows, replacing any existing row with the same
+    (git SHA, circuit) key so re-running a bench at one commit updates
+    rather than duplicates.  Returns the number of rows written."""
+    existing, _warnings = load_history(path)
+    new_keys = {_row_key(r) for r in rows if _row_key(r) is not None}
+    kept = [r for r in existing if _row_key(r) not in new_keys]
+    merged = kept + list(rows)
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in merged:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+    return len(rows)
+
+
+def _measures(row: dict) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for stage, value in (row.get("stages") or {}).items():
+        if stage in _STAGE_KEYS:
+            out[f"{stage}.wall_s"] = value
+    for key, value in (row.get("qor") or {}).items():
+        out[f"qor.{key}"] = value
+    return out
+
+
+@dataclasses.dataclass
+class HistoryCheck:
+    """Outcome of gating current bench rows against the history."""
+
+    window: int
+    band_pct: float
+    compared: List[Dict[str, object]] = dataclasses.field(default_factory=list)
+    violations: List[str] = dataclasses.field(default_factory=list)
+    warnings: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "window": self.window,
+            "band_pct": self.band_pct,
+            "compared": self.compared,
+            "violations": list(self.violations),
+            "warnings": list(self.warnings),
+        }
+
+
+def check_history(
+    history_rows: Sequence[dict],
+    current_rows: Sequence[dict],
+    window: int = 5,
+    band_pct: float = 25.0,
+    wall_times: bool = True,
+) -> HistoryCheck:
+    """Gate current rows against the median of the last ``window``
+    history rows per circuit.
+
+    Args:
+        wall_times: Include ``<stage>.wall_s`` measures in the gate
+            (disable when comparing across machines — QoR measures are
+            machine-independent, wall times are not).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if band_pct < 0:
+        raise ValueError(f"band_pct must be >= 0, got {band_pct}")
+    result = HistoryCheck(window=window, band_pct=band_pct)
+    by_circuit: Dict[str, List[dict]] = {}
+    for row in history_rows:
+        circuit = row.get("circuit")
+        if isinstance(circuit, str):
+            by_circuit.setdefault(circuit, []).append(row)
+    # Chronological order so "last N" means the newest commits.
+    for rows in by_circuit.values():
+        rows.sort(key=lambda r: r.get("created_unix") or 0)
+
+    for row in current_rows:
+        circuit = row.get("circuit")
+        prior = by_circuit.get(circuit, [])
+        # Don't compare a row against itself when it was appended first.
+        key = _row_key(row)
+        prior = [p for p in prior if _row_key(p) != key or key is None]
+        if not prior:
+            result.warnings.append(
+                f"{circuit}: no prior history rows, nothing to gate against")
+            continue
+        recent = prior[-window:]
+        current = _measures(row)
+        for measure, value in sorted(current.items()):
+            if not wall_times and measure.endswith(".wall_s"):
+                continue
+            baseline_values = [m[measure] for m in map(_measures, recent)
+                               if measure in m]
+            if not baseline_values:
+                continue
+            baseline = statistics.median(baseline_values)
+            if baseline == 0:
+                pct = 0.0 if value == 0 else float("inf")
+            else:
+                pct = 100.0 * (value - baseline) / abs(baseline)
+            ok = pct <= band_pct
+            result.compared.append({
+                "circuit": circuit,
+                "measure": measure,
+                "baseline_median": baseline,
+                "samples": len(baseline_values),
+                "current": value,
+                "pct": None if pct == float("inf") else pct,
+                "ok": ok,
+            })
+            if not ok:
+                result.violations.append(
+                    f"{circuit}: {measure} = {value:g} vs median-of-"
+                    f"{len(baseline_values)} {baseline:g} "
+                    f"(+{pct:.1f}% > band {band_pct:g}%)"
+                )
+    return result

@@ -1,0 +1,192 @@
+"""Typed view of an exported telemetry run (schema-v1 JSONL).
+
+`load_run` / `parse_run` turn the raw record dicts written by
+`repro.obs.export` into a `ParsedRun`: the manifest, a forest of
+`SpanNode`s, and the metrics snapshot.  The parser is deliberately
+forward-compatible — records with an unknown ``type`` and manifests
+declaring a newer ``SCHEMA_VERSION`` are *skipped with a warning*
+(collected on ``ParsedRun.warnings``), never a crash, so a `repro
+report` built today keeps working on telemetry written by a future
+exporter.
+
+Span identity for cross-run alignment is the *path*: the chain of
+span names from the root, ``/``-joined, with ``#n`` suffixes
+disambiguating repeated sibling names in start order
+(``flow.run/flow.route``, ``flow.run/flow.route#2`` ...).  Paths are
+stable across runs of the same flow, which is what `repro diff`
+aligns on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..export import SCHEMA_VERSION, read_jsonl
+
+
+@dataclasses.dataclass
+class SpanNode:
+    """One span of a parsed run (the analysis-side mirror of
+    `repro.obs.trace.Span`).
+
+    Attributes:
+        name: Dotted stage name (``"flow.route"``).
+        path: Root-anchored alignment key (see module docstring).
+        duration_s: Wall time; None for spans exported while open.
+        peak_rss_kb: Process peak RSS at span end, when recorded.
+        attrs: Exported attribute dict (JSON values).
+        children: Nested spans, in start order.
+    """
+
+    name: str
+    path: str
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    status: str = "ok"
+    start_time: Optional[float] = None
+    duration_s: Optional[float] = None
+    peak_rss_kb: Optional[int] = None
+    attrs: Dict[str, object] = dataclasses.field(default_factory=dict)
+    children: List["SpanNode"] = dataclasses.field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        """Wall time including children (0.0 when unrecorded)."""
+        return self.duration_s or 0.0
+
+    @property
+    def self_s(self) -> float:
+        """Wall time minus child wall time (own work only)."""
+        return max(0.0, self.total_s - sum(c.total_s for c in self.children))
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["SpanNode", int]]:
+        """(node, depth) pairs, depth-first in start order."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+@dataclasses.dataclass
+class ParsedRun:
+    """Everything one telemetry JSONL file says, typed.
+
+    Attributes:
+        source: Where the records came from (path or label).
+        manifest: The provenance record, or None if absent/unreadable.
+        spans: Root spans, in export order.
+        metrics: Metric name -> snapshot dict from the metrics record.
+        warnings: Human-readable notes about skipped/odd records.
+    """
+
+    source: str
+    manifest: Optional[Dict[str, object]] = None
+    spans: List[SpanNode] = dataclasses.field(default_factory=list)
+    metrics: Dict[str, Dict[str, object]] = dataclasses.field(default_factory=dict)
+    warnings: List[str] = dataclasses.field(default_factory=list)
+
+    def walk(self) -> Iterator[Tuple[SpanNode, int]]:
+        """(node, depth) over every span tree."""
+        for root in self.spans:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[SpanNode]:
+        """All spans with the given name, depth-first order."""
+        return [node for node, _depth in self.walk() if node.name == name]
+
+    def by_path(self) -> Dict[str, SpanNode]:
+        """Path -> span for cross-run alignment (paths are unique)."""
+        return {node.path: node for node, _depth in self.walk()}
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(root.total_s for root in self.spans)
+
+
+def _span_from_dict(record: Dict[str, object], parent_path: str,
+                    sibling_names: Dict[str, int]) -> SpanNode:
+    """Build one SpanNode (and subtree), tolerating missing keys."""
+    name = str(record.get("name") or "<unnamed>")
+    count = sibling_names.get(name, 0)
+    sibling_names[name] = count + 1
+    leaf = name if count == 0 else f"{name}#{count + 1}"
+    path = f"{parent_path}/{leaf}" if parent_path else leaf
+    node = SpanNode(
+        name=name,
+        path=path,
+        span_id=record.get("span_id"),
+        parent_id=record.get("parent_id"),
+        status=str(record.get("status", "ok")),
+        start_time=_as_float(record.get("start_time")),
+        duration_s=_as_float(record.get("duration_s")),
+        peak_rss_kb=_as_int(record.get("peak_rss_kb")),
+        attrs=dict(record.get("attrs") or {}),
+    )
+    child_names: Dict[str, int] = {}
+    for child in record.get("children") or ():
+        if isinstance(child, dict):
+            node.children.append(_span_from_dict(child, path, child_names))
+    return node
+
+
+def _as_float(value: object) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _as_int(value: object) -> Optional[int]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return int(value)
+
+
+def parse_run(records: List[object], source: str = "<records>") -> ParsedRun:
+    """Typed run from raw record dicts; never raises on odd records.
+
+    Skipped-with-warning cases: non-dict records, records without a
+    recognised ``type``, manifests declaring a schema newer than this
+    reader's `SCHEMA_VERSION`.
+    """
+    run = ParsedRun(source=source)
+    root_names: Dict[str, int] = {}
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            run.warnings.append(f"record {index}: not a JSON object, skipped")
+            continue
+        rtype = record.get("type")
+        if rtype == "manifest":
+            schema = record.get("schema")
+            if isinstance(schema, (int, float)) and schema > SCHEMA_VERSION:
+                run.warnings.append(
+                    f"record {index}: manifest schema {schema} is newer than "
+                    f"supported {SCHEMA_VERSION}, skipped"
+                )
+                continue
+            if run.manifest is not None:
+                run.warnings.append(f"record {index}: duplicate manifest, skipped")
+                continue
+            run.manifest = record
+        elif rtype == "span":
+            run.spans.append(_span_from_dict(record, "", root_names))
+        elif rtype == "metrics":
+            metrics = record.get("metrics")
+            if isinstance(metrics, dict):
+                run.metrics.update(metrics)
+            else:
+                run.warnings.append(f"record {index}: metrics record without "
+                                    "a metrics dict, skipped")
+        else:
+            run.warnings.append(
+                f"record {index}: unknown record type {rtype!r}, skipped"
+            )
+    return run
+
+
+def load_run(path: str) -> ParsedRun:
+    """Parse one exported JSONL file (tolerant of malformed lines)."""
+    records, bad_lines = read_jsonl(path, strict=False, return_errors=True)
+    run = parse_run(records, source=path)
+    for lineno in bad_lines:
+        run.warnings.insert(0, f"line {lineno}: not valid JSON, skipped")
+    return run

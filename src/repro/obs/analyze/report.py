@@ -1,0 +1,249 @@
+"""Human-readable run reports over parsed telemetry (`repro report`).
+
+`render_report` turns a `ParsedRun` into a text report: provenance
+header, an indented span timeline with total/self wall time and
+peak-RSS attribution, a text flamegraph, PathFinder-convergence and
+anneal-trajectory summaries, and the metrics snapshot.  `render_html`
+emits the same content as a dependency-free standalone HTML page
+(nested ``<details>`` for the span tree).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List, Optional, Sequence
+
+from .records import ParsedRun, SpanNode
+
+#: Span attrs worth inlining on the timeline (kept short; everything
+#: else stays available in the raw JSONL).
+_TIMELINE_ATTRS = (
+    "circuit", "seed", "variant", "channel_width", "width", "wmin",
+    "success", "iterations", "wirelength", "overused_nodes", "clusters",
+    "luts", "bles", "cost", "critical_path_s", "nets", "probes",
+    "arrays_programmed", "relays_closed", "row_steps", "row_pulses",
+    "count", "vpi_spread", "sta_pass", "phase",
+)
+
+#: Drop bulky series attrs from inline display.
+_BULKY_ATTRS = ("convergence", "trajectory")
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "    open"
+    if value >= 100:
+        return f"{value:7.1f}s"
+    if value >= 0.1:
+        return f"{value:7.3f}s"
+    return f"{value * 1e3:6.2f}ms"
+
+
+def _fmt_rss(kb: Optional[int]) -> str:
+    if kb is None:
+        return "      -"
+    return f"{kb / 1024:6.1f}M"
+
+
+def _fmt_attr(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _inline_attrs(span: SpanNode) -> str:
+    parts = [
+        f"{key}={_fmt_attr(span.attrs[key])}"
+        for key in _TIMELINE_ATTRS
+        if key in span.attrs and span.attrs[key] is not None
+    ]
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def _manifest_lines(run: ParsedRun) -> List[str]:
+    lines = [f"run: {run.source}"]
+    manifest = run.manifest
+    if manifest is None:
+        lines.append("manifest: (none)")
+        return lines
+    keys = ("created", "python", "platform", "git_sha", "seed",
+            "circuit", "suite", "scale", "argv")
+    shown = [f"{k}={_fmt_attr(manifest[k])}" for k in keys
+             if manifest.get(k) is not None]
+    lines.append("manifest: " + ("  ".join(shown) if shown else "(empty)"))
+    return lines
+
+
+def _timeline_lines(run: ParsedRun, max_depth: Optional[int] = None) -> List[str]:
+    lines = [f"{'total':>8s} {'self':>8s} {'peakRSS':>7s}  span"]
+    for node, depth in run.walk():
+        if max_depth is not None and depth > max_depth:
+            continue
+        marker = "" if node.status == "ok" else f"  !{node.status}"
+        lines.append(
+            f"{_fmt_seconds(node.duration_s):>8s} {_fmt_seconds(node.self_s):>8s} "
+            f"{_fmt_rss(node.peak_rss_kb)}  {'  ' * depth}{node.name}"
+            f"{_inline_attrs(node)}{marker}"
+        )
+    return lines
+
+
+def _flame_lines(run: ParsedRun, width: int = 40,
+                 max_depth: Optional[int] = None) -> List[str]:
+    total = run.total_wall_s
+    if total <= 0:
+        return ["(no recorded wall time)"]
+    lines = []
+    for node, depth in run.walk():
+        if max_depth is not None and depth > max_depth:
+            continue
+        frac = node.total_s / total
+        bar = "#" * max(1, round(frac * width)) if node.total_s > 0 else "."
+        lines.append(
+            f"{'  ' * depth}{node.name:<{max(1, 30 - 2 * depth)}s} "
+            f"{bar:<{width}s} {100 * frac:5.1f}%  {_fmt_seconds(node.duration_s).strip()}"
+        )
+    return lines
+
+
+def _convergence_lines(run: ParsedRun) -> List[str]:
+    lines = []
+    for span in run.find("route.pathfinder"):
+        series = span.attrs.get("convergence")
+        if not isinstance(series, list) or not series:
+            continue
+        first, last = series[0], series[-1]
+        overuse = [it.get("overused_nodes") for it in series
+                   if isinstance(it, dict)]
+        peak = max((o for o in overuse if isinstance(o, (int, float))),
+                   default=None)
+        lines.append(
+            f"{span.path}: {len(series)} iterations, overuse "
+            f"{_fmt_attr(first.get('overused_nodes'))} -> "
+            f"{_fmt_attr(last.get('overused_nodes'))} (peak {_fmt_attr(peak)}), "
+            f"pres_fac {_fmt_attr(first.get('pres_fac'))} -> "
+            f"{_fmt_attr(last.get('pres_fac'))}, "
+            f"wirelength {_fmt_attr(last.get('wirelength'))}"
+        )
+    return lines
+
+
+def _anneal_lines(run: ParsedRun) -> List[str]:
+    lines = []
+    for span in run.find("place.anneal"):
+        stages = span.attrs.get("trajectory")
+        if not isinstance(stages, list) or not stages:
+            continue
+        first, last = stages[0], stages[-1]
+        lines.append(
+            f"{span.path}: {len(stages)} temperature steps, "
+            f"T {_fmt_attr(first.get('temperature'))} -> "
+            f"{_fmt_attr(last.get('temperature'))}, "
+            f"cost {_fmt_attr(first.get('cost'))} -> {_fmt_attr(last.get('cost'))}, "
+            f"acceptance {_fmt_attr(first.get('acceptance_rate'))} -> "
+            f"{_fmt_attr(last.get('acceptance_rate'))}"
+        )
+    return lines
+
+
+def _metric_lines(run: ParsedRun) -> List[str]:
+    lines = []
+    for name in sorted(run.metrics):
+        snap = run.metrics[name]
+        kind = snap.get("kind", "?")
+        if kind == "histogram":
+            body = "  ".join(
+                f"{key}={_fmt_attr(snap[key])}" for key in
+                ("count", "mean", "min", "p50", "p90", "max")
+                if snap.get(key) is not None
+            )
+        else:
+            body = f"value={_fmt_attr(snap.get('value'))}"
+        lines.append(f"{name:<36s} {kind:<9s} {body}")
+    return lines
+
+
+def _section(title: str, lines: Sequence[str]) -> List[str]:
+    if not lines:
+        return []
+    return ["", title, "-" * len(title), *lines]
+
+
+def render_report(run: ParsedRun, flame: bool = True,
+                  max_depth: Optional[int] = None) -> str:
+    """The full text report for one parsed run."""
+    out: List[str] = _manifest_lines(run)
+    if run.warnings:
+        out += _section(f"warnings ({len(run.warnings)})",
+                        [f"- {w}" for w in run.warnings])
+    if run.spans:
+        out += _section("span timeline", _timeline_lines(run, max_depth))
+        if flame:
+            out += _section("flamegraph (share of run wall time)",
+                            _flame_lines(run, max_depth=max_depth))
+    else:
+        out += ["", "(no span records)"]
+    out += _section("pathfinder convergence", _convergence_lines(run))
+    out += _section("anneal trajectory", _anneal_lines(run))
+    out += _section("metrics", _metric_lines(run))
+    return "\n".join(out) + "\n"
+
+
+def _html_span(node: SpanNode, total: float) -> str:
+    pct = 100.0 * node.total_s / total if total > 0 else 0.0
+    attrs = {k: v for k, v in node.attrs.items() if k not in _BULKY_ATTRS}
+    attr_text = _html.escape(
+        "  ".join(f"{k}={_fmt_attr(v)}" for k, v in sorted(attrs.items()))
+    )
+    label = (
+        f"<code>{_html.escape(node.name)}</code> "
+        f"<b>{_html.escape(_fmt_seconds(node.duration_s).strip())}</b> "
+        f"(self {_html.escape(_fmt_seconds(node.self_s).strip())}, {pct:.1f}%)"
+        + (f" <span class=err>{_html.escape(node.status)}</span>"
+           if node.status != "ok" else "")
+    )
+    bar = (f"<div class=bar><div class=fill style='width:{pct:.2f}%'>"
+           "</div></div>")
+    body = f"<div class=attrs>{attr_text}</div>" if attr_text else ""
+    if not node.children:
+        return f"<li>{label}{bar}{body}</li>"
+    children = "".join(_html_span(c, total) for c in node.children)
+    return (f"<li><details open><summary>{label}</summary>{bar}{body}"
+            f"<ul>{children}</ul></details></li>")
+
+
+def render_html(run: ParsedRun) -> str:
+    """Standalone HTML report (no external assets)."""
+    total = run.total_wall_s
+    sections: List[str] = []
+    manifest_text = "<br>".join(_html.escape(l) for l in _manifest_lines(run))
+    sections.append(f"<p>{manifest_text}</p>")
+    if run.warnings:
+        items = "".join(f"<li>{_html.escape(w)}</li>" for w in run.warnings)
+        sections.append(f"<h2>warnings</h2><ul class=warn>{items}</ul>")
+    if run.spans:
+        spans = "".join(_html_span(root, total) for root in run.spans)
+        sections.append(f"<h2>spans</h2><ul class=spans>{spans}</ul>")
+    for title, lines in (
+        ("pathfinder convergence", _convergence_lines(run)),
+        ("anneal trajectory", _anneal_lines(run)),
+        ("metrics", _metric_lines(run)),
+    ):
+        if lines:
+            body = "\n".join(_html.escape(l) for l in lines)
+            sections.append(f"<h2>{title}</h2><pre>{body}</pre>")
+    style = (
+        "body{font-family:monospace;margin:2em;max-width:70em}"
+        "ul{list-style:none;padding-left:1.2em}"
+        ".bar{background:#eee;height:6px;max-width:30em;margin:2px 0}"
+        ".fill{background:#4a7;height:6px}"
+        ".attrs{color:#666;font-size:85%}"
+        ".err{color:#b00;font-weight:bold}"
+        "ul.warn{color:#960}"
+    )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>repro report: {_html.escape(run.source)}</title>"
+        f"<style>{style}</style></head><body>"
+        f"<h1>repro run report</h1>{''.join(sections)}</body></html>"
+    )

@@ -30,14 +30,25 @@ from .trace import Span
 SCHEMA_VERSION = 1
 
 
+#: Per-process memo for `git_sha`: the SHA cannot change under a
+#: running process, and exporters call this once per record batch —
+#: one subprocess per distinct cwd is plenty.
+_git_sha_cache: Dict[str, Optional[str]] = {}
+
+
 def git_sha(cwd: Optional[str] = None) -> Optional[str]:
     """Current git commit SHA, or None outside a repo / without git.
 
     Defaults to the installed package's checkout (not the caller's
     cwd), so the manifest records the *code* provenance even when the
-    CLI runs from an unrelated directory."""
+    CLI runs from an unrelated directory.  Memoized per process and
+    per cwd; a missing ``git`` binary or any subprocess failure
+    degrades to None (and caches the None) instead of raising."""
     if cwd is None:
         cwd = os.path.dirname(os.path.abspath(__file__))
+    if cwd in _git_sha_cache:
+        return _git_sha_cache[cwd]
+    sha: Optional[str]
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -46,11 +57,12 @@ def git_sha(cwd: Optional[str] = None) -> Optional[str]:
             text=True,
             timeout=5,
         )
-    except (OSError, subprocess.TimeoutExpired):
-        return None
-    if out.returncode != 0:
-        return None
-    return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError, ValueError):
+        sha = None
+    else:
+        sha = (out.stdout.strip() or None) if out.returncode == 0 else None
+    _git_sha_cache[cwd] = sha
+    return sha
 
 
 def _jsonable(value: object) -> object:
@@ -153,14 +165,29 @@ def export_run(
     return write_jsonl(path, telemetry_records(manifest, tracer, registry))
 
 
-def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Load an exported JSONL file back into dicts (tests, analysis)."""
-    records = []
+def read_jsonl(path: str, strict: bool = True, return_errors: bool = False):
+    """Load an exported JSONL file back into dicts (tests, analysis).
+
+    With ``strict=False`` malformed lines are skipped instead of
+    raising; ``return_errors=True`` additionally returns the 1-based
+    line numbers that were skipped as ``(records, bad_lines)`` — the
+    analysis tools surface those as warnings.
+    """
+    records: List[Dict[str, object]] = []
+    bad_lines: List[int] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except ValueError:
+                if strict:
+                    raise
+                bad_lines.append(lineno)
+    if return_errors:
+        return records, bad_lines
     return records
 
 

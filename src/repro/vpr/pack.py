@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..arch.params import ArchParams
 from ..netlist.core import Block, BlockType, Netlist
+from ..obs import get_registry, get_tracer
 
 
 @dataclasses.dataclass
@@ -171,6 +172,22 @@ def pack(netlist: Netlist, params: ArchParams) -> ClusteredNetlist:
     (shared nets with the cluster, with a bonus for absorbing a net
     entirely) that keeps the cluster within N BLEs and I inputs.
     """
+    with get_tracer().span("pack.vpack", circuit=netlist.name) as tspan:
+        clustered = _pack_impl(netlist, params)
+        stats = packing_stats(clustered)
+        tspan.set_many(bles=sum(len(c.bles) for c in clustered.clusters), **stats)
+        registry = get_registry()
+        registry.counter("pack.runs").inc()
+        registry.gauge("pack.clusters").set(stats["clusters"])
+        registry.gauge("pack.external_nets").set(stats["external_nets"])
+        registry.gauge("pack.avg_fill").set(stats["avg_fill"])
+        fill = registry.histogram("pack.cluster_size")
+        for cluster in clustered.clusters:
+            fill.observe(len(cluster.bles))
+        return clustered
+
+
+def _pack_impl(netlist: Netlist, params: ArchParams) -> ClusteredNetlist:
     netlist.validate()
     bles = form_bles(netlist)
     by_name: Dict[str, BLE] = {b.name: b for b in bles}

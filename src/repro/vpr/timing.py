@@ -22,6 +22,7 @@ from ..arch.rrgraph import NodeKind, RRGraph
 from ..circuits.buffers import RoutingBuffer, restorer_delay_factor
 from ..circuits.ptm import Technology
 from ..netlist.core import BlockType
+from ..obs import get_registry, get_tracer
 from .place import Placement
 from .route import RouteTree, RoutingResult
 
@@ -409,6 +410,38 @@ def analyze_timing(
 
     Critical path = max arrival over FF D inputs and POs (+ setup).
     """
+    with get_tracer().span(
+        "timing.sta", circuit=placement.clustered.netlist.name
+    ) as tspan:
+        report = _analyze_timing_impl(placement, routing, graph, fabric)
+        tspan.set_many(
+            critical_path_s=report.critical_path,
+            critical_block=report.critical_block,
+            nets=len(report.net_delays),
+            endpoints=len(report.endpoint_predecessor),
+        )
+        registry = get_registry()
+        registry.counter("timing.sta_runs").inc()
+        registry.gauge("timing.critical_path_s").set(report.critical_path)
+        if report.critical_path > 0:
+            slack_hist = registry.histogram("timing.slack_s")
+            slacks = report.slacks()
+            for slack in slacks.values():
+                slack_hist.observe(slack)
+            tspan.set(
+                "near_critical_endpoints",
+                sum(1 for s in slacks.values()
+                    if s <= 0.05 * report.critical_path),
+            )
+        return report
+
+
+def _analyze_timing_impl(
+    placement: Placement,
+    routing: RoutingResult,
+    graph: RRGraph,
+    fabric: FabricElectrical,
+) -> TimingReport:
     clustered = placement.clustered
     netlist = clustered.netlist
 

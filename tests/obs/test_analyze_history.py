@@ -1,0 +1,173 @@
+"""Benchmark history: summarize, append dedupe, median-of-N gating."""
+
+import json
+
+import pytest
+
+from repro.obs.analyze import (
+    HISTORY_SCHEMA,
+    append_history,
+    check_history,
+    load_history,
+    summarize_bench,
+)
+
+
+def bench_doc(circuit="tseng", sha="aaa", created=1000.0, wirelength=161,
+              route_s=0.09):
+    return {
+        "circuit": circuit,
+        "manifest": {"git_sha": sha, "created_unix": created,
+                     "bench_scale": 0.02},
+        "telemetry": {
+            "flows": [{
+                "name": "flow.run",
+                "children": [{
+                    "name": "flow.route",
+                    "attrs": {"wirelength": wirelength, "iterations": 9,
+                              "channel_width": 56, "overused_nodes": 0},
+                }],
+            }],
+            "stages": {"flow.pack": 0.001, "flow.place": 0.12,
+                       "flow.route": route_s},
+        },
+    }
+
+
+def row(circuit="tseng", sha="aaa", created=1000.0, wirelength=161,
+        route_s=0.09):
+    return summarize_bench(bench_doc(circuit, sha, created, wirelength, route_s))
+
+
+class TestSummarize:
+    def test_row_shape(self):
+        r = row()
+        assert r["type"] == "bench"
+        assert r["schema"] == HISTORY_SCHEMA
+        assert r["circuit"] == "tseng"
+        assert r["git_sha"] == "aaa"
+        assert r["stages"] == {"pack": 0.001, "place": 0.12, "route": 0.09}
+        assert r["qor"]["wirelength"] == 161.0
+        assert r["qor"]["channel_width"] == 56.0
+
+    def test_stage_names_normalised(self):
+        # Bare names and "flow."-prefixed names land in the same place.
+        doc = bench_doc()
+        doc["telemetry"]["stages"] = {"route": 0.5}
+        assert summarize_bench(doc)["stages"] == {"route": 0.5}
+
+    def test_non_bench_doc_raises(self):
+        with pytest.raises(ValueError, match="missing 'circuit'"):
+            summarize_bench({"not": "a bench"})
+
+
+class TestAppend:
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        assert append_history(path, [row(sha="a"), row(sha="b", created=2000)]) == 2
+        rows, warnings = load_history(path)
+        assert warnings == []
+        assert [r["git_sha"] for r in rows] == ["a", "b"]
+
+    def test_same_key_replaces_not_duplicates(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, [row(sha="a", wirelength=100)])
+        append_history(path, [row(sha="a", wirelength=200)])
+        rows, _ = load_history(path)
+        assert len(rows) == 1
+        assert rows[0]["qor"]["wirelength"] == 200.0
+
+    def test_different_circuits_share_a_sha(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, [row(circuit="tseng"), row(circuit="alu4")])
+        rows, _ = load_history(path)
+        assert {r["circuit"] for r in rows} == {"tseng", "alu4"}
+
+    def test_rows_are_deterministic_json(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, [row()])
+        first = open(path).read()
+        append_history(path, [row()])
+        assert open(path).read() == first
+
+    def test_load_skips_foreign_rows(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(
+            json.dumps(row()) + "\n"
+            + "not json\n"
+            + json.dumps({"type": "other"}) + "\n"
+            + json.dumps(dict(row(sha="b"), schema=HISTORY_SCHEMA + 1)) + "\n"
+        )
+        rows, warnings = load_history(str(path))
+        assert len(rows) == 1
+        assert len(warnings) == 3
+        assert any("newer than supported" in w for w in warnings)
+
+
+class TestCheck:
+    def history(self, n=5, wirelength=161, route_s=0.09):
+        return [row(sha=f"sha{i}", created=1000.0 + i, wirelength=wirelength,
+                    route_s=route_s) for i in range(n)]
+
+    def test_stable_measures_pass(self):
+        check = check_history(self.history(), [row(sha="new", created=2000)])
+        assert check.ok
+        assert not check.violations
+        measures = {c["measure"] for c in check.compared}
+        assert "qor.wirelength" in measures
+        assert "route.wall_s" in measures
+
+    def test_regression_beyond_band_fails(self):
+        check = check_history(self.history(wirelength=100),
+                              [row(sha="new", created=2000, wirelength=161)])
+        assert not check.ok
+        assert any("qor.wirelength" in v for v in check.violations)
+
+    def test_median_absorbs_one_outlier(self):
+        hist = self.history(n=4, route_s=0.09)
+        hist.append(row(sha="spike", created=1999, route_s=9.0))
+        check = check_history(hist, [row(sha="new", created=2000, route_s=0.09)])
+        assert check.ok
+
+    def test_window_limits_lookback(self):
+        # Old slow rows outside the window must not mask a regression
+        # against the recent fast median.
+        old = [row(sha=f"old{i}", created=100.0 + i, route_s=10.0)
+               for i in range(5)]
+        recent = [row(sha=f"new{i}", created=1000.0 + i, route_s=0.1)
+                  for i in range(5)]
+        check = check_history(old + recent,
+                              [row(sha="now", created=2000, route_s=5.0)],
+                              window=5)
+        assert not check.ok
+
+    def test_qor_only_skips_wall_times(self):
+        check = check_history(self.history(route_s=0.01),
+                              [row(sha="new", created=2000, route_s=9.0)],
+                              wall_times=False)
+        assert check.ok
+        assert all(not c["measure"].endswith(".wall_s") for c in check.compared)
+
+    def test_self_row_excluded_from_baseline(self):
+        current = row(sha="same", created=2000)
+        check = check_history([current], [current])
+        assert check.compared == []
+        assert any("no prior history" in w for w in check.warnings)
+
+    def test_improvements_never_fail(self):
+        check = check_history(self.history(wirelength=161),
+                              [row(sha="new", created=2000, wirelength=80)])
+        assert check.ok
+
+    def test_determinism(self):
+        hist = self.history()
+        current = [row(sha="new", created=2000)]
+        a = check_history(hist, current).to_dict()
+        b = check_history(hist, current).to_dict()
+        assert a == b
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            check_history([], [], window=0)
+        with pytest.raises(ValueError):
+            check_history([], [], band_pct=-1)

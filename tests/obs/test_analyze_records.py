@@ -1,0 +1,122 @@
+"""Typed run parsing: schema-v1 round trip and forward compatibility."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import SCHEMA_VERSION
+from repro.obs.analyze import ParsedRun, load_run, parse_run
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "run_v1.jsonl")
+
+
+def fixture_records():
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestV1Fixture:
+    """The committed fixture is a real `repro flow --metrics-out` run."""
+
+    def test_round_trip_parses_clean(self):
+        run = load_run(FIXTURE)
+        assert run.warnings == []
+        assert run.manifest is not None
+        assert run.manifest["schema"] == SCHEMA_VERSION == 1
+        assert run.manifest["circuit"] == "tseng"
+
+    def test_span_forest_matches_flow_shape(self):
+        run = load_run(FIXTURE)
+        names = {node.name for node, _d in run.walk()}
+        for expected in ("flow.run", "flow.pack", "pack.vpack", "flow.place",
+                         "place.anneal", "flow.route", "route.pathfinder",
+                         "flow.configure", "crossbar.program_fabric",
+                         "crossbar.program", "evaluate", "timing.sta"):
+            assert expected in names, expected
+
+    def test_paths_are_unique_and_disambiguated(self):
+        run = load_run(FIXTURE)
+        paths = [node.path for node, _d in run.walk()]
+        assert len(paths) == len(set(paths))
+        # Three evaluate roots -> evaluate, evaluate#2, evaluate#3.
+        assert "evaluate" in paths
+        assert "evaluate#2" in paths
+        assert "evaluate#3" in paths
+
+    def test_metrics_snapshot_parsed(self):
+        run = load_run(FIXTURE)
+        assert run.metrics["pack.clusters"]["value"] > 0
+        assert run.metrics["timing.slack_s"]["kind"] == "histogram"
+
+    def test_self_time_never_exceeds_total(self):
+        run = load_run(FIXTURE)
+        for node, _depth in run.walk():
+            assert 0.0 <= node.self_s <= node.total_s + 1e-12
+
+    def test_total_wall_time_positive(self):
+        run = load_run(FIXTURE)
+        assert run.total_wall_s > 0
+
+
+class TestForwardCompat:
+    """Unknown types and future schemas skip with a warning, never crash."""
+
+    def test_future_manifest_schema_skipped(self):
+        records = fixture_records()
+        records[0] = dict(records[0], schema=SCHEMA_VERSION + 1)
+        run = parse_run(records, source="v2")
+        assert run.manifest is None
+        assert any("newer than supported" in w for w in run.warnings)
+        # Spans still parse: the reader degrades, it does not refuse.
+        assert run.find("flow.run")
+
+    def test_unknown_record_type_skipped(self):
+        records = fixture_records() + [{"type": "trace_v2", "payload": []}]
+        run = parse_run(records)
+        assert any("unknown record type 'trace_v2'" in w for w in run.warnings)
+        assert len(run.spans) == len(parse_run(fixture_records()).spans)
+
+    def test_non_dict_record_skipped(self):
+        run = parse_run(["not a record", 42, None])
+        assert len(run.warnings) == 3
+        assert run.spans == []
+
+    def test_duplicate_manifest_skipped(self):
+        records = fixture_records()
+        records.append(dict(records[0]))
+        run = parse_run(records)
+        assert any("duplicate manifest" in w for w in run.warnings)
+
+    def test_malformed_jsonl_line_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        lines = open(FIXTURE).read().splitlines()
+        lines.insert(1, "{this is not json")
+        path.write_text("\n".join(lines) + "\n")
+        run = load_run(str(path))
+        assert any("not valid JSON" in w for w in run.warnings)
+        assert run.find("flow.run")
+
+    def test_metrics_without_dict_skipped(self):
+        run = parse_run([{"type": "metrics", "metrics": [1, 2]}])
+        assert run.metrics == {}
+        assert any("metrics record" in w for w in run.warnings)
+
+
+class TestSpanTree:
+    def test_find_and_by_path_agree(self):
+        run = load_run(FIXTURE)
+        by_path = run.by_path()
+        for node in run.find("route.pathfinder"):
+            assert by_path[node.path] is node
+
+    def test_unnamed_span_tolerated(self):
+        run = parse_run([{"type": "span", "duration_s": 0.5}])
+        assert run.spans[0].name == "<unnamed>"
+        assert run.spans[0].total_s == 0.5
+
+    def test_empty_run(self):
+        run = parse_run([])
+        assert isinstance(run, ParsedRun)
+        assert run.total_wall_s == 0.0
+        assert run.by_path() == {}

@@ -1,0 +1,89 @@
+"""Report rendering: timeline, flamegraph, convergence, HTML."""
+
+import os
+
+from repro.obs.analyze import load_run, parse_run, render_html, render_report
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "run_v1.jsonl")
+
+
+class TestTextReport:
+    def test_all_sections_render(self):
+        report = render_report(load_run(FIXTURE))
+        for section in ("span timeline", "flamegraph", "pathfinder convergence",
+                        "anneal trajectory", "metrics"):
+            assert section in report, section
+
+    def test_timeline_shows_every_flow_stage(self):
+        report = render_report(load_run(FIXTURE))
+        for stage in ("flow.pack", "flow.place", "flow.route", "flow.configure",
+                      "pack.vpack", "place.anneal", "route.pathfinder",
+                      "crossbar.program_fabric", "timing.sta"):
+            assert stage in report, stage
+
+    def test_timeline_has_total_self_rss_columns(self):
+        report = render_report(load_run(FIXTURE))
+        header = next(l for l in report.splitlines() if "span" in l and "total" in l)
+        assert "self" in header
+        assert "peakRSS" in header
+
+    def test_convergence_summary_from_route_attrs(self):
+        report = render_report(load_run(FIXTURE))
+        line = next(l for l in report.splitlines() if "iterations, overuse" in l)
+        assert "route.pathfinder" in line
+        assert "wirelength" in line
+
+    def test_anneal_summary(self):
+        report = render_report(load_run(FIXTURE))
+        line = next(l for l in report.splitlines() if "temperature steps" in l)
+        assert "place.anneal" in line
+        assert "cost" in line
+
+    def test_metrics_section_lists_registry_names(self):
+        report = render_report(load_run(FIXTURE))
+        assert "pack.clusters" in report
+        assert "crossbar.row_pulses" in report
+        assert "timing.slack_s" in report
+
+    def test_flame_disabled(self):
+        report = render_report(load_run(FIXTURE), flame=False)
+        assert "flamegraph" not in report
+        assert "span timeline" in report
+
+    def test_max_depth_truncates_tree(self):
+        run = load_run(FIXTURE)
+        shallow = render_report(run, max_depth=0)
+        assert "flow.run" in shallow
+        assert "pack.vpack" not in shallow
+
+    def test_warnings_surface_in_report(self):
+        run = parse_run([{"type": "mystery"}])
+        report = render_report(run)
+        assert "warnings (1)" in report
+        assert "unknown record type" in report
+
+    def test_empty_run_renders(self):
+        report = render_report(parse_run([]))
+        assert "(no span records)" in report
+
+
+class TestHtmlReport:
+    def test_standalone_page(self):
+        page = render_html(load_run(FIXTURE))
+        assert page.startswith("<!doctype html>")
+        assert "<style>" in page
+        assert "flow.run" in page
+        assert "route.pathfinder" in page
+
+    def test_attrs_escaped(self):
+        run = parse_run([{"type": "span", "name": "x<script>",
+                          "duration_s": 1.0, "attrs": {"k": "<b>"}}])
+        page = render_html(run)
+        assert "<script>" not in page
+        assert "x&lt;script&gt;" in page
+
+    def test_bulky_series_attrs_omitted(self):
+        page = render_html(load_run(FIXTURE))
+        # Raw convergence/trajectory lists stay in the JSONL, not the page.
+        assert "overused_nodes&#x27;:" not in page
+        assert "'temperature':" not in page

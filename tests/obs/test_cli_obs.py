@@ -1,12 +1,16 @@
-"""CLI observability: --json, --metrics-out, -v, stdout/stderr split."""
+"""CLI observability: --json, --metrics-out, -v, stdout/stderr split,
+and the analysis commands (report / diff / bench-history)."""
 
 import json
+import os
 
 import pytest
 
 from repro.cli import build_parser, main
 
 FLOW_ARGS = ["flow", "--circuit", "tseng", "--scale", "0.03", "--width", "56"]
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "run_v1.jsonl")
 
 
 class TestParser:
@@ -99,6 +103,143 @@ class TestMetricsOut:
         assert len(evaluates) == 3  # baseline + naive + optimised
         kinds = {e["attrs"]["variant"] for e in evaluates}
         assert "CMOS_ONLY" in kinds
+
+
+class TestCrossbarJson:
+    def test_json_on_stdout_diagnostics_on_stderr(self, capsys):
+        assert main(["crossbar", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["success"] is True
+        assert payload["rows"] == 2
+        assert payload["margin_worst_v"] > 0
+        assert sorted(map(tuple, payload["configured"])) == \
+            sorted(map(tuple, payload["targets"]))
+        assert "crossbar" in captured.err
+        assert "crossbar" not in captured.out
+
+    def test_plain_output_unchanged(self, capsys):
+        assert main(["crossbar"]) == 0
+        captured = capsys.readouterr()
+        assert "Vhold" in captured.out
+
+    def test_metrics_out_records_program_spans(self, capsys, tmp_path):
+        path = tmp_path / "xb.jsonl"
+        assert main(["crossbar", "--metrics-out", str(path)]) == 0
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        spans = [r for r in records if r.get("type") == "span"]
+        assert any(s["name"] == "crossbar.program" for s in spans)
+
+
+class TestSweepJson:
+    def test_json_payload(self, capsys):
+        assert main(["sweep", "--circuit", "tseng", "--scale", "0.03",
+                     "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["circuit"] == "tseng"
+        assert payload["success"] is True
+        assert payload["corner"]["leakage_reduction"] > 1
+        assert len(payload["series"]["downsize"]) == \
+            len(payload["series"]["speedup"])
+        assert "sweep" not in captured.out
+
+
+class TestReportCommand:
+    def test_report_renders_fixture(self, capsys):
+        assert main(["report", FIXTURE]) == 0
+        out = capsys.readouterr().out
+        for stage in ("flow.pack", "flow.place", "flow.route",
+                      "timing.sta", "crossbar.program_fabric"):
+            assert stage in out, stage
+        assert "span timeline" in out
+
+    def test_html_output(self, capsys, tmp_path):
+        page = tmp_path / "report.html"
+        assert main(["report", FIXTURE, "--html", str(page)]) == 0
+        assert page.read_text().startswith("<!doctype html>")
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["report", "/nonexistent/run.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDiffCommand:
+    def test_identical_runs_pass_gate(self, capsys):
+        code = main(["diff", FIXTURE, FIXTURE,
+                     "--fail-on", "route.wall_s>+50%",
+                     "--fail-on", "route.wirelength>+0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "route.wall_s" in captured.out
+        assert "OK: 2 regression gate(s) passed" in captured.err
+
+    def test_violated_gate_exits_1(self, capsys):
+        code = main(["diff", FIXTURE, FIXTURE,
+                     "--fail-on", "route.wirelength>=-1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.err
+
+    def test_missing_metric_fails_gate(self, capsys):
+        code = main(["diff", FIXTURE, FIXTURE,
+                     "--fail-on", "no.such.metric>+5%"])
+        assert code == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_json_verdict(self, capsys):
+        code = main(["diff", FIXTURE, FIXTURE, "--json",
+                     "--fail-on", "route.wall_s>+50%"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["metrics"]["route.wirelength"]["delta"] == 0.0
+
+    def test_bad_threshold_exits_2(self, capsys):
+        assert main(["diff", FIXTURE, FIXTURE, "--fail-on", "not a gate"]) == 2
+        assert "bad threshold" in capsys.readouterr().err
+
+
+class TestBenchHistoryCommand:
+    def bench_file(self, tmp_path, sha="abc", wirelength=161):
+        doc = {
+            "circuit": "tseng",
+            "manifest": {"git_sha": sha, "created_unix": 1000.0},
+            "telemetry": {
+                "flows": [{"name": "flow.run", "children": [
+                    {"name": "flow.route",
+                     "attrs": {"wirelength": wirelength, "iterations": 9}}]}],
+                "stages": {"flow.pack": 0.01, "flow.place": 0.1,
+                           "flow.route": 0.2},
+            },
+        }
+        path = tmp_path / f"BENCH_tseng_{sha}.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_append_then_check_passes(self, capsys, tmp_path):
+        hist = str(tmp_path / "hist.jsonl")
+        for sha in ("a", "b", "c"):
+            assert main(["bench-history", "append", "--history", hist,
+                         self.bench_file(tmp_path, sha)]) == 0
+        code = main(["bench-history", "check", "--history", hist,
+                     self.bench_file(tmp_path, "new")])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "qor.wirelength" in captured.out
+
+    def test_check_flags_regression(self, capsys, tmp_path):
+        hist = str(tmp_path / "hist.jsonl")
+        for sha in ("a", "b", "c"):
+            main(["bench-history", "append", "--history", hist,
+                  self.bench_file(tmp_path, sha, wirelength=100)])
+        code = main(["bench-history", "check", "--history", hist, "--json",
+                     self.bench_file(tmp_path, "new", wirelength=200)])
+        captured = capsys.readouterr()
+        assert code == 1
+        payload = json.loads(captured.out)
+        assert payload["ok"] is False
+        assert any("qor.wirelength" in v for v in payload["violations"])
 
 
 class TestVerbose:

@@ -34,6 +34,36 @@ class TestManifest:
         sha = git_sha()
         assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
 
+    def test_git_sha_memoized_per_process(self, monkeypatch):
+        import subprocess
+
+        from repro.obs import export
+
+        first = git_sha()
+        calls = []
+
+        def boom(*args, **kwargs):
+            calls.append(args)
+            raise AssertionError("memoized git_sha must not re-run git")
+
+        monkeypatch.setattr(subprocess, "run", boom)
+        assert git_sha() == first
+        assert calls == []
+
+    def test_git_sha_tolerates_missing_git(self, monkeypatch, tmp_path):
+        import subprocess
+
+        from repro.obs import export
+
+        monkeypatch.setattr(
+            subprocess, "run",
+            lambda *a, **k: (_ for _ in ()).throw(FileNotFoundError("git")))
+        # Fresh cwd key -> the subprocess path actually runs (and fails).
+        assert git_sha(cwd=str(tmp_path)) is None
+        # The failure is cached too: a second call stays None without
+        # re-running the (still broken) subprocess.
+        assert git_sha(cwd=str(tmp_path)) is None
+
     def test_argv_and_extra(self):
         m = run_manifest(argv=["flow", "--json"], extra={"circuit": "ava"})
         assert m["argv"] == ["flow", "--json"]

@@ -1,0 +1,130 @@
+"""Instrumentation coverage: pack, timing, crossbar programming and the
+variation Monte-Carlo all emit spans and registry metrics."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.config.bitstream import Bitstream, program_fabric
+from repro.core.variants import baseline_variant
+from repro.crossbar.array import uniform_crossbar
+from repro.crossbar.halfselect import HalfSelectProgrammer, PAPER_2X2_VOLTAGES
+from repro.netlist.generate import GeneratorParams, generate
+from repro.nemrelay.electrostatics import ActuationModel
+from repro.nemrelay.geometry import FABRICATED_DEVICE
+from repro.nemrelay.materials import OIL, POLY_PLATINUM
+from repro.nemrelay.variation import sample_population
+from repro.obs import Tracer, get_registry, use_tracer
+from repro.vpr.pack import pack
+from repro.vpr.place import place
+from repro.vpr.route import route_design
+from repro.vpr.timing import analyze_timing
+
+ARCH = ArchParams(channel_width=48)
+PARAMS = GeneratorParams("obsunit", num_luts=40, ff_fraction=0.25, seed=3)
+
+
+@pytest.fixture
+def tracer():
+    get_registry().reset()
+    t = Tracer()
+    with use_tracer(t):
+        yield t
+    get_registry().reset()
+
+
+def roots_named(tracer, name):
+    return [s for s in tracer.roots if s.name == name]
+
+
+class TestPack:
+    def test_span_and_metrics(self, tracer):
+        clustered = pack(generate(PARAMS), ARCH)
+        (span,) = roots_named(tracer, "pack.vpack")
+        assert span.attrs["circuit"] == "obsunit"
+        assert span.attrs["clusters"] == len(clustered.clusters)
+        assert span.attrs["bles"] > 0
+        snap = get_registry().snapshot()
+        assert snap["pack.runs"]["value"] == 1
+        assert snap["pack.clusters"]["value"] == len(clustered.clusters)
+        assert snap["pack.cluster_size"]["count"] == len(clustered.clusters)
+
+
+class TestTiming:
+    def test_span_and_metrics(self, tracer):
+        clustered = pack(generate(PARAMS), ARCH)
+        placement = place(clustered, seed=7)
+        result, graph = route_design(placement, ARCH)
+        assert result.success
+        report = analyze_timing(placement, result, graph,
+                                baseline_variant(ARCH).fabric())
+        (span,) = roots_named(tracer, "timing.sta")
+        assert span.attrs["critical_path_s"] == pytest.approx(report.critical_path)
+        assert span.attrs["endpoints"] > 0
+        assert span.attrs["near_critical_endpoints"] >= 1
+        snap = get_registry().snapshot()
+        assert snap["timing.sta_runs"]["value"] == 1
+        assert snap["timing.critical_path_s"]["value"] > 0
+        assert snap["timing.slack_s"]["count"] == len(report.slacks())
+
+
+class TestCrossbarProgram:
+    def test_program_span_counts_pulses(self, tracer):
+        model = ActuationModel(POLY_PLATINUM, FABRICATED_DEVICE, OIL)
+        programmer = HalfSelectProgrammer(
+            uniform_crossbar(2, 2, model), PAPER_2X2_VOLTAGES)
+        targets = {(0, 0), (1, 1)}
+        configured = programmer.program(targets)
+        assert configured == targets
+        (span,) = roots_named(tracer, "crossbar.program")
+        assert span.attrs["row_pulses"] == 2  # one pulse per target row
+        assert span.attrs["relays_closed"] == 2
+        assert span.attrs["verified"] is True
+        assert span.attrs["margins_ok"] is True
+        snap = get_registry().snapshot()
+        assert snap["crossbar.programs"]["value"] == 1
+        assert snap["crossbar.row_pulses"]["value"] == 2
+        assert snap["crossbar.margin_worst_v"]["value"] == pytest.approx(
+            span.attrs["margin_worst_v"])
+        assert "crossbar.verify_failures" not in snap
+
+    def test_program_fabric_span(self, tracer):
+        bitstream = Bitstream(
+            switches_by_tile={(0, 0): [(1, 2), (3, 4), (5, 6)],
+                              (1, 0): [(7, 8)]},
+            net_of_edge={},
+        )
+        report = program_fabric(bitstream)
+        assert report.success
+        (span,) = roots_named(tracer, "crossbar.program_fabric")
+        assert span.attrs["tiles"] == 2
+        assert span.attrs["switches"] == 4
+        assert span.attrs["relays_closed"] == 4
+        assert span.attrs["success"] is True
+        assert span.attrs["margin_worst_v"] > 0
+        # Per-tile programming spans nest under the fabric span.
+        assert [c.name for c in span.children] == ["crossbar.program"] * 2
+        snap = get_registry().snapshot()
+        assert snap["crossbar.fabric_programs"]["value"] == 1
+        assert snap["crossbar.fabric_row_steps"]["value"] == report.row_steps
+
+
+class TestVariationMC:
+    def test_span_and_metrics(self, tracer):
+        pop = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL,
+                                count=25, seed=9)
+        (span,) = roots_named(tracer, "nemrelay.variation_mc")
+        assert span.attrs["count"] == 25
+        assert span.attrs["vpi_min"] == pytest.approx(pop.vpi_min)
+        assert span.attrs["vpi_spread"] == pytest.approx(pop.vpi_spread)
+        assert span.attrs["half_select_feasible"] == pop.half_select_feasible()
+        snap = get_registry().snapshot()
+        assert snap["nemrelay.mc_runs"]["value"] == 1
+        assert snap["nemrelay.mc_samples"]["value"] == 25
+        assert snap["nemrelay.vpi_v"]["count"] == 25
+        assert snap["nemrelay.vpo_v"]["count"] == 25
+
+    def test_null_tracer_costs_nothing(self):
+        # Without an installed tracer the instrumented code still runs.
+        pop = sample_population(POLY_PLATINUM, FABRICATED_DEVICE, OIL,
+                                count=5, seed=1)
+        assert pop.count == 5
