@@ -22,6 +22,9 @@ Subpackages:
   comparisons, architecture exploration.
 * `repro.config`   — routed design -> relay bitstream -> half-select
   programming of the fabric (bridges Secs. 2 and 3).
+* `repro.fabric`   — FabricIR: the flat array-backed RR-graph core
+  (CSR adjacency, switch-kind table, keyed build cache) shared by the
+  router, timing, bitstream and visualisation layers.
 * `repro.obs`      — observability: span tracing, metrics registry,
   structured logs, JSONL telemetry export (inert by default).
 """
@@ -34,6 +37,7 @@ from . import (
     config,
     core,
     crossbar,
+    fabric,
     nemrelay,
     netlist,
     obs,
@@ -47,6 +51,7 @@ __all__ = [
     "config",
     "core",
     "crossbar",
+    "fabric",
     "nemrelay",
     "netlist",
     "obs",

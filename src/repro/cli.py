@@ -242,6 +242,38 @@ def _cmd_flow(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_rrgraph(args: argparse.Namespace) -> int:
+    from .arch import ArchParams
+    from .fabric import get_fabric
+
+    params = ArchParams(
+        channel_width=args.width,
+        segment_length=args.seg_length,
+        directionality=args.directionality,
+    )
+    with _telemetry(args, arch=params,
+                    extra={"nx": args.nx, "ny": args.ny}):
+        ir = get_fabric(params, args.nx, args.ny)
+        stats = ir.stats()
+    if args.json:
+        print(json.dumps(stats, sort_keys=True))
+        return 0
+    grid = stats["grid"]
+    print(f"RR graph {grid[0]}x{grid[1]}, W = {stats['channel_width']}, "
+          f"L = {params.segment_length}, {stats['directionality']}")
+    print(f"  nodes: {stats['num_nodes']}")
+    for name, count in stats["nodes_by_kind"].items():
+        print(f"    {name:<8} {count}")
+    print(f"  edges: {stats['num_edges']}")
+    for name, count in stats["edges_by_switch"].items():
+        print(f"    {name:<10} {count}")
+    print(f"  memory: {stats['memory_bytes']} bytes")
+    build = stats["build"]
+    print(f"  build: {build['build_wall_s'] * 1e3:.2f} ms "
+          f"({build['constructor']})")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .arch import ArchParams
     from .core import fig12_series, format_headline, headline_summary, sweep_circuit
@@ -521,6 +553,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_flow.add_argument("--json", action="store_true",
                         help="machine-readable result on stdout")
     p_flow.set_defaults(func=_cmd_flow)
+
+    p_rr = sub.add_parser(
+        "rrgraph", help="FabricIR routing-resource graph statistics")
+    p_rr.add_argument("--stats", action="store_true",
+                      help="print node/edge counts, memory and build time "
+                           "(the default and only mode)")
+    p_rr.add_argument("--nx", type=int, default=8, help="grid width in tiles")
+    p_rr.add_argument("--ny", type=int, default=8, help="grid height in tiles")
+    p_rr.add_argument("--width", type=int, default=64, help="channel width W")
+    p_rr.add_argument("--seg-length", type=int, default=4,
+                      help="wire segment length L")
+    p_rr.add_argument("--directionality", choices=["bidir", "unidir"],
+                      default="bidir")
+    p_rr.add_argument("--json", action="store_true",
+                      help="machine-readable stats on stdout")
+    add_obs_args(p_rr)
+    p_rr.set_defaults(func=_cmd_rrgraph)
 
     p_sweep = sub.add_parser("sweep", help="Fig. 12 downsizing trade-off")
     add_flow_args(p_sweep)

@@ -24,9 +24,9 @@ import dataclasses
 import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..arch.rrgraph import NodeKind, RRGraph
 from ..crossbar.array import RelayCrossbar
 from ..crossbar.halfselect import HalfSelectProgrammer, ProgrammingVoltages, solve_voltages
+from ..fabric import KIND_HWIRE, FabricIR, SwitchKind, as_fabric
 from ..nemrelay.device import NEMRelay
 from ..nemrelay.electrostatics import ActuationModel
 from ..nemrelay.geometry import SCALED_22NM_DEVICE
@@ -69,49 +69,42 @@ class Bitstream:
         return self.total_switches / (len(self.switches_by_tile) * switches_per_tile)
 
 
-def _owning_tile(graph: RRGraph, u: int, v: int) -> Tile:
+def _owning_tile(ir: FabricIR, u: int, v: int) -> Tile:
     """Attribute a programmable edge to a tile (for array grouping).
 
     Pin edges belong to the pin's tile; wire-wire switches to the tile
     at the downstream wire's origin (clamped to the grid).
     """
-    node_v = graph.nodes[v]
-    if node_v.kind in (NodeKind.IPIN, NodeKind.OPIN, NodeKind.SINK, NodeKind.SOURCE):
-        return (node_v.x, node_v.y)
-    node_u = graph.nodes[u]
-    if node_u.kind in (NodeKind.IPIN, NodeKind.OPIN, NodeKind.SINK, NodeKind.SOURCE):
-        return (node_u.x, node_u.y)
-    x = min(node_v.x, graph.nx - 1)
-    y = min(node_v.y, graph.ny - 1)
+    kind, xs, ys = ir.kind, ir.xs, ir.ys
+    if kind[v] < KIND_HWIRE:  # pins and collectors: the pin's tile
+        return (int(xs[v]), int(ys[v]))
+    if kind[u] < KIND_HWIRE:
+        return (int(xs[u]), int(ys[u]))
+    x = min(int(xs[v]), ir.nx - 1)
+    y = min(int(ys[v]), ir.ny - 1)
     return (x, y)
 
 
-def extract_bitstream(routing: RoutingResult, graph: RRGraph) -> Bitstream:
+def extract_bitstream(routing: RoutingResult, graph: FabricIR) -> Bitstream:
     """List every conducting switch of a routed design.
 
-    Programmable switches sit on edges between wires and pins/wires;
-    SOURCE->OPIN and IPIN->SINK hops are hard-wired (no switch).
+    An edge is a relay iff the IR's shared switch-kind table classifies
+    it as one (OPIN->wire, wire->wire, wire->IPIN); SOURCE->OPIN and
+    IPIN->SINK hops classify `SwitchKind.NONE` (hard-wired).
     """
+    ir = as_fabric(graph)
     switches: Dict[Tile, Set[Edge]] = {}
     net_of_edge: Dict[Edge, str] = {}
-    programmable = {NodeKind.HWIRE, NodeKind.VWIRE, NodeKind.OPIN, NodeKind.IPIN}
     for name, tree in routing.trees.items():
         for node, parent in tree.parent.items():
             if parent < 0:
                 continue
-            ku = graph.nodes[parent].kind
-            kv = graph.nodes[node].kind
-            if ku not in programmable or kv not in programmable:
+            if ir.switch_kind_between(parent, node) is SwitchKind.NONE:
                 continue
-            # OPIN->wire, wire->wire and wire->IPIN edges are switches.
-            if ku is NodeKind.OPIN or kv is NodeKind.IPIN or (
-                ku in (NodeKind.HWIRE, NodeKind.VWIRE)
-                and kv in (NodeKind.HWIRE, NodeKind.VWIRE)
-            ):
-                edge = (parent, node)
-                tile = _owning_tile(graph, parent, node)
-                switches.setdefault(tile, set()).add(edge)
-                net_of_edge[edge] = name
+            edge = (parent, node)
+            tile = _owning_tile(ir, parent, node)
+            switches.setdefault(tile, set()).add(edge)
+            net_of_edge[edge] = name
     return Bitstream(
         switches_by_tile={t: sorted(s) for t, s in switches.items()},
         net_of_edge=net_of_edge,
@@ -250,13 +243,15 @@ def program_fabric(
 
 
 def verify_bitstream_connectivity(
-    bitstream: Bitstream, routing: RoutingResult, graph: RRGraph
+    bitstream: Bitstream, routing: RoutingResult, graph: FabricIR
 ) -> bool:
     """Cross-check: the conducting switches reconstruct every net.
 
-    Walking only bitstream edges (plus the hard-wired SOURCE/OPIN and
-    IPIN/SINK hops) from each net's source must reach all its sinks.
+    Walking only bitstream edges (plus the hops the IR's switch table
+    classifies `SwitchKind.NONE`, i.e. hard-wired SOURCE/OPIN and
+    IPIN/SINK) from each net's source must reach all its sinks.
     """
+    ir = as_fabric(graph)
     on_edges: Set[Edge] = set()
     for edges in bitstream.switches_by_tile.values():
         on_edges.update(edges)
@@ -265,11 +260,8 @@ def verify_bitstream_connectivity(
             node = sink
             while tree.parent[node] >= 0:
                 parent = tree.parent[node]
-                ku = graph.nodes[parent].kind
-                kv = graph.nodes[node].kind
                 hardwired = (
-                    ku is NodeKind.SOURCE
-                    or kv is NodeKind.SINK
+                    ir.switch_kind_between(parent, node) is SwitchKind.NONE
                 )
                 if not hardwired and (parent, node) not in on_edges:
                     return False

@@ -1,0 +1,104 @@
+"""Keyed FabricIR cache: one build per (ArchParams, nx, ny).
+
+The channel-width binary search and the evaluation stages route the
+same placement repeatedly — at probe widths during the search, then
+again at the working width for every variant/STA pass.  Pre-refactor,
+each of those calls rebuilt a fresh object graph (`vpr/flow.py`'s
+per-probe `RRGraph(...)`); the cache makes a repeat at any previously
+seen width free.
+
+`ArchParams` is a frozen dataclass, so `(params, nx, ny)` is directly
+hashable.  Cached IRs are immutable and shared: routers keep their
+occupancy/history state in router-local arrays.  Hits and misses feed
+the `repro.obs` registry (``fabric.cache_hits`` / ``_misses``) and the
+per-lookup span, so ``repro report`` shows the win.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Tuple
+
+from ..arch.params import ArchParams
+from ..obs import get_registry, get_tracer
+from .ir import FabricIR
+
+Key = Tuple[ArchParams, int, int]
+
+
+class FabricCache:
+    """LRU cache of built `FabricIR` instances.
+
+    Args:
+        maxsize: Retained IRs; a Wmin binary search touches ~10 widths
+            and IRs for scaled workloads are a few MB each, so the
+            default holds a whole search.
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Key, FabricIR]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, params: ArchParams, nx: int, ny: int) -> FabricIR:
+        """The IR for this architecture/grid, building on first use."""
+        key = (params, nx, ny)
+        registry = get_registry()
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                registry.counter("fabric.cache_hits").inc()
+                with get_tracer().span(
+                    "fabric.cache_lookup", hit=True, nx=nx, ny=ny,
+                    channel_width=params.channel_width,
+                ):
+                    pass
+                return cached
+        # Build outside the lock: concurrent misses may build twice,
+        # but identical immutable results make that merely wasteful.
+        self.misses += 1
+        registry.counter("fabric.cache_misses").inc()
+        with get_tracer().span(
+            "fabric.cache_lookup", hit=False, nx=nx, ny=ny,
+            channel_width=params.channel_width,
+        ):
+            ir = FabricIR.build(params, nx, ny)
+        with self._lock:
+            self._entries[key] = ir
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            registry.gauge("fabric.cache_entries").set(len(self._entries))
+        return ir
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses}
+
+
+#: Process-wide cache the flow drives its probes through.
+_GLOBAL_CACHE = FabricCache()
+
+
+def get_fabric(params: ArchParams, nx: int, ny: int) -> FabricIR:
+    """Fetch-or-build from the process-wide cache."""
+    return _GLOBAL_CACHE.get(params, nx, ny)
+
+
+def fabric_cache() -> FabricCache:
+    """The process-wide cache (inspection / `clear()` in tests)."""
+    return _GLOBAL_CACHE

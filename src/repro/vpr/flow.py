@@ -14,12 +14,12 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.params import ArchParams
-from ..arch.rrgraph import RRGraph
+from ..fabric import FabricIR, get_fabric
 from ..netlist.core import Netlist
 from ..obs import get_logger, get_tracer, kv
 from .pack import ClusteredNetlist, pack
 from .place import Placement, place
-from .route import RoutingResult, route_design
+from .route import PathFinderRouter, RoutingResult, build_route_nets, route_design
 
 _log = get_logger("vpr.flow")
 
@@ -35,7 +35,7 @@ class FlowResult:
     clustered: ClusteredNetlist
     placement: Placement
     routing: RoutingResult
-    graph: RRGraph
+    graph: FabricIR
     channel_width: int
 
     @property
@@ -56,7 +56,7 @@ def find_min_channel_width(
     start: int = 12,
     max_width: int = 256,
     **router_kwargs,
-) -> Tuple[int, RoutingResult, RRGraph]:
+) -> Tuple[int, RoutingResult, FabricIR]:
     """Binary-search the minimum routable channel width.
 
     Doubles from ``start`` until routable, then bisects.  Returns
@@ -69,7 +69,7 @@ def find_min_channel_width(
         probes = 0
         # Phase 1: find a routable upper bound.
         width = max(2, start)
-        success: Optional[Tuple[int, RoutingResult, RRGraph]] = None
+        success: Optional[Tuple[int, RoutingResult, FabricIR]] = None
         fail_width = 0
         while width <= max_width:
             probes += 1
@@ -183,10 +183,6 @@ def run_timing_driven_flow(
     Returns:
         (FlowResult, TimingReport) for the best routing found.
     """
-    from ..arch.rrgraph import RRGraph
-    from .pack import pack as _pack
-    from .place import place as _place
-    from .route import PathFinderRouter, build_route_nets
     from .timing import analyze_timing, node_delay_costs
 
     if sta_passes < 0:
@@ -196,14 +192,14 @@ def run_timing_driven_flow(
         "flow.timing_driven", circuit=netlist.name, seed=seed, sta_passes=sta_passes
     ) as root:
         with tracer.span("flow.pack") as span:
-            clustered = _pack(netlist, params)
+            clustered = pack(netlist, params)
             span.set_many(luts=netlist.num_luts, clusters=clustered.num_clusters)
         with tracer.span("flow.place") as span:
-            placement = _place(clustered, seed=seed, inner_num=inner_num)
+            placement = place(clustered, seed=seed, inner_num=inner_num)
             span.set("cost", placement.cost)
         width = channel_width if channel_width is not None else params.channel_width
         arch = params.with_channel_width(width)
-        graph = RRGraph(arch, placement.grid_width, placement.grid_height)
+        graph = get_fabric(arch, placement.grid_width, placement.grid_height)
         delay_costs = node_delay_costs(graph, fabric)
         nets = build_route_nets(placement)
 

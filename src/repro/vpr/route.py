@@ -21,12 +21,31 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..arch.params import ArchParams
-from ..arch.rrgraph import NodeKind, RRGraph
+from ..fabric import (
+    KIND_IPIN,
+    KIND_OPIN,
+    FabricIR,
+    as_fabric,
+    get_fabric,
+)
 from ..netlist.core import BlockType
 from ..obs import get_logger, get_tracer, kv
 from .place import Placement
 
 _log = get_logger("vpr.route")
+
+#: Deterministic tie-break jitter, cached per node count: it depends
+#: only on ``n``, so routers sharing a FabricIR (or probing equal-size
+#: graphs) skip regenerating it.
+_JITTER_CACHE: Dict[int, List[float]] = {}
+
+
+def _jitter_for(n: int) -> List[float]:
+    cached = _JITTER_CACHE.get(n)
+    if cached is None:
+        rng = __import__("random").Random(0xF9A4)
+        cached = _JITTER_CACHE[n] = [1.0 + 0.03 * rng.random() for _ in range(n)]
+    return cached
 
 
 @dataclasses.dataclass
@@ -130,7 +149,8 @@ class PathFinderRouter:
     """Negotiated-congestion router over one RR graph.
 
     Args:
-        graph: The routing-resource graph.
+        graph: The routing-resource graph — a `FabricIR` (preferred)
+            or a legacy `RRGraph` (coerced via `as_fabric`).
         pres_fac_init / pres_fac_mult: Presence penalty schedule.
         hist_fac: History cost accumulation factor.
         max_iterations: Give up after this many rip-up passes.
@@ -139,7 +159,7 @@ class PathFinderRouter:
 
     def __init__(
         self,
-        graph: RRGraph,
+        graph,
         pres_fac_init: float = 0.5,
         pres_fac_mult: float = 1.3,
         hist_fac: float = 0.4,
@@ -158,23 +178,29 @@ class PathFinderRouter:
         defect-avoidance reconfiguration for relay fabrics.
         """
         self.graph = graph
+        ir = self.fabric = as_fabric(graph)
         self.pres_fac_init = pres_fac_init
         self.pres_fac_mult = pres_fac_mult
         self.hist_fac = hist_fac
         self.max_iterations = max_iterations
         self.astar_fac = astar_fac
-        if delay_costs is not None and len(delay_costs) != graph.num_nodes:
+        if delay_costs is not None and len(delay_costs) != ir.num_nodes:
             raise ValueError("delay_costs must have one entry per RR node")
         self._delay_costs = list(delay_costs) if delay_costs is not None else None
         self._blocked = frozenset(blocked_nodes or ())
-        n = graph.num_nodes
-        self._base = [graph.base_cost(node) for node in graph.nodes]
-        self._cap = [graph.node_capacity(node) for node in graph.nodes]
+        n = ir.num_nodes
+        # Per-router mutable state; the shared (cached) IR views are
+        # read-only, so copies are taken only where the router writes.
+        self._base = ir.base_costs.tolist()
+        self._cap = ir.capacities.tolist()
         self._occ = [0] * n
         self._hist = [0.0] * n
         self._static = list(self._base)
-        self._is_sink = [node.kind is NodeKind.SINK for node in graph.nodes]
-        self._is_source = [node.kind is NodeKind.SOURCE for node in graph.nodes]
+        self._is_sink = ir.sink_flags
+        self._is_source = ir.source_flags
+        # CSR adjacency in hot-loop (plain list) form.
+        self._edge_offsets = ir.csr_offsets()
+        self._edge_targets = ir.csr_targets()
         # Search scratch arrays reused across nets (epoch-stamped).
         self._dist = [0.0] * n
         self._came = [0] * n
@@ -182,20 +208,11 @@ class PathFinderRouter:
         self._epoch = 0
         # Deterministic tie-break jitter: symmetric conflicts otherwise
         # oscillate forever because both nets see identical costs.
-        rng = __import__("random").Random(0xF9A4)
-        self._jitter = [1.0 + 0.03 * rng.random() for _ in range(max(n, 1))]
+        self._jitter = _jitter_for(max(n, 1))
         self._route_calls = 0
         # Wire node positions for the A* lookahead.
-        self._pos: List[Tuple[float, float]] = []
-        for node in graph.nodes:
-            if node.kind in (NodeKind.HWIRE, NodeKind.VWIRE):
-                half = (node.span - 1) / 2.0
-                if node.kind is NodeKind.HWIRE:
-                    self._pos.append((node.x + half, float(node.y)))
-                else:
-                    self._pos.append((float(node.x), node.y + half))
-            else:
-                self._pos.append((float(node.x), float(node.y)))
+        self._pos: List[Tuple[float, float]] = ir.positions
+        self._pin_groups: Optional[Dict[Tuple[int, int, int], List[int]]] = None
 
     # -- congestion cost ----------------------------------------------------
 
@@ -220,9 +237,9 @@ class PathFinderRouter:
         sink_shuffle: int = 0,
         criticality: float = 0.0,
     ) -> Optional[RouteTree]:
-        graph = self.graph
-        source = graph.source_of[net.source_tile]
-        targets = {graph.sink_of[tile]: tile for tile in net.sink_tiles}
+        ir = self.fabric
+        source = ir.source_of[net.source_tile]
+        targets = {ir.sink_of[tile]: tile for tile in net.sink_tiles}
         tree_nodes: List[int] = [source]
         tree_set: Set[int] = {source}
         parent: Dict[int, int] = {source: -1}
@@ -235,7 +252,8 @@ class PathFinderRouter:
         bb = (min(xs) - bb_margin, max(xs) + bb_margin, min(ys) - bb_margin, max(ys) + bb_margin)
 
         # Local bindings for the hot loop.
-        adjacency = graph.adjacency
+        edge_offsets = self._edge_offsets
+        edge_targets = self._edge_targets
         blocked = self._blocked
         pos = self._pos
         static = self._static
@@ -302,7 +320,8 @@ class PathFinderRouter:
                 if u == target_sink:
                     found = True
                     break
-                for v in adjacency[u]:
+                # CSR neighbor expansion: one contiguous slice per pop.
+                for v in edge_targets[edge_offsets[u]:edge_offsets[u + 1]]:
                     if v in tree_set:
                         continue
                     if blocked and v in blocked:
@@ -346,15 +365,19 @@ class PathFinderRouter:
 
     # -- occupancy bookkeeping -----------------------------------------------
 
-    def _sibling_pins(self, pin) -> List[int]:
+    def _sibling_pins(self, pin_id: int) -> List[int]:
         """All pins of the same kind on the same tile (lazy cache)."""
-        if not hasattr(self, "_pin_groups"):
-            groups: Dict[Tuple[int, int, NodeKind], List[int]] = {}
-            for node in self.graph.nodes:
-                if node.kind in (NodeKind.OPIN, NodeKind.IPIN):
-                    groups.setdefault((node.x, node.y, node.kind), []).append(node.id)
+        ir = self.fabric
+        if self._pin_groups is None:
+            groups: Dict[Tuple[int, int, int], List[int]] = {}
+            kinds = ir.kind
+            pin_ids = ((kinds == KIND_OPIN) | (kinds == KIND_IPIN)).nonzero()[0]
+            xs, ys = ir.xs, ir.ys
+            for i in pin_ids.tolist():
+                groups.setdefault((int(xs[i]), int(ys[i]), int(kinds[i])), []).append(i)
             self._pin_groups = groups
-        return self._pin_groups.get((pin.x, pin.y, pin.kind), [])
+        key = (int(ir.xs[pin_id]), int(ir.ys[pin_id]), int(ir.kind[pin_id]))
+        return self._pin_groups.get(key, [])
 
     def _occupy(self, tree: RouteTree, delta: int) -> None:
         for node in tree.nodes:
@@ -386,7 +409,7 @@ class PathFinderRouter:
         with tracer.span(
             "route.pathfinder",
             nets=len(nets),
-            channel_width=self.graph.params.channel_width,
+            channel_width=self.fabric.params.channel_width,
             timing_driven=self._delay_costs is not None,
         ) as span:
             result = self._route_impl(nets, criticality)
@@ -438,21 +461,25 @@ class PathFinderRouter:
                 escalate = stall >= 4 and stall % 2 == 0
                 hot = set(overused)
                 if escalate:
+                    offsets = self._edge_offsets
+                    targets = self._edge_targets
+                    kinds = self.fabric.kind
                     for node in overused:
-                        hot.update(self.graph.adjacency[node])
+                        hot.update(targets[offsets[node]:offsets[node + 1]])
                         # Pin conflicts are matching problems: a tile's
                         # nets must pair off with its pins.  Rip the
                         # sibling pins' users too, or the one free pin
                         # stays walled off by their taps forever.
-                        rr = self.graph.nodes[node]
-                        if rr.kind in (NodeKind.OPIN, NodeKind.IPIN):
-                            hot.update(self._sibling_pins(rr))
+                        k = kinds[node]
+                        if k == KIND_OPIN or k == KIND_IPIN:
+                            hot.update(self._sibling_pins(node))
                     for net in order:
                         tree = trees.get(net.name)
                         if tree is None:
                             continue
                         for n in tree.nodes:
-                            if any(v in overused for v in self.graph.adjacency[n]):
+                            if any(v in overused
+                                   for v in targets[offsets[n]:offsets[n + 1]]):
                                 hot.add(n)
                                 break
                 to_route = [
@@ -546,12 +573,11 @@ class PathFinderRouter:
         )
 
     def _wirelength(self, trees: Dict[str, RouteTree]) -> int:
+        wire_spans = self.fabric.wire_spans
         total = 0
         for tree in trees.values():
             for node_id in tree.nodes:
-                node = self.graph.nodes[node_id]
-                if node.kind in (NodeKind.HWIRE, NodeKind.VWIRE):
-                    total += node.span
+                total += wire_spans[node_id]
         return total
 
 
@@ -560,8 +586,13 @@ def route_design(
     params: Optional[ArchParams] = None,
     channel_width: Optional[int] = None,
     **router_kwargs,
-) -> Tuple[RoutingResult, RRGraph]:
-    """Build the RR graph for a placement and route it.
+) -> Tuple[RoutingResult, FabricIR]:
+    """Fetch (or build) the FabricIR for a placement and route it.
+
+    The IR comes from the keyed process-wide cache, so repeated calls
+    at a previously probed ``(params, nx, ny)`` — the channel-width
+    binary search, variant evaluation, STA re-routes — skip the build
+    entirely.
 
     Args:
         placement: Placed design.
@@ -569,13 +600,13 @@ def route_design(
         channel_width: Override W (used by the Wmin binary search).
 
     Returns:
-        (result, graph) — the graph is needed for timing/power.
+        (result, graph) — the `FabricIR` is needed for timing/power.
     """
     if params is None:
         params = placement.clustered.params
     if channel_width is not None:
         params = params.with_channel_width(channel_width)
-    graph = RRGraph(params, placement.grid_width, placement.grid_height)
+    graph = get_fabric(params, placement.grid_width, placement.grid_height)
     router = PathFinderRouter(graph, **router_kwargs)
     nets = build_route_nets(placement)
     return router.route(nets), graph

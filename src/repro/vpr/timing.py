@@ -17,10 +17,22 @@ import dataclasses
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..arch.params import ArchParams
-from ..arch.rrgraph import NodeKind, RRGraph
 from ..circuits.buffers import RoutingBuffer, restorer_delay_factor
 from ..circuits.ptm import Technology
+from ..fabric import (
+    KIND_HWIRE,
+    KIND_IPIN,
+    KIND_OPIN,
+    KIND_SINK,
+    KIND_SOURCE,
+    KIND_VWIRE,
+    FabricIR,
+    SwitchKind,
+    as_fabric,
+)
 from ..netlist.core import BlockType
 from ..obs import get_registry, get_tracer
 from .place import Placement
@@ -146,20 +158,19 @@ def node_delay_costs(graph, fabric: FabricElectrical) -> List[float]:
     (the segment length): a fully critical net then optimises hop
     count and span exactly as the physical delay model would rank them.
     """
-    from ..arch.rrgraph import NodeKind as _NK
-
-    seg_len = graph.params.segment_length
+    ir = as_fabric(graph)
+    seg_len = ir.params.segment_length
     full = estimate_hop_delay(fabric, 1.0)
-    costs: List[float] = []
-    for node in graph.nodes:
-        if node.kind in (_NK.HWIRE, _NK.VWIRE):
-            frac = node.span / seg_len
-            costs.append(seg_len * estimate_hop_delay(fabric, frac) / full)
-        elif node.kind in (_NK.OPIN, _NK.IPIN):
-            costs.append(0.3)
-        else:
-            costs.append(0.0)
-    return costs
+    kind = ir.kind
+    costs = np.zeros(len(kind), dtype=np.float64)
+    wire_mask = (kind == KIND_HWIRE) | (kind == KIND_VWIRE)
+    # One scalar model evaluation per distinct span, broadcast over the
+    # wire population sharing it.
+    for span in np.unique(ir.spans[wire_mask]):
+        cost = seg_len * estimate_hop_delay(fabric, float(span) / seg_len) / full
+        costs[wire_mask & (ir.spans == span)] = cost
+    costs[(kind == KIND_OPIN) | (kind == KIND_IPIN)] = 0.3
+    return costs.tolist()
 
 
 @dataclasses.dataclass
@@ -198,7 +209,7 @@ def _tree_children(tree: RouteTree) -> Dict[int, List[int]]:
 
 def analyze_net(
     tree: RouteTree,
-    graph: RRGraph,
+    graph: FabricIR,
     fabric: FabricElectrical,
 ) -> NetDelays:
     """Stage-walk delay/capacitance extraction for one routed tree.
@@ -207,14 +218,20 @@ def analyze_net(
     by its buffer (previous stage sees only the buffer's input cap);
     without, resistance accumulates down the path (true unbuffered
     Elmore chain).  Off-switch loading applies to every wire.
+
+    Tree-edge classification (what sits between a stage and the next)
+    comes from the IR's shared switch-kind table rather than a local
+    re-derivation from endpoint kinds.
     """
+    ir = as_fabric(graph)
     children = _tree_children(tree)
-    nodes = graph.nodes
-    seg_len = graph.params.segment_length
+    kind = ir.kind
+    xs, ys = ir.xs, ir.ys
+    seg_len = ir.params.segment_length
 
     # Per-wire-node stage load (excluding downstream-through-buffer).
     def wire_span_fraction(node_id: int) -> float:
-        return nodes[node_id].span / seg_len
+        return float(ir.spans[node_id]) / seg_len
 
     def stage_load(node_id: int) -> Tuple[float, float]:
         """(c_here, c_tail): cap on this wire and cap at its far end."""
@@ -222,10 +239,10 @@ def analyze_net(
         c_here = fabric.wire_c * frac + fabric.wire_off_load * frac
         c_tail = 0.0
         for child in children.get(node_id, ()):
-            kind = nodes[child].kind
-            if kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+            sw = ir.switch_kind_between(node_id, child)
+            if sw is SwitchKind.WIRE_WIRE:
                 c_tail += 0.5 * fabric.switch_c + fabric.stage_input_cap()
-            elif kind is NodeKind.IPIN:
+            elif sw is SwitchKind.WIRE_IPIN:
                 c_tail += 0.5 * fabric.switch_c + fabric.sink_input_cap()
         return c_here, c_tail
 
@@ -234,15 +251,15 @@ def analyze_net(
     cap_buffer = 0.0
     cap_switch = 0.0
     for node_id in tree.nodes:
-        kind = nodes[node_id].kind
-        if kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+        k = kind[node_id]
+        if k == KIND_HWIRE or k == KIND_VWIRE:
             frac = wire_span_fraction(node_id)
             cap_wire += fabric.wire_c * frac + fabric.wire_off_load * frac
             cap_switch += fabric.switch_c
             if fabric.wire_buffer is not None:
                 cap_buffer += fabric.wire_buffer.input_capacitance
                 cap_buffer += fabric.wire_buffer.chain.internal_switching_capacitance()
-        elif kind is NodeKind.IPIN:
+        elif k == KIND_IPIN:
             cap_switch += 0.5 * fabric.switch_c
             cap_buffer += fabric.sink_input_cap()
 
@@ -263,18 +280,19 @@ def analyze_net(
         if node_id in path_cache:
             return path_cache[node_id]
         parent = tree.parent[node_id]
-        kind = nodes[node_id].kind
-        if kind in (NodeKind.SOURCE, NodeKind.OPIN):
+        k = kind[node_id]
+        if k == KIND_SOURCE or k == KIND_OPIN:
             path_cache[node_id] = 0.0
             return 0.0
         t_parent = arrival(parent)
-        parent_kind = nodes[parent].kind
+        parent_kind = kind[parent]
 
-        if kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+        if k == KIND_HWIRE or k == KIND_VWIRE:
             c_here, c_tail = stage_load(node_id)
             frac = wire_span_fraction(node_id)
             r_wire = fabric.wire_r * frac
-            if parent_kind in (NodeKind.SOURCE, NodeKind.OPIN):
+            if ir.switch_kind_between(parent, node_id) is not SwitchKind.WIRE_WIRE:
+                # Entry from the driver side (OPIN -> wire switch).
                 r_up = r_driver
             elif fabric.wire_buffer is not None:
                 r_up = fabric.wire_buffer.output_resistance
@@ -297,8 +315,8 @@ def analyze_net(
             path_cache[node_id] = t_parent + t
             return path_cache[node_id]
 
-        if kind is NodeKind.IPIN:
-            if parent_kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+        if k == KIND_IPIN:
+            if parent_kind == KIND_HWIRE or parent_kind == KIND_VWIRE:
                 if fabric.wire_buffer is not None:
                     r_up = path_rres.get(parent, fabric.wire_buffer.output_resistance)
                 else:
@@ -311,18 +329,18 @@ def analyze_net(
             path_cache[node_id] = t_parent + t
             return path_cache[node_id]
 
-        if kind is NodeKind.SINK:
+        if k == KIND_SINK:
             path_cache[node_id] = arrival(parent)
             return path_cache[node_id]
-        raise AssertionError(f"unexpected node kind {kind}")
+        raise AssertionError(f"unexpected node kind {k}")
 
     path_rres: Dict[int, float] = {}
     stages = 0
     for sink in tree.sink_nodes:
-        node = nodes[sink]
-        delay_to_tile[(node.x, node.y)] = arrival(sink)
+        delay_to_tile[(int(xs[sink]), int(ys[sink]))] = arrival(sink)
     for node_id in tree.nodes:
-        if nodes[node_id].kind in (NodeKind.HWIRE, NodeKind.VWIRE):
+        k = kind[node_id]
+        if k == KIND_HWIRE or k == KIND_VWIRE:
             stages += 1
     return NetDelays(
         delay_to_tile=delay_to_tile,
@@ -397,7 +415,7 @@ class TimingReport:
 def analyze_timing(
     placement: Placement,
     routing: RoutingResult,
-    graph: RRGraph,
+    graph: FabricIR,
     fabric: FabricElectrical,
 ) -> TimingReport:
     """Full-design STA.
@@ -439,7 +457,7 @@ def analyze_timing(
 def _analyze_timing_impl(
     placement: Placement,
     routing: RoutingResult,
-    graph: RRGraph,
+    graph: FabricIR,
     fabric: FabricElectrical,
 ) -> TimingReport:
     clustered = placement.clustered

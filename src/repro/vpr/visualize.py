@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..arch.rrgraph import NodeKind, RRGraph
+from ..fabric import (
+    KIND_HWIRE,
+    KIND_SINK,
+    KIND_SOURCE,
+    KIND_VWIRE,
+    FabricIR,
+    as_fabric,
+)
 from .place import Placement
 from .route import RoutingResult
 
@@ -36,29 +43,33 @@ def render_placement(placement: Placement) -> str:
     return "\n".join(lines)
 
 
-def channel_occupancy(routing: RoutingResult, graph: RRGraph) -> Dict[Tuple[str, int, int], int]:
+def channel_occupancy(routing: RoutingResult, graph: FabricIR) -> Dict[Tuple[str, int, int], int]:
     """(direction, channel index, position) -> wires in use.
 
     Direction is 'h' or 'v'; position is the tile offset along the
     channel.  Each used wire segment contributes to every position it
     spans.
     """
+    ir = as_fabric(graph)
+    kind, xs, ys, spans = ir.kind, ir.xs, ir.ys, ir.spans
     occupancy: Dict[Tuple[str, int, int], int] = {}
     for tree in routing.trees.values():
         for node_id in tree.nodes:
-            node = graph.nodes[node_id]
-            if node.kind is NodeKind.HWIRE:
-                for pos in range(node.x, node.x + node.span):
-                    key = ("h", node.y, pos)
+            k = kind[node_id]
+            if k == KIND_HWIRE:
+                x, y = int(xs[node_id]), int(ys[node_id])
+                for pos in range(x, x + int(spans[node_id])):
+                    key = ("h", y, pos)
                     occupancy[key] = occupancy.get(key, 0) + 1
-            elif node.kind is NodeKind.VWIRE:
-                for pos in range(node.y, node.y + node.span):
-                    key = ("v", node.x, pos)
+            elif k == KIND_VWIRE:
+                x, y = int(xs[node_id]), int(ys[node_id])
+                for pos in range(y, y + int(spans[node_id])):
+                    key = ("v", x, pos)
                     occupancy[key] = occupancy.get(key, 0) + 1
     return occupancy
 
 
-def render_congestion(routing: RoutingResult, graph: RRGraph) -> str:
+def render_congestion(routing: RoutingResult, graph: FabricIR) -> str:
     """Heat map of horizontal-channel utilisation per tile position.
 
     Each cell shows utilisation of the channel *below* the tile row as
@@ -78,26 +89,29 @@ def render_congestion(routing: RoutingResult, graph: RRGraph) -> str:
 
 
 def render_net(
-    routing: RoutingResult, graph: RRGraph, net_name: str
+    routing: RoutingResult, graph: FabricIR, net_name: str
 ) -> str:
     """Overlay of one routed net: S source tile, T sink tiles, '+'
     tiles its wires pass."""
     if net_name not in routing.trees:
         raise KeyError(f"net {net_name!r} not in routing result")
+    ir = as_fabric(graph)
+    kind, xs, ys, spans = ir.kind, ir.xs, ir.ys, ir.spans
     tree = routing.trees[net_name]
     marks: Dict[Tuple[int, int], str] = {}
     for node_id in tree.nodes:
-        node = graph.nodes[node_id]
-        if node.kind is NodeKind.HWIRE:
-            for pos in range(node.x, node.x + node.span):
-                marks.setdefault((pos, min(node.y, graph.ny - 1)), "+")
-        elif node.kind is NodeKind.VWIRE:
-            for pos in range(node.y, node.y + node.span):
-                marks.setdefault((min(node.x, graph.nx - 1), pos), "+")
-        elif node.kind is NodeKind.SOURCE:
-            marks[(node.x, node.y)] = "S"
-        elif node.kind is NodeKind.SINK:
-            marks[(node.x, node.y)] = "T"
+        k = kind[node_id]
+        x, y = int(xs[node_id]), int(ys[node_id])
+        if k == KIND_HWIRE:
+            for pos in range(x, x + int(spans[node_id])):
+                marks.setdefault((pos, min(y, ir.ny - 1)), "+")
+        elif k == KIND_VWIRE:
+            for pos in range(y, y + int(spans[node_id])):
+                marks.setdefault((min(x, ir.nx - 1), pos), "+")
+        elif k == KIND_SOURCE:
+            marks[(x, y)] = "S"
+        elif k == KIND_SINK:
+            marks[(x, y)] = "T"
     lines: List[str] = []
     for y in range(graph.ny - 1, -1, -1):
         lines.append(
@@ -106,7 +120,7 @@ def render_net(
     return "\n".join(lines)
 
 
-def utilization_summary(routing: RoutingResult, graph: RRGraph) -> Dict[str, float]:
+def utilization_summary(routing: RoutingResult, graph: FabricIR) -> Dict[str, float]:
     """Channel-utilisation statistics of a routed design."""
     occupancy = channel_occupancy(routing, graph)
     w = graph.params.channel_width

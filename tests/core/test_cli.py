@@ -20,6 +20,8 @@ class TestParser:
             ["sweep", "--circuit", "alu4"],
             ["headline", "--suite", "mcnc20"],
             ["explore", "--knob", "fc_in"],
+            ["rrgraph", "--stats"],
+            ["rrgraph", "--stats", "--nx", "4", "--ny", "5", "--json"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -75,3 +77,37 @@ class TestExecution:
         ])
         assert code == 0
         assert "Wmin" in capsys.readouterr().out
+
+    def test_rrgraph_stats(self, capsys):
+        code = main(["rrgraph", "--stats", "--nx", "4", "--ny", "4",
+                     "--width", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RR graph 4x4, W = 8" in out
+        assert "nodes:" in out and "edges:" in out
+        assert "memory:" in out and "build:" in out
+
+    def test_rrgraph_stats_json(self, capsys):
+        import json
+
+        code = main(["rrgraph", "--stats", "--nx", "4", "--ny", "4",
+                     "--width", "8", "--json"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["grid"] == [4, 4]
+        assert stats["num_nodes"] == sum(stats["nodes_by_kind"].values())
+        assert stats["num_edges"] == sum(stats["edges_by_switch"].values())
+        assert stats["memory_bytes"] > 0
+
+    def test_rrgraph_metrics_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "rr.jsonl"
+        code = main(["rrgraph", "--stats", "--nx", "4", "--ny", "4",
+                     "--width", "8", "--json", "--metrics-out", str(path)])
+        assert code == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["type"] == "manifest"
+        assert records[0]["arch"]["channel_width"] == 8
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "fabric.cache_lookup" in names

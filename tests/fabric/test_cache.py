@@ -1,0 +1,72 @@
+"""Tests for repro.fabric.cache (keyed FabricIR cache)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.fabric import FabricCache, FabricIR, fabric_cache, get_fabric
+
+ARCH = ArchParams(channel_width=6, segment_length=1)
+
+
+class TestFabricCache:
+    def test_miss_then_hit_returns_same_instance(self):
+        cache = FabricCache()
+        first = cache.get(ARCH, 3, 3)
+        second = cache.get(ARCH, 3, 3)
+        assert first is second
+        assert isinstance(first, FabricIR)
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_distinct_keys_build_distinct_irs(self):
+        cache = FabricCache()
+        a = cache.get(ARCH, 3, 3)
+        b = cache.get(ARCH, 3, 4)
+        c = cache.get(ARCH.with_channel_width(8), 3, 3)
+        assert a is not b and a is not c
+        assert cache.stats() == {"entries": 3, "hits": 0, "misses": 3}
+
+    def test_lru_eviction(self):
+        cache = FabricCache(maxsize=2)
+        a = cache.get(ARCH, 3, 3)
+        cache.get(ARCH, 3, 4)
+        cache.get(ARCH, 3, 5)  # evicts (3, 3), the oldest
+        assert len(cache) == 2
+        again = cache.get(ARCH, 3, 3)  # rebuild
+        assert again is not a
+        assert cache.misses == 4
+
+    def test_lru_touch_on_hit(self):
+        cache = FabricCache(maxsize=2)
+        a = cache.get(ARCH, 3, 3)
+        cache.get(ARCH, 3, 4)
+        cache.get(ARCH, 3, 3)  # refresh (3, 3)
+        cache.get(ARCH, 3, 5)  # evicts (3, 4) instead
+        assert cache.get(ARCH, 3, 3) is a
+
+    def test_clear(self):
+        cache = FabricCache()
+        cache.get(ARCH, 3, 3)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            FabricCache(maxsize=0)
+
+
+class TestGlobalCache:
+    def test_get_fabric_uses_process_cache(self):
+        before = fabric_cache().hits
+        first = get_fabric(ARCH, 3, 3)
+        assert get_fabric(ARCH, 3, 3) is first
+        assert fabric_cache().hits > before
+
+    def test_cache_metrics_emitted(self):
+        from repro.obs import get_registry
+
+        cache = FabricCache()
+        cache.get(ARCH, 3, 3)
+        cache.get(ARCH, 3, 3)
+        registry = get_registry()
+        assert registry.counter("fabric.cache_hits").value >= 1
+        assert registry.counter("fabric.cache_misses").value >= 1

@@ -1,0 +1,139 @@
+"""Tests for repro.fabric.ir (FabricIR structure and facade)."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.arch.rrgraph import NodeKind, RRGraph
+from repro.fabric import (
+    KIND_HWIRE,
+    KIND_IPIN,
+    KIND_OPIN,
+    KIND_SINK,
+    KIND_SOURCE,
+    KIND_VWIRE,
+    FabricIR,
+    SwitchKind,
+    TileLookup,
+    switch_kind_code,
+)
+
+ARCH = ArchParams(channel_width=8, segment_length=2)
+
+
+@pytest.fixture(scope="module")
+def ir():
+    return FabricIR.build(ARCH, 4, 4)
+
+
+class TestSwitchKindCode:
+    def test_programmable_patterns(self):
+        assert switch_kind_code(KIND_OPIN, KIND_HWIRE) == SwitchKind.OPIN_WIRE
+        assert switch_kind_code(KIND_OPIN, KIND_VWIRE) == SwitchKind.OPIN_WIRE
+        assert switch_kind_code(KIND_HWIRE, KIND_VWIRE) == SwitchKind.WIRE_WIRE
+        assert switch_kind_code(KIND_VWIRE, KIND_VWIRE) == SwitchKind.WIRE_WIRE
+        assert switch_kind_code(KIND_HWIRE, KIND_IPIN) == SwitchKind.WIRE_IPIN
+
+    def test_hardwired_patterns(self):
+        assert switch_kind_code(KIND_SOURCE, KIND_OPIN) == SwitchKind.NONE
+        assert switch_kind_code(KIND_IPIN, KIND_SINK) == SwitchKind.NONE
+
+
+class TestEdgeSwitchTable:
+    def test_table_matches_scalar_classifier(self, ir):
+        offsets = ir.csr_offsets()
+        targets = ir.csr_targets()
+        for u in range(ir.num_nodes):
+            for e in range(offsets[u], offsets[u + 1]):
+                v = targets[e]
+                assert ir.edge_switch[e] == switch_kind_code(
+                    int(ir.kind[u]), int(ir.kind[v])
+                )
+
+    def test_switch_kind_between(self, ir):
+        offsets = ir.csr_offsets()
+        targets = ir.csr_targets()
+        u = next(u for u in range(ir.num_nodes)
+                 if offsets[u + 1] > offsets[u])
+        v = targets[offsets[u]]
+        assert ir.switch_kind_between(u, v) is SwitchKind(
+            int(ir.edge_switch[offsets[u]])
+        )
+
+    def test_switch_kind_between_non_edge(self, ir):
+        # SOURCE never points at another SOURCE: classifier fallback.
+        sources = [i for i in range(ir.num_nodes)
+                   if ir.kind[i] == KIND_SOURCE]
+        assert ir.switch_kind_between(sources[0], sources[1]) is SwitchKind.NONE
+
+
+class TestStats:
+    def test_stats_shape(self, ir):
+        stats = ir.stats()
+        assert stats["grid"] == [4, 4]
+        assert stats["channel_width"] == 8
+        assert stats["num_nodes"] == sum(stats["nodes_by_kind"].values())
+        assert stats["num_edges"] == sum(stats["edges_by_switch"].values())
+        assert stats["memory_bytes"] > 0
+        assert stats["build"]["constructor"] == "build"
+        assert stats["build"]["build_wall_s"] >= 0
+
+    def test_memory_counts_core_arrays(self, ir):
+        assert ir.memory_bytes() >= (
+            ir.kind.nbytes + ir.edge_targets.nbytes + ir.edge_offsets.nbytes
+        )
+
+    def test_describe_matches_legacy_format(self, ir):
+        counts = ir.describe()
+        assert set(counts) == {
+            "source", "sink", "opin", "ipin", "hwire", "vwire", "edges",
+        }
+
+
+class TestTileLookup:
+    def test_mapping_protocol(self, ir):
+        lookup = ir.source_of
+        assert isinstance(lookup, TileLookup)
+        assert len(lookup) == 16
+        assert set(lookup) == {(x, y) for x in range(4) for y in range(4)}
+        assert ir.kind[lookup[(1, 2)]] == KIND_SOURCE
+
+    def test_missing_tile_raises(self, ir):
+        with pytest.raises(KeyError):
+            ir.source_of[(9, 9)]
+        with pytest.raises(KeyError):
+            ir.sink_of[(-1, 0)]
+
+
+class TestLegacyFacade:
+    def test_nodes_view(self, ir):
+        nodes = ir.nodes
+        assert len(nodes) == ir.num_nodes
+        node = nodes[0]
+        assert node.id == 0
+        assert isinstance(node.kind, NodeKind)
+
+    def test_adjacency_view(self, ir):
+        adjacency = ir.adjacency
+        assert len(adjacency) == ir.num_nodes
+        assert sum(len(a) for a in adjacency) == ir.num_edges
+
+    def test_cost_and_capacity_accessors(self, ir):
+        wire = ir.wire_nodes()[0]
+        assert ir.base_cost(wire) == float(wire.span)
+        assert ir.node_capacity(wire) == 1
+        source = ir.nodes[ir.source_of[(0, 0)]]
+        assert ir.node_capacity(source) >= 10 ** 9
+
+    def test_positions_match_legacy_router_expectations(self, ir):
+        positions = ir.positions
+        assert len(positions) == ir.num_nodes
+        wire = ir.wire_nodes()[0]
+        px, py = positions[wire.id]
+        assert px >= wire.x and py >= wire.y
+
+
+class TestBuildStats:
+    def test_conversion_provenance(self):
+        legacy = RRGraph(ARCH, 3, 3)
+        ir = FabricIR.from_rrgraph(legacy)
+        assert ir.build_stats["constructor"] == "from_rrgraph"

@@ -82,7 +82,9 @@ class TestMetricsOut:
         stages = {c["name"] for c in flow_span["children"]}
         assert stages == {"flow.pack", "flow.place", "flow.route"}
         route = next(c for c in flow_span["children"] if c["name"] == "flow.route")
-        pathfinder = route["children"][0]
+        pathfinder = next(
+            c for c in route["children"] if c["name"] == "route.pathfinder"
+        )
         assert pathfinder["attrs"]["convergence"][-1]["overused_nodes"] == 0
 
     def test_spans_have_wall_time_and_rss(self, capsys, tmp_path):
