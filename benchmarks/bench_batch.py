@@ -1,0 +1,106 @@
+"""Batch runner bench — serial vs worker-pool execution of one matrix.
+
+The tentpole claim of the batch layer (DESIGN.md Sec. 5d): fanning a
+(circuit x variant x seed) matrix over worker processes changes
+wall-clock only, never results.  This bench runs the same `BatchSpec`
+with 1 worker and with `BENCH_WORKERS`, asserts bit-identical
+`JobResult`s job-for-job, and reports the speedup.
+
+The >= 2x speedup gate only arms on machines with >= 4 cores —
+process-level parallelism cannot beat serial on the 1-2 core
+containers CI sometimes hands out, and a wall-clock flake must not
+mask the identity check, which always runs.
+
+Environment knobs:
+
+    REPRO_BENCH_BATCH_SCALE    per-job circuit scale (default 0.02)
+    REPRO_BENCH_BATCH_WORKERS  pool size for the parallel arm (4)
+"""
+
+import os
+
+import pytest
+
+from repro.runner import BatchSpec, results_identical, run_batch
+
+BENCH_BATCH_SCALE = float(os.environ.get("REPRO_BENCH_BATCH_SCALE", "0.02"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_BATCH_WORKERS", "4"))
+
+#: Speedup gate for the parallel arm, armed only when the machine has
+#: enough cores to make it physically achievable.
+MIN_SPEEDUP = 2.0
+
+#: >= 4 jobs (ISSUE acceptance floor): 2 circuits x 2 variants x 2
+#: seeds = 8 fixed-width jobs, enough work per arm to amortise fork
+#: overhead at the bench scale.
+BATCH_SPEC = BatchSpec.from_matrix(
+    circuits=["tseng", "alu4"],
+    variants=["baseline", "nem-opt:8"],
+    seeds=[1, 2],
+    widths=[56],
+    scale=BENCH_BATCH_SCALE,
+)
+
+
+@pytest.mark.benchmark(group="batch-runner")
+def test_batch_parallel_speedup_at_identical_qor(benchmark, tmp_path):
+    def run():
+        serial = run_batch(BATCH_SPEC, workers=1,
+                           shard_dir=str(tmp_path / "serial"))
+        parallel = run_batch(BATCH_SPEC, workers=BENCH_WORKERS,
+                             shard_dir=str(tmp_path / "parallel"))
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = serial.wall_s / parallel.wall_s
+
+    print(f"\n=== batch runner (jobs = {len(BATCH_SPEC.jobs)}, "
+          f"scale {BENCH_BATCH_SCALE}) ===")
+    print(f"{'arm':>22s} {'wall s':>9s} {'jobs ok':>8s}")
+    print(f"{'serial (1 worker)':>22s} {serial.wall_s:9.2f} "
+          f"{serial.summary()['ok']:8d}")
+    print(f"{f'pool ({parallel.workers} workers)':>22s} "
+          f"{parallel.wall_s:9.2f} {parallel.summary()['ok']:8d}")
+    print(f"speedup: {speedup:.2f}x (target >= {MIN_SPEEDUP}x on >= 4 cores)")
+
+    # The determinism contract is unconditional: every job's QoR and
+    # artefact digests must match bit-for-bit across the arms.
+    assert serial.ok and parallel.ok
+    assert results_identical(serial.results, parallel.results)
+    for s, p in zip(serial.results, parallel.results):
+        assert s.digests == p.digests, s.key
+
+    cores = os.cpu_count() or 1
+    if cores >= 4 and parallel.workers >= 4:
+        assert speedup >= MIN_SPEEDUP, (
+            f"batch speedup {speedup:.2f}x below {MIN_SPEEDUP}x gate "
+            f"on a {cores}-core machine"
+        )
+    else:
+        print(f"(speedup gate skipped: {cores} cores, "
+              f"{parallel.workers} workers)")
+
+
+@pytest.mark.benchmark(group="batch-runner")
+def test_prewarm_shares_fabric_with_workers(benchmark, tmp_path):
+    """Pre-warm must leave the parent's fabric cache hot, so fork
+    workers inherit built IRs instead of rebuilding per job."""
+    from repro.fabric import fabric_cache
+
+    spec = BatchSpec.from_matrix(
+        circuits=["tseng"], variants=["baseline"], seeds=[1, 2],
+        widths=[56], scale=BENCH_BATCH_SCALE,
+    )
+
+    def run():
+        cache = fabric_cache()
+        cache.clear()
+        misses_before = cache.misses
+        batch = run_batch(spec, workers=1, shard_dir=str(tmp_path / "warm"))
+        return batch, cache.misses - misses_before
+
+    batch, builds = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfabric builds across {len(spec.jobs)} same-arch jobs: {builds}")
+    assert batch.ok
+    # One grid/width in the whole matrix -> exactly one fabric build.
+    assert builds == 1, "same-arch jobs must share one pre-warmed FabricIR"

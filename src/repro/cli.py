@@ -5,6 +5,8 @@ Exposes the library's main entry points without writing Python:
 * ``repro device``    — relay design points (Fig. 2b / Fig. 11 anchors)
 * ``repro crossbar``  — program a crossbar via half-select
 * ``repro flow``      — pack/place/route/configure a benchmark + variants
+* ``repro batch``     — a (circuit x variant x seed) job matrix over a
+  worker-process pool, bit-identical to serial (see `repro.runner`)
 * ``repro sweep``     — the Fig. 12 downsizing trade-off for a circuit
 * ``repro headline``  — suite-level headline comparison vs the paper
 * ``repro explore``   — future-work architecture sweeps
@@ -408,6 +410,92 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv(spec: str, cast=str) -> List:
+    return [cast(part.strip()) for part in spec.split(",") if part.strip()]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .obs import setup_logging, write_json
+    from .runner import BatchSpec, results_identical, run_batch
+
+    if getattr(args, "verbose", 0):
+        setup_logging(args.verbose)
+    try:
+        if args.spec:
+            spec = BatchSpec.from_file(args.spec)
+        else:
+            if not args.circuits:
+                raise ValueError("need --spec FILE or --circuits LIST")
+            spec = BatchSpec.from_matrix(
+                circuits=_parse_csv(args.circuits),
+                variants=_parse_csv(args.variants),
+                seeds=_parse_csv(args.seeds, int),
+                widths=[args.width],
+                scale=args.scale,
+                timeout_s=args.timeout,
+                retries=args.retries,
+            )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workers = args.workers if args.workers is not None else spec.workers
+
+    def progress(result, done, total):
+        print(f"[{done}/{total}] {result.key}: {result.status} "
+              f"({result.wall_s:.2f}s"
+              + (f", {result.attempts} attempts" if result.attempts > 1 else "")
+              + ")", file=sys.stderr)
+
+    batch = run_batch(
+        spec, workers=workers, shard_dir=args.shard_dir,
+        metrics_out=args.metrics_out, progress=progress,
+    )
+    doc = {
+        "spec_digest": spec.digest,
+        **batch.summary(),
+        "results": [r.to_dict() for r in batch.results],
+    }
+
+    deterministic = None
+    if args.verify_serial and workers > 1:
+        print("verify-serial: re-running the batch with 1 worker...",
+              file=sys.stderr)
+        serial = run_batch(spec, workers=1, progress=progress)
+        deterministic = results_identical(batch.results, serial.results)
+        doc["verify_serial"] = {
+            "identical": deterministic,
+            "serial_wall_s": serial.wall_s,
+            "parallel_wall_s": batch.wall_s,
+        }
+        print(f"verify-serial: parallel results are "
+              f"{'bit-identical to' if deterministic else 'DIFFERENT from'} "
+              f"serial execution", file=sys.stderr)
+
+    if args.results:
+        write_json(args.results, doc)
+        print(f"wrote batch results to {args.results}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        summary = batch.summary()
+        print(f"{summary['ok']}/{summary['jobs']} jobs ok in "
+              f"{summary['wall_s']:.2f}s with {summary['workers']} worker(s)")
+        for result in batch.results:
+            qor = result.qor
+            line = f"  {result.key}: {result.status}"
+            if result.ok:
+                line += (f"  wl={qor.get('wirelength')} "
+                         f"it={qor.get('iterations')} "
+                         f"crit={qor.get('critical_path_s', 0) * 1e9:.2f}ns")
+            print(line)
+    if batch.metrics_path:
+        print(f"wrote merged batch telemetry to {batch.metrics_path}",
+              file=sys.stderr)
+    if deterministic is False:
+        return 3
+    return 0 if batch.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .obs.analyze import load_run, render_html, render_report
 
@@ -603,6 +691,41 @@ def build_parser() -> argparse.ArgumentParser:
                            default="segment_length")
     add_flow_args(p_explore, width_default=48)
     p_explore.set_defaults(func=_cmd_explore)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a (circuit x variant x seed) job matrix over worker processes")
+    p_batch.add_argument("--spec", metavar="PATH",
+                         help="batch spec JSON ('jobs' list or 'matrix' object)")
+    p_batch.add_argument("--circuits", metavar="LIST",
+                         help="comma-separated suite circuit names")
+    p_batch.add_argument("--variants", default="baseline", metavar="LIST",
+                         help="comma-separated variants: baseline, nem-naive, "
+                              "nem-opt[:downsize] (default: baseline)")
+    p_batch.add_argument("--seeds", default="1", metavar="LIST",
+                         help="comma-separated placement seeds (default: 1)")
+    p_batch.add_argument("--width", type=int, default=None,
+                         help="channel width W (omit to derive Wmin per job)")
+    p_batch.add_argument("--scale", type=float, default=0.02,
+                         help="circuit shrink factor (DESIGN.md Sec. 6)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: the spec's, or 1)")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock limit in seconds")
+    p_batch.add_argument("--retries", type=int, default=1,
+                         help="relaunch budget per job after a worker crash")
+    p_batch.add_argument("--shard-dir", metavar="PATH",
+                         help="directory for per-job telemetry/result shards "
+                              "(default: a fresh temp dir)")
+    p_batch.add_argument("--results", metavar="PATH",
+                         help="write the full results document as JSON")
+    p_batch.add_argument("--verify-serial", action="store_true",
+                         help="re-run serially and fail (exit 3) unless the "
+                              "parallel results are bit-identical")
+    p_batch.add_argument("--json", action="store_true",
+                         help="machine-readable results on stdout")
+    add_obs_args(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_report = sub.add_parser(
         "report", help="render a --metrics-out JSONL run as a readable report")

@@ -42,52 +42,83 @@ class FabricCache:
         self.maxsize = maxsize
         self._entries: "OrderedDict[Key, FabricIR]" = OrderedDict()
         self._lock = threading.Lock()
+        #: Key -> event for an in-flight build (single-flight: one
+        #: builder per key, everyone else waits and shares the result).
+        self._building: Dict[Key, threading.Event] = {}
         self.hits = 0
         self.misses = 0
 
     def get(self, params: ArchParams, nx: int, ny: int) -> FabricIR:
-        """The IR for this architecture/grid, building on first use."""
+        """The IR for this architecture/grid, building on first use.
+
+        Thread-safe: every piece of bookkeeping (LRU order, eviction,
+        hit/miss counters) happens under the lock, and concurrent
+        misses for the same key coalesce into a single build — the
+        batch runner's parent pre-warm may race threaded callers
+        without double-building or corrupting the LRU state.
+        """
         key = (params, nx, ny)
         registry = get_registry()
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
-                registry.counter("fabric.cache_hits").inc()
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    registry.counter("fabric.cache_hits").inc()
+                    with get_tracer().span(
+                        "fabric.cache_lookup", hit=True, nx=nx, ny=ny,
+                        channel_width=params.channel_width,
+                    ):
+                        pass
+                    return cached
+                pending = self._building.get(key)
+                if pending is None:
+                    pending = self._building[key] = threading.Event()
+                    self.misses += 1
+                    registry.counter("fabric.cache_misses").inc()
+                    builder = True
+                else:
+                    builder = False
+            if not builder:
+                # Another thread is building this key; wait and
+                # re-check (the entry may also have been evicted by
+                # the time we wake — then the loop elects a builder).
+                pending.wait()
+                continue
+            try:
                 with get_tracer().span(
-                    "fabric.cache_lookup", hit=True, nx=nx, ny=ny,
+                    "fabric.cache_lookup", hit=False, nx=nx, ny=ny,
                     channel_width=params.channel_width,
                 ):
-                    pass
-                return cached
-        # Build outside the lock: concurrent misses may build twice,
-        # but identical immutable results make that merely wasteful.
-        self.misses += 1
-        registry.counter("fabric.cache_misses").inc()
-        with get_tracer().span(
-            "fabric.cache_lookup", hit=False, nx=nx, ny=ny,
-            channel_width=params.channel_width,
-        ):
-            ir = FabricIR.build(params, nx, ny)
-        with self._lock:
-            self._entries[key] = ir
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-            registry.gauge("fabric.cache_entries").set(len(self._entries))
-        return ir
+                    ir = FabricIR.build(params, nx, ny)
+            except BaseException:
+                with self._lock:
+                    self._building.pop(key, None)
+                pending.set()  # waiters retry; one of them rebuilds
+                raise
+            with self._lock:
+                self._entries[key] = ir
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                registry.gauge("fabric.cache_entries").set(len(self._entries))
+                self._building.pop(key, None)
+            pending.set()
+            return ir
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses}
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses}
 
 
 #: Process-wide cache the flow drives its probes through.

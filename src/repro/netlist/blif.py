@@ -109,7 +109,13 @@ def read_blif(stream: TextIO, k: int = 4) -> Netlist:
     for inp, out in latches:
         netlist.add_ff(out, inp)
     for po in outputs:
+        # A net may legally be listed in .outputs more than once (two
+        # pads on one driver); uniquify the synthesised pad names.
         pad = po if po not in netlist.blocks else f"{po}__po"
+        serial = 2
+        while pad in netlist.blocks:
+            pad = f"{po}__po{serial}"
+            serial += 1
         netlist.add_output(pad, source=po)
     netlist.validate()
     return netlist
@@ -180,14 +186,24 @@ def write_blif(netlist: Netlist, stream: TextIO) -> None:
 
 
 def roundtrip_equal(a: Netlist, b: Netlist) -> bool:
-    """Structural equality: same blocks, types and connections."""
-    if set(a.blocks) != set(b.blocks):
+    """Structural equality: same blocks, types and connections.
+
+    Output blocks compare by their driven signal rather than by name:
+    ``.outputs`` records only the driver, so a writer cannot preserve
+    output block names and ``read_blif`` synthesises fresh ones.
+    Everything else (PIs, LUTs, FFs) must match name-for-name.
+    """
+    if sorted(blk.inputs[0] for blk in a.outputs) != sorted(
+        blk.inputs[0] for blk in b.outputs
+    ):
         return False
-    for name, block in a.blocks.items():
-        other = b.blocks[name]
-        if block.type is not other.type or block.inputs != other.inputs:
-            if block.type is BlockType.OUTPUT and other.type is BlockType.OUTPUT:
-                if block.inputs == other.inputs:
-                    continue
-            return False
-    return True
+    a_rest = {n: blk for n, blk in a.blocks.items()
+              if blk.type is not BlockType.OUTPUT}
+    b_rest = {n: blk for n, blk in b.blocks.items()
+              if blk.type is not BlockType.OUTPUT}
+    if set(a_rest) != set(b_rest):
+        return False
+    return all(
+        block.type is b_rest[name].type and block.inputs == b_rest[name].inputs
+        for name, block in a_rest.items()
+    )

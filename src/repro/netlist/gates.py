@@ -210,6 +210,11 @@ def random_gate_circuit(
     pool += ff_names  # FF outputs usable before their D is defined
     for i in range(num_gates):
         op = ops[int(rng.integers(len(ops)))]
+        if len(set(pool)) < op.arity:
+            # Not enough distinct signals for a binary gate (1-PI
+            # circuits before any gate exists): degrade to NOT rather
+            # than spinning forever looking for a second fanin.
+            op = GateOp.NOT
         fanin = op.arity
         sources = []
         while len(sources) < fanin:

@@ -20,6 +20,7 @@ Modules:
 * `metrics`  — `Counter`, `Gauge`, `Histogram`
 * `registry` — named get-or-create `MetricsRegistry`
 * `export`   — run manifest + JSON/JSONL writers (`export_run`)
+* `shards`   — batch-worker telemetry shard merge (`merge_shards`)
 * `logging`  — structured stderr logging (`setup_logging`, `kv`)
 * `analyze`  — the consumer side: run reports (`repro report`),
   run-to-run diffing with regression gates (`repro diff`), and the
@@ -39,7 +40,14 @@ from .trace import (
     use_tracer,
 )
 from .metrics import Counter, Gauge, Histogram
-from .registry import MetricsRegistry, get_registry
+from .registry import (
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+    use_registry,
+)
+from .shards import merge_metric_snapshots, merge_shard_records, merge_shards
 from .export import (
     SCHEMA_VERSION,
     export_run,
@@ -73,12 +81,18 @@ __all__ = [
     "get_tracer",
     "git_sha",
     "kv",
+    "merge_metric_snapshots",
+    "merge_shard_records",
+    "merge_shards",
     "peak_rss_kb",
     "read_jsonl",
+    "reset_registry",
     "reset_tracer",
     "run_manifest",
+    "set_registry",
     "set_tracer",
     "setup_logging",
+    "use_registry",
     "span_to_dict",
     "telemetry_records",
     "use_tracer",

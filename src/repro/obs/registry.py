@@ -6,13 +6,19 @@ instances so instrumentation sites can say
     get_registry().counter("route.nets_ripped").inc()
 
 without threading objects through every call, and exporters can dump
-everything with `snapshot()`.  A process-wide default registry mirrors
-the tracer's current/default split in `repro.obs.trace`.
+everything with `snapshot()`.  Like the tracer in `repro.obs.trace`,
+the *current* registry is scoped through a context variable
+(`use_registry`) and falls back to a process-wide default — batch
+workers install a fresh registry per job so shard metrics stay
+job-local and deterministic regardless of what the parent process
+accumulated before forking.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import contextlib
+import contextvars
+from typing import Dict, Iterator, List
 
 from .metrics import Counter, Gauge, Histogram
 
@@ -68,7 +74,36 @@ class MetricsRegistry:
 
 _default_registry = MetricsRegistry()
 
+_current_registry: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_registry", default=_default_registry
+)
+
 
 def get_registry() -> MetricsRegistry:
-    """The process-wide default registry."""
-    return _default_registry
+    """The registry instrumentation call sites should emit to.
+
+    The process-wide default unless a `use_registry` /
+    `set_registry` scope is active.
+    """
+    return _current_registry.get()
+
+
+def set_registry(registry: MetricsRegistry) -> object:
+    """Install ``registry`` as current; returns a token for
+    `reset_registry`."""
+    return _current_registry.set(registry)
+
+
+def reset_registry(token: object) -> None:
+    """Undo a `set_registry` (restores the previous registry)."""
+    _current_registry.reset(token)
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as the current registry for a ``with`` block."""
+    token = _current_registry.set(registry)
+    try:
+        yield registry
+    finally:
+        _current_registry.reset(token)

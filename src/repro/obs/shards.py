@@ -1,0 +1,118 @@
+"""Telemetry shard merging for batch runs.
+
+Batch workers (`repro.runner`) each export their job's telemetry as a
+JSONL *shard* — span records plus one metrics record, no manifest.
+`merge_shards` combines the shards into a single schema-v1 run file
+that `repro report` / `repro diff` consume unchanged:
+
+* exactly one ``manifest`` record (supplied by the batch driver),
+* every shard's ``span`` records, in shard order (the driver passes
+  shards in job order, so the merged timeline is deterministic
+  regardless of worker completion order),
+* one ``metrics`` record merging all shard snapshots.
+
+Metric snapshots merge by kind: counters sum, gauges keep the last
+non-null value (shard order), histograms combine count/sum/min/max
+and recompute the mean.  Exact percentiles cannot be merged from
+snapshots, so they are dropped (null) in the merged record — the
+report renderer already skips null histogram fields.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .export import read_jsonl, write_jsonl
+
+
+def merge_metric_snapshots(
+    snapshots: Iterable[Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Merge per-shard registry snapshots into one snapshot dict."""
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, snap in snapshot.items():
+            if not isinstance(snap, dict):
+                continue
+            have = merged.get(name)
+            if have is None:
+                merged[name] = dict(snap)
+                continue
+            kind = snap.get("kind")
+            if kind != have.get("kind"):
+                # Conflicting kinds across shards: keep the first, the
+                # merged record stays renderable either way.
+                continue
+            if kind == "counter":
+                have["value"] = _num(have.get("value")) + _num(snap.get("value"))
+            elif kind == "gauge":
+                if snap.get("value") is not None:
+                    have["value"] = snap["value"]
+            elif kind == "histogram":
+                count = _num(have.get("count")) + _num(snap.get("count"))
+                total = _num(have.get("sum")) + _num(snap.get("sum"))
+                have.update(
+                    count=count,
+                    sum=total,
+                    min=_extreme(have.get("min"), snap.get("min"), min),
+                    max=_extreme(have.get("max"), snap.get("max"), max),
+                    mean=(total / count) if count else None,
+                    p50=None, p90=None, p99=None,
+                )
+    return merged
+
+
+def _num(value: object) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _extreme(a: object, b: object, pick) -> Optional[float]:
+    values = [v for v in (a, b) if isinstance(v, (int, float))]
+    return pick(values) if values else None
+
+
+def merge_shard_records(
+    shards: Iterable[List[Dict[str, object]]],
+) -> Tuple[List[Dict[str, object]], Dict[str, Dict[str, object]]]:
+    """(span records, merged metrics snapshot) from raw shard records.
+
+    Shard-level manifests are dropped (the batch driver writes the one
+    authoritative manifest); unknown record types are dropped too so a
+    merged file never triggers reader warnings.
+    """
+    spans: List[Dict[str, object]] = []
+    snapshots: List[Dict[str, Dict[str, object]]] = []
+    for records in shards:
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            rtype = record.get("type")
+            if rtype == "span":
+                spans.append(record)
+            elif rtype == "metrics" and isinstance(record.get("metrics"), dict):
+                snapshots.append(record["metrics"])
+    return spans, merge_metric_snapshots(snapshots)
+
+
+def merge_shards(
+    paths: Iterable[str],
+    manifest: Dict[str, object],
+    out_path: str,
+) -> int:
+    """Merge shard files into one schema-v1 run file; records written.
+
+    Missing shard files are tolerated (a crashed job may never have
+    written one); malformed lines are skipped, matching the tolerant
+    reader the analysis layer uses.
+    """
+    shards: List[List[Dict[str, object]]] = []
+    for path in paths:
+        try:
+            shards.append(read_jsonl(path, strict=False))
+        except OSError:
+            continue
+    spans, metrics = merge_shard_records(shards)
+    records: List[Dict[str, object]] = [manifest, *spans]
+    if metrics:
+        records.append({"type": "metrics", "metrics": metrics})
+    return write_jsonl(out_path, records)

@@ -1,0 +1,49 @@
+"""Parallel batch flow runner with determinism guarantees.
+
+Fans a job matrix of (circuit x variant x seed x arch) out over a
+worker-process pool — the workload shape of the paper's Fig. 12
+suite evaluation — and produces results bit-identical to serial
+execution.  See DESIGN.md Sec. 5d for the architecture and the
+determinism contract.
+
+    from repro.runner import BatchSpec, run_batch
+
+    spec = BatchSpec.from_matrix(
+        circuits=["tseng", "alu4"], variants=["baseline", "nem-opt"],
+        seeds=[1], widths=[56], scale=0.03, workers=4,
+    )
+    batch = run_batch(spec, metrics_out="batch.jsonl")
+    assert batch.ok
+
+Modules:
+
+* `spec`     — `JobSpec` / `BatchSpec` / `JobResult`, stable job keys
+* `worker`   — per-job execution under job-local telemetry
+* `executor` — the pool supervisor (`run_batch`): timeouts, crash
+  retry, serial degradation, fork pre-warm, shard merge
+"""
+
+from .spec import (
+    BatchSpec,
+    JobResult,
+    JobSpec,
+    digest_of,
+    parse_variant,
+    results_identical,
+)
+from .worker import job_arch, prewarm_job, run_job
+from .executor import BatchResult, run_batch
+
+__all__ = [
+    "BatchResult",
+    "BatchSpec",
+    "JobResult",
+    "JobSpec",
+    "digest_of",
+    "job_arch",
+    "parse_variant",
+    "prewarm_job",
+    "results_identical",
+    "run_batch",
+    "run_job",
+]

@@ -1,0 +1,303 @@
+"""Batch execution: fan a `BatchSpec` over a worker-process pool.
+
+Design choices, in the order they matter:
+
+*Determinism first.*  Jobs are independent (each worker recomputes or
+inherits its inputs; nothing flows between jobs), launched in spec
+order, and reported in spec order — completion order never leaks into
+results or merged telemetry.  The executor's promise, enforced by
+``tests/runner/test_determinism.py``: `run_batch` with N workers is
+bit-identical to `run_batch` with 1 worker.
+
+*Process-per-job.*  Each job attempt is one short-lived
+`multiprocessing.Process` writing its result and telemetry shard as
+files.  Compared to a persistent pool this costs one fork per job —
+noise next to a P&R run — and buys clean failure semantics: a crash
+is a dead process with no result file (relaunch, bounded by
+``retries``), a timeout is a deadline passed (terminate + kill), and
+neither can poison a shared worker or deadlock a result queue.
+
+*Fork pre-warm.*  On fork platforms the parent pre-builds netlists,
+packings and fixed-width FabricIRs before launching anything; workers
+inherit them copy-on-write and start at placement.  Under spawn the
+same code runs with cold caches — slower, never different.
+
+``workers=1`` degrades gracefully: jobs run in-process through the
+same `run_job` path and write the same shard files, so the serial arm
+of any comparison exercises the identical code and produces the
+identical merged-telemetry structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import SCHEMA_VERSION, get_logger, kv, merge_shards, run_manifest
+from .spec import BatchSpec, JobResult, JobSpec
+from .worker import job_process_main, prewarm_job, run_job
+
+_log = get_logger("runner.executor")
+
+#: Poll interval for the supervision loop (s).  Jobs are seconds-long;
+#: 20 ms keeps latency negligible without busy-waiting.
+_POLL_S = 0.02
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Everything one batch execution produced.
+
+    Attributes:
+        results: One `JobResult` per job, in spec order.
+        wall_s: Whole-batch wall time.
+        workers: Worker processes actually used.
+        metrics_path: Merged schema-v1 run file, when telemetry was
+            requested.
+        shard_dir: Where per-job shards/results were written.
+    """
+
+    results: List[JobResult]
+    wall_s: float
+    workers: int
+    metrics_path: Optional[str] = None
+    shard_dir: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def by_key(self) -> Dict[str, JobResult]:
+        return {result.key: result for result in self.results}
+
+    def summary(self) -> Dict[str, object]:
+        statuses: Dict[str, int] = {}
+        for result in self.results:
+            statuses[result.status] = statuses.get(result.status, 0) + 1
+        return {
+            "jobs": len(self.results),
+            "ok": statuses.get("ok", 0),
+            "statuses": statuses,
+            "wall_s": self.wall_s,
+            "workers": self.workers,
+            "success": self.ok,
+        }
+
+
+def _mp_context():
+    """Fork where available (pre-warm inheritance), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclasses.dataclass
+class _Attempt:
+    """One live worker process and its bookkeeping."""
+
+    index: int
+    spec: JobSpec
+    attempt: int
+    process: object
+    started: float
+    deadline: Optional[float]
+
+
+def _shard_path(shard_dir: str, index: int) -> str:
+    return os.path.join(shard_dir, f"job-{index:04d}.jsonl")
+
+
+def _result_path(shard_dir: str, index: int) -> str:
+    return os.path.join(shard_dir, f"job-{index:04d}.result.jsonl")
+
+
+def _read_result(path: str) -> Optional[JobResult]:
+    from ..obs import read_jsonl
+
+    try:
+        records = read_jsonl(path, strict=False)
+    except OSError:
+        return None
+    return JobResult.from_dict(records[0]) if records else None
+
+
+def _run_serial(
+    spec: BatchSpec,
+    shard_dir: str,
+    progress: Optional[Callable[[JobResult, int, int], None]],
+) -> List[JobResult]:
+    results: List[JobResult] = []
+    for index, job in enumerate(spec.jobs):
+        attempt, result = 1, None
+        while True:
+            try:
+                result, records = run_job(job, attempt=attempt)
+            except SystemExit:
+                # In-process stand-in for a worker crash (fault
+                # injection); honour the retry budget like the pool.
+                result, records = None, None
+            if result is not None or attempt > spec.retries:
+                break
+            attempt += 1
+        if result is None:
+            result = JobResult(key=job.key, status="crashed",
+                               error="worker exited without a result",
+                               attempts=attempt)
+            records = []
+        from ..obs import write_jsonl
+
+        write_jsonl(_shard_path(shard_dir, index), records or [])
+        results.append(result)
+        if progress is not None:
+            progress(result, index + 1, len(spec.jobs))
+    return results
+
+
+def _run_pool(
+    spec: BatchSpec,
+    shard_dir: str,
+    workers: int,
+    progress: Optional[Callable[[JobResult, int, int], None]],
+) -> List[JobResult]:
+    ctx = _mp_context()
+    pending: List[Tuple[int, JobSpec, int]] = [
+        (index, job, 1) for index, job in enumerate(spec.jobs)
+    ]
+    pending.reverse()  # pop() serves jobs in spec order
+    running: List[_Attempt] = []
+    results: Dict[int, JobResult] = {}
+    done = 0
+
+    def launch(index: int, job: JobSpec, attempt: int) -> None:
+        process = ctx.Process(
+            target=job_process_main,
+            args=(job.to_dict(), attempt,
+                  _result_path(shard_dir, index), _shard_path(shard_dir, index)),
+            daemon=True,
+        )
+        process.start()
+        now = time.perf_counter()
+        deadline = now + spec.timeout_s if spec.timeout_s is not None else None
+        running.append(_Attempt(index=index, spec=job, attempt=attempt,
+                                process=process, started=now, deadline=deadline))
+
+    def settle(attempt: _Attempt, result: Optional[JobResult],
+               failure: str, error: str) -> None:
+        nonlocal done
+        if result is None and failure == "crashed" and attempt.attempt <= spec.retries:
+            _log.info("retrying job %s", kv(job=attempt.spec.key,
+                                            attempt=attempt.attempt + 1))
+            pending.append((attempt.index, attempt.spec, attempt.attempt + 1))
+            return
+        if result is None:
+            result = JobResult(key=attempt.spec.key, status=failure,
+                               error=error, attempts=attempt.attempt,
+                               wall_s=time.perf_counter() - attempt.started)
+        results[attempt.index] = result
+        done += 1
+        if progress is not None:
+            progress(result, done, len(spec.jobs))
+
+    while pending or running:
+        while pending and len(running) < workers:
+            launch(*pending.pop())
+        time.sleep(_POLL_S)
+        still_running: List[_Attempt] = []
+        for attempt in running:
+            process = attempt.process
+            if not process.is_alive():
+                process.join()
+                result = _read_result(_result_path(shard_dir, attempt.index))
+                if process.exitcode == 0 and result is not None:
+                    settle(attempt, result, "", "")
+                else:
+                    settle(attempt, None, "crashed",
+                           f"worker exited with code {process.exitcode} "
+                           "before writing a result")
+            elif attempt.deadline is not None and time.perf_counter() > attempt.deadline:
+                process.terminate()
+                process.join(1.0)
+                if process.is_alive():  # pragma: no cover - stubborn child
+                    process.kill()
+                    process.join()
+                settle(attempt, None, "timeout",
+                       f"job exceeded timeout of {spec.timeout_s:g}s")
+            else:
+                still_running.append(attempt)
+        running = still_running
+    return [results[index] for index in range(len(spec.jobs))]
+
+
+def run_batch(
+    spec: BatchSpec,
+    workers: Optional[int] = None,
+    shard_dir: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    manifest_extra: Optional[Dict[str, object]] = None,
+    progress: Optional[Callable[[JobResult, int, int], None]] = None,
+    prewarm: bool = True,
+) -> BatchResult:
+    """Execute a batch; results come back in spec order.
+
+    Args:
+        spec: The job matrix + execution policy.
+        workers: Override ``spec.workers``.
+        shard_dir: Directory for per-job shard/result files (a
+            temporary directory is created when omitted).
+        metrics_out: Write the merged schema-v1 telemetry run here.
+        manifest_extra: Extra manifest fields for the merged run.
+        progress: Callback ``(result, done, total)`` per finished job.
+        prewarm: Build netlists/packings/fixed-width fabrics in the
+            parent before launching workers (fork platforms inherit
+            them; harmless elsewhere).
+    """
+    workers = spec.workers if workers is None else workers
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, len(spec.jobs))
+    if shard_dir is None:
+        shard_dir = tempfile.mkdtemp(prefix="repro-batch-")
+    os.makedirs(shard_dir, exist_ok=True)
+
+    start = time.perf_counter()
+    if prewarm:
+        seen = set()
+        for job in spec.jobs:
+            warm_key = (job.circuit, job.scale, job.width, job.arch)
+            if warm_key in seen or job.fault:
+                continue
+            seen.add(warm_key)
+            prewarm_job(job)
+    _log.info("batch start %s", kv(jobs=len(spec.jobs), workers=workers,
+                                   shard_dir=shard_dir))
+    if workers == 1:
+        results = _run_serial(spec, shard_dir, progress)
+    else:
+        results = _run_pool(spec, shard_dir, workers, progress)
+    wall_s = time.perf_counter() - start
+
+    metrics_path = None
+    if metrics_out:
+        manifest = run_manifest(extra={
+            "batch": {
+                "jobs": len(spec.jobs),
+                "workers": workers,
+                "spec_digest": spec.digest,
+                "job_keys": [job.key for job in spec.jobs],
+            },
+            **(manifest_extra or {}),
+        })
+        shard_paths = [_shard_path(shard_dir, i) for i in range(len(spec.jobs))]
+        merge_shards(shard_paths, manifest, metrics_out)
+        metrics_path = metrics_out
+    _log.info("batch done %s", kv(jobs=len(spec.jobs), wall_s=round(wall_s, 3),
+                                  ok=sum(r.ok for r in results)))
+    return BatchResult(results=results, wall_s=wall_s, workers=workers,
+                       metrics_path=metrics_path, shard_dir=shard_dir)
+
+
+# Re-exported for manifest consumers (`repro batch --json` embeds it).
+__all__ = ["BatchResult", "run_batch", "SCHEMA_VERSION"]

@@ -1,0 +1,305 @@
+"""Batch job model: `JobSpec`, `BatchSpec`, `JobResult`.
+
+A batch is a matrix of (circuit x variant x seed x arch) jobs — the
+shape of the paper's Fig. 12 evaluation, which sweeps every benchmark
+circuit under every design variant.  Each job is fully described by a
+picklable, hashable `JobSpec` with a *stable key* so that
+
+* results can be ordered deterministically (by key, never by
+  completion order),
+* serial and parallel executions of the same spec are comparable
+  job-for-job,
+* telemetry shards and result files have collision-free names.
+
+`JobResult` carries only plain-JSON data (QoR scalars plus sha256
+digests of the bulky artefacts — routing trees and bitstream), so
+comparing two executions for bit-identity is a dict comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default circuit shrink factor for batch jobs (DESIGN.md Sec. 6).
+DEFAULT_SCALE = 0.02
+
+#: Variant spellings accepted in specs; "nem-opt" takes an optional
+#: ``:<downsize>`` suffix ("nem-opt:8").
+VARIANT_NAMES = ("baseline", "nem-naive", "nem-opt")
+
+
+def _canon_json(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def digest_of(obj: object) -> str:
+    """sha256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(_canon_json(obj).encode("utf-8")).hexdigest()
+
+
+def parse_variant(variant: str) -> Tuple[str, float]:
+    """Split a variant spec into (name, downsize factor)."""
+    name, _, suffix = variant.partition(":")
+    if name not in VARIANT_NAMES:
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of {VARIANT_NAMES} "
+            "(nem-opt takes an optional :<downsize> suffix)"
+        )
+    if suffix and name != "nem-opt":
+        raise ValueError(f"only nem-opt takes a downsize suffix, got {variant!r}")
+    downsize = float(suffix) if suffix else (8.0 if name == "nem-opt" else 1.0)
+    return name, downsize
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """One (circuit, variant, seed, arch) job of a batch.
+
+    Attributes:
+        circuit: Suite circuit name (`repro.netlist.load_circuit`).
+        variant: ``baseline`` / ``nem-naive`` / ``nem-opt[:downsize]``.
+        seed: Placement seed.
+        width: Channel width W; None derives Wmin and routes at the
+            paper's +20% low-stress width.
+        scale: Circuit shrink factor.
+        arch: Extra `ArchParams` overrides as sorted (name, value)
+            pairs (e.g. ``(("segment_length", 4),)``).
+        fault: Test instrumentation only — workers honour ``"crash"``
+            (die without a result), ``"crash-first"`` (die on the
+            first attempt only), ``"hang"`` (sleep past any timeout)
+            and ``"fail"`` (raise inside the job).  Never set in
+            production specs.
+    """
+
+    circuit: str
+    variant: str = "baseline"
+    seed: int = 1
+    width: Optional[int] = None
+    scale: float = DEFAULT_SCALE
+    arch: Tuple[Tuple[str, object], ...] = ()
+    fault: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        parse_variant(self.variant)  # validate eagerly
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.width is not None and self.width < 2:
+            raise ValueError(f"width must be >= 2, got {self.width}")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    @property
+    def key(self) -> str:
+        """Stable identity: same spec -> same key, across processes."""
+        width = f"w{self.width}" if self.width is not None else "wmin"
+        key = f"{self.circuit}@{self.scale:g}/{self.variant}/s{self.seed}/{width}"
+        if self.arch:
+            overrides = ",".join(f"{k}={v}" for k, v in self.arch)
+            key += f"/{overrides}"
+        return key
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "circuit": self.circuit,
+            "variant": self.variant,
+            "seed": self.seed,
+            "width": self.width,
+            "scale": self.scale,
+        }
+        if self.arch:
+            doc["arch"] = dict(self.arch)
+        if self.fault:
+            doc["fault"] = self.fault
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "JobSpec":
+        arch = doc.get("arch") or {}
+        if not isinstance(arch, dict):
+            raise ValueError(f"job 'arch' must be an object, got {arch!r}")
+        return cls(
+            circuit=str(doc["circuit"]),
+            variant=str(doc.get("variant", "baseline")),
+            seed=int(doc.get("seed", 1)),
+            width=(int(doc["width"]) if doc.get("width") is not None else None),
+            scale=float(doc.get("scale", DEFAULT_SCALE)),
+            arch=tuple(sorted(arch.items())),
+            fault=(str(doc["fault"]) if doc.get("fault") else None),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSpec:
+    """A full batch: the job list plus execution policy.
+
+    Attributes:
+        jobs: Job matrix, in submission order (results are reported in
+            this order regardless of worker completion order).
+        workers: Worker process count; 1 degrades to serial in-process
+            execution.
+        timeout_s: Per-job wall-clock limit; None disables.
+        retries: Relaunch budget per job after a worker crash.
+    """
+
+    jobs: Tuple[JobSpec, ...]
+    workers: int = 1
+    timeout_s: Optional[float] = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a batch needs at least one job")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        keys = [job.key for job in self.jobs]
+        dupes = {k for k in keys if keys.count(k) > 1}
+        if dupes:
+            raise ValueError(f"duplicate job keys in batch: {sorted(dupes)}")
+
+    @classmethod
+    def from_matrix(
+        cls,
+        circuits: Sequence[str],
+        variants: Sequence[str] = ("baseline",),
+        seeds: Sequence[int] = (1,),
+        widths: Sequence[Optional[int]] = (None,),
+        scale: float = DEFAULT_SCALE,
+        arch: Optional[Dict[str, object]] = None,
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+    ) -> "BatchSpec":
+        """Expand the cross product into a job list (circuit-major)."""
+        overrides = tuple(sorted((arch or {}).items()))
+        jobs = tuple(
+            JobSpec(
+                circuit=circuit, variant=variant, seed=seed,
+                width=width, scale=scale, arch=overrides,
+            )
+            for circuit in circuits
+            for variant in variants
+            for seed in seeds
+            for width in widths
+        )
+        return cls(jobs=jobs, workers=workers, timeout_s=timeout_s,
+                   retries=retries)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "BatchSpec":
+        policy = {
+            "workers": int(doc.get("workers", 1)),
+            "timeout_s": (float(doc["timeout_s"])
+                          if doc.get("timeout_s") is not None else None),
+            "retries": int(doc.get("retries", 1)),
+        }
+        if "jobs" in doc:
+            jobs = doc["jobs"]
+            if not isinstance(jobs, list):
+                raise ValueError("spec 'jobs' must be a list")
+            return cls(jobs=tuple(JobSpec.from_dict(j) for j in jobs), **policy)
+        if "matrix" in doc:
+            matrix = doc["matrix"]
+            if not isinstance(matrix, dict) or not matrix.get("circuits"):
+                raise ValueError("spec 'matrix' must be an object with 'circuits'")
+            return cls.from_matrix(
+                circuits=matrix["circuits"],
+                variants=matrix.get("variants", ["baseline"]),
+                seeds=matrix.get("seeds", [1]),
+                widths=matrix.get("widths", [matrix.get("width")]),
+                scale=float(matrix.get("scale", DEFAULT_SCALE)),
+                arch=matrix.get("arch"),
+                **policy,
+            )
+        raise ValueError("spec needs a 'jobs' list or a 'matrix' object")
+
+    @classmethod
+    def from_file(cls, path: str) -> "BatchSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path}: batch spec must be a JSON object")
+        return cls.from_dict(doc)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": [job.to_dict() for job in self.jobs],
+            "workers": self.workers,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+        }
+
+    @property
+    def digest(self) -> str:
+        """Identity of the *work* (jobs only, not execution policy)."""
+        return digest_of([job.to_dict() for job in self.jobs])
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Outcome of one job, in plain-JSON form.
+
+    Attributes:
+        key: The producing `JobSpec.key`.
+        status: ``ok`` / ``unroutable`` / ``error`` / ``timeout`` /
+            ``crashed``.
+        qor: Quality-of-result scalars (wirelength, iterations,
+            channel_width, critical_path_s, ...).  Deterministic for a
+            given spec — the determinism suite compares these exactly.
+        digests: sha256 hexdigests of the bulky artefacts:
+            ``routing_trees``, ``bitstream``, ``qor``.
+        error: Failure detail for non-ok statuses.
+        attempts: Executions needed (> 1 after crash retries).
+        wall_s: Job wall time (timing only — excluded from identity).
+    """
+
+    key: str
+    status: str
+    qor: Dict[str, object] = dataclasses.field(default_factory=dict)
+    digests: Dict[str, str] = dataclasses.field(default_factory=dict)
+    error: Optional[str] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def identity(self) -> Dict[str, object]:
+        """The deterministic portion (what bit-identity is judged on)."""
+        return {"key": self.key, "status": self.status, "qor": self.qor,
+                "digests": self.digests}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "status": self.status,
+            "qor": self.qor,
+            "digests": self.digests,
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "JobResult":
+        return cls(
+            key=str(doc["key"]),
+            status=str(doc["status"]),
+            qor=dict(doc.get("qor") or {}),
+            digests=dict(doc.get("digests") or {}),
+            error=doc.get("error"),
+            attempts=int(doc.get("attempts", 1)),
+            wall_s=float(doc.get("wall_s", 0.0)),
+        )
+
+
+def results_identical(a: Sequence[JobResult], b: Sequence[JobResult]) -> bool:
+    """True when two executions produced bit-identical results."""
+    return [r.identity() for r in a] == [r.identity() for r in b]

@@ -1,0 +1,248 @@
+"""Worker-side job execution for the batch runner.
+
+`run_job` executes one `JobSpec` end to end — load circuit, pack,
+place, route (fixed width or Wmin search), extract + program the
+relay bitstream, evaluate the requested variant — and reduces the
+outcome to a plain-JSON `JobResult` (QoR scalars + sha256 digests of
+the routing trees and bitstream).
+
+Determinism contract: every step below is a pure function of the
+`JobSpec` (placement RNG seeded by ``spec.seed``, router tie-breaks
+seeded per graph, generator circuits seeded by the suite), so the
+same spec produces the same `JobResult.identity()` whether it runs in
+this process, a forked worker, or a spawned worker.  To keep the
+telemetry *shards* equally deterministic in content, each job runs
+under a fresh `Tracer` and a fresh `MetricsRegistry` — a forked
+worker must not leak the parent's accumulated spans or counters into
+its shard.
+
+`job_process_main` is the subprocess entry point: it writes the
+result and the telemetry shard as files in the batch's shard
+directory (file-based hand-off survives worker crashes — a missing
+result file *is* the crash signal) and exits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+import traceback
+from typing import Dict, Optional, Tuple
+
+from ..arch.params import ArchParams
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    get_tracer,
+    telemetry_records,
+    use_registry,
+    use_tracer,
+    write_jsonl,
+)
+from .spec import JobResult, JobSpec, digest_of, parse_variant
+
+#: Parent-side pre-warm caches, inherited by fork workers (empty under
+#: spawn, where workers simply recompute).  Keyed so a hit is exactly
+#: the object the worker would have built itself.
+_NETLISTS: Dict[Tuple[str, float], object] = {}
+_PACKED: Dict[Tuple[str, float, ArchParams], object] = {}
+
+
+def _load_netlist(spec: JobSpec):
+    from ..netlist import load_circuit
+
+    key = (spec.circuit, spec.scale)
+    netlist = _NETLISTS.get(key)
+    if netlist is None:
+        netlist = _NETLISTS[key] = load_circuit(spec.circuit, scale=spec.scale)
+    return netlist
+
+
+def job_arch(spec: JobSpec) -> ArchParams:
+    """The `ArchParams` a job runs against (overrides applied)."""
+    params = ArchParams(**dict(spec.arch)) if spec.arch else ArchParams()
+    if spec.width is not None:
+        params = params.with_channel_width(spec.width)
+    return params
+
+
+def prewarm_job(spec: JobSpec) -> None:
+    """Parent-side warm-up: netlist, packing and the FabricIR.
+
+    Fork workers inherit all three (the keyed fabric cache is
+    process-global), so per-job work starts at placement.  Only
+    fixed-width jobs can pre-warm the fabric — a Wmin job's probe
+    widths are not known until the search runs.
+    """
+    from ..fabric import get_fabric
+    from ..vpr.pack import pack
+    from ..vpr.place import place
+
+    params = job_arch(spec)
+    netlist = _load_netlist(spec)
+    packed_key = (spec.circuit, spec.scale, params)
+    clustered = _PACKED.get(packed_key)
+    if clustered is None:
+        clustered = _PACKED[packed_key] = pack(netlist, params)
+    if spec.width is not None:
+        # Grid dims come from a placement; seed-independent, so any
+        # seed serves every job of this circuit.
+        placement = place(clustered, seed=spec.seed)
+        get_fabric(params, placement.grid_width, placement.grid_height)
+
+
+def _routing_digest(routing, channel_width: int) -> str:
+    trees = {
+        name: {
+            "parent": sorted((int(k), int(v)) for k, v in tree.parent.items()),
+            "sinks": sorted(int(s) for s in tree.sink_nodes),
+        }
+        for name, tree in routing.trees.items()
+    }
+    return digest_of({"channel_width": channel_width, "trees": trees})
+
+
+def _bitstream_digest(bitstream) -> str:
+    switches = {
+        f"{x},{y}": [[int(u), int(v)] for u, v in edges]
+        for (x, y), edges in sorted(bitstream.switches_by_tile.items())
+    }
+    return digest_of(switches)
+
+
+def _variant_for(spec: JobSpec, params: ArchParams):
+    from ..core import baseline_variant, naive_nem_variant, optimized_nem_variant
+
+    name, downsize = parse_variant(spec.variant)
+    if name == "baseline":
+        return baseline_variant(params)
+    if name == "nem-naive":
+        return naive_nem_variant(params)
+    return optimized_nem_variant(params, downsize)
+
+
+def _inject_fault(spec: JobSpec, attempt: int) -> None:
+    """Test instrumentation (see `JobSpec.fault`)."""
+    if not spec.fault:
+        return
+    if spec.fault == "crash" or (spec.fault == "crash-first" and attempt == 1):
+        # SystemExit: multiprocessing's bootstrap turns it into a
+        # nonzero exitcode (no result file -> crash), and the serial
+        # path can intercept it without dying.
+        raise SystemExit(87)
+    if spec.fault == "hang":
+        time.sleep(3600.0)
+    if spec.fault == "fail":
+        raise RuntimeError(f"injected fault for {spec.key}")
+
+
+def _execute(spec: JobSpec, attempt: int) -> JobResult:
+    from ..config.bitstream import extract_bitstream, program_fabric
+    from ..core import Comparison, baseline_variant, evaluate_design
+    from ..vpr.flow import run_flow, run_flow_min_width
+
+    _inject_fault(spec, attempt)
+    params = job_arch(spec)
+    netlist = _load_netlist(spec)
+    if spec.width is not None:
+        flow = run_flow(netlist, params, seed=spec.seed)
+    else:
+        flow = run_flow_min_width(netlist, params, seed=spec.seed)
+    qor: Dict[str, object] = {
+        "clusters": flow.clustered.num_clusters,
+        "placement_cost": flow.placement.cost,
+        "channel_width": flow.channel_width,
+        "grid": [flow.placement.grid_width, flow.placement.grid_height],
+        "iterations": flow.routing.iterations,
+        "overused_nodes": flow.routing.overused_nodes,
+        "wirelength": flow.routing.wirelength,
+    }
+    if not flow.success:
+        return JobResult(
+            key=spec.key, status="unroutable", qor=qor,
+            digests={"routing_trees": _routing_digest(flow.routing,
+                                                      flow.channel_width)},
+            error=f"unroutable at W={flow.channel_width}", attempts=attempt,
+        )
+
+    with get_tracer().span("flow.configure", circuit=netlist.name):
+        bitstream = extract_bitstream(flow.routing, flow.graph)
+        config = program_fabric(bitstream)
+    qor.update(
+        bitstream_switches=bitstream.total_switches,
+        arrays_programmed=config.arrays_programmed,
+        relays_closed=config.relays_closed,
+        row_steps=config.row_steps,
+        config_success=config.success,
+    )
+
+    base = evaluate_design(flow, baseline_variant(params))
+    point = base
+    if spec.variant != "baseline":
+        point = evaluate_design(flow, _variant_for(spec, params),
+                                frequency=base.frequency)
+        cmp = Comparison.of(base, point)
+        qor.update({f"vs_baseline.{k}": v
+                    for k, v in dataclasses.asdict(cmp).items()})
+    qor.update(
+        critical_path_s=point.critical_path,
+        frequency_hz=point.frequency,
+        dynamic_w=point.total_dynamic,
+        leakage_w=point.total_leakage,
+        tile_footprint_m2=point.tile_footprint_m2,
+    )
+
+    digests = {
+        "routing_trees": _routing_digest(flow.routing, flow.channel_width),
+        "bitstream": _bitstream_digest(bitstream),
+    }
+    digests["qor"] = digest_of(qor)
+    return JobResult(key=spec.key, status="ok", qor=qor, digests=digests,
+                     attempts=attempt)
+
+
+def run_job(spec: JobSpec, attempt: int = 1):
+    """Execute one job under job-local telemetry.
+
+    Returns ``(JobResult, shard records)`` where the records are the
+    job's span trees plus its metrics snapshot — exactly one shard's
+    content, without a manifest (the batch driver owns the manifest).
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    with use_tracer(tracer), use_registry(registry):
+        with tracer.span("batch.job", job=spec.key, circuit=spec.circuit,
+                         variant=spec.variant, seed=spec.seed,
+                         attempt=attempt) as span:
+            try:
+                result = _execute(spec, attempt)
+            except Exception as exc:  # noqa: BLE001 - jobs must not kill the batch
+                result = JobResult(
+                    key=spec.key, status="error", attempts=attempt,
+                    error=f"{type(exc).__name__}: {exc}\n"
+                          f"{traceback.format_exc(limit=8)}",
+                )
+            span.set_many(status=result.status,
+                          wirelength=result.qor.get("wirelength"))
+    result.wall_s = time.perf_counter() - start
+    records = telemetry_records(manifest=None, tracer=tracer, registry=registry)
+    return result, records
+
+
+def job_process_main(spec_doc: Dict[str, object], attempt: int,
+                     result_path: str, shard_path: str) -> None:
+    """Subprocess entry: run the job, write result + shard, exit.
+
+    The shard is written before the result: the executor treats the
+    result file's existence as the job's commit point, so a crash
+    between the two writes reads as a crashed attempt (and the retry
+    overwrites both files), never as a half-reported success.
+    """
+    spec = JobSpec.from_dict(spec_doc)
+    result, records = run_job(spec, attempt=attempt)
+    write_jsonl(shard_path, records)
+    tmp_path = f"{result_path}.tmp"
+    write_jsonl(tmp_path, [result.to_dict()])
+    os.replace(tmp_path, result_path)

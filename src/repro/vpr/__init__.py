@@ -40,6 +40,7 @@ from .flow import (
     find_min_channel_width,
     low_stress_width,
     run_flow,
+    run_flow_min_width,
     run_timing_driven_flow,
 )
 from .visualize import (
@@ -89,4 +90,5 @@ __all__ = [
     "place",
     "route_design",
     "run_flow",
+    "run_flow_min_width",
 ]

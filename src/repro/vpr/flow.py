@@ -159,6 +159,58 @@ def run_flow(
         )
 
 
+def run_flow_min_width(
+    netlist: Netlist,
+    params: ArchParams,
+    seed: int = 1,
+    inner_num: float = 1.0,
+    low_stress: bool = True,
+    **router_kwargs,
+) -> FlowResult:
+    """pack -> place -> Wmin search -> route at the derived width.
+
+    The job-level entry point for width-deriving runs (the batch
+    runner's ``width=None`` jobs and the paper's W methodology): packs
+    and places once, binary-searches Wmin on that placement, then
+    returns the routing at ``low_stress_width(wmin)`` (or at Wmin
+    itself when ``low_stress`` is False — the search already routed
+    there, so that arm is free).
+    """
+    tracer = get_tracer()
+    with tracer.span("flow.run_min_width", circuit=netlist.name, seed=seed) as root:
+        with tracer.span("flow.pack") as span:
+            clustered = pack(netlist, params)
+            span.set_many(luts=netlist.num_luts, clusters=clustered.num_clusters)
+        with tracer.span("flow.place") as span:
+            placement = place(clustered, seed=seed, inner_num=inner_num)
+            span.set("cost", placement.cost)
+        wmin, routing, graph = find_min_channel_width(
+            placement, params, **router_kwargs
+        )
+        width = low_stress_width(wmin) if low_stress else wmin
+        if width != wmin:
+            with tracer.span("flow.route", channel_width=width) as span:
+                routing, graph = route_design(
+                    placement, params, channel_width=width, **router_kwargs
+                )
+                span.set_many(
+                    success=routing.success,
+                    iterations=routing.iterations,
+                    wirelength=routing.wirelength,
+                )
+        root.set_many(wmin=wmin, channel_width=width, success=routing.success)
+        _log.info("min-width flow done %s", kv(
+            circuit=netlist.name, wmin=wmin, width=width, success=routing.success))
+        return FlowResult(
+            netlist=netlist,
+            clustered=clustered,
+            placement=placement,
+            routing=routing,
+            graph=graph,
+            channel_width=width,
+        )
+
+
 def run_timing_driven_flow(
     netlist: Netlist,
     params: ArchParams,

@@ -1,0 +1,103 @@
+"""Hypothesis property test: half-select margins under device variation.
+
+For any sampled relay population whose (Vpi, Vpo) spread admits an
+operating point at all, the point `solve_voltages` returns must keep
+the paper Fig. 4 band intact for *every* relay in the population:
+
+    Vpo_max < Vhold < Vhold + Vselect < Vpi_min      (hold window)
+    Vhold + 2 Vselect > Vpi_max                      (selected pulls in)
+
+Populations are drawn by varying the Monte-Carlo seed and the process
+sigmas around the Fig. 6 calibration; `derandomize=True` keeps the
+example stream reproducible.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar.halfselect import solve_voltages
+from repro.nemrelay.geometry import FABRICATED_DEVICE
+from repro.nemrelay.materials import OIL, POLY_PLATINUM
+from repro.nemrelay.variation import (
+    FIG6_VARIATION_SPEC,
+    VariationSpec,
+    sample_population,
+)
+
+
+@st.composite
+def populations(draw):
+    """A sampled relay population around the Fig. 6 process corner."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    count = draw(st.integers(min_value=2, max_value=40))
+    # Scale the calibrated sigmas from near-ideal (tight, easily
+    # programmable) to 2x the measured spread (often infeasible) so
+    # both solver outcomes are exercised.
+    sigma_scale = draw(st.sampled_from([0.25, 0.5, 1.0, 1.5, 2.0]))
+    spec = VariationSpec(
+        sigma_length=FIG6_VARIATION_SPEC.sigma_length * sigma_scale,
+        sigma_thickness=FIG6_VARIATION_SPEC.sigma_thickness * sigma_scale,
+        sigma_gap=FIG6_VARIATION_SPEC.sigma_gap * sigma_scale,
+        sigma_contact_gap=FIG6_VARIATION_SPEC.sigma_contact_gap * sigma_scale,
+        mean_adhesion=FIG6_VARIATION_SPEC.mean_adhesion,
+        sigma_adhesion=FIG6_VARIATION_SPEC.sigma_adhesion * sigma_scale,
+    )
+    return sample_population(
+        POLY_PLATINUM, FABRICATED_DEVICE, OIL, count=count, spec=spec,
+        seed=seed,
+    )
+
+
+class TestHalfSelectMarginProperties:
+    @given(pop=populations())
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_solved_point_preserves_band_for_every_relay(self, pop):
+        solved = solve_voltages(list(pop.vpi), list(pop.vpo))
+        if solved is None:
+            return  # infeasible population: nothing to validate
+        # The band, stated against the population extremes — implies
+        # validity for every individual relay.
+        assert pop.vpo_max < solved.v_hold
+        assert solved.v_hold < solved.half_select
+        assert solved.half_select < pop.vpi_min
+        assert solved.full_select > pop.vpi_max
+
+    @given(pop=populations())
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_solved_point_valid_per_relay_and_margins_positive(self, pop):
+        solved = solve_voltages(list(pop.vpi), list(pop.vpo))
+        if solved is None:
+            return
+        for vpi, vpo in zip(pop.vpi, pop.vpo):
+            assert solved.is_valid(float(vpi), float(vpo))
+        margins = solved.margins(pop.vpi_min, pop.vpi_max, pop.vpo_max)
+        assert margins.all_positive
+
+    @given(pop=populations(), guard=st.sampled_from([0.0, 0.05, 0.2]))
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_guard_only_shrinks_feasibility(self, pop, guard):
+        """A guarded solve never succeeds where the unguarded one
+        failed, and a guarded success still clears the guard."""
+        free = solve_voltages(list(pop.vpi), list(pop.vpo))
+        guarded = solve_voltages(list(pop.vpi), list(pop.vpo), guard=guard)
+        if guarded is not None:
+            assert free is not None
+            margins = guarded.margins(pop.vpi_min, pop.vpi_max, pop.vpo_max)
+            assert margins.worst > guard
+
+    @given(pop=populations())
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_infeasible_population_never_solves(self, pop):
+        """The paper's feasibility rule is honoured: when some relay's
+        hysteresis window is narrower than the Vpi spread, no valid
+        (Vhold, Vselect) exists and the solver must say so."""
+        if not pop.half_select_feasible():
+            # Necessary condition violated -> solver must return None
+            # (balanced margin m = (2 Vpi_min - Vpo_max - Vpi_max) / 4
+            # can still be positive in edge cases; validate via is_valid
+            # instead of asserting None outright).
+            solved = solve_voltages(list(pop.vpi), list(pop.vpo))
+            if solved is not None:
+                assert all(
+                    solved.is_valid(float(vpi), float(vpo))
+                    for vpi, vpo in zip(pop.vpi, pop.vpo)
+                )

@@ -1,5 +1,7 @@
 """Tests for repro.fabric.cache (keyed FabricIR cache)."""
 
+import threading
+
 import pytest
 
 from repro.arch.params import ArchParams
@@ -52,6 +54,93 @@ class TestFabricCache:
     def test_invalid_maxsize(self):
         with pytest.raises(ValueError):
             FabricCache(maxsize=0)
+
+
+class TestConcurrency:
+    """Regression tests for the locked LRU + single-flight rewrite.
+
+    Pre-fix, concurrent `get` calls mutated the OrderedDict and the
+    hit/miss counters without a lock: `move_to_end` during another
+    thread's eviction scan corrupts the dict, and simultaneous misses
+    on one key built the IR twice.
+    """
+
+    def test_thread_hammer_same_key_builds_once(self, monkeypatch):
+        builds = []
+        build_gate = threading.Event()
+        real_build = FabricIR.build
+
+        def slow_build(params, nx, ny):
+            builds.append((nx, ny))
+            build_gate.wait(5.0)  # hold every racer inside the miss window
+            return real_build(params, nx, ny)
+
+        monkeypatch.setattr(FabricIR, "build", staticmethod(slow_build))
+        cache = FabricCache()
+        got = []
+        threads = [
+            threading.Thread(target=lambda: got.append(cache.get(ARCH, 3, 3)))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        # All 8 threads are now either building or waiting on the
+        # single-flight event; release the one builder.
+        build_gate.set()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(builds) == 1  # single-flight: one build despite 8 racers
+        assert len(got) == 8
+        assert all(ir is got[0] for ir in got)
+        assert cache.stats() == {"entries": 1, "hits": 7, "misses": 1}
+
+    def test_thread_hammer_mixed_keys_with_eviction(self):
+        """Many threads, many keys, maxsize small enough to force
+        constant eviction — must neither corrupt the LRU dict nor
+        lose track of in-flight builds."""
+        cache = FabricCache(maxsize=2)
+        keys = [(3, 3), (3, 4), (3, 5), (4, 3)]
+        errors = []
+
+        def hammer(seed):
+            try:
+                for i in range(12):
+                    nx, ny = keys[(seed + i) % len(keys)]
+                    ir = cache.get(ARCH, nx, ny)
+                    assert ir.nx == nx and ir.ny == ny
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert len(cache) <= 2
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 12
+
+    def test_failed_build_releases_waiters_for_retry(self, monkeypatch):
+        """A builder that raises must not strand the waiting threads —
+        one of them re-elects itself and the build succeeds."""
+        real_build = FabricIR.build
+        fail_once = [True]
+
+        def flaky_build(params, nx, ny):
+            if fail_once[0]:
+                fail_once[0] = False
+                raise RuntimeError("injected build failure")
+            return real_build(params, nx, ny)
+
+        monkeypatch.setattr(FabricIR, "build", staticmethod(flaky_build))
+        cache = FabricCache()
+        with pytest.raises(RuntimeError):
+            cache.get(ARCH, 3, 3)
+        # The key must not be stuck "building": the next get retries.
+        ir = cache.get(ARCH, 3, 3)
+        assert isinstance(ir, FabricIR)
+        assert cache.stats()["entries"] == 1
 
 
 class TestGlobalCache:

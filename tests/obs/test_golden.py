@@ -1,0 +1,165 @@
+"""Golden-file regression tests: report text and shard-merge output.
+
+These freeze the exact bytes of two user-facing artefacts:
+
+* the `repro report` text rendering of the schema-v1 fixture run,
+* the merged run file `merge_shards` produces from hand-written
+  worker shards (with a pinned manifest, so the output is stable).
+
+Regenerating after an intentional format change::
+
+    PYTHONPATH=src python tests/obs/test_golden.py regen
+"""
+
+import os
+import sys
+
+from repro.obs import (
+    merge_metric_snapshots,
+    merge_shards,
+    read_jsonl,
+    use_registry,
+)
+from repro.obs.analyze import parse_run, render_report
+from repro.obs.registry import MetricsRegistry, get_registry
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+RUN_FIXTURE = os.path.join(FIXTURES, "run_v1.jsonl")
+REPORT_GOLDEN = os.path.join(FIXTURES, "report_golden.txt")
+SHARD_A = os.path.join(FIXTURES, "shard_a.jsonl")
+SHARD_B = os.path.join(FIXTURES, "shard_b.jsonl")
+MERGED_GOLDEN = os.path.join(FIXTURES, "merged_golden.jsonl")
+
+#: Pinned manifest: merge output must not depend on the environment.
+FIXED_MANIFEST = {
+    "type": "manifest",
+    "schema": 1,
+    "created": "2026-08-06T00:00:00+0000",
+    "created_unix": 1754438400.0,
+    "python": "3.11.7",
+    "platform": "test-fixture",
+    "git_sha": None,
+    "seed": None,
+    "arch": None,
+    "batch": {
+        "jobs": 2,
+        "workers": 2,
+        "spec_digest": "fixture-digest",
+        "job_keys": ["tseng@0.02/baseline/s1/w56",
+                     "tseng@0.02/baseline/s2/w56"],
+    },
+}
+
+
+def _render_fixture_report() -> str:
+    # Pin the source label: the report header prints it, and the path
+    # the test happens to use must not leak into the golden bytes.
+    run = parse_run(read_jsonl(RUN_FIXTURE), source="run_v1.jsonl")
+    return render_report(run)
+
+
+def _merge_fixture_shards(out_path: str) -> None:
+    missing = os.path.join(FIXTURES, "shard_missing.jsonl")
+    merge_shards([SHARD_A, SHARD_B, missing], dict(FIXED_MANIFEST), out_path)
+
+
+class TestReportGolden:
+    def test_report_text_matches_golden(self):
+        with open(REPORT_GOLDEN, "r", encoding="utf-8") as fh:
+            golden = fh.read()
+        assert _render_fixture_report() == golden
+
+    def test_report_is_deterministic(self):
+        assert _render_fixture_report() == _render_fixture_report()
+
+
+class TestShardMergeGolden:
+    def test_merged_file_matches_golden(self, tmp_path):
+        out = tmp_path / "merged.jsonl"
+        _merge_fixture_shards(str(out))
+        with open(MERGED_GOLDEN, "r", encoding="utf-8") as fh:
+            golden = fh.read()
+        assert out.read_text(encoding="utf-8") == golden
+
+    def test_merged_golden_parses_without_warnings(self):
+        run = parse_run(read_jsonl(MERGED_GOLDEN), source="merged")
+        assert run.warnings == []
+        assert run.manifest["batch"]["jobs"] == 2
+        # Stray shard-level manifest and unknown-type records dropped.
+        assert len(run.spans) == 2
+        assert [s.attrs["seed"] for s in run.spans] == [1, 2]
+
+    def test_merged_metrics_shapes(self):
+        run = parse_run(read_jsonl(MERGED_GOLDEN), source="merged")
+        assert run.metrics["fabric.cache_hits"]["value"] == 8.0  # 3 + 5
+        assert run.metrics["runner.active_jobs"]["value"] == 0  # last shard
+        hist = run.metrics["route.iterations"]
+        assert hist["count"] == 3.0 and hist["sum"] == 31.0
+        assert hist["min"] == 9.0 and hist["max"] == 12.0
+        assert hist["p50"] is None  # percentiles cannot merge
+
+    def test_merged_golden_renders_via_report(self):
+        run = parse_run(read_jsonl(MERGED_GOLDEN), source="merged")
+        report = render_report(run)
+        assert "batch.job" in report
+        assert "route.iterations" in report
+        assert "warnings" not in report
+
+
+class TestMergeMetricSnapshots:
+    def test_counter_gauge_histogram_rules(self):
+        merged = merge_metric_snapshots([
+            {"c": {"kind": "counter", "value": 2},
+             "g": {"kind": "gauge", "value": 7},
+             "h": {"kind": "histogram", "count": 1, "sum": 4.0,
+                   "min": 4.0, "max": 4.0, "mean": 4.0,
+                   "p50": 4.0, "p90": 4.0, "p99": 4.0}},
+            {"c": {"kind": "counter", "value": 5},
+             "g": {"kind": "gauge", "value": None},
+             "h": {"kind": "histogram", "count": 3, "sum": 6.0,
+                   "min": 1.0, "max": 3.0, "mean": 2.0,
+                   "p50": 2.0, "p90": 3.0, "p99": 3.0}},
+        ])
+        assert merged["c"]["value"] == 7
+        assert merged["g"]["value"] == 7  # None never overwrites
+        assert merged["h"]["count"] == 4 and merged["h"]["sum"] == 10.0
+        assert merged["h"]["mean"] == 2.5
+        assert merged["h"]["min"] == 1.0 and merged["h"]["max"] == 4.0
+        assert merged["h"]["p90"] is None
+
+    def test_disjoint_names_union(self):
+        merged = merge_metric_snapshots([
+            {"a": {"kind": "counter", "value": 1}},
+            {"b": {"kind": "counter", "value": 2}},
+        ])
+        assert set(merged) == {"a", "b"}
+
+    def test_kind_conflict_keeps_first(self):
+        merged = merge_metric_snapshots([
+            {"x": {"kind": "counter", "value": 1}},
+            {"x": {"kind": "gauge", "value": 9}},
+        ])
+        assert merged["x"] == {"kind": "counter", "value": 1}
+
+
+class TestRegistryScoping:
+    def test_use_registry_scopes_worker_metrics(self):
+        outer = get_registry()
+        scoped = MetricsRegistry()
+        with use_registry(scoped):
+            assert get_registry() is scoped
+            get_registry().counter("golden.scoped").inc()
+        assert get_registry() is outer
+        assert "golden.scoped" in scoped.snapshot()
+        assert "golden.scoped" not in outer.snapshot()
+
+
+def _regen() -> None:
+    with open(REPORT_GOLDEN, "w", encoding="utf-8") as fh:
+        fh.write(_render_fixture_report())
+    _merge_fixture_shards(MERGED_GOLDEN)
+    print(f"regenerated {REPORT_GOLDEN} and {MERGED_GOLDEN}")
+
+
+if __name__ == "__main__" and "regen" in sys.argv[1:]:
+    _regen()

@@ -1,0 +1,110 @@
+"""The batch runner's headline guarantee: parallel == serial, bit for bit.
+
+One shared module-scoped pair of batch runs (serial and 4-worker) over
+a 4-job matrix; every test compares a different aspect of the two.
+Scale 0.01 keeps each job to ~a second while still exercising the full
+pack/place/route/bitstream/evaluate pipeline.
+"""
+
+import pytest
+
+from repro.obs.analyze import load_run
+from repro.runner import BatchSpec, results_identical, run_batch
+
+SPEC = BatchSpec.from_matrix(
+    circuits=["tseng", "alu4"],
+    variants=["baseline", "nem-opt:8"],
+    seeds=[1],
+    widths=[40],
+    scale=0.01,
+)
+
+
+@pytest.fixture(scope="module")
+def arms(tmp_path_factory):
+    """(serial BatchResult, 4-worker BatchResult, parallel run file)."""
+    base = tmp_path_factory.mktemp("determinism")
+    serial = run_batch(SPEC, workers=1, shard_dir=str(base / "serial"),
+                       metrics_out=str(base / "serial.jsonl"))
+    parallel = run_batch(SPEC, workers=4, shard_dir=str(base / "parallel"),
+                         metrics_out=str(base / "parallel.jsonl"))
+    return serial, parallel, str(base / "parallel.jsonl")
+
+
+def test_all_jobs_succeed(arms):
+    serial, parallel, _ = arms
+    assert serial.ok and parallel.ok
+    assert serial.workers == 1 and parallel.workers == 4
+
+
+def test_results_bit_identical(arms):
+    serial, parallel, _ = arms
+    assert results_identical(serial.results, parallel.results)
+
+
+def test_routing_trees_identical_per_job(arms):
+    serial, parallel, _ = arms
+    for s, p in zip(serial.results, parallel.results):
+        assert s.digests["routing_trees"] == p.digests["routing_trees"], s.key
+
+
+def test_channel_widths_identical_per_job(arms):
+    serial, parallel, _ = arms
+    for s, p in zip(serial.results, parallel.results):
+        assert s.qor["channel_width"] == p.qor["channel_width"], s.key
+
+
+def test_qor_metrics_identical_per_job(arms):
+    serial, parallel, _ = arms
+    for s, p in zip(serial.results, parallel.results):
+        assert s.qor == p.qor, s.key
+        assert s.digests["qor"] == p.digests["qor"], s.key
+
+
+def test_bitstreams_identical_per_job(arms):
+    serial, parallel, _ = arms
+    for s, p in zip(serial.results, parallel.results):
+        assert s.digests["bitstream"] == p.digests["bitstream"], s.key
+
+
+def test_report_order_is_spec_order_in_both_arms(arms):
+    serial, parallel, _ = arms
+    keys = [job.key for job in SPEC.jobs]
+    assert [r.key for r in serial.results] == keys
+    assert [r.key for r in parallel.results] == keys
+
+
+def test_merged_telemetry_parses_clean(arms):
+    _, _, run_path = arms
+    run = load_run(run_path)
+    assert run.warnings == []
+    assert run.manifest is not None
+    assert run.manifest["batch"]["spec_digest"] == SPEC.digest
+    roots = [span for span in run.spans if span.name == "batch.job"]
+    assert [s.attrs["job"] for s in roots] == [job.key for job in SPEC.jobs]
+
+
+def test_merged_telemetry_span_structure_matches_serial(arms):
+    serial, _, run_path = arms
+    serial_run = load_run(serial.metrics_path)
+    parallel_run = load_run(run_path)
+    # Same span forest shape: alignment paths match exactly (wall
+    # times differ, structure must not).
+    assert (sorted(serial_run.by_path()) == sorted(parallel_run.by_path()))
+    # And counters merged from worker shards agree with serial's.
+    for name, snap in serial_run.metrics.items():
+        if snap.get("kind") == "counter":
+            assert parallel_run.metrics[name]["value"] == snap["value"], name
+
+
+def test_wmin_jobs_are_deterministic_too(tmp_path):
+    """Min-width search (the paper's Wmin protocol) under the pool."""
+    spec = BatchSpec.from_matrix(
+        circuits=["tseng"], variants=["baseline"], seeds=[1, 2],
+        widths=[None], scale=0.01,
+    )
+    serial = run_batch(spec, workers=1, shard_dir=str(tmp_path / "s"))
+    parallel = run_batch(spec, workers=2, shard_dir=str(tmp_path / "p"))
+    assert serial.ok and parallel.ok
+    assert results_identical(serial.results, parallel.results)
+    assert all(r.key.endswith("/wmin") for r in serial.results)

@@ -1,0 +1,159 @@
+"""Tests for repro.runner.executor: pool supervision, failure policy.
+
+Fast jobs only (tiny circuits / injected faults); the full
+serial-vs-parallel identity check lives in test_determinism.py.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import read_jsonl
+from repro.runner import BatchSpec, JobSpec, run_batch
+
+#: Smallest useful real job: a tseng shrunk to a handful of LUTs.
+TINY = dict(circuit="tseng", scale=0.01, width=40)
+
+
+def _spec(*jobs, **policy):
+    return BatchSpec(jobs=tuple(jobs), **policy)
+
+
+class TestSerialPath:
+    def test_single_worker_runs_in_process(self, tmp_path):
+        spec = _spec(JobSpec(**TINY), workers=1)
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert batch.ok and batch.workers == 1
+        assert batch.results[0].qor["wirelength"] > 0
+        assert batch.results[0].digests.keys() == {"routing_trees", "bitstream", "qor"}
+
+    def test_results_in_spec_order(self, tmp_path):
+        spec = _spec(
+            JobSpec(seed=2, **TINY), JobSpec(seed=1, **TINY), workers=1,
+        )
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert [r.key for r in batch.results] == [j.key for j in spec.jobs]
+
+    def test_error_job_reported_not_raised(self, tmp_path):
+        spec = _spec(JobSpec(fault="fail", **TINY), workers=1)
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert not batch.ok
+        assert batch.results[0].status == "error"
+        assert "injected fault" in batch.results[0].error
+
+    def test_serial_crash_exhausts_retries(self, tmp_path):
+        spec = _spec(JobSpec(fault="crash", **TINY), workers=1, retries=1)
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert batch.results[0].status == "crashed"
+        assert batch.results[0].attempts == 2
+
+    def test_serial_crash_first_recovers(self, tmp_path):
+        spec = _spec(JobSpec(fault="crash-first", **TINY), workers=1, retries=1)
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert batch.results[0].status == "ok"
+        assert batch.results[0].attempts == 2
+
+
+class TestPool:
+    def test_parallel_results_in_spec_order(self, tmp_path):
+        spec = _spec(
+            JobSpec(seed=3, **TINY), JobSpec(seed=1, **TINY),
+            JobSpec(seed=2, **TINY), workers=3, timeout_s=120,
+        )
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert batch.ok
+        assert [r.key for r in batch.results] == [j.key for j in spec.jobs]
+
+    def test_worker_crash_is_retried_then_recovered(self, tmp_path):
+        spec = _spec(
+            JobSpec(fault="crash-first", **TINY), JobSpec(seed=2, **TINY),
+            workers=2, retries=1, timeout_s=120,
+        )
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert batch.ok
+        assert batch.results[0].attempts == 2
+        assert batch.results[1].attempts == 1
+
+    def test_worker_crash_exhausts_retry_budget(self, tmp_path):
+        spec = _spec(JobSpec(fault="crash", **TINY), JobSpec(seed=2, **TINY),
+                     workers=2, retries=1, timeout_s=120)
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert not batch.ok
+        assert batch.results[0].status == "crashed"
+        assert batch.results[0].attempts == 2
+        assert "exited with code" in batch.results[0].error
+        assert batch.results[1].ok
+
+    def test_hung_worker_times_out(self, tmp_path):
+        spec = _spec(
+            JobSpec(fault="hang", **TINY), JobSpec(seed=2, **TINY),
+            workers=2, timeout_s=1.0,
+        )
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        hung, healthy = batch.results
+        assert hung.status == "timeout"
+        assert "timeout" in hung.error
+        assert healthy.ok
+
+    def test_workers_capped_to_job_count(self, tmp_path):
+        spec = _spec(JobSpec(**TINY), workers=8)
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        assert batch.workers == 1  # degraded to the serial path
+
+
+class TestTelemetryMerge:
+    def test_merged_run_is_single_manifest_schema_v1(self, tmp_path):
+        from repro.obs.analyze import load_run
+
+        out = tmp_path / "batch.jsonl"
+        spec = _spec(JobSpec(seed=1, **TINY), JobSpec(seed=2, **TINY), workers=1)
+        batch = run_batch(spec, shard_dir=str(tmp_path / "shards"),
+                          metrics_out=str(out))
+        assert batch.metrics_path == str(out)
+        run = load_run(str(out))
+        assert run.warnings == []
+        assert run.manifest is not None and run.manifest["schema"] == 1
+        assert run.manifest["batch"]["jobs"] == 2
+        assert run.manifest["batch"]["spec_digest"] == spec.digest
+        # One batch.job root per job, in spec order.
+        roots = [span for span in run.spans if span.name == "batch.job"]
+        assert [s.attrs["job"] for s in roots] == [j.key for j in spec.jobs]
+        assert run.metrics  # merged registry snapshot present
+
+    def test_crashed_jobs_leave_no_stale_shard(self, tmp_path):
+        shard_dir = tmp_path / "shards"
+        out = tmp_path / "batch.jsonl"
+        spec = _spec(JobSpec(fault="crash", **TINY), workers=2, retries=0)
+        batch = run_batch(spec, shard_dir=str(shard_dir), metrics_out=str(out))
+        assert batch.results[0].status == "crashed"
+        records = read_jsonl(str(out), strict=False)
+        assert [r["type"] for r in records] == ["manifest"]
+
+    def test_shards_written_per_job(self, tmp_path):
+        spec = _spec(JobSpec(seed=1, **TINY), JobSpec(seed=2, **TINY), workers=1)
+        run_batch(spec, shard_dir=str(tmp_path))
+        names = sorted(os.listdir(tmp_path))
+        assert "job-0000.jsonl" in names and "job-0001.jsonl" in names
+
+
+class TestProgressAndSummary:
+    def test_progress_callback_sees_every_job(self, tmp_path):
+        seen = []
+        spec = _spec(JobSpec(seed=1, **TINY), JobSpec(seed=2, **TINY), workers=1)
+        run_batch(spec, shard_dir=str(tmp_path),
+                  progress=lambda r, done, total: seen.append((r.key, done, total)))
+        assert [s[1:] for s in seen] == [(1, 2), (2, 2)]
+
+    def test_summary_counts_statuses(self, tmp_path):
+        spec = _spec(JobSpec(fault="fail", **TINY), JobSpec(seed=2, **TINY),
+                     workers=1)
+        batch = run_batch(spec, shard_dir=str(tmp_path))
+        summary = batch.summary()
+        assert summary["jobs"] == 2
+        assert summary["statuses"] == {"error": 1, "ok": 1}
+        assert summary["success"] is False
+
+    def test_invalid_workers_rejected(self, tmp_path):
+        spec = _spec(JobSpec(**TINY))
+        with pytest.raises(ValueError):
+            run_batch(spec, workers=0, shard_dir=str(tmp_path))

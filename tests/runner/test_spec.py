@@ -1,0 +1,136 @@
+"""Tests for repro.runner.spec (job model, keys, spec files)."""
+
+import json
+
+import pytest
+
+from repro.runner import BatchSpec, JobResult, JobSpec, parse_variant
+from repro.runner.spec import digest_of
+
+
+class TestJobSpec:
+    def test_key_is_stable_and_unique_over_matrix_axes(self):
+        a = JobSpec(circuit="tseng", variant="baseline", seed=1, width=56)
+        b = JobSpec(circuit="tseng", variant="baseline", seed=1, width=56)
+        assert a.key == b.key == "tseng@0.02/baseline/s1/w56"
+        assert JobSpec(circuit="tseng", seed=2, width=56).key != a.key
+        assert JobSpec(circuit="tseng", variant="nem-opt", seed=1, width=56).key != a.key
+        assert JobSpec(circuit="alu4", seed=1, width=56).key != a.key
+
+    def test_wmin_jobs_key_as_wmin(self):
+        assert JobSpec(circuit="tseng").key.endswith("/wmin")
+
+    def test_arch_overrides_enter_the_key(self):
+        job = JobSpec(circuit="tseng", width=56,
+                      arch=(("segment_length", 2),))
+        assert "segment_length=2" in job.key
+
+    def test_roundtrip_through_dict(self):
+        job = JobSpec(circuit="tseng", variant="nem-opt:4", seed=3,
+                      width=48, scale=0.05, arch=(("segment_length", 2),))
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", variant="cmos-extra")
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", variant="baseline:4")
+
+    def test_invalid_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", seed=-1)
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", width=1)
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", scale=0.0)
+
+
+class TestParseVariant:
+    def test_baseline_and_naive(self):
+        assert parse_variant("baseline") == ("baseline", 1.0)
+        assert parse_variant("nem-naive") == ("nem-naive", 1.0)
+
+    def test_nem_opt_downsize_suffix(self):
+        assert parse_variant("nem-opt") == ("nem-opt", 8.0)
+        assert parse_variant("nem-opt:4") == ("nem-opt", 4.0)
+
+
+class TestBatchSpec:
+    def test_matrix_expansion_order_is_circuit_major(self):
+        spec = BatchSpec.from_matrix(
+            circuits=["a_c", "b_c"], variants=["baseline"],
+            seeds=[1, 2], widths=[56],
+        )
+        # JobSpec validates circuits lazily (load happens in-worker),
+        # so synthetic names are fine here.
+        keys = [job.key for job in spec.jobs]
+        assert keys == [
+            "a_c@0.02/baseline/s1/w56", "a_c@0.02/baseline/s2/w56",
+            "b_c@0.02/baseline/s1/w56", "b_c@0.02/baseline/s2/w56",
+        ]
+
+    def test_duplicate_jobs_rejected(self):
+        job = JobSpec(circuit="tseng", width=56)
+        with pytest.raises(ValueError, match="duplicate"):
+            BatchSpec(jobs=(job, job))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSpec(jobs=())
+
+    def test_digest_covers_jobs_not_policy(self):
+        jobs = (JobSpec(circuit="tseng", width=56),)
+        a = BatchSpec(jobs=jobs, workers=1)
+        b = BatchSpec(jobs=jobs, workers=4, timeout_s=10.0)
+        assert a.digest == b.digest
+        c = BatchSpec(jobs=(JobSpec(circuit="tseng", width=48),))
+        assert c.digest != a.digest
+
+    def test_from_file_jobs_form(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "jobs": [{"circuit": "tseng", "width": 56},
+                     {"circuit": "alu4", "width": 56, "seed": 2}],
+            "workers": 3,
+            "timeout_s": 30,
+        }))
+        spec = BatchSpec.from_file(str(path))
+        assert len(spec.jobs) == 2
+        assert spec.workers == 3
+        assert spec.timeout_s == 30.0
+
+    def test_from_file_matrix_form(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "matrix": {"circuits": ["tseng"], "variants": ["baseline", "nem-opt"],
+                       "seeds": [1, 2], "width": 56, "scale": 0.03},
+            "workers": 2,
+        }))
+        spec = BatchSpec.from_file(str(path))
+        assert len(spec.jobs) == 4
+        assert all(job.width == 56 and job.scale == 0.03 for job in spec.jobs)
+
+    def test_malformed_spec_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"workers": 2}))
+        with pytest.raises(ValueError, match="jobs.*matrix|matrix.*jobs"):
+            BatchSpec.from_file(str(path))
+
+
+class TestJobResult:
+    def test_identity_excludes_timing_and_attempts(self):
+        a = JobResult(key="k", status="ok", qor={"wl": 3},
+                      digests={"qor": "d"}, attempts=1, wall_s=1.0)
+        b = JobResult(key="k", status="ok", qor={"wl": 3},
+                      digests={"qor": "d"}, attempts=2, wall_s=9.9)
+        assert a.identity() == b.identity()
+
+    def test_roundtrip_through_dict(self):
+        result = JobResult(key="k", status="error", error="boom",
+                           attempts=2, wall_s=0.5)
+        assert JobResult.from_dict(result.to_dict()).to_dict() == result.to_dict()
+
+
+def test_digest_of_is_order_insensitive_for_dicts():
+    assert digest_of({"a": 1, "b": 2}) == digest_of({"b": 2, "a": 1})
+    assert digest_of([1, 2]) != digest_of([2, 1])
