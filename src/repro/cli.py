@@ -7,6 +7,8 @@ Exposes the library's main entry points without writing Python:
 * ``repro flow``      — pack/place/route/configure a benchmark + variants
 * ``repro batch``     — a (circuit x variant x seed) job matrix over a
   worker-process pool, bit-identical to serial (see `repro.runner`)
+* ``repro faults``    — seeded stuck-fault campaigns + self-repair
+  yield curves (see `repro.faults`)
 * ``repro sweep``     — the Fig. 12 downsizing trade-off for a circuit
 * ``repro headline``  — suite-level headline comparison vs the paper
 * ``repro explore``   — future-work architecture sweeps
@@ -414,6 +416,59 @@ def _parse_csv(spec: str, cast=str) -> List:
     return [cast(part.strip()) for part in spec.split(",") if part.strip()]
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .arch import ArchParams
+    from .faults import run_defect_sweep
+    from .netlist import load_circuit
+
+    arch = ArchParams(channel_width=args.width)
+    netlist = load_circuit(args.circuit, scale=args.scale)
+    rates = _parse_csv(args.rates, float)
+    print(f"circuit: {netlist}", file=sys.stderr)
+    with _telemetry(args, arch=arch, extra={
+        "circuit": args.circuit, "scale": args.scale,
+        "rates": rates, "campaigns": args.campaigns, "mode": args.mode,
+    }):
+        try:
+            sweep = run_defect_sweep(
+                netlist, arch,
+                channel_width=args.width,
+                rates=rates,
+                campaigns=args.campaigns,
+                base_seed=args.base_seed,
+                mode=args.mode,
+                stuck_closed_fraction=args.stuck_closed_fraction,
+                seed=args.seed,
+            )
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    doc = sweep.to_dict()
+    if args.out:
+        from .obs import write_json
+
+        write_json(args.out, doc)
+        print(f"wrote defect sweep to {args.out}", file=sys.stderr)
+    curve = sweep.yield_curve()
+    all_repaired = all(row["yield"] == 1.0 for row in curve)
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(f"{args.circuit} @ W={sweep.channel_width}: clean wirelength "
+              f"{sweep.clean_wirelength}, {args.campaigns} campaign(s)/rate, "
+              f"mode={args.mode}")
+        print(f"{'rate':>7s} {'defects':>8s} {'yield':>6s} {'increm.':>7s} "
+              f"{'ripped':>7s} {'wl.ovh':>7s}  stages")
+        for row in curve:
+            stages = ",".join(f"{k}:{v}" for k, v in row["stages"].items())
+            print(f"{row['rate']:7.3%} {row['mean_defects']:8.1f} "
+                  f"{row['yield']:6.0%} {row['incremental_yield']:7.0%} "
+                  f"{row['mean_nets_ripped']:7.1f} "
+                  f"{row['wirelength_overhead']:7.1%}  {stages}")
+        print(f"all campaigns repaired: {all_repaired}")
+    return 0 if all_repaired else 1
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .obs import setup_logging, write_json
     from .runner import BatchSpec, results_identical, run_batch
@@ -432,6 +487,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 seeds=_parse_csv(args.seeds, int),
                 widths=[args.width],
                 scale=args.scale,
+                defect_rates=(_parse_csv(args.defect_rates, float)
+                              if args.defect_rates else [None]),
+                defect_seed=args.defect_seed,
+                defect_mode=args.defect_mode,
                 timeout_s=args.timeout,
                 retries=args.retries,
             )
@@ -708,6 +767,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="channel width W (omit to derive Wmin per job)")
     p_batch.add_argument("--scale", type=float, default=0.02,
                          help="circuit shrink factor (DESIGN.md Sec. 6)")
+    p_batch.add_argument("--defect-rates", metavar="LIST", default=None,
+                         help="comma-separated fault-campaign rates; each "
+                              "adds a flow+inject+self-repair job per matrix "
+                              "point (default: no fault axis)")
+    p_batch.add_argument("--defect-seed", type=int, default=0,
+                         help="fault-campaign seed (default 0)")
+    p_batch.add_argument("--defect-mode", default="uniform",
+                         choices=["uniform", "variation", "aging"],
+                         help="fault-campaign sampling mode")
     p_batch.add_argument("--workers", type=int, default=None,
                          help="worker processes (default: the spec's, or 1)")
     p_batch.add_argument("--timeout", type=float, default=None,
@@ -726,6 +794,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable results on stdout")
     add_obs_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="defect-injection yield curve: route clean, inject seeded fault "
+             "campaigns, self-repair via the degradation ladder")
+    p_faults.add_argument("--circuit", default="tseng", help="suite circuit name")
+    p_faults.add_argument("--scale", type=float, default=0.02,
+                          help="circuit shrink factor (DESIGN.md Sec. 6)")
+    p_faults.add_argument("--width", type=int, default=56, help="channel width W")
+    p_faults.add_argument("--seed", type=int, default=1, help="placement seed")
+    p_faults.add_argument("--rates", default="0.005,0.01,0.02", metavar="LIST",
+                          help="comma-separated per-switch defect rates")
+    p_faults.add_argument("--campaigns", type=int, default=5,
+                          help="independent campaigns per rate (default 5)")
+    p_faults.add_argument("--base-seed", type=int, default=0,
+                          help="first campaign seed (default 0)")
+    p_faults.add_argument("--mode", default="uniform",
+                          choices=["uniform", "variation", "aging"],
+                          help="campaign sampling mode")
+    p_faults.add_argument("--stuck-closed-fraction", type=float, default=0.0,
+                          help="portion of each rate sampled as stuck-closed "
+                               "stiction faults (default 0 = all stuck-open)")
+    p_faults.add_argument("--out", metavar="PATH",
+                          help="write the full sweep document as JSON")
+    p_faults.add_argument("--json", action="store_true",
+                          help="machine-readable sweep on stdout")
+    add_obs_args(p_faults)
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_report = sub.add_parser(
         "report", help="render a --metrics-out JSONL run as a readable report")

@@ -76,10 +76,26 @@ class DefectMap:
     Attributes:
         stuck_open: Crosspoints that cannot conduct.
         stuck_closed: Crosspoints that cannot release.
+        rows / cols: Array bounds, when known (filled by `run_bist`);
+            ``None`` keeps legacy maps constructible from bare sets.
     """
 
     stuck_open: Set[Coordinate]
     stuck_closed: Set[Coordinate]
+    rows: Optional[int] = None
+    cols: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.rows is None) != (self.cols is None):
+            raise ValueError("rows and cols must be given together")
+        if self.rows is not None:
+            if self.rows < 1 or self.cols < 1:
+                raise ValueError(
+                    f"array bounds must be positive, got {self.rows}x{self.cols}")
+            for r, c in set(self.stuck_open) | set(self.stuck_closed):
+                if not (0 <= r < self.rows and 0 <= c < self.cols):
+                    raise ValueError(
+                        f"fault at {(r, c)} outside {self.rows}x{self.cols}")
 
     @property
     def total(self) -> int:
@@ -90,6 +106,15 @@ class DefectMap:
         return self.total == 0
 
     def usable(self, coord: Coordinate) -> bool:
+        """Is the crosspoint fault-free?
+
+        Raises ValueError for coordinates outside the array when the
+        bounds are known — asking about a nonexistent relay is a
+        caller bug, not a healthy device.
+        """
+        r, c = coord
+        if self.rows is not None and not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ValueError(f"crosspoint {coord} outside {self.rows}x{self.cols}")
         return coord not in self.stuck_open and coord not in self.stuck_closed
 
 
@@ -121,7 +146,8 @@ def run_bist(crossbar: RelayCrossbar, voltages: ProgrammingVoltages) -> DefectMa
     programmer.erase()
     after_erase = _read_configuration(crossbar)
     stuck_closed = set(after_erase)
-    return DefectMap(stuck_open=stuck_open, stuck_closed=stuck_closed)
+    return DefectMap(stuck_open=stuck_open, stuck_closed=stuck_closed,
+                     rows=crossbar.rows, cols=crossbar.cols)
 
 
 def yield_with_defect_map(

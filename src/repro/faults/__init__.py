@@ -1,0 +1,57 @@
+"""Fault injection, detection, and self-repair for the NEM fabric.
+
+The detect -> avoid -> repair loop the paper's fragile relays demand:
+
+* `FabricDefectMap` / `FaultCampaign` — seeded fault injection on
+  `FabricIR` routing switches (uniform rates, Vpi/Vpo variation
+  tails, Weibull aging), bit-reproducible from (seed, fabric key);
+* `run_fabric_bist` — fabric-wide two-pattern self-test locating the
+  same faults from terminal behaviour;
+* `repair_routing` — incremental self-repair with a graceful
+  degradation ladder (reroute victims only -> full reroute -> widen);
+* `run_defect_sweep` — routability-vs-defect-rate yield curves.
+"""
+
+from .bist import run_fabric_bist
+from .campaign import CAMPAIGN_MODES, FaultCampaign, switch_sites
+from .defects import (
+    FabricDefectMap,
+    canonical_digest,
+    empty_defect_map,
+    fabric_key_of,
+    resolve_defects,
+)
+from .evaluate import (
+    CampaignOutcome,
+    DefectSweep,
+    routing_digest,
+    run_defect_sweep,
+)
+from .repair import (
+    REPAIR_STAGES,
+    RepairAttempt,
+    RepairResult,
+    find_victims,
+    repair_routing,
+)
+
+__all__ = [
+    "CAMPAIGN_MODES",
+    "CampaignOutcome",
+    "DefectSweep",
+    "FabricDefectMap",
+    "FaultCampaign",
+    "REPAIR_STAGES",
+    "RepairAttempt",
+    "RepairResult",
+    "canonical_digest",
+    "empty_defect_map",
+    "fabric_key_of",
+    "find_victims",
+    "repair_routing",
+    "resolve_defects",
+    "routing_digest",
+    "run_defect_sweep",
+    "run_fabric_bist",
+    "switch_sites",
+]

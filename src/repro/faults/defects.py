@@ -1,0 +1,261 @@
+"""Fabric-level defect maps (the data model of the fault subsystem).
+
+A `FabricDefectMap` records which routing resources of one concrete
+`FabricIR` are broken, at two granularities:
+
+* **switch-level** (the physical reality): each programmable edge of
+  the RR graph is one NEM relay.  Relays fail *stuck-open* (contact
+  wear/contamination — the switch can never conduct) or *stuck-closed*
+  (stiction — the beam adhered and never releases).  A switch site is
+  identified by its *undirected* node pair ``(lo, hi)``: in a bidir
+  fabric the CSR holds both directed edges, but they cross the same
+  relay, so one fault kills both directions.
+* **node-level**: a wire segment can be dead outright (broken metal,
+  shorted programming line).  ``stuck_open_nodes`` lists such nodes.
+
+The map is immutable, tied to its fabric by `fabric_key_of` (node ids
+are meaningless across different ``(ArchParams, nx, ny)`` graphs), and
+hashed by a stable content digest so campaigns, BIST outcomes and
+repair results can be compared for bit-identity across processes.
+
+Router consumption: `blocked_nodes()` / `blocked_edges()` translate
+the fault classes into PathFinder avoidance sets —
+
+* a stuck-open node blocks itself;
+* a stuck-open switch blocks both directed edges across it (other
+  edges into the same wires stay usable);
+* a stuck-closed switch blocks *both endpoint nodes*: the two wires
+  are permanently bridged, so any net using either would short into
+  whatever the other carries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from ..fabric import FabricIR
+
+Switch = Tuple[int, int]
+
+
+def canonical_digest(obj: object) -> str:
+    """sha256 hex digest of an object's canonical JSON form."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fabric_key_of(ir: FabricIR) -> str:
+    """Stable identity of one concrete fabric: arch params + grid.
+
+    Two `FabricIR` instances with equal keys have identical node-id
+    spaces (the build is deterministic), so defect maps keyed this way
+    are portable across processes but *not* across channel widths or
+    grids — exactly the safety the flow layer needs.
+    """
+    arch = dataclasses.asdict(ir.params)
+    return json.dumps({"arch": arch, "nx": ir.nx, "ny": ir.ny},
+                      sort_keys=True, separators=(",", ":"))
+
+
+def _canon_switches(pairs: Iterable[Switch]) -> Tuple[Switch, ...]:
+    return tuple(sorted({(min(u, v), max(u, v)) for u, v in pairs}))
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricDefectMap:
+    """Immutable fault inventory of one fabric.
+
+    Attributes:
+        fabric_key: `fabric_key_of` the fabric this map belongs to.
+        num_nodes: Node count of that fabric (id-range validation).
+        stuck_open_nodes: Dead wire nodes (never conduct).
+        stuck_open_switches: Undirected switch sites that can never
+            conduct, as sorted ``(lo, hi)`` node pairs.
+        stuck_closed_switches: Undirected switch sites that can never
+            release (their endpoint wires are permanently bridged).
+        source: Provenance tag (``campaign`` / ``bist`` / ``manual``);
+            excluded from the digest so a BIST relocating a campaign's
+            faults produces the *same* digest.
+    """
+
+    fabric_key: str
+    num_nodes: int
+    stuck_open_nodes: Tuple[int, ...] = ()
+    stuck_open_switches: Tuple[Switch, ...] = ()
+    stuck_closed_switches: Tuple[Switch, ...] = ()
+    source: str = "campaign"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        nodes = tuple(sorted(set(int(n) for n in self.stuck_open_nodes)))
+        object.__setattr__(self, "stuck_open_nodes", nodes)
+        object.__setattr__(self, "stuck_open_switches",
+                           _canon_switches(self.stuck_open_switches))
+        object.__setattr__(self, "stuck_closed_switches",
+                           _canon_switches(self.stuck_closed_switches))
+        for node in self.stuck_open_nodes:
+            if not 0 <= node < self.num_nodes:
+                raise ValueError(
+                    f"stuck-open node {node} outside [0, {self.num_nodes})")
+        for u, v in self.stuck_open_switches + self.stuck_closed_switches:
+            if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+                raise ValueError(
+                    f"switch ({u}, {v}) outside [0, {self.num_nodes})")
+            if u == v:
+                raise ValueError(f"switch ({u}, {v}) is a self-loop")
+        overlap = set(self.stuck_open_switches) & set(self.stuck_closed_switches)
+        if overlap:
+            raise ValueError(
+                f"switches both stuck-open and stuck-closed: {sorted(overlap)}")
+
+    # -- summary -----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return (len(self.stuck_open_nodes) + len(self.stuck_open_switches)
+                + len(self.stuck_closed_switches))
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0
+
+    @cached_property
+    def digest(self) -> str:
+        """Stable content digest (provenance-independent)."""
+        return canonical_digest({
+            "fabric_key": self.fabric_key,
+            "num_nodes": self.num_nodes,
+            "stuck_open_nodes": list(self.stuck_open_nodes),
+            "stuck_open_switches": [list(s) for s in self.stuck_open_switches],
+            "stuck_closed_switches": [list(s) for s in self.stuck_closed_switches],
+        })
+
+    # -- router avoidance sets ---------------------------------------------
+
+    @cached_property
+    def _blocked_nodes(self) -> FrozenSet[int]:
+        blocked = set(self.stuck_open_nodes)
+        for u, v in self.stuck_closed_switches:
+            blocked.add(u)
+            blocked.add(v)
+        return frozenset(blocked)
+
+    @cached_property
+    def _blocked_edges(self) -> FrozenSet[Tuple[int, int]]:
+        edges = set()
+        for u, v in self.stuck_open_switches:
+            edges.add((u, v))
+            edges.add((v, u))
+        return frozenset(edges)
+
+    def blocked_nodes(self) -> FrozenSet[int]:
+        """Nodes the router must never use."""
+        return self._blocked_nodes
+
+    def blocked_edges(self) -> FrozenSet[Tuple[int, int]]:
+        """Directed edges the router must never cross."""
+        return self._blocked_edges
+
+    # -- queries -----------------------------------------------------------
+
+    def usable_node(self, node: int) -> bool:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+        return node not in self._blocked_nodes
+
+    def usable_switch(self, u: int, v: int) -> bool:
+        """Can the relay between ``u`` and ``v`` still be programmed?"""
+        for node in (u, v):
+            if not 0 <= node < self.num_nodes:
+                raise ValueError(f"node {node} outside [0, {self.num_nodes})")
+        site = (min(u, v), max(u, v))
+        return (site not in self.stuck_open_switches
+                and site not in self.stuck_closed_switches
+                and u not in self._blocked_nodes
+                and v not in self._blocked_nodes)
+
+    def validate_against(self, ir: FabricIR) -> None:
+        """Raise unless this map belongs to ``ir`` (same id space)."""
+        key = fabric_key_of(ir)
+        if key != self.fabric_key:
+            raise ValueError(
+                "defect map belongs to a different fabric (node ids are not "
+                "portable across channel widths or grids); re-sample the "
+                "campaign on the target fabric instead")
+        if ir.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"defect map node count {self.num_nodes} != fabric "
+                f"{ir.num_nodes}")
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "fabric_key": self.fabric_key,
+            "num_nodes": self.num_nodes,
+            "stuck_open_nodes": list(self.stuck_open_nodes),
+            "stuck_open_switches": [list(s) for s in self.stuck_open_switches],
+            "stuck_closed_switches": [list(s) for s in self.stuck_closed_switches],
+            "source": self.source,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FabricDefectMap":
+        return cls(
+            fabric_key=str(doc["fabric_key"]),
+            num_nodes=int(doc["num_nodes"]),
+            stuck_open_nodes=tuple(int(n) for n in doc.get("stuck_open_nodes", ())),
+            stuck_open_switches=tuple(
+                (int(u), int(v)) for u, v in doc.get("stuck_open_switches", ())),
+            stuck_closed_switches=tuple(
+                (int(u), int(v)) for u, v in doc.get("stuck_closed_switches", ())),
+            source=str(doc.get("source", "campaign")),
+        )
+
+
+def empty_defect_map(ir: FabricIR) -> FabricDefectMap:
+    """A clean map for ``ir`` (useful as a neutral default)."""
+    return FabricDefectMap(fabric_key=fabric_key_of(ir), num_nodes=ir.num_nodes)
+
+
+def resolve_defects(defects: object, ir: FabricIR) -> Optional[FabricDefectMap]:
+    """Coerce a flow-layer ``defects`` argument to a map for ``ir``.
+
+    Accepted forms:
+
+    * ``None`` — no defects;
+    * a `FabricDefectMap` — validated against ``ir`` (raises when the
+      fabric key differs: node ids do not survive a width change);
+    * anything with ``for_fabric(ir)`` (a `FaultCampaign`) — sampled
+      for this concrete fabric, deterministically;
+    * a callable ``ir -> FabricDefectMap``.
+
+    This is what lets `find_min_channel_width` and the repair ladder's
+    W+2 retries carry one defect *model* across many concrete fabrics.
+    """
+    if defects is None:
+        return None
+    if isinstance(defects, FabricDefectMap):
+        defects.validate_against(ir)
+        return defects
+    for_fabric = getattr(defects, "for_fabric", None)
+    if callable(for_fabric):
+        produced = for_fabric(ir)
+    elif callable(defects):
+        produced = defects(ir)
+    else:
+        raise TypeError(
+            f"defects must be a FabricDefectMap, a campaign with "
+            f".for_fabric(ir), or a callable, got {type(defects).__name__}")
+    if not isinstance(produced, FabricDefectMap):
+        raise TypeError(
+            f"defect provider returned {type(produced).__name__}, "
+            "expected FabricDefectMap")
+    produced.validate_against(ir)
+    return produced

@@ -30,6 +30,11 @@ DEFAULT_SCALE = 0.02
 #: ``:<downsize>`` suffix ("nem-opt:8").
 VARIANT_NAMES = ("baseline", "nem-naive", "nem-opt")
 
+#: Fault-campaign modes accepted in specs (mirrors
+#: `repro.faults.CAMPAIGN_MODES`; kept literal so the job model stays
+#: importable without the faults package's numpy machinery).
+DEFECT_MODES = ("uniform", "variation", "aging")
+
 
 def _canon_json(obj: object) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
@@ -72,6 +77,13 @@ class JobSpec:
             first attempt only), ``"hang"`` (sleep past any timeout)
             and ``"fail"`` (raise inside the job).  Never set in
             production specs.
+        defect_rate: When set, the job flows clean, then injects a
+            seeded fault campaign at this per-switch rate and runs the
+            self-repair ladder; QoR gains ``repair.*`` metrics and a
+            ``repaired_trees`` digest.  None (default) = no faults —
+            legacy specs keep their keys and digests.
+        defect_seed: Campaign seed (`repro.faults.FaultCampaign.seed`).
+        defect_mode: Campaign sampling mode (`DEFECT_MODES`).
     """
 
     circuit: str
@@ -81,6 +93,9 @@ class JobSpec:
     scale: float = DEFAULT_SCALE
     arch: Tuple[Tuple[str, object], ...] = ()
     fault: Optional[str] = None
+    defect_rate: Optional[float] = None
+    defect_seed: int = 0
+    defect_mode: str = "uniform"
 
     def __post_init__(self) -> None:
         parse_variant(self.variant)  # validate eagerly
@@ -90,6 +105,15 @@ class JobSpec:
             raise ValueError(f"width must be >= 2, got {self.width}")
         if not 0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.defect_rate is not None and not 0.0 <= self.defect_rate <= 1.0:
+            raise ValueError(
+                f"defect_rate must be in [0, 1], got {self.defect_rate}")
+        if self.defect_seed < 0:
+            raise ValueError(f"defect_seed must be >= 0, got {self.defect_seed}")
+        if self.defect_mode not in DEFECT_MODES:
+            raise ValueError(
+                f"defect_mode must be one of {DEFECT_MODES}, "
+                f"got {self.defect_mode!r}")
 
     @property
     def key(self) -> str:
@@ -99,6 +123,8 @@ class JobSpec:
         if self.arch:
             overrides = ",".join(f"{k}={v}" for k, v in self.arch)
             key += f"/{overrides}"
+        if self.defect_rate is not None:
+            key += f"/d{self.defect_rate:g}.{self.defect_mode}.s{self.defect_seed}"
         return key
 
     def to_dict(self) -> Dict[str, object]:
@@ -113,6 +139,10 @@ class JobSpec:
             doc["arch"] = dict(self.arch)
         if self.fault:
             doc["fault"] = self.fault
+        if self.defect_rate is not None:
+            doc["defect_rate"] = self.defect_rate
+            doc["defect_seed"] = self.defect_seed
+            doc["defect_mode"] = self.defect_mode
         return doc
 
     @classmethod
@@ -128,6 +158,10 @@ class JobSpec:
             scale=float(doc.get("scale", DEFAULT_SCALE)),
             arch=tuple(sorted(arch.items())),
             fault=(str(doc["fault"]) if doc.get("fault") else None),
+            defect_rate=(float(doc["defect_rate"])
+                         if doc.get("defect_rate") is not None else None),
+            defect_seed=int(doc.get("defect_seed", 0)),
+            defect_mode=str(doc.get("defect_mode", "uniform")),
         )
 
 
@@ -172,21 +206,33 @@ class BatchSpec:
         widths: Sequence[Optional[int]] = (None,),
         scale: float = DEFAULT_SCALE,
         arch: Optional[Dict[str, object]] = None,
+        defect_rates: Sequence[Optional[float]] = (None,),
+        defect_seed: int = 0,
+        defect_mode: str = "uniform",
         workers: int = 1,
         timeout_s: Optional[float] = None,
         retries: int = 1,
     ) -> "BatchSpec":
-        """Expand the cross product into a job list (circuit-major)."""
+        """Expand the cross product into a job list (circuit-major).
+
+        ``defect_rates`` adds a fault-campaign axis: each non-None
+        rate produces jobs that flow clean, inject that rate, and
+        self-repair (None = the ordinary fault-free job).
+        """
         overrides = tuple(sorted((arch or {}).items()))
         jobs = tuple(
             JobSpec(
                 circuit=circuit, variant=variant, seed=seed,
                 width=width, scale=scale, arch=overrides,
+                defect_rate=rate,
+                defect_seed=defect_seed if rate is not None else 0,
+                defect_mode=defect_mode if rate is not None else "uniform",
             )
             for circuit in circuits
             for variant in variants
             for seed in seeds
             for width in widths
+            for rate in defect_rates
         )
         return cls(jobs=jobs, workers=workers, timeout_s=timeout_s,
                    retries=retries)
@@ -215,6 +261,9 @@ class BatchSpec:
                 widths=matrix.get("widths", [matrix.get("width")]),
                 scale=float(matrix.get("scale", DEFAULT_SCALE)),
                 arch=matrix.get("arch"),
+                defect_rates=matrix.get("defect_rates", [None]),
+                defect_seed=int(matrix.get("defect_seed", 0)),
+                defect_mode=str(matrix.get("defect_mode", "uniform")),
                 **policy,
             )
         raise ValueError("spec needs a 'jobs' list or a 'matrix' object")

@@ -166,6 +166,52 @@ def _execute(spec: JobSpec, attempt: int) -> JobResult:
             error=f"unroutable at W={flow.channel_width}", attempts=attempt,
         )
 
+    extra_digests: Dict[str, str] = {}
+    if spec.defect_rate is not None:
+        from ..faults import FaultCampaign, repair_routing
+
+        campaign = FaultCampaign(
+            seed=spec.defect_seed, mode=spec.defect_mode,
+            stuck_open_rate=spec.defect_rate,
+        )
+        defect_map = campaign.for_fabric(flow.graph)
+        repair = repair_routing(
+            flow.placement, flow.routing, defect_map,
+            graph=flow.graph, campaign=campaign,
+        )
+        qor.update({
+            "defects": defect_map.total,
+            "repair.stage": repair.stage,
+            "repair.stage_index": repair.stage_index,
+            "repair.victims": len(repair.victim_nets),
+            "repair.nets_ripped": repair.nets_ripped,
+            "repair.channel_width": repair.channel_width,
+            "repair.wirelength": repair.routing.wirelength,
+        })
+        extra_digests["defect_map"] = defect_map.digest
+        extra_digests["repaired_trees"] = _routing_digest(
+            repair.routing, repair.channel_width)
+        extra_digests["clean_trees"] = _routing_digest(
+            flow.routing, flow.channel_width)
+        if not repair.success:
+            qor["repair.success"] = False
+            return JobResult(
+                key=spec.key, status="unrepairable", qor=qor,
+                digests=extra_digests,
+                error=(f"repair failed at rate={spec.defect_rate} "
+                       f"(stage ladder exhausted)"),
+                attempts=attempt,
+            )
+        qor["repair.success"] = True
+        # Downstream stages consume the *repaired* design: the
+        # bitstream must program only healthy relays.
+        if repair.channel_width != flow.channel_width:
+            params = params.with_channel_width(repair.channel_width)
+        flow = dataclasses.replace(
+            flow, routing=repair.routing, graph=repair.graph,
+            channel_width=repair.channel_width,
+        )
+
     with get_tracer().span("flow.configure", circuit=netlist.name):
         bitstream = extract_bitstream(flow.routing, flow.graph)
         config = program_fabric(bitstream)
@@ -197,6 +243,7 @@ def _execute(spec: JobSpec, attempt: int) -> JobResult:
         "routing_trees": _routing_digest(flow.routing, flow.channel_width),
         "bitstream": _bitstream_digest(bitstream),
     }
+    digests.update(extra_digests)
     digests["qor"] = digest_of(qor)
     return JobResult(key=spec.key, status="ok", qor=qor, digests=digests,
                      attempts=attempt)

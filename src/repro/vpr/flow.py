@@ -55,15 +55,37 @@ def find_min_channel_width(
     params: Optional[ArchParams] = None,
     start: int = 12,
     max_width: int = 256,
+    defects=None,
     **router_kwargs,
 ) -> Tuple[int, RoutingResult, FabricIR]:
     """Binary-search the minimum routable channel width.
 
     Doubles from ``start`` until routable, then bisects.  Returns
     (wmin, routing at wmin, graph at wmin).
+
+    ``defects`` must be a *provider* (`faults.FaultCampaign` or a
+    callable) — the search probes many channel widths and RR node ids
+    are not portable between them, so raw ``blocked_nodes`` /
+    ``blocked_edges`` sets are rejected here: they would silently
+    block the wrong resources at every width but the one they were
+    sampled on.
     """
     if params is None:
         params = placement.clustered.params
+    for raw in ("blocked_nodes", "blocked_edges"):
+        if router_kwargs.get(raw):
+            raise ValueError(
+                f"{raw} cannot be used in a channel-width search: node ids "
+                "are fabric-specific and change with W; pass defects=<"
+                "FaultCampaign or callable> so faults are re-sampled per "
+                "probed width")
+    from ..faults import FabricDefectMap
+
+    if isinstance(defects, FabricDefectMap):
+        raise ValueError(
+            "a concrete FabricDefectMap is tied to one channel width; the "
+            "Wmin search needs a provider (FaultCampaign or callable) that "
+            "re-samples defects per probed width")
     tracer = get_tracer()
     with tracer.span("flow.wmin_search", start=start, max_width=max_width) as span:
         probes = 0
@@ -75,7 +97,8 @@ def find_min_channel_width(
             probes += 1
             with tracer.span("flow.route_probe", width=width, phase="double") as probe:
                 result, graph = route_design(
-                    placement, params, channel_width=width, **router_kwargs
+                    placement, params, channel_width=width, defects=defects,
+                    **router_kwargs
                 )
                 probe.set("success", result.success)
             _log.debug("wmin probe %s", kv(width=width, success=result.success))
@@ -94,7 +117,8 @@ def find_min_channel_width(
             probes += 1
             with tracer.span("flow.route_probe", width=mid, phase="bisect") as probe:
                 result, graph = route_design(
-                    placement, params, channel_width=mid, **router_kwargs
+                    placement, params, channel_width=mid, defects=defects,
+                    **router_kwargs
                 )
                 probe.set("success", result.success)
             _log.debug("wmin probe %s", kv(width=mid, success=result.success))
@@ -113,6 +137,9 @@ def run_flow(
     seed: int = 1,
     channel_width: Optional[int] = None,
     inner_num: float = 1.0,
+    blocked_nodes=None,
+    blocked_edges=None,
+    defects=None,
     **router_kwargs,
 ) -> FlowResult:
     """pack -> place -> route at a fixed channel width.
@@ -120,7 +147,16 @@ def run_flow(
     ``channel_width`` defaults to the architecture's W; pass the
     low-stress width from `find_min_channel_width` to mirror the
     paper's methodology exactly.
+
+    Fault-aware routing: ``blocked_nodes`` / ``blocked_edges`` are raw
+    avoidance sets for *this* width's fabric; ``defects`` accepts a
+    `faults.FabricDefectMap` or a provider (`faults.FaultCampaign` /
+    callable) resolved against the concrete fabric — the sets union.
     """
+    if blocked_nodes:
+        router_kwargs["blocked_nodes"] = blocked_nodes
+    if blocked_edges:
+        router_kwargs["blocked_edges"] = blocked_edges
     tracer = get_tracer()
     with tracer.span("flow.run", circuit=netlist.name, seed=seed) as root:
         with tracer.span("flow.pack") as span:
@@ -137,7 +173,8 @@ def run_flow(
         width = channel_width if channel_width is not None else params.channel_width
         with tracer.span("flow.route", channel_width=width) as span:
             routing, graph = route_design(
-                placement, params, channel_width=width, **router_kwargs
+                placement, params, channel_width=width, defects=defects,
+                **router_kwargs
             )
             span.set_many(
                 success=routing.success,
@@ -165,6 +202,7 @@ def run_flow_min_width(
     seed: int = 1,
     inner_num: float = 1.0,
     low_stress: bool = True,
+    defects=None,
     **router_kwargs,
 ) -> FlowResult:
     """pack -> place -> Wmin search -> route at the derived width.
@@ -185,13 +223,14 @@ def run_flow_min_width(
             placement = place(clustered, seed=seed, inner_num=inner_num)
             span.set("cost", placement.cost)
         wmin, routing, graph = find_min_channel_width(
-            placement, params, **router_kwargs
+            placement, params, defects=defects, **router_kwargs
         )
         width = low_stress_width(wmin) if low_stress else wmin
         if width != wmin:
             with tracer.span("flow.route", channel_width=width) as span:
                 routing, graph = route_design(
-                    placement, params, channel_width=width, **router_kwargs
+                    placement, params, channel_width=width, defects=defects,
+                    **router_kwargs
                 )
                 span.set_many(
                     success=routing.success,
@@ -219,6 +258,9 @@ def run_timing_driven_flow(
     channel_width: Optional[int] = None,
     inner_num: float = 1.0,
     sta_passes: int = 2,
+    blocked_nodes=None,
+    blocked_edges=None,
+    defects=None,
     **router_kwargs,
 ):
     """Timing-driven pack/place/route (VPR-style criticality loop).
@@ -231,11 +273,20 @@ def run_timing_driven_flow(
         fabric: `FabricElectrical` supplying the delay model (the
             variant the design will be timed against).
         sta_passes: Criticality refinement iterations.
+        blocked_nodes / blocked_edges / defects: Fault-aware routing,
+            same semantics as `run_flow` — every STA re-route pass
+            avoids the same defective resources.
 
     Returns:
         (FlowResult, TimingReport) for the best routing found.
     """
+    from .route import merge_defect_kwargs
     from .timing import analyze_timing, node_delay_costs
+
+    if blocked_nodes:
+        router_kwargs["blocked_nodes"] = blocked_nodes
+    if blocked_edges:
+        router_kwargs["blocked_edges"] = blocked_edges
 
     if sta_passes < 0:
         raise ValueError(f"sta_passes must be >= 0, got {sta_passes}")
@@ -252,6 +303,11 @@ def run_timing_driven_flow(
         width = channel_width if channel_width is not None else params.channel_width
         arch = params.with_channel_width(width)
         graph = get_fabric(arch, placement.grid_width, placement.grid_height)
+        if defects is not None:
+            from ..faults import resolve_defects
+
+            router_kwargs = merge_defect_kwargs(
+                router_kwargs, resolve_defects(defects, graph))
         delay_costs = node_delay_costs(graph, fabric)
         nets = build_route_nets(placement)
 

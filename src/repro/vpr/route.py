@@ -29,7 +29,7 @@ from ..fabric import (
     get_fabric,
 )
 from ..netlist.core import BlockType
-from ..obs import get_logger, get_tracer, kv
+from ..obs import get_logger, get_registry, get_tracer, kv
 from .place import Placement
 
 _log = get_logger("vpr.route")
@@ -167,6 +167,7 @@ class PathFinderRouter:
         astar_fac: float = 1.2,
         delay_costs: Optional[Sequence[float]] = None,
         blocked_nodes: Optional[Set[int]] = None,
+        blocked_edges: Optional[Set[Tuple[int, int]]] = None,
     ) -> None:
         """``delay_costs`` (one weight per RR node, normalised so a
         typical wire hop ~ its base cost) enables timing-driven mode:
@@ -176,6 +177,11 @@ class PathFinderRouter:
         ``blocked_nodes`` marks defective resources (e.g. relays that
         failed programming verification): the router never uses them —
         defect-avoidance reconfiguration for relay fabrics.
+
+        ``blocked_edges`` marks individual defective switches as
+        directed ``(u, v)`` pairs: the wires stay usable, only that
+        hop is forbidden (a stuck-open relay kills one crosspoint, not
+        the whole track).
         """
         self.graph = graph
         ir = self.fabric = as_fabric(graph)
@@ -189,6 +195,10 @@ class PathFinderRouter:
         self._delay_costs = list(delay_costs) if delay_costs is not None else None
         self._blocked = frozenset(blocked_nodes or ())
         n = ir.num_nodes
+        # Directed blocked edges, encoded u*n+v so the hot loop does a
+        # single int set-probe instead of building a tuple per edge.
+        self._blocked_edges = frozenset(
+            u * n + v for (u, v) in (blocked_edges or ()))
         # Per-router mutable state; the shared (cached) IR views are
         # read-only, so copies are taken only where the router writes.
         self._base = ir.base_costs.tolist()
@@ -255,6 +265,8 @@ class PathFinderRouter:
         edge_offsets = self._edge_offsets
         edge_targets = self._edge_targets
         blocked = self._blocked
+        blocked_edges = self._blocked_edges
+        n_enc = self.fabric.num_nodes
         pos = self._pos
         static = self._static
         occ = self._occ
@@ -320,11 +332,14 @@ class PathFinderRouter:
                 if u == target_sink:
                     found = True
                     break
+                u_base = u * n_enc if blocked_edges else 0
                 # CSR neighbor expansion: one contiguous slice per pop.
                 for v in edge_targets[edge_offsets[u]:edge_offsets[u + 1]]:
                     if v in tree_set:
                         continue
                     if blocked and v in blocked:
+                        continue
+                    if blocked_edges and u_base + v in blocked_edges:
                         continue
                     if is_sink[v]:
                         if v != target_sink:
@@ -392,6 +407,7 @@ class PathFinderRouter:
         self,
         nets: Sequence[RouteNet],
         criticality: Optional[Dict[str, float]] = None,
+        fixed_trees: Optional[Dict[str, RouteTree]] = None,
     ) -> RoutingResult:
         """Route all nets; returns success iff fully legal.
 
@@ -399,6 +415,13 @@ class PathFinderRouter:
         turns on timing-driven costing per net.  Aborts early (failure)
         when congestion stops improving — the VPR "routing predictor"
         heuristic that makes Wmin binary searches affordable.
+
+        ``fixed_trees`` (net name -> existing `RouteTree`) pre-occupies
+        resources that must not move: incremental self-repair routes
+        only the victim ``nets`` while every healthy net's tree stays
+        pinned in place.  Fixed nets are never ripped up — negotiation
+        pushes the rerouted nets around them — and the returned result
+        contains only the newly routed trees.
 
         The per-iteration convergence series (overuse, pres_fac,
         wirelength, rip-up counts) is always recorded on the result;
@@ -411,8 +434,12 @@ class PathFinderRouter:
             nets=len(nets),
             channel_width=self.fabric.params.channel_width,
             timing_driven=self._delay_costs is not None,
+            fixed_nets=len(fixed_trees or ()),
         ) as span:
-            result = self._route_impl(nets, criticality)
+            registry = get_registry()
+            registry.gauge("route.blocked_nodes").set(len(self._blocked))
+            registry.gauge("route.blocked_edges").set(len(self._blocked_edges))
+            result = self._route_impl(nets, criticality, fixed_trees)
             span.set_many(
                 success=result.success,
                 iterations=result.iterations,
@@ -430,7 +457,18 @@ class PathFinderRouter:
         self,
         nets: Sequence[RouteNet],
         criticality: Optional[Dict[str, float]] = None,
+        fixed_trees: Optional[Dict[str, RouteTree]] = None,
     ) -> RoutingResult:
+        if fixed_trees:
+            overlap = {net.name for net in nets} & set(fixed_trees)
+            if overlap:
+                raise ValueError(
+                    f"nets both routed and fixed: {sorted(overlap)}")
+            # Pin the healthy nets' resources before the first pass;
+            # their occupancy never drops, so victims negotiate around
+            # them exactly as against any other net they cannot evict.
+            for tree in fixed_trees.values():
+                self._occupy(tree, +1)
         crit_of = criticality or {}
         order = sorted(nets, key=lambda n: (-len(n.sink_tiles), n.name))
         if criticality:
@@ -581,10 +619,28 @@ class PathFinderRouter:
         return total
 
 
+def merge_defect_kwargs(router_kwargs: Dict, defect_map) -> Dict:
+    """Fold a resolved `FabricDefectMap` into router keyword args.
+
+    Unions the map's avoidance sets with any explicitly supplied
+    ``blocked_nodes`` / ``blocked_edges`` so callers can combine a
+    campaign with manual blocks.
+    """
+    if defect_map is None or defect_map.clean:
+        return router_kwargs
+    kwargs = dict(router_kwargs)
+    nodes = set(kwargs.pop("blocked_nodes", None) or ())
+    edges = set(kwargs.pop("blocked_edges", None) or ())
+    kwargs["blocked_nodes"] = nodes | defect_map.blocked_nodes()
+    kwargs["blocked_edges"] = edges | defect_map.blocked_edges()
+    return kwargs
+
+
 def route_design(
     placement: Placement,
     params: Optional[ArchParams] = None,
     channel_width: Optional[int] = None,
+    defects=None,
     **router_kwargs,
 ) -> Tuple[RoutingResult, FabricIR]:
     """Fetch (or build) the FabricIR for a placement and route it.
@@ -598,6 +654,11 @@ def route_design(
         placement: Placed design.
         params: Architecture; defaults to the packing's parameters.
         channel_width: Override W (used by the Wmin binary search).
+        defects: Optional fault state to route around — a
+            `faults.FabricDefectMap` for *this* width, or a provider
+            (`faults.FaultCampaign` / callable) re-sampled per
+            concrete fabric; see `faults.resolve_defects`.  Providers
+            are the only defect form that survives a width change.
 
     Returns:
         (result, graph) — the `FabricIR` is needed for timing/power.
@@ -607,6 +668,11 @@ def route_design(
     if channel_width is not None:
         params = params.with_channel_width(channel_width)
     graph = get_fabric(params, placement.grid_width, placement.grid_height)
+    if defects is not None:
+        from ..faults import resolve_defects  # local: faults imports us
+
+        router_kwargs = merge_defect_kwargs(
+            router_kwargs, resolve_defects(defects, graph))
     router = PathFinderRouter(graph, **router_kwargs)
     nets = build_route_nets(placement)
     return router.route(nets), graph

@@ -85,6 +85,69 @@ class TestBist:
         assert defects.stuck_closed == expected_closed
 
 
+class TestBistEdgeCases:
+    def test_all_faulty_array(self):
+        """Every crosspoint stuck: both patterns disagree everywhere,
+        and the BIST must classify each relay, not crash."""
+        faults = {
+            (r, c): (StuckMode.STUCK_OPEN if (r + c) % 2 else
+                     StuckMode.STUCK_CLOSED)
+            for r in range(3) for c in range(3)
+        }
+        defects = run_bist(faulty_crossbar(3, 3, MODEL, faults), VOLTAGES)
+        assert defects.total == 9
+        expected_open = {c for c, m in faults.items()
+                         if m is StuckMode.STUCK_OPEN}
+        assert defects.stuck_open == expected_open
+
+    def test_never_programmed_crossbar(self):
+        """BIST on a factory-fresh array (no prior program/erase
+        cycle): pattern A must program it from the erased state."""
+        from repro.crossbar.array import RelayCrossbar
+        from repro.nemrelay.device import NEMRelay
+
+        xbar = RelayCrossbar(3, 3, lambda r, c: NEMRelay(MODEL))
+        assert xbar.configuration() == set()
+        defects = run_bist(xbar, VOLTAGES)
+        assert defects.clean
+        assert defects.rows == 3 and defects.cols == 3
+
+    def test_single_crosspoint_array(self):
+        defects = run_bist(
+            faulty_crossbar(1, 1, MODEL, {(0, 0): StuckMode.STUCK_OPEN}),
+            VOLTAGES)
+        assert defects.stuck_open == {(0, 0)}
+
+
+class TestDefectMapBounds:
+    def test_run_bist_records_bounds(self):
+        defects = run_bist(faulty_crossbar(4, 3, MODEL, {}), VOLTAGES)
+        assert (defects.rows, defects.cols) == (4, 3)
+
+    def test_usable_out_of_bounds_raises(self):
+        defects = DefectMap(stuck_open=set(), stuck_closed=set(),
+                            rows=2, cols=2)
+        assert defects.usable((1, 1))
+        with pytest.raises(ValueError, match="outside"):
+            defects.usable((2, 0))
+        with pytest.raises(ValueError, match="outside"):
+            defects.usable((-1, 0))
+
+    def test_legacy_unbounded_map_still_answers(self):
+        defects = DefectMap(stuck_open={(0, 0)}, stuck_closed=set())
+        assert not defects.usable((0, 0))
+        assert defects.usable((99, 99))  # bounds unknown: no check
+
+    def test_bounds_must_come_together(self):
+        with pytest.raises(ValueError, match="together"):
+            DefectMap(stuck_open=set(), stuck_closed=set(), rows=2)
+
+    def test_fault_outside_bounds_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            DefectMap(stuck_open={(5, 5)}, stuck_closed=set(),
+                      rows=2, cols=2)
+
+
 class TestYieldWithDefects:
     def test_clean_map_accepts_everything(self):
         defects = DefectMap(stuck_open=set(), stuck_closed=set())

@@ -1,0 +1,43 @@
+"""Shared fault-subsystem fixtures: one small placed+routed design."""
+
+import pytest
+
+from repro.arch.params import ArchParams
+from repro.fabric import get_fabric
+from repro.netlist.generate import GeneratorParams, generate
+from repro.vpr.pack import pack
+from repro.vpr.place import place
+from repro.vpr.route import route_design
+
+#: Small but multi-cluster: fast to route, rich enough to have victims.
+CIRCUIT_PARAMS = GeneratorParams("faulty", num_luts=80, ff_fraction=0.25, seed=3)
+
+#: Generous channel width so the shared clean route always succeeds.
+ARCH = ArchParams(channel_width=48)
+
+
+@pytest.fixture(scope="package")
+def netlist():
+    return generate(CIRCUIT_PARAMS)
+
+
+@pytest.fixture(scope="package")
+def clustered(netlist):
+    return pack(netlist, ARCH)
+
+
+@pytest.fixture(scope="package")
+def placement(clustered):
+    return place(clustered, seed=7)
+
+
+@pytest.fixture(scope="package")
+def fabric(placement):
+    return get_fabric(ARCH, placement.grid_width, placement.grid_height)
+
+
+@pytest.fixture(scope="package")
+def routed(placement):
+    result, graph = route_design(placement, ARCH)
+    assert result.success, "shared fixture must route"
+    return result, graph

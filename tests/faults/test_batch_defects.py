@@ -1,0 +1,72 @@
+"""Batch-runner integration of the defect axis.
+
+The runner's headline guarantee must extend to fault jobs: a defect
+campaign + self-repair executed in a forked worker is bit-identical to
+the same job run serially.
+"""
+
+import pytest
+
+from repro.runner import BatchSpec, results_identical, run_batch
+
+SPEC = BatchSpec.from_matrix(
+    circuits=["tseng"],
+    variants=["baseline"],
+    seeds=[1],
+    widths=[40],
+    scale=0.01,
+    defect_rates=[None, 0.01, 0.02],
+    defect_seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def arms(tmp_path_factory):
+    base = tmp_path_factory.mktemp("defect-determinism")
+    serial = run_batch(SPEC, workers=1, shard_dir=str(base / "serial"))
+    parallel = run_batch(SPEC, workers=4, shard_dir=str(base / "parallel"))
+    return serial, parallel
+
+
+def test_all_jobs_succeed(arms):
+    serial, parallel = arms
+    assert serial.ok and parallel.ok
+
+
+def test_serial_and_parallel_bit_identical(arms):
+    serial, parallel = arms
+    assert results_identical(serial.results, parallel.results)
+
+
+def test_defect_digests_identical_per_job(arms):
+    serial, parallel = arms
+    for s, p in zip(serial.results, parallel.results):
+        if "defect_map" in s.digests:
+            assert s.digests["defect_map"] == p.digests["defect_map"], s.key
+            assert s.digests["repaired_trees"] == p.digests["repaired_trees"], s.key
+
+
+def test_fault_free_job_unchanged_by_the_axis(arms):
+    serial, _ = arms
+    clean = serial.results[0]
+    assert clean.key == "tseng@0.01/baseline/s1/w40"
+    assert "defect_map" not in clean.digests
+    assert "repair.stage" not in clean.qor
+
+
+def test_fault_jobs_report_repair_qor(arms):
+    serial, _ = arms
+    for result in serial.results[1:]:
+        assert result.qor["defects"] > 0
+        assert result.qor["repair.success"] is True
+        assert result.qor["repair.stage"] in ("clean", "incremental", "full",
+                                              "widened")
+        assert result.digests["clean_trees"]
+        assert result.digests["repaired_trees"]
+
+
+def test_fault_sets_nest_across_rates(arms):
+    """Same campaign seed at a higher rate strictly grows the map."""
+    serial, _ = arms
+    low, high = serial.results[1], serial.results[2]
+    assert low.qor["defects"] <= high.qor["defects"]

@@ -1,0 +1,146 @@
+"""Tests for repro.faults.campaign (seeded fault sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import CAMPAIGN_MODES, FaultCampaign, switch_sites
+
+
+class TestSwitchSites:
+    def test_shape_and_order(self, fabric):
+        sites = switch_sites(fabric)
+        assert sites.ndim == 2 and sites.shape[1] == 2
+        assert len(sites) > 0
+        # Canonical form: lo < hi, lexicographically sorted, unique.
+        assert (sites[:, 0] < sites[:, 1]).all()
+        encoded = sites[:, 0] * fabric.num_nodes + sites[:, 1]
+        assert (np.diff(encoded) > 0).all()
+
+    def test_endpoints_in_range(self, fabric):
+        sites = switch_sites(fabric)
+        assert sites.min() >= 0
+        assert sites.max() < fabric.num_nodes
+
+    def test_sites_are_programmable_edges(self, fabric):
+        """Every site corresponds to at least one CSR edge with a
+        real switch; SwitchKind.NONE edges are not fault sites."""
+        sources = np.repeat(np.arange(fabric.num_nodes, dtype=np.int64),
+                            np.diff(fabric.edge_offsets))
+        targets = fabric.edge_targets.astype(np.int64)
+        programmable = fabric.edge_switch != 0
+        lo = np.minimum(sources[programmable], targets[programmable])
+        hi = np.maximum(sources[programmable], targets[programmable])
+        expected = set(zip(lo.tolist(), hi.tolist()))
+        assert set(map(tuple, switch_sites(fabric).tolist())) == expected
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            FaultCampaign(mode="chaos")
+
+    def test_modes_tuple(self):
+        assert CAMPAIGN_MODES == ("uniform", "variation", "aging")
+
+    def test_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(stuck_open_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultCampaign(stuck_closed_rate=-0.1)
+
+    def test_rates_sum_above_one(self):
+        with pytest.raises(ValueError, match="> 1"):
+            FaultCampaign(stuck_open_rate=0.7, stuck_closed_rate=0.7)
+
+    def test_weibull_params_positive(self):
+        with pytest.raises(ValueError):
+            FaultCampaign(mode="aging", eta=0.0)
+
+
+class TestUniformSampling:
+    def test_same_seed_bit_identical(self, fabric):
+        c = FaultCampaign(seed=11, stuck_open_rate=0.02)
+        a, b = c.for_fabric(fabric), c.for_fabric(fabric)
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_different_seed_differs(self, fabric):
+        a = FaultCampaign(seed=1, stuck_open_rate=0.05).for_fabric(fabric)
+        b = FaultCampaign(seed=2, stuck_open_rate=0.05).for_fabric(fabric)
+        assert a.digest != b.digest
+
+    def test_zero_rate_is_clean(self, fabric):
+        m = FaultCampaign(seed=1, stuck_open_rate=0.0).for_fabric(fabric)
+        assert m.clean
+
+    def test_full_rate_kills_every_site(self, fabric):
+        m = FaultCampaign(seed=1, stuck_open_rate=1.0).for_fabric(fabric)
+        assert len(m.stuck_open_switches) == len(switch_sites(fabric))
+
+    def test_fault_sets_nest_as_rate_grows(self, fabric):
+        """Same seed, higher rate => superset (a single uniform draw is
+        partitioned, so the yield curve degrades monotonically in
+        hardware rather than sampling noise)."""
+        lo = FaultCampaign(seed=5, stuck_open_rate=0.01).for_fabric(fabric)
+        hi = FaultCampaign(seed=5, stuck_open_rate=0.03).for_fabric(fabric)
+        assert set(lo.stuck_open_switches) <= set(hi.stuck_open_switches)
+        assert len(hi.stuck_open_switches) > len(lo.stuck_open_switches)
+
+    def test_mixed_classes_disjoint(self, fabric):
+        m = FaultCampaign(seed=3, stuck_open_rate=0.02,
+                          stuck_closed_rate=0.02).for_fabric(fabric)
+        assert m.stuck_open_switches and m.stuck_closed_switches
+        assert not set(m.stuck_open_switches) & set(m.stuck_closed_switches)
+
+    def test_approximate_rate(self, fabric):
+        sites = len(switch_sites(fabric))
+        m = FaultCampaign(seed=9, stuck_open_rate=0.05).for_fabric(fabric)
+        observed = len(m.stuck_open_switches) / sites
+        assert 0.02 < observed < 0.09
+
+
+class TestVariationMode:
+    def test_deterministic(self, fabric):
+        c = FaultCampaign(seed=2, mode="variation", sigma_scale=2.0)
+        assert c.for_fabric(fabric).digest == c.for_fabric(fabric).digest
+
+    def test_wide_tails_produce_faults(self, fabric):
+        m = FaultCampaign(seed=2, mode="variation",
+                          sigma_scale=3.0, population=100).for_fabric(fabric)
+        assert m.total > 0
+
+
+class TestAgingMode:
+    def test_fresh_fabric_is_clean(self, fabric):
+        m = FaultCampaign(seed=1, mode="aging", reconfigurations=0.0,
+                          cycles=0.0).for_fabric(fabric)
+        assert m.clean
+
+    def test_worn_fabric_fails(self, fabric):
+        m = FaultCampaign(seed=1, mode="aging", eta=1e3, beta=1.6,
+                          reconfigurations=500.0).for_fabric(fabric)
+        assert m.total > 0
+        assert not m.stuck_closed_switches  # wear-out opens contacts
+
+    def test_activity_ages_routed_sites_extra(self, fabric, routed):
+        from repro.config.bitstream import extract_bitstream
+
+        routing, graph = routed
+        bitstream = extract_bitstream(routing, graph)
+        base = FaultCampaign(seed=6, mode="aging", eta=1e4,
+                             reconfigurations=100.0, cycles=0.0)
+        aged = FaultCampaign(seed=6, mode="aging", eta=1e4,
+                             reconfigurations=100.0, cycles=1e4)
+        m_base = base.for_fabric(graph)
+        m_aged = aged.for_fabric(graph, bitstream=bitstream)
+        # Routed sites only accumulate cycles: same draw, higher
+        # per-site failure probability => superset.
+        assert set(m_base.stuck_open_switches) <= set(m_aged.stuck_open_switches)
+        assert m_aged.total >= m_base.total
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        c = FaultCampaign(seed=8, mode="aging", eta=1e6, beta=2.0,
+                          cycles=100.0)
+        assert FaultCampaign.from_dict(c.to_dict()) == c

@@ -1,0 +1,174 @@
+"""Tests for repro.faults.defects (FabricDefectMap)."""
+
+import pytest
+
+from repro.faults import (
+    FabricDefectMap,
+    FaultCampaign,
+    empty_defect_map,
+    fabric_key_of,
+    resolve_defects,
+)
+
+
+def small_map(**kwargs):
+    defaults = dict(fabric_key="k", num_nodes=10)
+    defaults.update(kwargs)
+    return FabricDefectMap(**defaults)
+
+
+class TestCanonicalisation:
+    def test_switches_sorted_and_deduped(self):
+        m = small_map(stuck_open_switches=((5, 2), (2, 5), (1, 3), (1, 3)))
+        assert m.stuck_open_switches == ((1, 3), (2, 5))
+
+    def test_nodes_sorted_and_deduped(self):
+        m = small_map(stuck_open_nodes=(7, 1, 7, 4))
+        assert m.stuck_open_nodes == (1, 4, 7)
+
+    def test_total_and_clean(self):
+        assert small_map().clean
+        m = small_map(stuck_open_nodes=(1,), stuck_open_switches=((2, 3),),
+                      stuck_closed_switches=((4, 5),))
+        assert m.total == 3 and not m.clean
+
+
+class TestValidation:
+    def test_node_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            small_map(stuck_open_nodes=(10,))
+
+    def test_switch_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            small_map(stuck_open_switches=((3, 99),))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            small_map(stuck_open_switches=((4, 4),))
+
+    def test_open_and_closed_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both stuck-open and stuck-closed"):
+            small_map(stuck_open_switches=((1, 2),),
+                      stuck_closed_switches=((2, 1),))
+
+    def test_bad_num_nodes(self):
+        with pytest.raises(ValueError):
+            FabricDefectMap(fabric_key="k", num_nodes=0)
+
+
+class TestDigest:
+    def test_stable_across_instances(self):
+        a = small_map(stuck_open_switches=((1, 2), (3, 4)))
+        b = small_map(stuck_open_switches=((3, 4), (2, 1)))
+        assert a.digest == b.digest
+
+    def test_source_excluded_from_digest(self):
+        a = small_map(stuck_open_switches=((1, 2),), source="campaign")
+        b = small_map(stuck_open_switches=((1, 2),), source="bist")
+        assert a.digest == b.digest
+
+    def test_fault_set_changes_digest(self):
+        assert small_map().digest != small_map(stuck_open_nodes=(1,)).digest
+
+    def test_fabric_key_changes_digest(self):
+        a = small_map()
+        b = FabricDefectMap(fabric_key="other", num_nodes=10)
+        assert a.digest != b.digest
+
+
+class TestBlockedSets:
+    def test_blocked_nodes_are_open_nodes_plus_bridged_wires(self):
+        m = small_map(stuck_open_nodes=(1,), stuck_closed_switches=((4, 7),))
+        assert m.blocked_nodes() == frozenset({1, 4, 7})
+
+    def test_blocked_edges_are_both_directions(self):
+        m = small_map(stuck_open_switches=((2, 5),))
+        assert m.blocked_edges() == frozenset({(2, 5), (5, 2)})
+
+    def test_stuck_open_switch_does_not_block_nodes(self):
+        m = small_map(stuck_open_switches=((2, 5),))
+        assert m.blocked_nodes() == frozenset()
+
+
+class TestQueries:
+    def test_usable_node(self):
+        m = small_map(stuck_open_nodes=(3,))
+        assert not m.usable_node(3)
+        assert m.usable_node(4)
+
+    def test_usable_node_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            small_map().usable_node(10)
+        with pytest.raises(ValueError, match="outside"):
+            small_map().usable_node(-1)
+
+    def test_usable_switch_direct_fault(self):
+        m = small_map(stuck_open_switches=((2, 5),))
+        assert not m.usable_switch(2, 5)
+        assert not m.usable_switch(5, 2)  # order-insensitive
+        assert m.usable_switch(2, 6)
+
+    def test_usable_switch_blocked_endpoint(self):
+        m = small_map(stuck_open_nodes=(2,))
+        assert not m.usable_switch(2, 5)
+
+    def test_usable_switch_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            small_map().usable_switch(0, 10)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        m = small_map(stuck_open_nodes=(1,), stuck_open_switches=((2, 3),),
+                      stuck_closed_switches=((4, 5),), source="bist")
+        back = FabricDefectMap.from_dict(m.to_dict())
+        assert back == m
+        assert back.digest == m.digest
+        assert back.source == "bist"
+
+
+class TestFabricBinding:
+    def test_empty_defect_map_validates(self, fabric):
+        m = empty_defect_map(fabric)
+        assert m.clean
+        m.validate_against(fabric)  # no raise
+        assert m.fabric_key == fabric_key_of(fabric)
+
+    def test_validate_against_wrong_fabric_raises(self, fabric):
+        m = FabricDefectMap(fabric_key="not-this-fabric",
+                            num_nodes=fabric.num_nodes)
+        with pytest.raises(ValueError, match="different fabric"):
+            m.validate_against(fabric)
+
+
+class TestResolveDefects:
+    def test_none_passes_through(self, fabric):
+        assert resolve_defects(None, fabric) is None
+
+    def test_map_validated(self, fabric):
+        m = empty_defect_map(fabric)
+        assert resolve_defects(m, fabric) is m
+
+    def test_foreign_map_rejected(self, fabric):
+        foreign = FabricDefectMap(fabric_key="elsewhere",
+                                  num_nodes=fabric.num_nodes)
+        with pytest.raises(ValueError, match="different fabric"):
+            resolve_defects(foreign, fabric)
+
+    def test_campaign_provider_sampled(self, fabric):
+        campaign = FaultCampaign(seed=4, stuck_open_rate=0.01)
+        m = resolve_defects(campaign, fabric)
+        assert m is not None
+        assert m.fabric_key == fabric_key_of(fabric)
+
+    def test_callable_provider(self, fabric):
+        m = resolve_defects(lambda ir: empty_defect_map(ir), fabric)
+        assert m is not None and m.clean
+
+    def test_bad_type_rejected(self, fabric):
+        with pytest.raises(TypeError, match="defects must be"):
+            resolve_defects(42, fabric)
+
+    def test_provider_returning_wrong_type_rejected(self, fabric):
+        with pytest.raises(TypeError, match="expected FabricDefectMap"):
+            resolve_defects(lambda ir: "oops", fabric)

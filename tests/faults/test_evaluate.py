@@ -1,0 +1,77 @@
+"""Tests for repro.faults.evaluate (defect sweeps and yield curves)."""
+
+import pytest
+
+from repro.faults import run_defect_sweep
+
+from .conftest import ARCH
+
+
+@pytest.fixture(scope="module")
+def sweep(netlist):
+    return run_defect_sweep(netlist, ARCH, rates=(0.005, 0.01),
+                            campaigns=2, base_seed=0, seed=7)
+
+
+class TestSweepStructure:
+    def test_one_outcome_per_rate_and_campaign(self, sweep):
+        assert len(sweep.outcomes) == 4
+        assert len(sweep.at_rate(0.005)) == 2
+        assert len(sweep.at_rate(0.01)) == 2
+
+    def test_campaign_seeds_constant_across_rates(self, sweep):
+        """Campaign i keeps its seed at every rate, so its fault sets
+        nest as the rate grows — yield degrades monotonically in
+        hardware, not sampling noise."""
+        for rate in sweep.rates:
+            assert [o.campaign_seed for o in sweep.at_rate(rate)] == [0, 1]
+
+    def test_yield_curve_rows(self, sweep):
+        curve = sweep.yield_curve()
+        assert [row["rate"] for row in curve] == [0.005, 0.01]
+        for row in curve:
+            assert row["campaigns"] == 2
+            assert 0.0 <= row["yield"] <= 1.0
+            assert row["incremental_yield"] <= row["yield"]
+            assert sum(row["stages"].values()) == 2
+
+    def test_generous_width_fully_repairs(self, sweep):
+        assert all(row["yield"] == 1.0 for row in sweep.yield_curve())
+
+    def test_to_dict_is_json_shaped(self, sweep):
+        import json
+
+        doc = sweep.to_dict()
+        json.dumps(doc)  # no unserialisable leftovers
+        assert doc["circuit"] == "faulty"
+        assert len(doc["outcomes"]) == 4
+        assert doc["clean_digest"]
+
+
+class TestReproducibility:
+    def test_sweep_is_bit_reproducible(self, netlist, sweep):
+        again = run_defect_sweep(netlist, ARCH, rates=(0.005, 0.01),
+                                 campaigns=2, base_seed=0, seed=7)
+        assert again.clean_digest == sweep.clean_digest
+        assert ([o.defect_digest for o in again.outcomes]
+                == [o.defect_digest for o in sweep.outcomes])
+        assert ([o.routing_digest for o in again.outcomes]
+                == [o.routing_digest for o in sweep.outcomes])
+
+    def test_fault_sets_nest_across_rates(self, sweep):
+        lo, hi = sweep.at_rate(0.005)[0], sweep.at_rate(0.01)[0]
+        assert lo.campaign_seed == hi.campaign_seed
+        assert lo.defects <= hi.defects
+
+
+class TestGuards:
+    def test_unroutable_clean_fabric_raises(self, netlist):
+        with pytest.raises(RuntimeError, match="unroutable"):
+            run_defect_sweep(netlist, ARCH, channel_width=4,
+                             rates=(0.01,), campaigns=1, max_iterations=3)
+
+    def test_bad_arguments_rejected(self, netlist):
+        with pytest.raises(ValueError, match="stuck_closed_fraction"):
+            run_defect_sweep(netlist, ARCH, stuck_closed_fraction=1.5)
+        with pytest.raises(ValueError, match="campaigns"):
+            run_defect_sweep(netlist, ARCH, campaigns=0)

@@ -1,0 +1,108 @@
+"""Defect plumbing through the flow layer (run_flow / Wmin / timing).
+
+Node ids are fabric-specific: a raw blocked set sampled at one channel
+width silently blocks the wrong resources at any other.  The flow
+layer therefore accepts raw sets only at a *fixed* width and demands a
+re-sampling provider everywhere the width can change.
+"""
+
+import pytest
+
+from repro.faults import FabricDefectMap, FaultCampaign, fabric_key_of
+from repro.obs import MetricsRegistry, use_registry
+from repro.vpr.flow import find_min_channel_width, run_flow
+from repro.vpr.route import PathFinderRouter, build_route_nets
+
+from .conftest import ARCH
+
+
+def crossed_sites(routing):
+    return {(min(p, n), max(p, n))
+            for tree in routing.trees.values()
+            for n, p in tree.parent.items() if p >= 0}
+
+
+class TestRunFlow:
+    def test_defect_map_avoided(self, netlist, routed):
+        routing, fabric = routed
+        victim_site = next(iter(crossed_sites(routing)))
+        defects = FabricDefectMap(
+            fabric_key=fabric_key_of(fabric), num_nodes=fabric.num_nodes,
+            stuck_open_switches=(victim_site,))
+        flow = run_flow(netlist, ARCH, seed=7, defects=defects)
+        assert flow.success
+        assert victim_site not in crossed_sites(flow.routing)
+
+    def test_campaign_provider_resolved(self, netlist):
+        campaign = FaultCampaign(seed=3, stuck_open_rate=0.005)
+        flow = run_flow(netlist, ARCH, seed=7, defects=campaign)
+        assert flow.success
+        truth = campaign.for_fabric(flow.graph)
+        assert not crossed_sites(flow.routing) & set(truth.stuck_open_switches)
+
+    def test_blocked_nodes_forwarded(self, netlist, routed):
+        routing, _fabric = routed
+        used = {n for tree in routing.trees.values() for n in tree.nodes
+                if tree.parent.get(n, -1) >= 0}
+        victim = next(iter(sorted(used)))
+        flow = run_flow(netlist, ARCH, seed=7, blocked_nodes={victim})
+        assert flow.success
+        for tree in flow.routing.trees.values():
+            assert victim not in tree.nodes
+
+
+class TestWminSearch:
+    def test_raw_blocked_nodes_rejected(self, placement):
+        with pytest.raises(ValueError, match="fabric-specific"):
+            find_min_channel_width(placement, ARCH, blocked_nodes={1, 2})
+
+    def test_raw_blocked_edges_rejected(self, placement):
+        with pytest.raises(ValueError, match="fabric-specific"):
+            find_min_channel_width(placement, ARCH, blocked_edges={(1, 2)})
+
+    def test_concrete_map_rejected(self, placement, fabric):
+        concrete = FabricDefectMap(fabric_key=fabric_key_of(fabric),
+                                   num_nodes=fabric.num_nodes)
+        with pytest.raises(ValueError, match="provider"):
+            find_min_channel_width(placement, ARCH, defects=concrete)
+
+    def test_campaign_provider_resampled_per_width(self, placement):
+        """A provider survives the width search: the winning width's
+        routing avoids exactly *that* width's re-sampled fault set.
+        (Wmin itself may wobble by a track vs the clean search —
+        PathFinder is a heuristic, and perturbing costs can shift its
+        convergence point either way.)"""
+        campaign = FaultCampaign(seed=2, stuck_open_rate=0.05)
+        wmin, result, graph = find_min_channel_width(
+            placement, ARCH, defects=campaign)
+        assert result.success
+        assert graph.params.channel_width == wmin
+        truth = campaign.for_fabric(graph)
+        assert truth.total > 0
+        assert not crossed_sites(result) & set(truth.stuck_open_switches)
+
+
+def first_sites(fabric, count):
+    from repro.faults import switch_sites
+
+    return [tuple(s) for s in switch_sites(fabric)[:count].tolist()]
+
+
+class TestRouterGauges:
+    def test_blocked_gauges_emitted(self, placement, fabric):
+        nets = build_route_nets(placement)
+        sites = first_sites(fabric, 2)
+        defects = FabricDefectMap(
+            fabric_key=fabric_key_of(fabric), num_nodes=fabric.num_nodes,
+            stuck_open_switches=(sites[0],),
+            stuck_closed_switches=(sites[1],))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            router = PathFinderRouter(
+                fabric,
+                blocked_nodes=defects.blocked_nodes(),
+                blocked_edges=defects.blocked_edges())
+            result = router.route(nets)
+        assert result.success
+        assert registry.gauge("route.blocked_nodes").value == 2
+        assert registry.gauge("route.blocked_edges").value == 2

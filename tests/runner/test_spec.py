@@ -45,6 +45,57 @@ class TestJobSpec:
             JobSpec(circuit="tseng", scale=0.0)
 
 
+class TestDefectAxis:
+    def test_defect_fields_enter_the_key(self):
+        job = JobSpec(circuit="tseng", width=56, defect_rate=0.01,
+                      defect_seed=3, defect_mode="aging")
+        assert job.key == "tseng@0.02/baseline/s1/w56/d0.01.aging.s3"
+
+    def test_no_defects_keeps_legacy_key_and_dict(self):
+        job = JobSpec(circuit="tseng", width=56)
+        assert "d0" not in job.key
+        doc = job.to_dict()
+        assert "defect_rate" not in doc
+        assert "defect_seed" not in doc
+
+    def test_roundtrip_through_dict(self):
+        job = JobSpec(circuit="tseng", width=56, defect_rate=0.02,
+                      defect_seed=7, defect_mode="variation")
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_invalid_defect_fields_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", defect_rate=1.5)
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", defect_rate=0.01, defect_seed=-1)
+        with pytest.raises(ValueError):
+            JobSpec(circuit="tseng", defect_rate=0.01, defect_mode="chaos")
+
+    def test_matrix_defect_axis_is_innermost(self):
+        spec = BatchSpec.from_matrix(
+            circuits=["a_c"], variants=["baseline"], seeds=[1],
+            widths=[56], defect_rates=[None, 0.01], defect_seed=2,
+        )
+        keys = [job.key for job in spec.jobs]
+        assert keys == [
+            "a_c@0.02/baseline/s1/w56",
+            "a_c@0.02/baseline/s1/w56/d0.01.uniform.s2",
+        ]
+        # The fault-free job stays byte-identical to a legacy spec.
+        assert spec.jobs[0] == JobSpec(circuit="a_c", width=56)
+
+    def test_matrix_form_accepts_defect_fields(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "matrix": {"circuits": ["tseng"], "width": 56,
+                       "defect_rates": [0.01, 0.02], "defect_seed": 5,
+                       "defect_mode": "uniform"},
+        }))
+        spec = BatchSpec.from_file(str(path))
+        assert [j.defect_rate for j in spec.jobs] == [0.01, 0.02]
+        assert all(j.defect_seed == 5 for j in spec.jobs)
+
+
 class TestParseVariant:
     def test_baseline_and_naive(self):
         assert parse_variant("baseline") == ("baseline", 1.0)
