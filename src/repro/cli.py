@@ -7,6 +7,9 @@ Exposes the library's main entry points without writing Python:
 * ``repro flow``      — pack/place/route/configure a benchmark + variants
 * ``repro batch``     — a (circuit x variant x seed) job matrix over a
   worker-process pool, bit-identical to serial (see `repro.runner`)
+* ``repro watch``     — the same batch with the live telemetry table
+  (``batch --live``): per-job stage, PathFinder iteration, repair
+  rung, RSS, and heartbeat age streamed from the workers
 * ``repro faults``    — seeded stuck-fault campaigns + self-repair
   yield curves (see `repro.faults`)
 * ``repro sweep``     — the Fig. 12 downsizing trade-off for a circuit
@@ -29,23 +32,28 @@ import argparse
 import contextlib
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
 
 @contextlib.contextmanager
-def _telemetry(args: argparse.Namespace, arch=None, extra=None):
+def _telemetry(args: argparse.Namespace, arch=None, extra=None,
+               root_span="cli.run"):
     """Scope a tracer for one command when observability flags ask.
 
     ``-v`` turns on structured logs to stderr; ``--metrics-out PATH``
     records spans and writes manifest + spans + metrics as JSONL on
-    exit.  With neither flag this yields None and the flow runs over
-    the inert null tracer.
+    exit; ``--profile`` wraps the command in a ``root_span`` with the
+    sampling profiler attached (collapsed stacks land on the span when
+    exported, or print to stderr without ``--metrics-out``).  With no
+    flag this yields None and the flow runs over the inert null tracer.
     """
     from .obs import (
         Tracer,
         export_run,
         get_registry,
+        profiled,
         run_manifest,
         setup_logging,
         use_tracer,
@@ -55,14 +63,22 @@ def _telemetry(args: argparse.Namespace, arch=None, extra=None):
     if verbosity:
         setup_logging(verbosity)
     metrics_out = getattr(args, "metrics_out", None)
-    if not metrics_out:
+    profile = bool(getattr(args, "profile", False))
+    if not metrics_out and not profile:
         # Structured logs (if any) need no tracer; spans stay inert.
         yield None
         return
     tracer = Tracer()
+    profile_attr = None
     try:
         with use_tracer(tracer):
-            yield tracer
+            if profile:
+                with tracer.span(root_span) as span:
+                    with profiled(span):
+                        yield tracer
+                profile_attr = span.attrs.get("profile")
+            else:
+                yield tracer
     finally:
         if metrics_out:
             manifest = run_manifest(
@@ -74,6 +90,16 @@ def _telemetry(args: argparse.Namespace, arch=None, extra=None):
             records = export_run(metrics_out, manifest, tracer, get_registry())
             print(f"wrote {records} telemetry records to {metrics_out}",
                   file=sys.stderr)
+        elif profile_attr:
+            stacks = profile_attr.get("stacks") or {}
+            total = profile_attr.get("samples") or 0
+            print(f"profile: {total} samples @ "
+                  f"{profile_attr.get('interval_s')}s "
+                  f"({profile_attr.get('backend')} backend)", file=sys.stderr)
+            ranked = sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+            for stack, count in ranked[:8]:
+                share = 100.0 * count / total if total else 0.0
+                print(f"  {share:5.1f}%  {stack}", file=sys.stderr)
 
 
 def _cmd_device(args: argparse.Namespace) -> int:
@@ -162,7 +188,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     # only results (table or --json), so pipelines stay parseable.
     print(f"circuit: {netlist}", file=sys.stderr)
     with _telemetry(args, arch=arch, extra={"circuit": args.circuit,
-                                            "scale": args.scale}):
+                                            "scale": args.scale},
+                    root_span="cli.flow"):
         flow = run_flow(netlist, arch, seed=args.seed)
         if not flow.success:
             print("routing FAILED at this channel width; try --width higher",
@@ -498,6 +525,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     workers = args.workers if args.workers is not None else spec.workers
+    live = getattr(args, "live", False)
+    verify_stream = getattr(args, "verify_stream", False)
+    metrics_out = args.metrics_out
+    if verify_stream and not metrics_out:
+        # Byte-comparison needs the merged shard file to compare against.
+        import tempfile
+        metrics_out = os.path.join(
+            tempfile.mkdtemp(prefix="repro-stream-"), "run.jsonl")
 
     def progress(result, done, total):
         print(f"[{done}/{total}] {result.key}: {result.status} "
@@ -507,13 +542,24 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     batch = run_batch(
         spec, workers=workers, shard_dir=args.shard_dir,
-        metrics_out=args.metrics_out, progress=progress,
+        metrics_out=metrics_out,
+        # The live table replaces the per-job progress lines.
+        progress=None if live else progress,
+        live=(live or verify_stream
+              or getattr(args, "stall_after", None) is not None),
+        profile=getattr(args, "profile", False),
+        stall_after_s=getattr(args, "stall_after", None),
+        stall_kill=getattr(args, "stall_kill", False),
     )
     doc = {
         "spec_digest": spec.digest,
         **batch.summary(),
         "results": [r.to_dict() for r in batch.results],
     }
+    if batch.stream_identical is not None:
+        doc["stream_identical"] = batch.stream_identical
+    if batch.collector is not None:
+        doc["telemetry_dropped_events"] = batch.collector.dropped_events()
 
     deterministic = None
     if args.verify_serial and workers > 1:
@@ -550,8 +596,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if batch.metrics_path:
         print(f"wrote merged batch telemetry to {batch.metrics_path}",
               file=sys.stderr)
+    if batch.stream_identical is not None:
+        dropped = batch.collector.dropped_events() if batch.collector else 0
+        print(f"live stream vs shard merge: "
+              f"{'byte-identical' if batch.stream_identical else 'DIVERGED'}"
+              + (f" ({dropped} events dropped)" if dropped else ""),
+              file=sys.stderr)
     if deterministic is False:
         return 3
+    if verify_stream and not batch.stream_identical:
+        return 4
     return 0 if batch.ok else 1
 
 
@@ -699,6 +753,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print floorplan and congestion maps")
     p_flow.add_argument("--json", action="store_true",
                         help="machine-readable result on stdout")
+    p_flow.add_argument("--profile", action="store_true",
+                        help="attach the sampling profiler to the flow; "
+                             "stacks land on the cli.flow span under "
+                             "--metrics-out, else print to stderr")
     p_flow.set_defaults(func=_cmd_flow)
 
     p_rr = sub.add_parser(
@@ -751,49 +809,75 @@ def build_parser() -> argparse.ArgumentParser:
     add_flow_args(p_explore, width_default=48)
     p_explore.set_defaults(func=_cmd_explore)
 
+    def add_batch_args(p):
+        p.add_argument("--spec", metavar="PATH",
+                       help="batch spec JSON ('jobs' list or 'matrix' object)")
+        p.add_argument("--circuits", metavar="LIST",
+                       help="comma-separated suite circuit names")
+        p.add_argument("--variants", default="baseline", metavar="LIST",
+                       help="comma-separated variants: baseline, nem-naive, "
+                            "nem-opt[:downsize] (default: baseline)")
+        p.add_argument("--seeds", default="1", metavar="LIST",
+                       help="comma-separated placement seeds (default: 1)")
+        p.add_argument("--width", type=int, default=None,
+                       help="channel width W (omit to derive Wmin per job)")
+        p.add_argument("--scale", type=float, default=0.02,
+                       help="circuit shrink factor (DESIGN.md Sec. 6)")
+        p.add_argument("--defect-rates", metavar="LIST", default=None,
+                       help="comma-separated fault-campaign rates; each "
+                            "adds a flow+inject+self-repair job per matrix "
+                            "point (default: no fault axis)")
+        p.add_argument("--defect-seed", type=int, default=0,
+                       help="fault-campaign seed (default 0)")
+        p.add_argument("--defect-mode", default="uniform",
+                       choices=["uniform", "variation", "aging"],
+                       help="fault-campaign sampling mode")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: the spec's, or 1)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds")
+        p.add_argument("--retries", type=int, default=1,
+                       help="relaunch budget per job after a worker crash")
+        p.add_argument("--shard-dir", metavar="PATH",
+                       help="directory for per-job telemetry/result shards "
+                            "(default: a fresh temp dir)")
+        p.add_argument("--profile", action="store_true",
+                       help="attach the sampling profiler to every job; "
+                            "collapsed stacks land on each job's root span "
+                            "in the merged telemetry")
+        p.add_argument("--stall-after", type=float, default=None, metavar="S",
+                       help="flag a worker STALLED? after S seconds without "
+                            "a telemetry event (implies the live collector)")
+        p.add_argument("--stall-kill", action="store_true",
+                       help="soft-kill flagged stalled workers with status "
+                            "'stalled' instead of waiting for --timeout")
+        p.add_argument("--verify-stream", action="store_true",
+                       help="assemble the run model from the live stream "
+                            "too and fail (exit 4) unless it is "
+                            "byte-identical to the merged shards")
+        p.add_argument("--results", metavar="PATH",
+                       help="write the full results document as JSON")
+        p.add_argument("--verify-serial", action="store_true",
+                       help="re-run serially and fail (exit 3) unless the "
+                            "parallel results are bit-identical")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable results on stdout")
+        add_obs_args(p)
+
     p_batch = sub.add_parser(
         "batch",
         help="run a (circuit x variant x seed) job matrix over worker processes")
-    p_batch.add_argument("--spec", metavar="PATH",
-                         help="batch spec JSON ('jobs' list or 'matrix' object)")
-    p_batch.add_argument("--circuits", metavar="LIST",
-                         help="comma-separated suite circuit names")
-    p_batch.add_argument("--variants", default="baseline", metavar="LIST",
-                         help="comma-separated variants: baseline, nem-naive, "
-                              "nem-opt[:downsize] (default: baseline)")
-    p_batch.add_argument("--seeds", default="1", metavar="LIST",
-                         help="comma-separated placement seeds (default: 1)")
-    p_batch.add_argument("--width", type=int, default=None,
-                         help="channel width W (omit to derive Wmin per job)")
-    p_batch.add_argument("--scale", type=float, default=0.02,
-                         help="circuit shrink factor (DESIGN.md Sec. 6)")
-    p_batch.add_argument("--defect-rates", metavar="LIST", default=None,
-                         help="comma-separated fault-campaign rates; each "
-                              "adds a flow+inject+self-repair job per matrix "
-                              "point (default: no fault axis)")
-    p_batch.add_argument("--defect-seed", type=int, default=0,
-                         help="fault-campaign seed (default 0)")
-    p_batch.add_argument("--defect-mode", default="uniform",
-                         choices=["uniform", "variation", "aging"],
-                         help="fault-campaign sampling mode")
-    p_batch.add_argument("--workers", type=int, default=None,
-                         help="worker processes (default: the spec's, or 1)")
-    p_batch.add_argument("--timeout", type=float, default=None,
-                         help="per-job wall-clock limit in seconds")
-    p_batch.add_argument("--retries", type=int, default=1,
-                         help="relaunch budget per job after a worker crash")
-    p_batch.add_argument("--shard-dir", metavar="PATH",
-                         help="directory for per-job telemetry/result shards "
-                              "(default: a fresh temp dir)")
-    p_batch.add_argument("--results", metavar="PATH",
-                         help="write the full results document as JSON")
-    p_batch.add_argument("--verify-serial", action="store_true",
-                         help="re-run serially and fail (exit 3) unless the "
-                              "parallel results are bit-identical")
-    p_batch.add_argument("--json", action="store_true",
-                         help="machine-readable results on stdout")
-    add_obs_args(p_batch)
+    p_batch.add_argument("--live", action="store_true",
+                         help="stream worker telemetry to a live status "
+                              "table on stderr while jobs run")
+    add_batch_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="run a batch with the live telemetry table (batch --live)")
+    add_batch_args(p_watch)
+    p_watch.set_defaults(func=_cmd_batch, live=True)
 
     p_faults = sub.add_parser(
         "faults",

@@ -31,7 +31,7 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from ..fabric import FabricIR, get_fabric
-from ..obs import get_logger, get_registry, get_tracer, kv
+from ..obs import get_logger, get_publisher, get_registry, get_tracer, kv
 from ..vpr.place import Placement
 from ..vpr.route import (
     PathFinderRouter,
@@ -158,9 +158,19 @@ def repair_routing(
     width = graph.params.channel_width
 
     registry = get_registry()
+    pub = get_publisher()
     registry.counter("repair.runs").inc()
     attempts: List[RepairAttempt] = []
     nets_ripped = 0
+
+    def _rung(attempt: RepairAttempt) -> None:
+        """Record a ladder rung and stream it to any live watcher."""
+        attempts.append(attempt)
+        if pub.enabled:
+            pub.progress("repair.stage", stage=attempt.stage,
+                         channel_width=attempt.channel_width,
+                         success=attempt.success,
+                         nets_ripped=nets_ripped)
 
     def _finish(
         stage: str, success: bool, result: RoutingResult,
@@ -184,7 +194,7 @@ def repair_routing(
 
         if not victims:
             span.set("stage", "clean")
-            attempts.append(RepairAttempt(
+            _rung(RepairAttempt(
                 stage="clean", channel_width=width, success=True,
                 nets_rerouted=0, iterations=0))
             return _finish("clean", True, routing, graph, width, defects, victims)
@@ -208,7 +218,7 @@ def repair_routing(
             partial = router.route(victim_nets, fixed_trees=fixed)
         nets_ripped += len(victims)
         registry.counter("repair.nets_ripped").inc(len(victims))
-        attempts.append(RepairAttempt(
+        _rung(RepairAttempt(
             stage="incremental", channel_width=width, success=partial.success,
             nets_rerouted=len(victim_nets), iterations=partial.iterations))
         if partial.success:
@@ -237,7 +247,7 @@ def repair_routing(
             full = router.route(nets)
         nets_ripped += len(nets)
         registry.counter("repair.nets_ripped").inc(len(nets))
-        attempts.append(RepairAttempt(
+        _rung(RepairAttempt(
             stage="full", channel_width=width, success=full.success,
             nets_rerouted=len(nets), iterations=full.iterations))
         if full.success:
@@ -271,7 +281,7 @@ def repair_routing(
                 wide = router.route(nets)
             nets_ripped += len(nets)
             registry.counter("repair.nets_ripped").inc(len(nets))
-            attempts.append(RepairAttempt(
+            _rung(RepairAttempt(
                 stage="widened", channel_width=new_width, success=wide.success,
                 nets_rerouted=len(nets), iterations=wide.iterations))
             last = (wide, wide_ir, new_width, wide_defects)

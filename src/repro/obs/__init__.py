@@ -21,6 +21,10 @@ Modules:
 * `registry` — named get-or-create `MetricsRegistry`
 * `export`   — run manifest + JSON/JSONL writers (`export_run`)
 * `shards`   — batch-worker telemetry shard merge (`merge_shards`)
+* `stream`   — live worker -> supervisor event plane: publishers,
+  heartbeats, `TelemetryCollector`, cross-process `TraceContext`
+* `profile`  — dependency-free sampling profiler (`--profile`)
+* `live`     — in-terminal live batch table (`repro watch`)
 * `logging`  — structured stderr logging (`setup_logging`, `kv`)
 * `analyze`  — the consumer side: run reports (`repro report`),
   run-to-run diffing with regression gates (`repro diff`), and the
@@ -47,7 +51,27 @@ from .registry import (
     set_registry,
     use_registry,
 )
-from .shards import merge_metric_snapshots, merge_shard_records, merge_shards
+from .shards import (
+    assemble_run,
+    merge_metric_snapshots,
+    merge_shard_records,
+    merge_shards,
+)
+from .stream import (
+    EVENT_SCHEMA_VERSION,
+    NULL_PUBLISHER,
+    EventPublisher,
+    HeartbeatThread,
+    JobLiveState,
+    NullPublisher,
+    StreamingTracer,
+    TelemetryCollector,
+    TraceContext,
+    get_publisher,
+    use_publisher,
+)
+from .profile import Profiler, merge_profiles, profiled
+from .live import LiveDisplay, render_rows
 from .export import (
     SCHEMA_VERSION,
     export_run,
@@ -64,34 +88,51 @@ from . import analyze
 
 __all__ = [
     "analyze",
+    "assemble_run",
     "Counter",
+    "EVENT_SCHEMA_VERSION",
+    "EventPublisher",
     "Gauge",
+    "HeartbeatThread",
     "Histogram",
+    "JobLiveState",
+    "LiveDisplay",
     "MetricsRegistry",
+    "NULL_PUBLISHER",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NullPublisher",
     "NullTracer",
+    "Profiler",
     "SCHEMA_VERSION",
     "Span",
+    "StreamingTracer",
     "StructuredFormatter",
+    "TelemetryCollector",
+    "TraceContext",
     "Tracer",
     "export_run",
     "get_logger",
+    "get_publisher",
     "get_registry",
     "get_tracer",
     "git_sha",
     "kv",
     "merge_metric_snapshots",
+    "merge_profiles",
     "merge_shard_records",
     "merge_shards",
     "peak_rss_kb",
+    "profiled",
     "read_jsonl",
+    "render_rows",
     "reset_registry",
     "reset_tracer",
     "run_manifest",
     "set_registry",
     "set_tracer",
     "setup_logging",
+    "use_publisher",
     "use_registry",
     "span_to_dict",
     "telemetry_records",

@@ -26,7 +26,7 @@ _TIMELINE_ATTRS = (
 )
 
 #: Drop bulky series attrs from inline display.
-_BULKY_ATTRS = ("convergence", "trajectory")
+_BULKY_ATTRS = ("convergence", "trajectory", "profile")
 
 
 def _fmt_seconds(value: Optional[float]) -> str:
@@ -146,6 +146,65 @@ def _anneal_lines(run: ParsedRun) -> List[str]:
     return lines
 
 
+def _profiled_spans(run: ParsedRun):
+    """(span, profile attr) for every span carrying sampler output."""
+    found = []
+    for node, _depth in run.walk():
+        profile = node.attrs.get("profile")
+        if isinstance(profile, dict) and profile.get("stacks"):
+            found.append((node, profile))
+    return found
+
+
+def _short_stack(stack: str, keep: int = 3) -> str:
+    frames = stack.split(";")
+    if len(frames) <= keep:
+        return stack
+    return "…;" + ";".join(frames[-keep:])
+
+
+def _profile_lines(run: ParsedRun, top: int = 8) -> List[str]:
+    lines: List[str] = []
+    for node, profile in _profiled_spans(run):
+        stacks: Dict[str, object] = profile.get("stacks") or {}
+        counts = {s: int(c) for s, c in stacks.items()
+                  if isinstance(s, str) and isinstance(c, (int, float))}
+        total = sum(counts.values())
+        if not total:
+            continue
+        lines.append(
+            f"{node.path}: {total} samples @ "
+            f"{_fmt_attr(profile.get('interval_s'))}s "
+            f"({profile.get('backend')} backend)")
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        for stack, count in ranked[:top]:
+            lines.append(f"  {100.0 * count / total:5.1f}%  "
+                         f"{_short_stack(stack)}")
+        if len(ranked) > top:
+            lines.append(f"  ... {len(ranked) - top} more stacks")
+    return lines
+
+
+def _flame_trie(stacks: Dict[str, object]) -> Dict[str, object]:
+    """Collapsed stacks -> a merged call-tree (name, value, children)."""
+    root: Dict[str, object] = {"name": "all", "value": 0, "children": {}}
+    for stack, count in sorted(stacks.items()):
+        if not isinstance(stack, str) or not isinstance(count, (int, float)):
+            continue
+        count = int(count)
+        root["value"] += count
+        node = root
+        for frame in stack.split(";"):
+            children: Dict[str, Dict[str, object]] = node["children"]
+            child = children.get(frame)
+            if child is None:
+                child = children[frame] = {"name": frame, "value": 0,
+                                           "children": {}}
+            child["value"] += count
+            node = child
+    return root
+
+
 def _metric_lines(run: ParsedRun) -> List[str]:
     lines = []
     for name in sorted(run.metrics):
@@ -185,6 +244,7 @@ def render_report(run: ParsedRun, flame: bool = True,
         out += ["", "(no span records)"]
     out += _section("pathfinder convergence", _convergence_lines(run))
     out += _section("anneal trajectory", _anneal_lines(run))
+    out += _section("profiler hot stacks", _profile_lines(run))
     out += _section("metrics", _metric_lines(run))
     return "\n".join(out) + "\n"
 
@@ -212,6 +272,39 @@ def _html_span(node: SpanNode, total: float) -> str:
             f"<ul>{children}</ul></details></li>")
 
 
+def _html_flame_node(node: Dict[str, object]) -> str:
+    """One flamegraph cell: label plus a flex row of children whose
+    widths are their sample share of this node."""
+    value = int(node["value"]) or 1
+    label = _html.escape(f"{node['name']} ({node['value']})")
+    out = f"<div class=flabel title='{label}'>{label}</div>"
+    children = sorted(node["children"].values(),
+                      key=lambda c: (-int(c["value"]), str(c["name"])))
+    if children:
+        cells = "".join(
+            f"<div class=fcell style='width:{100.0 * int(c['value']) / value:.2f}%'>"
+            f"{_html_flame_node(c)}</div>"
+            for c in children
+        )
+        out += f"<div class=frow>{cells}</div>"
+    return out
+
+
+def _html_flame_sections(run: ParsedRun) -> List[str]:
+    sections = []
+    for node, profile in _profiled_spans(run):
+        trie = _flame_trie(profile.get("stacks") or {})
+        if not trie["value"]:
+            continue
+        caption = _html.escape(
+            f"{node.path} — {trie['value']} samples @ "
+            f"{_fmt_attr(profile.get('interval_s'))}s "
+            f"({profile.get('backend')} backend)")
+        sections.append(f"<h3>{caption}</h3>"
+                        f"<div class=flame>{_html_flame_node(trie)}</div>")
+    return sections
+
+
 def render_html(run: ParsedRun) -> str:
     """Standalone HTML report (no external assets)."""
     total = run.total_wall_s
@@ -224,6 +317,9 @@ def render_html(run: ParsedRun) -> str:
     if run.spans:
         spans = "".join(_html_span(root, total) for root in run.spans)
         sections.append(f"<h2>spans</h2><ul class=spans>{spans}</ul>")
+    flames = _html_flame_sections(run)
+    if flames:
+        sections.append("<h2>profile flamegraphs</h2>" + "".join(flames))
     for title, lines in (
         ("pathfinder convergence", _convergence_lines(run)),
         ("anneal trajectory", _anneal_lines(run)),
@@ -240,6 +336,11 @@ def render_html(run: ParsedRun) -> str:
         ".attrs{color:#666;font-size:85%}"
         ".err{color:#b00;font-weight:bold}"
         "ul.warn{color:#960}"
+        ".flame{border:1px solid #ddd;padding:4px;margin:4px 0}"
+        ".frow{display:flex}"
+        ".fcell{overflow:hidden;background:#fb7;border-left:1px solid #fff}"
+        ".flabel{white-space:nowrap;overflow:hidden;text-overflow:ellipsis;"
+        "font-size:75%;padding:0 2px;background:#fd9}"
     )
     return (
         "<!doctype html><html><head><meta charset='utf-8'>"

@@ -169,13 +169,17 @@ def read_jsonl(path: str, strict: bool = True, return_errors: bool = False):
     """Load an exported JSONL file back into dicts (tests, analysis).
 
     With ``strict=False`` malformed lines are skipped instead of
-    raising; ``return_errors=True`` additionally returns the 1-based
-    line numbers that were skipped as ``(records, bad_lines)`` — the
+    raising — including lines with broken UTF-8, which a worker killed
+    mid-flush can leave behind (undecodable bytes are replaced before
+    parsing, so the damage stays contained to the affected line) —
+    and ``return_errors=True`` additionally returns the 1-based line
+    numbers that were skipped as ``(records, bad_lines)`` — the
     analysis tools surface those as warnings.
     """
     records: List[Dict[str, object]] = []
     bad_lines: List[int] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    errors = "strict" if strict else "replace"
+    with open(path, "r", encoding="utf-8", errors=errors) as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

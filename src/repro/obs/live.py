@@ -1,0 +1,146 @@
+"""In-terminal live view of a streaming batch (`repro watch`).
+
+Renders the `TelemetryCollector`'s per-job state as a compact table —
+stage, PathFinder iteration, repair-ladder rung, worker RSS, heartbeat
+age — refreshed in place on a TTY (ANSI cursor movement, no curses
+dependency) and as rate-limited plain snapshots on anything else
+(pipes, CI logs), so ``--live`` is safe to leave on everywhere.
+
+Rendering is split pure/IO: `render_rows` builds the table lines from
+collector state (unit-testable, no terminal involved), `LiveDisplay`
+owns the terminal and the refresh policy.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+from .stream import JobLiveState, TelemetryCollector
+
+#: Columns: index, job key, status, stage + progress, rss, heartbeat age.
+_HEADER = ("job", "status", "stage", "progress", "rss", "hb")
+
+_KEY_WIDTH = 34
+_STAGE_WIDTH = 18
+_PROGRESS_WIDTH = 30
+
+
+def format_age(seconds: float) -> str:
+    if seconds < 9.95:
+        return f"{seconds:.1f}s"
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    return f"{seconds / 60:.0f}m"
+
+
+def format_rss(rss_kb: Optional[object]) -> str:
+    if not isinstance(rss_kb, (int, float)) or rss_kb <= 0:
+        return "-"
+    return f"{rss_kb / 1024:.0f}M"
+
+
+def _clip(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text
+    return text[: width - 1] + "…"
+
+
+def progress_summary(state: JobLiveState) -> str:
+    """The most informative recent progress delta, one short phrase."""
+    repair = state.progress.get("repair.stage")
+    if repair is not None:
+        stage = repair.get("stage", "?")
+        ripped = repair.get("nets_ripped")
+        extra = f" ripped={ripped}" if ripped is not None else ""
+        return f"repair:{stage}{extra}"
+    route = state.progress.get("route.iteration")
+    if route is not None:
+        iteration = route.get("iteration", "?")
+        overused = route.get("overused", "?")
+        return f"iter {iteration} overuse {overused}"
+    probe = state.progress.get("flow.wmin_probe")
+    if probe is not None:
+        width = probe.get("width", "?")
+        phase = probe.get("phase", "?")
+        return f"wmin {phase} W={width}"
+    return ""
+
+
+def render_rows(collector: TelemetryCollector,
+                stall_after_s: Optional[float] = None,
+                now: Optional[float] = None) -> List[str]:
+    """Header + one aligned line per job, spec order."""
+    now = time.monotonic() if now is None else now
+    lines = [
+        f"{_HEADER[0]:<{_KEY_WIDTH}} {_HEADER[1]:<8} "
+        f"{_HEADER[2]:<{_STAGE_WIDTH}} {_HEADER[3]:<{_PROGRESS_WIDTH}} "
+        f"{_HEADER[4]:>6} {_HEADER[5]:>6}"
+    ]
+    states = sorted(collector.jobs.values(),
+                    key=lambda s: (s.index if s.index >= 0 else 1 << 30, s.key))
+    for state in states:
+        age = state.heartbeat_age_s(now)
+        status = state.status
+        if (not state.done and stall_after_s is not None
+                and age > stall_after_s):
+            status = "STALLED?"
+        hb = "-" if state.done else format_age(age)
+        lines.append(
+            f"{_clip(state.key, _KEY_WIDTH):<{_KEY_WIDTH}} "
+            f"{_clip(status, 8):<8} "
+            f"{_clip(state.stage or '-', _STAGE_WIDTH):<{_STAGE_WIDTH}} "
+            f"{_clip(progress_summary(state), _PROGRESS_WIDTH):<{_PROGRESS_WIDTH}} "
+            f"{format_rss(state.rss_kb):>6} {hb:>6}"
+        )
+    done = sum(1 for s in collector.jobs.values() if s.done)
+    lines.append(f"[{done}/{len(collector.jobs)} done, "
+                 f"{collector.dropped_events()} events dropped]")
+    return lines
+
+
+class LiveDisplay:
+    """Owns the terminal side of ``--live``.
+
+    On a TTY each refresh repaints over the previous frame (cursor-up
+    + clear-line, supported by every terminal the CLI targets).  On a
+    non-TTY stream frames are plain text and the refresh interval is
+    floored at `NON_TTY_MIN_INTERVAL_S` so CI logs stay readable.
+    """
+
+    NON_TTY_MIN_INTERVAL_S = 2.0
+
+    def __init__(self, stream=None, interval_s: float = 0.25,
+                 stall_after_s: Optional[float] = None) -> None:
+        self._stream = sys.stderr if stream is None else stream
+        self._isatty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self.interval_s = interval_s
+        if not self._isatty:
+            self.interval_s = max(interval_s, self.NON_TTY_MIN_INTERVAL_S)
+        self.stall_after_s = stall_after_s
+        self._last_render = 0.0
+        self._last_height = 0
+
+    def tick(self, collector: TelemetryCollector, force: bool = False) -> bool:
+        """Refresh if the interval elapsed; returns whether it drew."""
+        now = time.monotonic()
+        if not force and now - self._last_render < self.interval_s:
+            return False
+        self._last_render = now
+        lines = render_rows(collector, stall_after_s=self.stall_after_s,
+                            now=now)
+        out = self._stream
+        if self._isatty and self._last_height:
+            out.write(f"\x1b[{self._last_height}F")  # to frame top
+        for line in lines:
+            if self._isatty:
+                out.write("\x1b[2K")  # clear stale wider content
+            out.write(line + "\n")
+        out.flush()
+        self._last_height = len(lines)
+        return True
+
+    def close(self, collector: TelemetryCollector) -> None:
+        """Draw the final frame (always) and release the region."""
+        self.tick(collector, force=True)

@@ -9,10 +9,19 @@ so exporters can enumerate them.
 
 from __future__ import annotations
 
+import bisect
 import contextlib
 import math
 import time
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Shared histogram bucket upper bounds: 0 plus powers of two covering
+#: ~1 ns .. ~8e9 (seconds, counts, bytes alike).  Fixed bounds make
+#: per-shard bucket vectors mergeable by plain addition, which is how
+#: `repro.obs.shards` recovers approximate percentiles for a batch
+#: without shipping raw observations across the process boundary.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple([0.0] + [2.0 ** e
+                                                  for e in range(-30, 34)])
 
 
 class Counter:
@@ -114,8 +123,25 @@ class Histogram:
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
+    def buckets(self) -> List[List[object]]:
+        """Non-empty ``[upper_bound, count]`` pairs over `BUCKET_BOUNDS`.
+
+        A value lands in the first bucket whose bound is >= the value;
+        anything beyond the largest bound goes to an overflow bucket
+        whose upper bound is encoded as None.  Only occupied buckets
+        are emitted, so the snapshot stays small for the typical
+        tightly-clustered flow distribution.
+        """
+        counts: Dict[int, int] = {}
+        for value in self._values:
+            index = bisect.bisect_left(BUCKET_BOUNDS, value)
+            counts[index] = counts.get(index, 0) + 1
+        n = len(BUCKET_BOUNDS)
+        return [[BUCKET_BOUNDS[i] if i < n else None, counts[i]]
+                for i in sorted(counts)]
+
     def snapshot(self) -> Dict[str, object]:
-        return {
+        snap: Dict[str, object] = {
             "kind": self.kind,
             "count": self.count,
             "sum": self.sum,
@@ -126,3 +152,6 @@ class Histogram:
             "p90": self.percentile(90),
             "p99": self.percentile(99),
         }
+        if self._values:
+            snap["buckets"] = self.buckets()
+        return snap

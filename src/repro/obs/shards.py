@@ -12,14 +12,21 @@ that `repro report` / `repro diff` consume unchanged:
 * one ``metrics`` record merging all shard snapshots.
 
 Metric snapshots merge by kind: counters sum, gauges keep the last
-non-null value (shard order), histograms combine count/sum/min/max
-and recompute the mean.  Exact percentiles cannot be merged from
-snapshots, so they are dropped (null) in the merged record — the
-report renderer already skips null histogram fields.
+non-null value (shard order), histograms combine count/sum/min/max,
+recompute the mean, and — when every input carries the fixed-bound
+bucket vector `repro.obs.metrics.Histogram` emits — recover
+approximate percentiles by rank-walking the summed buckets (clamped
+to the exact merged min/max).  Snapshots without buckets (older
+shards, hand-written fixtures) degrade to null percentiles as before.
+
+`assemble_run` is the single assembly path shared with the live
+collector (`repro.obs.stream`): a run model built from the live event
+stream is byte-identical to one merged post-hoc from shard files.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .export import read_jsonl, write_jsonl
@@ -49,17 +56,91 @@ def merge_metric_snapshots(
                 if snap.get("value") is not None:
                     have["value"] = snap["value"]
             elif kind == "histogram":
-                count = _num(have.get("count")) + _num(snap.get("count"))
-                total = _num(have.get("sum")) + _num(snap.get("sum"))
-                have.update(
-                    count=count,
-                    sum=total,
-                    min=_extreme(have.get("min"), snap.get("min"), min),
-                    max=_extreme(have.get("max"), snap.get("max"), max),
-                    mean=(total / count) if count else None,
-                    p50=None, p90=None, p99=None,
-                )
+                _merge_histogram(have, snap)
     return merged
+
+
+def _merge_histogram(have: Dict[str, object], snap: Dict[str, object]) -> None:
+    count = _num(have.get("count")) + _num(snap.get("count"))
+    total = _num(have.get("sum")) + _num(snap.get("sum"))
+    lo = _extreme(have.get("min"), snap.get("min"), min)
+    hi = _extreme(have.get("max"), snap.get("max"), max)
+    buckets: Optional[List[List[object]]] = None
+    if isinstance(have.get("buckets"), list) and isinstance(snap.get("buckets"), list):
+        buckets = _merge_buckets(have["buckets"], snap["buckets"])
+    have.update(
+        count=count,
+        sum=total,
+        min=lo,
+        max=hi,
+        mean=(total / count) if count else None,
+        p50=_bucket_percentile(buckets, 50.0, lo, hi),
+        p90=_bucket_percentile(buckets, 90.0, lo, hi),
+        p99=_bucket_percentile(buckets, 99.0, lo, hi),
+    )
+    if buckets is not None:
+        have["buckets"] = buckets
+    else:
+        # Mixed with-buckets/without-buckets inputs: without the full
+        # vector the merged distribution is unknown, drop it.
+        have.pop("buckets", None)
+
+
+def _merge_buckets(
+    a: List[object], b: List[object],
+) -> List[List[object]]:
+    """Sum two ``[upper_bound, count]`` vectors (None bound = overflow)."""
+    combined: Dict[Optional[float], int] = {}
+    for pairs in (a, b):
+        for pair in pairs:
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                continue
+            bound, count = pair
+            key = None if bound is None else float(bound)
+            combined[key] = combined.get(key, 0) + int(_num(count))
+    ordered: List[List[object]] = [
+        [bound, combined[bound]]
+        for bound in sorted(k for k in combined if k is not None)
+    ]
+    if None in combined:
+        ordered.append([None, combined[None]])
+    return ordered
+
+
+def _bucket_percentile(
+    buckets: Optional[List[List[object]]],
+    p: float,
+    lo: Optional[float],
+    hi: Optional[float],
+) -> Optional[float]:
+    """Nearest-rank percentile over summed buckets, clamped to [lo, hi].
+
+    The answer is the upper bound of the bucket holding the rank — an
+    over-estimate by at most one bucket width, pulled back into the
+    exact observed range (min/max merge losslessly, so the clamp is
+    tight at the tails).
+    """
+    if not buckets:
+        return None
+    total = sum(int(_num(count)) for _, count in buckets)
+    if total <= 0:
+        return None
+    rank = max(1, math.ceil(p / 100.0 * total))
+    value: Optional[float] = None
+    cumulative = 0
+    for bound, count in buckets:
+        cumulative += int(_num(count))
+        if cumulative >= rank:
+            value = None if bound is None else float(bound)
+            break
+    if value is None:  # overflow bucket: best answer is the exact max
+        value = hi if isinstance(hi, (int, float)) else None
+        return value
+    if isinstance(lo, (int, float)):
+        value = max(value, float(lo))
+    if isinstance(hi, (int, float)):
+        value = min(value, float(hi))
+    return value
 
 
 def _num(value: object) -> float:
@@ -94,6 +175,32 @@ def merge_shard_records(
     return spans, merge_metric_snapshots(snapshots)
 
 
+def assemble_run(
+    manifest: Dict[str, object],
+    shards: Iterable[List[Dict[str, object]]],
+    dropped_events: int = 0,
+) -> List[Dict[str, object]]:
+    """One schema-v1 record sequence from per-job shard record lists.
+
+    The single assembly path shared by the post-hoc `merge_shards` and
+    the live collector (`repro.obs.stream.TelemetryCollector`) — which
+    is what makes a live-collected run model byte-identical to the
+    shard merge of the same run.  ``dropped_events`` > 0 surfaces as a
+    ``telemetry.dropped_events`` counter in the merged metrics record;
+    it is omitted when zero so clean runs are unaffected.
+    """
+    spans, metrics = merge_shard_records(shards)
+    if dropped_events:
+        metrics["telemetry.dropped_events"] = {
+            "kind": "counter",
+            "value": float(dropped_events),
+        }
+    records: List[Dict[str, object]] = [manifest, *spans]
+    if metrics:
+        records.append({"type": "metrics", "metrics": metrics})
+    return records
+
+
 def merge_shards(
     paths: Iterable[str],
     manifest: Dict[str, object],
@@ -101,18 +208,21 @@ def merge_shards(
 ) -> int:
     """Merge shard files into one schema-v1 run file; records written.
 
-    Missing shard files are tolerated (a crashed job may never have
-    written one); malformed lines are skipped, matching the tolerant
-    reader the analysis layer uses.
+    Tolerates the debris a crashed or killed worker leaves behind:
+    missing shard files are skipped (the job may never have started
+    writing one), and partial/truncated lines — including a half-flushed
+    final line with broken UTF-8 — are dropped per line and counted
+    into a ``telemetry.dropped_events`` counter rather than poisoning
+    the merged run.
     """
     shards: List[List[Dict[str, object]]] = []
+    dropped = 0
     for path in paths:
         try:
-            shards.append(read_jsonl(path, strict=False))
+            records, bad_lines = read_jsonl(path, strict=False,
+                                            return_errors=True)
         except OSError:
             continue
-    spans, metrics = merge_shard_records(shards)
-    records: List[Dict[str, object]] = [manifest, *spans]
-    if metrics:
-        records.append({"type": "metrics", "metrics": metrics})
-    return write_jsonl(out_path, records)
+        shards.append(records)
+        dropped += len(bad_lines)
+    return write_jsonl(out_path, assemble_run(manifest, shards, dropped))

@@ -98,11 +98,26 @@ class Tracer:
 
     Not thread-safe by design: the CAD flow is single-threaded and the
     null default makes cross-thread use a non-issue for library users.
+
+    Cross-process trace context: a batch supervisor hands each worker
+    a ``span_prefix`` (making span ids globally unique, e.g.
+    ``"j3.s1"``) and a ``root_parent_id`` (linking the worker's root
+    spans under the supervisor's batch span), so the span ids of a
+    multi-process run form one consistent tree.  Both default to the
+    single-process behaviour ("s1", parentless roots).
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        span_prefix: str = "",
+        root_parent_id: Optional[str] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_prefix = span_prefix
+        self.root_parent_id = root_parent_id
         self.roots: List[Span] = []
         self._stack: List[Span] = []
         self._next = 0
@@ -111,30 +126,39 @@ class Tracer:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
 
-    @contextlib.contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[Span]:
-        """Open a child span of the current span (or a new root)."""
+    def _open(self, name: str, attrs: Dict[str, object]) -> Span:
+        """Create, register and push a new span (subclass hook)."""
         self._next += 1
         parent = self._stack[-1] if self._stack else None
         span = Span(
             name=name,
-            span_id=f"s{self._next}",
-            parent_id=parent.span_id if parent else None,
+            span_id=f"{self.span_prefix}s{self._next}",
+            parent_id=parent.span_id if parent else self.root_parent_id,
             attrs=dict(attrs),
             start_time=time.time(),
             start_s=time.perf_counter(),
         )
         (parent.children if parent else self.roots).append(span)
         self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        """Finalise and pop the innermost span (subclass hook)."""
+        span.end_s = time.perf_counter()
+        span.peak_rss_kb = peak_rss_kb()
+        self._stack.pop()
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a child span of the current span (or a new root)."""
+        span = self._open(name, attrs)
         try:
             yield span
         except BaseException:
             span.status = "error"
             raise
         finally:
-            span.end_s = time.perf_counter()
-            span.peak_rss_kb = peak_rss_kb()
-            self._stack.pop()
+            self._close(span)
 
     def iter_spans(self) -> Iterator[Span]:
         """All finished-or-open spans, depth-first in start order."""

@@ -31,15 +31,27 @@ identical merged-telemetry structure.
 from __future__ import annotations
 
 import dataclasses
+import json
 import multiprocessing
 import os
 import tempfile
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..obs import SCHEMA_VERSION, get_logger, kv, merge_shards, run_manifest
+from ..obs import (
+    SCHEMA_VERSION,
+    EventPublisher,
+    LiveDisplay,
+    TelemetryCollector,
+    TraceContext,
+    get_logger,
+    get_tracer,
+    kv,
+    merge_shards,
+    run_manifest,
+)
 from .spec import BatchSpec, JobResult, JobSpec
-from .worker import job_process_main, prewarm_job, run_job
+from .worker import finish_job_stream, job_process_main, prewarm_job, run_job
 
 _log = get_logger("runner.executor")
 
@@ -59,6 +71,11 @@ class BatchResult:
         metrics_path: Merged schema-v1 run file, when telemetry was
             requested.
         shard_dir: Where per-job shards/results were written.
+        collector: The live `TelemetryCollector`, when ``live`` was on.
+        stream_identical: Whether the live-collected run model matched
+            the post-hoc shard merge byte for byte (None when the
+            comparison didn't run — needs both ``live`` and
+            ``metrics_out``).
     """
 
     results: List[JobResult]
@@ -66,6 +83,8 @@ class BatchResult:
     workers: int
     metrics_path: Optional[str] = None
     shard_dir: Optional[str] = None
+    collector: Optional[TelemetryCollector] = None
+    stream_identical: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -124,17 +143,44 @@ def _read_result(path: str) -> Optional[JobResult]:
     return JobResult.from_dict(records[0]) if records else None
 
 
+def _job_trace(trace_id: str, parent_span_id: Optional[str],
+               index: int) -> TraceContext:
+    """Span-identity context for job ``index`` — always applied, live
+    or not, so span ids never depend on whether anyone is watching."""
+    return TraceContext(trace_id=trace_id, parent_span_id=parent_span_id,
+                        span_prefix=f"j{index}.")
+
+
 def _run_serial(
     spec: BatchSpec,
     shard_dir: str,
     progress: Optional[Callable[[JobResult, int, int], None]],
+    trace_id: str,
+    parent_span_id: Optional[str],
+    collector: Optional[TelemetryCollector] = None,
+    display: Optional[LiveDisplay] = None,
+    profile: bool = False,
+    heartbeat_s: float = 0.2,
 ) -> List[JobResult]:
+    # In-process streaming goes through a thread-safe local queue (the
+    # heartbeat daemon is the second producer) pumped between jobs —
+    # workers=1 gets the same event plane, just with coarser refresh.
+    import queue as queue_mod
+
+    sink = queue_mod.Queue() if collector is not None else None
     results: List[JobResult] = []
     for index, job in enumerate(spec.jobs):
-        attempt, result = 1, None
+        trace = _job_trace(trace_id, parent_span_id, index)
+        attempt, result, publisher = 1, None, None
         while True:
+            if collector is not None:
+                collector.expect(job.key, index)
+                publisher = EventPublisher(sink, job=job.key, index=index)
             try:
-                result, records = run_job(job, attempt=attempt)
+                result, records = run_job(job, attempt=attempt, trace=trace,
+                                          publisher=publisher,
+                                          profile=profile,
+                                          heartbeat_s=heartbeat_s)
             except SystemExit:
                 # In-process stand-in for a worker crash (fault
                 # injection); honour the retry budget like the pool.
@@ -150,6 +196,13 @@ def _run_serial(
         from ..obs import write_jsonl
 
         write_jsonl(_shard_path(shard_dir, index), records or [])
+        if records:
+            finish_job_stream(publisher, result, records)
+        if collector is not None:
+            collector.pump(sink)
+            collector.mark_done(job.key, result.status)
+            if display is not None:
+                display.tick(collector)
         results.append(result)
         if progress is not None:
             progress(result, index + 1, len(spec.jobs))
@@ -161,8 +214,17 @@ def _run_pool(
     shard_dir: str,
     workers: int,
     progress: Optional[Callable[[JobResult, int, int], None]],
+    trace_id: str,
+    parent_span_id: Optional[str],
+    collector: Optional[TelemetryCollector] = None,
+    display: Optional[LiveDisplay] = None,
+    profile: bool = False,
+    heartbeat_s: float = 0.2,
+    stall_after_s: Optional[float] = None,
+    stall_kill: bool = False,
 ) -> List[JobResult]:
     ctx = _mp_context()
+    event_queue = ctx.Queue() if collector is not None else None
     pending: List[Tuple[int, JobSpec, int]] = [
         (index, job, 1) for index, job in enumerate(spec.jobs)
     ]
@@ -172,15 +234,21 @@ def _run_pool(
     done = 0
 
     def launch(index: int, job: JobSpec, attempt: int) -> None:
+        trace = _job_trace(trace_id, parent_span_id, index)
         process = ctx.Process(
             target=job_process_main,
             args=(job.to_dict(), attempt,
                   _result_path(shard_dir, index), _shard_path(shard_dir, index)),
+            kwargs={"trace_doc": trace.to_dict(), "event_queue": event_queue,
+                    "profile": profile, "heartbeat_s": heartbeat_s,
+                    "index": index},
             daemon=True,
         )
         process.start()
         now = time.perf_counter()
         deadline = now + spec.timeout_s if spec.timeout_s is not None else None
+        if collector is not None:
+            collector.expect(job.key, index)
         running.append(_Attempt(index=index, spec=job, attempt=attempt,
                                 process=process, started=now, deadline=deadline))
 
@@ -196,15 +264,34 @@ def _run_pool(
             result = JobResult(key=attempt.spec.key, status=failure,
                                error=error, attempts=attempt.attempt,
                                wall_s=time.perf_counter() - attempt.started)
+        if collector is not None:
+            collector.mark_done(attempt.spec.key, result.status)
         results[attempt.index] = result
         done += 1
         if progress is not None:
             progress(result, done, len(spec.jobs))
 
+    def soft_kill(attempt: _Attempt, failure: str, error: str) -> None:
+        process = attempt.process
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():  # pragma: no cover - stubborn child
+            process.kill()
+            process.join()
+        settle(attempt, None, failure, error)
+
     while pending or running:
         while pending and len(running) < workers:
             launch(*pending.pop())
         time.sleep(_POLL_S)
+        stalled_keys: set = set()
+        if collector is not None:
+            collector.pump(event_queue)
+            if stall_after_s is not None:
+                stalled_keys = {state.key
+                                for state in collector.stalled(stall_after_s)}
+            if display is not None:
+                display.tick(collector)
         still_running: List[_Attempt] = []
         for attempt in running:
             process = attempt.process
@@ -218,16 +305,23 @@ def _run_pool(
                            f"worker exited with code {process.exitcode} "
                            "before writing a result")
             elif attempt.deadline is not None and time.perf_counter() > attempt.deadline:
-                process.terminate()
-                process.join(1.0)
-                if process.is_alive():  # pragma: no cover - stubborn child
-                    process.kill()
-                    process.join()
-                settle(attempt, None, "timeout",
-                       f"job exceeded timeout of {spec.timeout_s:g}s")
+                soft_kill(attempt, "timeout",
+                          f"job exceeded timeout of {spec.timeout_s:g}s")
+            elif stall_kill and attempt.spec.key in stalled_keys:
+                _log.info("stall-killing job %s",
+                          kv(job=attempt.spec.key,
+                             silent_s=round(stall_after_s, 3)))
+                soft_kill(attempt, "stalled",
+                          f"no telemetry heartbeat for {stall_after_s:g}s "
+                          "(soft-killed before the hard timeout)")
             else:
                 still_running.append(attempt)
         running = still_running
+    if collector is not None:
+        # Late events (a bye racing the process exit) are still queued.
+        collector.pump(event_queue)
+        if display is not None:
+            display.tick(collector, force=True)
     return [results[index] for index in range(len(spec.jobs))]
 
 
@@ -239,6 +333,12 @@ def run_batch(
     manifest_extra: Optional[Dict[str, object]] = None,
     progress: Optional[Callable[[JobResult, int, int], None]] = None,
     prewarm: bool = True,
+    live: bool = False,
+    profile: bool = False,
+    display: Optional[LiveDisplay] = None,
+    heartbeat_s: float = 0.2,
+    stall_after_s: Optional[float] = None,
+    stall_kill: bool = False,
 ) -> BatchResult:
     """Execute a batch; results come back in spec order.
 
@@ -253,6 +353,16 @@ def run_batch(
         prewarm: Build netlists/packings/fixed-width fabrics in the
             parent before launching workers (fork platforms inherit
             them; harmless elsewhere).
+        live: Stream worker telemetry to a supervisor-side
+            `TelemetryCollector` (returned on the result) and refresh
+            a `LiveDisplay` while jobs run.
+        profile: Attach the sampling profiler to every job's root span.
+        display: Live view override (defaults to stderr when ``live``).
+        heartbeat_s: Worker heartbeat interval.
+        stall_after_s: Flag a worker whose stream has been silent this
+            long; with ``stall_kill`` it is terminated with status
+            ``"stalled"`` instead of waiting for the hard timeout.
+        stall_kill: Soft-kill flagged stalled workers (pool mode only).
     """
     workers = spec.workers if workers is None else workers
     if workers < 1:
@@ -261,6 +371,9 @@ def run_batch(
     if shard_dir is None:
         shard_dir = tempfile.mkdtemp(prefix="repro-batch-")
     os.makedirs(shard_dir, exist_ok=True)
+    collector = TelemetryCollector() if live else None
+    if live and display is None:
+        display = LiveDisplay(stall_after_s=stall_after_s)
 
     start = time.perf_counter()
     if prewarm:
@@ -272,14 +385,29 @@ def run_batch(
             seen.add(warm_key)
             prewarm_job(job)
     _log.info("batch start %s", kv(jobs=len(spec.jobs), workers=workers,
-                                   shard_dir=shard_dir))
-    if workers == 1:
-        results = _run_serial(spec, shard_dir, progress)
-    else:
-        results = _run_pool(spec, shard_dir, workers, progress)
+                                   shard_dir=shard_dir, live=live))
+    trace_id = f"batch-{spec.digest[:12]}"
+    with get_tracer().span("batch.run", trace=trace_id, jobs=len(spec.jobs),
+                           workers=workers) as batch_span:
+        parent_span_id = batch_span.span_id
+        if workers == 1:
+            results = _run_serial(spec, shard_dir, progress,
+                                  trace_id, parent_span_id,
+                                  collector=collector, display=display,
+                                  profile=profile, heartbeat_s=heartbeat_s)
+        else:
+            results = _run_pool(spec, shard_dir, workers, progress,
+                                trace_id, parent_span_id,
+                                collector=collector, display=display,
+                                profile=profile, heartbeat_s=heartbeat_s,
+                                stall_after_s=stall_after_s,
+                                stall_kill=stall_kill)
     wall_s = time.perf_counter() - start
+    if display is not None and collector is not None:
+        display.close(collector)
 
     metrics_path = None
+    stream_identical = None
     if metrics_out:
         manifest = run_manifest(extra={
             "batch": {
@@ -293,10 +421,40 @@ def run_batch(
         shard_paths = [_shard_path(shard_dir, i) for i in range(len(spec.jobs))]
         merge_shards(shard_paths, manifest, metrics_out)
         metrics_path = metrics_out
+        if collector is not None:
+            stream_identical = _stream_matches_merge(
+                collector, manifest, [job.key for job in spec.jobs],
+                metrics_out)
+            if not stream_identical:
+                _log.info("live stream diverged from shard merge %s",
+                          kv(path=metrics_out))
     _log.info("batch done %s", kv(jobs=len(spec.jobs), wall_s=round(wall_s, 3),
                                   ok=sum(r.ok for r in results)))
     return BatchResult(results=results, wall_s=wall_s, workers=workers,
-                       metrics_path=metrics_path, shard_dir=shard_dir)
+                       metrics_path=metrics_path, shard_dir=shard_dir,
+                       collector=collector, stream_identical=stream_identical)
+
+
+def _stream_matches_merge(collector: TelemetryCollector,
+                          manifest: Dict[str, object],
+                          job_keys: List[str],
+                          merged_path: str) -> bool:
+    """Byte-compare the live run model against the merged shard file.
+
+    Both sides assemble through `repro.obs.shards.assemble_run` and
+    serialise with the same sorted-key dumps, so on a healthy run this
+    is an equality of identical pipelines — any divergence (dropped
+    events, a bye/shard race) is a real observability bug or loss,
+    surfaced via `BatchResult.stream_identical`.
+    """
+    live_lines = [json.dumps(record, sort_keys=True)
+                  for record in collector.run_records(manifest, job_keys)]
+    try:
+        with open(merged_path, "r", encoding="utf-8") as handle:
+            file_lines = [line.rstrip("\n") for line in handle if line.strip()]
+    except OSError:  # pragma: no cover - we just wrote it
+        return False
+    return live_lines == file_lines
 
 
 # Re-exported for manifest consumers (`repro batch --json` embeds it).

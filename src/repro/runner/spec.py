@@ -74,8 +74,10 @@ class JobSpec:
             pairs (e.g. ``(("segment_length", 4),)``).
         fault: Test instrumentation only — workers honour ``"crash"``
             (die without a result), ``"crash-first"`` (die on the
-            first attempt only), ``"hang"`` (sleep past any timeout)
-            and ``"fail"`` (raise inside the job).  Never set in
+            first attempt only), ``"hang"`` (sleep past any timeout),
+            ``"stall"`` (keep running but silence all telemetry,
+            exercising heartbeat-based stall detection) and
+            ``"fail"`` (raise inside the job).  Never set in
             production specs.
         defect_rate: When set, the job flows clean, then injects a
             seeded fault campaign at this per-switch rate and runs the
@@ -297,7 +299,8 @@ class JobResult:
     Attributes:
         key: The producing `JobSpec.key`.
         status: ``ok`` / ``unroutable`` / ``error`` / ``timeout`` /
-            ``crashed``.
+            ``crashed`` / ``stalled`` (heartbeat-silent worker soft-
+            killed by the supervisor before its hard timeout).
         qor: Quality-of-result scalars (wirelength, iterations,
             channel_width, critical_path_s, ...).  Deterministic for a
             given spec — the determinism suite compares these exactly.

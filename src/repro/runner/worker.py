@@ -32,10 +32,18 @@ from typing import Dict, Optional, Tuple
 
 from ..arch.params import ArchParams
 from ..obs import (
+    EventPublisher,
+    HeartbeatThread,
     MetricsRegistry,
+    NULL_PUBLISHER,
+    StreamingTracer,
+    TraceContext,
     Tracer,
+    get_publisher,
     get_tracer,
+    profiled,
     telemetry_records,
+    use_publisher,
     use_registry,
     use_tracer,
     write_jsonl,
@@ -132,6 +140,13 @@ def _inject_fault(spec: JobSpec, attempt: int) -> None:
         # path can intercept it without dying.
         raise SystemExit(87)
     if spec.fault == "hang":
+        time.sleep(3600.0)
+    if spec.fault == "stall":
+        # A live-but-silent worker: the process keeps running (so the
+        # pool sees a healthy child) while every event — including the
+        # heartbeat thread's — goes mute.  Only heartbeat-age stall
+        # detection can catch this before the hard timeout.
+        get_publisher().silence()
         time.sleep(3600.0)
     if spec.fault == "fail":
         raise RuntimeError(f"injected fault for {spec.key}")
@@ -249,47 +264,109 @@ def _execute(spec: JobSpec, attempt: int) -> JobResult:
                      attempts=attempt)
 
 
-def run_job(spec: JobSpec, attempt: int = 1):
+def run_job(spec: JobSpec, attempt: int = 1,
+            trace: Optional[TraceContext] = None,
+            publisher=None, profile: bool = False,
+            heartbeat_s: float = 0.2):
     """Execute one job under job-local telemetry.
 
     Returns ``(JobResult, shard records)`` where the records are the
     job's span trees plus its metrics snapshot — exactly one shard's
     content, without a manifest (the batch driver owns the manifest).
+
+    Args:
+        trace: Cross-process span-identity context from the batch
+            supervisor.  Applied whether or not streaming is on, so
+            span ids are identical either way.
+        publisher: Live `EventPublisher` (default: the inert null).
+            When enabled, the job emits ``hello``, streams every span
+            through a `StreamingTracer`, and ticks heartbeats from a
+            daemon thread for the duration.  The terminal ``bye`` is
+            the *caller's* job, once the shard is durably written —
+            ``bye`` received must imply the shard exists.
+        profile: Attach a sampling profiler to the job's root span
+            (collapsed stacks land in the span's ``profile`` attr).
     """
-    tracer = Tracer()
+    publisher = NULL_PUBLISHER if publisher is None else publisher
+    if trace is not None:
+        tracer = trace.make_tracer(publisher if publisher.enabled else None)
+    elif publisher.enabled:
+        tracer = StreamingTracer(publisher)
+    else:
+        tracer = Tracer()
     registry = MetricsRegistry()
     start = time.perf_counter()
-    with use_tracer(tracer), use_registry(registry):
-        with tracer.span("batch.job", job=spec.key, circuit=spec.circuit,
-                         variant=spec.variant, seed=spec.seed,
-                         attempt=attempt) as span:
-            try:
-                result = _execute(spec, attempt)
-            except Exception as exc:  # noqa: BLE001 - jobs must not kill the batch
-                result = JobResult(
-                    key=spec.key, status="error", attempts=attempt,
-                    error=f"{type(exc).__name__}: {exc}\n"
-                          f"{traceback.format_exc(limit=8)}",
-                )
-            span.set_many(status=result.status,
-                          wirelength=result.qor.get("wirelength"))
+    heartbeat = None
+    if publisher.enabled:
+        publisher.hello(attempt=attempt)
+        heartbeat = HeartbeatThread(publisher, tracer, interval_s=heartbeat_s)
+        heartbeat.start()
+    try:
+        with use_tracer(tracer), use_registry(registry), \
+                use_publisher(publisher):
+            with tracer.span("batch.job", job=spec.key, circuit=spec.circuit,
+                             variant=spec.variant, seed=spec.seed,
+                             attempt=attempt) as span:
+                with profiled(span, enabled=profile):
+                    try:
+                        result = _execute(spec, attempt)
+                    except Exception as exc:  # noqa: BLE001 - jobs must not kill the batch
+                        result = JobResult(
+                            key=spec.key, status="error", attempts=attempt,
+                            error=f"{type(exc).__name__}: {exc}\n"
+                                  f"{traceback.format_exc(limit=8)}",
+                        )
+                span.set_many(status=result.status,
+                              wirelength=result.qor.get("wirelength"))
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
     result.wall_s = time.perf_counter() - start
     records = telemetry_records(manifest=None, tracer=tracer, registry=registry)
     return result, records
 
 
+def finish_job_stream(publisher, result: JobResult,
+                      records) -> None:
+    """Emit the terminal ``bye`` for a streamed job.
+
+    Called after the shard content is durable.  The metrics payload is
+    the exact snapshot embedded in the shard records, so the collector
+    ends up holding byte-for-byte what the shard file holds.
+    """
+    if publisher is None or not publisher.enabled:
+        return
+    snapshot = None
+    for record in records or []:
+        if record.get("type") == "metrics":
+            snapshot = record.get("metrics")
+    publisher.bye(status=result.status, metrics=snapshot)
+
+
 def job_process_main(spec_doc: Dict[str, object], attempt: int,
-                     result_path: str, shard_path: str) -> None:
+                     result_path: str, shard_path: str,
+                     trace_doc: Optional[Dict[str, object]] = None,
+                     event_queue=None, profile: bool = False,
+                     heartbeat_s: float = 0.2, index: int = -1) -> None:
     """Subprocess entry: run the job, write result + shard, exit.
 
     The shard is written before the result: the executor treats the
     result file's existence as the job's commit point, so a crash
     between the two writes reads as a crashed attempt (and the retry
-    overwrites both files), never as a half-reported success.
+    overwrites both files), never as a half-reported success.  The
+    stream's ``bye`` goes out after the shard write for the same
+    reason — a ``bye`` the collector sees guarantees a shard on disk.
     """
     spec = JobSpec.from_dict(spec_doc)
-    result, records = run_job(spec, attempt=attempt)
+    trace = TraceContext.from_dict(trace_doc) if trace_doc else None
+    publisher = None
+    if event_queue is not None:
+        publisher = EventPublisher(event_queue, job=spec.key, index=index)
+    result, records = run_job(spec, attempt=attempt, trace=trace,
+                              publisher=publisher, profile=profile,
+                              heartbeat_s=heartbeat_s)
     write_jsonl(shard_path, records)
+    finish_job_stream(publisher, result, records)
     tmp_path = f"{result_path}.tmp"
     write_jsonl(tmp_path, [result.to_dict()])
     os.replace(tmp_path, result_path)

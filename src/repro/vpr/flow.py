@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..arch.params import ArchParams
 from ..fabric import FabricIR, get_fabric
 from ..netlist.core import Netlist
-from ..obs import get_logger, get_tracer, kv
+from ..obs import get_logger, get_publisher, get_tracer, kv
 from .pack import ClusteredNetlist, pack
 from .place import Placement, place
 from .route import PathFinderRouter, RoutingResult, build_route_nets, route_design
@@ -87,6 +87,7 @@ def find_min_channel_width(
             "Wmin search needs a provider (FaultCampaign or callable) that "
             "re-samples defects per probed width")
     tracer = get_tracer()
+    pub = get_publisher()
     with tracer.span("flow.wmin_search", start=start, max_width=max_width) as span:
         probes = 0
         # Phase 1: find a routable upper bound.
@@ -102,6 +103,9 @@ def find_min_channel_width(
                 )
                 probe.set("success", result.success)
             _log.debug("wmin probe %s", kv(width=width, success=result.success))
+            if pub.enabled:
+                pub.progress("flow.wmin_probe", width=width, phase="double",
+                             success=result.success, probes=probes)
             if result.success:
                 success = (width, result, graph)
                 break
@@ -122,6 +126,9 @@ def find_min_channel_width(
                 )
                 probe.set("success", result.success)
             _log.debug("wmin probe %s", kv(width=mid, success=result.success))
+            if pub.enabled:
+                pub.progress("flow.wmin_probe", width=mid, phase="bisect",
+                             success=result.success, probes=probes)
             if result.success:
                 hi, best_result, best_graph = mid, result, graph
             else:

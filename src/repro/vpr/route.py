@@ -29,7 +29,7 @@ from ..fabric import (
     get_fabric,
 )
 from ..netlist.core import BlockType
-from ..obs import get_logger, get_registry, get_tracer, kv
+from ..obs import get_logger, get_publisher, get_registry, get_tracer, kv
 from .place import Placement
 
 _log = get_logger("vpr.route")
@@ -470,6 +470,9 @@ class PathFinderRouter:
             for tree in fixed_trees.values():
                 self._occupy(tree, +1)
         crit_of = criticality or {}
+        # Hoisted out of the iteration loop: the disabled (null) path
+        # costs one attribute check per iteration, nothing more.
+        pub = get_publisher()
         order = sorted(nets, key=lambda n: (-len(n.sink_tiles), n.name))
         if criticality:
             # Critical nets route first so they get the short paths.
@@ -580,6 +583,10 @@ class PathFinderRouter:
             _log.debug("route iter %s", kv(
                 iteration=iteration, overused=len(overused), pres_fac=pres_fac,
                 wirelength=wirelength, rerouted=len(to_route)))
+            if pub.enabled:
+                pub.progress("route.iteration", iteration=iteration,
+                             overused=len(overused), wirelength=wirelength,
+                             rerouted=len(to_route))
             if not overused:
                 return RoutingResult(
                     success=True,

@@ -1,0 +1,101 @@
+"""Tests for repro.obs.live: pure rendering + display refresh policy."""
+
+import io
+
+from repro.obs.live import (
+    LiveDisplay,
+    format_age,
+    format_rss,
+    progress_summary,
+    render_rows,
+)
+from repro.obs.stream import EVENT_SCHEMA_VERSION, TelemetryCollector
+
+
+def _collector_with(*events):
+    collector = TelemetryCollector()
+    for event in events:
+        collector.handle(event)
+    return collector
+
+
+def _hello(job, seq=1, **extra):
+    return {"ev": "hello", "job": job, "seq": seq,
+            "v": EVENT_SCHEMA_VERSION, **extra}
+
+
+class TestFormatters:
+    def test_format_age(self):
+        assert format_age(0.31) == "0.3s"
+        assert format_age(42.0) == "42s"
+        assert format_age(600.0) == "10m"
+
+    def test_format_rss(self):
+        assert format_rss(None) == "-"
+        assert format_rss(0) == "-"
+        assert format_rss(51200) == "50M"
+
+    def test_progress_summary_priority(self):
+        collector = _collector_with(
+            _hello("j"),
+            {"ev": "progress", "job": "j", "seq": 2, "kind": "route.iteration",
+             "iteration": 7, "overused": 12},
+        )
+        state = collector.jobs["j"]
+        assert progress_summary(state) == "iter 7 overuse 12"
+        # A repair rung outranks routing progress once it appears.
+        collector.handle({"ev": "progress", "job": "j", "seq": 3,
+                          "kind": "repair.stage", "stage": "incremental",
+                          "nets_ripped": 4})
+        assert progress_summary(state) == "repair:incremental ripped=4"
+
+
+class TestRenderRows:
+    def test_rows_in_spec_order_with_footer(self):
+        collector = TelemetryCollector()
+        collector.expect("b-job", index=1)
+        collector.expect("a-job", index=0)
+        lines = render_rows(collector, now=0.0)
+        assert lines[0].startswith("job")
+        assert lines[1].startswith("a-job") and lines[2].startswith("b-job")
+        assert lines[-1] == "[0/2 done, 0 events dropped]"
+
+    def test_stalled_flag_and_done_suppression(self):
+        collector = _collector_with(_hello("slow"), _hello("fast", seq=1),
+                                    {"ev": "bye", "job": "fast", "seq": 2,
+                                     "status": "ok"})
+        now = collector.jobs["slow"].last_seen + 30.0
+        lines = render_rows(collector, stall_after_s=5.0, now=now)
+        slow_line = next(l for l in lines if l.startswith("slow"))
+        fast_line = next(l for l in lines if l.startswith("fast"))
+        assert "STALLED?" in slow_line
+        # Finished jobs never stall, whatever their age.
+        assert "STALLED?" not in fast_line and "ok" in fast_line
+
+    def test_dropped_events_surface_in_footer(self):
+        collector = _collector_with(
+            _hello("j"), {"ev": "heartbeat", "job": "j", "seq": 9})
+        assert "7 events dropped" in render_rows(collector, now=0.0)[-1]
+
+
+class TestLiveDisplay:
+    def test_non_tty_interval_floored_and_rate_limited(self):
+        stream = io.StringIO()
+        display = LiveDisplay(stream=stream, interval_s=0.25)
+        assert display.interval_s == LiveDisplay.NON_TTY_MIN_INTERVAL_S
+        collector = _collector_with(_hello("j"))
+        assert display.tick(collector)
+        assert not display.tick(collector)  # within the interval
+        assert display.tick(collector, force=True)
+        frames = stream.getvalue()
+        assert frames.count("[0/1 done") == 2
+        assert "\x1b[" not in frames  # plain text off-TTY
+
+    def test_close_always_draws_final_frame(self):
+        stream = io.StringIO()
+        display = LiveDisplay(stream=stream)
+        collector = _collector_with(
+            _hello("j"), {"ev": "bye", "job": "j", "seq": 2, "status": "ok"})
+        display.tick(collector, force=True)
+        display.close(collector)
+        assert stream.getvalue().count("[1/1 done") == 2

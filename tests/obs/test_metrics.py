@@ -81,7 +81,20 @@ class TestHistogram:
         assert snap["kind"] == "histogram"
         assert set(snap) == {
             "kind", "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+            "buckets",
         }
+
+    def test_snapshot_buckets_cover_observations(self):
+        h = Histogram("x")
+        for v in (0.3, 0.6, 3.0, 3.5, 1e12):
+            h.observe(v)
+        snap = h.snapshot()
+        # Sparse [upper_bound, count] pairs; counts add up to count and
+        # every observation falls at or below its bucket's bound (None
+        # is the overflow bucket).
+        assert sum(c for _, c in snap["buckets"]) == 5
+        bounds = [b for b, _ in snap["buckets"]]
+        assert bounds == sorted(bounds, key=lambda b: float("inf") if b is None else b)
 
 
 class TestRegistry:

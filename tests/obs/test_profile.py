@@ -1,0 +1,102 @@
+"""Tests for repro.obs.profile: the dependency-free sampling profiler."""
+
+import sys
+import time
+
+from repro.obs.profile import (
+    MAX_DEPTH,
+    Profiler,
+    collapse_frame,
+    merge_profiles,
+    profiled,
+)
+from repro.obs.trace import Tracer
+
+
+def _leaf_frame():
+    return sys._getframe()
+
+
+def _mid_frame():
+    return _leaf_frame()
+
+
+class TestCollapseFrame:
+    def test_root_first_semicolon_joined(self):
+        stack = collapse_frame(_mid_frame())
+        frames = stack.split(";")
+        # Leaf-most entries come last, rooted at the interpreter entry.
+        assert frames[-1] == "test_profile.py:_leaf_frame"
+        assert frames[-2] == "test_profile.py:_mid_frame"
+
+    def test_deep_stack_truncates_keeping_leaf(self):
+        def recurse(n):
+            if n == 0:
+                return collapse_frame(sys._getframe())
+            return recurse(n - 1)
+
+        stack = recurse(MAX_DEPTH * 2)
+        frames = stack.split(";")
+        assert len(frames) <= MAX_DEPTH + 1
+        assert frames[-1] == "test_profile.py:recurse"
+
+
+def _burn(deadline_s=0.3):
+    end = time.perf_counter() + deadline_s
+    x = 0
+    while time.perf_counter() < end:
+        x += sum(i * i for i in range(200))
+    return x
+
+
+class TestProfiler:
+    def test_thread_backend_samples_busy_main_thread(self):
+        profiler = Profiler(interval_s=0.005, backend="thread")
+        profiler.start()
+        try:
+            _burn()
+        finally:
+            profiler.stop()
+        attr = profiler.as_attr()
+        assert attr["backend"] == "thread"
+        assert attr["samples"] > 0
+        assert any("_burn" in stack for stack in attr["stacks"])
+
+    def test_sigprof_backend_samples_cpu_time(self):
+        profiler = Profiler(interval_s=0.005, backend="sigprof")
+        profiler.start()
+        try:
+            _burn()
+        finally:
+            profiler.stop()
+        attr = profiler.as_attr()
+        assert attr["backend"] == "sigprof"
+        assert attr["samples"] > 0
+        assert sum(attr["stacks"].values()) == attr["samples"]
+
+    def test_profiled_attaches_attr_to_span(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            with profiled(span, interval_s=0.005):
+                _burn()
+        profile = span.attrs["profile"]
+        assert profile["samples"] > 0 and profile["stacks"]
+
+    def test_profiled_disabled_is_inert(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            with profiled(span, enabled=False) as profiler:
+                pass
+        assert profiler is None
+        assert "profile" not in span.attrs
+
+
+class TestMergeProfiles:
+    def test_merge_sums_samples_and_stacks(self):
+        a = {"interval_s": 0.005, "backend": "sigprof", "samples": 3,
+             "stacks": {"m:f;m:g": 2, "m:f;m:h": 1}}
+        b = {"interval_s": 0.005, "backend": "sigprof", "samples": 2,
+             "stacks": {"m:f;m:g": 2}}
+        merged = merge_profiles([a, b])
+        assert merged["samples"] == 5
+        assert merged["stacks"] == {"m:f;m:g": 4, "m:f;m:h": 1}

@@ -1,0 +1,130 @@
+"""Tests for shard-merge robustness and bucket-percentile accuracy.
+
+Covers the two failure modes the post-hoc merge must survive: lossy
+percentile estimates when histograms cross worker boundaries (bounded
+by one power-of-two bucket width) and debris from killed workers
+(truncated / binary-garbage shard lines dropped and counted, never
+raised).
+"""
+
+import json
+import math
+
+from repro.obs import run_manifest
+from repro.obs.metrics import BUCKET_BOUNDS, Histogram
+from repro.obs.shards import merge_metric_snapshots, merge_shards
+
+
+def _snapshot(name, values):
+    h = Histogram(name)
+    for v in values:
+        h.observe(v)
+    return {name: h.snapshot()}
+
+
+def _exact_percentile(values, pct):
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _bucket_width_at(value):
+    for i, bound in enumerate(BUCKET_BOUNDS):
+        if value <= bound:
+            lower = BUCKET_BOUNDS[i - 1] if i else 0.0
+            return bound - lower
+    return float("inf")
+
+
+class TestBucketPercentileMerge:
+    def test_two_worker_merge_within_one_bucket(self):
+        # Two workers observe disjoint latency populations; the merged
+        # percentiles must land within one bucket width above the exact
+        # nearest-rank value (and never below it).
+        worker_a = [0.13 * i + 0.02 for i in range(40)]
+        worker_b = [5.0 + 0.9 * i for i in range(25)]
+        merged = merge_metric_snapshots(
+            [_snapshot("route.wall_s", worker_a),
+             _snapshot("route.wall_s", worker_b)])["route.wall_s"]
+        combined = worker_a + worker_b
+        assert merged["count"] == len(combined)
+        assert merged["min"] == min(combined)
+        assert merged["max"] == max(combined)
+        for key, pct in (("p50", 50), ("p90", 90), ("p99", 99)):
+            exact = _exact_percentile(combined, pct)
+            estimate = merged[key]
+            assert estimate is not None
+            assert exact <= estimate <= exact + _bucket_width_at(exact)
+
+    def test_merge_is_order_independent(self):
+        a, b = _snapshot("h", [0.1, 2.0, 7.0]), _snapshot("h", [0.4, 30.0])
+        ab = merge_metric_snapshots([dict(a), dict(b)])
+        ba = merge_metric_snapshots([dict(b), dict(a)])
+        assert json.dumps(ab, sort_keys=True) == json.dumps(ba, sort_keys=True)
+
+    def test_bucketless_legacy_snapshots_keep_percentiles_none(self):
+        legacy = {"h": {"kind": "histogram", "count": 3, "sum": 6.0,
+                        "min": 1.0, "max": 3.0, "mean": 2.0,
+                        "p50": 2.0, "p90": 3.0, "p99": 3.0}}
+        merged = merge_metric_snapshots([dict(legacy), _snapshot("h", [5.0])])
+        assert merged["h"]["count"] == 4
+        assert merged["h"]["p50"] is None and "buckets" not in merged["h"]
+
+
+class TestTruncatedShards:
+    def _merge(self, tmp_path, shard_texts, binary=None):
+        paths = []
+        for i, text in enumerate(shard_texts):
+            path = tmp_path / f"shard-{i}.jsonl"
+            if binary and i in binary:
+                path.write_bytes(text)
+            else:
+                path.write_text(text, encoding="utf-8")
+            paths.append(str(path))
+        out = tmp_path / "run.jsonl"
+        merge_shards(paths, run_manifest(), str(out))
+        records = [json.loads(line)
+                   for line in out.read_text(encoding="utf-8").splitlines()]
+        return records
+
+    def _span_line(self, span_id="j0.s1"):
+        return json.dumps({"type": "span", "span_id": span_id,
+                           "parent_id": None, "name": "batch.job",
+                           "start_s": 0.0, "end_s": 1.0, "status": "ok",
+                           "attrs": {}, "children": []}) + "\n"
+
+    def _dropped_counter(self, records):
+        for record in records:
+            if record.get("type") == "metrics":
+                counter = record["metrics"].get("telemetry.dropped_events")
+                if counter:
+                    return counter["value"]
+        return 0
+
+    def test_truncated_final_line_dropped_and_counted(self, tmp_path):
+        good = self._span_line()
+        truncated = self._span_line("j1.s1")[:-20]  # half-flushed write
+        records = self._merge(tmp_path, [good, truncated])
+        spans = [r for r in records if r.get("type") == "span"]
+        assert [s["span_id"] for s in spans] == ["j0.s1"]
+        assert self._dropped_counter(records) == 1
+
+    def test_binary_garbage_line_does_not_raise(self, tmp_path):
+        good = self._span_line()
+        garbage = self._span_line("j1.s1").encode()[:30] + b"\xff\xfe\x00"
+        records = self._merge(tmp_path, [good, garbage], binary={1})
+        assert self._dropped_counter(records) == 1
+
+    def test_missing_shard_file_skipped(self, tmp_path):
+        path = tmp_path / "only.jsonl"
+        path.write_text(self._span_line(), encoding="utf-8")
+        out = tmp_path / "run.jsonl"
+        merge_shards([str(path), str(tmp_path / "never-written.jsonl")],
+                     run_manifest(), str(out))
+        records = [json.loads(line)
+                   for line in out.read_text(encoding="utf-8").splitlines()]
+        assert sum(1 for r in records if r.get("type") == "span") == 1
+
+    def test_clean_run_has_no_dropped_counter(self, tmp_path):
+        records = self._merge(tmp_path, [self._span_line()])
+        assert self._dropped_counter(records) == 0
