@@ -27,6 +27,10 @@ Environment knobs:
                                each BENCH_<circuit>.json is also
                                appended as a history row (same format
                                as `repro bench-history append`)
+    REPRO_TELEMETRY_DB         path of a telemetry warehouse (sqlite);
+                               when set, the session's traced spans are
+                               also ingested as one schema-v1 run
+                               (idempotent — see `repro db`)
 """
 
 import os
@@ -103,6 +107,8 @@ BENCH_TELEMETRY = os.environ.get("REPRO_BENCH_TELEMETRY", "1") != "0"
 BENCH_TELEMETRY_DIR = os.environ.get("REPRO_BENCH_TELEMETRY_DIR", ".")
 #: When set, bench summaries are also appended to this history file.
 BENCH_HISTORY = os.environ.get("REPRO_BENCH_HISTORY", "")
+#: When set, the session run is also ingested into this warehouse.
+TELEMETRY_DB = os.environ.get("REPRO_TELEMETRY_DB", "")
 
 
 def _write_bench_telemetry(tracer: Tracer) -> None:
@@ -147,6 +153,16 @@ def _write_bench_telemetry(tracer: Tracer) -> None:
             "spans": [span_to_dict(root) for root in tracer.roots],
         },
     })
+    if TELEMETRY_DB:
+        from repro.obs import store, telemetry_records
+
+        con = store.connect(TELEMETRY_DB)
+        try:
+            store.ingest_records(
+                con, telemetry_records(manifest, tracer),
+                source="benchmarks session", label="bench")
+        finally:
+            con.close()
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -21,6 +21,9 @@ Telemetry consumers (see `repro.obs.analyze`):
 * ``repro report``        — render one ``--metrics-out`` JSONL run
 * ``repro diff``          — compare two runs, gate with ``--fail-on``
 * ``repro bench-history`` — benchmark trajectory append / regression check
+* ``repro db``            — sqlite telemetry warehouse: ingest runs, rank
+  spans across runs, plot a measurement's trajectory, and attribute an
+  end-to-end regression to the spans responsible (``db attribute``)
 
 All circuits come from the built-in suite generator; ``--scale``
 shrinks them for quick runs (see DESIGN.md Sec. 6).
@@ -527,7 +530,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers is not None else spec.workers
     live = getattr(args, "live", False)
     verify_stream = getattr(args, "verify_stream", False)
+    ingest_db = getattr(args, "db", None)
     metrics_out = args.metrics_out
+    if ingest_db and not metrics_out:
+        print("error: --db needs --metrics-out (nothing to ingest)",
+              file=sys.stderr)
+        return 2
     if verify_stream and not metrics_out:
         # Byte-comparison needs the merged shard file to compare against.
         import tempfile
@@ -550,6 +558,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         profile=getattr(args, "profile", False),
         stall_after_s=getattr(args, "stall_after", None),
         stall_kill=getattr(args, "stall_kill", False),
+        ingest_db=ingest_db,
     )
     doc = {
         "spec_digest": spec.digest,
@@ -595,6 +604,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(line)
     if batch.metrics_path:
         print(f"wrote merged batch telemetry to {batch.metrics_path}",
+              file=sys.stderr)
+    if batch.ingest is not None:
+        state = ("ingested" if batch.ingest.inserted
+                 else "already ingested (unchanged)")
+        print(f"telemetry warehouse {ingest_db}: run "
+              f"#{batch.ingest.run_id} {batch.ingest.digest[:12]} {state}",
               file=sys.stderr)
     if batch.stream_identical is not None:
         dropped = batch.collector.dropped_events() if batch.collector else 0
@@ -671,8 +686,18 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
         check_history,
         load_bench_file,
         load_history,
+        prune_history,
     )
 
+    if args.action == "prune":
+        try:
+            kept, dropped = prune_history(args.history, keep=args.keep)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"pruned {args.history}: kept {kept} row(s), "
+              f"dropped {dropped}", file=sys.stderr)
+        return 0
     try:
         rows = [load_bench_file(path) for path in args.bench]
     except (OSError, ValueError) as exc:
@@ -708,6 +733,165 @@ def _cmd_bench_history(args: argparse.Namespace) -> int:
         print(f"OK: {len(check.compared)} measure(s) within {args.band:g}% "
               f"of median-of-{args.window}", file=sys.stderr)
     return 0 if check.ok else 1
+
+
+def _db_load_run(con_box: dict, args: argparse.Namespace, selector: str):
+    """A `ParsedRun` from a warehouse selector *or* a JSONL file path.
+
+    File paths keep `repro db attribute` usable without any store —
+    e.g. against two committed baseline runs in CI — while selectors
+    (``latest``, ``latest~1``, run ids, digest prefixes) hit the
+    warehouse, connecting lazily on first use.
+    """
+    from .obs import store
+    from .obs.analyze import load_run
+
+    if os.path.exists(selector):
+        return load_run(selector)
+    if con_box.get("con") is None:
+        con_box["con"] = store.connect(args.db)
+    con = con_box["con"]
+    return store.load_parsed_run(con, store.resolve_run(con, selector))
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    from .obs import store
+
+    try:
+        if args.action == "ingest":
+            con = store.connect(args.db)
+            try:
+                for path in args.run:
+                    try:
+                        result = store.ingest_file(con, path, label=args.label)
+                    except (OSError, ValueError) as exc:
+                        print(f"error: {path}: {exc}", file=sys.stderr)
+                        return 2
+                    for warning in result.warnings:
+                        print(f"warning: {warning}", file=sys.stderr)
+                    state = (f"ingested {result.spans} span(s)"
+                             if result.inserted else "already ingested")
+                    print(f"run #{result.run_id} {result.digest[:12]} "
+                          f"{state}: {path}")
+            finally:
+                con.close()
+            return 0
+
+        if args.action == "runs":
+            con = store.connect(args.db)
+            try:
+                rows = store.list_runs(con, limit=args.limit)
+            finally:
+                con.close()
+            if args.json:
+                print(json.dumps(rows, sort_keys=True))
+                return 0
+            print(f"{'id':>4s} {'digest':<12s} {'git sha':<12s} "
+                  f"{'circuit':<10s} {'wall s':>9s} {'spans':>6s}  source")
+            for row in rows:
+                sha = (row["git_sha"] or "-")[:12]
+                wall = row["total_wall_s"]
+                print(f"{row['run_id']:>4d} {row['digest'][:12]:<12s} "
+                      f"{sha:<12s} {(row['circuit'] or '-'):<10s} "
+                      f"{'-' if wall is None else format(wall, '9.3f'):>9s} "
+                      f"{row['span_count']:>6d}  {row['source']}")
+            return 0
+
+        if args.action == "top":
+            con = store.connect(args.db)
+            try:
+                runs = None
+                if args.last is not None:
+                    runs = [row["run_id"]
+                            for row in store.list_runs(con, limit=args.last)]
+                rows = store.top_spans(con, k=args.k, runs=runs, by=args.by,
+                                       min_count=args.min_count)
+            finally:
+                con.close()
+            if args.json:
+                print(json.dumps(rows, sort_keys=True))
+                return 0
+            print(f"{'agg ' + args.by:>12s} {'mean':>9s} {'max':>9s} "
+                  f"{'runs':>5s}  path")
+            for row in rows:
+                print(f"{row['agg_s']:12.4f} {row['mean_s']:9.4f} "
+                      f"{row['max_s']:9.4f} {row['runs']:>5d}  {row['path']}")
+            return 0
+
+        if args.action == "trend":
+            con = store.connect(args.db)
+            try:
+                rows = store.trend(con, args.key, since_sha=args.since)
+            finally:
+                con.close()
+            if args.json:
+                print(json.dumps(rows, sort_keys=True))
+                return 0
+            if not rows:
+                print(f"no ingested run has measurement {args.key!r}",
+                      file=sys.stderr)
+                return 1
+            values = [row["value"] for row in rows]
+            lo, hi = min(values), max(values)
+            for row in rows:
+                # A 30-column inline bar makes the trajectory legible
+                # without plotting dependencies.
+                width = (30 if hi == lo
+                         else int(round(30 * (row["value"] - lo) / (hi - lo))))
+                sha = (row["git_sha"] or "-")[:12]
+                print(f"run#{row['run_id']:<4d} {sha:<12s} "
+                      f"{row['value']:>12.6g}  {'#' * width}")
+            return 0
+
+        # attribute
+        from .obs.analyze import (
+            attribute_runs,
+            format_attribution,
+            parse_threshold,
+            render_attribution_html,
+        )
+
+        try:
+            thresholds = [parse_threshold(spec)
+                          for spec in (args.fail_on or [])]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        con_box: dict = {"con": None}
+        try:
+            run_a = _db_load_run(con_box, args, args.run_a)
+            run_b = _db_load_run(con_box, args, args.run_b)
+        except OSError as exc:
+            print(f"error: cannot read run: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            if con_box.get("con") is not None:
+                con_box["con"].close()
+        for run in (run_a, run_b):
+            for warning in run.warnings:
+                print(f"warning: {run.source}: {warning}", file=sys.stderr)
+        attr = attribute_runs(run_a, run_b)
+        violations = attr.check(thresholds)
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(render_attribution_html(attr))
+            print(f"wrote attribution HTML to {args.html}", file=sys.stderr)
+        if args.json:
+            doc = attr.to_dict()
+            doc["ok"] = not violations
+            doc["violations"] = violations
+            print(json.dumps(doc, sort_keys=True))
+        else:
+            print(format_attribution(attr, top=args.top), end="")
+        for violation in violations:
+            print(f"FAIL {violation}", file=sys.stderr)
+        if thresholds and not violations:
+            print(f"OK: {len(thresholds)} attribution gate(s) passed",
+                  file=sys.stderr)
+        return 0 if not violations else 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -855,6 +1039,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="assemble the run model from the live stream "
                             "too and fail (exit 4) unless it is "
                             "byte-identical to the merged shards")
+        p.add_argument("--db", metavar="PATH", default=None,
+                       help="ingest the merged telemetry into this "
+                            "warehouse (needs --metrics-out; see repro db)")
         p.add_argument("--results", metavar="PATH",
                        help="write the full results document as JSON")
         p.add_argument("--verify-serial", action="store_true",
@@ -958,6 +1145,73 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable verdict on stdout")
     p_check.add_argument("bench", nargs="+", help="BENCH_<circuit>.json files")
     p_check.set_defaults(func=_cmd_bench_history)
+    p_prune = hist_sub.add_parser(
+        "prune", help="deduplicate the history; optionally trim per circuit")
+    p_prune.add_argument("--history", required=True, metavar="PATH")
+    p_prune.add_argument("--keep", type=int, default=None, metavar="N",
+                         help="keep only the newest N rows per circuit")
+    p_prune.set_defaults(func=_cmd_bench_history, bench=[])
+
+    p_db = sub.add_parser(
+        "db",
+        help="telemetry warehouse: ingest runs into sqlite, query across them")
+    p_db.add_argument("--db", default="telemetry.sqlite", metavar="PATH",
+                      help="warehouse file (default: telemetry.sqlite)")
+    db_sub = p_db.add_subparsers(dest="action", required=True)
+    p_ingest = db_sub.add_parser(
+        "ingest", help="ingest --metrics-out JSONL runs (idempotent)")
+    p_ingest.add_argument("run", nargs="+", help="telemetry JSONL file(s)")
+    p_ingest.add_argument("--label", default=None,
+                          help="free-form label stored with each run")
+    p_ingest.set_defaults(func=_cmd_db)
+    p_runs = db_sub.add_parser("runs", help="list ingested runs, newest first")
+    p_runs.add_argument("--limit", type=int, default=20)
+    p_runs.add_argument("--json", action="store_true",
+                        help="machine-readable rows on stdout")
+    p_runs.set_defaults(func=_cmd_db)
+    p_top = db_sub.add_parser(
+        "top", help="top-k span paths by aggregate wall time across runs")
+    p_top.add_argument("--k", type=int, default=10)
+    p_top.add_argument("--by", choices=["self", "total"], default="self",
+                       help="rank by clamped self-time (default) or "
+                            "inclusive time")
+    p_top.add_argument("--last", type=int, default=None, metavar="N",
+                       help="restrict to the newest N runs")
+    p_top.add_argument("--min-count", type=int, default=1,
+                       help="drop paths seen in fewer runs than this")
+    p_top.add_argument("--json", action="store_true",
+                       help="machine-readable rows on stdout")
+    p_top.set_defaults(func=_cmd_db)
+    p_trend = db_sub.add_parser(
+        "trend", help="one measurement's trajectory across ingested runs")
+    p_trend.add_argument("key",
+                         help="measurement name, e.g. route.wall_s, "
+                              "total.wall_s, metric.route.net_route_s.p95")
+    p_trend.add_argument("--since", metavar="SHA", default=None,
+                         help="drop rows older than this git SHA's first run")
+    p_trend.add_argument("--json", action="store_true",
+                         help="machine-readable rows on stdout")
+    p_trend.set_defaults(func=_cmd_db)
+    p_attr = db_sub.add_parser(
+        "attribute",
+        help="decompose the wall-time delta between two runs into exact "
+             "per-span contributions, stage roll-ups and critical paths")
+    p_attr.add_argument("run_a",
+                        help="baseline: a warehouse selector (run id, digest "
+                             "prefix, latest[~N]) or a JSONL file path")
+    p_attr.add_argument("run_b", help="candidate: selector or JSONL path")
+    p_attr.add_argument("--fail-on", action="append", metavar="EXPR",
+                        help="stage gate, e.g. 'route>+20%%' or 'total>+1.0' "
+                             "(keys: stage alias, total, span.<path>); "
+                             "repeatable; exit 1 when violated")
+    p_attr.add_argument("--top", type=int, default=15,
+                        help="per-span contribution rows shown (default 15)")
+    p_attr.add_argument("--html", metavar="PATH",
+                        help="write a standalone HTML report with "
+                             "differential flamegraphs")
+    p_attr.add_argument("--json", action="store_true",
+                        help="machine-readable attribution on stdout")
+    p_attr.set_defaults(func=_cmd_db)
     return parser
 
 

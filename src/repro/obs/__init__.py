@@ -29,6 +29,8 @@ Modules:
 * `analyze`  — the consumer side: run reports (`repro report`),
   run-to-run diffing with regression gates (`repro diff`), and the
   benchmark-history store (`repro bench-history`)
+* `store`    — sqlite telemetry warehouse for cross-run queries
+  (`repro db ingest/top/trend/attribute`)
 """
 
 from .trace import (
@@ -85,9 +87,12 @@ from .export import (
 )
 from .logging import StructuredFormatter, get_logger, kv, setup_logging
 from . import analyze
+# store imports from analyze (records/diff), so it must come after.
+from . import store
 
 __all__ = [
     "analyze",
+    "store",
     "assemble_run",
     "Counter",
     "EVENT_SCHEMA_VERSION",

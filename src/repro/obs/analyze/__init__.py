@@ -8,11 +8,23 @@ PR 1 made the flow *emit* telemetry; this package *consumes* it:
 * `diff`    — run-to-run alignment, delta tables and regression gates
   (`repro diff --fail-on 'route.wall_s>+10%'`);
 * `history` — benchmark-history trajectory + median-of-N gating
-  (`repro bench-history append/check`).
+  (`repro bench-history append/check`);
+* `attribution` — cross-run regression attribution: exact raw-self-time
+  delta decomposition, per-stage roll-up, batch critical paths, and
+  profiler-stack deltas (`repro db attribute`).
 """
 
 from .records import ParsedRun, SpanNode, load_run, parse_run
-from .report import render_html, render_report
+from .report import render_attribution_html, render_html, render_report
+from .attribution import (
+    Attribution,
+    CriticalPathEntry,
+    SpanDelta,
+    StageDelta,
+    attribute_runs,
+    critical_path,
+    format_attribution,
+)
 from .diff import (
     DiffEntry,
     RunDiff,
@@ -32,29 +44,39 @@ from .history import (
     check_history,
     load_bench_file,
     load_history,
+    prune_history,
     summarize_bench,
 )
 
 __all__ = [
+    "Attribution",
+    "CriticalPathEntry",
     "DiffEntry",
     "HISTORY_SCHEMA",
     "HistoryCheck",
     "ParsedRun",
     "RunDiff",
+    "SpanDelta",
     "SpanNode",
+    "StageDelta",
     "Threshold",
     "Verdict",
     "append_history",
+    "attribute_runs",
     "check_history",
+    "critical_path",
     "diff_runs",
     "diff_to_dict",
     "evaluate_thresholds",
+    "format_attribution",
     "format_diff",
     "load_bench_file",
     "load_history",
     "load_run",
     "parse_run",
     "parse_threshold",
+    "prune_history",
+    "render_attribution_html",
     "render_html",
     "render_report",
     "run_measurements",

@@ -1,0 +1,499 @@
+"""Run-to-run regression attribution (`repro db attribute`).
+
+`repro diff` answers "which aligned measurement moved"; this module
+answers the harder question — *which span is responsible for the
+end-to-end wall-time delta, and by how much*.
+
+The decomposition rests on a telescoping identity over **raw**
+(unclamped) self-times: for any span tree,
+
+    total(root) == sum(raw_self(node) for node in subtree(root))
+
+because each node contributes ``duration - sum(child durations)`` and
+the child durations cancel pairwise down the tree.  Aligning two runs
+by span path (absent paths contribute 0) therefore gives an *exact*
+decomposition:
+
+    total_b - total_a == sum(raw_self_b(p) - raw_self_a(p) for p in paths)
+
+with zero residual by construction — clock-resolution overlap moves
+time between a parent's self and its children's, but never in or out
+of the sum.  `Attribution.residual` is still computed and reported as
+a cross-check (floating-point summation is the only term left in it).
+
+On top of the per-span decomposition:
+
+* per-stage roll-ups over `repro.obs.analyze.diff.STAGE_ALIASES`, the
+  substrate for ``--fail-on`` gates that catch a stage regression even
+  when the end-to-end gate passes (a 30% route regression hidden by a
+  30% place improvement);
+* critical-path extraction through the batch job DAG: batch runs hold
+  parallel ``j<i>.``-prefixed job spans, and the makespan is governed
+  by the longest chain of jobs ordered by wall-clock precedence
+  (job A precedes job B when A ends before B starts — the barriers a
+  bounded worker pool imposes), not by the sum of job times;
+* a differential profile: collapsed-stack deltas when both runs carry
+  sampler output (`--profile`), rendered as a differential flamegraph
+  by `repro.obs.analyze.report.render_attribution_html`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .diff import STAGE_ALIASES, Threshold
+from .records import ParsedRun, SpanNode
+
+
+@dataclasses.dataclass
+class SpanDelta:
+    """One span path's contribution to the end-to-end delta."""
+
+    path: str
+    name: str
+    total_a: Optional[float]
+    total_b: Optional[float]
+    self_a: float
+    self_b: float
+
+    @property
+    def delta_self(self) -> float:
+        """This path's exact contribution to the total delta."""
+        return self.self_b - self.self_a
+
+    @property
+    def delta_total(self) -> Optional[float]:
+        if self.total_a is None or self.total_b is None:
+            return None
+        return self.total_b - self.total_a
+
+    def share_of(self, total_delta: float) -> Optional[float]:
+        """Contribution as a fraction of the end-to-end delta."""
+        if total_delta == 0:
+            return None
+        return self.delta_self / total_delta
+
+
+@dataclasses.dataclass
+class StageDelta:
+    """A stage alias rolled up across both runs (inclusive time)."""
+
+    stage: str
+    wall_a: Optional[float]
+    wall_b: Optional[float]
+    self_a: float
+    self_b: float
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.wall_a is None or self.wall_b is None:
+            return None
+        return self.wall_b - self.wall_a
+
+    @property
+    def pct(self) -> Optional[float]:
+        delta = self.delta
+        if delta is None:
+            return None
+        if self.wall_a == 0:
+            return 0.0 if delta == 0 else math.copysign(math.inf, delta)
+        return 100.0 * delta / abs(self.wall_a)
+
+
+@dataclasses.dataclass
+class CriticalPathEntry:
+    """One span on a run's critical path."""
+
+    path: str
+    name: str
+    start_time: Optional[float]
+    duration_s: float
+    job: Optional[int] = None
+
+
+@dataclasses.dataclass
+class Attribution:
+    """The full differential report between runs A and B."""
+
+    source_a: str
+    source_b: str
+    total_a: float
+    total_b: float
+    deltas: List[SpanDelta]
+    stages: Dict[str, StageDelta]
+    critical_a: List[CriticalPathEntry]
+    critical_b: List[CriticalPathEntry]
+    profile_a: Dict[str, int]
+    profile_b: Dict[str, int]
+
+    @property
+    def total_delta(self) -> float:
+        return self.total_b - self.total_a
+
+    @property
+    def attributed_delta(self) -> float:
+        """Sum of per-span contributions (== total delta, see module
+        docstring; any difference is floating-point residue)."""
+        return math.fsum(d.delta_self for d in self.deltas)
+
+    @property
+    def residual(self) -> float:
+        return self.total_delta - self.attributed_delta
+
+    @property
+    def profile_delta(self) -> Dict[str, int]:
+        """Collapsed-stack sample deltas (B - A), non-zero only."""
+        out: Dict[str, int] = {}
+        for stack in set(self.profile_a) | set(self.profile_b):
+            delta = self.profile_b.get(stack, 0) - self.profile_a.get(stack, 0)
+            if delta:
+                out[stack] = delta
+        return out
+
+    def check(self, thresholds: Sequence[Threshold]) -> List[str]:
+        """Stage-gate violations (empty = every gate passed).
+
+        Threshold keys name a stage alias (``route``) or a span path
+        prefixed ``span.`` (``span.flow.run/flow.route``).  Relative
+        bounds (``%``) compare stage inclusive wall time B vs A;
+        absolute bounds compare the delta in seconds.  A gated stage
+        missing from either run is a violation, mirroring `repro diff`.
+        """
+        violations = []
+        for threshold in thresholds:
+            entry = self._gate_entry(threshold.key)
+            if entry is None:
+                violations.append(
+                    f"{threshold.raw}: stage {threshold.key!r} is neither a "
+                    f"stage alias {sorted(STAGE_ALIASES)} nor a span path")
+                continue
+            wall_a, wall_b = entry
+            if wall_a is None or wall_b is None:
+                missing = [label for label, value in
+                           (("A", wall_a), ("B", wall_b)) if value is None]
+                violations.append(
+                    f"{threshold.raw}: stage {threshold.key!r} missing from "
+                    f"run {' and '.join(missing)}")
+                continue
+            delta = wall_b - wall_a
+            if threshold.relative:
+                if wall_a == 0:
+                    measured = 0.0 if delta == 0 else math.copysign(
+                        math.inf, delta)
+                else:
+                    measured = 100.0 * delta / abs(wall_a)
+            else:
+                measured = delta
+            exceeded = {
+                ">": measured > threshold.bound,
+                ">=": measured >= threshold.bound,
+                "<": measured < threshold.bound,
+                "<=": measured <= threshold.bound,
+            }[threshold.op]
+            if exceeded:
+                unit = "%" if threshold.relative else "s"
+                violations.append(
+                    f"{threshold.raw}: {threshold.key} = {wall_a:g}s -> "
+                    f"{wall_b:g}s (delta {measured:+.4g}{unit}, bound "
+                    f"{threshold.op}{threshold.bound:+g}{unit})")
+        return violations
+
+    def _gate_entry(
+        self, key: str,
+    ) -> Optional[Tuple[Optional[float], Optional[float]]]:
+        if key == "total":
+            return (self.total_a, self.total_b)
+        stage = self.stages.get(key)
+        if stage is not None:
+            return (stage.wall_a, stage.wall_b)
+        if key in STAGE_ALIASES:
+            return (None, None)
+        if key.startswith("span."):
+            path = key[len("span."):]
+            for delta in self.deltas:
+                if delta.path == path:
+                    return (delta.total_a, delta.total_b)
+            return (None, None)
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready structure for ``repro db attribute --json``."""
+        return {
+            "a": self.source_a,
+            "b": self.source_b,
+            "total_a_s": self.total_a,
+            "total_b_s": self.total_b,
+            "total_delta_s": self.total_delta,
+            "attributed_delta_s": self.attributed_delta,
+            "residual_s": self.residual,
+            "spans": [
+                {
+                    "path": d.path,
+                    "self_a_s": d.self_a,
+                    "self_b_s": d.self_b,
+                    "delta_self_s": d.delta_self,
+                    "total_a_s": d.total_a,
+                    "total_b_s": d.total_b,
+                }
+                for d in self.deltas
+            ],
+            "stages": {
+                name: {
+                    "wall_a_s": stage.wall_a,
+                    "wall_b_s": stage.wall_b,
+                    "delta_s": stage.delta,
+                    "pct": None if stage.pct is None or math.isinf(stage.pct)
+                    else stage.pct,
+                }
+                for name, stage in sorted(self.stages.items())
+            },
+            "critical_path": {
+                "a": [dataclasses.asdict(e) for e in self.critical_a],
+                "b": [dataclasses.asdict(e) for e in self.critical_b],
+            },
+            "profile_delta": self.profile_delta,
+        }
+
+
+def _self_times(run: ParsedRun) -> Dict[str, Tuple[SpanNode, float]]:
+    """path -> (node, raw self seconds) over every recorded span."""
+    out: Dict[str, Tuple[SpanNode, float]] = {}
+    for node, _depth in run.walk():
+        out[node.path] = (node, node.raw_self_s
+                          if node.duration_s is not None else 0.0)
+    return out
+
+
+def _stage_deltas(run_a: ParsedRun, run_b: ParsedRun) -> Dict[str, StageDelta]:
+    def per_run(run: ParsedRun) -> Dict[str, Tuple[float, float]]:
+        flat = [node for node, _depth in run.walk()]
+        out: Dict[str, Tuple[float, float]] = {}
+        for alias, names in STAGE_ALIASES.items():
+            matches = [s for s in flat if s.name in names]
+            primary = [s for s in matches if s.name == names[0]] or matches
+            if not primary:
+                continue
+            out[alias] = (
+                sum(s.total_s for s in primary),
+                sum(s.self_s for s in matches),
+            )
+        return out
+
+    a, b = per_run(run_a), per_run(run_b)
+    return {
+        alias: StageDelta(
+            stage=alias,
+            wall_a=a[alias][0] if alias in a else None,
+            wall_b=b[alias][0] if alias in b else None,
+            self_a=a.get(alias, (0.0, 0.0))[1],
+            self_b=b.get(alias, (0.0, 0.0))[1],
+        )
+        for alias in sorted(set(a) | set(b))
+    }
+
+
+def _job_of(node: SpanNode) -> Optional[int]:
+    """Batch job index from a ``j<i>.s<n>`` span id, else None."""
+    span_id = node.span_id
+    if not isinstance(span_id, str) or not span_id.startswith("j"):
+        return None
+    head, sep, _tail = span_id.partition(".")
+    if not sep:
+        return None
+    try:
+        return int(head[1:])
+    except ValueError:
+        return None
+
+
+def _dominant_chain(node: SpanNode, job: Optional[int],
+                    out: List[CriticalPathEntry]) -> None:
+    """Descend into the heaviest child while it dominates the parent."""
+    out.append(CriticalPathEntry(
+        path=node.path, name=node.name, start_time=node.start_time,
+        duration_s=node.total_s, job=job))
+    timed = [c for c in node.children if c.total_s > 0]
+    if not timed:
+        return
+    heaviest = max(timed, key=lambda c: c.total_s)
+    if node.total_s > 0 and heaviest.total_s >= 0.5 * node.total_s:
+        _dominant_chain(heaviest, job, out)
+
+
+def critical_path(run: ParsedRun) -> List[CriticalPathEntry]:
+    """The longest wall-clock precedence chain through a run's spans.
+
+    For batch runs the roots are per-job spans running in parallel
+    under a bounded pool: job A *precedes* job B when A ends (start +
+    duration) no later than B starts, and the critical path is the
+    precedence chain maximising summed duration — the chain the
+    makespan cannot undercut.  Roots without start times (or a
+    single-root flow run) degrade to start order, which makes the
+    serial case simply "every root".  Within each chain entry the
+    dominant descendant chain (child covering >= 50% of its parent) is
+    appended, so the report names the stage, not just the job.
+    """
+    roots = [r for r in run.spans if r.duration_s is not None]
+    if not roots:
+        return []
+    intervals: List[Tuple[float, float, SpanNode]] = []
+    serial = False
+    for index, root in enumerate(roots):
+        if root.start_time is None:
+            serial = True
+            break
+        intervals.append((root.start_time, root.start_time + root.total_s,
+                          root))
+    if serial or len(roots) == 1:
+        chain = roots
+    else:
+        order = sorted(range(len(intervals)), key=lambda i: intervals[i][0])
+        # Longest path in the interval-precedence DAG, O(n^2): fine at
+        # batch scale (thousands of jobs), exact, deterministic.
+        best: List[float] = [0.0] * len(order)
+        prev: List[Optional[int]] = [None] * len(order)
+        for oi, i in enumerate(order):
+            start_i, end_i, node_i = intervals[i]
+            best[oi] = node_i.total_s
+            for oj in range(oi):
+                j = order[oj]
+                _start_j, end_j, _node_j = intervals[j]
+                if end_j <= start_i + 1e-9:
+                    candidate = best[oj] + node_i.total_s
+                    if candidate > best[oi]:
+                        best[oi] = candidate
+                        prev[oi] = oj
+        tail = max(range(len(order)), key=lambda oi: best[oi])
+        chain_idx: List[int] = []
+        cursor: Optional[int] = tail
+        while cursor is not None:
+            chain_idx.append(order[cursor])
+            cursor = prev[cursor]
+        chain_idx.reverse()
+        chain = [intervals[i][2] for i in chain_idx]
+    out: List[CriticalPathEntry] = []
+    for root in chain:
+        _dominant_chain(root, _job_of(root), out)
+    return out
+
+
+def attribute_runs(run_a: ParsedRun, run_b: ParsedRun) -> Attribution:
+    """Decompose the end-to-end wall-time delta between two runs."""
+    selfs_a, selfs_b = _self_times(run_a), _self_times(run_b)
+    deltas: List[SpanDelta] = []
+    for path in sorted(set(selfs_a) | set(selfs_b)):
+        node_a = selfs_a.get(path)
+        node_b = selfs_b.get(path)
+        node = (node_b or node_a)[0]
+        deltas.append(SpanDelta(
+            path=path,
+            name=node.name,
+            total_a=node_a[0].duration_s if node_a else None,
+            total_b=node_b[0].duration_s if node_b else None,
+            self_a=node_a[1] if node_a else 0.0,
+            self_b=node_b[1] if node_b else 0.0,
+        ))
+    deltas.sort(key=lambda d: (-abs(d.delta_self), d.path))
+    return Attribution(
+        source_a=run_a.source,
+        source_b=run_b.source,
+        total_a=run_a.total_wall_s,
+        total_b=run_b.total_wall_s,
+        deltas=deltas,
+        stages=_stage_deltas(run_a, run_b),
+        critical_a=critical_path(run_a),
+        critical_b=critical_path(run_b),
+        profile_a=_run_profile(run_a),
+        profile_b=_run_profile(run_b),
+    )
+
+
+def _run_profile(run: ParsedRun) -> Dict[str, int]:
+    """Collapsed profiler stacks summed over every profiled span."""
+    stacks: Dict[str, int] = {}
+    for node, _depth in run.walk():
+        profile = node.attrs.get("profile")
+        if not isinstance(profile, dict):
+            continue
+        for stack, count in (profile.get("stacks") or {}).items():
+            if isinstance(stack, str) and isinstance(count, (int, float)):
+                stacks[stack] = stacks.get(stack, 0) + int(count)
+    return stacks
+
+
+def _fmt_s(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:+.4f}s" if value < 0 else f"{value:.4f}s"
+
+
+def format_attribution(attr: Attribution, top: int = 15) -> str:
+    """The text report for ``repro db attribute``."""
+    lines = [
+        f"A: {attr.source_a}",
+        f"B: {attr.source_b}",
+        f"end-to-end: {attr.total_a:.4f}s -> {attr.total_b:.4f}s "
+        f"(delta {attr.total_delta:+.4f}s"
+        + (f", {100.0 * attr.total_delta / attr.total_a:+.1f}%"
+           if attr.total_a else "") + ")",
+        f"attributed: {attr.attributed_delta:+.4f}s over "
+        f"{sum(1 for d in attr.deltas if d.delta_self != 0)} span(s), "
+        f"residual {attr.residual:+.2e}s",
+    ]
+    moved = [d for d in attr.deltas if d.delta_self != 0]
+    if moved:
+        lines += ["", "per-span contributions (self-time, largest first)",
+                  f"{'delta':>12s} {'share':>7s} {'A self':>10s} "
+                  f"{'B self':>10s}  path"]
+        for delta in moved[:top]:
+            share = delta.share_of(attr.total_delta)
+            lines.append(
+                f"{delta.delta_self:+12.4f} "
+                f"{'' if share is None else format(100 * share, '6.1f') + '%':>7s} "
+                f"{delta.self_a:10.4f} {delta.self_b:10.4f}  {delta.path}")
+        if len(moved) > top:
+            rest = math.fsum(d.delta_self for d in moved[top:])
+            lines.append(f"{rest:+12.4f} {'':>7s} {'':>10s} {'':>10s}  "
+                         f"({len(moved) - top} more span(s))")
+    if attr.stages:
+        lines += ["", "per-stage roll-up (inclusive wall time)",
+                  f"{'stage':<10s} {'A':>10s} {'B':>10s} {'delta':>10s} "
+                  f"{'delta%':>8s}"]
+        for name, stage in sorted(attr.stages.items()):
+            pct = stage.pct
+            pct_text = ("-" if pct is None
+                        else ("+inf%" if math.isinf(pct) and pct > 0
+                              else ("-inf%" if math.isinf(pct)
+                                    else f"{pct:+.1f}%")))
+            lines.append(
+                f"{name:<10s} {_fmt_s(stage.wall_a):>10s} "
+                f"{_fmt_s(stage.wall_b):>10s} "
+                f"{'-' if stage.delta is None else format(stage.delta, '+.4f') + 's':>10s} "
+                f"{pct_text:>8s}")
+    for label, chain in (("A", attr.critical_a), ("B", attr.critical_b)):
+        if not chain:
+            continue
+        # Chain length counts only top-level entries (depth descent
+        # repeats their time); summing roots is what bounds makespan.
+        roots = [e for e in chain if "/" not in e.path]
+        lines += ["", f"critical path {label} — "
+                      f"{math.fsum(e.duration_s for e in roots):.4f}s over "
+                      f"{len(roots)} chain entr"
+                      f"{'y' if len(roots) == 1 else 'ies'}"]
+        for entry in chain:
+            job = f"j{entry.job} " if entry.job is not None else ""
+            lines.append(f"  {entry.duration_s:10.4f}s  {job}{entry.path}")
+    delta_stacks = attr.profile_delta
+    if delta_stacks:
+        lines += ["", "profile delta (samples, B - A)"]
+        ranked = sorted(delta_stacks.items(),
+                        key=lambda kv: (-abs(kv[1]), kv[0]))
+        for stack, count in ranked[:8]:
+            frames = stack.split(";")
+            shown = stack if len(frames) <= 3 else "…;" + ";".join(frames[-3:])
+            lines.append(f"  {count:+6d}  {shown}")
+        if len(ranked) > 8:
+            lines.append(f"  ... {len(ranked) - 8} more stacks")
+    return "\n".join(lines) + "\n"

@@ -118,7 +118,8 @@ def run_measurements(run: ParsedRun) -> Dict[str, float]:
     for name in sorted(run.metrics):
         snap = run.metrics[name]
         if snap.get("kind") == "histogram":
-            for stat in ("count", "sum", "mean", "min", "max", "p50", "p90", "p99"):
+            for stat in ("count", "sum", "mean", "min", "max",
+                         "p50", "p90", "p95", "p99"):
                 value = snap.get(stat)
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
                     out[f"metric.{name}.{stat}"] = float(value)

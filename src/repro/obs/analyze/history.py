@@ -120,20 +120,73 @@ def _row_key(row: dict) -> Optional[Tuple[str, str]]:
     return None
 
 
+def _row_canonical(row: dict) -> str:
+    """Content identity for rows without a (git SHA, circuit) key."""
+    return json.dumps(row, sort_keys=True)
+
+
+def _write_rows(path: str, rows: Sequence[dict]) -> None:
+    _ensure_parent(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+
+
 def append_history(path: str, rows: Sequence[dict]) -> int:
     """Append rows, replacing any existing row with the same
     (git SHA, circuit) key so re-running a bench at one commit updates
-    rather than duplicates.  Returns the number of rows written."""
+    rather than duplicates.  Rows without a key (no git SHA — e.g. a
+    tarball checkout) dedupe by exact content, so re-appending the
+    same row is idempotent either way.  Returns the number of rows
+    written."""
     existing, _warnings = load_history(path)
     new_keys = {_row_key(r) for r in rows if _row_key(r) is not None}
-    kept = [r for r in existing if _row_key(r) not in new_keys]
-    merged = kept + list(rows)
-    _ensure_parent(path)
-    with open(path, "w", encoding="utf-8") as handle:
-        for row in merged:
-            handle.write(json.dumps(row, sort_keys=True))
-            handle.write("\n")
+    new_content = {_row_canonical(r) for r in rows if _row_key(r) is None}
+    kept = [r for r in existing
+            if _row_key(r) not in new_keys
+            and (_row_key(r) is not None
+                 or _row_canonical(r) not in new_content)]
+    _write_rows(path, kept + list(rows))
     return len(rows)
+
+
+def prune_history(path: str, keep: Optional[int] = None) -> Tuple[int, int]:
+    """Deduplicate an existing history store in place.
+
+    Keeps the *last* row per (git SHA, circuit) key — and the last of
+    each exact-content duplicate for unkeyed rows — so stores grown by
+    pre-dedup appends collapse to what `append_history` would have
+    produced.  With ``keep``, additionally trims each circuit to its
+    newest ``keep`` rows (by ``created_unix``, file order breaking
+    ties).  Returns ``(kept, dropped)`` row counts; a missing file is
+    ``(0, 0)``.
+    """
+    if keep is not None and keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    rows, _warnings = load_history(path)
+    if not rows:
+        return 0, 0
+    last_index: Dict[object, int] = {}
+    for index, row in enumerate(rows):
+        key = _row_key(row) or ("content", _row_canonical(row))
+        last_index[key] = index
+    deduped = [row for index, row in enumerate(rows)
+               if last_index[_row_key(row) or ("content", _row_canonical(row))]
+               == index]
+    if keep is not None:
+        by_circuit: Dict[object, List[int]] = {}
+        for index, row in enumerate(deduped):
+            by_circuit.setdefault(row.get("circuit"), []).append(index)
+        keep_indices = set()
+        for indices in by_circuit.values():
+            ranked = sorted(indices,
+                            key=lambda i: (deduped[i].get("created_unix") or 0, i))
+            keep_indices.update(ranked[-keep:])
+        deduped = [row for index, row in enumerate(deduped)
+                   if index in keep_indices]
+    _write_rows(path, deduped)
+    return len(deduped), len(rows) - len(deduped)
 
 
 def _measures(row: dict) -> Dict[str, float]:

@@ -56,9 +56,24 @@ class SpanNode:
         return self.duration_s or 0.0
 
     @property
+    def raw_self_s(self) -> float:
+        """Unclamped own wall time: total minus summed child totals.
+
+        Clock-resolution overlap can make children sum to *more* than
+        the parent, so this may be slightly negative.  Attribution
+        (`repro.obs.analyze.attribution`) uses the raw value because
+        raw self-times telescope exactly: a tree's total equals the
+        sum of its nodes' raw self-times, which is what lets a
+        run-to-run delta decompose into per-span contributions with
+        zero residual.  Reports should use `self_s` instead.
+        """
+        return self.total_s - sum(c.total_s for c in self.children)
+
+    @property
     def self_s(self) -> float:
-        """Wall time minus child wall time (own work only)."""
-        return max(0.0, self.total_s - sum(c.total_s for c in self.children))
+        """Wall time minus child wall time (own work only), clamped at
+        0 so clock-resolution overlap never renders negative."""
+        return max(0.0, self.raw_self_s)
 
     def walk(self, depth: int = 0) -> Iterator[Tuple["SpanNode", int]]:
         """(node, depth) pairs, depth-first in start order."""

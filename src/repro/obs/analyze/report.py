@@ -213,7 +213,7 @@ def _metric_lines(run: ParsedRun) -> List[str]:
         if kind == "histogram":
             body = "  ".join(
                 f"{key}={_fmt_attr(snap[key])}" for key in
-                ("count", "mean", "min", "p50", "p90", "max")
+                ("count", "mean", "min", "p50", "p90", "p95", "max")
                 if snap.get(key) is not None
             )
         else:
@@ -303,6 +303,193 @@ def _html_flame_sections(run: ParsedRun) -> List[str]:
         sections.append(f"<h3>{caption}</h3>"
                         f"<div class=flame>{_html_flame_node(trie)}</div>")
     return sections
+
+
+def _diff_trie(pairs: Dict[str, "Tuple[float, float]"],
+               sep: str) -> Dict[str, object]:
+    """Leaf-attributed (a, b) weights -> a merged differential tree.
+
+    ``pairs`` maps a ``sep``-joined path to that *node's own* (A, B)
+    weight — raw self seconds for span paths, sample counts for
+    collapsed profiler stacks.  Interior values accumulate from the
+    leaves so a node's width is its subtree weight, exactly like the
+    single-run flame trie.
+    """
+    root: Dict[str, object] = {"name": "all", "a": 0.0, "b": 0.0,
+                               "children": {}}
+    for path, (a, b) in sorted(pairs.items()):
+        node = root
+        node["a"] += a
+        node["b"] += b
+        for frame in path.split(sep):
+            children: Dict[str, Dict[str, object]] = node["children"]
+            child = children.get(frame)
+            if child is None:
+                child = children[frame] = {"name": frame, "a": 0.0, "b": 0.0,
+                                           "children": {}}
+            child["a"] += a
+            child["b"] += b
+            node = child
+    return root
+
+
+def _diff_color(a: float, b: float, scale: float) -> str:
+    """Red for slower in B, green for faster, intensity by |delta|."""
+    delta = b - a
+    if scale <= 0 or delta == 0:
+        return "#e8e8e8"
+    strength = min(1.0, abs(delta) / scale)
+    # Lighten towards white as the delta shrinks.
+    fade = int(232 - 120 * strength)
+    return (f"rgb(244,{fade},{fade})" if delta > 0
+            else f"rgb({fade},236,{fade})")
+
+
+def _html_diff_flame_node(node: Dict[str, object], scale: float,
+                          fmt) -> str:
+    a, b = float(node["a"]), float(node["b"])
+    weight = max(a, b) or 1.0
+    label = f"{node['name']}  {fmt(a)} → {fmt(b)} ({fmt(b - a, signed=True)})"
+    esc = _html.escape(label)
+    color = _diff_color(a, b, scale)
+    out = (f"<div class=flabel style='background:{color}' "
+           f"title='{esc}'>{esc}</div>")
+    children = sorted(node["children"].values(),
+                      key=lambda c: (-max(float(c["a"]), float(c["b"])),
+                                     str(c["name"])))
+    if children:
+        cells = "".join(
+            f"<div class=fcell style='width:"
+            f"{100.0 * (max(float(c['a']), float(c['b'])) or 0.0) / weight:.2f}%'>"
+            f"{_html_diff_flame_node(c, scale, fmt)}</div>"
+            for c in children
+        )
+        out += f"<div class=frow>{cells}</div>"
+    return out
+
+
+def _fmt_diff_seconds(value: float, signed: bool = False) -> str:
+    text = f"{value:+.3f}s" if signed else f"{value:.3f}s"
+    return text
+
+
+def _fmt_diff_samples(value: float, signed: bool = False) -> str:
+    return f"{value:+.0f}" if signed else f"{value:.0f}"
+
+
+def render_attribution_html(attr) -> str:
+    """Standalone HTML differential report for an `Attribution`
+    (`repro db attribute --html`): summary header, per-span
+    contribution table, stage roll-up, critical paths, a differential
+    span flamegraph, and — when both runs carried the sampling
+    profiler — a differential flamegraph over the collapsed profiler
+    stacks (red = B slower / more samples, green = faster / fewer).
+    """
+    from .attribution import Attribution, format_attribution  # noqa: F401
+
+    sections: List[str] = []
+    sections.append(
+        "<p>"
+        f"A: <code>{_html.escape(attr.source_a)}</code><br>"
+        f"B: <code>{_html.escape(attr.source_b)}</code><br>"
+        f"end-to-end <b>{attr.total_a:.4f}s → {attr.total_b:.4f}s</b> "
+        f"(delta {attr.total_delta:+.4f}s), attributed "
+        f"{attr.attributed_delta:+.4f}s, residual {attr.residual:+.2e}s"
+        "</p>")
+
+    moved = [d for d in attr.deltas if d.delta_self != 0]
+    if moved:
+        rows = "".join(
+            "<tr>"
+            f"<td class=num>{d.delta_self:+.4f}</td>"
+            f"<td class=num>{d.self_a:.4f}</td>"
+            f"<td class=num>{d.self_b:.4f}</td>"
+            f"<td><code>{_html.escape(d.path)}</code></td>"
+            "</tr>"
+            for d in moved[:30]
+        )
+        sections.append(
+            "<h2>per-span contributions (self-time)</h2>"
+            "<table><tr><th>delta s</th><th>A self</th><th>B self</th>"
+            f"<th>span path</th></tr>{rows}</table>")
+
+    if attr.stages:
+        rows = "".join(
+            "<tr>"
+            f"<td>{_html.escape(name)}</td>"
+            f"<td class=num>{'-' if s.wall_a is None else format(s.wall_a, '.4f')}</td>"
+            f"<td class=num>{'-' if s.wall_b is None else format(s.wall_b, '.4f')}</td>"
+            f"<td class=num>{'-' if s.delta is None else format(s.delta, '+.4f')}</td>"
+            "</tr>"
+            for name, s in sorted(attr.stages.items())
+        )
+        sections.append(
+            "<h2>stage roll-up</h2>"
+            "<table><tr><th>stage</th><th>A s</th><th>B s</th>"
+            f"<th>delta s</th></tr>{rows}</table>")
+
+    for label, chain in (("A", attr.critical_a), ("B", attr.critical_b)):
+        if not chain:
+            continue
+        body = "\n".join(
+            f"{e.duration_s:10.4f}s  "
+            + (f"j{e.job} " if e.job is not None else "") + e.path
+            for e in chain)
+        sections.append(f"<h2>critical path {label}</h2>"
+                        f"<pre>{_html.escape(body)}</pre>")
+
+    span_pairs = {
+        d.path.replace("/", "\x00"): (max(0.0, d.self_a), max(0.0, d.self_b))
+        for d in attr.deltas
+    }
+    if span_pairs:
+        trie = _diff_trie(span_pairs, "\x00")
+        scale = max((abs(float(c["b"]) - float(c["a"]))
+                     for c in _walk_diff(trie)), default=0.0)
+        sections.append(
+            "<h2>differential flamegraph (span self-time, red = slower)</h2>"
+            f"<div class=flame>"
+            f"{_html_diff_flame_node(trie, scale, _fmt_diff_seconds)}</div>")
+
+    if attr.profile_a or attr.profile_b:
+        stacks = {
+            stack: (float(attr.profile_a.get(stack, 0)),
+                    float(attr.profile_b.get(stack, 0)))
+            for stack in set(attr.profile_a) | set(attr.profile_b)
+        }
+        trie = _diff_trie(stacks, ";")
+        scale = max((abs(float(c["b"]) - float(c["a"]))
+                     for c in _walk_diff(trie)), default=0.0)
+        sections.append(
+            "<h2>differential profile flamegraph (samples, red = more)</h2>"
+            f"<div class=flame>"
+            f"{_html_diff_flame_node(trie, scale, _fmt_diff_samples)}</div>")
+
+    style = (
+        "body{font-family:monospace;margin:2em;max-width:80em}"
+        "table{border-collapse:collapse;margin:0.5em 0}"
+        "td,th{border:1px solid #ddd;padding:2px 8px;text-align:left}"
+        "td.num{text-align:right}"
+        ".flame{border:1px solid #ddd;padding:4px;margin:4px 0}"
+        ".frow{display:flex}"
+        ".fcell{overflow:hidden;border-left:1px solid #fff;min-width:1px}"
+        ".flabel{white-space:nowrap;overflow:hidden;text-overflow:ellipsis;"
+        "font-size:75%;padding:0 2px}"
+    )
+    title = f"repro attribution: {attr.source_a} vs {attr.source_b}"
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{_html.escape(title)}</title>"
+        f"<style>{style}</style></head><body>"
+        f"<h1>repro regression attribution</h1>{''.join(sections)}"
+        "</body></html>"
+    )
+
+
+def _walk_diff(node: Dict[str, object]):
+    yield node
+    for child in node["children"].values():
+        yield from _walk_diff(child)
 
 
 def render_html(run: ParsedRun) -> str:

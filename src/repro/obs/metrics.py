@@ -150,6 +150,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
         if self._values:

@@ -60,9 +60,22 @@ def merge_metric_snapshots(
     return merged
 
 
+def _hist_sum(snap: Dict[str, object]) -> float:
+    """A snapshot's observation sum; falls back to ``mean * count`` so
+    the merged mean stays count-weighted even for inputs (older shards,
+    hand-written fixtures) that carry a mean but no sum."""
+    value = snap.get("sum")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    mean, count = snap.get("mean"), snap.get("count")
+    if isinstance(mean, (int, float)) and isinstance(count, (int, float)):
+        return float(mean) * float(count)
+    return 0.0
+
+
 def _merge_histogram(have: Dict[str, object], snap: Dict[str, object]) -> None:
     count = _num(have.get("count")) + _num(snap.get("count"))
-    total = _num(have.get("sum")) + _num(snap.get("sum"))
+    total = _hist_sum(have) + _hist_sum(snap)
     lo = _extreme(have.get("min"), snap.get("min"), min)
     hi = _extreme(have.get("max"), snap.get("max"), max)
     buckets: Optional[List[List[object]]] = None
@@ -76,6 +89,7 @@ def _merge_histogram(have: Dict[str, object], snap: Dict[str, object]) -> None:
         mean=(total / count) if count else None,
         p50=_bucket_percentile(buckets, 50.0, lo, hi),
         p90=_bucket_percentile(buckets, 90.0, lo, hi),
+        p95=_bucket_percentile(buckets, 95.0, lo, hi),
         p99=_bucket_percentile(buckets, 99.0, lo, hi),
     )
     if buckets is not None:

@@ -1,0 +1,470 @@
+"""Telemetry warehouse: a queryable sqlite store of exported runs
+(`repro db`).
+
+Every telemetry consumer so far reads one or two JSONL files at a
+time; the warehouse makes the *cross-run* questions cheap.  Schema-v1
+runs (``--metrics-out`` files, merged batch runs, live-collector
+output — anything `repro.obs.analyze.records.parse_run` accepts)
+ingest into four indexed tables:
+
+* ``runs`` — one row per ingested run: a content digest (sha256 over
+  the canonical record bytes, which is what makes re-ingest
+  idempotent), manifest provenance (git SHA, creation time, seed,
+  circuit), the end-to-end wall time, and the raw metrics snapshot —
+  enough to rebuild a `ParsedRun` losslessly for the analysis layer.
+* ``spans`` — one row per span, keyed by the run and the stable
+  alignment path, with total, clamped self and *raw* (unclamped) self
+  wall time, the batch job index recovered from ``j<i>.`` span ids,
+  status, peak RSS, and the attr dict as JSON.
+* ``measurements`` — the flat name -> number map
+  `repro.obs.analyze.diff.run_measurements` derives (stage aliases,
+  per-span wall/self times, per-circuit and per-variant namespaces,
+  metric stats).  Trend queries are one indexed lookup per key.
+* ``profiles`` — collapsed profiler stacks per profiled span
+  (`--profile` output), the input to differential flamegraphs.
+
+The store is plain stdlib ``sqlite3``; a single file travels as a CI
+artifact and any sqlite client can query it directly.
+
+    con = connect("telemetry.sqlite")
+    ingest_file(con, "run.jsonl", label="nightly")
+    for row in top_spans(con, k=10):
+        print(row["path"], row["self_s"])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .export import read_jsonl
+from .analyze.records import ParsedRun, SpanNode, parse_run
+from .analyze.diff import run_measurements
+
+#: Bump when the table layout changes incompatibly.  `connect` refuses
+#: a store written by a newer layout rather than misreading it.
+STORE_SCHEMA = 1
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id        INTEGER PRIMARY KEY,
+    digest        TEXT NOT NULL UNIQUE,
+    source        TEXT,
+    label         TEXT,
+    git_sha       TEXT,
+    created_unix  REAL,
+    schema        INTEGER,
+    circuit       TEXT,
+    seed          INTEGER,
+    total_wall_s  REAL,
+    span_count    INTEGER NOT NULL,
+    manifest      TEXT,
+    metrics       TEXT,
+    ingested_unix REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_sha ON runs (git_sha);
+CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created_unix);
+CREATE TABLE IF NOT EXISTS spans (
+    run_id       INTEGER NOT NULL REFERENCES runs (run_id) ON DELETE CASCADE,
+    path         TEXT NOT NULL,
+    name         TEXT NOT NULL,
+    depth        INTEGER NOT NULL,
+    parent_path  TEXT,
+    job          INTEGER,
+    start_time   REAL,
+    duration_s   REAL,
+    self_s       REAL,
+    raw_self_s   REAL,
+    status       TEXT NOT NULL,
+    peak_rss_kb  INTEGER,
+    attrs        TEXT,
+    PRIMARY KEY (run_id, path)
+);
+CREATE INDEX IF NOT EXISTS idx_spans_path ON spans (path);
+CREATE INDEX IF NOT EXISTS idx_spans_name ON spans (name);
+CREATE TABLE IF NOT EXISTS measurements (
+    run_id INTEGER NOT NULL REFERENCES runs (run_id) ON DELETE CASCADE,
+    key    TEXT NOT NULL,
+    value  REAL NOT NULL,
+    PRIMARY KEY (run_id, key)
+);
+CREATE INDEX IF NOT EXISTS idx_measurements_key ON measurements (key);
+CREATE TABLE IF NOT EXISTS profiles (
+    run_id    INTEGER NOT NULL REFERENCES runs (run_id) ON DELETE CASCADE,
+    span_path TEXT NOT NULL,
+    stack     TEXT NOT NULL,
+    samples   INTEGER NOT NULL,
+    PRIMARY KEY (run_id, span_path, stack)
+);
+"""
+
+
+def connect(path: str) -> sqlite3.Connection:
+    """Open (creating if needed) a warehouse file.
+
+    Refuses a store written by a newer `STORE_SCHEMA` — the caller
+    should upgrade rather than silently misread the tables.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    con = sqlite3.connect(path)
+    con.row_factory = sqlite3.Row
+    con.execute("PRAGMA foreign_keys = ON")
+    con.executescript(_TABLES)
+    row = con.execute("SELECT value FROM meta WHERE key = 'schema'").fetchone()
+    if row is None:
+        con.execute("INSERT INTO meta (key, value) VALUES ('schema', ?)",
+                    (str(STORE_SCHEMA),))
+        con.commit()
+    elif int(row["value"]) > STORE_SCHEMA:
+        con.close()
+        raise ValueError(
+            f"{path}: store schema {row['value']} is newer than supported "
+            f"{STORE_SCHEMA}")
+    return con
+
+
+def run_digest(records: Sequence[object]) -> str:
+    """Content digest of one run's record sequence.
+
+    Canonical sorted-key JSON per record, newline-joined — the same
+    bytes `repro.obs.export.write_jsonl` produces — so a file round
+    trip does not change the digest, and ingesting the same run twice
+    (same path or not) is a no-op.
+    """
+    hasher = hashlib.sha256()
+    for record in records:
+        hasher.update(json.dumps(record, sort_keys=True).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+@dataclasses.dataclass
+class IngestResult:
+    """Outcome of one `ingest_records` call."""
+
+    run_id: int
+    digest: str
+    inserted: bool
+    source: str
+    spans: int = 0
+    warnings: List[str] = dataclasses.field(default_factory=list)
+
+
+def _job_index(span_id: Optional[str]) -> Optional[int]:
+    """Batch job index from a ``j<i>.s<n>`` span id, else None."""
+    if not isinstance(span_id, str) or not span_id.startswith("j"):
+        return None
+    head, _sep, _tail = span_id.partition(".")
+    try:
+        return int(head[1:])
+    except ValueError:
+        return None
+
+
+def ingest_records(
+    con: sqlite3.Connection,
+    records: Sequence[object],
+    source: str = "<records>",
+    label: Optional[str] = None,
+) -> IngestResult:
+    """Ingest one run's raw records; idempotent via the run digest."""
+    digest = run_digest(records)
+    existing = con.execute("SELECT run_id FROM runs WHERE digest = ?",
+                           (digest,)).fetchone()
+    if existing is not None:
+        return IngestResult(run_id=existing["run_id"], digest=digest,
+                            inserted=False, source=source)
+    run = parse_run(list(records), source=source)
+    manifest = run.manifest or {}
+    cursor = con.execute(
+        "INSERT INTO runs (digest, source, label, git_sha, created_unix,"
+        " schema, circuit, seed, total_wall_s, span_count, manifest,"
+        " metrics, ingested_unix)"
+        " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            digest,
+            source,
+            label,
+            manifest.get("git_sha"),
+            _as_real(manifest.get("created_unix")),
+            _as_integer(manifest.get("schema")),
+            manifest.get("circuit") if isinstance(manifest.get("circuit"), str)
+            else None,
+            _as_integer(manifest.get("seed")),
+            run.total_wall_s,
+            sum(1 for _node, _depth in run.walk()),
+            json.dumps(manifest, sort_keys=True) if manifest else None,
+            json.dumps(run.metrics, sort_keys=True) if run.metrics else None,
+            time.time(),
+        ),
+    )
+    run_id = cursor.lastrowid
+    span_rows = []
+    profile_rows = []
+    for root in run.spans:
+        _flatten(root, 0, None, span_rows, profile_rows)
+    con.executemany(
+        "INSERT INTO spans (run_id, path, name, depth, parent_path, job,"
+        " start_time, duration_s, self_s, raw_self_s, status, peak_rss_kb,"
+        " attrs) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        [(run_id, *row) for row in span_rows],
+    )
+    con.executemany(
+        "INSERT INTO profiles (run_id, span_path, stack, samples)"
+        " VALUES (?, ?, ?, ?)",
+        [(run_id, *row) for row in profile_rows],
+    )
+    con.executemany(
+        "INSERT INTO measurements (run_id, key, value) VALUES (?, ?, ?)",
+        [(run_id, key, value)
+         for key, value in sorted(run_measurements(run).items())],
+    )
+    con.commit()
+    return IngestResult(run_id=run_id, digest=digest, inserted=True,
+                        source=source, spans=len(span_rows),
+                        warnings=list(run.warnings))
+
+
+def _flatten(node: SpanNode, depth: int, parent_path: Optional[str],
+             span_rows: List[tuple], profile_rows: List[tuple]) -> None:
+    span_rows.append((
+        node.path,
+        node.name,
+        depth,
+        parent_path,
+        _job_index(node.span_id),
+        node.start_time,
+        node.duration_s,
+        node.self_s if node.duration_s is not None else None,
+        node.raw_self_s if node.duration_s is not None else None,
+        node.status,
+        node.peak_rss_kb,
+        json.dumps(node.attrs, sort_keys=True) if node.attrs else None,
+    ))
+    profile = node.attrs.get("profile")
+    if isinstance(profile, dict):
+        for stack, count in sorted((profile.get("stacks") or {}).items()):
+            if isinstance(stack, str) and isinstance(count, (int, float)):
+                profile_rows.append((node.path, stack, int(count)))
+    for child in node.children:
+        _flatten(child, depth + 1, node.path, span_rows, profile_rows)
+
+
+def ingest_file(con: sqlite3.Connection, path: str,
+                label: Optional[str] = None) -> IngestResult:
+    """Ingest one exported JSONL run file (malformed lines skipped)."""
+    records, bad_lines = read_jsonl(path, strict=False, return_errors=True)
+    result = ingest_records(con, records, source=path, label=label)
+    for lineno in bad_lines:
+        result.warnings.insert(0, f"{path}:{lineno}: not valid JSON, skipped")
+    return result
+
+
+def list_runs(con: sqlite3.Connection,
+              limit: Optional[int] = None) -> List[Dict[str, object]]:
+    """Ingested runs, newest manifest first (ingest order breaks ties)."""
+    sql = ("SELECT run_id, digest, source, label, git_sha, created_unix,"
+           " circuit, seed, total_wall_s, span_count FROM runs"
+           " ORDER BY created_unix DESC, run_id DESC")
+    if limit is not None:
+        sql += f" LIMIT {int(limit)}"
+    return [dict(row) for row in con.execute(sql)]
+
+
+def resolve_run(con: sqlite3.Connection, selector: str) -> int:
+    """A run id from a user-facing selector.
+
+    Accepted forms: a run id (``3`` / ``#3``), a unique digest prefix
+    (>= 6 hex chars), ``latest`` / ``latest~N`` (by manifest creation
+    time, newest first).  Raises ValueError when nothing (or more than
+    one digest) matches.
+    """
+    selector = selector.strip()
+    if selector.startswith("latest"):
+        back = 0
+        _base, sep, offset = selector.partition("~")
+        if sep:
+            try:
+                back = int(offset)
+            except ValueError:
+                raise ValueError(f"bad run selector {selector!r}")
+        rows = list_runs(con, limit=back + 1)
+        if len(rows) <= back:
+            raise ValueError(
+                f"store has only {len(rows)} run(s), cannot resolve "
+                f"{selector!r}")
+        return int(rows[back]["run_id"])
+    bare = selector[1:] if selector.startswith("#") else selector
+    if bare.isdigit():
+        row = con.execute("SELECT run_id FROM runs WHERE run_id = ?",
+                          (int(bare),)).fetchone()
+        if row is None:
+            raise ValueError(f"no run with id {bare}")
+        return int(row["run_id"])
+    if len(bare) >= 6 and all(c in "0123456789abcdef" for c in bare.lower()):
+        rows = con.execute(
+            "SELECT run_id FROM runs WHERE digest LIKE ?",
+            (bare.lower() + "%",)).fetchall()
+        if len(rows) == 1:
+            return int(rows[0]["run_id"])
+        if len(rows) > 1:
+            raise ValueError(f"digest prefix {bare!r} is ambiguous "
+                             f"({len(rows)} runs)")
+    raise ValueError(
+        f"cannot resolve run {selector!r}: expected a run id, a digest "
+        "prefix (>= 6 hex chars), or latest[~N]")
+
+
+def load_parsed_run(con: sqlite3.Connection, run_id: int) -> ParsedRun:
+    """Rebuild a `ParsedRun` (span forest + manifest) from the store.
+
+    The reconstruction is faithful for everything the analysis layer
+    reads — paths, durations, attrs, statuses, start times — so the
+    attribution code runs identically on a warehouse run and a freshly
+    parsed JSONL file.
+    """
+    run_row = con.execute("SELECT * FROM runs WHERE run_id = ?",
+                          (run_id,)).fetchone()
+    if run_row is None:
+        raise ValueError(f"no run with id {run_id}")
+    manifest = json.loads(run_row["manifest"]) if run_row["manifest"] else None
+    run = ParsedRun(
+        source=(run_row["source"] or f"run#{run_id}"),
+        manifest=manifest,
+    )
+    if run_row["metrics"]:
+        run.metrics = json.loads(run_row["metrics"])
+    nodes: Dict[str, SpanNode] = {}
+    for row in con.execute(
+        "SELECT * FROM spans WHERE run_id = ? ORDER BY rowid", (run_id,)
+    ):
+        node = SpanNode(
+            name=row["name"],
+            path=row["path"],
+            span_id=None,
+            parent_id=None,
+            status=row["status"],
+            start_time=row["start_time"],
+            duration_s=row["duration_s"],
+            peak_rss_kb=row["peak_rss_kb"],
+            attrs=json.loads(row["attrs"]) if row["attrs"] else {},
+        )
+        if row["job"] is not None:
+            # Re-derivable job identity for critical-path extraction.
+            node.span_id = f"j{row['job']}.s0"
+        nodes[node.path] = node
+        parent = nodes.get(row["parent_path"]) if row["parent_path"] else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            run.spans.append(node)
+    return run
+
+
+def top_spans(
+    con: sqlite3.Connection,
+    k: int = 10,
+    runs: Optional[Sequence[int]] = None,
+    by: str = "self",
+    min_count: int = 1,
+) -> List[Dict[str, object]]:
+    """Top-k span paths by aggregate wall time across runs.
+
+    Args:
+        runs: Restrict to these run ids (default: every ingested run).
+        by: ``"self"`` ranks by summed clamped self-time (where is the
+            work actually spent), ``"total"`` by summed inclusive time.
+        min_count: Drop paths seen in fewer than this many runs.
+    """
+    if by not in ("self", "total"):
+        raise ValueError(f"by must be 'self' or 'total', got {by!r}")
+    column = "self_s" if by == "self" else "duration_s"
+    where, params = "", []
+    if runs is not None:
+        if not runs:
+            return []
+        marks = ",".join("?" for _ in runs)
+        where = f"WHERE run_id IN ({marks})"
+        params = [int(r) for r in runs]
+    sql = (
+        f"SELECT path, name, COUNT(*) AS runs,"
+        f" SUM({column}) AS agg_s, AVG({column}) AS mean_s,"
+        f" MAX({column}) AS max_s,"
+        f" SUM(duration_s) AS total_s, SUM(self_s) AS self_s"
+        f" FROM spans {where}"
+        f" GROUP BY path HAVING COUNT(*) >= ? AND agg_s IS NOT NULL"
+        f" ORDER BY agg_s DESC, path LIMIT ?"
+    )
+    rows = con.execute(sql, (*params, int(min_count), int(k)))
+    return [dict(row) for row in rows]
+
+
+def trend(
+    con: sqlite3.Connection,
+    key: str,
+    since_sha: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """One measurement's trajectory across ingested runs.
+
+    ``key`` is any `run_measurements` name — a stage alias
+    (``route.wall_s``), a span path (``span.<path>.self_s``), a metric
+    stat (``metric.route.net_route_s.p95``) — plus ``total.wall_s``.
+    Rows come back oldest first (manifest creation time), each with
+    the run's git SHA so the trajectory aligns with commit history;
+    ``since_sha`` drops rows older than that SHA's first run.
+    """
+    rows = [dict(row) for row in con.execute(
+        "SELECT m.run_id AS run_id, r.git_sha AS git_sha,"
+        " r.created_unix AS created_unix, r.source AS source,"
+        " r.circuit AS circuit, m.value AS value"
+        " FROM measurements m JOIN runs r ON r.run_id = m.run_id"
+        " WHERE m.key = ?"
+        " ORDER BY r.created_unix ASC, m.run_id ASC",
+        (key,),
+    )]
+    if since_sha:
+        start = next(
+            (index for index, row in enumerate(rows)
+             if isinstance(row["git_sha"], str)
+             and row["git_sha"].startswith(since_sha)),
+            None,
+        )
+        if start is None:
+            raise ValueError(f"no ingested run has git SHA {since_sha!r}")
+        rows = rows[start:]
+    return rows
+
+
+def profile_stacks(con: sqlite3.Connection,
+                   run_id: int) -> Dict[str, int]:
+    """All collapsed profiler stacks of one run, summed across spans."""
+    stacks: Dict[str, int] = {}
+    for row in con.execute(
+        "SELECT stack, SUM(samples) AS samples FROM profiles"
+        " WHERE run_id = ? GROUP BY stack", (run_id,)
+    ):
+        stacks[row["stack"]] = int(row["samples"])
+    return stacks
+
+
+def _as_real(value: object) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _as_integer(value: object) -> Optional[int]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return int(value)

@@ -76,6 +76,8 @@ class BatchResult:
             the post-hoc shard merge byte for byte (None when the
             comparison didn't run — needs both ``live`` and
             ``metrics_out``).
+        ingest: The warehouse `IngestResult` when ``ingest_db`` was
+            given (None otherwise).
     """
 
     results: List[JobResult]
@@ -85,6 +87,7 @@ class BatchResult:
     shard_dir: Optional[str] = None
     collector: Optional[TelemetryCollector] = None
     stream_identical: Optional[bool] = None
+    ingest: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -339,6 +342,7 @@ def run_batch(
     heartbeat_s: float = 0.2,
     stall_after_s: Optional[float] = None,
     stall_kill: bool = False,
+    ingest_db: Optional[str] = None,
 ) -> BatchResult:
     """Execute a batch; results come back in spec order.
 
@@ -363,10 +367,15 @@ def run_batch(
             long; with ``stall_kill`` it is terminated with status
             ``"stalled"`` instead of waiting for the hard timeout.
         stall_kill: Soft-kill flagged stalled workers (pool mode only).
+        ingest_db: Ingest the merged run into this telemetry warehouse
+            (sqlite, see `repro.obs.store`) after the shard merge;
+            needs ``metrics_out``.  Idempotent per run content.
     """
     workers = spec.workers if workers is None else workers
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if ingest_db and not metrics_out:
+        raise ValueError("ingest_db needs metrics_out (nothing to ingest)")
     workers = min(workers, len(spec.jobs))
     if shard_dir is None:
         shard_dir = tempfile.mkdtemp(prefix="repro-batch-")
@@ -408,6 +417,7 @@ def run_batch(
 
     metrics_path = None
     stream_identical = None
+    ingest = None
     if metrics_out:
         manifest = run_manifest(extra={
             "batch": {
@@ -428,11 +438,26 @@ def run_batch(
             if not stream_identical:
                 _log.info("live stream diverged from shard merge %s",
                           kv(path=metrics_out))
+        if ingest_db:
+            # Imported here, not at module top: the warehouse pulls in
+            # the whole analyze layer, which workers never need.
+            from ..obs import store
+
+            con = store.connect(ingest_db)
+            try:
+                ingest = store.ingest_file(con, metrics_out, label="batch")
+            finally:
+                con.close()
+            _log.info("batch telemetry ingested %s",
+                      kv(db=ingest_db, run_id=ingest.run_id,
+                         inserted=ingest.inserted,
+                         digest=ingest.digest[:12]))
     _log.info("batch done %s", kv(jobs=len(spec.jobs), wall_s=round(wall_s, 3),
                                   ok=sum(r.ok for r in results)))
     return BatchResult(results=results, wall_s=wall_s, workers=workers,
                        metrics_path=metrics_path, shard_dir=shard_dir,
-                       collector=collector, stream_identical=stream_identical)
+                       collector=collector, stream_identical=stream_identical,
+                       ingest=ingest)
 
 
 def _stream_matches_merge(collector: TelemetryCollector,

@@ -103,6 +103,20 @@ class TestAlignment:
         assert math.isinf(entry.pct)
         assert entry.pct > 0
 
+    def test_shrink_to_below_zero_is_negative_inf_pct(self):
+        entry = DiffEntry(key="x", a=0.0, b=-2.0)
+        assert math.isinf(entry.pct)
+        assert entry.pct < 0
+
+    def test_zero_to_zero_pct_is_zero(self):
+        entry = DiffEntry(key="x", a=0.0, b=0.0)
+        assert entry.pct == 0.0
+
+    def test_missing_baseline_pct_is_none(self):
+        assert DiffEntry(key="x", a=None, b=2.0).pct is None
+        assert DiffEntry(key="x", a=2.0, b=None).pct is None
+        assert DiffEntry(key="x", a=None, b=None).pct is None
+
     def test_repeated_spans_align_by_path_suffix(self):
         records = [span("evaluate", 0.1, {"variant": "X"}),
                    span("evaluate", 0.2, {"variant": "Y"})]
@@ -187,3 +201,20 @@ class TestFormatting:
                          parse_run([span("flow.route", 1.0, {"wirelength": 5})]))
         payload = diff_to_dict(diff)
         assert payload["metrics"]["route.wirelength"]["pct"] is None
+
+    def test_fmt_pct_edge_values(self):
+        from repro.obs.analyze.diff import _fmt_pct
+
+        assert _fmt_pct(None) == "-"
+        assert _fmt_pct(math.inf) == "+inf%"
+        assert _fmt_pct(-math.inf) == "-inf%"
+        assert _fmt_pct(0.0) == "+0.0%"
+        assert _fmt_pct(-12.34) == "-12.3%"
+
+    def test_zero_baseline_rows_format_without_crashing(self):
+        # A measure growing from exactly 0 must render as +inf%, not
+        # raise, in both the table and JSON paths.
+        diff = diff_runs(parse_run([span("flow.route", 1.0, {"wirelength": 0})]),
+                         parse_run([span("flow.route", 1.0, {"wirelength": 5})]))
+        text = format_diff(diff)
+        assert "+inf%" in text

@@ -9,6 +9,7 @@ from repro.obs.analyze import (
     append_history,
     check_history,
     load_history,
+    prune_history,
     summarize_bench,
 )
 
@@ -89,6 +90,65 @@ class TestAppend:
         first = open(path).read()
         append_history(path, [row()])
         assert open(path).read() == first
+
+    def test_unkeyed_rows_dedupe_by_content(self, tmp_path):
+        # A tarball checkout has no git SHA; re-appending the identical
+        # row must still be idempotent instead of growing the file.
+        path = str(tmp_path / "hist.jsonl")
+        unkeyed = row(sha="x")
+        unkeyed["git_sha"] = None
+        append_history(path, [unkeyed])
+        append_history(path, [dict(unkeyed)])
+        rows, _ = load_history(path)
+        assert len(rows) == 1
+
+    def test_distinct_unkeyed_rows_both_kept(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        a, b = row(sha="x", wirelength=100), row(sha="x", wirelength=200)
+        a["git_sha"] = b["git_sha"] = None
+        append_history(path, [a])
+        append_history(path, [b])
+        rows, _ = load_history(path)
+        assert len(rows) == 2
+
+    def test_prune_collapses_pre_dedup_duplicates(self, tmp_path):
+        # A store grown by pre-dedup appends: the same key three times.
+        path = tmp_path / "hist.jsonl"
+        path.write_text("".join(
+            json.dumps(row(sha="a", wirelength=wl), sort_keys=True) + "\n"
+            for wl in (100, 150, 200)))
+        kept, dropped = prune_history(str(path))
+        assert (kept, dropped) == (1, 2)
+        rows, _ = load_history(str(path))
+        assert rows[0]["qor"]["wirelength"] == 200.0
+
+    def test_prune_keep_trims_per_circuit(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, [row(sha=f"s{i}", created=1000.0 + i)
+                              for i in range(6)]
+                       + [row(circuit="alu4", sha="z", created=1.0)])
+        kept, dropped = prune_history(path, keep=2)
+        assert (kept, dropped) == (3, 4)
+        rows, _ = load_history(path)
+        tseng = [r for r in rows if r["circuit"] == "tseng"]
+        # The newest two rows by created_unix survive.
+        assert sorted(r["git_sha"] for r in tseng) == ["s4", "s5"]
+        assert sum(r["circuit"] == "alu4" for r in rows) == 1
+
+    def test_prune_missing_file_is_empty(self, tmp_path):
+        assert prune_history(str(tmp_path / "nope.jsonl")) == (0, 0)
+
+    def test_prune_bad_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            prune_history(str(tmp_path / "hist.jsonl"), keep=0)
+
+    def test_prune_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(path, [row(sha="a"), row(sha="b", created=2000)])
+        prune_history(path)
+        before = open(path).read()
+        assert prune_history(path) == (2, 0)
+        assert open(path).read() == before
 
     def test_load_skips_foreign_rows(self, tmp_path):
         path = tmp_path / "hist.jsonl"

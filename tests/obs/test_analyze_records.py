@@ -120,3 +120,39 @@ class TestSpanTree:
         assert isinstance(run, ParsedRun)
         assert run.total_wall_s == 0.0
         assert run.by_path() == {}
+
+    def test_self_time_clamped_when_children_oversum(self):
+        # Clock-resolution overlap can make recorded child durations
+        # sum past the parent; displayed self-time must clamp at 0
+        # while raw_self_s keeps the exact (negative) value so the
+        # attribution telescoping sum stays lossless.
+        run = parse_run([{
+            "type": "span", "name": "parent", "duration_s": 1.0,
+            "children": [
+                {"name": "a", "duration_s": 0.6},
+                {"name": "b", "duration_s": 0.7},
+            ],
+        }])
+        parent = run.spans[0]
+        assert parent.raw_self_s == pytest.approx(-0.3)
+        assert parent.self_s == 0.0
+
+    def test_raw_self_matches_self_when_positive(self):
+        run = load_run(FIXTURE)
+        for node, _depth in run.walk():
+            if node.raw_self_s >= 0:
+                assert node.self_s == node.raw_self_s
+
+    def test_raw_self_times_telescope_to_root_total(self):
+        run = load_run(FIXTURE)
+        for root in run.spans:
+            subtree = []
+
+            def collect(node):
+                subtree.append(node)
+                for child in node.children:
+                    collect(child)
+
+            collect(root)
+            assert sum(n.raw_self_s for n in subtree) == pytest.approx(
+                root.total_s)

@@ -1,0 +1,245 @@
+"""Regression attribution: exact decomposition, critical paths, gates."""
+
+import math
+import os
+
+import pytest
+
+from repro.obs.analyze import (
+    attribute_runs,
+    critical_path,
+    format_attribution,
+    load_run,
+    parse_run,
+    parse_threshold,
+    render_attribution_html,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "run_v1.jsonl")
+
+
+def span(name, duration, children=(), start=None, span_id=None, attrs=None):
+    record = {"type": "span", "name": name, "duration_s": duration,
+              "attrs": attrs or {}, "children": list(children)}
+    if start is not None:
+        record["start_time"] = start
+    if span_id is not None:
+        record["span_id"] = span_id
+    return record
+
+
+def flow_run(place_s=0.5, route_s=1.0, source="synthetic"):
+    return parse_run([
+        span("flow.run", place_s + route_s + 0.1, [
+            span("flow.place", place_s),
+            span("flow.route", route_s),
+        ]),
+    ], source=source)
+
+
+class TestExactDecomposition:
+    def test_delta_equals_sum_of_contributions(self):
+        attr = attribute_runs(flow_run(route_s=1.0), flow_run(route_s=1.7))
+        assert attr.total_delta == pytest.approx(0.7)
+        assert attr.attributed_delta == pytest.approx(attr.total_delta)
+        assert abs(attr.residual) < 1e-12
+
+    def test_overlapping_children_stay_exact(self):
+        # Children oversumming the parent (negative raw self) must not
+        # leak into the decomposition: the telescoping sum still
+        # reproduces the end-to-end delta exactly.
+        run_a = parse_run([span("p", 1.0, [span("a", 0.6), span("b", 0.7)])])
+        run_b = parse_run([span("p", 2.0, [span("a", 0.6), span("b", 0.9)])])
+        attr = attribute_runs(run_a, run_b)
+        assert attr.total_delta == pytest.approx(1.0)
+        assert attr.attributed_delta == pytest.approx(1.0)
+        parent = next(d for d in attr.deltas if d.path == "p")
+        assert parent.self_a == pytest.approx(-0.3)
+
+    def test_missing_spans_contribute_their_full_self(self):
+        run_a = flow_run()
+        run_b = parse_run([
+            span("flow.run", 2.1, [
+                span("flow.place", 0.5),
+                span("flow.route", 1.0),
+                span("flow.repair", 0.5),
+            ]),
+        ])
+        attr = attribute_runs(run_a, run_b)
+        repair = next(d for d in attr.deltas
+                      if d.path == "flow.run/flow.repair")
+        assert repair.total_a is None
+        assert repair.delta_self == pytest.approx(0.5)
+        assert attr.attributed_delta == pytest.approx(attr.total_delta)
+
+    def test_fixture_against_itself_is_all_zero(self):
+        run = load_run(FIXTURE)
+        attr = attribute_runs(run, run)
+        assert attr.total_delta == 0.0
+        assert all(d.delta_self == 0.0 for d in attr.deltas)
+        assert attr.residual == 0.0
+
+    def test_deltas_sorted_by_magnitude(self):
+        attr = attribute_runs(flow_run(), flow_run(place_s=0.9, route_s=1.2))
+        magnitudes = [abs(d.delta_self) for d in attr.deltas]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_share_of_total(self):
+        attr = attribute_runs(flow_run(route_s=1.0), flow_run(route_s=2.0))
+        route = next(d for d in attr.deltas
+                     if d.path == "flow.run/flow.route")
+        assert route.share_of(attr.total_delta) == pytest.approx(1.0)
+        assert route.share_of(0.0) is None
+
+
+class TestStages:
+    def test_stage_roll_up(self):
+        attr = attribute_runs(flow_run(route_s=1.0), flow_run(route_s=1.5))
+        assert attr.stages["route"].delta == pytest.approx(0.5)
+        assert attr.stages["route"].pct == pytest.approx(50.0)
+        assert attr.stages["place"].delta == pytest.approx(0.0)
+
+    def test_stage_missing_from_one_run(self):
+        run_b = parse_run([span("flow.run", 1.0, [span("flow.route", 1.0)])])
+        attr = attribute_runs(flow_run(), run_b)
+        assert attr.stages["place"].wall_b is None
+        assert attr.stages["place"].delta is None
+
+    def test_zero_baseline_stage_pct_is_inf(self):
+        run_a = parse_run([span("flow.route", 0.0)])
+        run_b = parse_run([span("flow.route", 1.0)])
+        attr = attribute_runs(run_a, run_b)
+        assert math.isinf(attr.stages["route"].pct)
+
+
+class TestGates:
+    def test_stage_gate_passes_and_fails(self):
+        attr = attribute_runs(flow_run(route_s=1.0), flow_run(route_s=1.3))
+        assert attr.check([parse_threshold("route>+50%")]) == []
+        violations = attr.check([parse_threshold("route>+10%")])
+        assert len(violations) == 1
+        assert "route" in violations[0]
+
+    def test_total_and_span_path_keys(self):
+        attr = attribute_runs(flow_run(route_s=1.0), flow_run(route_s=2.0))
+        assert attr.check([parse_threshold("total>+5.0")]) == []
+        violations = attr.check(
+            [parse_threshold("span.flow.run/flow.route>+0.5")])
+        assert len(violations) == 1
+
+    def test_missing_stage_is_a_violation(self):
+        attr = attribute_runs(flow_run(), flow_run())
+        violations = attr.check([parse_threshold("anneal>+10%")])
+        assert len(violations) == 1
+        assert "missing" in violations[0]
+
+    def test_unknown_key_is_a_violation(self):
+        attr = attribute_runs(flow_run(), flow_run())
+        violations = attr.check([parse_threshold("nonsense>+10%")])
+        assert len(violations) == 1
+
+
+class TestCriticalPath:
+    def batch_run(self, schedule):
+        """Roots from (job, start, duration) triples."""
+        return parse_run([
+            span("batch.job", duration, start=start, span_id=f"j{job}.s0")
+            for job, start, duration in schedule
+        ])
+
+    def test_parallel_jobs_pick_longest_chain(self):
+        # j0 [0, 4] alone; j1 [0, 1.5] then j2 [2, 5] chain to 4.5.
+        run = self.batch_run([(0, 0.0, 4.0), (1, 0.0, 1.5), (2, 2.0, 3.0)])
+        chain = critical_path(run)
+        assert [e.job for e in chain] == [1, 2]
+        assert sum(e.duration_s for e in chain) == pytest.approx(4.5)
+
+    def test_overlapping_jobs_never_chain(self):
+        run = self.batch_run([(0, 0.0, 2.0), (1, 1.0, 2.0)])
+        chain = critical_path(run)
+        # j1 starts before j0 ends: no precedence, the longest single
+        # job wins (ties break deterministically).
+        assert len(chain) == 1
+
+    def test_serial_run_degrades_to_all_roots(self):
+        run = parse_run([span("a", 1.0), span("b", 2.0)])
+        assert [e.path for e in critical_path(run)] == ["a", "b"]
+
+    def test_dominant_child_descent_names_the_stage(self):
+        run = parse_run([
+            span("batch.job", 10.0, [span("flow.route", 8.0)],
+                 start=0.0, span_id="j0.s0"),
+        ])
+        chain = critical_path(run)
+        assert [e.path for e in chain] == ["batch.job",
+                                           "batch.job/flow.route"]
+        assert all(e.job == 0 for e in chain)
+
+    def test_non_dominant_children_not_descended(self):
+        run = parse_run([
+            span("batch.job", 10.0,
+                 [span("flow.route", 3.0), span("flow.place", 3.0)],
+                 start=0.0, span_id="j0.s0"),
+        ])
+        assert [e.path for e in critical_path(run)] == ["batch.job"]
+
+    def test_empty_run(self):
+        assert critical_path(parse_run([])) == []
+
+
+class TestProfileDelta:
+    def profiled_run(self, counts):
+        return parse_run([
+            span("flow.run", 1.0,
+                 attrs={"profile": {"stacks": dict(counts)}}),
+        ])
+
+    def test_stack_deltas(self):
+        attr = attribute_runs(
+            self.profiled_run({"a;b": 10, "a;c": 5}),
+            self.profiled_run({"a;b": 4, "a;d": 3}))
+        assert attr.profile_delta == {"a;b": -6, "a;c": -5, "a;d": 3}
+
+    def test_no_profiles_is_empty(self):
+        attr = attribute_runs(flow_run(), flow_run())
+        assert attr.profile_delta == {}
+
+
+class TestRendering:
+    def test_text_report_sections(self):
+        attr = attribute_runs(flow_run(route_s=1.0),
+                              flow_run(route_s=2.0, source="candidate"))
+        text = format_attribution(attr)
+        assert "end-to-end:" in text
+        assert "per-span contributions" in text
+        assert "per-stage roll-up" in text
+        assert "critical path A" in text
+        assert "flow.run/flow.route" in text
+
+    def test_html_report_has_flamegraphs(self):
+        run_a = self.with_profile(flow_run(route_s=1.0))
+        run_b = self.with_profile(flow_run(route_s=2.0))
+        html = render_attribution_html(attribute_runs(run_a, run_b))
+        assert "differential flamegraph" in html
+        assert "differential profile flamegraph" in html
+        assert "flabel" in html
+
+    @staticmethod
+    def with_profile(run):
+        run.spans[0].attrs["profile"] = {"stacks": {"a;b": 5}}
+        return run
+
+    def test_to_dict_round_trips_as_json(self):
+        import json
+
+        attr = attribute_runs(flow_run(), flow_run(route_s=2.0))
+        doc = json.loads(json.dumps(attr.to_dict(), sort_keys=True))
+        assert doc["total_delta_s"] == pytest.approx(1.0)
+        assert doc["attributed_delta_s"] == pytest.approx(1.0)
+        assert any(s["path"] == "flow.run/flow.route" for s in doc["spans"])
+
+    def test_format_handles_zero_baseline_total(self):
+        attr = attribute_runs(parse_run([span("x", 0.0)]),
+                              parse_run([span("x", 1.0)]))
+        text = format_attribution(attr)
+        assert "end-to-end: 0.0000s -> 1.0000s" in text

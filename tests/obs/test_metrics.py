@@ -54,8 +54,10 @@ class TestHistogram:
             h.observe(v)
         assert h.percentile(50) == 50
         assert h.percentile(90) == 90
+        assert h.percentile(95) == 95
         assert h.percentile(100) == 100
         assert h.percentile(0) == 1
+        assert h.snapshot()["p95"] == 95
 
     def test_percentile_bounds_checked(self):
         h = Histogram("x")
@@ -80,8 +82,8 @@ class TestHistogram:
         snap = h.snapshot()
         assert snap["kind"] == "histogram"
         assert set(snap) == {
-            "kind", "count", "sum", "min", "max", "mean", "p50", "p90", "p99",
-            "buckets",
+            "kind", "count", "sum", "min", "max", "mean", "p50", "p90", "p95",
+            "p99", "buckets",
         }
 
     def test_snapshot_buckets_cover_observations(self):

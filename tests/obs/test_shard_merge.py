@@ -10,6 +10,8 @@ raised).
 import json
 import math
 
+import pytest
+
 from repro.obs import run_manifest
 from repro.obs.metrics import BUCKET_BOUNDS, Histogram
 from repro.obs.shards import merge_metric_snapshots, merge_shards
@@ -50,11 +52,14 @@ class TestBucketPercentileMerge:
         assert merged["count"] == len(combined)
         assert merged["min"] == min(combined)
         assert merged["max"] == max(combined)
-        for key, pct in (("p50", 50), ("p90", 90), ("p99", 99)):
+        for key, pct in (("p50", 50), ("p90", 90), ("p95", 95), ("p99", 99)):
             exact = _exact_percentile(combined, pct)
             estimate = merged[key]
             assert estimate is not None
             assert exact <= estimate <= exact + _bucket_width_at(exact)
+        # The merged mean is exact (count-weighted), not bucketed.
+        assert merged["mean"] == pytest.approx(
+            sum(combined) / len(combined))
 
     def test_merge_is_order_independent(self):
         a, b = _snapshot("h", [0.1, 2.0, 7.0]), _snapshot("h", [0.4, 30.0])
@@ -69,6 +74,18 @@ class TestBucketPercentileMerge:
         merged = merge_metric_snapshots([dict(legacy), _snapshot("h", [5.0])])
         assert merged["h"]["count"] == 4
         assert merged["h"]["p50"] is None and "buckets" not in merged["h"]
+        assert merged["h"]["mean"] == pytest.approx(11.0 / 4)
+
+    def test_sumless_legacy_snapshot_merges_mean_by_count_weight(self):
+        # Pre-sum snapshots carry only mean+count; the merged mean must
+        # weight by count (3 obs averaging 2.0 + 1 obs of 6.0 -> 3.0),
+        # not average the means.
+        legacy = {"h": {"kind": "histogram", "count": 3,
+                        "min": 1.0, "max": 3.0, "mean": 2.0,
+                        "p50": 2.0, "p90": 3.0, "p99": 3.0}}
+        merged = merge_metric_snapshots([dict(legacy), _snapshot("h", [6.0])])
+        assert merged["h"]["count"] == 4
+        assert merged["h"]["mean"] == pytest.approx(3.0)
 
 
 class TestTruncatedShards:
