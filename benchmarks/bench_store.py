@@ -1,0 +1,73 @@
+"""Result-store bench — cold publish vs warm replay of one matrix.
+
+The tentpole claim of the store layer (DESIGN.md Sec. 5h): replaying
+a batch against a warm content-addressed store executes **zero** jobs
+and serves byte-identical, digest-reverified `JobResult`s.  This
+bench runs the committed tseng matrix (`specs/tseng_matrix.json`)
+cold, replays it warm, asserts the identity and zero-execution
+contracts, and gates the replay at >= `MIN_REPLAY_SPEEDUP`x.
+
+Unlike the batch bench's parallel-speedup gate this one always arms:
+a store hit is pure I/O + hashing, so even a 1-core container beats
+re-running place-and-route by far more than 5x.
+
+Environment knobs:
+
+    REPRO_BENCH_STORE_WORKERS  pool size for both arms (default 2)
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.runner import BatchSpec, results_identical, run_batch
+from repro.store import ResultStore
+
+BENCH_STORE_WORKERS = int(os.environ.get("REPRO_BENCH_STORE_WORKERS", "2"))
+
+#: The ISSUE acceptance gate: warm replay at least this much faster
+#: than the cold run that populated the store.
+MIN_REPLAY_SPEEDUP = 5.0
+
+SPEC_PATH = os.path.join(os.path.dirname(__file__), "specs",
+                         "tseng_matrix.json")
+
+
+@pytest.mark.benchmark(group="store")
+def test_store_replay_speedup(benchmark, tmp_path):
+    spec = BatchSpec.from_file(SPEC_PATH)
+    store_root = str(tmp_path / "store")
+    code = "bench-store"
+
+    t0 = time.perf_counter()
+    cold = run_batch(spec, workers=BENCH_STORE_WORKERS,
+                     shard_dir=str(tmp_path / "cold"),
+                     store=ResultStore(store_root, code=code))
+    cold_s = time.perf_counter() - t0
+    assert cold.ok
+    assert cold.store_stats["published"] == len(spec.jobs)
+
+    def replay():
+        return run_batch(spec, workers=BENCH_STORE_WORKERS,
+                         shard_dir=str(tmp_path / "warm"),
+                         store=ResultStore(store_root, code=code))
+
+    t0 = time.perf_counter()
+    warm = benchmark.pedantic(replay, rounds=1, iterations=1)
+    warm_s = time.perf_counter() - t0
+
+    # Zero-execution contract: every job served from the store.
+    assert warm.store_stats["hits"] == len(spec.jobs)
+    assert warm.store_stats["misses"] == 0
+    assert sorted(warm.cached) == sorted(j.key for j in spec.jobs)
+    # Byte-identity: the digest-reverified cached results match the
+    # freshly executed ones exactly.
+    assert results_identical(cold.results, warm.results)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"\n=== Store replay: cold {cold_s:.3f}s -> warm {warm_s:.3f}s "
+          f"({speedup:.0f}x, {len(spec.jobs)} jobs) ===")
+    assert speedup >= MIN_REPLAY_SPEEDUP, (
+        f"warm replay only {speedup:.1f}x faster than cold "
+        f"(gate: {MIN_REPLAY_SPEEDUP}x)")

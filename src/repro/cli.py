@@ -171,6 +171,83 @@ def _cmd_crossbar(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_flow_store(args: argparse.Namespace) -> int:
+    """`repro flow --store`: the flow as one store-backed job.
+
+    Builds the `JobSpec` the flags describe and serves it through the
+    result store — a warm store answers without running P&R at all;
+    a miss executes the normal worker flow and publishes the result.
+    """
+    import time as time_mod
+
+    from .obs import setup_logging
+    from .runner.executor import run_single_job
+    from .runner.spec import JobSpec
+
+    if getattr(args, "verbose", 0):
+        setup_logging(args.verbose)
+    spec = JobSpec(circuit=args.circuit, variant=args.variant,
+                   seed=args.seed, width=args.width, scale=args.scale)
+    store = _open_store(args)
+    started = time_mod.perf_counter()
+    result = run_single_job(spec, store=store, retries=1,
+                            timeout_s=getattr(args, "timeout", None))
+    wall_s = time_mod.perf_counter() - started
+    cached = store.stats.hits > 0
+    doc = {
+        "job": spec.key,
+        "status": result.status,
+        "cached": cached,
+        "wall_s": wall_s,
+        "result": result.to_dict(),
+    }
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        qor = result.qor
+        print(f"{spec.key}: {result.status}"
+              f" ({'store hit' if cached else 'computed'}, {wall_s:.2f}s)")
+        if result.ok:
+            print(f"  wl={qor.get('wirelength')} it={qor.get('iterations')} "
+                  f"crit={qor.get('critical_path_s', 0) * 1e9:.2f}ns "
+                  f"W={qor.get('channel_width')}")
+        elif result.error:
+            print(f"  {result.error.splitlines()[0]}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .obs import setup_logging
+    from .serve import serve_async
+
+    if getattr(args, "verbose", 0):
+        setup_logging(args.verbose)
+    store = _open_store(args)
+    if store is None:
+        print("error: repro serve needs --store DIR (the result store "
+              "backing the service)", file=sys.stderr)
+        return 2
+
+    def ready(server):
+        # Machine-readable bind line on stdout: launchers (CI, tests)
+        # parse the ephemeral port from it.
+        print(json.dumps({"serving": True, "host": server.host,
+                          "port": server.port, "store": store.root,
+                          "workers": server.workers}, sort_keys=True),
+              flush=True)
+
+    try:
+        asyncio.run(serve_async(
+            store, workers=args.workers, timeout_s=args.timeout,
+            retries=args.retries, host=args.host, port=args.port,
+            ready=ready))
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+    return 0
+
+
 def _cmd_flow(args: argparse.Namespace) -> int:
     from .arch import ArchParams
     from .config.bitstream import extract_bitstream, program_fabric
@@ -185,6 +262,8 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     from .obs import get_tracer
     from .vpr import render_congestion, render_placement, run_flow, utilization_summary
 
+    if getattr(args, "store", None):
+        return _cmd_flow_store(args)
     arch = ArchParams(channel_width=args.width)
     netlist = load_circuit(args.circuit, scale=args.scale)
     # Progress and failure diagnostics go to stderr: stdout carries
@@ -499,6 +578,18 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if all_repaired else 1
 
 
+def _open_store(args: argparse.Namespace):
+    """The `ResultStore` the command's flags describe, or None."""
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from .store import ResultStore
+
+    return ResultStore(path,
+                       max_bytes=getattr(args, "store_max_bytes", None),
+                       max_entries=getattr(args, "store_max_entries", None))
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .obs import setup_logging, write_json
     from .runner import BatchSpec, results_identical, run_batch
@@ -559,6 +650,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         stall_after_s=getattr(args, "stall_after", None),
         stall_kill=getattr(args, "stall_kill", False),
         ingest_db=ingest_db,
+        store=_open_store(args),
     )
     doc = {
         "spec_digest": spec.digest,
@@ -602,6 +694,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                          f"it={qor.get('iterations')} "
                          f"crit={qor.get('critical_path_s', 0) * 1e9:.2f}ns")
             print(line)
+    if batch.store_stats is not None:
+        stats = batch.store_stats
+        print(f"result store {args.store}: {stats['hits']} hit(s), "
+              f"{stats['misses']} miss(es), {stats['published']} published",
+              file=sys.stderr)
     if batch.metrics_path:
         print(f"wrote merged batch telemetry to {batch.metrics_path}",
               file=sys.stderr)
@@ -912,6 +1009,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-v", "--verbose", action="count", default=0,
                        help="structured logs to stderr (-vv for debug)")
 
+    def add_store_args(p):
+        p.add_argument("--store", metavar="DIR", default=None,
+                       help="content-addressed result store: serve cached "
+                            "job results instead of re-running, publish "
+                            "fresh ones back (see DESIGN.md Sec 5h)")
+        p.add_argument("--store-max-bytes", type=int, default=None,
+                       metavar="N", help="GC the store down to N blob bytes "
+                                         "after publishing")
+        p.add_argument("--store-max-entries", type=int, default=None,
+                       metavar="N", help="GC the store down to N results "
+                                         "after publishing")
+
     p_xbar = sub.add_parser("crossbar", help="program a crossbar via half-select")
     p_xbar.add_argument("--rows", type=int, default=2)
     p_xbar.add_argument("--cols", type=int, default=2)
@@ -932,6 +1041,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_flow = sub.add_parser("flow", help="pack/place/route + variant table")
     add_flow_args(p_flow)
+    add_store_args(p_flow)
+    p_flow.add_argument("--variant", default="baseline",
+                        help="job variant for --store mode: baseline, "
+                             "nem-naive, nem-opt[:downsize]")
+    p_flow.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock limit for --store mode (seconds)")
     p_flow.add_argument("--downsize", type=float, default=8.0)
     p_flow.add_argument("--show-maps", action="store_true",
                         help="print floorplan and congestion maps")
@@ -1049,6 +1164,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "parallel results are bit-identical")
         p.add_argument("--json", action="store_true",
                        help="machine-readable results on stdout")
+        add_store_args(p)
         add_obs_args(p)
 
     p_batch = sub.add_parser(
@@ -1065,6 +1181,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a batch with the live telemetry table (batch --live)")
     add_batch_args(p_watch)
     p_watch.set_defaults(func=_cmd_batch, live=True)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve flow/batch/sweep requests over a local HTTP JSON API "
+             "backed by the result store")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: loopback only)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0: pick an ephemeral port; "
+                              "the bind line on stdout carries the choice)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="max concurrent worker processes")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock limit in seconds")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="relaunch budget per job after a worker crash")
+    add_store_args(p_serve)
+    add_obs_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_faults = sub.add_parser(
         "faults",

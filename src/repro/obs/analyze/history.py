@@ -126,11 +126,23 @@ def _row_canonical(row: dict) -> str:
 
 
 def _write_rows(path: str, rows: Sequence[dict]) -> None:
+    # Atomic tmp + replace: the history store is rewritten whole on
+    # every append, so a killed run must leave the previous complete
+    # trajectory, never a torn file the next gate chokes on.
     _ensure_parent(path)
-    with open(path, "w", encoding="utf-8") as handle:
-        for row in rows:
-            handle.write(json.dumps(row, sort_keys=True))
-            handle.write("\n")
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True))
+                handle.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.remove(tmp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
 
 
 def append_history(path: str, rows: Sequence[dict]) -> int:

@@ -144,14 +144,29 @@ def telemetry_records(
 
 
 def write_jsonl(path: str, records: Iterable[Dict[str, object]]) -> int:
-    """Write records one-per-line; returns the number written."""
+    """Write records one-per-line; returns the number written.
+
+    Atomic: content lands in ``<path>.<pid>.tmp`` and is published with
+    `os.replace`, so a reader (or a ``repro db ingest`` racing a run)
+    sees either the previous complete file or the new complete file —
+    never a torn half-write from a killed process.
+    """
     _ensure_parent(path)
+    tmp_path = f"{path}.{os.getpid()}.tmp"
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record, sort_keys=True))
-            handle.write("\n")
-            count += 1
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+                count += 1
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):  # publish failed: leave no litter
+            try:
+                os.remove(tmp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
     return count
 
 
@@ -202,8 +217,20 @@ def _ensure_parent(path: str) -> None:
 
 
 def write_json(path: str, obj: object) -> None:
-    """Pretty-printed single-document JSON (BENCH_*.json outputs)."""
+    """Pretty-printed single-document JSON (BENCH_*.json outputs).
+
+    Atomic via tmp + `os.replace`, like `write_jsonl`.
+    """
     _ensure_parent(path)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(obj, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    tmp_path = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.remove(tmp_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass

@@ -351,6 +351,34 @@ class TelemetryCollector:
         self.jobs: Dict[str, JobLiveState] = {}
         self.malformed = 0
         self.warnings: List[str] = []
+        self._subscribers: List = []
+
+    def add_subscriber(self, callback) -> None:
+        """Fan every handled event out to ``callback(event)`` too.
+
+        The subscriber path is how `repro serve` re-broadcasts one
+        batch's worker stream to any number of connected clients: the
+        collector stays the single consumer of the multiprocessing
+        queue (events must be folded exactly once), and subscribers
+        get a read-only copy after the fold.  Callbacks must be cheap
+        and must not raise; a raising subscriber is dropped so it can
+        never stall or corrupt the event plane.
+        """
+        self._subscribers.append(callback)
+
+    def remove_subscriber(self, callback) -> None:
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def _fan_out(self, event: Dict[str, object]) -> None:
+        for callback in list(self._subscribers):
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 - a bad subscriber must not
+                # take down the batch; unsubscribe it and move on.
+                self.remove_subscriber(callback)
 
     def expect(self, key: str, index: int = -1) -> JobLiveState:
         """Register a job at launch so pre-``hello`` silence counts as
@@ -456,6 +484,8 @@ class TelemetryCollector:
             state.metrics = metrics if isinstance(metrics, dict) else None
         else:
             self.malformed += 1
+            return
+        self._fan_out(event)
 
     def mark_done(self, key: str, status: str) -> None:
         """Supervisor-side verdict for a job, applied once the
@@ -466,6 +496,38 @@ class TelemetryCollector:
         if not state.bye_seen:
             state.done = True
             state.status = status
+
+    def inject_records(self, key: str, records: List[Dict[str, object]],
+                       status: str = "ok", index: int = -1) -> None:
+        """Adopt shard-equivalent records for a job that never ran.
+
+        A result-store cache hit skips execution, so no worker ever
+        streams for the job — but the run model must still contain its
+        (synthetic) span and metrics, byte-identical to the shard the
+        supervisor writes on its behalf.  This installs exactly those
+        records as if the worker had streamed them and said ``bye``,
+        and fans a synthetic ``cached`` event out to subscribers so
+        live watchers see the hit too.
+        """
+        state = self.expect(key, index)
+        state.records = [
+            {k: v for k, v in record.items() if k != "type"}
+            for record in records
+            if isinstance(record, dict) and record.get("type") == "span"
+        ]
+        state.metrics = None
+        for record in records:
+            if isinstance(record, dict) and record.get("type") == "metrics":
+                metrics = record.get("metrics")
+                if isinstance(metrics, dict):
+                    state.metrics = metrics
+        state.status = status
+        state.stage = None
+        state.done = True
+        state.bye_seen = True
+        state.last_seen = time.monotonic()
+        self._fan_out({"ev": "cached", "job": key, "seq": 0,
+                       "t": time.time(), "status": status, "index": index})
 
     def stalled(self, threshold_s: float,
                 now: Optional[float] = None) -> List[JobLiveState]:

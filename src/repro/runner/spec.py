@@ -26,6 +26,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: Default circuit shrink factor for batch jobs (DESIGN.md Sec. 6).
 DEFAULT_SCALE = 0.02
 
+#: Bump whenever a code change alters what any job computes — QoR
+#: scalars or artefact digests.  Part of every result-store key
+#: (`code_digest`), so bumping it invalidates every cached result at
+#: once without touching the store on disk.
+RESULT_VERSION = 1
+
 #: Variant spellings accepted in specs; "nem-opt" takes an optional
 #: ``:<downsize>`` suffix ("nem-opt:8").
 VARIANT_NAMES = ("baseline", "nem-naive", "nem-opt")
@@ -43,6 +49,28 @@ def _canon_json(obj: object) -> str:
 def digest_of(obj: object) -> str:
     """sha256 hex digest of an object's canonical JSON form."""
     return hashlib.sha256(_canon_json(obj).encode("utf-8")).hexdigest()
+
+
+def code_digest(extra: Optional[Dict[str, object]] = None) -> str:
+    """Identity of the *code* producing job results.
+
+    The second axis of the result store's key: two processes agree on
+    a cached result only when they agree on this digest.  Folds in the
+    git SHA of the installed checkout (None outside a repo — a store
+    shared between a repo and a tarball checkout conservatively treats
+    them as different code) and `RESULT_VERSION`, the manual
+    escape hatch for behaviour changes git cannot see (e.g. an
+    environment knob).  ``extra`` lets callers add their own axes.
+    """
+    from ..obs import git_sha
+
+    doc: Dict[str, object] = {
+        "result_version": RESULT_VERSION,
+        "git_sha": git_sha(),
+    }
+    if extra:
+        doc.update(extra)
+    return digest_of(doc)
 
 
 def parse_variant(variant: str) -> Tuple[str, float]:
@@ -128,6 +156,19 @@ class JobSpec:
         if self.defect_rate is not None:
             key += f"/d{self.defect_rate:g}.{self.defect_mode}.s{self.defect_seed}"
         return key
+
+    def store_key(self, code: str) -> str:
+        """The result-store identity: this spec under that code digest.
+
+        Hashes the full `to_dict` form (not just `key`) so every axis
+        — including ones whose spellings could collide in the
+        human-readable key — contributes exactly.  Fault-injected
+        specs have no cacheable result and are rejected.
+        """
+        if self.fault:
+            raise ValueError(
+                f"fault-injected spec {self.key!r} has no cacheable result")
+        return digest_of({"job": self.to_dict(), "code": code})
 
     def to_dict(self) -> Dict[str, object]:
         doc: Dict[str, object] = {

@@ -267,7 +267,7 @@ def _execute(spec: JobSpec, attempt: int) -> JobResult:
 def run_job(spec: JobSpec, attempt: int = 1,
             trace: Optional[TraceContext] = None,
             publisher=None, profile: bool = False,
-            heartbeat_s: float = 0.2):
+            heartbeat_s: float = 0.2, store=None):
     """Execute one job under job-local telemetry.
 
     Returns ``(JobResult, shard records)`` where the records are the
@@ -286,6 +286,13 @@ def run_job(spec: JobSpec, attempt: int = 1,
             ``bye`` received must imply the shard exists.
         profile: Attach a sampling profiler to the job's root span
             (collapsed stacks land in the span's ``profile`` attr).
+        store: A `repro.store.ResultStore`.  Checked once more right
+            before executing — a result published while this job sat
+            in the queue (another batch, another serve client) is
+            honoured with a ``cached=True`` span instead of a rerun —
+            and the fresh result is published back on the way out.
+            Store lookups bump hit/miss counters in the job's metrics
+            registry, so the shard carries them.
     """
     publisher = NULL_PUBLISHER if publisher is None else publisher
     if trace is not None:
@@ -301,27 +308,39 @@ def run_job(spec: JobSpec, attempt: int = 1,
         publisher.hello(attempt=attempt)
         heartbeat = HeartbeatThread(publisher, tracer, interval_s=heartbeat_s)
         heartbeat.start()
+    executed = False
     try:
         with use_tracer(tracer), use_registry(registry), \
                 use_publisher(publisher):
             with tracer.span("batch.job", job=spec.key, circuit=spec.circuit,
                              variant=spec.variant, seed=spec.seed,
                              attempt=attempt) as span:
-                with profiled(span, enabled=profile):
-                    try:
-                        result = _execute(spec, attempt)
-                    except Exception as exc:  # noqa: BLE001 - jobs must not kill the batch
-                        result = JobResult(
-                            key=spec.key, status="error", attempts=attempt,
-                            error=f"{type(exc).__name__}: {exc}\n"
-                                  f"{traceback.format_exc(limit=8)}",
-                        )
+                result = store.get(spec) if store is not None else None
+                if result is not None:
+                    span.set("cached", True)
+                else:
+                    executed = True
+                    with profiled(span, enabled=profile):
+                        try:
+                            result = _execute(spec, attempt)
+                        except Exception as exc:  # noqa: BLE001 - jobs must not kill the batch
+                            result = JobResult(
+                                key=spec.key, status="error", attempts=attempt,
+                                error=f"{type(exc).__name__}: {exc}\n"
+                                      f"{traceback.format_exc(limit=8)}",
+                            )
                 span.set_many(status=result.status,
                               wirelength=result.qor.get("wirelength"))
     finally:
         if heartbeat is not None:
             heartbeat.stop()
     result.wall_s = time.perf_counter() - start
+    if store is not None and executed:
+        try:
+            store.put(spec, result)
+        except (OSError, ValueError):  # pragma: no cover - a full disk
+            # degrades to an unwarmed store, never a failed job
+            pass
     records = telemetry_records(manifest=None, tracer=tracer, registry=registry)
     return result, records
 
@@ -347,7 +366,8 @@ def job_process_main(spec_doc: Dict[str, object], attempt: int,
                      result_path: str, shard_path: str,
                      trace_doc: Optional[Dict[str, object]] = None,
                      event_queue=None, profile: bool = False,
-                     heartbeat_s: float = 0.2, index: int = -1) -> None:
+                     heartbeat_s: float = 0.2, index: int = -1,
+                     store_doc: Optional[Dict[str, object]] = None) -> None:
     """Subprocess entry: run the job, write result + shard, exit.
 
     The shard is written before the result: the executor treats the
@@ -357,14 +377,28 @@ def job_process_main(spec_doc: Dict[str, object], attempt: int,
     stream's ``bye`` goes out after the shard write for the same
     reason — a ``bye`` the collector sees guarantees a shard on disk.
     """
+    # A child forked from a ThreadPoolExecutor worker thread (the serve
+    # dispatch path runs the executor via asyncio.to_thread) inherits the
+    # pool's atexit bookkeeping; its _python_exit hook would then try to
+    # join the forking thread — this process's own main thread after the
+    # fork — and kill the exit with a spurious nonzero code.  This
+    # process owns no executor threads, so drop the inherited entries.
+    import concurrent.futures.thread as _cft
+
+    _cft._threads_queues.clear()
     spec = JobSpec.from_dict(spec_doc)
     trace = TraceContext.from_dict(trace_doc) if trace_doc else None
     publisher = None
     if event_queue is not None:
         publisher = EventPublisher(event_queue, job=spec.key, index=index)
+    store = None
+    if store_doc is not None:
+        from ..store import ResultStore
+
+        store = ResultStore.from_doc(store_doc)
     result, records = run_job(spec, attempt=attempt, trace=trace,
                               publisher=publisher, profile=profile,
-                              heartbeat_s=heartbeat_s)
+                              heartbeat_s=heartbeat_s, store=store)
     write_jsonl(shard_path, records)
     finish_job_stream(publisher, result, records)
     tmp_path = f"{result_path}.tmp"

@@ -1,0 +1,26 @@
+"""`repro serve`: an async batch service on the result store.
+
+The multi-tenant front-end of the reproduction: clients POST flow,
+batch and fault-sweep requests to a local HTTP JSON API; the service
+answers from the content-addressed result store (`repro.store`) when
+it can, coalesces identical in-flight requests single-flight style,
+and otherwise feeds the process-per-job executor through a priority
+queue with per-client round-robin fairness.  Worker telemetry streams
+to any number of ``/events`` subscribers via the collector's fan-out
+path.
+
+`server.Server` is the asyncio back half, `client.ServeClient` the
+blocking stdlib front half; ``repro serve`` (cli.py) wires the former
+to a socket.
+"""
+
+from .client import ServeClient, ServeError
+from .server import SERVE_SCHEMA_VERSION, Server, serve_async
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "ServeClient",
+    "ServeError",
+    "Server",
+    "serve_async",
+]

@@ -1,0 +1,133 @@
+"""Blocking stdlib client for a `repro serve` endpoint.
+
+`ServeClient` is the programmatic (and test/CI) counterpart of the
+server's JSON API: submit a flow/batch/sweep, read stats, subscribe to
+the NDJSON event stream.  Plain `http.client` underneath — callers
+embedding it (benchmarks, smoke tests, notebooks) need nothing beyond
+the standard library.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Iterator, List, Optional
+
+from ..runner.spec import JobResult, JobSpec
+
+
+class ServeError(RuntimeError):
+    """A non-200 response from the service."""
+
+    def __init__(self, status: int, body: str) -> None:
+        super().__init__(f"serve returned {status}: {body[:200]}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """One logical client of a running `repro serve`.
+
+    Args:
+        host / port: The server's TCP address.
+        name: Client identity sent with every submission — the unit
+            of the server's round-robin fairness.
+        timeout_s: Socket timeout per request (None = wait forever;
+            jobs can take a while, so the default is generous).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 name: str = "anon", timeout_s: Optional[float] = 600.0):
+        self.host = host
+        self.port = port
+        self.name = name
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read().decode("utf-8")
+            if response.status != 200:
+                raise ServeError(response.status, raw)
+            return json.loads(raw)
+        finally:
+            connection.close()
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def flow(self, job: JobSpec, priority: int = 0) -> Dict[str, object]:
+        """Run (or fetch) one job; returns the raw response document
+        (``result`` / ``how`` / ``wall_s``)."""
+        doc = self._request("POST", "/flow", {
+            "job": job.to_dict(), "client": self.name,
+            "priority": priority})
+        doc["result"] = JobResult.from_dict(doc["result"])
+        return doc
+
+    def batch(self, jobs: List[JobSpec],
+              priority: int = 0) -> Dict[str, object]:
+        """Run a list of jobs; ``results`` comes back in request order
+        as `JobResult`s, ``how`` as per-disposition counts."""
+        doc = self._request("POST", "/batch", {
+            "jobs": [job.to_dict() for job in jobs],
+            "client": self.name, "priority": priority})
+        doc["results"] = [JobResult.from_dict(r) for r in doc["results"]]
+        return doc
+
+    def sweep(self, priority: int = 0, **matrix) -> Dict[str, object]:
+        """Run a matrix/fault sweep (`BatchSpec.from_matrix` axes)."""
+        doc = self._request("POST", "/sweep", {
+            **matrix, "client": self.name, "priority": priority})
+        doc["results"] = [JobResult.from_dict(r) for r in doc["results"]]
+        return doc
+
+    def gc(self) -> dict:
+        return self._request("POST", "/gc")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    def events(self, max_events: Optional[int] = None,
+               timeout_s: Optional[float] = None) -> Iterator[dict]:
+        """Subscribe to the server's telemetry stream.
+
+        Yields one event dict per NDJSON line (the first is always
+        ``serve.hello``) until the stream closes, ``max_events`` have
+        arrived, or the socket times out.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s)
+        try:
+            connection.request("GET", "/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServeError(response.status,
+                                 response.read().decode("utf-8"))
+            seen = 0
+            while max_events is None or seen < max_events:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                yield json.loads(line.decode("utf-8"))
+                seen += 1
+        finally:
+            connection.close()

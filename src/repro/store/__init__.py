@@ -1,0 +1,26 @@
+"""Persistent content-addressed result store (`repro.store`).
+
+Caches `repro.runner.JobResult`s on disk keyed by *(job spec, code
+digest)* so that repeated executions of the same work — a re-run
+batch, a second client asking the service for the same route — cost
+one store lookup instead of a P&R run.  Distinct from
+`repro.obs.store`, the sqlite *telemetry* warehouse: this package
+stores results, that one stores measurements.
+
+See `result_store.ResultStore` for the layout, integrity and GC
+story, and DESIGN.md Sec. 5h for the protocol.
+"""
+
+from .result_store import (
+    STORE_SCHEMA_VERSION,
+    GCResult,
+    ResultStore,
+    StoreStats,
+)
+
+__all__ = [
+    "GCResult",
+    "ResultStore",
+    "STORE_SCHEMA_VERSION",
+    "StoreStats",
+]

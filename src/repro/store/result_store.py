@@ -1,0 +1,451 @@
+"""On-disk content-addressed store for batch job results.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      index/<ee>/<entry>.json   entry = sha256(spec.store_key(code))
+      blobs/<bb>/<blob>.blob    blob  = sha256 of the blob's bytes
+      quarantine/               corrupt files moved here, never deleted
+
+The *index* maps a ``(job spec, code digest)`` identity to a blob; the
+*blobs* area holds the canonical-JSON `JobResult` documents, named by
+the sha256 of their own bytes (content-addressed: identical results
+from different specs share one blob).  Both areas shard by the first
+two hex digits so no directory grows unboundedly.
+
+Guarantees, in the order they matter:
+
+*Atomic publication.*  Every file lands via write-to-``*.tmp`` +
+``os.replace`` — a reader never observes a torn entry or blob, and
+concurrent writers of the same content are idempotent (last replace
+wins with identical bytes).
+
+*Integrity on read.*  A `get` re-hashes the blob bytes and compares
+against the content address, re-derives the result's ``qor`` digest,
+and checks the entry's recorded job key against the requesting spec.
+Any mismatch — a flipped byte, a truncated index row, a digest that
+does not add up — quarantines the offending files and reports a
+*miss*: the caller transparently recomputes, and the bad entry can
+never serve a wrong answer again.
+
+*Bounded size.*  `gc` evicts least-recently-used entries (recency =
+entry-file mtime, bumped on every hit) down to ``max_bytes`` /
+``max_entries``, then drops blobs no surviving entry references.
+
+The store never raises out of `get`/`put` for storage-level problems;
+corruption and races degrade to misses.  Counters (``store.hits``,
+``store.misses``, ...) land in the current `repro.obs` metrics
+registry so cache behaviour shows up in run telemetry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import get_logger, get_registry, kv
+from ..runner.spec import JobResult, JobSpec, code_digest, digest_of
+
+_log = get_logger("store.result")
+
+#: Bump when the entry document shape changes incompatibly.  Entries
+#: with a different schema read as misses (and are quarantined), so an
+#: old store directory degrades gracefully under new code.
+STORE_SCHEMA_VERSION = 1
+
+#: Statuses whose results are deterministic functions of the spec and
+#: therefore cacheable.  Errors, timeouts, crashes and stalls are
+#: environmental — caching them would replay transient failures.
+CACHEABLE_STATUSES = ("ok", "unroutable", "unrepairable")
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Per-`ResultStore`-instance counters (process-local)."""
+
+    hits: int = 0
+    misses: int = 0
+    published: int = 0
+    quarantined: int = 0
+    evicted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class GCResult:
+    """Outcome of one `ResultStore.gc` pass."""
+
+    kept_entries: int
+    evicted_entries: int
+    dropped_blobs: int
+    bytes_before: int
+    bytes_after: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write_bytes(path: str, data: bytes) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """A result cache rooted at one directory (see module docstring).
+
+    Args:
+        root: Store directory (created on first use).
+        code: Code digest forming the second key axis; defaults to
+            `repro.runner.spec.code_digest()` — the current checkout.
+        max_bytes / max_entries: Default bounds for `gc` (and for the
+            auto-GC `run_batch` triggers after publishing).
+    """
+
+    def __init__(self, root: str, code: Optional[str] = None,
+                 max_bytes: Optional[int] = None,
+                 max_entries: Optional[int] = None) -> None:
+        self.root = root
+        self.code = code if code is not None else code_digest()
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+
+    def to_doc(self) -> Dict[str, object]:
+        """A plain-JSON handle for crossing a process boundary.
+
+        Carries the resolved code digest, so a spawned worker opens
+        the *same* key space without re-deriving it (and without one
+        ``git rev-parse`` per worker).
+        """
+        return {"root": self.root, "code": self.code,
+                "max_bytes": self.max_bytes, "max_entries": self.max_entries}
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "ResultStore":
+        return cls(str(doc["root"]), code=str(doc["code"]),
+                   max_bytes=doc.get("max_bytes"),
+                   max_entries=doc.get("max_entries"))
+
+    # -- paths ---------------------------------------------------------
+
+    def _index_dir(self) -> str:
+        return os.path.join(self.root, "index")
+
+    def _blob_dir(self) -> str:
+        return os.path.join(self.root, "blobs")
+
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.root, "quarantine")
+
+    def entry_id(self, spec: JobSpec) -> str:
+        return _sha256_hex(spec.store_key(self.code).encode("utf-8"))
+
+    def _entry_path(self, entry: str) -> str:
+        return os.path.join(self._index_dir(), entry[:2], f"{entry}.json")
+
+    def _blob_path(self, blob: str) -> str:
+        return os.path.join(self._blob_dir(), blob[:2], f"{blob}.blob")
+
+    # -- quarantine ----------------------------------------------------
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a corrupt file out of the serving areas; never raises."""
+        try:
+            os.makedirs(self._quarantine_dir(), exist_ok=True)
+            base = os.path.basename(path)
+            dest = os.path.join(self._quarantine_dir(), base)
+            n = 0
+            while os.path.exists(dest):
+                n += 1
+                dest = os.path.join(self._quarantine_dir(), f"{base}.{n}")
+            os.replace(path, dest)
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                return
+        self.stats.quarantined += 1
+        get_registry().counter("store.quarantined").inc()
+        _log.info("store quarantined %s", kv(file=os.path.basename(path),
+                                             reason=reason))
+
+    def quarantined(self) -> List[str]:
+        """Names of quarantined files (diagnostics, tests)."""
+        try:
+            return sorted(os.listdir(self._quarantine_dir()))
+        except OSError:
+            return []
+
+    # -- read path -----------------------------------------------------
+
+    def get(self, spec: JobSpec) -> Optional[JobResult]:
+        """The cached `JobResult` for ``spec`` under this code digest,
+        fully re-verified — or None (a miss) for any absence, mismatch
+        or corruption.  A hit bumps the entry's LRU recency."""
+        if spec.fault:
+            return None
+        entry = self.entry_id(spec)
+        entry_path = self._entry_path(entry)
+        try:
+            with open(entry_path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return self._miss()
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+            if not isinstance(doc, dict):
+                raise ValueError("entry is not an object")
+        except (ValueError, UnicodeDecodeError):
+            # A truncated or torn index row: quarantine, recompute.
+            self._quarantine(entry_path, "unreadable entry")
+            return self._miss()
+        if doc.get("schema") != STORE_SCHEMA_VERSION:
+            self._quarantine(entry_path, f"schema {doc.get('schema')!r}")
+            return self._miss()
+        if doc.get("job_key") != spec.key or doc.get("code") != self.code:
+            # A sha256 collision in practice means a corrupted entry
+            # body that still parses; either way it must not serve.
+            self._quarantine(entry_path, "key mismatch")
+            return self._miss()
+        blob = doc.get("blob")
+        if not isinstance(blob, str) or not blob:
+            self._quarantine(entry_path, "missing blob reference")
+            return self._miss()
+        blob_path = self._blob_path(blob)
+        try:
+            with open(blob_path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self._quarantine(entry_path, "blob missing")
+            return self._miss()
+        if _sha256_hex(data) != blob:
+            # Flipped bit in the blob: the content address no longer
+            # matches the content.  Quarantine both sides.
+            self._quarantine(blob_path, "blob content digest mismatch")
+            self._quarantine(entry_path, "entry referencing corrupt blob")
+            return self._miss()
+        result = self._parse_result(data, spec, entry_path, blob_path)
+        if result is None:
+            return self._miss()
+        try:  # LRU recency: hits refresh the entry's mtime.
+            os.utime(entry_path)
+        except OSError:
+            pass
+        self.stats.hits += 1
+        get_registry().counter("store.hits").inc()
+        return result
+
+    def _parse_result(self, data: bytes, spec: JobSpec, entry_path: str,
+                      blob_path: str) -> Optional[JobResult]:
+        try:
+            doc = json.loads(data.decode("utf-8"))
+            result = JobResult.from_dict(doc)
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            self._quarantine(blob_path, "blob not a JobResult")
+            self._quarantine(entry_path, "entry referencing bad blob")
+            return None
+        if result.key != spec.key:
+            self._quarantine(blob_path, "result key mismatch")
+            self._quarantine(entry_path, "entry blob for a different job")
+            return None
+        qor_digest = result.digests.get("qor")
+        if qor_digest is not None and qor_digest != digest_of(result.qor):
+            # The result's own internal consistency check failed: the
+            # QoR scalars no longer hash to their recorded digest, so
+            # this can NOT be served as a correct cached answer.
+            self._quarantine(blob_path, "qor digest mismatch")
+            self._quarantine(entry_path, "entry blob failed digest check")
+            return None
+        return result
+
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        get_registry().counter("store.misses").inc()
+        return None
+
+    # -- write path ----------------------------------------------------
+
+    def put(self, spec: JobSpec, result: JobResult) -> bool:
+        """Publish a result; returns False when it is not cacheable
+        (fault-injected spec, non-deterministic status, key mismatch)."""
+        if spec.fault or result.status not in CACHEABLE_STATUSES:
+            return False
+        if result.key != spec.key:
+            raise ValueError(
+                f"result key {result.key!r} does not match spec {spec.key!r}")
+        data = json.dumps(result.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        blob = _sha256_hex(data)
+        blob_path = self._blob_path(blob)
+        entry = self.entry_id(spec)
+        entry_path = self._entry_path(entry)
+        entry_doc = {
+            "schema": STORE_SCHEMA_VERSION,
+            "job_key": spec.key,
+            "code": self.code,
+            "blob": blob,
+            "size": len(data),
+            "status": result.status,
+            "created_unix": time.time(),
+        }
+        try:
+            os.makedirs(os.path.dirname(blob_path), exist_ok=True)
+            os.makedirs(os.path.dirname(entry_path), exist_ok=True)
+            if not os.path.exists(blob_path):  # content-addressed: reuse
+                _atomic_write_bytes(blob_path, data)
+            # The entry is the commit point; written after the blob so
+            # a crash between the two never leaves a dangling entry.
+            _atomic_write_bytes(
+                entry_path,
+                json.dumps(entry_doc, sort_keys=True).encode("utf-8"))
+        except OSError as exc:
+            _log.info("store publish failed %s", kv(job=spec.key, error=str(exc)))
+            return False
+        self.stats.published += 1
+        get_registry().counter("store.published").inc()
+        return True
+
+    # -- inventory / GC ------------------------------------------------
+
+    def _scan_entries(self) -> List[Tuple[float, str, Dict[str, object]]]:
+        """(mtime, path, doc) per readable entry; unreadable ones are
+        quarantined on the spot."""
+        rows: List[Tuple[float, str, Dict[str, object]]] = []
+        index_dir = self._index_dir()
+        try:
+            shards = sorted(os.listdir(index_dir))
+        except OSError:
+            return rows
+        for shard in shards:
+            shard_dir = os.path.join(index_dir, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    with open(path, "rb") as handle:
+                        doc = json.loads(handle.read().decode("utf-8"))
+                    mtime = os.path.getmtime(path)
+                except (OSError, ValueError, UnicodeDecodeError):
+                    self._quarantine(path, "unreadable entry (scan)")
+                    continue
+                if isinstance(doc, dict):
+                    rows.append((mtime, path, doc))
+        return rows
+
+    def _scan_blobs(self) -> Dict[str, Tuple[str, int]]:
+        """blob digest -> (path, size) for every blob on disk."""
+        blobs: Dict[str, Tuple[str, int]] = {}
+        blob_dir = self._blob_dir()
+        try:
+            shards = sorted(os.listdir(blob_dir))
+        except OSError:
+            return blobs
+        for shard in shards:
+            shard_dir = os.path.join(blob_dir, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".blob"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    continue
+                blobs[name[:-len(".blob")]] = (path, size)
+        return blobs
+
+    def size(self) -> Dict[str, int]:
+        """Current inventory: entry/blob counts and total bytes."""
+        entries = self._scan_entries()
+        blobs = self._scan_blobs()
+        entry_bytes = 0
+        for _, path, _doc in entries:
+            try:
+                entry_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "entries": len(entries),
+            "blobs": len(blobs),
+            "bytes": entry_bytes + sum(size for _, size in blobs.values()),
+        }
+
+    def gc(self, max_bytes: Optional[int] = None,
+           max_entries: Optional[int] = None) -> GCResult:
+        """Evict LRU entries until the store fits the bounds, then drop
+        unreferenced blobs.  Bounds default to the constructor's; a GC
+        with no bound anywhere only sweeps orphaned blobs."""
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        max_entries = self.max_entries if max_entries is None else max_entries
+        entries = self._scan_entries()
+        blobs = self._scan_blobs()
+        entry_sizes: Dict[str, int] = {}
+        for _, path, _doc in entries:
+            try:
+                entry_sizes[path] = os.path.getsize(path)
+            except OSError:
+                entry_sizes[path] = 0
+
+        def total_bytes(live) -> int:
+            referenced = {doc.get("blob") for _, _, doc in live}
+            blob_bytes = sum(size for digest, (_, size) in blobs.items()
+                             if digest in referenced)
+            return blob_bytes + sum(entry_sizes[p] for _, p, _ in live)
+
+        bytes_before = total_bytes(entries)
+        # Newest first; evict from the tail (the least recently used).
+        live = sorted(entries, key=lambda row: row[0], reverse=True)
+        evicted: List[Tuple[float, str, Dict[str, object]]] = []
+        if max_entries is not None:
+            while len(live) > max_entries:
+                evicted.append(live.pop())
+        if max_bytes is not None:
+            while live and total_bytes(live) > max_bytes:
+                evicted.append(live.pop())
+        for _, path, _doc in evicted:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        referenced = {doc.get("blob") for _, _, doc in live}
+        dropped_blobs = 0
+        for digest, (path, _size) in blobs.items():
+            if digest not in referenced:
+                try:
+                    os.remove(path)
+                    dropped_blobs += 1
+                except OSError:
+                    pass
+        self.stats.evicted += len(evicted)
+        if evicted or dropped_blobs:
+            get_registry().counter("store.evicted").inc(len(evicted))
+            _log.info("store gc %s", kv(
+                evicted=len(evicted), dropped_blobs=dropped_blobs,
+                kept=len(live)))
+        return GCResult(
+            kept_entries=len(live),
+            evicted_entries=len(evicted),
+            dropped_blobs=dropped_blobs,
+            bytes_before=bytes_before,
+            bytes_after=total_bytes(live),
+        )

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..arch.params import ArchParams
 from ..fabric import FabricIR, get_fabric
 from ..netlist.core import Netlist
-from ..obs import get_logger, get_publisher, get_tracer, kv
+from ..obs import get_logger, get_publisher, get_registry, get_tracer, kv
 from .pack import ClusteredNetlist, pack
 from .place import Placement, place
 from .route import PathFinderRouter, RoutingResult, build_route_nets, route_design
@@ -25,6 +25,61 @@ _log = get_logger("vpr.flow")
 
 #: The paper's low-stress margin over Wmin.
 LOW_STRESS_MARGIN = 0.2
+
+
+class StageCache:
+    """Resumable stage boundaries for the flow drivers.
+
+    Holds completed pack/place stage outputs keyed by everything that
+    determines them (netlist object identity, `ArchParams`, seed), so
+    a caller re-entering a flow — probing a second channel width,
+    re-timing a placed design, a `repro serve` worker handling many
+    requests for one circuit — resumes from the last completed
+    boundary instead of recomputing it.  Strictly per-process and
+    keyed by object identity where results are not value-keyed: a hit
+    returns the *same* object the first flow produced, which is
+    exactly what a rerun would have computed (stages are pure
+    functions of their keys).
+
+    LRU-bounded at ``max_entries``.  ``hits``/``misses`` count
+    lookups; the same counts land in the current metrics registry as
+    ``flow.stage_cache.hits`` / ``.misses``.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: Dict[Tuple, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get_or_compute(self, stage: str, key: Tuple, compute):
+        """The cached value for ``(stage, key)``, computing on miss."""
+        full = (stage,) + tuple(key)
+        if full in self._data:
+            self._data[full] = self._data.pop(full)  # bump LRU recency
+            self.hits += 1
+            get_registry().counter("flow.stage_cache.hits").inc()
+            return self._data[full], True
+        self.misses += 1
+        get_registry().counter("flow.stage_cache.misses").inc()
+        value = compute()
+        self._data[full] = value
+        while len(self._data) > self.max_entries:
+            self._data.pop(next(iter(self._data)))
+        return value, False
+
+
+def _staged(stage_cache: Optional[StageCache], stage: str, key: Tuple,
+            compute):
+    """Run ``compute`` through the stage cache when one is given."""
+    if stage_cache is None:
+        return compute(), False
+    return stage_cache.get_or_compute(stage, key, compute)
 
 
 @dataclasses.dataclass
@@ -147,6 +202,7 @@ def run_flow(
     blocked_nodes=None,
     blocked_edges=None,
     defects=None,
+    stage_cache: Optional[StageCache] = None,
     **router_kwargs,
 ) -> FlowResult:
     """pack -> place -> route at a fixed channel width.
@@ -159,6 +215,10 @@ def run_flow(
     avoidance sets for *this* width's fabric; ``defects`` accepts a
     `faults.FabricDefectMap` or a provider (`faults.FaultCampaign` /
     callable) resolved against the concrete fabric — the sets union.
+
+    ``stage_cache`` resumes completed pack/place boundaries from prior
+    flows over the same netlist/params/seed (see `StageCache`); the
+    skipped stage's span is emitted with ``cached=True``.
     """
     if blocked_nodes:
         router_kwargs["blocked_nodes"] = blocked_nodes
@@ -167,16 +227,24 @@ def run_flow(
     tracer = get_tracer()
     with tracer.span("flow.run", circuit=netlist.name, seed=seed) as root:
         with tracer.span("flow.pack") as span:
-            clustered = pack(netlist, params)
+            clustered, hit = _staged(
+                stage_cache, "pack", (id(netlist), params),
+                lambda: pack(netlist, params))
             span.set_many(
                 luts=netlist.num_luts, clusters=clustered.num_clusters,
             )
+            if hit:
+                span.set("cached", True)
         with tracer.span("flow.place") as span:
-            placement = place(clustered, seed=seed, inner_num=inner_num)
+            placement, hit = _staged(
+                stage_cache, "place", (id(netlist), params, seed, inner_num),
+                lambda: place(clustered, seed=seed, inner_num=inner_num))
             span.set_many(
                 cost=placement.cost,
                 grid=f"{placement.grid_width}x{placement.grid_height}",
             )
+            if hit:
+                span.set("cached", True)
         width = channel_width if channel_width is not None else params.channel_width
         with tracer.span("flow.route", channel_width=width) as span:
             routing, graph = route_design(
@@ -210,6 +278,7 @@ def run_flow_min_width(
     inner_num: float = 1.0,
     low_stress: bool = True,
     defects=None,
+    stage_cache: Optional[StageCache] = None,
     **router_kwargs,
 ) -> FlowResult:
     """pack -> place -> Wmin search -> route at the derived width.
@@ -219,16 +288,25 @@ def run_flow_min_width(
     and places once, binary-searches Wmin on that placement, then
     returns the routing at ``low_stress_width(wmin)`` (or at Wmin
     itself when ``low_stress`` is False — the search already routed
-    there, so that arm is free).
+    there, so that arm is free).  ``stage_cache`` resumes pack/place
+    boundaries as in `run_flow`.
     """
     tracer = get_tracer()
     with tracer.span("flow.run_min_width", circuit=netlist.name, seed=seed) as root:
         with tracer.span("flow.pack") as span:
-            clustered = pack(netlist, params)
+            clustered, hit = _staged(
+                stage_cache, "pack", (id(netlist), params),
+                lambda: pack(netlist, params))
             span.set_many(luts=netlist.num_luts, clusters=clustered.num_clusters)
+            if hit:
+                span.set("cached", True)
         with tracer.span("flow.place") as span:
-            placement = place(clustered, seed=seed, inner_num=inner_num)
+            placement, hit = _staged(
+                stage_cache, "place", (id(netlist), params, seed, inner_num),
+                lambda: place(clustered, seed=seed, inner_num=inner_num))
             span.set("cost", placement.cost)
+            if hit:
+                span.set("cached", True)
         wmin, routing, graph = find_min_channel_width(
             placement, params, defects=defects, **router_kwargs
         )
@@ -268,6 +346,7 @@ def run_timing_driven_flow(
     blocked_nodes=None,
     blocked_edges=None,
     defects=None,
+    stage_cache: Optional[StageCache] = None,
     **router_kwargs,
 ):
     """Timing-driven pack/place/route (VPR-style criticality loop).
@@ -302,11 +381,19 @@ def run_timing_driven_flow(
         "flow.timing_driven", circuit=netlist.name, seed=seed, sta_passes=sta_passes
     ) as root:
         with tracer.span("flow.pack") as span:
-            clustered = pack(netlist, params)
+            clustered, hit = _staged(
+                stage_cache, "pack", (id(netlist), params),
+                lambda: pack(netlist, params))
             span.set_many(luts=netlist.num_luts, clusters=clustered.num_clusters)
+            if hit:
+                span.set("cached", True)
         with tracer.span("flow.place") as span:
-            placement = place(clustered, seed=seed, inner_num=inner_num)
+            placement, hit = _staged(
+                stage_cache, "place", (id(netlist), params, seed, inner_num),
+                lambda: place(clustered, seed=seed, inner_num=inner_num))
             span.set("cost", placement.cost)
+            if hit:
+                span.set("cached", True)
         width = channel_width if channel_width is not None else params.channel_width
         arch = params.with_channel_width(width)
         graph = get_fabric(arch, placement.grid_width, placement.grid_height)

@@ -1,0 +1,51 @@
+"""Atomic publication satellite: JSONL/JSON writers land via tmp +
+os.replace, never leave a torn or temporary file behind."""
+
+import os
+
+import pytest
+
+from repro.obs import read_jsonl, write_jsonl
+from repro.obs.export import write_json
+
+
+def _no_tmp_left(directory):
+    return [name for name in os.listdir(directory) if ".tmp" in name] == []
+
+
+class TestWriteJsonl:
+    def test_round_trip_and_no_tmp_residue(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        rows = [{"a": 1}, {"b": 2}]
+        write_jsonl(str(path), rows)
+        assert read_jsonl(str(path)) == rows
+        assert _no_tmp_left(tmp_path)
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(str(path), [{"gen": 1}])
+        write_jsonl(str(path), [{"gen": 2}, {"gen": 2}])
+        assert [r["gen"] for r in read_jsonl(str(path))] == [2, 2]
+        assert _no_tmp_left(tmp_path)
+
+    def test_failed_write_leaves_previous_file_intact(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        write_jsonl(str(path), [{"gen": 1}])
+
+        class Unserialisable:
+            pass
+
+        with pytest.raises(TypeError):
+            write_jsonl(str(path), [{"bad": Unserialisable()}])
+        # The original content survives; no tmp residue either.
+        assert read_jsonl(str(path)) == [{"gen": 1}]
+        assert _no_tmp_left(tmp_path)
+
+
+class TestWriteJson:
+    def test_round_trip_and_no_tmp_residue(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json(str(path), {"x": [1, 2]})
+        import json
+        assert json.loads(path.read_text()) == {"x": [1, 2]}
+        assert _no_tmp_left(tmp_path)

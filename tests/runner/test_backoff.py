@@ -1,0 +1,63 @@
+"""Seeded retry backoff: deterministic jitter, bit-identical retries.
+
+`retry_delay_s` must be a pure function of (job key, retry ordinal) so
+a re-run of a crashing batch schedules byte-for-byte the same retry
+timeline — no `random` module, no wall clock in the jitter.
+"""
+
+import pytest
+
+from repro.runner import BatchSpec, JobSpec, results_identical, run_batch
+from repro.runner.executor import DEFAULT_RETRY_BACKOFF_S, retry_delay_s
+
+TINY = dict(circuit="tseng", scale=0.01, width=40)
+
+
+class TestRetryDelay:
+    def test_pure_function_of_key_and_retry(self):
+        assert retry_delay_s("job-a", 1) == retry_delay_s("job-a", 1)
+        assert retry_delay_s("job-a", 2) == retry_delay_s("job-a", 2)
+
+    def test_keys_get_distinct_jitter(self):
+        assert retry_delay_s("job-a", 1) != retry_delay_s("job-b", 1)
+
+    def test_zeroth_retry_is_immediate(self):
+        assert retry_delay_s("job-a", 0) == 0.0
+
+    def test_exponential_envelope(self):
+        base = DEFAULT_RETRY_BACKOFF_S
+        for retry in (1, 2, 3):
+            delay = retry_delay_s("job-a", retry)
+            scale = base * 2 ** (retry - 1)
+            # jitter multiplier lives in [0.5, 1.5)
+            assert scale * 0.5 <= delay < scale * 1.5
+
+    def test_base_scales_linearly(self):
+        assert retry_delay_s("k", 1, base_s=0.2) == pytest.approx(
+            4 * retry_delay_s("k", 1, base_s=0.05))
+
+
+class TestRetriedBatchDeterminism:
+    def test_crash_retry_results_identical_across_runs(self, tmp_path):
+        spec = BatchSpec(
+            jobs=(JobSpec(fault="crash-first", **TINY),
+                  JobSpec(seed=2, **TINY)),
+            workers=2, retries=1,
+        )
+        first = run_batch(spec, shard_dir=str(tmp_path / "a"),
+                          retry_backoff_s=0.01)
+        second = run_batch(spec, shard_dir=str(tmp_path / "b"),
+                           retry_backoff_s=0.01)
+        assert first.results[0].status == "ok"
+        assert first.results[0].attempts == 2
+        assert results_identical(first.results, second.results)
+
+    def test_serial_retry_matches_parallel(self, tmp_path):
+        spec = BatchSpec(
+            jobs=(JobSpec(fault="crash-first", **TINY),), retries=1,
+        )
+        serial = run_batch(spec, workers=1, shard_dir=str(tmp_path / "s"),
+                           retry_backoff_s=0.01)
+        parallel = run_batch(spec, workers=2, shard_dir=str(tmp_path / "p"),
+                             retry_backoff_s=0.01)
+        assert results_identical(serial.results, parallel.results)

@@ -1,0 +1,114 @@
+"""Warm-store batch semantics: cached == executed, bit for bit.
+
+One module-scoped cold run publishes a 4-job tseng matrix into a
+store; the tests replay it warm (serial and parallel) and check the
+ISSUE contract: zero executions, identical `JobResult` identities,
+synthetic cache-hit spans in the telemetry, hit/miss counters in the
+manifest.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import read_jsonl
+from repro.runner import BatchSpec, results_identical, run_batch
+from repro.store import ResultStore
+
+SPEC = BatchSpec.from_matrix(
+    circuits=["tseng"],
+    variants=["baseline", "nem-naive"],
+    seeds=[1, 2],
+    widths=[40],
+    scale=0.01,
+)
+
+
+@pytest.fixture(scope="module")
+def arms(tmp_path_factory):
+    """(store, cold BatchResult, warm parallel, warm serial, warm run file)."""
+    base = tmp_path_factory.mktemp("store-batch")
+    store = ResultStore(str(base / "store"), code="test-code")
+    cold = run_batch(SPEC, workers=2, shard_dir=str(base / "cold"),
+                     store=store)
+    warm = run_batch(SPEC, workers=2, shard_dir=str(base / "warm"),
+                     store=ResultStore(store.root, code=store.code),
+                     metrics_out=str(base / "warm.jsonl"))
+    warm_serial = run_batch(SPEC, workers=1, shard_dir=str(base / "warm1"),
+                            store=ResultStore(store.root, code=store.code))
+    return store, cold, warm, warm_serial, str(base / "warm.jsonl")
+
+
+def test_cold_run_publishes_every_job(arms):
+    store, cold, _, _, _ = arms
+    assert cold.ok
+    assert cold.store_stats == {"hits": 0, "misses": 4, "published": 4}
+    assert cold.cached == []
+    assert store.size()["entries"] == 4
+
+
+def test_warm_run_executes_zero_jobs(arms):
+    _, _, warm, _, _ = arms
+    assert warm.ok
+    assert warm.store_stats["hits"] == 4
+    assert warm.store_stats["misses"] == 0
+    assert sorted(warm.cached) == sorted(j.key for j in SPEC.jobs)
+
+
+def test_warm_results_bit_identical_to_cold(arms):
+    _, cold, warm, warm_serial, _ = arms
+    assert results_identical(cold.results, warm.results)
+    assert results_identical(cold.results, warm_serial.results)
+
+
+def test_warm_matches_storeless_run(arms, tmp_path):
+    _, cold, _, _, _ = arms
+    plain = run_batch(SPEC, workers=1, shard_dir=str(tmp_path))
+    assert results_identical(plain.results, cold.results)
+
+
+def test_results_stay_in_spec_order(arms):
+    _, _, warm, _, _ = arms
+    assert [r.key for r in warm.results] == [j.key for j in SPEC.jobs]
+
+
+def test_synthetic_spans_for_cache_hits(arms):
+    _, _, _, _, run_file = arms
+    records = read_jsonl(run_file)
+    job_spans = [r for r in records
+                 if r.get("type") == "span" and r.get("name") == "batch.job"]
+    assert len(job_spans) == 4
+    assert all(span["attrs"].get("cached") is True for span in job_spans)
+    assert all(span["attrs"].get("attempt") == 0 for span in job_spans)
+
+
+def test_hit_counter_in_merged_metrics(arms):
+    _, _, _, _, run_file = arms
+    metrics = [r for r in read_jsonl(run_file) if r.get("type") == "metrics"]
+    assert metrics
+    merged = metrics[-1]["metrics"]
+    assert merged["store.hits"]["value"] == 4.0
+
+
+def test_manifest_records_store_block(arms):
+    _, _, _, _, run_file = arms
+    manifest = read_jsonl(run_file)[0]
+    block = manifest["batch"]["store"]
+    assert block["hits"] == 4 and block["misses"] == 0
+    assert block["code"] == "test-code"[:12]
+
+
+def test_summary_is_stable_without_store(tmp_path):
+    spec = BatchSpec(jobs=(SPEC.jobs[0],), workers=1)
+    batch = run_batch(spec, shard_dir=str(tmp_path))
+    assert batch.store_stats is None
+    assert "store" not in batch.summary()
+    assert "cached" not in batch.summary()
+
+
+def test_code_change_invalidates_store(arms, tmp_path):
+    store, _, _, _, _ = arms
+    other = ResultStore(store.root, code="other-code")
+    batch = run_batch(SPEC, workers=1, shard_dir=str(tmp_path), store=other)
+    assert batch.store_stats["hits"] == 0
+    assert batch.store_stats["misses"] == 4

@@ -1,0 +1,216 @@
+"""Tests for repro.serve: the HTTP API, single-flight, fairness.
+
+One module-scoped live server (asyncio loop in a thread, real worker
+processes, tiny tseng jobs) backs the end-to-end tests; the scheduler
+unit tests poke `Server` queue internals without starting it.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.runner.spec import JobSpec
+from repro.serve import ServeClient, ServeError, Server, serve_async
+from repro.serve.server import _batch_jobs
+from repro.store import ResultStore
+
+TINY = dict(circuit="tseng", scale=0.01, width=40)
+
+
+def _spec(seed=1, **kw):
+    return JobSpec(seed=seed, **TINY, **kw)
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    """A running server: (ServeClient factory, Server, store)."""
+    store = ResultStore(str(tmp_path_factory.mktemp("serve") / "store"),
+                        code="serve-test")
+    box = {}
+    ready_evt = threading.Event()
+
+    def main():
+        def ready(server):
+            box["server"] = server
+            ready_evt.set()
+        asyncio.run(serve_async(store, workers=2, retries=1, ready=ready))
+
+    thread = threading.Thread(target=main, daemon=True)
+    thread.start()
+    assert ready_evt.wait(15), "server did not come up"
+    server = box["server"]
+
+    def client(name="anon"):
+        return ServeClient(port=server.port, name=name, timeout_s=120.0)
+
+    yield client, server, store
+    try:
+        client().shutdown()
+    except Exception:  # noqa: BLE001 - already down is fine
+        pass
+    thread.join(10)
+
+
+class TestHTTP:
+    def test_healthz(self, live):
+        client, _, _ = live
+        doc = client().healthz()
+        assert doc["ok"] is True and doc["schema"] == 1
+
+    def test_unknown_route_is_404(self, live):
+        client, _, _ = live
+        with pytest.raises(ServeError) as err:
+            client()._request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_bad_body_is_surfaced_not_fatal(self, live):
+        client, _, _ = live
+        with pytest.raises(ServeError) as err:
+            client()._request("POST", "/flow", {"job": 42})
+        assert err.value.status == 500
+        assert client().healthz()["ok"] is True
+
+
+class TestExecutionAndCaching:
+    def test_first_flow_executes_then_hits(self, live):
+        client, _, _ = live
+        first = client("exec").flow(_spec(seed=11))
+        assert first["how"] == "executed"
+        assert first["result"].status == "ok"
+        second = client("exec").flow(_spec(seed=11))
+        assert second["how"] == "hit"
+        assert second["result"].identity() == first["result"].identity()
+
+    def test_concurrent_identical_batches_coalesce(self, live):
+        client, _, _ = live
+        jobs = [_spec(seed=21), _spec(seed=22)]
+        out = {}
+
+        def submit(name):
+            out[name] = client(name).batch(jobs)
+
+        threads = [threading.Thread(target=submit, args=(n,))
+                   for n in ("alice", "bob")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        how = [out["alice"]["how"], out["bob"]["how"]]
+        total = lambda k: sum(h.get(k, 0) for h in how)  # noqa: E731
+        assert total("executed") == 2, how
+        assert total("executed") + total("coalesced") + total("hit") == 4
+        ids = lambda name: [r.identity() for r in out[name]["results"]]  # noqa: E731
+        assert ids("alice") == ids("bob")
+
+    def test_warm_batch_is_all_hits(self, live):
+        client, _, _ = live
+        jobs = [_spec(seed=21), _spec(seed=22)]
+        doc = client("warm").batch(jobs)
+        assert doc["how"] == {"hit": 2}
+
+    def test_sweep_expands_matrix(self, live):
+        client, _, _ = live
+        doc = client("sweep").sweep(circuits=["tseng"],
+                                    variants=["baseline"], seeds=[11],
+                                    widths=[40], scale=0.01)
+        assert len(doc["results"]) == 1
+        assert doc["how"] == {"hit": 1}  # published by the flow test
+
+    def test_stats_counts_dispositions(self, live):
+        client, server, _ = live
+        doc = client().stats()
+        assert doc["requests"] >= doc["hits"] + doc["executed"]
+        assert doc["store"]["entries"] >= 1
+        assert doc["queue_depth"] == 0
+        assert doc["store"]["code"] == "serve-test"
+
+    def test_gc_endpoint_runs(self, live):
+        client, _, _ = live
+        doc = client().gc()
+        assert set(doc) == {"kept_entries", "evicted_entries",
+                            "dropped_blobs", "bytes_before", "bytes_after"}
+        assert doc["evicted_entries"] == 0  # no bounds configured
+
+
+class TestEvents:
+    def test_stream_delivers_hello_then_worker_events(self, live):
+        client, _, _ = live
+        events = []
+
+        def watch():
+            for event in client("watcher").events(max_events=5,
+                                                  timeout_s=60):
+                events.append(event)
+
+        thread = threading.Thread(target=watch, daemon=True)
+        thread.start()
+        time.sleep(0.2)
+        client("emitter").flow(_spec(seed=31))
+        thread.join(30)
+        assert events and events[0]["ev"] == "serve.hello"
+        assert len(events) >= 2, "no worker telemetry reached the stream"
+        assert all("ev" in event for event in events)
+
+
+class TestSchedulerUnits:
+    """Queue mechanics on an unstarted Server — no sockets, no jobs."""
+
+    def _server(self, tmp_path):
+        return Server(ResultStore(str(tmp_path), code="unit"))
+
+    def _submit(self, server, client, priority, seed):
+        from repro.serve.server import _Submission
+        submission = _Submission(spec=_spec(seed=seed), client=client,
+                                 priority=priority, future=None, index=seed)
+        server._enqueue(submission)
+        return submission
+
+    def test_priority_classes_drain_in_order(self, tmp_path):
+        server = self._server(tmp_path)
+        low = self._submit(server, "a", 5, seed=1)
+        high = self._submit(server, "a", 0, seed=2)
+        assert server._next_submission() is high
+        assert server._next_submission() is low
+        assert server._next_submission() is None
+
+    def test_clients_round_robin_within_class(self, tmp_path):
+        server = self._server(tmp_path)
+        a1 = self._submit(server, "a", 0, seed=1)
+        a2 = self._submit(server, "a", 0, seed=2)
+        b1 = self._submit(server, "b", 0, seed=3)
+        drained = [server._next_submission() for _ in range(3)]
+        # One from each client before a's second: no starvation.
+        assert drained.index(b1) < drained.index(a2)
+        assert drained[0] is a1
+
+    def test_queue_depth_tracks_enqueues(self, tmp_path):
+        server = self._server(tmp_path)
+        assert server.queue_depth() == 0
+        self._submit(server, "a", 0, seed=1)
+        self._submit(server, "b", 1, seed=2)
+        assert server.queue_depth() == 2
+        server._next_submission()
+        assert server.queue_depth() == 1
+
+    def test_fault_jobs_get_distinct_flight_keys(self, tmp_path):
+        server = self._server(tmp_path)
+        plain = server._flight_key(_spec(seed=1))
+        fault = server._flight_key(_spec(seed=1, fault="crash"))
+        assert plain != fault
+        assert fault.startswith("fault:")
+
+
+class TestBatchJobs:
+    def test_explicit_jobs_list(self):
+        docs = [_spec(seed=1).to_dict(), _spec(seed=2).to_dict()]
+        jobs = _batch_jobs({"jobs": docs, "client": "x"})
+        assert [j.key for j in jobs] == [_spec(seed=1).key, _spec(seed=2).key]
+
+    def test_matrix_axes(self):
+        jobs = _batch_jobs({"circuits": ["tseng"], "variants": ["baseline"],
+                            "seeds": [1, 2], "widths": [40], "scale": 0.01,
+                            "client": "x", "priority": 3})
+        assert len(jobs) == 2

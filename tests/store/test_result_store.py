@@ -1,0 +1,252 @@
+"""Tests for repro.store.result_store: keying, integrity, GC.
+
+No real jobs here — `JobResult`s are hand-built so every test runs in
+milliseconds.  The corruption trio (flipped blob byte, truncated index
+row, digest mismatch) is the satellite contract: each must degrade to
+a transparent miss + quarantine, never a crash or a wrong answer.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runner.spec import JobResult, JobSpec, digest_of
+from repro.store import ResultStore, StoreStats
+
+TINY = dict(circuit="tseng", scale=0.01, width=40)
+
+
+def _spec(seed=1, **kw):
+    return JobSpec(seed=seed, **TINY, **kw)
+
+
+def _result(spec, wirelength=49, status="ok"):
+    qor = {"wirelength": wirelength, "channel_width": spec.width}
+    return JobResult(key=spec.key, status=status, qor=qor,
+                     digests={"qor": digest_of(qor)}, wall_s=0.25)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "store"), code="codeA")
+
+
+def _entry_path(store, spec):
+    return store._entry_path(store.entry_id(spec))
+
+
+def _blob_path_of(store, spec):
+    with open(_entry_path(store, spec), "rb") as handle:
+        doc = json.loads(handle.read())
+    return store._blob_path(doc["blob"])
+
+
+class TestRoundTrip:
+    def test_put_get_round_trips_identity(self, store):
+        spec = _spec()
+        assert store.put(spec, _result(spec)) is True
+        hit = store.get(spec)
+        assert hit is not None
+        assert hit.identity() == _result(spec).identity()
+        assert store.stats.hits == 1 and store.stats.published == 1
+
+    def test_absent_entry_is_a_plain_miss(self, store):
+        assert store.get(_spec()) is None
+        assert store.stats.misses == 1
+        assert store.quarantined() == []
+
+    def test_different_seed_is_a_different_key(self, store):
+        store.put(_spec(seed=1), _result(_spec(seed=1)))
+        assert store.get(_spec(seed=2)) is None
+
+    def test_code_digest_is_a_key_axis(self, store, tmp_path):
+        spec = _spec()
+        store.put(spec, _result(spec))
+        other = ResultStore(store.root, code="codeB")
+        # Same job under different code must not serve the stale result.
+        assert other.get(spec) is None
+
+    def test_identical_results_share_one_blob(self, store):
+        # Content addressing: same bytes from different specs dedupe.
+        a, b = _spec(seed=1), _spec(seed=2)
+        ra = JobResult(key=a.key, status="ok", qor={}, digests={})
+        rb = JobResult(key=b.key, status="ok", qor={}, digests={})
+        store.put(a, ra)
+        store.put(b, rb)
+        assert store.size()["entries"] == 2
+        # Keys differ so blobs differ here; force identical bytes via
+        # same key (legal: re-publish is idempotent).
+        before = store.size()["blobs"]
+        store.put(a, ra)
+        assert store.size()["blobs"] == before
+
+    def test_wall_s_round_trips_but_identity_ignores_it(self, store):
+        spec = _spec()
+        store.put(spec, _result(spec))
+        hit = store.get(spec)
+        assert hit.wall_s == pytest.approx(0.25)
+        assert "wall_s" not in hit.identity()
+
+
+class TestCacheability:
+    def test_fault_specs_are_never_cached(self, store):
+        spec = _spec(fault="crash")
+        result = JobResult(key=spec.key, status="ok")
+        assert store.put(spec, result) is False
+        assert store.get(spec) is None
+        # Fault lookups do not even count as misses.
+        assert store.stats.misses == 0
+
+    @pytest.mark.parametrize("status", ["error", "timeout", "crashed",
+                                        "stalled"])
+    def test_environmental_failures_are_not_cached(self, store, status):
+        spec = _spec()
+        assert store.put(spec, _result(spec, status=status)) is False
+
+    @pytest.mark.parametrize("status", ["ok", "unroutable", "unrepairable"])
+    def test_deterministic_statuses_are_cached(self, store, status):
+        spec = _spec()
+        assert store.put(spec, _result(spec, status=status)) is True
+        assert store.get(spec).status == status
+
+    def test_key_mismatch_raises(self, store):
+        spec = _spec(seed=1)
+        with pytest.raises(ValueError):
+            store.put(spec, _result(_spec(seed=2)))
+
+
+class TestCorruption:
+    """The trio: flipped byte, truncated row, digest mismatch."""
+
+    def _published(self, store):
+        spec = _spec()
+        store.put(spec, _result(spec))
+        return spec
+
+    def test_flipped_blob_byte_quarantines_and_misses(self, store):
+        spec = self._published(store)
+        blob_path = _blob_path_of(store, spec)
+        with open(blob_path, "rb") as handle:
+            data = bytearray(handle.read())
+        data[len(data) // 2] ^= 0xFF
+        with open(blob_path, "wb") as handle:
+            handle.write(bytes(data))
+        assert store.get(spec) is None
+        assert store.stats.quarantined >= 2  # blob and its entry
+        assert store.quarantined()
+        # Transparent recompute: a fresh publish serves again.
+        assert store.put(spec, _result(spec)) is True
+        assert store.get(spec) is not None
+
+    def test_truncated_index_row_quarantines_and_misses(self, store):
+        spec = self._published(store)
+        entry_path = _entry_path(store, spec)
+        with open(entry_path, "rb") as handle:
+            data = handle.read()
+        with open(entry_path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert store.get(spec) is None
+        assert any(name.endswith(".json") for name in store.quarantined())
+        assert store.put(spec, _result(spec)) is True
+        assert store.get(spec) is not None
+
+    def test_qor_digest_mismatch_is_not_served(self, store):
+        spec = self._published(store)
+        blob_path = _blob_path_of(store, spec)
+        with open(blob_path, "rb") as handle:
+            doc = json.loads(handle.read())
+        doc["qor"]["wirelength"] += 1  # silent QoR tamper
+        data = json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        # Re-address the blob so the content hash passes and only the
+        # result's own qor digest can catch the tamper.
+        import hashlib
+        new_blob = hashlib.sha256(data).hexdigest()
+        new_path = store._blob_path(new_blob)
+        os.makedirs(os.path.dirname(new_path), exist_ok=True)
+        with open(new_path, "wb") as handle:
+            handle.write(data)
+        entry_path = _entry_path(store, spec)
+        with open(entry_path, "rb") as handle:
+            entry_doc = json.loads(handle.read())
+        entry_doc["blob"] = new_blob
+        with open(entry_path, "wb") as handle:
+            handle.write(json.dumps(entry_doc).encode("utf-8"))
+        assert store.get(spec) is None
+        assert store.quarantined()
+
+    def test_missing_blob_quarantines_entry(self, store):
+        spec = self._published(store)
+        os.remove(_blob_path_of(store, spec))
+        assert store.get(spec) is None
+        assert store.put(spec, _result(spec)) is True
+        assert store.get(spec) is not None
+
+    def test_wrong_schema_version_reads_as_miss(self, store):
+        spec = self._published(store)
+        entry_path = _entry_path(store, spec)
+        with open(entry_path, "rb") as handle:
+            doc = json.loads(handle.read())
+        doc["schema"] = 999
+        with open(entry_path, "wb") as handle:
+            handle.write(json.dumps(doc).encode("utf-8"))
+        assert store.get(spec) is None
+
+
+class TestGC:
+    def _fill(self, store, n):
+        specs = [_spec(seed=i) for i in range(1, n + 1)]
+        for i, spec in enumerate(specs):
+            store.put(spec, _result(spec, wirelength=40 + i))
+            entry = _entry_path(store, spec)
+            os.utime(entry, (1_000_000 + i, 1_000_000 + i))
+        return specs
+
+    def test_max_entries_keeps_most_recent(self, store):
+        specs = self._fill(store, 6)
+        out = store.gc(max_entries=2)
+        assert out.kept_entries == 2 and out.evicted_entries == 4
+        assert store.size()["entries"] == 2
+        # The two newest mtimes survive.
+        assert store.get(specs[-1]) is not None
+        assert store.get(specs[0]) is None
+
+    def test_hit_refreshes_lru_recency(self, store):
+        specs = self._fill(store, 3)
+        hit = store.get(specs[0])  # bumps mtime of the oldest entry
+        assert hit is not None
+        store.gc(max_entries=1)
+        assert store.get(specs[0]) is not None
+
+    def test_max_bytes_bound_enforced(self, store):
+        self._fill(store, 5)
+        before = store.size()["bytes"]
+        out = store.gc(max_bytes=before // 2)
+        assert out.bytes_after <= before // 2
+        assert out.evicted_entries >= 1
+
+    def test_unreferenced_blobs_swept(self, store):
+        spec = self._fill(store, 1)[0]
+        os.remove(_entry_path(store, spec))
+        out = store.gc()
+        assert out.dropped_blobs == 1
+        assert store.size()["blobs"] == 0
+
+    def test_gc_counts_land_in_stats(self, store):
+        self._fill(store, 4)
+        store.gc(max_entries=1)
+        assert store.stats.evicted == 3
+
+
+class TestProcessHandle:
+    def test_to_doc_from_doc_round_trip(self, store):
+        doc = store.to_doc()
+        clone = ResultStore.from_doc(json.loads(json.dumps(doc)))
+        assert clone.root == store.root and clone.code == store.code
+        spec = _spec()
+        store.put(spec, _result(spec))
+        assert clone.get(spec) is not None
+
+    def test_stats_start_zeroed(self, store):
+        assert store.stats == StoreStats()

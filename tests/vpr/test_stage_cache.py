@@ -1,0 +1,80 @@
+"""Tests for repro.vpr.flow.StageCache: reuse, keying, LRU bound."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.vpr.flow import StageCache, run_flow
+
+from .conftest import ARCH
+
+
+class TestUnit:
+    def test_get_or_compute_caches(self):
+        cache = StageCache()
+        calls = []
+        value, hit = cache.get_or_compute("pack", ("k",),
+                                          lambda: calls.append(1) or "v")
+        assert (value, hit) == ("v", False)
+        value, hit = cache.get_or_compute("pack", ("k",), lambda: "other")
+        assert (value, hit) == ("v", True)
+        assert calls == [1]
+
+    def test_stage_is_part_of_the_key(self):
+        cache = StageCache()
+        cache.get_or_compute("pack", ("k",), lambda: "packed")
+        value, hit = cache.get_or_compute("place", ("k",), lambda: "placed")
+        assert (value, hit) == ("placed", False)
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = StageCache(max_entries=2)
+        cache.get_or_compute("s", (1,), lambda: 1)
+        cache.get_or_compute("s", (2,), lambda: 2)
+        cache.get_or_compute("s", (1,), lambda: None)  # refresh 1
+        cache.get_or_compute("s", (3,), lambda: 3)     # evicts 2
+        assert len(cache) == 2
+        _, hit = cache.get_or_compute("s", (2,), lambda: 2)
+        assert hit is False
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            StageCache(max_entries=0)
+
+    def test_hit_and_miss_counters(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = StageCache()
+            cache.get_or_compute("s", ("k",), lambda: 1)
+            cache.get_or_compute("s", ("k",), lambda: 1)
+        snap = registry.snapshot()
+        assert snap["flow.stage_cache.misses"]["value"] == 1.0
+        assert snap["flow.stage_cache.hits"]["value"] == 1.0
+
+
+class TestFlowIntegration:
+    def test_repeat_flow_reuses_pack_and_place(self, netlist):
+        cache = StageCache()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            first = run_flow(netlist, ARCH, seed=1, stage_cache=cache)
+            second = run_flow(netlist, ARCH, seed=1, stage_cache=cache)
+        snap = registry.snapshot()
+        assert snap["flow.stage_cache.hits"]["value"] == 2.0  # pack + place
+        assert first.routing.wirelength == second.routing.wirelength
+        # The cached placement is the same object, not a recompute.
+        assert first.placement is second.placement
+
+    def test_seed_change_recomputes_placement(self, netlist):
+        cache = StageCache()
+        run_flow(netlist, ARCH, seed=1, stage_cache=cache)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            run_flow(netlist, ARCH, seed=2, stage_cache=cache)
+        snap = registry.snapshot()
+        # pack hits (same netlist+params); place misses (new seed).
+        assert snap["flow.stage_cache.hits"]["value"] == 1.0
+        assert snap["flow.stage_cache.misses"]["value"] == 1.0
+
+    def test_cacheless_flow_matches_cached(self, netlist):
+        cached = run_flow(netlist, ARCH, seed=1, stage_cache=StageCache())
+        plain = run_flow(netlist, ARCH, seed=1)
+        assert cached.routing.wirelength == plain.routing.wirelength
