@@ -27,7 +27,14 @@ from .build import (
     KIND_SOURCE,
     KIND_VWIRE,
 )
-from .ir import FabricIR, SwitchKind, TileLookup, as_fabric, switch_kind_code
+from .ir import (
+    FabricIR,
+    RouterColumns,
+    SwitchKind,
+    TileLookup,
+    as_fabric,
+    switch_kind_code,
+)
 from .cache import FabricCache, fabric_cache, get_fabric
 
 __all__ = [
@@ -40,6 +47,7 @@ __all__ = [
     "KIND_SINK",
     "KIND_SOURCE",
     "KIND_VWIRE",
+    "RouterColumns",
     "SwitchKind",
     "TileLookup",
     "as_fabric",

@@ -25,6 +25,7 @@ working during migration without paying for objects they never touch.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import time
 from functools import cached_property
@@ -125,6 +126,30 @@ class TileLookup(Mapping[Tuple[int, int], int]):
 
     def __len__(self) -> int:
         return int((self._table >= 0).sum())
+
+
+@dataclasses.dataclass
+class RouterColumns:
+    """Writable per-router cost/occupancy state columns.
+
+    Freshly allocated by `FabricIR.router_columns()` so every router
+    owns its mutable state while the IR's shared cached views stay
+    immutable.  ``static`` starts equal to ``base`` and is refreshed
+    to ``base + history`` once per PathFinder iteration.
+
+    Attributes:
+        base: float64 congestion base costs (copy of `base_costs`).
+        capacity: int32 node capacities.
+        occupancy: int32 current net counts, zero-initialised.
+        history: float64 accumulated PathFinder history costs.
+        static: float64 ``base + history`` scratch column.
+    """
+
+    base: np.ndarray
+    capacity: np.ndarray
+    occupancy: np.ndarray
+    history: np.ndarray
+    static: np.ndarray
 
 
 class FabricIR:
@@ -354,17 +379,60 @@ class FabricIR:
         return np.where(wire, self.spans, 0).tolist()
 
     @cached_property
+    def pos_x(self) -> np.ndarray:
+        """A* lookahead x coordinates (float64): horizontal-wire
+        midpoints, pin/collector tile columns."""
+        half = (self.spans - 1) / 2.0
+        px = self.xs.astype(np.float64)
+        hmask = self.kind == KIND_HWIRE
+        px[hmask] += half[hmask]
+        return px
+
+    @cached_property
+    def pos_y(self) -> np.ndarray:
+        """A* lookahead y coordinates (float64): vertical-wire
+        midpoints, pin/collector tile rows."""
+        half = (self.spans - 1) / 2.0
+        py = self.ys.astype(np.float64)
+        vmask = self.kind == KIND_VWIRE
+        py[vmask] += half[vmask]
+        return py
+
+    @cached_property
     def positions(self) -> List[Tuple[float, float]]:
         """A* lookahead coordinates: wire midpoints, pin/collector
         tiles.  Matches the legacy router's `_pos` bit-for-bit."""
-        half = (self.spans - 1) / 2.0
-        px = self.xs.astype(np.float64)
-        py = self.ys.astype(np.float64)
-        hmask = self.kind == KIND_HWIRE
-        vmask = self.kind == KIND_VWIRE
-        px[hmask] += half[hmask]
-        py[vmask] += half[vmask]
-        return list(zip(px.tolist(), py.tolist()))
+        return list(zip(self.pos_x.tolist(), self.pos_y.tolist()))
+
+    def nodes_of_kind(self, *codes: int) -> np.ndarray:
+        """Node ids whose kind is any of ``codes`` (ascending, cached).
+
+        The kernels use this for their admissibility index sets; the
+        cache lives on the instance, keyed by the code tuple.
+        """
+        cache = self.__dict__.setdefault("_kind_index_cache", {})
+        hit = cache.get(codes)
+        if hit is None:
+            mask = np.zeros(self.num_nodes, dtype=bool)
+            for code in codes:
+                mask |= self.kind == code
+            hit = cache[codes] = np.nonzero(mask)[0]
+        return hit
+
+    def router_columns(self) -> RouterColumns:
+        """Fresh writable router state columns (one set per router).
+
+        Copies are taken from the shared cached views, so the IR stays
+        safe to share between concurrent routers.
+        """
+        base = self.base_costs.copy()
+        return RouterColumns(
+            base=base,
+            capacity=self.capacities.astype(np.int32),
+            occupancy=np.zeros(self.num_nodes, dtype=np.int32),
+            history=np.zeros(self.num_nodes, dtype=np.float64),
+            static=base.copy(),
+        )
 
     # -- stats -------------------------------------------------------------
 

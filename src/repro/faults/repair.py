@@ -131,6 +131,7 @@ def repair_routing(
     campaign: Optional[object] = None,
     max_widen: int = 3,
     widen_step: int = 2,
+    route_kernel: Optional[str] = None,
     **router_kwargs,
 ) -> RepairResult:
     """Restore routing legality against ``defects`` (see module doc).
@@ -149,8 +150,13 @@ def repair_routing(
             pretending a wider fabric is fault-free would be lying.
         max_widen: How many widened widths to try.
         widen_step: Channel-width increment per widened attempt.
+        route_kernel: Expansion kernel for every rung's router (see
+            `repro.vpr.route_kernels`); bit-identical across kernels,
+            so the repair outcome never depends on it.
         **router_kwargs: Forwarded to every `PathFinderRouter`.
     """
+    if route_kernel is not None:
+        router_kwargs["kernel"] = route_kernel
     params = placement.clustered.params
     if graph is None:
         graph = get_fabric(params, placement.grid_width, placement.grid_height)
@@ -211,8 +217,8 @@ def repair_routing(
         with get_tracer().span("repair.incremental", victims=len(victims)):
             router = PathFinderRouter(
                 graph,
-                blocked_nodes=defects.blocked_nodes(),
-                blocked_edges=defects.blocked_edges(),
+                blocked_nodes=sorted(defects.blocked_nodes()),
+                blocked_edges=sorted(defects.blocked_edges()),
                 **router_kwargs,
             )
             partial = router.route(victim_nets, fixed_trees=fixed)
@@ -240,8 +246,8 @@ def repair_routing(
         with get_tracer().span("repair.full", nets=len(nets)):
             router = PathFinderRouter(
                 graph,
-                blocked_nodes=defects.blocked_nodes(),
-                blocked_edges=defects.blocked_edges(),
+                blocked_nodes=sorted(defects.blocked_nodes()),
+                blocked_edges=sorted(defects.blocked_edges()),
                 **router_kwargs,
             )
             full = router.route(nets)
@@ -274,8 +280,8 @@ def repair_routing(
             with get_tracer().span("repair.widen", channel_width=new_width):
                 router = PathFinderRouter(
                     wide_ir,
-                    blocked_nodes=wide_defects.blocked_nodes(),
-                    blocked_edges=wide_defects.blocked_edges(),
+                    blocked_nodes=sorted(wide_defects.blocked_nodes()),
+                    blocked_edges=sorted(wide_defects.blocked_edges()),
                     **router_kwargs,
                 )
                 wide = router.route(nets)

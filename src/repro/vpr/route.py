@@ -11,13 +11,18 @@ classic algorithm [McMurchie-Ebeling / Betz 99]:
   (Manhattan-distance/L lookahead);
 * iteration ends when no node is shared by two nets (legal routing)
   or the iteration limit is hit (unroutable at this channel width).
+
+The inner expansion/cost loop lives in a pluggable kernel
+(`repro.vpr.route_kernels`): the pure-Python reference walk, a
+vectorised numpy kernel, or a numba-compiled one — all bit-identical
+by contract, so choosing a kernel changes speed and nothing else.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import heapq
-from collections import defaultdict
+import random
+import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..arch.params import ArchParams
@@ -31,21 +36,25 @@ from ..fabric import (
 from ..netlist.core import BlockType
 from ..obs import get_logger, get_publisher, get_registry, get_tracer, kv
 from .place import Placement
+from .route_kernels import make_kernel, resolve_kernel
 
 _log = get_logger("vpr.route")
 
 #: Deterministic tie-break jitter, cached per node count: it depends
 #: only on ``n``, so routers sharing a FabricIR (or probing equal-size
-#: graphs) skip regenerating it.
+#: graphs) skip regenerating it.  Lock-guarded: serve's thread-pool
+#: workers construct routers concurrently.
 _JITTER_CACHE: Dict[int, List[float]] = {}
+_JITTER_LOCK = threading.Lock()
 
 
 def _jitter_for(n: int) -> List[float]:
-    cached = _JITTER_CACHE.get(n)
-    if cached is None:
-        rng = __import__("random").Random(0xF9A4)
-        cached = _JITTER_CACHE[n] = [1.0 + 0.03 * rng.random() for _ in range(n)]
-    return cached
+    with _JITTER_LOCK:
+        cached = _JITTER_CACHE.get(n)
+        if cached is None:
+            rng = random.Random(0xF9A4)
+            cached = _JITTER_CACHE[n] = [1.0 + 0.03 * rng.random() for _ in range(n)]
+        return cached
 
 
 @dataclasses.dataclass
@@ -155,6 +164,13 @@ class PathFinderRouter:
         hist_fac: History cost accumulation factor.
         max_iterations: Give up after this many rip-up passes.
         astar_fac: A* lookahead aggressiveness (1.0 = admissible).
+        kernel: Expansion kernel — ``"python"`` / ``"numpy"`` /
+            ``"numba"`` / ``"auto"`` / None.  None defers to the
+            ``REPRO_ROUTE_KERNEL`` environment override, then auto
+            (numba when importable, numpy on large graphs, reference
+            otherwise).  Kernels are bit-identical by contract, so
+            this only affects speed — never results, digests or cache
+            keys.  The resolved name is exposed as ``self.kernel``.
     """
 
     def __init__(
@@ -168,6 +184,7 @@ class PathFinderRouter:
         delay_costs: Optional[Sequence[float]] = None,
         blocked_nodes: Optional[Set[int]] = None,
         blocked_edges: Optional[Set[Tuple[int, int]]] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         """``delay_costs`` (one weight per RR node, normalised so a
         typical wire hop ~ its base cost) enables timing-driven mode:
@@ -199,23 +216,9 @@ class PathFinderRouter:
         # single int set-probe instead of building a tuple per edge.
         self._blocked_edges = frozenset(
             u * n + v for (u, v) in (blocked_edges or ()))
-        # Per-router mutable state; the shared (cached) IR views are
-        # read-only, so copies are taken only where the router writes.
-        self._base = ir.base_costs.tolist()
-        self._cap = ir.capacities.tolist()
-        self._occ = [0] * n
-        self._hist = [0.0] * n
-        self._static = list(self._base)
-        self._is_sink = ir.sink_flags
-        self._is_source = ir.source_flags
-        # CSR adjacency in hot-loop (plain list) form.
+        # CSR adjacency in list form for the escalation scan.
         self._edge_offsets = ir.csr_offsets()
         self._edge_targets = ir.csr_targets()
-        # Search scratch arrays reused across nets (epoch-stamped).
-        self._dist = [0.0] * n
-        self._came = [0] * n
-        self._stamp = [0] * n
-        self._epoch = 0
         # Deterministic tie-break jitter: symmetric conflicts otherwise
         # oscillate forever because both nets see identical costs.
         self._jitter = _jitter_for(max(n, 1))
@@ -223,21 +226,16 @@ class PathFinderRouter:
         # Wire node positions for the A* lookahead.
         self._pos: List[Tuple[float, float]] = ir.positions
         self._pin_groups: Optional[Dict[Tuple[int, int, int], List[int]]] = None
+        # The expansion kernel owns the mutable per-node state
+        # (occupancy / history / static costs) and the search loop.
+        self.kernel = resolve_kernel(kernel, n)
+        self._kernel = make_kernel(self.kernel, self)
 
-    # -- congestion cost ----------------------------------------------------
-
-    def _node_cost(self, node_id: int, pres_fac: float) -> float:
-        """Congestion cost of adding one more net to a node (kept as a
-        reference implementation; the router inlines this)."""
-        over = self._occ[node_id] + 1 - self._cap[node_id]
-        pres = 1.0 + pres_fac * over if over > 0 else 1.0
-        return (self._base[node_id] + self._hist[node_id]) * pres
+    # -- kernel delegation --------------------------------------------------
 
     def _refresh_static_costs(self) -> None:
         """base + history, recomputed once per PathFinder iteration."""
-        self._static = [b + h for b, h in zip(self._base, self._hist)]
-
-    # -- single net ---------------------------------------------------------
+        self._kernel.refresh_static()
 
     def _route_net(
         self,
@@ -247,136 +245,9 @@ class PathFinderRouter:
         sink_shuffle: int = 0,
         criticality: float = 0.0,
     ) -> Optional[RouteTree]:
-        ir = self.fabric
-        source = ir.source_of[net.source_tile]
-        targets = {ir.sink_of[tile]: tile for tile in net.sink_tiles}
-        tree_nodes: List[int] = [source]
-        tree_set: Set[int] = {source}
-        parent: Dict[int, int] = {source: -1}
-        sink_nodes: List[int] = []
-        remaining = dict(targets)
-
-        # Net bounding box (+margin) restricts the search, VPR-style.
-        xs = [net.source_tile[0]] + [t[0] for t in net.sink_tiles]
-        ys = [net.source_tile[1]] + [t[1] for t in net.sink_tiles]
-        bb = (min(xs) - bb_margin, max(xs) + bb_margin, min(ys) - bb_margin, max(ys) + bb_margin)
-
-        # Local bindings for the hot loop.
-        edge_offsets = self._edge_offsets
-        edge_targets = self._edge_targets
-        blocked = self._blocked
-        blocked_edges = self._blocked_edges
-        n_enc = self.fabric.num_nodes
-        pos = self._pos
-        static = self._static
-        occ = self._occ
-        cap = self._cap
-        is_sink = self._is_sink
-        is_source = self._is_source
-        astar_per_tile = self.astar_fac
-        dist = self._dist
-        came = self._came
-        stamp = self._stamp
-        heappush, heappop = heapq.heappush, heapq.heappop
-        jitter = self._jitter
-        self._route_calls += 1
-        n_nodes = len(jitter)
-        # Stable string hash: Python's hash() is salted per process,
-        # which would make routing (and thus Wmin) non-reproducible.
-        name_hash = __import__("zlib").crc32(net.name.encode())
-        salt = (name_hash * 31 + self._route_calls * 7919) % n_nodes
-        # Timing-driven blend (VPR): crit * delay + (1 - crit) * cong.
-        delay_costs = self._delay_costs
-        crit = min(max(criticality, 0.0), 0.99) if delay_costs is not None else 0.0
-        cong_weight = 1.0 - crit
-
-        # Optional sink-order shuffle: the default nearest-first order
-        # can commit the tree trunk so the last sink is boxed into one
-        # conflicted IPIN; a reshuffled order escapes such wedges.
-        shuffled_order: List[int] = []
-        if sink_shuffle:
-            rng = __import__("random").Random(sink_shuffle)
-            shuffled_order = sorted(targets)
-            rng.shuffle(shuffled_order)
-
-        while remaining:
-            self._epoch += 1
-            epoch = self._epoch
-            if shuffled_order:
-                target_sink = next(s for s in shuffled_order if s in remaining)
-            else:
-                target_sink = min(
-                    remaining,
-                    key=lambda s: abs(pos[s][0] - pos[source][0])
-                    + abs(pos[s][1] - pos[source][1]),
-                )
-            tx, ty = pos[target_sink]
-            heap: List[Tuple[float, float, int]] = []
-            for node in tree_nodes:
-                # Once the first sink is routed, the SOURCE stops being
-                # a seed: otherwise later sinks branch at the source and
-                # the net consumes several OPINs, oversubscribing the
-                # LB's N output pins.
-                if node == source and len(tree_nodes) > 1:
-                    continue
-                dist[node] = 0.0
-                stamp[node] = epoch
-                nx, ny = pos[node]
-                heappush(heap, (astar_per_tile * (abs(nx - tx) + abs(ny - ty)), 0.0, node))
-            found = False
-            bb_x0, bb_x1, bb_y0, bb_y1 = bb
-            while heap:
-                _f, g, u = heappop(heap)
-                if stamp[u] == epoch and g > dist[u]:
-                    continue
-                if u == target_sink:
-                    found = True
-                    break
-                u_base = u * n_enc if blocked_edges else 0
-                # CSR neighbor expansion: one contiguous slice per pop.
-                for v in edge_targets[edge_offsets[u]:edge_offsets[u + 1]]:
-                    if v in tree_set:
-                        continue
-                    if blocked and v in blocked:
-                        continue
-                    if blocked_edges and u_base + v in blocked_edges:
-                        continue
-                    if is_sink[v]:
-                        if v != target_sink:
-                            continue
-                    elif is_source[v]:
-                        continue
-                    vx, vy = pos[v]
-                    if not (bb_x0 <= vx <= bb_x1 and bb_y0 <= vy <= bb_y1):
-                        continue
-                    c = static[v] * jitter[v - salt]
-                    over = occ[v] + 1 - cap[v]
-                    if over > 0:
-                        c *= 1.0 + pres_fac * over
-                    if crit > 0.0:
-                        c = cong_weight * c + crit * delay_costs[v]
-                    ng = g + c
-                    if stamp[v] != epoch or ng < dist[v]:
-                        dist[v] = ng
-                        stamp[v] = epoch
-                        came[v] = u
-                        heappush(heap, (ng + astar_per_tile * (abs(vx - tx) + abs(vy - ty)), ng, v))
-            if not found:
-                return None
-            # Trace back, splice into tree.
-            path: List[int] = []
-            node = target_sink
-            while node not in tree_set:
-                path.append(node)
-                node = came[node]
-            for n in reversed(path):
-                parent[n] = node
-                tree_set.add(n)
-                tree_nodes.append(n)
-                node = n
-            sink_nodes.append(target_sink)
-            del remaining[target_sink]
-        return RouteTree(nodes=tree_nodes, parent=parent, sink_nodes=sink_nodes)
+        return self._kernel.route_net(
+            net, pres_fac, bb_margin=bb_margin,
+            sink_shuffle=sink_shuffle, criticality=criticality)
 
     # -- occupancy bookkeeping -----------------------------------------------
 
@@ -395,11 +266,10 @@ class PathFinderRouter:
         return self._pin_groups.get(key, [])
 
     def _occupy(self, tree: RouteTree, delta: int) -> None:
-        for node in tree.nodes:
-            self._occ[node] += delta
+        self._kernel.occupy(tree.nodes, delta)
 
     def _overused(self) -> List[int]:
-        return [i for i, occ in enumerate(self._occ) if occ > self._cap[i]]
+        return self._kernel.overused()
 
     # -- main loop --------------------------------------------------------------
 
@@ -435,16 +305,25 @@ class PathFinderRouter:
             channel_width=self.fabric.params.channel_width,
             timing_driven=self._delay_costs is not None,
             fixed_nets=len(fixed_trees or ()),
+            kernel=self.kernel,
         ) as span:
             registry = get_registry()
             registry.gauge("route.blocked_nodes").set(len(self._blocked))
             registry.gauge("route.blocked_edges").set(len(self._blocked_edges))
+            pops_before = self._kernel.heap_pops
+            pushes_before = self._kernel.heap_pushes
             result = self._route_impl(nets, criticality, fixed_trees)
+            heap_pops = self._kernel.heap_pops - pops_before
+            heap_pushes = self._kernel.heap_pushes - pushes_before
+            registry.counter("route.heap_pops").inc(heap_pops)
+            registry.counter("route.heap_pushes").inc(heap_pushes)
             span.set_many(
                 success=result.success,
                 iterations=result.iterations,
                 overused_nodes=result.overused_nodes,
                 wirelength=result.wirelength,
+                heap_pops=heap_pops,
+                heap_pushes=heap_pushes,
             )
             if tracer.enabled:
                 span.set(
@@ -483,6 +362,7 @@ class PathFinderRouter:
         overuse_history: List[int] = []
         convergence: List[RouterIteration] = []
         stall = 0
+        last_pops = self._kernel.heap_pops
         for iteration in range(1, self.max_iterations + 1):
             escalate = False
             if iteration == 1:
@@ -580,13 +460,16 @@ class PathFinderRouter:
                 wirelength=wirelength,
                 rerouted_nets=len(to_route),
             ))
+            expansions = self._kernel.heap_pops - last_pops
+            last_pops = self._kernel.heap_pops
             _log.debug("route iter %s", kv(
                 iteration=iteration, overused=len(overused), pres_fac=pres_fac,
-                wirelength=wirelength, rerouted=len(to_route)))
+                wirelength=wirelength, rerouted=len(to_route),
+                expansions=expansions))
             if pub.enabled:
                 pub.progress("route.iteration", iteration=iteration,
                              overused=len(overused), wirelength=wirelength,
-                             rerouted=len(to_route))
+                             rerouted=len(to_route), expansions=expansions)
             if not overused:
                 return RoutingResult(
                     success=True,
@@ -596,8 +479,7 @@ class PathFinderRouter:
                     wirelength=wirelength,
                     convergence=convergence,
                 )
-            for node in overused:
-                self._hist[node] += self.hist_fac * (self._occ[node] - self._cap[node])
+            self._kernel.add_history(overused, self.hist_fac)
             pres_fac *= self.pres_fac_mult
             overuse_history.append(len(overused))
             # Routing predictor: hopeless widths abort early, marginal
