@@ -37,7 +37,7 @@ import dataclasses
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @contextlib.contextmanager
@@ -582,6 +582,127 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                   f"{row['wirelength_overhead']:7.1%}  {stages}")
         print(f"all campaigns repaired: {all_repaired}")
     return 0 if all_repaired else 1
+
+
+def _cmd_mission(args: argparse.Namespace) -> int:
+    from .faults.mission import aggregate_degradation, resolve_policy
+    from .obs import setup_logging, write_json
+    from .runner import BatchSpec, results_identical, run_batch
+
+    if getattr(args, "verbose", 0):
+        setup_logging(args.verbose)
+    policies = _parse_csv(args.policy)
+    try:
+        for name in policies:
+            resolve_policy(name)
+        if args.campaigns < 1:
+            raise ValueError("--campaigns must be >= 1")
+        spec = BatchSpec.from_matrix(
+            circuits=[args.circuit],
+            seeds=[args.seed],
+            widths=[args.width],
+            scale=args.scale,
+            mission_epochs=args.epochs,
+            mission_policies=policies,
+            mission_seeds=list(range(
+                args.base_seed, args.base_seed + args.campaigns)),
+            mission_years=args.years,
+            timeout_s=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(result, done, total):
+        print(f"[{done}/{total}] {result.key}: {result.status} "
+              f"({result.wall_s:.2f}s)", file=sys.stderr)
+
+    workers = args.workers
+    batch = run_batch(spec, workers=workers, metrics_out=args.metrics_out,
+                      progress=progress, store=_open_store(args))
+
+    deterministic = None
+    if args.verify_serial and workers > 1:
+        print("verify-serial: re-running the mission with 1 worker...",
+              file=sys.stderr)
+        serial = run_batch(spec, workers=1, progress=progress)
+        deterministic = results_identical(batch.results, serial.results)
+        print(f"verify-serial: parallel results are "
+              f"{'bit-identical to' if deterministic else 'DIFFERENT from'} "
+              f"serial execution", file=sys.stderr)
+
+    # One job per (policy, campaign seed): re-assemble each policy's
+    # degradation curve from its campaigns' per-epoch records.
+    results_by_key = {r.key: r for r in batch.results}
+    policy_docs: Dict[str, Dict[str, object]] = {}
+    failed_jobs = [r for r in batch.results if not r.ok]
+    for name in policies:
+        curves = []
+        ttfs = []
+        for job in spec.jobs:
+            if job.mission_policy != name:
+                continue
+            result = results_by_key[job.key]
+            records = result.qor.get("mission.curve")
+            if records:
+                curves.append(records)
+            ttf = result.qor.get("mission.ttf_years")
+            if ttf is not None:
+                ttfs.append(ttf)
+        policy_docs[name] = {
+            "campaigns": len(curves),
+            "degradation_curve": aggregate_degradation(
+                curves, args.epochs, args.years),
+            "time_to_first_unrepairable": min(ttfs) if ttfs else None,
+        }
+
+    doc: Dict[str, object] = {
+        "circuit": args.circuit,
+        "scale": args.scale,
+        "channel_width": args.width,
+        "epochs": args.epochs,
+        "years": args.years,
+        "campaigns": args.campaigns,
+        "base_seed": args.base_seed,
+        "spec_digest": spec.digest,
+        "policies": policy_docs,
+        "results": [r.to_dict() for r in batch.results],
+    }
+    if deterministic is not None:
+        doc["verify_serial"] = {"identical": deterministic}
+
+    if args.out:
+        write_json(args.out, doc)
+        print(f"wrote mission document to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(doc, sort_keys=True))
+    else:
+        print(f"{args.circuit} @ W={args.width}: {len(policies)} policy(ies) "
+              f"x {args.campaigns} campaign(s), {args.epochs} epochs over "
+              f"{args.years:g} device-years")
+        print(f"{'policy':<18s} {'yield per epoch':<28s} {'ttf.y':>6s} "
+              f"{'W.end':>6s} {'repairs':>7s}")
+        for name in policies:
+            pdoc = policy_docs[name]
+            curve = pdoc["degradation_curve"]
+            yields = " ".join(f"{row['yield']:.2f}" for row in curve)
+            ttf = pdoc["time_to_first_unrepairable"]
+            final_w = curve[-1]["mean_channel_width"] if curve else 0.0
+            repairs = sum(row["repairs"] for row in curve)
+            print(f"{name:<18s} {yields:<28s} "
+                  f"{ttf if ttf is not None else '-':>6} "
+                  f"{final_w:>6.1f} {repairs:>7d}")
+    if batch.metrics_path:
+        print(f"wrote merged mission telemetry to {batch.metrics_path}",
+              file=sys.stderr)
+    if failed_jobs:
+        for result in failed_jobs:
+            print(f"job failed: {result.key}: {result.status}",
+                  file=sys.stderr)
+        return 1
+    if deterministic is False:
+        return 3
+    return 0
 
 
 def _open_store(args: argparse.Namespace):
@@ -1250,6 +1371,47 @@ def build_parser() -> argparse.ArgumentParser:
                           help="machine-readable sweep on stdout")
     add_obs_args(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_mission = sub.add_parser(
+        "mission",
+        help="lifetime mission simulation: epoch-stepped Weibull aging with "
+             "BIST-triggered self-repair, per-policy degradation curves")
+    p_mission.add_argument("--circuit", default="tseng",
+                           help="suite circuit name")
+    p_mission.add_argument("--scale", type=float, default=0.02,
+                           help="circuit shrink factor (DESIGN.md Sec. 6)")
+    p_mission.add_argument("--width", type=int, default=56,
+                           help="channel width W")
+    p_mission.add_argument("--seed", type=int, default=1,
+                           help="placement seed")
+    p_mission.add_argument("--epochs", type=int, default=8,
+                           help="device-time steps (default 8)")
+    p_mission.add_argument("--years", type=float, default=10.0,
+                           help="mission length in device-years (default 10)")
+    p_mission.add_argument("--policy", default="on-failure", metavar="LIST",
+                           help="comma-separated repair policies: never, "
+                                "on-failure, periodic-<k>, every-epoch-bist, "
+                                "widen-early (default: on-failure)")
+    p_mission.add_argument("--campaigns", type=int, default=3,
+                           help="independent aging trajectories per policy "
+                                "(default 3)")
+    p_mission.add_argument("--base-seed", type=int, default=0,
+                           help="first aging-campaign seed (default 0)")
+    p_mission.add_argument("--workers", type=int, default=1,
+                           help="worker processes (one job per "
+                                "policy x campaign cell)")
+    p_mission.add_argument("--timeout", type=float, default=None,
+                           help="per-job wall-clock limit in seconds")
+    p_mission.add_argument("--verify-serial", action="store_true",
+                           help="re-run serially and fail (exit 3) unless "
+                                "the parallel results are bit-identical")
+    p_mission.add_argument("--out", metavar="PATH",
+                           help="write the full mission document as JSON")
+    p_mission.add_argument("--json", action="store_true",
+                           help="machine-readable document on stdout")
+    add_store_args(p_mission)
+    add_obs_args(p_mission)
+    p_mission.set_defaults(func=_cmd_mission)
 
     p_report = sub.add_parser(
         "report", help="render a --metrics-out JSONL run as a readable report")

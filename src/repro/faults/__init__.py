@@ -9,14 +9,25 @@ The detect -> avoid -> repair loop the paper's fragile relays demand:
   same faults from terminal behaviour;
 * `repair_routing` — incremental self-repair with a graceful
   degradation ladder (reroute victims only -> full reroute -> widen);
-* `run_defect_sweep` — routability-vs-defect-rate yield curves.
+* `run_defect_sweep` — routability-vs-defect-rate yield curves with
+  verified nested fault-set chains per campaign;
+* `simulate_mission` — epoch-stepped lifetime simulation composing
+  all of the above under pluggable repair policies, producing
+  per-policy degradation curves and time-to-first-unrepairable.
 """
 
 from .bist import run_fabric_bist
-from .campaign import CAMPAIGN_MODES, FaultCampaign, switch_sites
+from .campaign import (
+    CAMPAIGN_MODES,
+    FaultCampaign,
+    site_actuations,
+    switch_sites,
+)
 from .defects import (
     FabricDefectMap,
     canonical_digest,
+    chain_is_nested,
+    defect_maps_nested,
     empty_defect_map,
     fabric_key_of,
     resolve_defects,
@@ -24,8 +35,22 @@ from .defects import (
 from .evaluate import (
     CampaignOutcome,
     DefectSweep,
+    FaultSetChain,
     routing_digest,
     run_defect_sweep,
+)
+from .mission import (
+    MISSION_POLICIES,
+    EpochRecord,
+    MissionResult,
+    MissionSpec,
+    MissionTrajectory,
+    RepairPolicy,
+    aggregate_degradation,
+    policy_name_valid,
+    resolve_policy,
+    run_mission,
+    simulate_mission,
 )
 from .repair import (
     REPAIR_STAGES,
@@ -39,19 +64,34 @@ __all__ = [
     "CAMPAIGN_MODES",
     "CampaignOutcome",
     "DefectSweep",
+    "EpochRecord",
     "FabricDefectMap",
     "FaultCampaign",
+    "FaultSetChain",
+    "MISSION_POLICIES",
+    "MissionResult",
+    "MissionSpec",
+    "MissionTrajectory",
     "REPAIR_STAGES",
     "RepairAttempt",
+    "RepairPolicy",
     "RepairResult",
+    "aggregate_degradation",
     "canonical_digest",
+    "chain_is_nested",
+    "defect_maps_nested",
     "empty_defect_map",
     "fabric_key_of",
     "find_victims",
+    "policy_name_valid",
     "repair_routing",
     "resolve_defects",
+    "resolve_policy",
     "routing_digest",
     "run_defect_sweep",
     "run_fabric_bist",
+    "run_mission",
+    "simulate_mission",
+    "site_actuations",
     "switch_sites",
 ]

@@ -73,6 +73,44 @@ def switch_sites(ir: FabricIR) -> np.ndarray:
         (encoded // ir.num_nodes, encoded % ir.num_nodes))
 
 
+def site_actuations(
+    sites: np.ndarray,
+    bitstream: Optional[object] = None,
+    activities: Optional[Dict[str, float]] = None,
+    cycles: float = 0.0,
+    reconfigurations: float = 0.0,
+) -> np.ndarray:
+    """Per-site actuation counts for one wear interval.
+
+    Every site sees the ``reconfigurations`` programming baseline; a
+    site carrying a net in ``bitstream`` additionally toggles
+    ``cycles`` times scaled by that net's switching activity
+    (``activities``, defaulting to `DEFAULT_INPUT_ACTIVITY`).
+
+    This is the one wear-accounting code path: `FaultCampaign` calls
+    it for single-shot aging maps, and the mission simulator
+    (`repro.faults.mission`) calls it per epoch, *summing* the returned
+    increments into a cumulative per-site accumulator that is handed
+    back through ``for_fabric(..., actuations=...)`` — which is what
+    makes mission fault sets nest across epochs.
+    """
+    from ..power.activity import DEFAULT_INPUT_ACTIVITY
+
+    actuations = np.full(len(sites), float(reconfigurations))
+    if bitstream is not None and cycles > 0 and len(sites):
+        site_index = {
+            (int(lo), int(hi)): i for i, (lo, hi) in enumerate(sites)}
+        for (u, v), net in getattr(bitstream, "net_of_edge", {}).items():
+            idx = site_index.get((min(u, v), max(u, v)))
+            if idx is None:
+                continue
+            density = DEFAULT_INPUT_ACTIVITY
+            if activities is not None:
+                density = activities.get(net, DEFAULT_INPUT_ACTIVITY)
+            actuations[idx] += cycles * density
+    return actuations
+
+
 @dataclasses.dataclass(frozen=True)
 class FaultCampaign:
     """A seeded, fabric-independent fault model.
@@ -130,6 +168,7 @@ class FaultCampaign:
         ir: FabricIR,
         bitstream: Optional[object] = None,
         activities: Optional[Dict[str, float]] = None,
+        actuations: Optional[np.ndarray] = None,
     ) -> FabricDefectMap:
         """Sample this campaign's defect map for one concrete fabric.
 
@@ -141,19 +180,45 @@ class FaultCampaign:
             activities: Net name -> transition density (from
                 `power.activity.estimate_activities`); defaults to
                 `DEFAULT_INPUT_ACTIVITY` per routed net.
+            actuations: Precomputed per-site actuation counts
+                (``aging`` mode only), in `switch_sites` order.  When
+                given, ``bitstream``/``activities``/``cycles``/
+                ``reconfigurations`` are ignored for wear accounting:
+                the caller owns the accumulator.  The mission
+                simulator uses this to accumulate wear incrementally
+                across epochs; because the underlying uniform draw is
+                fixed by ``(seed, fabric key)``, monotonically growing
+                actuations produce monotonically nested fault sets.
         """
         key = fabric_key_of(ir)
         with get_tracer().span(
             "faults.campaign", mode=self.mode, seed=self.seed
         ) as span:
             sites = switch_sites(ir)
+            if actuations is not None:
+                if self.mode != "aging":
+                    raise ValueError(
+                        "precomputed actuations only apply to aging mode, "
+                        f"not {self.mode!r}")
+                actuations = np.asarray(actuations, dtype=float)
+                if actuations.shape != (len(sites),):
+                    raise ValueError(
+                        f"actuations shape {actuations.shape} != "
+                        f"({len(sites)},) — one count per switch site")
+                if len(sites) and float(actuations.min()) < 0:
+                    raise ValueError("actuations must be >= 0")
             rng = np.random.default_rng(_seed_sequence(self.seed, key))
             if self.mode == "uniform":
                 open_mask, closed_mask = self._sample_uniform(rng, len(sites))
             elif self.mode == "variation":
                 open_mask, closed_mask = self._sample_variation(rng, len(sites))
             else:
-                open_mask = self._sample_aging(rng, ir, sites, bitstream, activities)
+                if actuations is None:
+                    actuations = site_actuations(
+                        sites, bitstream, activities,
+                        cycles=self.cycles,
+                        reconfigurations=self.reconfigurations)
+                open_mask = self._sample_aging(rng, sites, actuations)
                 closed_mask = np.zeros(len(sites), dtype=bool)
             defect_map = FabricDefectMap(
                 fabric_key=key,
@@ -242,28 +307,13 @@ class FaultCampaign:
     def _sample_aging(
         self,
         rng: np.random.Generator,
-        ir: FabricIR,
         sites: np.ndarray,
-        bitstream: Optional[object],
-        activities: Optional[Dict[str, float]],
+        actuations: np.ndarray,
     ) -> np.ndarray:
         """Weibull wear-out from per-site actuation counts."""
         from ..nemrelay.reliability import WeibullEndurance
-        from ..power.activity import DEFAULT_INPUT_ACTIVITY
 
         endurance = WeibullEndurance(eta=self.eta, beta=self.beta)
-        actuations = np.full(len(sites), float(self.reconfigurations))
-        if bitstream is not None and self.cycles > 0 and len(sites):
-            site_index = {
-                (int(lo), int(hi)): i for i, (lo, hi) in enumerate(sites)}
-            for (u, v), net in getattr(bitstream, "net_of_edge", {}).items():
-                idx = site_index.get((min(u, v), max(u, v)))
-                if idx is None:
-                    continue
-                density = DEFAULT_INPUT_ACTIVITY
-                if activities is not None:
-                    density = activities.get(net, DEFAULT_INPUT_ACTIVITY)
-                actuations[idx] += self.cycles * density
         # Most sites share the baseline count; evaluate the Weibull CDF
         # once per distinct value rather than per site.
         unique, inverse = np.unique(actuations, return_inverse=True)

@@ -35,7 +35,7 @@ import dataclasses
 import hashlib
 import json
 from functools import cached_property
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from ..fabric import FabricIR
 
@@ -222,6 +222,44 @@ class FabricDefectMap:
 def empty_defect_map(ir: FabricIR) -> FabricDefectMap:
     """A clean map for ``ir`` (useful as a neutral default)."""
     return FabricDefectMap(fabric_key=fabric_key_of(ir), num_nodes=ir.num_nodes)
+
+
+def defect_maps_nested(inner: FabricDefectMap, outer: FabricDefectMap) -> bool:
+    """True when every resource faulty in ``inner`` is faulty in
+    ``outer`` too.
+
+    The nesting invariant of the fault subsystem.  Checked on the
+    *faulty-resource union* (dead nodes, and switch sites faulty in
+    either class): a single uniform draw per site is partitioned into
+    stuck-open / stuck-closed bands, so a growing rate can migrate a
+    site between classes while the faulty set itself only ever grows.
+    Both maps must belong to the same fabric — node ids are not
+    comparable otherwise.
+
+    Nesting is what makes degradation curves monotone in *hardware*
+    rather than sampling noise: `run_defect_sweep` holds each
+    campaign's seed constant while the rate grows, and the mission
+    simulator (`repro.faults.mission`) holds it constant while
+    accumulated actuations grow; either way the fixed per-site uniform
+    draw is compared against monotonically growing probabilities, so
+    every later fault set contains every earlier one.
+    """
+    if inner.fabric_key != outer.fabric_key:
+        raise ValueError(
+            "cannot compare defect maps across fabrics (node ids are not "
+            "portable); nesting is only defined per fabric key")
+
+    def faulty_sites(m: FabricDefectMap) -> FrozenSet[Switch]:
+        return frozenset(m.stuck_open_switches) | frozenset(
+            m.stuck_closed_switches)
+
+    return (set(inner.stuck_open_nodes) <= set(outer.stuck_open_nodes)
+            and faulty_sites(inner) <= faulty_sites(outer))
+
+
+def chain_is_nested(maps: Sequence[FabricDefectMap]) -> bool:
+    """True when every consecutive pair of ``maps`` nests in order."""
+    return all(defect_maps_nested(a, b) for a, b in zip(maps, maps[1:]))
 
 
 def resolve_defects(defects: object, ir: FabricIR) -> Optional[FabricDefectMap]:

@@ -21,14 +21,14 @@ benchmark asserts.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.params import ArchParams
 from ..netlist.core import Netlist
 from ..obs import get_logger, get_registry, get_tracer, kv
 from ..vpr.flow import run_flow
 from .campaign import FaultCampaign
-from .defects import canonical_digest
+from .defects import canonical_digest, chain_is_nested
 from .repair import RepairResult, repair_routing
 
 _log = get_logger("faults.evaluate")
@@ -66,6 +66,35 @@ class CampaignOutcome:
         return dataclasses.asdict(self)
 
 
+@dataclasses.dataclass(frozen=True)
+class FaultSetChain:
+    """One campaign seed's fault sets across the swept rates, in rate
+    order — the nested-fault-set invariant, made inspectable.
+
+    ``run_defect_sweep`` keeps each campaign's seed constant while the
+    rate grows, so the sampled sets must nest (`chain_is_nested`,
+    the same check the mission simulator applies across epochs).
+    ``nested`` records the verified outcome; a False here would mean
+    the sampling contract broke, and the sweep raises before
+    returning one.
+    """
+
+    campaign_seed: int
+    rates: Tuple[float, ...]
+    digests: Tuple[str, ...]
+    defect_counts: Tuple[int, ...]
+    nested: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign_seed": self.campaign_seed,
+            "rates": list(self.rates),
+            "digests": list(self.digests),
+            "defect_counts": list(self.defect_counts),
+            "nested": self.nested,
+        }
+
+
 @dataclasses.dataclass
 class DefectSweep:
     """Full sweep outcome (see `run_defect_sweep`)."""
@@ -76,9 +105,17 @@ class DefectSweep:
     clean_digest: str
     rates: List[float]
     outcomes: List[CampaignOutcome]
+    chains: List[FaultSetChain] = dataclasses.field(default_factory=list)
 
     def at_rate(self, rate: float) -> List[CampaignOutcome]:
         return [o for o in self.outcomes if o.rate == rate]
+
+    def chain_for(self, campaign_seed: int) -> FaultSetChain:
+        """The per-rate fault-set chain one campaign seed sampled."""
+        for chain in self.chains:
+            if chain.campaign_seed == campaign_seed:
+                return chain
+        raise KeyError(f"no chain for campaign seed {campaign_seed}")
 
     def yield_curve(self) -> List[Dict[str, object]]:
         """Per-rate aggregate rows (the plot the sweep exists for)."""
@@ -117,6 +154,7 @@ class DefectSweep:
             "rates": self.rates,
             "yield_curve": self.yield_curve(),
             "outcomes": [o.to_dict() for o in self.outcomes],
+            "chains": [c.to_dict() for c in self.chains],
         }
 
 
@@ -170,6 +208,8 @@ def run_defect_sweep(
         clean_digest = routing_digest(flow.routing, flow.channel_width)
 
         outcomes: List[CampaignOutcome] = []
+        maps_by_seed: Dict[int, List] = {
+            base_seed + i: [] for i in range(campaigns)}
         for rate in rates:
             for i in range(campaigns):
                 campaign = FaultCampaign(
@@ -179,6 +219,7 @@ def run_defect_sweep(
                     stuck_closed_rate=rate * stuck_closed_fraction,
                 )
                 defect_map = campaign.for_fabric(flow.graph)
+                maps_by_seed[campaign.seed].append(defect_map)
                 repair = repair_routing(
                     flow.placement, flow.routing, defect_map,
                     graph=flow.graph, campaign=campaign,
@@ -187,6 +228,21 @@ def run_defect_sweep(
                 _log.debug("sweep cell %s", kv(
                     rate=rate, campaign=campaign.seed, stage=repair.stage,
                     success=repair.success))
+        chains = []
+        for campaign_seed in sorted(maps_by_seed):
+            maps = maps_by_seed[campaign_seed]
+            nested = chain_is_nested(maps)
+            if not nested:
+                raise RuntimeError(
+                    f"fault sets for campaign seed {campaign_seed} are not "
+                    "nested across rates — the sampling contract broke")
+            chains.append(FaultSetChain(
+                campaign_seed=campaign_seed,
+                rates=tuple(rates),
+                digests=tuple(m.digest for m in maps),
+                defect_counts=tuple(m.total for m in maps),
+                nested=nested,
+            ))
         sweep = DefectSweep(
             circuit=netlist.name,
             channel_width=flow.channel_width,
@@ -194,6 +250,7 @@ def run_defect_sweep(
             clean_digest=clean_digest,
             rates=rates,
             outcomes=outcomes,
+            chains=chains,
         )
         curve = sweep.yield_curve()
         span.set("yield_curve", curve)

@@ -26,7 +26,7 @@ _TIMELINE_ATTRS = (
 )
 
 #: Drop bulky series attrs from inline display.
-_BULKY_ATTRS = ("convergence", "trajectory", "profile")
+_BULKY_ATTRS = ("convergence", "trajectory", "profile", "degradation")
 
 
 def _fmt_seconds(value: Optional[float]) -> str:
@@ -146,6 +146,42 @@ def _anneal_lines(run: ParsedRun) -> List[str]:
     return lines
 
 
+def _mission_spans(run: ParsedRun):
+    """(span, degradation curve) for every lifetime-mission run."""
+    found = []
+    for span in run.find("mission.run"):
+        curve = span.attrs.get("degradation")
+        if isinstance(curve, list) and curve:
+            found.append((span, curve))
+    return found
+
+
+def _mission_lines(run: ParsedRun) -> List[str]:
+    lines = []
+    for span, curve in _mission_spans(run):
+        last = curve[-1]
+        ttf = span.attrs.get("ttf_years")
+        lines.append(
+            f"{span.path}: policy={span.attrs.get('policy')} "
+            f"{len(curve)} epochs over {_fmt_attr(span.attrs.get('years'))} "
+            f"device-years, final yield {_fmt_attr(last.get('yield'))}, "
+            f"ttf {'-' if ttf is None else _fmt_attr(ttf)}, "
+            f"W {_fmt_attr(curve[0].get('mean_channel_width'))} -> "
+            f"{_fmt_attr(last.get('mean_channel_width'))}"
+        )
+        for row in curve:
+            lines.append(
+                f"  epoch {row.get('epoch')}: "
+                f"yield {_fmt_attr(row.get('yield'))} "
+                f"defects {_fmt_attr(row.get('mean_defects'))} "
+                f"W {_fmt_attr(row.get('mean_channel_width'))} "
+                f"wl.ovh {_fmt_attr(row.get('mean_wirelength_overhead'))} "
+                f"repairs {row.get('repairs')} bist {row.get('bist_runs')} "
+                f"dead {row.get('dead')}"
+            )
+    return lines
+
+
 def _profiled_spans(run: ParsedRun):
     """(span, profile attr) for every span carrying sampler output."""
     found = []
@@ -244,6 +280,7 @@ def render_report(run: ParsedRun, flame: bool = True,
         out += ["", "(no span records)"]
     out += _section("pathfinder convergence", _convergence_lines(run))
     out += _section("anneal trajectory", _anneal_lines(run))
+    out += _section("mission degradation", _mission_lines(run))
     out += _section("profiler hot stacks", _profile_lines(run))
     out += _section("metrics", _metric_lines(run))
     return "\n".join(out) + "\n"
@@ -492,6 +529,75 @@ def _walk_diff(node: Dict[str, object]):
         yield from _walk_diff(child)
 
 
+def _svg_curve_chart(title: str, curve: List[Dict[str, object]], key: str,
+                     lo: Optional[float] = None,
+                     hi: Optional[float] = None,
+                     color: str = "#4a7") -> str:
+    """One metric over epochs as a dependency-free inline SVG chart."""
+    xs = [float(row.get("epoch") or 0) for row in curve]
+    ys = [float(row.get(key) or 0.0) for row in curve]
+    if not xs:
+        return ""
+    y_lo = min(ys) if lo is None else lo
+    y_hi = max(ys) if hi is None else hi
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    width, height, pad = 420, 130, 30
+    x_span = max(1.0, xs[-1] - xs[0])
+
+    def sx(x: float) -> float:
+        return pad + (width - 2 * pad) * (x - xs[0]) / x_span
+
+    def sy(y: float) -> float:
+        return height - pad - (height - 2 * pad) * (y - y_lo) / (y_hi - y_lo)
+
+    points = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+    dots = "".join(
+        f"<circle cx='{sx(x):.1f}' cy='{sy(y):.1f}' r='2.5' fill='{color}'/>"
+        for x, y in zip(xs, ys))
+    axis = (f"<line x1='{pad}' y1='{height - pad}' x2='{width - pad}' "
+            f"y2='{height - pad}' stroke='#999'/>"
+            f"<line x1='{pad}' y1='{pad}' x2='{pad}' "
+            f"y2='{height - pad}' stroke='#999'/>")
+    labels = (
+        f"<text x='{pad}' y='{pad - 8}' font-size='11'>"
+        f"{_html.escape(title)}</text>"
+        f"<text x='{pad - 4}' y='{sy(y_hi) + 4}' font-size='9' "
+        f"text-anchor='end'>{_fmt_attr(y_hi)}</text>"
+        f"<text x='{pad - 4}' y='{sy(y_lo) + 4}' font-size='9' "
+        f"text-anchor='end'>{_fmt_attr(y_lo)}</text>"
+        f"<text x='{sx(xs[0]):.1f}' y='{height - pad + 12}' font-size='9' "
+        f"text-anchor='middle'>e{_fmt_attr(xs[0])}</text>"
+        f"<text x='{sx(xs[-1]):.1f}' y='{height - pad + 12}' font-size='9' "
+        f"text-anchor='middle'>e{_fmt_attr(xs[-1])}</text>")
+    return (
+        f"<svg class=chart width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}' xmlns='http://www.w3.org/2000/svg'>"
+        f"{axis}{labels}"
+        f"<polyline points='{points}' fill='none' stroke='{color}' "
+        f"stroke-width='1.5'/>{dots}</svg>")
+
+
+def _html_mission_sections(run: ParsedRun) -> List[str]:
+    sections = []
+    for span, curve in _mission_spans(run):
+        ttf = span.attrs.get("ttf_years")
+        caption = _html.escape(
+            f"{span.path} — policy {span.attrs.get('policy')}, "
+            f"{len(curve)} epochs over "
+            f"{_fmt_attr(span.attrs.get('years'))} device-years, "
+            f"ttf {'-' if ttf is None else _fmt_attr(ttf)}")
+        charts = (
+            _svg_curve_chart("yield", curve, "yield", lo=0.0, hi=1.0)
+            + _svg_curve_chart("mean channel width", curve,
+                               "mean_channel_width", color="#47a")
+            + _svg_curve_chart("mean wirelength overhead", curve,
+                               "mean_wirelength_overhead", lo=0.0,
+                               color="#a47"))
+        sections.append(f"<h3>{caption}</h3><div>{charts}</div>")
+    return sections
+
+
 def render_html(run: ParsedRun) -> str:
     """Standalone HTML report (no external assets)."""
     total = run.total_wall_s
@@ -504,6 +610,9 @@ def render_html(run: ParsedRun) -> str:
     if run.spans:
         spans = "".join(_html_span(root, total) for root in run.spans)
         sections.append(f"<h2>spans</h2><ul class=spans>{spans}</ul>")
+    missions = _html_mission_sections(run)
+    if missions:
+        sections.append("<h2>mission degradation</h2>" + "".join(missions))
     flames = _html_flame_sections(run)
     if flames:
         sections.append("<h2>profile flamegraphs</h2>" + "".join(flames))
@@ -523,6 +632,7 @@ def render_html(run: ParsedRun) -> str:
         ".attrs{color:#666;font-size:85%}"
         ".err{color:#b00;font-weight:bold}"
         "ul.warn{color:#960}"
+        ".chart{margin:4px 8px 4px 0;border:1px solid #eee}"
         ".flame{border:1px solid #ddd;padding:4px;margin:4px 0}"
         ".frow{display:flex}"
         ".fcell{overflow:hidden;background:#fb7;border-left:1px solid #fff}"

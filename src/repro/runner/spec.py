@@ -41,6 +41,24 @@ VARIANT_NAMES = ("baseline", "nem-naive", "nem-opt")
 #: importable without the faults package's numpy machinery).
 DEFECT_MODES = ("uniform", "variation", "aging")
 
+#: Mission repair-policy base spellings (mirrors
+#: `repro.faults.mission.MISSION_POLICIES`; literal for the same
+#: reason as `DEFECT_MODES`).  ``periodic-<k>`` takes a positive
+#: integer epoch count.
+MISSION_POLICY_NAMES = (
+    "never", "on-failure", "every-epoch-bist", "widen-early",
+)
+
+
+def mission_policy_valid(name: str) -> bool:
+    """Whether ``name`` spells a known mission repair policy."""
+    if name in MISSION_POLICY_NAMES:
+        return True
+    if name.startswith("periodic-"):
+        suffix = name[len("periodic-"):]
+        return suffix.isdigit() and int(suffix) >= 1
+    return False
+
 
 def _canon_json(obj: object) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
@@ -114,6 +132,17 @@ class JobSpec:
             legacy specs keep their keys and digests.
         defect_seed: Campaign seed (`repro.faults.FaultCampaign.seed`).
         defect_mode: Campaign sampling mode (`DEFECT_MODES`).
+        mission_epochs: When set, the job flows clean, then flies an
+            epoch-stepped lifetime mission (`repro.faults.mission`)
+            under one aging campaign; QoR gains ``mission.*`` scalars
+            plus the per-epoch record list, and digests a
+            ``mission_curve`` entry.  None (default) = no mission —
+            legacy specs keep their keys and digests.  Mutually
+            exclusive with ``defect_rate`` (a mission *is* a defect
+            schedule).
+        mission_policy: Repair policy spelling (`mission_policy_valid`).
+        mission_seed: The mission's aging-campaign seed.
+        mission_years: Simulated mission length in device-years.
     """
 
     circuit: str
@@ -126,6 +155,10 @@ class JobSpec:
     defect_rate: Optional[float] = None
     defect_seed: int = 0
     defect_mode: str = "uniform"
+    mission_epochs: Optional[int] = None
+    mission_policy: str = "on-failure"
+    mission_seed: int = 0
+    mission_years: float = 10.0
 
     def __post_init__(self) -> None:
         parse_variant(self.variant)  # validate eagerly
@@ -144,6 +177,25 @@ class JobSpec:
             raise ValueError(
                 f"defect_mode must be one of {DEFECT_MODES}, "
                 f"got {self.defect_mode!r}")
+        if self.mission_epochs is not None:
+            if self.mission_epochs < 1:
+                raise ValueError(
+                    f"mission_epochs must be >= 1, got {self.mission_epochs}")
+            if self.defect_rate is not None:
+                raise ValueError(
+                    "mission and defect axes are mutually exclusive — a "
+                    "mission already schedules its own defects")
+            if not mission_policy_valid(self.mission_policy):
+                raise ValueError(
+                    f"unknown mission policy {self.mission_policy!r}; "
+                    f"expected one of {MISSION_POLICY_NAMES} or "
+                    "'periodic-<k>'")
+            if self.mission_seed < 0:
+                raise ValueError(
+                    f"mission_seed must be >= 0, got {self.mission_seed}")
+            if self.mission_years <= 0:
+                raise ValueError(
+                    f"mission_years must be > 0, got {self.mission_years}")
 
     @property
     def key(self) -> str:
@@ -155,6 +207,9 @@ class JobSpec:
             key += f"/{overrides}"
         if self.defect_rate is not None:
             key += f"/d{self.defect_rate:g}.{self.defect_mode}.s{self.defect_seed}"
+        if self.mission_epochs is not None:
+            key += (f"/m{self.mission_epochs}x{self.mission_years:g}y"
+                    f".{self.mission_policy}.s{self.mission_seed}")
         return key
 
     def store_key(self, code: str) -> str:
@@ -186,6 +241,11 @@ class JobSpec:
             doc["defect_rate"] = self.defect_rate
             doc["defect_seed"] = self.defect_seed
             doc["defect_mode"] = self.defect_mode
+        if self.mission_epochs is not None:
+            doc["mission_epochs"] = self.mission_epochs
+            doc["mission_policy"] = self.mission_policy
+            doc["mission_seed"] = self.mission_seed
+            doc["mission_years"] = self.mission_years
         return doc
 
     @classmethod
@@ -205,6 +265,11 @@ class JobSpec:
                          if doc.get("defect_rate") is not None else None),
             defect_seed=int(doc.get("defect_seed", 0)),
             defect_mode=str(doc.get("defect_mode", "uniform")),
+            mission_epochs=(int(doc["mission_epochs"])
+                            if doc.get("mission_epochs") is not None else None),
+            mission_policy=str(doc.get("mission_policy", "on-failure")),
+            mission_seed=int(doc.get("mission_seed", 0)),
+            mission_years=float(doc.get("mission_years", 10.0)),
         )
 
 
@@ -252,6 +317,10 @@ class BatchSpec:
         defect_rates: Sequence[Optional[float]] = (None,),
         defect_seed: int = 0,
         defect_mode: str = "uniform",
+        mission_epochs: Optional[int] = None,
+        mission_policies: Sequence[str] = ("on-failure",),
+        mission_seeds: Sequence[int] = (0,),
+        mission_years: float = 10.0,
         workers: int = 1,
         timeout_s: Optional[float] = None,
         retries: int = 1,
@@ -261,8 +330,16 @@ class BatchSpec:
         ``defect_rates`` adds a fault-campaign axis: each non-None
         rate produces jobs that flow clean, inject that rate, and
         self-repair (None = the ordinary fault-free job).
+
+        ``mission_epochs`` adds a lifetime-mission axis instead: one
+        job per (policy, campaign seed) cell, each flying the same
+        mission length under its own aging trajectory.
         """
         overrides = tuple(sorted((arch or {}).items()))
+        mission_cells: Sequence[Tuple[Optional[str], int]] = (
+            [(policy, mseed)
+             for policy in mission_policies for mseed in mission_seeds]
+            if mission_epochs is not None else [(None, 0)])
         jobs = tuple(
             JobSpec(
                 circuit=circuit, variant=variant, seed=seed,
@@ -270,12 +347,18 @@ class BatchSpec:
                 defect_rate=rate,
                 defect_seed=defect_seed if rate is not None else 0,
                 defect_mode=defect_mode if rate is not None else "uniform",
+                mission_epochs=mission_epochs,
+                mission_policy=(policy if policy is not None
+                                else "on-failure"),
+                mission_seed=mseed,
+                mission_years=mission_years,
             )
             for circuit in circuits
             for variant in variants
             for seed in seeds
             for width in widths
             for rate in defect_rates
+            for policy, mseed in mission_cells
         )
         return cls(jobs=jobs, workers=workers, timeout_s=timeout_s,
                    retries=retries)
@@ -307,6 +390,13 @@ class BatchSpec:
                 defect_rates=matrix.get("defect_rates", [None]),
                 defect_seed=int(matrix.get("defect_seed", 0)),
                 defect_mode=str(matrix.get("defect_mode", "uniform")),
+                mission_epochs=(int(matrix["mission_epochs"])
+                                if matrix.get("mission_epochs") is not None
+                                else None),
+                mission_policies=matrix.get(
+                    "mission_policies", ["on-failure"]),
+                mission_seeds=matrix.get("mission_seeds", [0]),
+                mission_years=float(matrix.get("mission_years", 10.0)),
                 **policy,
             )
         raise ValueError("spec needs a 'jobs' list or a 'matrix' object")

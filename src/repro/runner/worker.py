@@ -222,10 +222,35 @@ def _execute(spec: JobSpec, attempt: int) -> JobResult:
         # bitstream must program only healthy relays.
         if repair.channel_width != flow.channel_width:
             params = params.with_channel_width(repair.channel_width)
-        flow = dataclasses.replace(
-            flow, routing=repair.routing, graph=repair.graph,
-            channel_width=repair.channel_width,
-        )
+        flow = flow.with_routing(
+            repair.routing, repair.graph, repair.channel_width)
+
+    if spec.mission_epochs is not None:
+        from ..faults.mission import MissionSpec, simulate_mission
+
+        mission_spec = MissionSpec(
+            epochs=spec.mission_epochs, years=spec.mission_years,
+            policy=spec.mission_policy, campaigns=1,
+            base_seed=spec.mission_seed)
+        mission = simulate_mission(flow, mission_spec)
+        trajectory = mission.trajectories[0]
+        curve = mission.degradation_curve()
+        qor.update({
+            "mission.policy": spec.mission_policy,
+            "mission.epochs": spec.mission_epochs,
+            "mission.years": spec.mission_years,
+            "mission.final_yield": curve[-1]["yield"] if curve else 0.0,
+            "mission.final_channel_width": trajectory.final_channel_width,
+            "mission.repairs": trajectory.repairs,
+            "mission.bist_runs": trajectory.bist_runs,
+            "mission.failed_epoch": trajectory.failed_epoch,
+            "mission.ttf_years": mission.time_to_first_unrepairable,
+            "mission.curve": [r.to_dict() for r in trajectory.records],
+        })
+        extra_digests["mission_curve"] = mission.digest
+        # The mission is a lifetime overlay: downstream stages still
+        # evaluate the clean design (epoch zero), so the bitstream and
+        # QoR digests below stay comparable with mission-free jobs.
 
     with get_tracer().span("flow.configure", circuit=netlist.name):
         bitstream = extract_bitstream(flow.routing, flow.graph)

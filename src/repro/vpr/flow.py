@@ -97,6 +97,28 @@ class FlowResult:
     def success(self) -> bool:
         return self.routing.success
 
+    def with_routing(
+        self,
+        routing: RoutingResult,
+        graph: Optional[FabricIR] = None,
+        channel_width: Optional[int] = None,
+    ) -> "FlowResult":
+        """This flow with its routed state replaced.
+
+        The carry-over primitive for repaired designs: a self-repair
+        (or one epoch of a lifetime mission) produces a new routing —
+        possibly on a widened fabric — while the netlist, clustering
+        and placement stand.  Returns a new `FlowResult`; the original
+        is untouched.
+        """
+        return dataclasses.replace(
+            self,
+            routing=routing,
+            graph=self.graph if graph is None else graph,
+            channel_width=(self.channel_width if channel_width is None
+                           else channel_width),
+        )
+
 
 def low_stress_width(wmin: int) -> int:
     """W = Wmin * 1.2 rounded up (paper Sec. 3.3)."""

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.faults import CAMPAIGN_MODES, FaultCampaign, switch_sites
+from repro.faults import (
+    CAMPAIGN_MODES,
+    FaultCampaign,
+    site_actuations,
+    switch_sites,
+)
 
 
 class TestSwitchSites:
@@ -137,6 +142,54 @@ class TestAgingMode:
         # per-site failure probability => superset.
         assert set(m_base.stuck_open_switches) <= set(m_aged.stuck_open_switches)
         assert m_aged.total >= m_base.total
+
+
+class TestExplicitActuations:
+    """The mission-simulator path: caller-owned wear accumulators."""
+
+    def test_matches_internal_accounting(self, routed):
+        """Handing `for_fabric` the exact accumulator it would have
+        computed itself is byte-identical to the legacy call."""
+        from repro.config.bitstream import extract_bitstream
+
+        routing, graph = routed
+        bitstream = extract_bitstream(routing, graph)
+        campaign = FaultCampaign(seed=6, mode="aging", eta=1e4,
+                                 reconfigurations=100.0, cycles=1e4)
+        legacy = campaign.for_fabric(graph, bitstream=bitstream)
+        explicit = campaign.for_fabric(graph, actuations=site_actuations(
+            switch_sites(graph), bitstream,
+            cycles=1e4, reconfigurations=100.0))
+        assert legacy == explicit
+        assert legacy.digest == explicit.digest
+
+    def test_summed_increments_nest(self, fabric):
+        """Accumulating wear epoch-style gives nested maps — the
+        contract the mission asserts every step."""
+        sites = switch_sites(fabric)
+        campaign = FaultCampaign(seed=4, mode="aging", eta=1e3, beta=1.6)
+        step = site_actuations(sites, reconfigurations=400.0)
+        one = campaign.for_fabric(fabric, actuations=step)
+        two = campaign.for_fabric(fabric, actuations=step + step)
+        assert set(one.stuck_open_switches) <= set(two.stuck_open_switches)
+
+    def test_rejected_outside_aging_mode(self, fabric):
+        campaign = FaultCampaign(seed=1, mode="uniform")
+        with pytest.raises(ValueError, match="aging"):
+            campaign.for_fabric(
+                fabric, actuations=np.zeros(len(switch_sites(fabric))))
+
+    def test_shape_checked(self, fabric):
+        campaign = FaultCampaign(seed=1, mode="aging")
+        with pytest.raises(ValueError, match="shape"):
+            campaign.for_fabric(fabric, actuations=np.zeros(3))
+
+    def test_negative_counts_rejected(self, fabric):
+        campaign = FaultCampaign(seed=1, mode="aging")
+        bad = np.zeros(len(switch_sites(fabric)))
+        bad[0] = -1.0
+        with pytest.raises(ValueError, match=">= 0"):
+            campaign.for_fabric(fabric, actuations=bad)
 
 
 class TestSerialisation:

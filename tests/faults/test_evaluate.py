@@ -64,6 +64,35 @@ class TestReproducibility:
         assert lo.defects <= hi.defects
 
 
+class TestFaultSetChains:
+    def test_one_verified_chain_per_campaign(self, sweep):
+        assert [c.campaign_seed for c in sweep.chains] == [0, 1]
+        for chain in sweep.chains:
+            assert chain.nested is True
+            assert chain.rates == (0.005, 0.01)
+            assert len(chain.digests) == len(chain.rates)
+            assert list(chain.defect_counts) == sorted(chain.defect_counts)
+
+    def test_chain_digests_match_outcomes(self, sweep):
+        for chain in sweep.chains:
+            per_rate = [
+                next(o for o in sweep.at_rate(rate)
+                     if o.campaign_seed == chain.campaign_seed)
+                for rate in chain.rates
+            ]
+            assert chain.digests == tuple(o.defect_digest for o in per_rate)
+
+    def test_chain_for_lookup(self, sweep):
+        assert sweep.chain_for(1).campaign_seed == 1
+        with pytest.raises(KeyError, match="99"):
+            sweep.chain_for(99)
+
+    def test_chains_serialised(self, sweep):
+        doc = sweep.to_dict()
+        assert len(doc["chains"]) == 2
+        assert all(entry["nested"] for entry in doc["chains"])
+
+
 class TestGuards:
     def test_unroutable_clean_fabric_raises(self, netlist):
         with pytest.raises(RuntimeError, match="unroutable"):

@@ -1,0 +1,139 @@
+"""Property + determinism suite for the mission's nesting contract.
+
+Two layers:
+
+* hypothesis properties on the sampling core — any monotonically
+  growing wear (explicit actuation accumulators, or the legacy
+  cycle-count path) yields monotonically *nested* fault sets for a
+  fixed campaign seed, the invariant `simulate_mission` asserts every
+  epoch;
+* batch-runner integration — a mission job matrix run in forked
+  workers is bit-identical to serial execution, and a warm result
+  store replays the identical results without recomputation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.bitstream import extract_bitstream
+from repro.faults import FaultCampaign, chain_is_nested, switch_sites
+from repro.runner import BatchSpec, results_identical, run_batch
+
+# ---------------------------------------------------------------------------
+# hypothesis: nested fault sets under growing wear
+
+
+@st.composite
+def wear_levels(draw):
+    """A strictly growing sequence of cumulative wear multipliers."""
+    increments = draw(st.lists(
+        st.floats(min_value=0.01, max_value=4.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=5))
+    return np.cumsum(np.asarray(increments))
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16), levels=wear_levels())
+@settings(deadline=None, max_examples=20, derandomize=True)
+def test_growing_actuations_give_nested_fault_sets(fabric, seed, levels):
+    """The mission's epoch contract, stated directly: one fixed-seed
+    aging campaign handed ever-growing per-site accumulators samples a
+    nested chain of defect maps (the draw depends only on
+    (seed, fabric key); only the per-site thresholds move)."""
+    sites = switch_sites(fabric)
+    # A deterministic, uneven per-site wear profile straddling eta so
+    # the chain actually grows instead of being all-clean or all-dead.
+    profile = (np.random.default_rng(seed).random(len(sites)) + 0.1) * 1e9
+    campaign = FaultCampaign(seed=seed, mode="aging", eta=1e9, beta=1.6)
+    maps = [campaign.for_fabric(fabric, actuations=profile * level)
+            for level in levels]
+    assert chain_is_nested(maps)
+    totals = [m.total for m in maps]
+    assert totals == sorted(totals)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16), levels=wear_levels())
+@settings(deadline=None, max_examples=10, derandomize=True)
+def test_growing_cycles_give_nested_fault_sets(routed, seed, levels):
+    """Same property through the legacy path: growing cycle counts on
+    a real routed bitstream (unequal per-site wear) nest too."""
+    routing, graph = routed
+    bitstream = extract_bitstream(routing, graph)
+    maps = []
+    for level in levels:
+        campaign = FaultCampaign(
+            seed=seed, mode="aging", eta=1e9, beta=1.6,
+            cycles=float(level) * 1e9, reconfigurations=float(level) * 100.0)
+        maps.append(campaign.for_fabric(graph, bitstream=bitstream))
+    assert chain_is_nested(maps)
+
+
+# ---------------------------------------------------------------------------
+# batch runner: serial == parallel == store-warm replay
+
+SPEC = BatchSpec.from_matrix(
+    circuits=["tseng"],
+    variants=["baseline"],
+    seeds=[1],
+    widths=[40],
+    scale=0.01,
+    mission_epochs=3,
+    mission_policies=("every-epoch-bist", "never"),
+    mission_seeds=(0, 1),
+    mission_years=40.0,
+)
+
+
+@pytest.fixture(scope="module")
+def arms(tmp_path_factory):
+    base = tmp_path_factory.mktemp("mission-determinism")
+    store = str(base / "store")
+    serial = run_batch(SPEC, workers=1, shard_dir=str(base / "serial"),
+                       store=store)
+    parallel = run_batch(SPEC, workers=4, shard_dir=str(base / "parallel"))
+    warm = run_batch(SPEC, workers=1, shard_dir=str(base / "warm"),
+                     store=store)
+    return serial, parallel, warm
+
+
+def test_all_mission_jobs_succeed(arms):
+    serial, parallel, warm = arms
+    assert serial.ok and parallel.ok and warm.ok
+    assert len(serial.results) == 4  # 2 policies x 2 mission seeds
+
+
+def test_serial_and_parallel_bit_identical(arms):
+    serial, parallel, _ = arms
+    assert results_identical(serial.results, parallel.results)
+
+
+def test_store_warm_replay_identical(arms):
+    serial, _, warm = arms
+    assert results_identical(serial.results, warm.results)
+    assert len(warm.cached) == len(serial.results)
+
+
+def test_mission_jobs_report_curves_and_digests(arms):
+    serial, parallel, _ = arms
+    for s, p in zip(serial.results, parallel.results):
+        assert "/m3x40y." in s.key
+        assert s.digests["mission_curve"] == p.digests["mission_curve"]
+        curve = s.qor["mission.curve"]
+        assert len(curve) >= 1
+        assert s.qor["mission.policy"] in ("every-epoch-bist", "never")
+
+
+def test_policy_ordering_survives_the_runner(arms):
+    """The acceptance gate, through the batch runner: scheduled BIST
+    yields at least the no-repair policy's final health on every
+    campaign seed."""
+    serial, _, _ = arms
+    by_policy = {}
+    for result in serial.results:
+        curve = result.qor["mission.curve"]
+        by_policy.setdefault(result.qor["mission.policy"], []).append(
+            curve[-1]["healthy"] and curve[-1]["alive"])
+    bist = sum(by_policy["every-epoch-bist"])
+    never = sum(by_policy["never"])
+    assert bist >= never
